@@ -1,0 +1,28 @@
+//! Micro-benchmark: runtime overhead of the clipped activation vs plain
+//! ReLU — the paper's "minimal performance overhead" claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftclip_nn::Activation;
+use ftclip_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_activations(c: &mut Criterion) {
+    let x = Tensor::from_vec((0..65536).map(|i| (i as f32 * 0.173).sin() * 3.0).collect(), &[65536]).unwrap();
+    let acts = [
+        ("relu", Activation::Relu),
+        ("clipped-relu", Activation::ClippedRelu { threshold: 1.0 }),
+        ("saturated-relu", Activation::SaturatedRelu { threshold: 1.0 }),
+        ("clipped-leaky", Activation::ClippedLeakyRelu { slope: 0.01, threshold: 1.0 }),
+    ];
+    let mut group = c.benchmark_group("activation_64k");
+    group.sample_size(40);
+    for (name, act) in acts {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(act.apply(black_box(&x))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_activations);
+criterion_main!(benches);

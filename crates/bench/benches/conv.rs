@@ -1,0 +1,33 @@
+//! Micro-benchmark: convolution forward/backward (im2col lowering).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftclip_nn::Conv2d;
+use ftclip_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let conv = Conv2d::new(16, 32, 3, 1, 1, &mut rng);
+    let x = ftclip_tensor::uniform_init(&[4, 16, 16, 16], -1.0, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("conv2d");
+    group.sample_size(20);
+    group.bench_function("forward 16->32 3x3 @16x16 b4", |b| {
+        b.iter(|| black_box(conv.forward(black_box(&x))));
+    });
+    group.bench_function("forward_train+backward", |b| {
+        let mut conv = conv.clone();
+        let grad = Tensor::ones(&[4, 32, 16, 16]);
+        b.iter(|| {
+            let y = conv.forward_train(black_box(&x));
+            black_box(y);
+            black_box(conv.backward(black_box(&grad)))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Micro-benchmark: whole-network inference — the inner loop of every fault
+//! campaign — for the experiment-scale AlexNet and VGG-16, clipped and
+//! unclipped.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftclip_models::{alexnet_cifar, vgg16_cifar};
+use ftclip_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let x = Tensor::ones(&[8, 3, 32, 32]);
+    let alexnet = alexnet_cifar(0.125, 10, 7);
+    let mut alexnet_clipped = alexnet.clone();
+    let n_sites = alexnet_clipped.activation_sites().len();
+    alexnet_clipped.convert_to_clipped(&vec![4.0; n_sites]);
+    let vgg = vgg16_cifar(0.0625, 10, 7);
+
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(10);
+    group.bench_function("alexnet w=0.125 b8", |b| {
+        b.iter(|| black_box(alexnet.forward(black_box(&x))));
+    });
+    group.bench_function("alexnet clipped w=0.125 b8", |b| {
+        b.iter(|| black_box(alexnet_clipped.forward(black_box(&x))));
+    });
+    group.bench_function("vgg16 w=0.0625 b8", |b| {
+        b.iter(|| black_box(vgg.forward(black_box(&x))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

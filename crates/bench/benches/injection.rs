@@ -1,0 +1,47 @@
+//! Micro-benchmark: fault sampling, application and restoration — the
+//! framework overhead on top of each campaign evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftclip_fault::{sample_bit_positions, FaultModel, Injection, InjectionTarget};
+use ftclip_models::alexnet_cifar;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_injection(c: &mut Criterion) {
+    let net = alexnet_cifar(0.25, 10, 3);
+
+    let mut group = c.benchmark_group("injection");
+    group.sample_size(30);
+    for &rate in &[1e-7f64, 1e-5, 1e-3] {
+        group.bench_with_input(BenchmarkId::new("sample", format!("{rate:.0e}")), &rate, |b, &rate| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| {
+                black_box(Injection::sample(
+                    black_box(&net),
+                    InjectionTarget::AllWeights,
+                    FaultModel::BitFlip,
+                    rate,
+                    &mut rng,
+                ))
+            });
+        });
+    }
+    group.bench_function("apply+undo @1e-5", |b| {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut target = net.clone();
+        let inj = Injection::sample(&net, InjectionTarget::AllWeights, FaultModel::BitFlip, 1e-5, &mut rng);
+        b.iter(|| {
+            let handle = inj.apply(black_box(&mut target));
+            handle.undo(black_box(&mut target));
+        });
+    });
+    group.bench_function("raw sampler 1e6 bits @1e-4", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| black_box(sample_bit_positions(1_000_000, 1e-4, &mut rng)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_injection);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Micro-benchmark: the matmul kernels that dominate inference cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftclip_tensor::{matmul, matmul_nt, matmul_tn, Tensor};
+use std::hint::black_box;
+
+fn square(n: usize, seed: f32) -> Tensor {
+    Tensor::from_vec((0..n * n).map(|i| ((i as f32 + seed) * 0.37).sin()).collect(), &[n, n]).unwrap()
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    for &n in &[32usize, 64, 128] {
+        let a = square(n, 0.0);
+        let b = square(n, 1.0);
+        group.bench_with_input(BenchmarkId::new("nn", n), &n, |bench, _| {
+            bench.iter(|| black_box(matmul(black_box(&a), black_box(&b))));
+        });
+        group.bench_with_input(BenchmarkId::new("tn", n), &n, |bench, _| {
+            bench.iter(|| black_box(matmul_tn(black_box(&a), black_box(&b))));
+        });
+        group.bench_with_input(BenchmarkId::new("nt", n), &n, |bench, _| {
+            bench.iter(|| black_box(matmul_nt(black_box(&a), black_box(&b))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

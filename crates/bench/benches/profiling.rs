@@ -1,0 +1,24 @@
+//! Micro-benchmark: Step 1 activation profiling throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftclip_core::profile_network;
+use ftclip_models::alexnet_cifar;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_profiling(c: &mut Criterion) {
+    let net = alexnet_cifar(0.125, 10, 5);
+    let mut rng = StdRng::seed_from_u64(6);
+    let images = ftclip_tensor::uniform_init(&[32, 3, 32, 32], -1.0, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("profiling");
+    group.sample_size(10);
+    group.bench_function("profile alexnet w=0.125 on 32 images", |b| {
+        b.iter(|| black_box(profile_network(black_box(&net), black_box(&images), 16, 32)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiling);
+criterion_main!(benches);

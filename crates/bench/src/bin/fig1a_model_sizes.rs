@@ -1,0 +1,25 @@
+//! Fig. 1a — parameter-memory sizes of the model zoo.
+//!
+//! The paper motivates the reliability problem with the memory footprint of
+//! state-of-the-art DNNs ("on average, the size of deeper networks is more
+//! than 100 MB"). This binary reports the parameter counts and `f32` memory
+//! of our zoo at full width, reproducing the ordering (VGG-16 ≫ AlexNet ≫
+//! LeNet-5).
+
+use ftclip_bench::{parse_args, CsvWriter};
+use ftclip_models::model_size_report;
+
+fn main() {
+    let args = parse_args();
+    let report = model_size_report();
+    println!("Fig. 1a — model parameter memory (f32 storage)\n");
+    println!("{:<16} {:>12} {:>10}", "model", "parameters", "MB");
+    let mut csv = CsvWriter::create(args.out_dir.join("fig1a_model_sizes.csv"), &["model", "params", "megabytes"])
+        .expect("write results csv");
+    for row in &report {
+        println!("{:<16} {:>12} {:>10.2}", row.name, row.params, row.megabytes);
+        csv.row(&[&row.name, &row.params, &row.megabytes]).expect("write row");
+    }
+    csv.flush().expect("flush csv");
+    println!("\nwrote {}", args.out_dir.join("fig1a_model_sizes.csv").display());
+}

@@ -1,0 +1,57 @@
+//! Fig. 1b — classification accuracy of the unprotected AlexNet under
+//! increasing weight-memory fault rates.
+//!
+//! Reproduction target (paper Fig. 1b): accuracy stays near baseline at low
+//! rates and collapses monotonically as the rate approaches 1e-5.
+
+use ftclip_bench::{experiment_data, parse_args, trained_alexnet, CsvWriter};
+use ftclip_core::EvalSet;
+use ftclip_fault::{paper_fault_rates, Campaign, CampaignConfig, FaultModel, InjectionTarget};
+
+fn main() {
+    let args = parse_args();
+    let data = experiment_data(args.seed);
+    let workload = trained_alexnet(&data, args.seed);
+    let mut net = workload.model.network.clone();
+    let eval = EvalSet::from_subset(data.test(), args.eval_size.min(data.test().len()), args.seed, 64);
+
+    let cfg = CampaignConfig {
+        fault_rates: workload.scaled_paper_rates(),
+        repetitions: args.reps,
+        seed: args.seed,
+        model: FaultModel::BitFlip,
+        target: InjectionTarget::AllWeights,
+    };
+    eprintln!("[fig1b] campaign: {} rates × {} reps on {} images", cfg.fault_rates.len(), cfg.repetitions, eval.len());
+    let result = Campaign::new(cfg).run(&mut net, |n| eval.accuracy(n));
+
+    println!("Fig. 1b — unprotected AlexNet accuracy vs fault rate");
+    println!("(paper rates mapped ×{:.1} for the width-scaled memory, DESIGN.md §3)\n", workload.rate_scale());
+    println!("baseline (clean) accuracy: {:.4}\n", result.clean_accuracy);
+    println!("{:<12} {:<12} {:>10} {:>10} {:>10}", "paper_rate", "actual_rate", "mean_acc", "min_acc", "max_acc");
+    let mut csv = CsvWriter::create(
+        args.out_dir.join("fig1b_unprotected_alexnet.csv"),
+        &["paper_rate", "actual_rate", "mean_acc", "min_acc", "max_acc"],
+    )
+    .expect("write results csv");
+    let paper_rates = paper_fault_rates();
+    for (i, summary) in result.summaries().iter().enumerate() {
+        let rate = result.fault_rates[i];
+        println!(
+            "{:<12.1e} {:<12.1e} {:>10.4} {:>10.4} {:>10.4}",
+            paper_rates[i], rate, summary.mean, summary.min, summary.max
+        );
+        csv.row(&[&paper_rates[i], &rate, &summary.mean, &summary.min, &summary.max]).expect("write row");
+    }
+    csv.flush().expect("flush csv");
+
+    // the headline qualitative check of Fig. 1b
+    let means = result.mean_accuracies();
+    let collapse = means.last().expect("non-empty grid");
+    println!(
+        "\nshape check: accuracy decreases with fault rate ({} → {:.4}), clean {:.4}",
+        means.first().map(|m| format!("{m:.4}")).unwrap_or_default(),
+        collapse,
+        result.clean_accuracy
+    );
+}

@@ -1,0 +1,19 @@
+//! Quick wall-clock probe of the experiment workloads' inference cost —
+//! handy for sizing `--reps`/`--eval-size` budgets on a new machine
+//! (Criterion benches measure the same paths with proper statistics).
+
+use std::time::Instant;
+
+fn main() {
+    let net = ftclip_models::alexnet_cifar(0.125, 10, 1);
+    let x = ftclip_tensor::Tensor::ones(&[64, 3, 32, 32]);
+    let _ = net.forward(&x); // warm
+    let t = Instant::now();
+    for _ in 0..10 { let _ = net.forward(&x); }
+    println!("alexnet w=0.125 batch64: {:.1} ms/batch ({:.2} ms/img)", t.elapsed().as_secs_f64()*100.0, t.elapsed().as_secs_f64()*100.0/64.0);
+    let vgg = ftclip_models::vgg16_bn_cifar(0.125, 10, 1);
+    let _ = vgg.forward(&x);
+    let t = Instant::now();
+    for _ in 0..10 { let _ = vgg.forward(&x); }
+    println!("vgg16bn w=0.125 batch64: {:.1} ms/batch ({:.2} ms/img)", t.elapsed().as_secs_f64()*100.0, t.elapsed().as_secs_f64()*100.0/64.0);
+}

@@ -1,0 +1,212 @@
+//! Command-line plumbing and result files shared by the figure binaries.
+
+use std::fmt::Display;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Experiment scale presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast smoke-scale run: fewer repetitions, smaller evaluation subsets.
+    /// Shapes still reproduce; error bars are wider.
+    Small,
+    /// Paper-scale run: 50 repetitions per rate (§V-B) and full test-set
+    /// evaluation. Slow on CPU.
+    Paper,
+}
+
+impl Scale {
+    /// Default campaign repetitions for this scale.
+    pub fn default_reps(self) -> usize {
+        match self {
+            Scale::Small => 10,
+            Scale::Paper => 50,
+        }
+    }
+
+    /// Default evaluation-subset size for this scale.
+    pub fn default_eval_size(self) -> usize {
+        match self {
+            Scale::Small => 256,
+            Scale::Paper => 1024,
+        }
+    }
+}
+
+/// Parsed command-line arguments of a figure binary.
+#[derive(Debug, Clone)]
+pub struct RunArgs {
+    /// Scale preset.
+    pub scale: Scale,
+    /// Campaign repetitions per fault rate.
+    pub reps: usize,
+    /// Evaluation-subset size.
+    pub eval_size: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for CSV files.
+    pub out_dir: PathBuf,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        let scale = Scale::Small;
+        RunArgs {
+            scale,
+            reps: scale.default_reps(),
+            eval_size: scale.default_eval_size(),
+            seed: 42,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+/// Parses `--scale small|paper`, `--reps N`, `--eval-size N`, `--seed N`,
+/// `--out DIR` from `std::env::args`.
+///
+/// Unknown flags abort with a usage message, because a typo silently
+/// falling back to defaults would corrupt an experiment.
+pub fn parse_args() -> RunArgs {
+    parse_arg_list(std::env::args().skip(1))
+}
+
+fn parse_arg_list(args: impl Iterator<Item = String>) -> RunArgs {
+    let mut out = RunArgs::default();
+    let mut explicit_reps = None;
+    let mut explicit_eval = None;
+    let mut it = args.peekable();
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().unwrap_or_else(|| usage(&format!("flag {flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--scale" => {
+                out.scale = match value("--scale").as_str() {
+                    "small" => Scale::Small,
+                    "paper" => Scale::Paper,
+                    other => usage(&format!("unknown scale '{other}'")),
+                }
+            }
+            "--reps" => explicit_reps = Some(value("--reps").parse().unwrap_or_else(|_| usage("bad --reps"))),
+            "--eval-size" => {
+                explicit_eval = Some(value("--eval-size").parse().unwrap_or_else(|_| usage("bad --eval-size")))
+            }
+            "--seed" => out.seed = value("--seed").parse().unwrap_or_else(|_| usage("bad --seed")),
+            "--out" => out.out_dir = PathBuf::from(value("--out")),
+            "--help" | "-h" => usage("help requested"),
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+    }
+    out.reps = explicit_reps.unwrap_or_else(|| out.scale.default_reps());
+    out.eval_size = explicit_eval.unwrap_or_else(|| out.scale.default_eval_size());
+    out
+}
+
+fn usage(reason: &str) -> ! {
+    eprintln!("{reason}");
+    eprintln!("usage: <binary> [--scale small|paper] [--reps N] [--eval-size N] [--seed N] [--out DIR]");
+    std::process::exit(2)
+}
+
+/// Minimal CSV writer for experiment outputs.
+///
+/// # Example
+///
+/// ```no_run
+/// use ftclip_bench::CsvWriter;
+///
+/// let mut csv = CsvWriter::create("results/fig.csv", &["rate", "accuracy"]).unwrap();
+/// csv.row(&[&1e-7, &0.72]).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct CsvWriter {
+    file: BufWriter<File>,
+    columns: usize,
+}
+
+impl CsvWriter {
+    /// Creates the file (and parent directories) and writes the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error.
+    pub fn create<P: AsRef<Path>>(path: P, header: &[&str]) -> std::io::Result<Self> {
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = BufWriter::new(File::create(path)?);
+        writeln!(file, "{}", header.join(","))?;
+        Ok(CsvWriter { file, columns: header.len() })
+    }
+
+    /// Writes one row.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count differs from the header width.
+    pub fn row(&mut self, values: &[&dyn Display]) -> std::io::Result<()> {
+        assert_eq!(values.len(), self.columns, "row width must match header");
+        let cells: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+        writeln!(self.file, "{}", cells.join(","))
+    }
+
+    /// Flushes the underlying file.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_track_scale() {
+        let args = parse_arg_list(["--scale", "paper"].iter().map(|s| s.to_string()));
+        assert_eq!(args.scale, Scale::Paper);
+        assert_eq!(args.reps, 50);
+        assert_eq!(args.eval_size, 1024);
+    }
+
+    #[test]
+    fn explicit_flags_override_scale_defaults() {
+        let args =
+            parse_arg_list(["--scale", "paper", "--reps", "7", "--eval-size", "33", "--seed", "9"].iter().map(|s| s.to_string()));
+        assert_eq!(args.reps, 7);
+        assert_eq!(args.eval_size, 33);
+        assert_eq!(args.seed, 9);
+    }
+
+    #[test]
+    fn csv_writer_roundtrip() {
+        let dir = std::env::temp_dir().join("ftclip-csv-test");
+        let path = dir.join("t.csv");
+        let mut csv = CsvWriter::create(&path, &["a", "b"]).unwrap();
+        csv.row(&[&1, &2.5]).unwrap();
+        csv.row(&[&"x", &"y"]).unwrap();
+        csv.flush().unwrap();
+        drop(csv);
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2.5\nx,y\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn csv_rejects_ragged_rows() {
+        let dir = std::env::temp_dir().join("ftclip-csv-ragged");
+        let mut csv = CsvWriter::create(dir.join("t.csv"), &["a", "b"]).unwrap();
+        let _ = csv.row(&[&1]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Experiment harness for the FT-ClipAct reproduction.
+//!
+//! One binary per paper figure (see DESIGN.md §2 for the full index):
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `fig1a_model_sizes` | Fig. 1a — parameter memory of the model zoo |
+//! | `fig1b_unprotected_alexnet` | Fig. 1b — accuracy vs fault rate, unprotected AlexNet |
+//! | `fig3_per_layer_resilience` | Fig. 3 (a, e, i) — per-layer fault sensitivity |
+//! | `fig3_activation_distributions` | Fig. 3 (b–d, f–h, j–l) — activation distributions under fault |
+//! | `fig5_auc_vs_threshold` | Fig. 5 — AUC vs clipping threshold (CONV-4) |
+//! | `fig6_threshold_tuning_trace` | Fig. 6 — Algorithm 1 interval-search trace |
+//! | `fig7_alexnet_resilience` | Fig. 7 — AlexNet, clipped vs unprotected (mean + box stats) |
+//! | `fig8_vgg16_resilience` | Fig. 8 — VGG-16, clipped vs unprotected |
+//! | `headline_table` | §V-B headline numbers |
+//! | `ablation_clip_mode` | clip-to-zero vs saturate (beyond paper) |
+//! | `ablation_fault_models` | bit-flip vs stuck-at (beyond paper) |
+//!
+//! Every binary accepts `--scale small|paper` (default `small`), `--reps N`,
+//! `--eval-size N` and `--seed N`, prints the series the paper plots, and
+//! writes CSV under `results/`.
+//!
+//! This crate also hosts the Criterion micro-benchmarks (`benches/`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod pipeline;
+pub mod resilience;
+pub mod workload;
+
+pub use harness::{parse_args, CsvWriter, RunArgs, Scale};
+pub use pipeline::{experiment_methodology, harden_network, tuning_auc_config};
+pub use resilience::{evaluate_resilience, print_panels, shape_checks, ResilienceEvaluation};
+pub use workload::{experiment_data, trained_alexnet, trained_vgg16, Workload};

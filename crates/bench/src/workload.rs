@@ -1,0 +1,149 @@
+//! Shared experiment workloads: the dataset and the two trained models.
+//!
+//! Every figure binary evaluates the same pair of networks the paper does:
+//! a trained CIFAR-input AlexNet and VGG-16. Training happens once per spec
+//! and is cached in `assets/` (see [`ftclip_models::Zoo`]); subsequent runs
+//! load in milliseconds.
+
+use ftclip_data::SynthCifar;
+use ftclip_models::{ModelSpec, TrainedModel, Zoo, ZooArch};
+
+/// A ready experiment workload: dataset plus a trained network.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The dataset (train/val/test splits).
+    pub data: SynthCifar,
+    /// The trained model and its test accuracy.
+    pub model: TrainedModel,
+    /// Human-readable model name for logs and CSV.
+    pub name: String,
+    /// Parameter count of the *full-width* counterpart architecture — the
+    /// stand-in for the paper's memory size when mapping fault rates.
+    pub full_width_params: usize,
+}
+
+impl Workload {
+    /// The factor by which the paper's fault rates are scaled so the
+    /// *expected number of faults* in this width-scaled network matches the
+    /// full-width one: `full_width_bits / our_bits`.
+    ///
+    /// The AUC metric normalizes the rate axis (scale-free by the
+    /// `auc_invariant_under_rate_scaling` property), so this mapping changes
+    /// axis labels, not curve shapes.
+    pub fn rate_scale(&self) -> f64 {
+        self.full_width_params as f64 / self.model.network.param_count() as f64
+    }
+
+    /// The paper's fault-rate grid mapped to this workload's memory size.
+    pub fn scaled_paper_rates(&self) -> Vec<f64> {
+        let s = self.rate_scale();
+        ftclip_fault::paper_fault_rates().into_iter().map(|r| (r * s).min(1.0)).collect()
+    }
+
+    /// Maps one of the paper's quoted fault rates onto this workload.
+    pub fn scaled_rate(&self, paper_rate: f64) -> f64 {
+        (paper_rate * self.rate_scale()).min(1.0)
+    }
+}
+
+/// The experiment dataset: 32×32×3, 10 classes, sized per DESIGN.md §3.
+///
+/// Difficulty knobs (`class_sep` 0.25, `noise_std` 0.40) come from the
+/// `calibrate_dataset` sweep: they put the trained AlexNet at ≈0.75 test
+/// accuracy — the paper's 72.8 % band. The deeper BN-VGG masters the task
+/// (≈0.99), preserving the paper's VGG > AlexNet ordering.
+///
+/// All binaries share one generator seed so models and campaigns see the
+/// same data; pass a different `seed` only to study dataset sensitivity.
+pub fn experiment_data(seed: u64) -> SynthCifar {
+    SynthCifar::builder()
+        .seed(seed)
+        .train_size(3000)
+        .val_size(768)
+        .test_size(1024)
+        .noise_std(0.40)
+        .class_sep(0.25)
+        .build()
+}
+
+/// Trains (or loads from cache) the experiment-scale AlexNet.
+///
+/// # Panics
+///
+/// Panics if the cache directory is unwritable or a cached file is corrupt —
+/// both unrecoverable for an experiment run.
+pub fn trained_alexnet(data: &SynthCifar, seed: u64) -> Workload {
+    let spec = ModelSpec {
+        arch: ZooArch::AlexNet,
+        width_mult: 0.125,
+        classes: 10,
+        seed,
+        epochs: 10,
+        batch_size: 64,
+        lr: 0.03,
+        augment: true,
+    };
+    let full = ftclip_models::alexnet_cifar(1.0, 10, 0).param_count();
+    load(spec, data, "AlexNet", full)
+}
+
+/// Trains (or loads from cache) the experiment-scale VGG-16 (BN variant —
+/// the width-scaled plain VGG-16 does not train on the calibrated task, see
+/// DESIGN.md §3).
+///
+/// # Panics
+///
+/// Panics if the cache directory is unwritable or a cached file is corrupt.
+pub fn trained_vgg16(data: &SynthCifar, seed: u64) -> Workload {
+    let spec = ModelSpec {
+        arch: ZooArch::Vgg16Bn,
+        width_mult: 0.125,
+        classes: 10,
+        seed,
+        epochs: 12,
+        batch_size: 64,
+        lr: 0.05,
+        augment: true,
+    };
+    let full = ftclip_models::vgg16_cifar(1.0, 10, 0).param_count();
+    load(spec, data, "VGG-16", full)
+}
+
+fn load(spec: ModelSpec, data: &SynthCifar, name: &str, full_width_params: usize) -> Workload {
+    let zoo = Zoo::new(cache_dir());
+    let model = zoo
+        .train_or_load(&spec, data)
+        .unwrap_or_else(|e| panic!("failed to train/load {name}: {e}"));
+    eprintln!(
+        "[workload] {name}: test accuracy {:.3} ({}; {} params; rate scale ×{:.1})",
+        model.test_accuracy,
+        if model.from_cache { "cached" } else { "freshly trained" },
+        model.network.param_count(),
+        full_width_params as f64 / model.network.param_count() as f64,
+    );
+    Workload { data: data.clone(), model, name: name.to_string(), full_width_params }
+}
+
+/// Model-cache directory: `$FTCLIP_ASSETS` or `assets/` relative to the
+/// working directory.
+pub fn cache_dir() -> std::path::PathBuf {
+    std::env::var_os("FTCLIP_ASSETS").map(Into::into).unwrap_or_else(|| "assets".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_data_is_deterministic() {
+        let a = experiment_data(1);
+        let b = experiment_data(1);
+        assert_eq!(a.test().labels(), b.test().labels());
+    }
+
+    #[test]
+    fn cache_dir_env_override() {
+        // no set_var in tests (process-global); just check the default path
+        assert_eq!(cache_dir(), std::path::PathBuf::from("assets"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Fixed evaluation sets for campaigns and tuning.
+
+use ftclip_data::Dataset;
+use ftclip_nn::{evaluate, Sequential};
+use ftclip_tensor::Tensor;
+
+/// A fixed set of images + labels used to score a network's accuracy.
+///
+/// Profiling and threshold tuning use subsets of the *validation* split; the
+/// final resilience evaluations (Figs. 7–8) use the *test* split "to avoid
+/// any overlap between the data used for testing and the data used for
+/// computing the thresholds" (paper §V-B).
+///
+/// # Example
+///
+/// ```
+/// use ftclip_core::EvalSet;
+/// use ftclip_data::SynthCifar;
+/// use ftclip_models::lenet5;
+///
+/// let data = SynthCifar::builder().seed(3).train_size(16).val_size(16).test_size(16).build();
+/// let eval = EvalSet::from_dataset(data.test(), 64);
+/// assert_eq!(eval.len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EvalSet {
+    images: Tensor,
+    labels: Vec<usize>,
+    batch_size: usize,
+}
+
+impl EvalSet {
+    /// Uses all of `dataset` with the given evaluation batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn from_dataset(dataset: &Dataset, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        EvalSet { images: dataset.images().clone(), labels: dataset.labels().to_vec(), batch_size }
+    }
+
+    /// Uses a random `n`-image subset of `dataset` (without replacement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the dataset size, or
+    /// `batch_size == 0`.
+    pub fn from_subset(dataset: &Dataset, n: usize, seed: u64, batch_size: usize) -> Self {
+        let sub = dataset.subset(n, seed);
+        EvalSet::from_dataset(&sub, batch_size)
+    }
+
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when empty (not constructible through the public API).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The image tensor.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Classification accuracy of `net` on this set.
+    pub fn accuracy(&self, net: &Sequential) -> f64 {
+        evaluate(net, &self.images, &self.labels, self.batch_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftclip_data::SynthCifar;
+    use ftclip_nn::{Layer, Sequential};
+
+    fn data() -> SynthCifar {
+        SynthCifar::builder().seed(5).train_size(16).val_size(16).test_size(32).build()
+    }
+
+    #[test]
+    fn accuracy_runs_on_untrained_net() {
+        let d = data();
+        let eval = EvalSet::from_dataset(d.test(), 8);
+        let net = Sequential::new(vec![Layer::flatten(), Layer::linear(3 * 32 * 32, 10, 1)]);
+        let acc = eval.accuracy(&net);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn subset_draws_n() {
+        let d = data();
+        let eval = EvalSet::from_subset(d.test(), 10, 7, 4);
+        assert_eq!(eval.len(), 10);
+    }
+
+    #[test]
+    fn subset_deterministic() {
+        let d = data();
+        let a = EvalSet::from_subset(d.test(), 10, 7, 4);
+        let b = EvalSet::from_subset(d.test(), 10, 7, 4);
+        assert_eq!(a.labels(), b.labels());
+    }
+}

@@ -1,0 +1,255 @@
+//! Step 1: activation profiling.
+//!
+//! The methodology's first step runs a subset of the validation set through
+//! the pre-trained network and extracts, per activation site, the maximum
+//! observed activation value `ACT_max` (paper §IV, Step-1). The same pass
+//! also yields the activation distributions plotted in Fig. 3 (b–d, f–h,
+//! j–l), so the profiler records a histogram alongside the scalar
+//! statistics.
+
+use ftclip_nn::Sequential;
+use ftclip_tensor::Tensor;
+
+/// Histogram of activation values with linear bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivationHistogram {
+    lo: f32,
+    hi: f32,
+    counts: Vec<u64>,
+}
+
+impl ActivationHistogram {
+    /// Builds a histogram of `values` with `bins` linear bins spanning
+    /// `[lo, hi]`. Values outside the range clamp into the edge bins, which
+    /// is what makes faulty high-intensity outliers visible in the top bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn build(values: impl Iterator<Item = f32>, lo: f32, hi: f32, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(lo < hi, "empty histogram range [{lo}, {hi}]");
+        let mut counts = vec![0u64; bins];
+        let width = (hi - lo) / bins as f32;
+        for v in values {
+            if v.is_nan() {
+                continue;
+            }
+            let idx = (((v - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+            counts[idx] += 1;
+        }
+        ActivationHistogram { lo, hi, counts }
+    }
+
+    /// The bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// `(low_edge, high_edge)` of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= counts().len()`.
+    pub fn bin_range(&self, i: usize) -> (f32, f32) {
+        assert!(i < self.counts.len(), "bin {i} out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f32;
+        (self.lo + i as f32 * width, self.lo + (i + 1) as f32 * width)
+    }
+
+    /// Total number of counted values.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Profiling result for one activation site.
+#[derive(Debug, Clone)]
+pub struct SiteProfile {
+    /// Layer index of the activation site within the network.
+    pub site: usize,
+    /// Paper-style name of the computational layer feeding this site
+    /// (e.g. `"CONV-4"`).
+    pub feeds_from: String,
+    /// Maximum pre-activation value observed — the paper's `ACT_max`, the
+    /// initial clipping threshold of Step 2 and the upper search bound of
+    /// Step 3.
+    pub act_max: f32,
+    /// Minimum pre-activation value observed.
+    pub act_min: f32,
+    /// Mean pre-activation value.
+    pub mean: f32,
+    /// Distribution of pre-activation values.
+    pub histogram: ActivationHistogram,
+}
+
+/// Profiles every activation site of `net` over `images` (paper Step 1).
+///
+/// The recorded quantity is the **input** of each activation site — the
+/// output of the computational/pooling layer feeding it — because that is
+/// the value the clipping threshold bounds.
+///
+/// Images are processed in batches of `batch_size`; `bins` controls the
+/// histogram resolution.
+///
+/// # Panics
+///
+/// Panics if the network has no activation sites, `images` is not a valid
+/// input batch tensor for the network, or `batch_size == 0`.
+pub fn profile_network(net: &Sequential, images: &Tensor, batch_size: usize, bins: usize) -> Vec<SiteProfile> {
+    assert!(batch_size > 0, "batch size must be positive");
+    let sites = net.activation_sites();
+    assert!(!sites.is_empty(), "network has no activation sites to profile");
+    let n = images.shape()[0];
+
+    // map each activation site to the computational layer feeding it (for
+    // naming); the *input* tensor of the site is records[site − 1].output.
+    let comp_indices = net.computational_indices();
+    let comp_names = net.computational_names();
+    let name_of_site = |site: usize| -> String {
+        comp_indices
+            .iter()
+            .zip(&comp_names).rfind(|(&ci, _)| ci < site)
+            .map(|(_, name)| name.clone())
+            .unwrap_or_else(|| "INPUT".to_string())
+    };
+
+    // pass 1: min / max / mean
+    let mut mins = vec![f32::INFINITY; sites.len()];
+    let mut maxs = vec![f32::NEG_INFINITY; sites.len()];
+    let mut sums = vec![0.0f64; sites.len()];
+    let mut counts = vec![0u64; sites.len()];
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + batch_size).min(n);
+        let batch = images.slice_batch(start..end);
+        let (_, records) = net.forward_recording(&batch);
+        for (si, &site) in sites.iter().enumerate() {
+            assert!(site > 0, "activation site at layer 0 has no feeding layer");
+            let input = &records[site - 1].output;
+            mins[si] = mins[si].min(input.min());
+            maxs[si] = maxs[si].max(input.max());
+            sums[si] += input.iter().map(|&v| v as f64).sum::<f64>();
+            counts[si] += input.len() as u64;
+        }
+        start = end;
+    }
+
+    // pass 2: histograms over the discovered ranges
+    let mut histograms: Vec<ActivationHistogram> = mins
+        .iter()
+        .zip(&maxs)
+        .map(|(&lo, &hi)| {
+            let (lo, hi) = if lo < hi { (lo, hi) } else { (lo - 0.5, lo + 0.5) };
+            ActivationHistogram { lo, hi, counts: vec![0; bins.max(1)] }
+        })
+        .collect();
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + batch_size).min(n);
+        let batch = images.slice_batch(start..end);
+        let (_, records) = net.forward_recording(&batch);
+        for (si, &site) in sites.iter().enumerate() {
+            let input = &records[site - 1].output;
+            let h = &histograms[si];
+            let merged = ActivationHistogram::build(input.iter().copied(), h.lo, h.hi, h.counts.len());
+            for (acc, add) in histograms[si].counts.iter_mut().zip(merged.counts()) {
+                *acc += add;
+            }
+        }
+        start = end;
+    }
+
+    sites
+        .iter()
+        .enumerate()
+        .map(|(si, &site)| SiteProfile {
+            site,
+            feeds_from: name_of_site(site),
+            act_max: maxs[si],
+            act_min: mins[si],
+            mean: (sums[si] / counts[si] as f64) as f32,
+            histogram: histograms[si].clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftclip_nn::Layer;
+
+    fn net() -> Sequential {
+        Sequential::new(vec![
+            Layer::conv2d(1, 2, 3, 1, 1, 30),
+            Layer::relu(),
+            Layer::flatten(),
+            Layer::linear(2 * 16, 4, 31),
+            Layer::relu(),
+        ])
+    }
+
+    #[test]
+    fn profiles_every_site() {
+        let n = net();
+        let x = ftclip_tensor::uniform_init(&[6, 1, 4, 4], -1.0, 1.0, &mut rand_rng(1));
+        let profiles = profile_network(&n, &x, 4, 16);
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].feeds_from, "CONV-1");
+        assert_eq!(profiles[1].feeds_from, "FC-1");
+        for p in &profiles {
+            assert!(p.act_max >= p.act_min);
+            assert!(p.act_max >= p.mean && p.mean >= p.act_min);
+        }
+    }
+
+    #[test]
+    fn act_max_matches_manual_forward() {
+        let n = net();
+        let x = ftclip_tensor::uniform_init(&[5, 1, 4, 4], -1.0, 1.0, &mut rand_rng(2));
+        let profiles = profile_network(&n, &x, 2, 8);
+        // manual: conv output max over the whole set
+        let (_, recs) = n.forward_recording(&x);
+        let manual_max = recs[0].output.max();
+        assert!((profiles[0].act_max - manual_max).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batching_does_not_change_results() {
+        let n = net();
+        let x = ftclip_tensor::uniform_init(&[7, 1, 4, 4], -1.0, 1.0, &mut rand_rng(3));
+        let a = profile_network(&n, &x, 1, 8);
+        let b = profile_network(&n, &x, 7, 8);
+        for (pa, pb) in a.iter().zip(&b) {
+            assert!((pa.act_max - pb.act_max).abs() < 1e-6);
+            assert!((pa.mean - pb.mean).abs() < 1e-5);
+            assert_eq!(pa.histogram.counts(), pb.histogram.counts());
+        }
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let h = ActivationHistogram::build([0.0, 0.5, 1.0, 2.0, -1.0].into_iter(), 0.0, 1.0, 4);
+        assert_eq!(h.total(), 5); // outliers clamp into edge bins
+        assert_eq!(h.counts()[0], 2); // 0.0 and the clamped −1.0
+        assert_eq!(h.counts()[3], 2); // 1.0 and the clamped 2.0
+    }
+
+    #[test]
+    fn histogram_ignores_nan() {
+        let h = ActivationHistogram::build([f32::NAN, 0.5].into_iter(), 0.0, 1.0, 2);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn histogram_bin_ranges_tile_the_domain() {
+        let h = ActivationHistogram::build(std::iter::empty(), 0.0, 2.0, 4);
+        assert_eq!(h.bin_range(0), (0.0, 0.5));
+        assert_eq!(h.bin_range(3), (1.5, 2.0));
+    }
+
+    fn rand_rng(seed: u64) -> rand::rngs::StdRng {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+}

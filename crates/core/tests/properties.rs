@@ -1,0 +1,73 @@
+//! Property-based tests for the methodology crate: AUC laws and histogram
+//! invariants.
+
+use ftclip_core::{auc_normalized, ActivationHistogram};
+use proptest::prelude::*;
+
+fn curve_strategy() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    // 2..8 points with strictly increasing positive rates and accuracies in [0,1]
+    (2usize..8).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(1e-9f64..1e-3, n),
+            proptest::collection::vec(0.0f64..1.0, n),
+        )
+            .prop_map(|(mut rates, accs)| {
+                rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                // de-duplicate rates by nudging
+                for i in 1..rates.len() {
+                    if rates[i] <= rates[i - 1] {
+                        rates[i] = rates[i - 1] * 1.01 + 1e-12;
+                    }
+                }
+                rates.into_iter().zip(accs).collect()
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn auc_is_bounded(curve in curve_strategy()) {
+        let auc = auc_normalized(&curve);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&auc), "auc {} out of bounds", auc);
+    }
+
+    #[test]
+    fn auc_respects_pointwise_dominance(curve in curve_strategy(), boost in 0.0f64..0.5) {
+        let better: Vec<(f64, f64)> = curve.iter().map(|&(r, a)| (r, (a + boost).min(1.0))).collect();
+        prop_assert!(auc_normalized(&better) >= auc_normalized(&curve) - 1e-12);
+    }
+
+    #[test]
+    fn auc_constant_curve_equals_accuracy(acc in 0.0f64..1.0, max_rate in 1e-8f64..1e-3) {
+        let curve = [(0.0, acc), (max_rate / 2.0, acc), (max_rate, acc)];
+        prop_assert!((auc_normalized(&curve) - acc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_invariant_under_rate_scaling(curve in curve_strategy(), scale in 1.0f64..1e6) {
+        // normalization makes the metric scale-free in the rate axis
+        let scaled: Vec<(f64, f64)> = curve.iter().map(|&(r, a)| (r * scale, a)).collect();
+        let a = auc_normalized(&curve);
+        let b = auc_normalized(&scaled);
+        prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+    }
+
+    #[test]
+    fn histogram_counts_all_non_nan(values in proptest::collection::vec(-100.0f32..100.0, 0..200), bins in 1usize..32) {
+        let h = ActivationHistogram::build(values.iter().copied(), -100.0, 100.0, bins);
+        prop_assert_eq!(h.total(), values.len() as u64);
+    }
+
+    #[test]
+    fn histogram_bin_ranges_partition_domain(bins in 1usize..32) {
+        let h = ActivationHistogram::build(std::iter::empty(), 0.0, 1.0, bins);
+        let mut prev_hi = 0.0f32;
+        for i in 0..bins {
+            let (lo, hi) = h.bin_range(i);
+            prop_assert!((lo - prev_hi).abs() < 1e-5);
+            prop_assert!(hi > lo);
+            prev_hi = hi;
+        }
+        prop_assert!((prev_hi - 1.0).abs() < 1e-5);
+    }
+}

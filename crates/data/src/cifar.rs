@@ -1,0 +1,244 @@
+//! Loader for the real CIFAR-10 binary format.
+//!
+//! CIFAR-10's binary version stores each image as a 3073-byte record: one
+//! label byte followed by 3072 pixel bytes (1024 red, 1024 green, 1024 blue,
+//! each 32×32 row-major). Training data ships as `data_batch_1.bin` …
+//! `data_batch_5.bin`, test data as `test_batch.bin`.
+//!
+//! Pixels are normalized to `[-1, 1]` (`2·(x/255) − 1`), matching the
+//! synthetic generator so models and experiments are source-agnostic.
+
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use ftclip_tensor::Tensor;
+
+use crate::Dataset;
+
+/// CIFAR-10 geometry: 32×32 RGB.
+const SIDE: usize = 32;
+/// Bytes per record: label + 3 × 1024 pixels.
+const RECORD: usize = 1 + 3 * SIDE * SIDE;
+/// Classes in CIFAR-10.
+const CLASSES: usize = 10;
+
+/// Errors from the CIFAR-10 loader.
+#[derive(Debug)]
+pub enum DataError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file length is not a whole number of records, or a label byte is
+    /// out of range.
+    Format {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+            DataError::Format { reason } => write!(f, "malformed cifar-10 file: {reason}"),
+        }
+    }
+}
+
+impl Error for DataError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            DataError::Format { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+/// Loads one CIFAR-10 binary batch file.
+///
+/// # Errors
+///
+/// Returns [`DataError::Io`] if the file cannot be read and
+/// [`DataError::Format`] if its size is not a multiple of the record size or
+/// a label is `≥ 10`.
+pub fn load_cifar10_batch<P: AsRef<Path>>(path: P) -> Result<Dataset, DataError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.is_empty() || bytes.len() % RECORD != 0 {
+        return Err(DataError::Format {
+            reason: format!("file length {} is not a positive multiple of {RECORD}", bytes.len()),
+        });
+    }
+    let n = bytes.len() / RECORD;
+    let mut labels = Vec::with_capacity(n);
+    let mut data = Vec::with_capacity(n * 3 * SIDE * SIDE);
+    for rec in bytes.chunks_exact(RECORD) {
+        let label = rec[0] as usize;
+        if label >= CLASSES {
+            return Err(DataError::Format { reason: format!("label byte {label} out of range") });
+        }
+        labels.push(label);
+        for &px in &rec[1..] {
+            data.push(2.0 * (px as f32 / 255.0) - 1.0);
+        }
+    }
+    let images = Tensor::from_vec(data, &[n, 3, SIDE, SIDE]).expect("volume matches record layout");
+    Dataset::new(images, labels, CLASSES).map_err(|reason| DataError::Format { reason })
+}
+
+/// Loads the full CIFAR-10 dataset from a directory containing
+/// `data_batch_1.bin` … `data_batch_5.bin` and `test_batch.bin`.
+///
+/// Returns `(train, test)`.
+///
+/// # Errors
+///
+/// Returns [`DataError::Io`] when any batch file is missing or unreadable
+/// and [`DataError::Format`] when one is malformed.
+pub fn load_cifar10<P: AsRef<Path>>(dir: P) -> Result<(Dataset, Dataset), DataError> {
+    let dir = dir.as_ref();
+    let mut train: Option<Dataset> = None;
+    for i in 1..=5 {
+        let batch = load_cifar10_batch(dir.join(format!("data_batch_{i}.bin")))?;
+        train = Some(match train {
+            None => batch,
+            Some(acc) => concat(acc, batch),
+        });
+    }
+    let test = load_cifar10_batch(dir.join("test_batch.bin"))?;
+    Ok((train.expect("five batches loaded"), test))
+}
+
+/// Writes a dataset out in the CIFAR-10 binary batch format (used by tests
+/// and by users who want to export synthetic data for other tools).
+///
+/// Pixel values are mapped back from `[-1, 1]` to `0..=255`.
+///
+/// # Errors
+///
+/// Returns [`DataError::Io`] on write failure and [`DataError::Format`] if
+/// the dataset is not 32×32×3.
+pub fn write_cifar10_batch<P: AsRef<Path>>(dataset: &Dataset, path: P) -> Result<(), DataError> {
+    let (n, c, h, w) = dataset.images().shape().as_nchw();
+    if (c, h, w) != (3, SIDE, SIDE) {
+        return Err(DataError::Format {
+            reason: format!("dataset is {c}×{h}×{w}, cifar-10 format requires 3×32×32"),
+        });
+    }
+    if let Some(parent) = path.as_ref().parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut out = Vec::with_capacity(n * RECORD);
+    let stride = 3 * SIDE * SIDE;
+    for i in 0..n {
+        out.push(dataset.labels()[i] as u8);
+        for &v in &dataset.images().data()[i * stride..(i + 1) * stride] {
+            let byte = (((v + 1.0) / 2.0) * 255.0).round().clamp(0.0, 255.0) as u8;
+            out.push(byte);
+        }
+    }
+    File::create(path)?.write_all(&out)?;
+    Ok(())
+}
+
+fn concat(a: Dataset, b: Dataset) -> Dataset {
+    let mut dims = a.images().shape().dims().to_vec();
+    dims[0] += b.images().shape()[0];
+    let mut data = a.images().data().to_vec();
+    data.extend_from_slice(b.images().data());
+    let mut labels = a.labels().to_vec();
+    labels.extend_from_slice(b.labels());
+    let images = Tensor::from_vec(data, &dims).expect("concat volume matches");
+    Dataset::new(images, labels, a.num_classes()).expect("labels already validated")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SynthCifar;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ftclip-cifar-{tag}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_through_binary_format() {
+        let d = SynthCifar::builder().seed(2).train_size(20).val_size(10).test_size(10).build();
+        let dir = temp_dir("roundtrip");
+        let path = dir.join("batch.bin");
+        write_cifar10_batch(d.train(), &path).unwrap();
+        let loaded = load_cifar10_batch(&path).unwrap();
+        assert_eq!(loaded.len(), 20);
+        assert_eq!(loaded.labels(), d.train().labels());
+        // 8-bit quantization error bound: 2/255 ≈ 0.008
+        assert!(loaded.images().approx_eq(d.train().images(), 0.009));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn full_directory_layout() {
+        let d = SynthCifar::builder().seed(8).train_size(10).val_size(5).test_size(5).build();
+        let dir = temp_dir("fulldir");
+        for i in 1..=5 {
+            write_cifar10_batch(d.train(), dir.join(format!("data_batch_{i}.bin"))).unwrap();
+        }
+        write_cifar10_batch(d.test(), dir.join("test_batch.bin")).unwrap();
+        let (train, test) = load_cifar10(&dir).unwrap();
+        assert_eq!(train.len(), 50); // 5 × 10
+        assert_eq!(test.len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_ragged_file() {
+        let dir = temp_dir("ragged");
+        let path = dir.join("bad.bin");
+        std::fs::write(&path, vec![0u8; RECORD + 7]).unwrap();
+        assert!(matches!(load_cifar10_batch(&path), Err(DataError::Format { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_bad_label() {
+        let dir = temp_dir("badlabel");
+        let path = dir.join("bad.bin");
+        let mut rec = vec![0u8; RECORD];
+        rec[0] = 77;
+        std::fs::write(&path, rec).unwrap();
+        assert!(matches!(load_cifar10_batch(&path), Err(DataError::Format { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(load_cifar10_batch("/nonexistent/x.bin"), Err(DataError::Io(_))));
+    }
+
+    #[test]
+    fn pixel_normalization_range() {
+        let dir = temp_dir("range");
+        let path = dir.join("b.bin");
+        let mut rec = vec![0u8; RECORD];
+        rec[1] = 0;
+        rec[2] = 255;
+        rec[3] = 128;
+        std::fs::write(&path, rec).unwrap();
+        let ds = load_cifar10_batch(&path).unwrap();
+        assert_eq!(ds.images().data()[0], -1.0);
+        assert_eq!(ds.images().data()[1], 1.0);
+        assert!((ds.images().data()[2] - 0.00392).abs() < 1e-3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

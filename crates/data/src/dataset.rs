@@ -1,0 +1,233 @@
+//! Labeled image datasets.
+
+use ftclip_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A labeled image-classification dataset: an NCHW image tensor plus one
+/// integer label per image.
+///
+/// # Example
+///
+/// ```
+/// use ftclip_data::Dataset;
+/// use ftclip_tensor::Tensor;
+///
+/// let images = Tensor::zeros(&[4, 3, 8, 8]);
+/// let ds = Dataset::new(images, vec![0, 1, 2, 3], 4).unwrap();
+/// assert_eq!(ds.len(), 4);
+/// let half = ds.take(2);
+/// assert_eq!(half.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message when `labels.len()` differs from the
+    /// leading image dimension, the image tensor is not rank 4, or any label
+    /// is `≥ num_classes`.
+    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Self, String> {
+        if images.shape().rank() != 4 {
+            return Err(format!("images must be NCHW (rank 4), got {}", images.shape()));
+        }
+        if images.shape()[0] != labels.len() {
+            return Err(format!(
+                "label count {} does not match image count {}",
+                labels.len(),
+                images.shape()[0]
+            ));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(format!("label {bad} out of range for {num_classes} classes"));
+        }
+        Ok(Dataset { images, labels, num_classes })
+    }
+
+    /// The image tensor, shape `[n, c, h, w]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The labels, one per image.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when the dataset holds no images (never constructible via
+    /// [`Dataset::new`]; exists for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The first `n` images as a new dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the dataset size.
+    pub fn take(&self, n: usize) -> Dataset {
+        assert!(n > 0 && n <= self.len(), "take({n}) out of range for {} images", self.len());
+        Dataset {
+            images: self.images.slice_batch(0..n),
+            labels: self.labels[..n].to_vec(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// A random subset of `n` images drawn without replacement.
+    ///
+    /// This is how the methodology draws "a small subset of the validation
+    /// set" (paper §IV) for profiling and threshold tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the dataset size.
+    pub fn subset(&self, n: usize, seed: u64) -> Dataset {
+        assert!(n > 0 && n <= self.len(), "subset({n}) out of range for {} images", self.len());
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        idx.truncate(n);
+        self.gather(&idx)
+    }
+
+    /// Splits into `(first, second)` with `first` holding `n` images.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < n < len()`.
+    pub fn split_at(&self, n: usize) -> (Dataset, Dataset) {
+        assert!(n > 0 && n < self.len(), "split_at({n}) out of range for {} images", self.len());
+        let first = Dataset {
+            images: self.images.slice_batch(0..n),
+            labels: self.labels[..n].to_vec(),
+            num_classes: self.num_classes,
+        };
+        let second = Dataset {
+            images: self.images.slice_batch(n..self.len()),
+            labels: self.labels[n..].to_vec(),
+            num_classes: self.num_classes,
+        };
+        (first, second)
+    }
+
+    /// Gathers the given indices into a new dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is empty or contains an out-of-range index.
+    pub fn gather(&self, idx: &[usize]) -> Dataset {
+        assert!(!idx.is_empty(), "cannot gather an empty index list");
+        let stride: usize = self.images.shape().dims()[1..].iter().product();
+        let mut dims = self.images.shape().dims().to_vec();
+        dims[0] = idx.len();
+        let mut data = Vec::with_capacity(idx.len() * stride);
+        let mut labels = Vec::with_capacity(idx.len());
+        for &i in idx {
+            assert!(i < self.len(), "index {i} out of range");
+            data.extend_from_slice(&self.images.data()[i * stride..(i + 1) * stride]);
+            labels.push(self.labels[i]);
+        }
+        Dataset {
+            images: Tensor::from_vec(data, &dims).expect("gather volume matches"),
+            labels,
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Per-class image counts (useful for checking balance in tests).
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            hist[l] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let n = 10;
+        let images = Tensor::from_vec((0..n * 12).map(|x| x as f32).collect(), &[n, 3, 2, 2]).unwrap();
+        let labels = (0..n).map(|i| i % 5).collect();
+        Dataset::new(images, labels, 5).unwrap()
+    }
+
+    #[test]
+    fn new_validates() {
+        let images = Tensor::zeros(&[2, 1, 2, 2]);
+        assert!(Dataset::new(images.clone(), vec![0], 2).is_err()); // count
+        assert!(Dataset::new(images.clone(), vec![0, 5], 2).is_err()); // range
+        assert!(Dataset::new(Tensor::zeros(&[2, 4]), vec![0, 1], 2).is_err()); // rank
+        assert!(Dataset::new(images, vec![0, 1], 2).is_ok());
+    }
+
+    #[test]
+    fn take_prefix() {
+        let ds = sample();
+        let t = ds.take(3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.labels(), &[0, 1, 2]);
+        assert_eq!(t.images().data()[0], 0.0);
+    }
+
+    #[test]
+    fn subset_is_deterministic_and_unique() {
+        let ds = sample();
+        let a = ds.subset(5, 42);
+        let b = ds.subset(5, 42);
+        assert_eq!(a.labels(), b.labels());
+        let c = ds.subset(5, 43);
+        // different seeds usually give different subsets on 10 choose 5
+        assert!(a.labels() != c.labels() || a.images().data() != c.images().data());
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let ds = sample();
+        let (a, b) = ds.split_at(4);
+        assert_eq!(a.len() + b.len(), ds.len());
+        assert_eq!(b.labels()[0], ds.labels()[4]);
+    }
+
+    #[test]
+    fn gather_reorders() {
+        let ds = sample();
+        let g = ds.gather(&[9, 0]);
+        assert_eq!(g.labels(), &[4, 0]);
+        let stride = 12;
+        assert_eq!(g.images().data()[0], (9 * stride) as f32);
+    }
+
+    #[test]
+    fn class_histogram_counts() {
+        let ds = sample();
+        assert_eq!(ds.class_histogram(), vec![2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn take_rejects_oversize() {
+        sample().take(11);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for the dataset substrate.
+
+use ftclip_data::{Dataset, SynthCifar};
+use ftclip_tensor::Tensor;
+use proptest::prelude::*;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (2usize..20, 2usize..6).prop_map(|(n, classes)| {
+        let images = Tensor::from_vec(
+            (0..n * 3 * 4 * 4).map(|i| (i % 255) as f32 / 127.5 - 1.0).collect(),
+            &[n, 3, 4, 4],
+        )
+        .unwrap();
+        let labels = (0..n).map(|i| i % classes).collect();
+        Dataset::new(images, labels, classes).unwrap()
+    })
+}
+
+proptest! {
+    #[test]
+    fn subset_has_requested_size_and_valid_labels(ds in dataset_strategy(), seed in 0u64..100) {
+        let n = 1 + seed as usize % ds.len();
+        let sub = ds.subset(n, seed);
+        prop_assert_eq!(sub.len(), n);
+        prop_assert!(sub.labels().iter().all(|&l| l < ds.num_classes()));
+    }
+
+    #[test]
+    fn subset_draws_without_replacement(ds in dataset_strategy(), seed in 0u64..100) {
+        // full-size subset is a permutation: class histogram is preserved
+        let sub = ds.subset(ds.len(), seed);
+        prop_assert_eq!(sub.class_histogram(), ds.class_histogram());
+    }
+
+    #[test]
+    fn split_at_partitions_exactly(ds in dataset_strategy(), frac in 0.1f64..0.9) {
+        let n = ((ds.len() as f64 * frac) as usize).clamp(1, ds.len() - 1);
+        let (a, b) = ds.split_at(n);
+        prop_assert_eq!(a.len() + b.len(), ds.len());
+        let mut merged = a.labels().to_vec();
+        merged.extend_from_slice(b.labels());
+        prop_assert_eq!(merged, ds.labels().to_vec());
+    }
+
+    #[test]
+    fn gather_preserves_label_image_pairing(ds in dataset_strategy(), seed in 0u64..50) {
+        let idx: Vec<usize> = (0..ds.len()).rev().filter(|i| (i + seed as usize).is_multiple_of(2)).collect();
+        prop_assume!(!idx.is_empty());
+        let g = ds.gather(&idx);
+        let stride: usize = ds.images().shape().dims()[1..].iter().product();
+        for (k, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(g.labels()[k], ds.labels()[i]);
+            prop_assert_eq!(
+                &g.images().data()[k * stride..k * stride + 4],
+                &ds.images().data()[i * stride..i * stride + 4]
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn synth_cifar_pixels_always_in_range(seed in 0u64..1000) {
+        let d = SynthCifar::builder()
+            .seed(seed)
+            .train_size(8)
+            .val_size(4)
+            .test_size(4)
+            .image_size(8)
+            .build();
+        for split in [d.train(), d.val(), d.test()] {
+            prop_assert!(split.images().max() <= 1.0);
+            prop_assert!(split.images().min() >= -1.0);
+            prop_assert!(split.labels().iter().all(|&l| l < 10));
+        }
+    }
+}

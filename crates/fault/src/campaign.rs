@@ -1,0 +1,300 @@
+//! Fault-injection campaigns: rates × repetitions with derived seeds.
+
+use ftclip_nn::Sequential;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{derive_seed, FaultModel, Injection, InjectionTarget, Summary};
+
+/// Configuration of a fault-injection campaign.
+///
+/// A campaign reproduces the experiment shape used throughout the paper:
+/// for each fault rate, run `repetitions` independent injections (the paper
+/// uses 50, §V-B) and record the surviving classification accuracy of each.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The fault rates to sweep (per-bit probabilities).
+    pub fault_rates: Vec<f64>,
+    /// Independent injections per rate.
+    pub repetitions: usize,
+    /// Base seed; run `(i, r)` uses [`derive_seed`]`(seed, i, r)`.
+    pub seed: u64,
+    /// The fault model applied to every sampled bit.
+    pub model: FaultModel,
+    /// Which parameter memories are corrupted.
+    pub target: InjectionTarget,
+}
+
+impl CampaignConfig {
+    /// A campaign over the paper's whole-network fault-rate grid
+    /// (Figs. 1b/7/8: 1e-8 … 1e-5, 1–2–5 spacing) with bit-flip faults on
+    /// all weights.
+    pub fn paper_default(seed: u64, repetitions: usize) -> Self {
+        CampaignConfig {
+            fault_rates: paper_fault_rates(),
+            repetitions,
+            seed,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::AllWeights,
+        }
+    }
+}
+
+/// The fault-rate grid the paper sweeps in its whole-network experiments:
+/// `{1, 5} × 10⁻⁸ … 10⁻⁵` (and `1e-5` endpoint).
+pub fn paper_fault_rates() -> Vec<f64> {
+    vec![1e-8, 5e-8, 1e-7, 5e-7, 1e-6, 5e-6, 1e-5]
+}
+
+/// One (rate, repetition) cell of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunRecord {
+    /// Index into [`CampaignConfig::fault_rates`].
+    pub rate_index: usize,
+    /// Repetition number within the rate.
+    pub repetition: usize,
+    /// Number of faults sampled for this run.
+    pub fault_count: usize,
+    /// Classification accuracy measured under fault.
+    pub accuracy: f64,
+}
+
+/// Results of a completed campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// The swept fault rates, in configuration order.
+    pub fault_rates: Vec<f64>,
+    /// `accuracies[i][r]` = accuracy of repetition `r` at rate `i`.
+    pub accuracies: Vec<Vec<f64>>,
+    /// Every individual run, in execution order.
+    pub runs: Vec<RunRecord>,
+    /// Clean (fault-free) accuracy of the network on the same evaluation
+    /// set — the paper's "baseline accuracy" reference line.
+    pub clean_accuracy: f64,
+}
+
+impl CampaignResult {
+    /// Per-rate distribution summaries (the box plots of Figs. 7–8).
+    pub fn summaries(&self) -> Vec<Summary> {
+        self.accuracies
+            .iter()
+            .map(|a| Summary::from_samples(a).expect("campaign repetitions are non-empty"))
+            .collect()
+    }
+
+    /// Mean accuracy per rate (the line plots of Figs. 1b, 7a, 8a).
+    pub fn mean_accuracies(&self) -> Vec<f64> {
+        self.accuracies.iter().map(|a| a.iter().sum::<f64>() / a.len() as f64).collect()
+    }
+
+    /// `(rate, mean accuracy)` pairs, with the clean point at rate 0
+    /// prepended — the curve the AUC metric integrates.
+    pub fn curve_with_clean_point(&self) -> Vec<(f64, f64)> {
+        let mut pts = vec![(0.0, self.clean_accuracy)];
+        pts.extend(self.fault_rates.iter().copied().zip(self.mean_accuracies()));
+        pts
+    }
+}
+
+/// A reusable campaign runner bound to a configuration.
+///
+/// The evaluation function is supplied by the caller (typically
+/// "accuracy of `net` on an evaluation subset" via `ftclip_nn::evaluate`),
+/// keeping this crate independent of any dataset type.
+///
+/// # Example
+///
+/// ```
+/// use ftclip_fault::{Campaign, CampaignConfig, FaultModel, InjectionTarget};
+/// use ftclip_nn::{Layer, Sequential};
+///
+/// let mut net = Sequential::new(vec![Layer::linear(4, 2, 0)]);
+/// let cfg = CampaignConfig {
+///     fault_rates: vec![1e-3, 1e-2],
+///     repetitions: 3,
+///     seed: 7,
+///     model: FaultModel::BitFlip,
+///     target: InjectionTarget::AllWeights,
+/// };
+/// // toy evaluation: fraction of finite outputs
+/// let result = Campaign::new(cfg).run(&mut net, |n| {
+///     let y = n.forward(&ftclip_tensor::Tensor::ones(&[1, 4]));
+///     y.iter().filter(|v| v.is_finite()).count() as f64 / y.len() as f64
+/// });
+/// assert_eq!(result.accuracies.len(), 2);
+/// assert_eq!(result.accuracies[0].len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    config: CampaignConfig,
+}
+
+impl Campaign {
+    /// Creates a campaign runner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate list is empty, any rate is outside `[0, 1]`, or
+    /// `repetitions == 0`.
+    pub fn new(config: CampaignConfig) -> Self {
+        assert!(!config.fault_rates.is_empty(), "campaign needs at least one fault rate");
+        assert!(config.repetitions > 0, "campaign needs at least one repetition");
+        assert!(
+            config.fault_rates.iter().all(|r| (0.0..=1.0).contains(r)),
+            "fault rates must be in [0, 1]"
+        );
+        Campaign { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Runs the full campaign: for every `(rate, repetition)` cell, inject →
+    /// evaluate → restore. The network is returned to its original state.
+    ///
+    /// Runs whose sampled fault set is empty (common at the low end of the
+    /// paper's rate grid) reuse the clean accuracy instead of re-evaluating:
+    /// evaluation is deterministic, so the result is identical and the
+    /// campaign cost drops substantially.
+    pub fn run(&self, net: &mut Sequential, mut eval: impl FnMut(&Sequential) -> f64) -> CampaignResult {
+        let clean_accuracy = eval(net);
+        let mut accuracies = Vec::with_capacity(self.config.fault_rates.len());
+        let mut runs = Vec::new();
+        for (i, &rate) in self.config.fault_rates.iter().enumerate() {
+            let mut per_rate = Vec::with_capacity(self.config.repetitions);
+            for rep in 0..self.config.repetitions {
+                let mut rng = StdRng::seed_from_u64(derive_seed(self.config.seed, i, rep));
+                let injection = Injection::sample(net, self.config.target, self.config.model, rate, &mut rng);
+                let fault_count = injection.fault_count();
+                let accuracy = if fault_count == 0 {
+                    clean_accuracy
+                } else {
+                    let handle = injection.apply(net);
+                    let accuracy = eval(net);
+                    handle.undo(net);
+                    accuracy
+                };
+                per_rate.push(accuracy);
+                runs.push(RunRecord { rate_index: i, repetition: rep, fault_count, accuracy });
+            }
+            accuracies.push(per_rate);
+        }
+        CampaignResult { fault_rates: self.config.fault_rates.clone(), accuracies, runs, clean_accuracy }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftclip_nn::Layer;
+    use ftclip_tensor::Tensor;
+
+    fn net() -> Sequential {
+        Sequential::new(vec![Layer::flatten(), Layer::linear(16, 4, 2)])
+    }
+
+    fn finite_fraction(n: &Sequential) -> f64 {
+        let y = n.forward(&Tensor::ones(&[2, 1, 4, 4]));
+        y.iter().filter(|v| v.is_finite() && v.abs() < 1e6).count() as f64 / y.len() as f64
+    }
+
+    #[test]
+    fn campaign_restores_network() {
+        let mut n = net();
+        let before: Vec<u32> = {
+            let mut v = Vec::new();
+            n.visit_params(&mut |_, _, t, _| v.extend(t.data().iter().map(|x| x.to_bits())));
+            v
+        };
+        let cfg = CampaignConfig {
+            fault_rates: vec![1e-2, 1e-1],
+            repetitions: 4,
+            seed: 3,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::AllWeights,
+        };
+        Campaign::new(cfg).run(&mut n, finite_fraction);
+        let after: Vec<u32> = {
+            let mut v = Vec::new();
+            n.visit_params(&mut |_, _, t, _| v.extend(t.data().iter().map(|x| x.to_bits())));
+            v
+        };
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn result_shape_matches_config() {
+        let mut n = net();
+        let cfg = CampaignConfig {
+            fault_rates: vec![1e-3, 1e-2, 1e-1],
+            repetitions: 5,
+            seed: 1,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::AllWeights,
+        };
+        let res = Campaign::new(cfg).run(&mut n, finite_fraction);
+        assert_eq!(res.accuracies.len(), 3);
+        assert!(res.accuracies.iter().all(|a| a.len() == 5));
+        assert_eq!(res.runs.len(), 15);
+        assert_eq!(res.summaries().len(), 3);
+        assert_eq!(res.curve_with_clean_point().len(), 4);
+        assert_eq!(res.curve_with_clean_point()[0].0, 0.0);
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let cfg = CampaignConfig {
+            fault_rates: vec![1e-2],
+            repetitions: 3,
+            seed: 9,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::AllWeights,
+        };
+        let mut n1 = net();
+        let r1 = Campaign::new(cfg.clone()).run(&mut n1, finite_fraction);
+        let mut n2 = net();
+        let r2 = Campaign::new(cfg).run(&mut n2, finite_fraction);
+        assert_eq!(r1.accuracies, r2.accuracies);
+        assert_eq!(r1.runs, r2.runs);
+    }
+
+    #[test]
+    fn higher_rates_mean_more_faults() {
+        let mut n = net();
+        let cfg = CampaignConfig {
+            fault_rates: vec![1e-3, 1e-1],
+            repetitions: 10,
+            seed: 5,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::AllWeights,
+        };
+        let res = Campaign::new(cfg).run(&mut n, finite_fraction);
+        let count_at = |rate_idx: usize| -> usize {
+            res.runs.iter().filter(|r| r.rate_index == rate_idx).map(|r| r.fault_count).sum()
+        };
+        assert!(count_at(1) > count_at(0) * 10, "100× rate should give ≫ faults");
+    }
+
+    #[test]
+    fn paper_default_grid() {
+        let cfg = CampaignConfig::paper_default(0, 50);
+        assert_eq!(cfg.fault_rates.len(), 7);
+        assert_eq!(cfg.repetitions, 50);
+        assert_eq!(cfg.fault_rates[0], 1e-8);
+        assert_eq!(*cfg.fault_rates.last().unwrap(), 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one fault rate")]
+    fn rejects_empty_rates() {
+        Campaign::new(CampaignConfig {
+            fault_rates: vec![],
+            repetitions: 1,
+            seed: 0,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::AllWeights,
+        });
+    }
+}

@@ -1,0 +1,253 @@
+//! Applying and undoing fault sets.
+
+use ftclip_nn::{ParamKind, Sequential};
+use rand::Rng;
+
+use crate::{sample_bit_positions, BitLocation, FaultModel, InjectionTarget, MemoryMap};
+
+/// A sampled-but-not-yet-applied set of faults for one network.
+///
+/// Separating sampling from application lets callers inspect the fault set
+/// (e.g. the Fig. 3 analysis reports which layer was hit) and re-apply the
+/// same faults to different network variants (the protected-vs-unprotected
+/// comparisons use identical fault sets for both networks at a given seed).
+#[derive(Debug, Clone)]
+pub struct Injection {
+    model: FaultModel,
+    /// `(layer, kind, word_in_tensor, bit)` per fault, resolved against the
+    /// memory map at sampling time.
+    faults: Vec<(usize, ParamKind, usize, u8)>,
+}
+
+impl Injection {
+    /// Samples a fault set over the parameters `target` selects, with
+    /// independent per-bit probability `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]` or `target` names a
+    /// non-computational layer.
+    pub fn sample<R: Rng + ?Sized>(
+        net: &Sequential,
+        target: InjectionTarget,
+        model: FaultModel,
+        rate: f64,
+        rng: &mut R,
+    ) -> Self {
+        let map = MemoryMap::build(net, target);
+        let positions = sample_bit_positions(map.total_bits(), rate, rng);
+        let faults = positions
+            .into_iter()
+            .map(|p| {
+                let loc = BitLocation::from_bit_offset(p);
+                let (layer, kind, word) = map.locate(loc.word);
+                (layer, kind, word, loc.bit)
+            })
+            .collect();
+        Injection { model, faults }
+    }
+
+    /// Builds an injection from explicit fault locations (targeted
+    /// experiments and tests).
+    pub fn from_faults(model: FaultModel, faults: Vec<(usize, ParamKind, usize, u8)>) -> Self {
+        Injection { model, faults }
+    }
+
+    /// Number of sampled faults.
+    pub fn fault_count(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The fault model.
+    pub fn model(&self) -> FaultModel {
+        self.model
+    }
+
+    /// The sampled faults as `(layer, kind, word_in_tensor, bit)`.
+    pub fn faults(&self) -> &[(usize, ParamKind, usize, u8)] {
+        &self.faults
+    }
+
+    /// Applies the faults to `net`, returning a handle that can restore the
+    /// original bits exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault's `(layer, kind, word)` does not exist in `net`
+    /// (i.e. the injection was sampled against a different architecture).
+    pub fn apply(&self, net: &mut Sequential) -> AppliedInjection {
+        let mut saved = Vec::with_capacity(self.faults.len());
+        for &(layer, kind, word, bit) in &self.faults {
+            let mut hit = false;
+            net.visit_params_mut(&mut |l, k, values, _| {
+                if l == layer && k == kind {
+                    let data = values.data_mut();
+                    assert!(word < data.len(), "fault word {word} outside tensor of {} words", data.len());
+                    let original = data[word].to_bits();
+                    data[word] = f32::from_bits(self.model.apply_to_word(original, bit));
+                    saved.push((layer, kind, word, original));
+                    hit = true;
+                }
+            });
+            assert!(hit, "no parameter tensor at layer {layer} kind {kind}");
+        }
+        AppliedInjection { saved }
+    }
+}
+
+/// Undo handle returned by [`Injection::apply`].
+///
+/// Dropping the handle without calling [`AppliedInjection::undo`] leaves the
+/// faults in place (useful when the faulted network itself is the artifact).
+#[derive(Debug)]
+#[must_use = "hold the handle and call undo() to restore the network"]
+pub struct AppliedInjection {
+    /// `(layer, kind, word, original_bits)` per fault, in application order.
+    saved: Vec<(usize, ParamKind, usize, u32)>,
+}
+
+impl AppliedInjection {
+    /// Number of words that were actually modified.
+    pub fn modified_count(&self) -> usize {
+        self.saved.len()
+    }
+
+    /// Restores every corrupted word to its original bit pattern.
+    ///
+    /// Restoration happens in reverse application order so overlapping
+    /// faults (two bits of one word) unwind correctly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not the network the faults were applied to
+    /// (architecture mismatch).
+    pub fn undo(self, net: &mut Sequential) {
+        for &(layer, kind, word, original) in self.saved.iter().rev() {
+            net.visit_params_mut(&mut |l, k, values, _| {
+                if l == layer && k == kind {
+                    values.data_mut()[word] = f32::from_bits(original);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftclip_nn::Layer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> Sequential {
+        Sequential::new(vec![
+            Layer::conv2d(1, 2, 3, 1, 1, 5),
+            Layer::relu(),
+            Layer::flatten(),
+            Layer::linear(2 * 16, 4, 6),
+        ])
+    }
+
+    fn weights_snapshot(net: &Sequential) -> Vec<u32> {
+        let mut out = Vec::new();
+        net.visit_params(&mut |_, _, v, _| out.extend(v.data().iter().map(|x| x.to_bits())));
+        out
+    }
+
+    #[test]
+    fn apply_then_undo_is_bit_exact() {
+        let mut n = net();
+        let before = weights_snapshot(&n);
+        let mut rng = StdRng::seed_from_u64(11);
+        let inj = Injection::sample(&n, InjectionTarget::AllWeights, FaultModel::BitFlip, 0.05, &mut rng);
+        assert!(inj.fault_count() > 0, "rate 0.05 over ~5k bits must hit something");
+        let handle = inj.apply(&mut n);
+        assert_ne!(weights_snapshot(&n), before, "faults must change the memory");
+        handle.undo(&mut n);
+        assert_eq!(weights_snapshot(&n), before, "undo must restore bit-exactly");
+    }
+
+    #[test]
+    fn overlapping_faults_unwind_correctly() {
+        // two bit flips in the same word
+        let mut n = net();
+        let before = weights_snapshot(&n);
+        let inj = Injection::from_faults(
+            FaultModel::BitFlip,
+            vec![
+                (0, ParamKind::Weight, 3, 30),
+                (0, ParamKind::Weight, 3, 31),
+            ],
+        );
+        let handle = inj.apply(&mut n);
+        assert_eq!(handle.modified_count(), 2);
+        handle.undo(&mut n);
+        assert_eq!(weights_snapshot(&n), before);
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let n = net();
+        let a = Injection::sample(&n, InjectionTarget::AllWeights, FaultModel::BitFlip, 0.01, &mut StdRng::seed_from_u64(3));
+        let b = Injection::sample(&n, InjectionTarget::AllWeights, FaultModel::BitFlip, 0.01, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a.faults(), b.faults());
+    }
+
+    #[test]
+    fn same_faults_apply_to_clipped_variant() {
+        // The protected-vs-unprotected comparison relies on replaying one
+        // fault set on an architecturally-identical network.
+        let mut plain = net();
+        let mut clipped = plain.clone();
+        clipped.convert_to_clipped(&[1.0]);
+        let inj = Injection::sample(&plain, InjectionTarget::AllWeights, FaultModel::BitFlip, 0.02, &mut StdRng::seed_from_u64(8));
+        let h1 = inj.apply(&mut plain);
+        let h2 = inj.apply(&mut clipped);
+        // same words corrupted in both
+        let snap = |n: &Sequential| weights_snapshot(n);
+        assert_eq!(snap(&plain), snap(&clipped));
+        h1.undo(&mut plain);
+        h2.undo(&mut clipped);
+    }
+
+    #[test]
+    fn layer_target_only_touches_that_layer() {
+        let mut n = net();
+        let inj = Injection::sample(&n, InjectionTarget::Layer(3), FaultModel::BitFlip, 1.0, &mut StdRng::seed_from_u64(1));
+        let before_conv: Vec<u32> = {
+            let mut v = Vec::new();
+            n.visit_params(&mut |l, k, t, _| {
+                if l == 0 && k == ParamKind::Weight {
+                    v.extend(t.data().iter().map(|x| x.to_bits()));
+                }
+            });
+            v
+        };
+        let _handle = inj.apply(&mut n);
+        let after_conv: Vec<u32> = {
+            let mut v = Vec::new();
+            n.visit_params(&mut |l, k, t, _| {
+                if l == 0 && k == ParamKind::Weight {
+                    v.extend(t.data().iter().map(|x| x.to_bits()));
+                }
+            });
+            v
+        };
+        assert_eq!(before_conv, after_conv, "conv layer must be untouched");
+    }
+
+    #[test]
+    fn stuck_at_faults_apply() {
+        let mut n = net();
+        let inj = Injection::from_faults(FaultModel::StuckAt1, vec![(0, ParamKind::Weight, 0, 30)]);
+        let handle = inj.apply(&mut n);
+        let mut val = 0.0f32;
+        n.visit_params(&mut |l, k, t, _| {
+            if l == 0 && k == ParamKind::Weight {
+                val = t.data()[0];
+            }
+        });
+        assert!(val.abs() > 1e30 || val.is_infinite(), "stuck-at-1 on exponent MSB must explode, got {val}");
+        handle.undo(&mut n);
+    }
+}

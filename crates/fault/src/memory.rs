@@ -1,0 +1,206 @@
+//! Linear address space over the parameters selected for injection.
+
+use ftclip_nn::{ParamKind, Sequential};
+
+/// Which parameter memories a fault campaign corrupts.
+///
+/// The paper's whole-network experiments (Figs. 1b, 7, 8) use
+/// [`InjectionTarget::AllWeights`]; the per-layer sensitivity analysis of
+/// Fig. 3 uses [`InjectionTarget::Layer`]. The bias variants are ablations
+/// beyond the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectionTarget {
+    /// Weight tensors of every computational layer (the paper's model:
+    /// faults live in the weight memory).
+    AllWeights,
+    /// Weights *and* biases of every computational layer.
+    AllParams,
+    /// Weight tensor of the computational layer at this network layer index
+    /// (use [`Sequential::layer_index_by_name`] to resolve `"CONV-5"` etc.).
+    Layer(usize),
+    /// Bias tensors only (ablation).
+    Biases,
+}
+
+impl std::fmt::Display for InjectionTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InjectionTarget::AllWeights => write!(f, "all-weights"),
+            InjectionTarget::AllParams => write!(f, "all-params"),
+            InjectionTarget::Layer(i) => write!(f, "layer-{i}"),
+            InjectionTarget::Biases => write!(f, "biases"),
+        }
+    }
+}
+
+/// One contiguous run of `f32` words inside the mapped address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// Network layer index owning the parameter.
+    pub layer: usize,
+    /// Weight or bias.
+    pub kind: ParamKind,
+    /// First word of the region in the global address space.
+    pub offset: usize,
+    /// Length of the region in words.
+    pub words: usize,
+}
+
+/// A read-only map from a flat `f32`-word address space onto the parameter
+/// tensors a target selects.
+///
+/// The map is built once per campaign; fault positions sampled in
+/// `[0, total_bits())` are resolved back to `(layer, kind, word-in-tensor)`
+/// through [`MemoryMap::locate`].
+///
+/// # Example
+///
+/// ```
+/// use ftclip_fault::{InjectionTarget, MemoryMap};
+/// use ftclip_nn::{Layer, Sequential};
+///
+/// let net = Sequential::new(vec![Layer::linear(4, 2, 0), Layer::relu()]);
+/// let map = MemoryMap::build(&net, InjectionTarget::AllWeights);
+/// assert_eq!(map.total_words(), 8); // 4×2 weights; biases excluded
+/// assert_eq!(map.total_bits(), 8 * 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryMap {
+    regions: Vec<Region>,
+    total_words: usize,
+}
+
+impl MemoryMap {
+    /// Builds the address space for `target` over `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is [`InjectionTarget::Layer`] with an index that is
+    /// not a computational layer of `net`.
+    pub fn build(net: &Sequential, target: InjectionTarget) -> Self {
+        let mut regions = Vec::new();
+        let mut offset = 0usize;
+        net.visit_params(&mut |layer, kind, values, _| {
+            let selected = match target {
+                InjectionTarget::AllWeights => kind == ParamKind::Weight,
+                InjectionTarget::AllParams => true,
+                InjectionTarget::Layer(i) => layer == i && kind == ParamKind::Weight,
+                InjectionTarget::Biases => kind == ParamKind::Bias,
+            };
+            if selected {
+                regions.push(Region { layer, kind, offset, words: values.len() });
+                offset += values.len();
+            }
+        });
+        if let InjectionTarget::Layer(i) = target {
+            assert!(
+                !regions.is_empty(),
+                "layer {i} has no weight tensor (not a computational layer?)"
+            );
+        }
+        MemoryMap { regions, total_words: offset }
+    }
+
+    /// The regions of the address space, in address order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Total mapped `f32` words.
+    pub fn total_words(&self) -> usize {
+        self.total_words
+    }
+
+    /// Total mapped bits (`32 ×` words) — the denominator of the paper's
+    /// fault rate.
+    pub fn total_bits(&self) -> usize {
+        self.total_words * 32
+    }
+
+    /// Resolves a global word index to `(layer, kind, word_within_tensor)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is outside the address space.
+    pub fn locate(&self, word: usize) -> (usize, ParamKind, usize) {
+        assert!(word < self.total_words, "word {word} outside address space of {} words", self.total_words);
+        // regions are sorted by offset; binary search for the containing one
+        let idx = match self.regions.binary_search_by(|r| r.offset.cmp(&word)) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let r = &self.regions[idx];
+        debug_assert!(word >= r.offset && word < r.offset + r.words);
+        (r.layer, r.kind, word - r.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftclip_nn::Layer;
+
+    fn net() -> Sequential {
+        Sequential::new(vec![
+            Layer::conv2d(1, 2, 3, 1, 1, 0), // weights 2×9=18, bias 2
+            Layer::relu(),
+            Layer::flatten(),
+            Layer::linear(8, 4, 1), // weights 32, bias 4
+        ])
+    }
+
+    #[test]
+    fn all_weights_excludes_biases() {
+        let map = MemoryMap::build(&net(), InjectionTarget::AllWeights);
+        assert_eq!(map.total_words(), 18 + 32);
+        assert_eq!(map.regions().len(), 2);
+        assert!(map.regions().iter().all(|r| r.kind == ParamKind::Weight));
+    }
+
+    #[test]
+    fn all_params_includes_biases() {
+        let map = MemoryMap::build(&net(), InjectionTarget::AllParams);
+        assert_eq!(map.total_words(), 18 + 2 + 32 + 4);
+        assert_eq!(map.regions().len(), 4);
+    }
+
+    #[test]
+    fn single_layer_map() {
+        let map = MemoryMap::build(&net(), InjectionTarget::Layer(3));
+        assert_eq!(map.total_words(), 32);
+        assert_eq!(map.regions()[0].layer, 3);
+    }
+
+    #[test]
+    fn biases_only() {
+        let map = MemoryMap::build(&net(), InjectionTarget::Biases);
+        assert_eq!(map.total_words(), 6);
+    }
+
+    #[test]
+    fn locate_resolves_across_regions() {
+        let map = MemoryMap::build(&net(), InjectionTarget::AllWeights);
+        assert_eq!(map.locate(0), (0, ParamKind::Weight, 0));
+        assert_eq!(map.locate(17), (0, ParamKind::Weight, 17));
+        assert_eq!(map.locate(18), (3, ParamKind::Weight, 0));
+        assert_eq!(map.locate(49), (3, ParamKind::Weight, 31));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside address space")]
+    fn locate_rejects_out_of_range() {
+        MemoryMap::build(&net(), InjectionTarget::AllWeights).locate(50);
+    }
+
+    #[test]
+    #[should_panic(expected = "no weight tensor")]
+    fn layer_target_requires_computational_layer() {
+        MemoryMap::build(&net(), InjectionTarget::Layer(1)); // layer 1 is ReLU
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(InjectionTarget::AllWeights.to_string(), "all-weights");
+        assert_eq!(InjectionTarget::Layer(5).to_string(), "layer-5");
+    }
+}

@@ -1,0 +1,161 @@
+//! Fault models on IEEE-754 single-precision words.
+
+/// The position of one faulty bit inside a parameter memory.
+///
+/// `word` indexes `f32` words within the [`crate::MemoryMap`] address space;
+/// `bit` indexes bits within the word, 0 = least-significant mantissa bit,
+/// 31 = sign. Bit 30 is the most-significant exponent bit — the flip the
+/// paper identifies as the accuracy killer (§III: "bit-flips from 0 to 1 at
+/// MSB locations … result in them having higher magnitudes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitLocation {
+    /// Index of the `f32` word in the mapped address space.
+    pub word: usize,
+    /// Bit index within the word (0 = LSB of the mantissa, 31 = sign).
+    pub bit: u8,
+}
+
+impl BitLocation {
+    /// Converts a flat bit offset (as produced by
+    /// [`crate::sample_bit_positions`]) into a word/bit pair.
+    pub fn from_bit_offset(offset: usize) -> Self {
+        BitLocation { word: offset / 32, bit: (offset % 32) as u8 }
+    }
+
+    /// The flat bit offset of this location.
+    pub fn to_bit_offset(self) -> usize {
+        self.word * 32 + self.bit as usize
+    }
+}
+
+/// How a faulty memory cell corrupts the bit it holds.
+///
+/// # Example
+///
+/// ```
+/// use ftclip_fault::FaultModel;
+///
+/// let w = 0.5f32;
+/// let corrupted = FaultModel::BitFlip.apply_to_word(w.to_bits(), 30);
+/// assert!(f32::from_bits(corrupted) > 1e30); // MSB exponent flip explodes
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultModel {
+    /// Transient upset: the stored bit is inverted (the paper's primary
+    /// model, "random bit-flips are injected in the memory blocks").
+    BitFlip,
+    /// Permanent fault: the cell always reads 0.
+    StuckAt0,
+    /// Permanent fault: the cell always reads 1.
+    StuckAt1,
+}
+
+impl FaultModel {
+    /// Applies the fault to bit `bit` of an `f32` bit pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit > 31`.
+    pub fn apply_to_word(self, word: u32, bit: u8) -> u32 {
+        assert!(bit < 32, "bit index {bit} out of range");
+        let mask = 1u32 << bit;
+        match self {
+            FaultModel::BitFlip => word ^ mask,
+            FaultModel::StuckAt0 => word & !mask,
+            FaultModel::StuckAt1 => word | mask,
+        }
+    }
+
+    /// Applies the fault to an `f32` value, returning the corrupted value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit > 31`.
+    pub fn apply(self, value: f32, bit: u8) -> f32 {
+        f32::from_bits(self.apply_to_word(value.to_bits(), bit))
+    }
+
+    /// `true` when this fault can change a stored value (stuck-at faults on
+    /// a bit that already has the stuck value are silent).
+    pub fn corrupts(self, word: u32, bit: u8) -> bool {
+        self.apply_to_word(word, bit) != word
+    }
+}
+
+impl std::fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultModel::BitFlip => write!(f, "bit-flip"),
+            FaultModel::StuckAt0 => write!(f, "stuck-at-0"),
+            FaultModel::StuckAt1 => write!(f, "stuck-at-1"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_flip_is_involutive() {
+        let w = 0.123f32.to_bits();
+        for bit in 0..32 {
+            let once = FaultModel::BitFlip.apply_to_word(w, bit);
+            assert_ne!(once, w);
+            assert_eq!(FaultModel::BitFlip.apply_to_word(once, bit), w);
+        }
+    }
+
+    #[test]
+    fn stuck_at_is_idempotent() {
+        let w = 0.75f32.to_bits();
+        for bit in 0..32 {
+            for model in [FaultModel::StuckAt0, FaultModel::StuckAt1] {
+                let once = model.apply_to_word(w, bit);
+                assert_eq!(model.apply_to_word(once, bit), once);
+            }
+        }
+    }
+
+    #[test]
+    fn msb_exponent_flip_explodes_small_weight() {
+        // 0 → 1 flip at bit 30 of a typical small weight gives ~1e38·w
+        let corrupted = FaultModel::BitFlip.apply(0.01, 30);
+        assert!(corrupted > 1e30, "got {corrupted}");
+    }
+
+    #[test]
+    fn sign_flip_negates() {
+        assert_eq!(FaultModel::BitFlip.apply(1.5, 31), -1.5);
+    }
+
+    #[test]
+    fn mantissa_lsb_flip_is_tiny() {
+        let original = 1.0f32;
+        let corrupted = FaultModel::BitFlip.apply(original, 0);
+        assert!((corrupted - original).abs() < 1e-6);
+        assert_ne!(corrupted, original);
+    }
+
+    #[test]
+    fn stuck_at_can_be_silent() {
+        let w = 0u32; // all bits zero
+        assert!(!FaultModel::StuckAt0.corrupts(w, 5));
+        assert!(FaultModel::StuckAt1.corrupts(w, 5));
+    }
+
+    #[test]
+    fn bit_location_offset_roundtrip() {
+        for offset in [0usize, 31, 32, 33, 1000, 12345] {
+            let loc = BitLocation::from_bit_offset(offset);
+            assert_eq!(loc.to_bit_offset(), offset);
+            assert!(loc.bit < 32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bit_32() {
+        FaultModel::BitFlip.apply_to_word(0, 32);
+    }
+}

@@ -1,0 +1,541 @@
+//! Hardware protection baselines: SEC-DED ECC and TMR.
+//!
+//! The paper positions clipped activations against the standard hardware
+//! mitigations — Error-Correcting Codes for memories and modular redundancy
+//! (§I: ECC, DMR/TMR "have high overheads and are not preferable for
+//! computation/memory intensive DNNs"). To make that comparison concrete,
+//! this module implements both baselines *faithfully at the bit level*:
+//!
+//! * [`SecDed`] — a Hamming(38,32) + overall-parity **SEC-DED** code
+//!   (single-error-correcting, double-error-detecting), 39 stored bits per
+//!   32-bit word (21.9 % memory overhead). Single bit faults are corrected;
+//!   double faults are detected and handled by a configurable
+//!   [`DoubleErrorPolicy`]; triple+ faults may silently miscorrect, exactly
+//!   as in real hardware.
+//! * [`apply_tmr`] — bitwise **TMR**: three copies of the memory, each
+//!   faulted independently, majority-voted per bit (200 % memory overhead).
+//!   A bit is corrupted only when two copies fault at the same position.
+//!
+//! [`inject_with_protection`] runs one fault episode under a chosen
+//! [`ProtectionScheme`] and returns the same undo handle as a plain
+//! [`crate::Injection`], so campaign loops can compare schemes directly.
+
+use ftclip_nn::{ParamKind, Sequential};
+use rand::Rng;
+
+use crate::{sample_bit_positions, FaultModel, InjectionTarget, MemoryMap};
+
+/// What a SEC-DED decoder does when it *detects* (but cannot correct) a
+/// double-bit error in a word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DoubleErrorPolicy {
+    /// Replace the word with zero — the conservative choice for DNN weights
+    /// (a zero weight is neutral, like the paper's clip-to-zero argument).
+    ZeroWord,
+    /// Keep the corrupted data bits as they decode (detection is only
+    /// logged in real systems; the corrupted value flows on).
+    KeepRaw,
+}
+
+/// A memory-protection scheme applied between the fault process and the
+/// values the network reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtectionScheme {
+    /// No protection — faults land directly in the weights.
+    None,
+    /// Hamming SEC-DED per 32-bit word (39 stored bits, 21.9 % overhead).
+    SecDed(DoubleErrorPolicy),
+    /// Triple modular redundancy with bitwise majority voting
+    /// (96 stored bits per word, 200 % overhead).
+    Tmr,
+}
+
+impl ProtectionScheme {
+    /// Stored bits per 32-bit data word under this scheme.
+    pub fn stored_bits_per_word(self) -> usize {
+        match self {
+            ProtectionScheme::None => 32,
+            ProtectionScheme::SecDed(_) => SecDed::CODE_BITS,
+            ProtectionScheme::Tmr => 96,
+        }
+    }
+
+    /// Memory overhead relative to unprotected storage, in percent.
+    pub fn memory_overhead_percent(self) -> f64 {
+        (self.stored_bits_per_word() as f64 / 32.0 - 1.0) * 100.0
+    }
+}
+
+impl std::fmt::Display for ProtectionScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtectionScheme::None => write!(f, "none"),
+            ProtectionScheme::SecDed(DoubleErrorPolicy::ZeroWord) => write!(f, "sec-ded(zero)"),
+            ProtectionScheme::SecDed(DoubleErrorPolicy::KeepRaw) => write!(f, "sec-ded(keep)"),
+            ProtectionScheme::Tmr => write!(f, "tmr"),
+        }
+    }
+}
+
+/// Hamming(38,32) + overall parity SEC-DED codec for 32-bit words.
+///
+/// Layout: code bit positions `1..=38` hold parity bits at powers of two
+/// (1, 2, 4, 8, 16, 32) and data bits elsewhere; position 0 holds the
+/// overall parity across all 39 bits.
+///
+/// # Example
+///
+/// ```
+/// use ftclip_fault::SecDed;
+///
+/// let code = SecDed::encode(0xDEADBEEF);
+/// // flip any single stored bit: decode corrects it
+/// let corrupted = code ^ (1u64 << 17);
+/// let (word, status) = SecDed::decode(corrupted);
+/// assert_eq!(word, 0xDEADBEEF);
+/// assert_eq!(status, ftclip_fault::DecodeStatus::Corrected);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SecDed;
+
+/// Outcome of a SEC-DED decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeStatus {
+    /// No error detected.
+    Clean,
+    /// A single-bit error was detected and corrected.
+    Corrected,
+    /// A double-bit error was detected (not correctable).
+    DoubleDetected,
+}
+
+impl SecDed {
+    /// Total stored bits per data word.
+    pub const CODE_BITS: usize = 39;
+    /// Hamming parity bits (positions 1,2,4,8,16,32 within the 38-bit
+    /// Hamming block).
+    const PARITY_POSITIONS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+    /// `true` if `pos` (1-based Hamming position) holds a parity bit.
+    fn is_parity_pos(pos: usize) -> bool {
+        pos.is_power_of_two()
+    }
+
+    /// Encodes a 32-bit word into 39 stored bits (bit 0 = overall parity,
+    /// bits 1..=38 = Hamming block).
+    pub fn encode(word: u32) -> u64 {
+        let mut code: u64 = 0;
+        // place data bits in non-parity Hamming positions
+        let mut data_idx = 0usize;
+        for pos in 1..=38usize {
+            if !Self::is_parity_pos(pos) {
+                if (word >> data_idx) & 1 == 1 {
+                    code |= 1u64 << pos;
+                }
+                data_idx += 1;
+            }
+        }
+        debug_assert_eq!(data_idx, 32);
+        // compute Hamming parity bits
+        for &p in &Self::PARITY_POSITIONS {
+            let mut parity = 0u64;
+            for pos in 1..=38usize {
+                if pos & p != 0 {
+                    parity ^= (code >> pos) & 1;
+                }
+            }
+            if parity == 1 {
+                code |= 1u64 << p;
+            }
+        }
+        // overall parity over bits 1..=38 stored at bit 0 (even parity
+        // across all 39 bits)
+        let ones = (code >> 1).count_ones() as u64 & 1;
+        code |= ones; // bit 0
+        code
+    }
+
+    /// Decodes 39 stored bits back to `(data_word, status)`, correcting a
+    /// single flipped bit when present. Triple and higher odd-weight errors
+    /// may silently miscorrect — the true behaviour of this code class.
+    pub fn decode(mut code: u64) -> (u32, DecodeStatus) {
+        code &= (1u64 << Self::CODE_BITS) - 1;
+        // syndrome over the Hamming block
+        let mut syndrome = 0usize;
+        for &p in &Self::PARITY_POSITIONS {
+            let mut parity = 0u64;
+            for pos in 1..=38usize {
+                if pos & p != 0 {
+                    parity ^= (code >> pos) & 1;
+                }
+            }
+            if parity == 1 {
+                syndrome |= p;
+            }
+        }
+        let overall = (code.count_ones() & 1) == 1; // odd total weight ⇒ parity violated
+        let status = match (syndrome, overall) {
+            (0, false) => DecodeStatus::Clean,
+            (0, true) => {
+                // the overall-parity bit itself flipped
+                DecodeStatus::Corrected
+            }
+            (s, true) => {
+                // single-bit error at Hamming position s
+                if s <= 38 {
+                    code ^= 1u64 << s;
+                }
+                DecodeStatus::Corrected
+            }
+            (_, false) => DecodeStatus::DoubleDetected,
+        };
+        // extract data bits
+        let mut word = 0u32;
+        let mut data_idx = 0usize;
+        for pos in 1..=38usize {
+            if !Self::is_parity_pos(pos) {
+                if (code >> pos) & 1 == 1 {
+                    word |= 1u32 << data_idx;
+                }
+                data_idx += 1;
+            }
+        }
+        (word, status)
+    }
+}
+
+/// Majority vote of three independently-faulted copies of a word.
+///
+/// Each copy receives its own fault set; the returned word has a corrupted
+/// bit only where at least two copies agree on the corruption.
+pub fn apply_tmr(original: u32, copy_faults: [&[u8]; 3], model: FaultModel) -> u32 {
+    let mut copies = [original; 3];
+    for (copy, faults) in copies.iter_mut().zip(copy_faults) {
+        for &bit in faults {
+            *copy = model.apply_to_word(*copy, bit);
+        }
+    }
+    // bitwise majority
+    (copies[0] & copies[1]) | (copies[0] & copies[2]) | (copies[1] & copies[2])
+}
+
+/// Undo data for [`inject_with_protection`].
+#[derive(Debug)]
+#[must_use = "hold the handle and call undo() to restore the network"]
+pub struct ProtectedInjection {
+    saved: Vec<(usize, ParamKind, usize, u32)>,
+    corrected: usize,
+    detected: usize,
+    corrupted: usize,
+}
+
+impl ProtectedInjection {
+    /// Words whose faults the scheme corrected transparently.
+    pub fn corrected_words(&self) -> usize {
+        self.corrected
+    }
+
+    /// Words with detected-but-uncorrectable faults (SEC-DED doubles).
+    pub fn detected_words(&self) -> usize {
+        self.detected
+    }
+
+    /// Words that reached the network corrupted.
+    pub fn corrupted_words(&self) -> usize {
+        self.corrupted
+    }
+
+    /// Restores every modified word.
+    pub fn undo(self, net: &mut Sequential) {
+        for &(layer, kind, word, original) in self.saved.iter().rev() {
+            net.visit_params_mut(&mut |l, k, values, _| {
+                if l == layer && k == kind {
+                    values.data_mut()[word] = f32::from_bits(original);
+                }
+            });
+        }
+    }
+}
+
+/// Runs one fault episode at per-bit rate `rate` under `scheme` and writes
+/// the post-decode values into the network. The stored memory is larger
+/// under ECC/TMR, so at equal per-bit physical fault rates *more* raw
+/// faults land — the schemes must earn their keep.
+///
+/// # Panics
+///
+/// Panics if `rate` is outside `[0, 1]` or `target` selects nothing.
+pub fn inject_with_protection<R: Rng + ?Sized>(
+    net: &mut Sequential,
+    target: InjectionTarget,
+    model: FaultModel,
+    rate: f64,
+    scheme: ProtectionScheme,
+    rng: &mut R,
+) -> ProtectedInjection {
+    let map = MemoryMap::build(net, target);
+    let bits_per_word = scheme.stored_bits_per_word();
+    let total_bits = map.total_words() * bits_per_word;
+    let positions = sample_bit_positions(total_bits, rate, rng);
+
+    // group fault bit offsets by word
+    let mut by_word: std::collections::BTreeMap<usize, Vec<usize>> = std::collections::BTreeMap::new();
+    for p in positions {
+        by_word.entry(p / bits_per_word).or_default().push(p % bits_per_word);
+    }
+
+    let mut saved = Vec::new();
+    let mut corrected = 0usize;
+    let mut detected = 0usize;
+    let mut corrupted = 0usize;
+    for (word_idx, bit_offsets) in by_word {
+        let (layer, kind, word_in_tensor) = map.locate(word_idx);
+        let mut original_bits = 0u32;
+        net.visit_params(&mut |l, k, values, _| {
+            if l == layer && k == kind {
+                original_bits = values.data()[word_in_tensor].to_bits();
+            }
+        });
+        let new_bits = match scheme {
+            ProtectionScheme::None => {
+                let mut w = original_bits;
+                for bit in &bit_offsets {
+                    w = model.apply_to_word(w, *bit as u8);
+                }
+                w
+            }
+            ProtectionScheme::SecDed(policy) => {
+                let mut code = SecDed::encode(original_bits);
+                for bit in &bit_offsets {
+                    // stored-bit faults under the same fault model
+                    let b = *bit as u8;
+                    let mask = 1u64 << b;
+                    code = match model {
+                        FaultModel::BitFlip => code ^ mask,
+                        FaultModel::StuckAt0 => code & !mask,
+                        FaultModel::StuckAt1 => code | mask,
+                    };
+                }
+                let (decoded, status) = SecDed::decode(code);
+                match status {
+                    DecodeStatus::Clean | DecodeStatus::Corrected => {
+                        if decoded == original_bits {
+                            corrected += 1;
+                        } else {
+                            corrupted += 1; // silent miscorrection (≥3 faults)
+                        }
+                        decoded
+                    }
+                    DecodeStatus::DoubleDetected => {
+                        detected += 1;
+                        match policy {
+                            DoubleErrorPolicy::ZeroWord => 0f32.to_bits(),
+                            DoubleErrorPolicy::KeepRaw => decoded,
+                        }
+                    }
+                }
+            }
+            ProtectionScheme::Tmr => {
+                // split offsets into the three copies
+                let mut per_copy: [Vec<u8>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+                for bit in &bit_offsets {
+                    per_copy[bit / 32].push((bit % 32) as u8);
+                }
+                let voted = apply_tmr(
+                    original_bits,
+                    [&per_copy[0], &per_copy[1], &per_copy[2]],
+                    model,
+                );
+                if voted == original_bits {
+                    corrected += 1;
+                } else {
+                    corrupted += 1;
+                }
+                voted
+            }
+        };
+        if new_bits != original_bits {
+            if scheme == ProtectionScheme::None {
+                corrupted += 1;
+            }
+            net.visit_params_mut(&mut |l, k, values, _| {
+                if l == layer && k == kind {
+                    values.data_mut()[word_in_tensor] = f32::from_bits(new_bits);
+                }
+            });
+            saved.push((layer, kind, word_in_tensor, original_bits));
+        }
+    }
+    ProtectedInjection { saved, corrected, detected, corrupted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftclip_nn::Layer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn secded_roundtrip_clean() {
+        for word in [0u32, 1, 0xFFFF_FFFF, 0xDEAD_BEEF, 0x8000_0001] {
+            let code = SecDed::encode(word);
+            let (decoded, status) = SecDed::decode(code);
+            assert_eq!(decoded, word);
+            assert_eq!(status, DecodeStatus::Clean);
+        }
+    }
+
+    #[test]
+    fn secded_corrects_every_single_bit_flip() {
+        let word = 0xCAFE_F00Du32;
+        let code = SecDed::encode(word);
+        for bit in 0..SecDed::CODE_BITS {
+            let corrupted = code ^ (1u64 << bit);
+            let (decoded, status) = SecDed::decode(corrupted);
+            assert_eq!(decoded, word, "failed to correct stored bit {bit}");
+            assert_eq!(status, DecodeStatus::Corrected);
+        }
+    }
+
+    #[test]
+    fn secded_detects_every_double_bit_flip() {
+        let word = 0x1234_5678u32;
+        let code = SecDed::encode(word);
+        for b1 in 0..SecDed::CODE_BITS {
+            for b2 in (b1 + 1)..SecDed::CODE_BITS {
+                let corrupted = code ^ (1u64 << b1) ^ (1u64 << b2);
+                let (_, status) = SecDed::decode(corrupted);
+                assert_eq!(status, DecodeStatus::DoubleDetected, "missed double ({b1},{b2})");
+            }
+        }
+    }
+
+    #[test]
+    fn tmr_single_copy_fault_is_voted_out() {
+        let voted = apply_tmr(0xABCD_EF01, [&[30], &[], &[]], FaultModel::BitFlip);
+        assert_eq!(voted, 0xABCD_EF01);
+    }
+
+    #[test]
+    fn tmr_two_copy_same_bit_corrupts() {
+        let voted = apply_tmr(0x0000_0001, [&[30], &[30], &[]], FaultModel::BitFlip);
+        assert_ne!(voted, 0x0000_0001);
+    }
+
+    #[test]
+    fn tmr_two_copy_different_bits_survive() {
+        let voted = apply_tmr(0x0000_0001, [&[30], &[29], &[]], FaultModel::BitFlip);
+        assert_eq!(voted, 0x0000_0001);
+    }
+
+    fn test_net() -> Sequential {
+        Sequential::new(vec![Layer::linear(16, 8, 1)])
+    }
+
+    fn snapshot(net: &Sequential) -> Vec<u32> {
+        let mut v = Vec::new();
+        net.visit_params(&mut |_, _, t, _| v.extend(t.data().iter().map(|x| x.to_bits())));
+        v
+    }
+
+    #[test]
+    fn protected_injection_undo_restores() {
+        for scheme in [
+            ProtectionScheme::None,
+            ProtectionScheme::SecDed(DoubleErrorPolicy::ZeroWord),
+            ProtectionScheme::Tmr,
+        ] {
+            let mut net = test_net();
+            let before = snapshot(&net);
+            let mut rng = StdRng::seed_from_u64(5);
+            let handle = inject_with_protection(
+                &mut net,
+                InjectionTarget::AllWeights,
+                FaultModel::BitFlip,
+                0.05,
+                scheme,
+                &mut rng,
+            );
+            handle.undo(&mut net);
+            assert_eq!(snapshot(&net), before, "undo failed for {scheme}");
+        }
+    }
+
+    #[test]
+    fn secded_absorbs_sparse_faults_completely() {
+        // at rates where double faults per 39-bit word are vanishingly
+        // rare, SEC-DED leaves the memory untouched
+        let mut net = test_net();
+        let before = snapshot(&net);
+        let mut rng = StdRng::seed_from_u64(7);
+        let handle = inject_with_protection(
+            &mut net,
+            InjectionTarget::AllWeights,
+            FaultModel::BitFlip,
+            1e-4,
+            ProtectionScheme::SecDed(DoubleErrorPolicy::ZeroWord),
+            &mut rng,
+        );
+        assert_eq!(snapshot(&net), before, "sparse faults must all be corrected");
+        assert_eq!(handle.corrupted_words(), 0);
+        handle.undo(&mut net);
+    }
+
+    #[test]
+    fn unprotected_sparse_faults_do_land() {
+        let mut net = test_net();
+        let before = snapshot(&net);
+        let mut rng = StdRng::seed_from_u64(8);
+        let handle = inject_with_protection(
+            &mut net,
+            InjectionTarget::AllWeights,
+            FaultModel::BitFlip,
+            1e-2,
+            ProtectionScheme::None,
+            &mut rng,
+        );
+        assert_ne!(snapshot(&net), before);
+        assert!(handle.corrupted_words() > 0);
+        handle.undo(&mut net);
+    }
+
+    #[test]
+    fn tmr_beats_unprotected_at_equal_rate() {
+        // count corrupted words over repetitions at a rate where collisions
+        // are possible but rare
+        let rate = 5e-3;
+        let mut unprot = 0usize;
+        let mut tmr = 0usize;
+        for seed in 0..40u64 {
+            let mut net = test_net();
+            let h = inject_with_protection(
+                &mut net,
+                InjectionTarget::AllWeights,
+                FaultModel::BitFlip,
+                rate,
+                ProtectionScheme::None,
+                &mut StdRng::seed_from_u64(seed),
+            );
+            unprot += h.corrupted_words();
+            let mut net2 = test_net();
+            let h2 = inject_with_protection(
+                &mut net2,
+                InjectionTarget::AllWeights,
+                FaultModel::BitFlip,
+                rate,
+                ProtectionScheme::Tmr,
+                &mut StdRng::seed_from_u64(seed),
+            );
+            tmr += h2.corrupted_words();
+        }
+        assert!(tmr < unprot / 4, "tmr {tmr} should be far below unprotected {unprot}");
+    }
+
+    #[test]
+    fn overheads_match_scheme_definitions() {
+        assert_eq!(ProtectionScheme::None.memory_overhead_percent(), 0.0);
+        assert!((ProtectionScheme::SecDed(DoubleErrorPolicy::ZeroWord).memory_overhead_percent() - 21.875).abs() < 1e-9);
+        assert_eq!(ProtectionScheme::Tmr.memory_overhead_percent(), 200.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Exact Bernoulli-per-bit fault sampling.
+//!
+//! The paper's fault rate is a per-bit probability: every bit of the selected
+//! weight memory is corrupted independently with probability `rate`. Naively
+//! tossing a coin per bit costs O(bits) — prohibitive for campaigns that run
+//! thousands of injections over multi-megabyte memories. Instead we sample
+//! the *gaps* between faulty bits, which are geometrically distributed:
+//! `gap = floor(ln(U) / ln(1 − rate))` for `U ~ Uniform(0,1)`. The resulting
+//! fault set follows exactly the same distribution at O(faults) cost.
+
+use rand::Rng;
+
+/// Samples the positions of faulty bits in an address space of `n_bits`
+/// bits, where each bit independently fails with probability `rate`.
+///
+/// Positions are returned in strictly increasing order.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ rate ≤ 1`.
+///
+/// # Example
+///
+/// ```
+/// use ftclip_fault::sample_bit_positions;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let faults = sample_bit_positions(1_000_000, 1e-4, &mut rng);
+/// // E[#faults] = 100; loose 10σ sanity bounds
+/// assert!(faults.len() > 20 && faults.len() < 300);
+/// ```
+pub fn sample_bit_positions<R: Rng + ?Sized>(n_bits: usize, rate: f64, rng: &mut R) -> Vec<usize> {
+    assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0, 1], got {rate}");
+    if rate == 0.0 || n_bits == 0 {
+        return Vec::new();
+    }
+    if rate >= 1.0 {
+        return (0..n_bits).collect();
+    }
+    let ln_q = (1.0 - rate).ln_1p_neg(); // ln(1 - rate), stable for tiny rates
+    let mut out = Vec::new();
+    let mut cursor = 0usize;
+    loop {
+        // geometric gap: number of healthy bits before the next faulty one
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let gap = (u.ln() / ln_q).floor();
+        if !gap.is_finite() || gap >= (n_bits - cursor) as f64 {
+            break;
+        }
+        cursor += gap as usize;
+        out.push(cursor);
+        cursor += 1;
+        if cursor >= n_bits {
+            break;
+        }
+    }
+    out
+}
+
+/// Expected number of faults for a memory of `n_bits` bits at `rate`.
+pub fn expected_fault_count(n_bits: usize, rate: f64) -> f64 {
+    n_bits as f64 * rate
+}
+
+/// Derives the RNG seed of campaign run `(rate_index, repetition)` from a
+/// base seed, using the SplitMix64 finalizer so adjacent runs are
+/// decorrelated while each run stays individually reproducible.
+pub fn derive_seed(base: u64, rate_index: usize, repetition: usize) -> u64 {
+    let mut z = base ^ ((rate_index as u64) << 32 | repetition as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `ln(1 - x)` computed stably for small `x` (as `ln_1p(-x)`).
+trait Ln1pNeg {
+    fn ln_1p_neg(self) -> f64;
+}
+
+impl Ln1pNeg for f64 {
+    fn ln_1p_neg(self) -> f64 {
+        // self is already (1 - rate); use ln_1p on (self - 1) = -rate
+        (self - 1.0).ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_rate_gives_no_faults() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sample_bit_positions(1000, 0.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn rate_one_hits_every_bit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let faults = sample_bit_positions(10, 1.0, &mut rng);
+        assert_eq!(faults, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn positions_strictly_increasing_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let faults = sample_bit_positions(100_000, 1e-3, &mut rng);
+        for w in faults.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(faults.iter().all(|&p| p < 100_000));
+    }
+
+    #[test]
+    fn empirical_rate_matches_requested() {
+        // Mean over many trials should approach n·rate.
+        let n_bits = 200_000usize;
+        let rate = 5e-4;
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 50;
+        let total: usize = (0..trials).map(|_| sample_bit_positions(n_bits, rate, &mut rng).len()).sum();
+        let mean = total as f64 / trials as f64;
+        let expect = expected_fault_count(n_bits, rate);
+        // σ ≈ sqrt(n·rate) = 10; mean of 50 trials has σ ≈ 1.4; allow 5σ
+        assert!((mean - expect).abs() < 7.0, "mean {mean} vs expected {expect}");
+    }
+
+    #[test]
+    fn tiny_rates_are_numerically_stable() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // 1e-8 rate over 1e6 bits: expect 0.01 faults, i.e. almost always none
+        let mut total = 0usize;
+        for _ in 0..100 {
+            total += sample_bit_positions(1_000_000, 1e-8, &mut rng).len();
+        }
+        assert!(total < 20, "far too many faults at 1e-8: {total}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = sample_bit_positions(10_000, 1e-2, &mut StdRng::seed_from_u64(9));
+        let b = sample_bit_positions(10_000, 1e-2, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let c = sample_bit_positions(10_000, 1e-2, &mut StdRng::seed_from_u64(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn derive_seed_decorrelates() {
+        let s1 = derive_seed(42, 0, 0);
+        let s2 = derive_seed(42, 0, 1);
+        let s3 = derive_seed(42, 1, 0);
+        assert_ne!(s1, s2);
+        assert_ne!(s1, s3);
+        assert_ne!(s2, s3);
+        // reproducible
+        assert_eq!(derive_seed(42, 3, 7), derive_seed(42, 3, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault rate")]
+    fn rejects_negative_rate() {
+        sample_bit_positions(10, -0.1, &mut StdRng::seed_from_u64(0));
+    }
+}

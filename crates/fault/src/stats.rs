@@ -1,0 +1,149 @@
+//! Accuracy-distribution statistics (box-plot-ready).
+
+/// Five-number summary plus mean and standard deviation of a sample of
+/// accuracies — everything the paper's box plots (Figs. 7b/c, 8b/c) display.
+///
+/// # Example
+///
+/// ```
+/// use ftclip_fault::Summary;
+///
+/// let s = Summary::from_samples(&[0.1, 0.2, 0.3, 0.4, 0.5]).unwrap();
+/// assert!((s.median - 0.3).abs() < 1e-12);
+/// assert!((s.mean - 0.3).abs() < 1e-12);
+/// assert_eq!(s.min, 0.1);
+/// assert_eq!(s.max, 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for a single sample).
+    pub std: f64,
+    /// Minimum (the "worst case" the paper highlights in §V-B).
+    pub min: f64,
+    /// Lower quartile (25th percentile, linear interpolation).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Upper quartile (75th percentile, linear interpolation).
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a non-empty sample.
+    ///
+    /// Returns `None` for an empty slice or one containing NaN.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() || samples.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        let n = samples.len();
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let std = if n > 1 {
+            (sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        Some(Summary {
+            n,
+            mean,
+            std,
+            min: sorted[0],
+            q1: percentile(&sorted, 0.25),
+            median: percentile(&sorted, 0.5),
+            q3: percentile(&sorted, 0.75),
+            max: sorted[n - 1],
+        })
+    }
+
+    /// Interquartile range (`q3 − q1`).
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} std={:.4} min={:.4} q1={:.4} med={:.4} q3={:.4} max={:.4}",
+            self.n, self.mean, self.std, self.min, self.q1, self.median, self.q3, self.max
+        )
+    }
+}
+
+/// Linear-interpolation percentile of an already-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = p * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Summary::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn nan_is_none() {
+        assert!(Summary::from_samples(&[0.5, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_samples(&[0.7]).unwrap();
+        assert_eq!(s.mean, 0.7);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.min, 0.7);
+        assert_eq!(s.q1, 0.7);
+        assert_eq!(s.max, 0.7);
+    }
+
+    #[test]
+    fn quartiles_interpolate() {
+        let s = Summary::from_samples(&[0.0, 1.0, 2.0, 3.0]).unwrap();
+        assert!((s.q1 - 0.75).abs() < 1e-12);
+        assert!((s.median - 1.5).abs() < 1e-12);
+        assert!((s.q3 - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_invariant() {
+        let a = Summary::from_samples(&[0.3, 0.1, 0.2]).unwrap();
+        let b = Summary::from_samples(&[0.1, 0.2, 0.3]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn std_matches_known_value() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        // known sample std of this classic dataset is ~2.138
+        assert!((s.std - 2.138).abs() < 0.01);
+    }
+
+    #[test]
+    fn display_contains_all_fields() {
+        let s = Summary::from_samples(&[0.5, 0.6]).unwrap();
+        let txt = s.to_string();
+        for key in ["mean", "min", "q1", "med", "q3", "max"] {
+            assert!(txt.contains(key));
+        }
+    }
+}

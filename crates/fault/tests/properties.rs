@@ -1,0 +1,132 @@
+//! Property-based tests for the fault-injection framework.
+
+use ftclip_fault::{
+    sample_bit_positions, FaultModel, Injection, InjectionTarget, MemoryMap, Summary,
+};
+use ftclip_nn::{Layer, ParamKind, Sequential};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn sampled_positions_sorted_unique_in_range(
+        n_bits in 1usize..100_000,
+        rate in 0.0f64..0.2,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let positions = sample_bit_positions(n_bits, rate, &mut rng);
+        for w in positions.windows(2) {
+            prop_assert!(w[0] < w[1], "positions must be strictly increasing");
+        }
+        prop_assert!(positions.iter().all(|&p| p < n_bits));
+    }
+
+    #[test]
+    fn fault_count_within_statistical_bounds(
+        seed in 0u64..500,
+    ) {
+        // fixed medium-size space: mean 100 faults, σ = 10, allow 8σ
+        let mut rng = StdRng::seed_from_u64(seed);
+        let positions = sample_bit_positions(1_000_000, 1e-4, &mut rng);
+        let n = positions.len() as f64;
+        prop_assert!((n - 100.0).abs() < 80.0, "implausible fault count {}", n);
+    }
+
+    #[test]
+    fn bit_flip_involution(word in any::<u32>(), bit in 0u8..32) {
+        let flipped = FaultModel::BitFlip.apply_to_word(word, bit);
+        prop_assert_ne!(flipped, word);
+        prop_assert_eq!(FaultModel::BitFlip.apply_to_word(flipped, bit), word);
+    }
+
+    #[test]
+    fn stuck_at_idempotence(word in any::<u32>(), bit in 0u8..32) {
+        for model in [FaultModel::StuckAt0, FaultModel::StuckAt1] {
+            let once = model.apply_to_word(word, bit);
+            prop_assert_eq!(model.apply_to_word(once, bit), once);
+        }
+    }
+
+    #[test]
+    fn stuck_at_0_never_increases_magnitude_bits(word in any::<u32>(), bit in 0u8..31) {
+        // clearing any non-sign bit cannot increase |f32|
+        let v = f32::from_bits(word);
+        prop_assume!(v.is_finite());
+        let stuck = f32::from_bits(FaultModel::StuckAt0.apply_to_word(word, bit));
+        prop_assume!(stuck.is_finite());
+        prop_assert!(stuck.abs() <= v.abs(), "{v} → {stuck} grew in magnitude");
+    }
+
+    #[test]
+    fn injection_apply_undo_roundtrip(
+        rate in 0.0f64..0.05,
+        seed in 0u64..2_000,
+    ) {
+        let mut net = Sequential::new(vec![
+            Layer::conv2d(1, 2, 3, 1, 1, seed),
+            Layer::relu(),
+            Layer::flatten(),
+            Layer::linear(2 * 16, 4, seed ^ 7),
+        ]);
+        let snapshot = |n: &Sequential| {
+            let mut v = Vec::new();
+            n.visit_params(&mut |_, _, t, _| v.extend(t.data().iter().map(|x| x.to_bits())));
+            v
+        };
+        let before = snapshot(&net);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inj = Injection::sample(&net, InjectionTarget::AllParams, FaultModel::BitFlip, rate, &mut rng);
+        let handle = inj.apply(&mut net);
+        handle.undo(&mut net);
+        prop_assert_eq!(snapshot(&net), before);
+    }
+
+    #[test]
+    fn memory_map_locate_is_inverse_of_layout(
+        in_c in 1usize..4,
+        out_c in 1usize..4,
+        fc_out in 1usize..8,
+    ) {
+        let net = Sequential::new(vec![
+            Layer::conv2d(in_c, out_c, 3, 1, 1, 0),
+            Layer::relu(),
+            Layer::flatten(),
+            Layer::linear(out_c * 16, fc_out, 1),
+        ]);
+        let map = MemoryMap::build(&net, InjectionTarget::AllWeights);
+        // walk every region and verify locate() inverts the global offset
+        let mut global = 0usize;
+        for region in map.regions() {
+            for w in 0..region.words {
+                let (layer, kind, word) = map.locate(global);
+                prop_assert_eq!(layer, region.layer);
+                prop_assert_eq!(kind, ParamKind::Weight);
+                prop_assert_eq!(word, w);
+                global += 1;
+            }
+        }
+        prop_assert_eq!(global, map.total_words());
+    }
+
+    #[test]
+    fn summary_orders_quartiles(samples in proptest::collection::vec(0.0f64..1.0, 1..50)) {
+        let s = Summary::from_samples(&samples).unwrap();
+        prop_assert!(s.min <= s.q1 + 1e-12);
+        prop_assert!(s.q1 <= s.median + 1e-12);
+        prop_assert!(s.median <= s.q3 + 1e-12);
+        prop_assert!(s.q3 <= s.max + 1e-12);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std >= 0.0);
+    }
+
+    #[test]
+    fn summary_of_constant_sample_is_degenerate(x in 0.0f64..1.0, n in 1usize..20) {
+        let s = Summary::from_samples(&vec![x; n]).unwrap();
+        prop_assert_eq!(s.min, x);
+        prop_assert_eq!(s.max, x);
+        prop_assert_eq!(s.median, x);
+        prop_assert!(s.std.abs() < 1e-12);
+    }
+}

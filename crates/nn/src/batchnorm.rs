@@ -1,0 +1,405 @@
+//! 2-D batch normalization.
+//!
+//! Batch norm is not part of the paper's base models (its "base VGG-16"
+//! predates BN-VGG), but it is part of any credible CNN substrate and it
+//! materially stabilizes the training of the narrow width-scaled models
+//! this reproduction uses. Its scale/shift parameters (γ, β) live in the
+//! same parameter memory as weights and biases, so the fault injector can
+//! corrupt them too (γ maps to [`crate::ParamKind::Weight`], β to
+//! [`crate::ParamKind::Bias`]).
+
+use ftclip_tensor::Tensor;
+
+/// Per-channel batch normalization over NCHW feature maps:
+/// `y = γ·(x − μ)/√(σ² + ε) + β`.
+///
+/// Training mode normalizes with batch statistics and maintains running
+/// estimates (momentum update); inference mode uses the running estimates.
+///
+/// # Example
+///
+/// ```
+/// use ftclip_nn::BatchNorm2d;
+/// use ftclip_tensor::Tensor;
+///
+/// let bn = BatchNorm2d::new(3);
+/// let y = bn.forward(&Tensor::ones(&[2, 3, 4, 4]));
+/// assert_eq!(y.shape().dims(), &[2, 3, 4, 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    pub(crate) gamma: Tensor,
+    pub(crate) beta: Tensor,
+    pub(crate) grad_gamma: Tensor,
+    pub(crate) grad_beta: Tensor,
+    running_mean: Tensor,
+    running_var: Tensor,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer with γ = 1, β = 0, ε = 1e-5 and running
+    /// statistics initialized to the standard normal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(channels: usize) -> Self {
+        Self::with_hyper(channels, 1e-5, 0.1)
+    }
+
+    /// Creates a batch-norm layer with explicit ε and running-stats
+    /// momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`, `eps <= 0`, or `momentum` is outside
+    /// `(0, 1]`.
+    pub fn with_hyper(channels: usize, eps: f32, momentum: f32) -> Self {
+        assert!(channels > 0, "channel count must be positive");
+        assert!(eps > 0.0, "eps must be positive");
+        assert!(momentum > 0.0 && momentum <= 1.0, "momentum must be in (0, 1]");
+        BatchNorm2d {
+            channels,
+            eps,
+            momentum,
+            gamma: Tensor::ones(&[channels]),
+            beta: Tensor::zeros(&[channels]),
+            grad_gamma: Tensor::zeros(&[channels]),
+            grad_beta: Tensor::zeros(&[channels]),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            cache: None,
+        }
+    }
+
+    /// Rebuilds a layer from stored parameters and running statistics
+    /// (deserialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tensor's shape differs from `[channels]`.
+    pub fn from_parts(
+        channels: usize,
+        eps: f32,
+        momentum: f32,
+        gamma: Tensor,
+        beta: Tensor,
+        running_mean: Tensor,
+        running_var: Tensor,
+    ) -> Self {
+        for (name, t) in [("gamma", &gamma), ("beta", &beta), ("running_mean", &running_mean), ("running_var", &running_var)] {
+            assert_eq!(t.shape().dims(), &[channels], "batchnorm {name} shape mismatch");
+        }
+        BatchNorm2d {
+            channels,
+            eps,
+            momentum,
+            grad_gamma: Tensor::zeros(&[channels]),
+            grad_beta: Tensor::zeros(&[channels]),
+            gamma,
+            beta,
+            running_mean,
+            running_var,
+            cache: None,
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Numerical-stability epsilon.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
+    /// Running-statistics momentum.
+    pub fn momentum(&self) -> f32 {
+        self.momentum
+    }
+
+    /// The scale parameters γ.
+    pub fn gamma(&self) -> &Tensor {
+        &self.gamma
+    }
+
+    /// The shift parameters β.
+    pub fn beta(&self) -> &Tensor {
+        &self.beta
+    }
+
+    /// The running mean estimate.
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// The running variance estimate.
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+
+    /// Number of trainable parameters (γ and β; running stats are buffers).
+    pub fn param_count(&self) -> usize {
+        2 * self.channels
+    }
+
+    /// Inference forward pass using the running statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 4 or its channel count differs.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let (n, c, h, w) = x.shape().as_nchw();
+        assert_eq!(c, self.channels, "batchnorm channel mismatch");
+        let mut y = x.clone();
+        let spatial = h * w;
+        for ci in 0..c {
+            let mean = self.running_mean.data()[ci];
+            let inv_std = 1.0 / (self.running_var.data()[ci] + self.eps).sqrt();
+            let g = self.gamma.data()[ci];
+            let b = self.beta.data()[ci];
+            for ni in 0..n {
+                let base = (ni * c + ci) * spatial;
+                for v in &mut y.data_mut()[base..base + spatial] {
+                    *v = g * (*v - mean) * inv_std + b;
+                }
+            }
+        }
+        y
+    }
+
+    /// Training forward pass: batch statistics + running-stat update, with
+    /// the normalized activations cached for [`BatchNorm2d::backward`].
+    pub fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        let (n, c, h, w) = x.shape().as_nchw();
+        assert_eq!(c, self.channels, "batchnorm channel mismatch");
+        let spatial = h * w;
+        let m = (n * spatial) as f32;
+        let mut y = x.clone();
+        let mut x_hat = x.clone();
+        let mut inv_stds = Vec::with_capacity(c);
+        for ci in 0..c {
+            // batch mean / var over N×H×W
+            let mut sum = 0.0f64;
+            let mut sq = 0.0f64;
+            for ni in 0..n {
+                let base = (ni * c + ci) * spatial;
+                for &v in &x.data()[base..base + spatial] {
+                    sum += v as f64;
+                    sq += (v as f64) * (v as f64);
+                }
+            }
+            let mean = (sum / m as f64) as f32;
+            let var = ((sq / m as f64) - (sum / m as f64) * (sum / m as f64)).max(0.0) as f32;
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds.push(inv_std);
+            // running stats (unbiased variance correction like PyTorch)
+            let unbiased = if m > 1.0 { var * m / (m - 1.0) } else { var };
+            let rm = &mut self.running_mean.data_mut()[ci];
+            *rm = (1.0 - self.momentum) * *rm + self.momentum * mean;
+            let rv = &mut self.running_var.data_mut()[ci];
+            *rv = (1.0 - self.momentum) * *rv + self.momentum * unbiased;
+            let g = self.gamma.data()[ci];
+            let b = self.beta.data()[ci];
+            for ni in 0..n {
+                let base = (ni * c + ci) * spatial;
+                for i in base..base + spatial {
+                    let xh = (x.data()[i] - mean) * inv_std;
+                    x_hat.data_mut()[i] = xh;
+                    y.data_mut()[i] = g * xh + b;
+                }
+            }
+        }
+        self.cache = Some(BnCache { x_hat, inv_std: inv_stds });
+        y
+    }
+
+    /// Backward pass: accumulates γ/β gradients and returns `dL/dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`BatchNorm2d::forward_train`] or with a
+    /// mismatched gradient shape.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("backward called before forward_train");
+        let (n, c, h, w) = grad_out.shape().as_nchw();
+        assert_eq!(c, self.channels, "grad channel mismatch");
+        assert_eq!(cache.x_hat.len(), grad_out.len(), "grad shape mismatch");
+        let spatial = h * w;
+        let m = (n * spatial) as f32;
+        let mut grad_in = grad_out.clone();
+        for ci in 0..c {
+            let mut sum_g = 0.0f64;
+            let mut sum_gx = 0.0f64;
+            for ni in 0..n {
+                let base = (ni * c + ci) * spatial;
+                for i in base..base + spatial {
+                    let g = grad_out.data()[i] as f64;
+                    sum_g += g;
+                    sum_gx += g * cache.x_hat.data()[i] as f64;
+                }
+            }
+            self.grad_gamma.data_mut()[ci] += sum_gx as f32;
+            self.grad_beta.data_mut()[ci] += sum_g as f32;
+            let gamma = self.gamma.data()[ci];
+            let inv_std = cache.inv_std[ci];
+            let k = gamma * inv_std / m;
+            for ni in 0..n {
+                let base = (ni * c + ci) * spatial;
+                for i in base..base + spatial {
+                    let g = grad_out.data()[i];
+                    let xh = cache.x_hat.data()[i];
+                    grad_in.data_mut()[i] = k * (m * g - sum_g as f32 - xh * sum_gx as f32);
+                }
+            }
+        }
+        grad_in
+    }
+
+    /// Drops any cached training state.
+    pub fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_input() -> Tensor {
+        let mut rng = StdRng::seed_from_u64(3);
+        ftclip_tensor::uniform_init(&[4, 2, 3, 3], -2.0, 2.0, &mut rng)
+    }
+
+    #[test]
+    fn train_output_is_normalized() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = sample_input();
+        let y = bn.forward_train(&x);
+        let (n, c, h, w) = y.shape().as_nchw();
+        for ci in 0..c {
+            let mut vals = Vec::new();
+            for ni in 0..n {
+                for yy in 0..h {
+                    for xx in 0..w {
+                        vals.push(y.at4(ni, ci, yy, xx));
+                    }
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_scale_and_shift() {
+        let mut bn = BatchNorm2d::new(1);
+        bn.gamma.fill(2.0);
+        bn.beta.fill(5.0);
+        let x = Tensor::from_vec(vec![-1.0, 1.0, -1.0, 1.0], &[1, 1, 2, 2]).unwrap();
+        let y = bn.forward_train(&x);
+        let mean = y.mean();
+        assert!((mean - 5.0).abs() < 1e-4, "mean shifted to beta, got {mean}");
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::with_hyper(1, 1e-5, 1.0); // momentum 1: adopt batch stats fully
+        let x = Tensor::from_vec(vec![9.0, 11.0, 9.0, 11.0], &[1, 1, 2, 2]).unwrap();
+        bn.forward_train(&x);
+        // running mean now 10; eval on a constant-10 input gives ~0
+        let y = bn.forward(&Tensor::filled(&[1, 1, 2, 2], 10.0));
+        assert!(y.iter().all(|v| v.abs() < 1e-2), "{y:?}");
+    }
+
+    #[test]
+    fn gradient_check_input_gamma_beta() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = StdRng::seed_from_u64(5);
+        bn.gamma = ftclip_tensor::uniform_init(&[2], 0.5, 1.5, &mut rng);
+        bn.beta = ftclip_tensor::uniform_init(&[2], -0.5, 0.5, &mut rng);
+        let x = ftclip_tensor::uniform_init(&[2, 2, 2, 2], -1.0, 1.0, &mut rng);
+        // weight the output so the loss isn't invariant to normalization
+        let weights = ftclip_tensor::uniform_init(&[16], -1.0, 1.0, &mut rng);
+        let loss_of = |bn: &mut BatchNorm2d, x: &Tensor| -> f32 {
+            let y = bn.forward_train(x);
+            bn.clear_cache();
+            y.data().iter().zip(weights.data()).map(|(&a, &b)| a * b).sum()
+        };
+        let y = bn.forward_train(&x);
+        assert_eq!(y.len(), 16);
+        let grad_out = Tensor::from_vec(weights.data().to_vec(), &[2, 2, 2, 2]).unwrap();
+        let gx = bn.backward(&grad_out);
+        let eps = 1e-2;
+        // input gradient
+        let mut xp = x.clone();
+        for i in 0..x.len() {
+            let orig = x.data()[i];
+            xp.data_mut()[i] = orig + eps;
+            let lp = loss_of(&mut bn, &xp);
+            xp.data_mut()[i] = orig - eps;
+            let lm = loss_of(&mut bn, &xp);
+            xp.data_mut()[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - gx.data()[i]).abs() < 2e-2, "dx[{i}]: num {num} vs ana {}", gx.data()[i]);
+        }
+        // gamma / beta gradients
+        for ci in 0..2 {
+            let orig = bn.gamma.data()[ci];
+            bn.gamma.data_mut()[ci] = orig + eps;
+            let lp = loss_of(&mut bn, &x);
+            bn.gamma.data_mut()[ci] = orig - eps;
+            let lm = loss_of(&mut bn, &x);
+            bn.gamma.data_mut()[ci] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - bn.grad_gamma.data()[ci]).abs() < 2e-2, "dgamma[{ci}]");
+            let orig_b = bn.beta.data()[ci];
+            bn.beta.data_mut()[ci] = orig_b + eps;
+            let lp = loss_of(&mut bn, &x);
+            bn.beta.data_mut()[ci] = orig_b - eps;
+            let lm = loss_of(&mut bn, &x);
+            bn.beta.data_mut()[ci] = orig_b;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - bn.grad_beta.data()[ci]).abs() < 2e-2, "dbeta[{ci}]");
+        }
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let mut bn = BatchNorm2d::new(3);
+        let x = ftclip_tensor::uniform_init(&[2, 3, 2, 2], -1.0, 1.0, &mut StdRng::seed_from_u64(9));
+        bn.forward_train(&x);
+        bn.clear_cache();
+        let rebuilt = BatchNorm2d::from_parts(
+            3,
+            bn.eps(),
+            bn.momentum(),
+            bn.gamma.clone(),
+            bn.beta.clone(),
+            bn.running_mean.clone(),
+            bn.running_var.clone(),
+        );
+        assert!(bn.forward(&x).approx_eq(&rebuilt.forward(&x), 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn rejects_wrong_channels() {
+        BatchNorm2d::new(2).forward(&Tensor::zeros(&[1, 3, 2, 2]));
+    }
+}

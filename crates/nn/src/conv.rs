@@ -1,0 +1,396 @@
+//! 2-D convolution layer (im2col + matmul lowering).
+
+use ftclip_tensor::{col2im, im2col_batch, matmul, matmul_nt, matmul_tn, Conv2dGeometry, Tensor};
+use rand::Rng;
+
+/// A 2-D convolution over NCHW feature maps.
+///
+/// The filter bank is stored as a `[out_channels, in_channels·k·k]` matrix so
+/// that the forward pass is a single matrix product per batch item, and so
+/// that the fault injector sees one contiguous weight memory per layer —
+/// exactly the paper's model of parameters "mapped to memory" (Fig. 1a of the
+/// paper).
+///
+/// # Example
+///
+/// ```
+/// use ftclip_nn::Conv2d;
+/// use ftclip_tensor::Tensor;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng); // 3→8 channels, 3×3 "same"
+/// let x = Tensor::zeros(&[2, 3, 16, 16]);
+/// let y = conv.forward(&x);
+/// assert_eq!(y.shape().dims(), &[2, 8, 16, 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    geom: Conv2dGeometry,
+    pub(crate) weight: Tensor,
+    pub(crate) bias: Tensor,
+    pub(crate) grad_weight: Tensor,
+    pub(crate) grad_bias: Tensor,
+    /// Cached by `forward_train` for the backward pass.
+    cache: Option<TrainCache>,
+}
+
+#[derive(Debug, Clone)]
+struct TrainCache {
+    /// The input batch.
+    input: Tensor,
+    /// Batched im2col matrix `[c·k·k, n·oh·ow]`.
+    cols: Tensor,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-normal weights and zero biases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `in_channels`, `out_channels`, `kernel`, `stride`
+    /// is zero.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0, "channel counts must be positive");
+        let geom = Conv2dGeometry::new(kernel, stride, pad);
+        let fan_in = in_channels * kernel * kernel;
+        let weight = ftclip_tensor::he_normal(&[out_channels, fan_in], fan_in, rng);
+        Conv2d {
+            in_channels,
+            out_channels,
+            geom,
+            grad_weight: Tensor::zeros(&[out_channels, fan_in]),
+            grad_bias: Tensor::zeros(&[out_channels]),
+            bias: Tensor::zeros(&[out_channels]),
+            weight,
+            cache: None,
+        }
+    }
+
+    /// Rebuilds a convolution from stored parameters (deserialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter shapes are inconsistent with the geometry.
+    pub fn from_parts(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        weight: Tensor,
+        bias: Tensor,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        assert_eq!(weight.shape().dims(), &[out_channels, fan_in], "conv weight shape mismatch");
+        assert_eq!(bias.shape().dims(), &[out_channels], "conv bias shape mismatch");
+        Conv2d {
+            in_channels,
+            out_channels,
+            geom: Conv2dGeometry::new(kernel, stride, pad),
+            grad_weight: Tensor::zeros(&[out_channels, fan_in]),
+            grad_bias: Tensor::zeros(&[out_channels]),
+            weight,
+            bias,
+            cache: None,
+        }
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Kernel/stride/padding geometry.
+    pub fn geometry(&self) -> Conv2dGeometry {
+        self.geom
+    }
+
+    /// The filter bank as a `[out_channels, in_channels·k·k]` matrix.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The per-output-channel biases.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// Computes the batched product `W · col_all` and scatters it into NCHW
+    /// layout with bias applied.
+    fn forward_from_cols(&self, cols: &Tensor, n: usize, oh: usize, ow: usize) -> Tensor {
+        let l = oh * ow;
+        // out_mat: [oc, n·L]
+        let out_mat = matmul(&self.weight, cols);
+        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
+        let total_cols = n * l;
+        let src = out_mat.data();
+        let dst = out.data_mut();
+        for i in 0..n {
+            for oc in 0..self.out_channels {
+                let b = self.bias.data()[oc];
+                let src_base = oc * total_cols + i * l;
+                let dst_base = (i * self.out_channels + oc) * l;
+                for j in 0..l {
+                    dst[dst_base + j] = src[src_base + j] + b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Inference forward pass (batched im2col + one matrix product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 4 or its channel count differs from
+    /// `in_channels`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let (n, c, h, w) = x.shape().as_nchw();
+        assert_eq!(c, self.in_channels, "conv input channel mismatch");
+        let (oh, ow) = self.geom.output_size(h, w);
+        let cols = im2col_batch(x, self.geom);
+        self.forward_from_cols(&cols, n, oh, ow)
+    }
+
+    /// Training forward pass: same as [`Conv2d::forward`] but caches the
+    /// input and the unrolled patch matrix for [`Conv2d::backward`].
+    pub fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        let (n, c, h, w) = x.shape().as_nchw();
+        assert_eq!(c, self.in_channels, "conv input channel mismatch");
+        let (oh, ow) = self.geom.output_size(h, w);
+        let cols = im2col_batch(x, self.geom);
+        let out = self.forward_from_cols(&cols, n, oh, ow);
+        self.cache = Some(TrainCache { input: x.clone(), cols });
+        out
+    }
+
+    /// Backward pass: accumulates weight/bias gradients and returns the
+    /// gradient with respect to the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Conv2d::forward_train`] or with a gradient
+    /// whose shape does not match that forward output.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("backward called before forward_train");
+        let (n, c, h, w) = cache.input.shape().as_nchw();
+        let (gn, goc, goh, gow) = grad_out.shape().as_nchw();
+        let (oh, ow) = self.geom.output_size(h, w);
+        assert_eq!((gn, goc, goh, gow), (n, self.out_channels, oh, ow), "grad shape mismatch");
+        let l = oh * ow;
+        let total_cols = n * l;
+        // assemble g_all: [oc, n·L] from the n-major grad layout
+        let mut g_all = Tensor::zeros(&[self.out_channels, total_cols]);
+        {
+            let src = grad_out.data();
+            let dst = g_all.data_mut();
+            for i in 0..n {
+                for oc in 0..self.out_channels {
+                    let src_base = (i * self.out_channels + oc) * l;
+                    let dst_base = oc * total_cols + i * l;
+                    dst[dst_base..dst_base + l].copy_from_slice(&src[src_base..src_base + l]);
+                }
+            }
+        }
+        // dW += g_all · col_allᵀ
+        let dw = matmul_nt(&g_all, &cache.cols);
+        self.grad_weight.axpy(1.0, &dw);
+        // db += row sums of g_all
+        for oc in 0..self.out_channels {
+            let s: f32 = g_all.data()[oc * total_cols..(oc + 1) * total_cols].iter().sum();
+            self.grad_bias.data_mut()[oc] += s;
+        }
+        // dcol_all = Wᵀ · g_all, then per-image col2im on contiguous gathers
+        let dcol_all = matmul_tn(&self.weight, &g_all);
+        let rows = self.in_channels * self.geom.kernel * self.geom.kernel;
+        let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+        let per_in = c * h * w;
+        let mut dcol_i = Tensor::zeros(&[rows, l]);
+        for i in 0..n {
+            {
+                let src = dcol_all.data();
+                let dst = dcol_i.data_mut();
+                for r in 0..rows {
+                    let src_base = r * total_cols + i * l;
+                    dst[r * l..(r + 1) * l].copy_from_slice(&src[src_base..src_base + l]);
+                }
+            }
+            let dx = col2im(&dcol_i, c, h, w, self.geom);
+            grad_in.data_mut()[i * per_in..(i + 1) * per_in].copy_from_slice(dx.data());
+        }
+        grad_in
+    }
+
+    /// Drops any cached training state.
+    pub fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn output_shape_same_padding() {
+        let conv = Conv2d::new(3, 4, 3, 1, 1, &mut rng());
+        let y = conv.forward(&Tensor::zeros(&[2, 3, 8, 8]));
+        assert_eq!(y.shape().dims(), &[2, 4, 8, 8]);
+    }
+
+    #[test]
+    fn output_shape_stride2() {
+        let conv = Conv2d::new(1, 2, 3, 2, 1, &mut rng());
+        let y = conv.forward(&Tensor::zeros(&[1, 1, 8, 8]));
+        assert_eq!(y.shape().dims(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn known_convolution_value() {
+        // 1×1 input channel, 2×2 kernel of ones, no pad: output = patch sums.
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, &mut rng());
+        conv.weight.fill(1.0);
+        conv.bias.fill(0.5);
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let y = conv.forward(&x);
+        // patches: [1,2,4,5]=12, [2,3,5,6]=16, [4,5,7,8]=24, [5,6,8,9]=28; +bias
+        assert_eq!(y.data(), &[12.5, 16.5, 24.5, 28.5]);
+    }
+
+    #[test]
+    fn bias_applied_per_channel() {
+        let mut conv = Conv2d::new(1, 2, 1, 1, 0, &mut rng());
+        conv.weight.fill(0.0);
+        conv.bias.data_mut()[0] = 1.0;
+        conv.bias.data_mut()[1] = -1.0;
+        let y = conv.forward(&Tensor::zeros(&[1, 1, 2, 2]));
+        assert_eq!(y.at4(0, 0, 0, 0), 1.0);
+        assert_eq!(y.at4(0, 1, 1, 1), -1.0);
+    }
+
+    #[test]
+    fn forward_and_forward_train_agree() {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng());
+        let x = ftclip_tensor::uniform_init(&[2, 2, 5, 5], -1.0, 1.0, &mut rng());
+        let a = conv.forward(&x);
+        let b = conv.forward_train(&x);
+        assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        // numerical vs analytic gradient on a tiny conv
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, &mut rng());
+        let x = ftclip_tensor::uniform_init(&[1, 1, 3, 3], -1.0, 1.0, &mut rng());
+        // loss = sum(conv(x)); dL/dy = ones
+        let y = conv.forward_train(&x);
+        let ones = Tensor::ones(y.shape().dims());
+        conv.backward(&ones);
+        let eps = 1e-3;
+        for wi in 0..conv.weight.len() {
+            let orig = conv.weight.data()[wi];
+            conv.weight.data_mut()[wi] = orig + eps;
+            let lp = conv.forward(&x).sum();
+            conv.weight.data_mut()[wi] = orig - eps;
+            let lm = conv.forward(&x).sum();
+            conv.weight.data_mut()[wi] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = conv.grad_weight.data()[wi];
+            assert!((num - ana).abs() < 1e-2, "dW[{wi}]: numeric {num} vs analytic {ana}");
+        }
+    }
+
+    #[test]
+    fn gradient_check_input() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, &mut rng());
+        let x = ftclip_tensor::uniform_init(&[1, 1, 4, 4], -1.0, 1.0, &mut rng());
+        let y = conv.forward_train(&x);
+        let ones = Tensor::ones(y.shape().dims());
+        let gx = conv.backward(&ones);
+        let eps = 1e-3;
+        let mut xp = x.clone();
+        for xi in 0..x.len() {
+            let orig = x.data()[xi];
+            xp.data_mut()[xi] = orig + eps;
+            let lp = conv.forward(&xp).sum();
+            xp.data_mut()[xi] = orig - eps;
+            let lm = conv.forward(&xp).sum();
+            xp.data_mut()[xi] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = gx.data()[xi];
+            assert!((num - ana).abs() < 1e-2, "dx[{xi}]: numeric {num} vs analytic {ana}");
+        }
+    }
+
+    #[test]
+    fn gradient_check_bias() {
+        let mut conv = Conv2d::new(1, 2, 2, 1, 0, &mut rng());
+        let x = ftclip_tensor::uniform_init(&[2, 1, 3, 3], -1.0, 1.0, &mut rng());
+        let y = conv.forward_train(&x);
+        conv.backward(&Tensor::ones(y.shape().dims()));
+        // dL/db_oc = number of output pixels × batch, since dL/dy = 1
+        let (_, _, oh, ow) = y.shape().as_nchw();
+        let expect = (2 * oh * ow) as f32;
+        for oc in 0..2 {
+            assert!((conv.grad_bias.data()[oc] - expect).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn rejects_wrong_channel_count() {
+        let conv = Conv2d::new(3, 4, 3, 1, 1, &mut rng());
+        conv.forward(&Tensor::zeros(&[1, 2, 8, 8]));
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng());
+        let rebuilt = Conv2d::from_parts(2, 3, 3, 1, 1, conv.weight.clone(), conv.bias.clone());
+        let x = ftclip_tensor::uniform_init(&[1, 2, 4, 4], -1.0, 1.0, &mut rng());
+        assert!(conv.forward(&x).approx_eq(&rebuilt.forward(&x), 0.0));
+    }
+
+    #[test]
+    fn faulted_weight_produces_huge_activation() {
+        // The paper's key observation: flipping the MSB exponent bit of a
+        // small weight produces an astronomically large activation.
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng());
+        conv.weight.fill(0.01);
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let clean_max = conv.forward(&x).max();
+        assert!(clean_max < 1.0);
+        // flip bit 30 (MSB of exponent) of the weight word
+        let w = conv.weight.data()[0];
+        conv.weight.data_mut()[0] = f32::from_bits(w.to_bits() ^ (1 << 30));
+        let faulty_max = conv.forward(&x).max();
+        assert!(faulty_max > 1e30, "exponent-bit flip should explode the activation, got {faulty_max}");
+    }
+}

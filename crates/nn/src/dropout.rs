@@ -1,0 +1,126 @@
+//! Inverted dropout (train-time only).
+
+use ftclip_tensor::Tensor;
+use rand::Rng;
+
+/// Inverted dropout: during training each element is zeroed with probability
+/// `p` and survivors are scaled by `1/(1-p)`; at inference it is the
+/// identity.
+///
+/// The paper cites dropout as one of the inspirations for mapping
+/// high-intensity activations to zero (§IV-A); the AlexNet classifier head
+/// uses it during training.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1), got {p}");
+        Dropout { p, mask: None }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+
+    /// Inference forward pass — the identity.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        x.clone()
+    }
+
+    /// Training forward pass: samples and caches a mask.
+    pub fn forward_train<R: Rng + ?Sized>(&mut self, x: &Tensor, rng: &mut R) -> Tensor {
+        if self.p == 0.0 {
+            self.mask = Some(vec![1.0; x.len()]);
+            return x.clone();
+        }
+        let scale = 1.0 / (1.0 - self.p);
+        let mask: Vec<f32> = (0..x.len()).map(|_| if rng.gen::<f32>() < self.p { 0.0 } else { scale }).collect();
+        let mut y = x.clone();
+        for (v, m) in y.data_mut().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        self.mask = Some(mask);
+        y
+    }
+
+    /// Backward pass: applies the cached mask to the gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Dropout::forward_train`].
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.take().expect("backward called before forward_train");
+        assert_eq!(mask.len(), grad_out.len(), "grad shape mismatch");
+        let mut g = grad_out.clone();
+        for (v, m) in g.data_mut().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        g
+    }
+
+    /// Drops any cached training state.
+    pub fn clear_cache(&mut self) {
+        self.mask = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn inference_is_identity() {
+        let d = Dropout::new(0.5);
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        assert!(d.forward(&x).approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn train_mask_preserves_expectation() {
+        let mut d = Dropout::new(0.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward_train(&x, &mut rng);
+        // E[y] = 1; allow 5% tolerance
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_applies_same_mask() {
+        let mut d = Dropout::new(0.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::ones(&[64]);
+        let y = d.forward_train(&x, &mut rng);
+        let g = d.backward(&Tensor::ones(&[64]));
+        // gradient is zero exactly where the output was zero
+        for (yv, gv) in y.data().iter().zip(g.data()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn p_zero_is_noop() {
+        let mut d = Dropout::new(0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::from_slice(&[1.0, -2.0]);
+        assert!(d.forward_train(&x, &mut rng).approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_p_one() {
+        Dropout::new(1.0);
+    }
+}

@@ -1,0 +1,101 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by network construction, mutation and (de)serialization.
+#[derive(Debug)]
+pub enum NnError {
+    /// A layer index passed to a [`crate::Sequential`] API does not exist.
+    NoSuchLayer {
+        /// The offending index.
+        index: usize,
+        /// Number of layers in the network.
+        len: usize,
+    },
+    /// An operation that requires an activation layer was applied to a
+    /// different layer kind, or to an unclipped activation.
+    NotAClippedActivation {
+        /// The offending layer index.
+        index: usize,
+    },
+    /// The number of thresholds supplied differs from the number of
+    /// activation sites in the network.
+    ThresholdCountMismatch {
+        /// Number of activation sites in the network.
+        expected: usize,
+        /// Number of thresholds supplied.
+        got: usize,
+    },
+    /// A clipping threshold was not strictly positive and finite.
+    InvalidThreshold {
+        /// The offending value.
+        value: f32,
+    },
+    /// The serialized network file is malformed or has an unsupported
+    /// version.
+    Format {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An underlying I/O failure while reading or writing a network file.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::NoSuchLayer { index, len } => {
+                write!(f, "layer index {index} out of range for network with {len} layers")
+            }
+            NnError::NotAClippedActivation { index } => {
+                write!(f, "layer {index} is not a clipped activation")
+            }
+            NnError::ThresholdCountMismatch { expected, got } => {
+                write!(f, "expected {expected} clipping thresholds, got {got}")
+            }
+            NnError::InvalidThreshold { value } => {
+                write!(f, "clipping threshold must be positive and finite, got {value}")
+            }
+            NnError::Format { reason } => write!(f, "malformed network file: {reason}"),
+            NnError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NnError {
+    fn from(e: std::io::Error) -> Self {
+        NnError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = NnError::ThresholdCountMismatch { expected: 5, got: 3 };
+        assert!(e.to_string().contains('5') && e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = NnError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,231 @@
+//! Fully-connected (dense) layer.
+
+use ftclip_tensor::{matmul, matmul_nt, matmul_tn, Tensor};
+use rand::Rng;
+
+/// A fully-connected layer computing `y = x · Wᵀ + b`.
+///
+/// The weight matrix is stored `[out_features, in_features]`, one contiguous
+/// row per output neuron, matching the weight-memory layout assumed by the
+/// fault-injection framework.
+///
+/// # Example
+///
+/// ```
+/// use ftclip_nn::Linear;
+/// use ftclip_tensor::Tensor;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let fc = Linear::new(16, 4, &mut rng);
+/// let y = fc.forward(&Tensor::zeros(&[2, 16]));
+/// assert_eq!(y.shape().dims(), &[2, 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    pub(crate) weight: Tensor,
+    pub(crate) bias: Tensor,
+    pub(crate) grad_weight: Tensor,
+    pub(crate) grad_bias: Tensor,
+    cache: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer with He-normal weights and zero biases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either feature count is zero.
+    pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        assert!(in_features > 0 && out_features > 0, "feature counts must be positive");
+        let weight = ftclip_tensor::he_normal(&[out_features, in_features], in_features, rng);
+        Linear {
+            in_features,
+            out_features,
+            grad_weight: Tensor::zeros(&[out_features, in_features]),
+            grad_bias: Tensor::zeros(&[out_features]),
+            bias: Tensor::zeros(&[out_features]),
+            weight,
+            cache: None,
+        }
+    }
+
+    /// Rebuilds a layer from stored parameters (deserialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter shapes are inconsistent.
+    pub fn from_parts(in_features: usize, out_features: usize, weight: Tensor, bias: Tensor) -> Self {
+        assert_eq!(weight.shape().dims(), &[out_features, in_features], "linear weight shape mismatch");
+        assert_eq!(bias.shape().dims(), &[out_features], "linear bias shape mismatch");
+        Linear {
+            in_features,
+            out_features,
+            grad_weight: Tensor::zeros(&[out_features, in_features]),
+            grad_bias: Tensor::zeros(&[out_features]),
+            weight,
+            bias,
+            cache: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The `[out_features, in_features]` weight matrix.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The per-output biases.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// Inference forward pass on a `[batch, in_features]` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 2 or its trailing dimension differs from
+    /// `in_features`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let (n, f) = x.shape().as_matrix();
+        assert_eq!(f, self.in_features, "linear input feature mismatch");
+        let mut y = matmul_nt(x, &self.weight);
+        let data = y.data_mut();
+        for r in 0..n {
+            for (c, &b) in self.bias.data().iter().enumerate() {
+                data[r * self.out_features + c] += b;
+            }
+        }
+        y
+    }
+
+    /// Training forward pass; caches the input for [`Linear::backward`].
+    pub fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        let y = self.forward(x);
+        self.cache = Some(x.clone());
+        y
+    }
+
+    /// Backward pass: accumulates parameter gradients, returns `dL/dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Linear::forward_train`] or with a
+    /// mismatched gradient shape.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache.take().expect("backward called before forward_train");
+        let (n, o) = grad_out.shape().as_matrix();
+        assert_eq!(o, self.out_features, "grad shape mismatch");
+        assert_eq!(n, x.shape()[0], "grad batch mismatch");
+        // dW += gᵀ · x
+        let dw = matmul_tn(grad_out, &x);
+        self.grad_weight.axpy(1.0, &dw);
+        // db += column sums of g
+        for r in 0..n {
+            for c in 0..o {
+                self.grad_bias.data_mut()[c] += grad_out.data()[r * o + c];
+            }
+        }
+        // dx = g · W
+        matmul(grad_out, &self.weight)
+    }
+
+    /// Drops any cached training state.
+    pub fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn forward_known_values() {
+        let mut fc = Linear::new(2, 2, &mut rng());
+        fc.weight = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        fc.bias = Tensor::from_slice(&[10.0, 20.0]);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
+        // y0 = 1+2+10 = 13 ; y1 = 3+4+20 = 27
+        assert_eq!(fc.forward(&x).data(), &[13.0, 27.0]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut fc = Linear::new(3, 2, &mut rng());
+        let x = ftclip_tensor::uniform_init(&[4, 3], -1.0, 1.0, &mut rng());
+        let y = fc.forward_train(&x);
+        let gx = fc.backward(&Tensor::ones(y.shape().dims()));
+        let eps = 1e-3;
+        // weights
+        for wi in 0..fc.weight.len() {
+            let orig = fc.weight.data()[wi];
+            fc.weight.data_mut()[wi] = orig + eps;
+            let lp = fc.forward(&x).sum();
+            fc.weight.data_mut()[wi] = orig - eps;
+            let lm = fc.forward(&x).sum();
+            fc.weight.data_mut()[wi] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - fc.grad_weight.data()[wi]).abs() < 1e-2);
+        }
+        // input
+        let mut xp = x.clone();
+        for xi in 0..x.len() {
+            let orig = x.data()[xi];
+            xp.data_mut()[xi] = orig + eps;
+            let lp = fc.forward(&xp).sum();
+            xp.data_mut()[xi] = orig - eps;
+            let lm = fc.forward(&xp).sum();
+            xp.data_mut()[xi] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - gx.data()[xi]).abs() < 1e-2);
+        }
+        // bias gradient is batch size per output
+        for c in 0..2 {
+            assert!((fc.grad_bias.data()[c] - 4.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature mismatch")]
+    fn rejects_wrong_width() {
+        Linear::new(3, 2, &mut rng()).forward(&Tensor::zeros(&[1, 4]));
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let fc = Linear::new(5, 3, &mut rng());
+        let re = Linear::from_parts(5, 3, fc.weight.clone(), fc.bias.clone());
+        let x = ftclip_tensor::uniform_init(&[2, 5], -1.0, 1.0, &mut rng());
+        assert!(fc.forward(&x).approx_eq(&re.forward(&x), 0.0));
+    }
+
+    #[test]
+    fn param_count() {
+        let fc = Linear::new(5, 3, &mut rng());
+        assert_eq!(fc.param_count(), 5 * 3 + 3);
+    }
+}

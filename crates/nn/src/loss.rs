@@ -1,0 +1,210 @@
+//! Loss functions and classification metrics.
+
+use ftclip_tensor::Tensor;
+
+/// Numerically-stable softmax + cross-entropy over logits.
+///
+/// # Example
+///
+/// ```
+/// use ftclip_nn::loss::SoftmaxCrossEntropy;
+/// use ftclip_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0, 3.0], &[2, 2]).unwrap();
+/// let loss = SoftmaxCrossEntropy::new().loss(&logits, &[0, 1]);
+/// assert!(loss < 0.2); // confident and correct
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftmaxCrossEntropy {
+    _private: (),
+}
+
+impl SoftmaxCrossEntropy {
+    /// Creates the loss function.
+    pub fn new() -> Self {
+        SoftmaxCrossEntropy { _private: () }
+    }
+
+    /// Row-wise softmax with max subtraction for stability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is not rank 2.
+    pub fn softmax(&self, logits: &Tensor) -> Tensor {
+        let (n, c) = logits.shape().as_matrix();
+        let mut out = logits.clone();
+        let data = out.data_mut();
+        for r in 0..n {
+            let row = &mut data[r * c..(r + 1) * c];
+            let m = row.iter().copied().filter(|x| !x.is_nan()).fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - m).exp();
+                sum += *v;
+            }
+            if sum > 0.0 && sum.is_finite() {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            } else {
+                // degenerate (all -inf / NaN) row — uniform fallback
+                for v in row.iter_mut() {
+                    *v = 1.0 / c as f32;
+                }
+            }
+        }
+        out
+    }
+
+    /// Mean cross-entropy of `logits` against integer labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the batch size or any label is
+    /// out of range.
+    pub fn loss(&self, logits: &Tensor, labels: &[usize]) -> f32 {
+        let (n, c) = logits.shape().as_matrix();
+        assert_eq!(labels.len(), n, "label count must match batch size");
+        let probs = self.softmax(logits);
+        let mut total = 0.0f32;
+        for (r, &label) in labels.iter().enumerate() {
+            assert!(label < c, "label {label} out of range for {c} classes");
+            let p = probs.data()[r * c + label].max(1e-12);
+            total += -p.ln();
+        }
+        total / n as f32
+    }
+
+    /// Loss value together with the gradient with respect to the logits
+    /// (`(softmax − onehot) / n`), ready to feed into
+    /// [`crate::Sequential::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`SoftmaxCrossEntropy::loss`].
+    pub fn loss_and_grad(&self, logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+        let (n, c) = logits.shape().as_matrix();
+        assert_eq!(labels.len(), n, "label count must match batch size");
+        let probs = self.softmax(logits);
+        let mut grad = probs.clone();
+        let mut total = 0.0f32;
+        for (r, &label) in labels.iter().enumerate() {
+            assert!(label < c, "label {label} out of range for {c} classes");
+            let p = probs.data()[r * c + label].max(1e-12);
+            total += -p.ln();
+            grad.data_mut()[r * c + label] -= 1.0;
+        }
+        grad.scale(1.0 / n as f32);
+        (total / n as f32, grad)
+    }
+}
+
+/// Fraction of rows whose argmax equals the label.
+///
+/// This is the classification-accuracy metric used in every experiment of
+/// the paper.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2 or `labels.len()` differs from the batch
+/// size.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let preds = logits.argmax_rows();
+    assert_eq!(preds.len(), labels.len(), "label count must match batch size");
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let p = SoftmaxCrossEntropy::new().softmax(&logits);
+        for r in 0..2 {
+            let s: f32 = (0..3).map(|c| p.at2(r, c)).sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_stable_under_huge_faulty_logits() {
+        let logits = Tensor::from_vec(vec![1e38, 0.0, -1e38, 0.0], &[2, 2]).unwrap();
+        let p = SoftmaxCrossEntropy::new().softmax(&logits);
+        assert!(p.iter().all(|x| x.is_finite()));
+        assert!((p.at2(0, 0) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_handles_all_nan_row() {
+        let logits = Tensor::from_vec(vec![f32::NAN, f32::NAN], &[1, 2]).unwrap();
+        let p = SoftmaxCrossEntropy::new().softmax(&logits);
+        assert!((p.at2(0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn loss_decreases_with_confidence() {
+        let ce = SoftmaxCrossEntropy::new();
+        let weak = Tensor::from_vec(vec![0.1, 0.0], &[1, 2]).unwrap();
+        let strong = Tensor::from_vec(vec![5.0, 0.0], &[1, 2]).unwrap();
+        assert!(ce.loss(&strong, &[0]) < ce.loss(&weak, &[0]));
+    }
+
+    #[test]
+    fn uniform_logits_give_ln_c() {
+        let ce = SoftmaxCrossEntropy::new();
+        let logits = Tensor::zeros(&[1, 10]);
+        assert!((ce.loss(&logits, &[3]) - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let ce = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![0.3, -0.2, 0.5, 0.1, 0.9, -0.4], &[2, 3]).unwrap();
+        let labels = [2usize, 0];
+        let (_, grad) = ce.loss_and_grad(&logits, &labels);
+        let eps = 1e-3;
+        let mut probe = logits.clone();
+        for i in 0..logits.len() {
+            let orig = probe.data()[i];
+            probe.data_mut()[i] = orig + eps;
+            let lp = ce.loss(&probe, &labels);
+            probe.data_mut()[i] = orig - eps;
+            let lm = ce.loss(&probe, &labels);
+            probe.data_mut()[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - grad.data()[i]).abs() < 1e-3, "grad[{i}]: {num} vs {}", grad.data()[i]);
+        }
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        let ce = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![0.3, -0.2, 0.5, 0.1, 0.9, -0.4], &[2, 3]).unwrap();
+        let (_, grad) = ce.loss_and_grad(&logits, &[1, 2]);
+        for r in 0..2 {
+            let s: f32 = (0..3).map(|c| grad.at2(r, c)).sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_correct() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]).unwrap();
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count")]
+    fn accuracy_validates_lengths() {
+        accuracy(&Tensor::zeros(&[2, 2]), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn loss_validates_labels() {
+        SoftmaxCrossEntropy::new().loss(&Tensor::zeros(&[1, 2]), &[5]);
+    }
+}

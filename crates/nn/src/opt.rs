@@ -1,0 +1,218 @@
+//! First-order optimizers.
+//!
+//! Both optimizers key their per-parameter state by the *position* of the
+//! parameter in the [`crate::Sequential::params_mut`] list, which is stable
+//! for the lifetime of a network.
+
+use ftclip_tensor::Tensor;
+
+use crate::ParamRef;
+
+/// An optimizer that consumes accumulated gradients and updates parameters.
+///
+/// The trait is object-safe so trainers can hold a `Box<dyn Optimizer>`.
+pub trait Optimizer: Send {
+    /// Applies one update step using the gradients currently stored in
+    /// `params` and the given learning rate.
+    fn step(&mut self, params: &mut [ParamRef<'_>], lr: f32);
+}
+
+/// Stochastic gradient descent with momentum and decoupled weight decay.
+///
+/// # Example
+///
+/// ```
+/// use ftclip_nn::opt::{Optimizer, Sgd};
+/// use ftclip_nn::{Layer, Sequential};
+///
+/// let mut net = Sequential::new(vec![Layer::linear(2, 2, 0)]);
+/// let mut opt = Sgd::new(0.9, 5e-4);
+/// opt.step(&mut net.params_mut(), 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ momentum < 1` and `weight_decay ≥ 0`.
+    pub fn new(momentum: f32, weight_decay: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        Sgd { momentum, weight_decay, velocity: Vec::new() }
+    }
+
+    /// Plain SGD without momentum or weight decay.
+    pub fn plain() -> Self {
+        Sgd::new(0.0, 0.0)
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [ParamRef<'_>], lr: f32) {
+        if self.velocity.len() != params.len() {
+            self.velocity = params.iter().map(|p| Tensor::zeros(p.values.shape().dims())).collect();
+        }
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            // decoupled weight decay on weights only (biases are exempt,
+            // standard practice)
+            if self.weight_decay > 0.0 && p.kind == crate::ParamKind::Weight {
+                let w = p.values.clone();
+                p.grad.axpy(self.weight_decay, &w);
+            }
+            if self.momentum > 0.0 {
+                v.scale(self.momentum);
+                v.axpy(1.0, p.grad);
+                p.values.axpy(-lr, v);
+            } else {
+                let g = p.grad.clone();
+                p.values.axpy(-lr, &g);
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the canonical defaults `β₁=0.9, β₂=0.999, ε=1e-8`.
+    pub fn new() -> Self {
+        Adam::with_betas(0.9, 0.999, 1e-8)
+    }
+
+    /// Creates Adam with explicit hyper-parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ β < 1` for both betas and `eps > 0`.
+    pub fn with_betas(beta1: f32, beta2: f32, eps: f32) -> Self {
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas must be in [0, 1)");
+        assert!(eps > 0.0, "eps must be positive");
+        Adam { beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Adam::new()
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [ParamRef<'_>], lr: f32) {
+        if self.m.len() != params.len() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.values.shape().dims())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.values.shape().dims())).collect();
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            for i in 0..p.values.len() {
+                let g = p.grad.data()[i];
+                let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * g;
+                let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * g * g;
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                p.values.data_mut()[i] -= lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Layer, Sequential};
+
+    fn quadratic_grad(params: &mut [ParamRef<'_>]) {
+        // d/dw (w²/2) = w
+        for p in params.iter_mut() {
+            let w = p.values.clone();
+            p.grad.fill(0.0);
+            p.grad.axpy(1.0, &w);
+        }
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let mut net = Sequential::new(vec![Layer::linear(4, 4, 3)]);
+        let mut opt = Sgd::plain();
+        for _ in 0..200 {
+            let mut params = net.params_mut();
+            quadratic_grad(&mut params);
+            opt.step(&mut params, 0.1);
+        }
+        let norm: f32 = net.params_mut().iter().map(|p| p.values.norm_sq()).sum();
+        assert!(norm < 1e-6, "sgd should converge to zero, norm {norm}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges_faster_on_quadratic() {
+        let run = |mut opt: Sgd, steps: usize| {
+            let mut net = Sequential::new(vec![Layer::linear(4, 4, 3)]);
+            for _ in 0..steps {
+                let mut params = net.params_mut();
+                quadratic_grad(&mut params);
+                opt.step(&mut params, 0.02);
+            }
+            net.params_mut().iter().map(|p| p.values.norm_sq()).sum::<f32>()
+        };
+        let plain = run(Sgd::plain(), 60);
+        let momentum = run(Sgd::new(0.9, 0.0), 60);
+        assert!(momentum < plain, "momentum {momentum} should beat plain {plain}");
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut net = Sequential::new(vec![Layer::linear(4, 4, 3)]);
+        let mut opt = Adam::new();
+        for _ in 0..500 {
+            let mut params = net.params_mut();
+            quadratic_grad(&mut params);
+            opt.step(&mut params, 0.05);
+        }
+        let norm: f32 = net.params_mut().iter().map(|p| p.values.norm_sq()).sum();
+        assert!(norm < 1e-4, "adam should converge, norm {norm}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut net = Sequential::new(vec![Layer::linear(4, 4, 3)]);
+        let before: f32 = net.params_mut().iter().map(|p| p.values.norm_sq()).sum();
+        let mut opt = Sgd::new(0.0, 0.1);
+        for _ in 0..10 {
+            let mut params = net.params_mut();
+            for p in params.iter_mut() {
+                p.grad.fill(0.0);
+            }
+            opt.step(&mut params, 0.5);
+        }
+        let after: f32 = net.params_mut().iter().map(|p| p.values.norm_sq()).sum();
+        assert!(after < before, "decay should shrink weights");
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn sgd_validates_momentum() {
+        Sgd::new(1.5, 0.0);
+    }
+}

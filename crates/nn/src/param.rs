@@ -1,0 +1,61 @@
+//! Parameter descriptors shared by the optimizers and the fault injector.
+
+use ftclip_tensor::Tensor;
+
+/// Whether a parameter tensor holds weights or biases.
+///
+/// The paper's fault model corrupts the **weight memory**; biases can be
+/// included via `ftclip-fault`'s injection-target configuration as an
+/// ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamKind {
+    /// Multiplicative parameters (conv filters, FC matrices).
+    Weight,
+    /// Additive parameters.
+    Bias,
+}
+
+impl std::fmt::Display for ParamKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamKind::Weight => write!(f, "weight"),
+            ParamKind::Bias => write!(f, "bias"),
+        }
+    }
+}
+
+/// A mutable view of one parameter tensor and its gradient accumulator.
+///
+/// Produced by [`crate::Sequential::params_mut`]; consumed by the optimizers.
+/// The `layer` index and `kind` identify the parameter stably across calls,
+/// which is what lets optimizers key their per-parameter state by position.
+#[derive(Debug)]
+pub struct ParamRef<'a> {
+    /// Index of the owning layer within the network.
+    pub layer: usize,
+    /// Weight or bias.
+    pub kind: ParamKind,
+    /// The parameter values.
+    pub values: &'a mut Tensor,
+    /// The gradient accumulated by the latest backward pass.
+    pub grad: &'a mut Tensor,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(ParamKind::Weight.to_string(), "weight");
+        assert_eq!(ParamKind::Bias.to_string(), "bias");
+    }
+
+    #[test]
+    fn param_ref_is_constructible() {
+        let mut v = Tensor::zeros(&[2]);
+        let mut g = Tensor::zeros(&[2]);
+        let p = ParamRef { layer: 0, kind: ParamKind::Weight, values: &mut v, grad: &mut g };
+        assert_eq!(p.values.len(), p.grad.len());
+    }
+}

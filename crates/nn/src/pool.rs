@@ -1,0 +1,332 @@
+//! Spatial pooling layers.
+
+use ftclip_tensor::{conv_output_size, Tensor};
+
+/// Max pooling over NCHW feature maps.
+///
+/// # Example
+///
+/// ```
+/// use ftclip_nn::MaxPool2d;
+/// use ftclip_tensor::Tensor;
+///
+/// let pool = MaxPool2d::new(2, 2);
+/// let y = pool.forward(&Tensor::zeros(&[1, 3, 8, 8]));
+/// assert_eq!(y.shape().dims(), &[1, 3, 4, 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    /// Per-output linear index of the winning input element, cached by
+    /// `forward_train` for the backward scatter.
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (input shape as 4 dims flattened, argmax indices)
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0` or `stride == 0`.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        MaxPool2d { kernel, stride, cache: None }
+    }
+
+    /// Pooling window size.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Pooling stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    fn pool(&self, x: &Tensor, record: bool) -> (Tensor, Vec<usize>) {
+        let (n, c, h, w) = x.shape().as_nchw();
+        let oh = conv_output_size(h, self.kernel, self.stride, 0);
+        let ow = conv_output_size(w, self.kernel, self.stride, 0);
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let mut arg = if record { vec![0usize; n * c * oh * ow] } else { Vec::new() };
+        let src = x.data();
+        let dst = out.data_mut();
+        let mut o = 0usize;
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = (ni * c + ci) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = plane + oy * self.stride * w + ox * self.stride;
+                        for ky in 0..self.kernel {
+                            let iy = oy * self.stride + ky;
+                            if iy >= h {
+                                break;
+                            }
+                            for kx in 0..self.kernel {
+                                let ix = ox * self.stride + kx;
+                                if ix >= w {
+                                    break;
+                                }
+                                let idx = plane + iy * w + ix;
+                                let v = src[idx];
+                                if v > best {
+                                    best = v;
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        dst[o] = best;
+                        if record {
+                            arg[o] = best_idx;
+                        }
+                        o += 1;
+                    }
+                }
+            }
+        }
+        (out, arg)
+    }
+
+    /// Inference forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 4 or smaller than the pooling window.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.pool(x, false).0
+    }
+
+    /// Training forward pass; caches argmax indices for the backward scatter.
+    pub fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        let (y, arg) = self.pool(x, true);
+        self.cache = Some((x.shape().dims().to_vec(), arg));
+        y
+    }
+
+    /// Backward pass: routes each output gradient to the input element that
+    /// won the max.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`MaxPool2d::forward_train`].
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (in_dims, arg) = self.cache.take().expect("backward called before forward_train");
+        assert_eq!(grad_out.len(), arg.len(), "grad shape mismatch");
+        let mut grad_in = Tensor::zeros(&in_dims);
+        let gi = grad_in.data_mut();
+        for (o, &idx) in arg.iter().enumerate() {
+            gi[idx] += grad_out.data()[o];
+        }
+        grad_in
+    }
+
+    /// Drops any cached training state.
+    pub fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+/// Average pooling over NCHW feature maps.
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    kernel: usize,
+    stride: usize,
+    cache: Option<Vec<usize>>, // input dims
+}
+
+impl AvgPool2d {
+    /// Creates an average-pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0` or `stride == 0`.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        AvgPool2d { kernel, stride, cache: None }
+    }
+
+    /// Pooling window size.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Pooling stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Inference forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 4 or smaller than the pooling window.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let (n, c, h, w) = x.shape().as_nchw();
+        let oh = conv_output_size(h, self.kernel, self.stride, 0);
+        let ow = conv_output_size(w, self.kernel, self.stride, 0);
+        let norm = 1.0 / (self.kernel * self.kernel) as f32;
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let src = x.data();
+        let dst = out.data_mut();
+        let mut o = 0usize;
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = (ni * c + ci) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ky in 0..self.kernel {
+                            let iy = oy * self.stride + ky;
+                            if iy >= h {
+                                continue;
+                            }
+                            for kx in 0..self.kernel {
+                                let ix = ox * self.stride + kx;
+                                if ix >= w {
+                                    continue;
+                                }
+                                acc += src[plane + iy * w + ix];
+                            }
+                        }
+                        dst[o] = acc * norm;
+                        o += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Training forward pass; caches the input shape.
+    pub fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        self.cache = Some(x.shape().dims().to_vec());
+        self.forward(x)
+    }
+
+    /// Backward pass: spreads each output gradient uniformly over its window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`AvgPool2d::forward_train`].
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let in_dims = self.cache.take().expect("backward called before forward_train");
+        let (n, c, h, w) = (in_dims[0], in_dims[1], in_dims[2], in_dims[3]);
+        let (gn, gc, oh, ow) = grad_out.shape().as_nchw();
+        assert_eq!((gn, gc), (n, c), "grad shape mismatch");
+        let norm = 1.0 / (self.kernel * self.kernel) as f32;
+        let mut grad_in = Tensor::zeros(&in_dims);
+        let gi = grad_in.data_mut();
+        let go = grad_out.data();
+        let mut o = 0usize;
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = (ni * c + ci) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = go[o] * norm;
+                        o += 1;
+                        for ky in 0..self.kernel {
+                            let iy = oy * self.stride + ky;
+                            if iy >= h {
+                                continue;
+                            }
+                            for kx in 0..self.kernel {
+                                let ix = ox * self.stride + kx;
+                                if ix >= w {
+                                    continue;
+                                }
+                                gi[plane + iy * w + ix] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    /// Drops any cached training state.
+    pub fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_known_values() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0], &[1, 1, 4, 4]).unwrap();
+        let pool = MaxPool2d::new(2, 2);
+        let y = pool.forward(&x);
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let mut pool = MaxPool2d::new(2, 2);
+        pool.forward_train(&x);
+        let g = pool.backward(&Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]).unwrap());
+        assert_eq!(g.data(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn maxpool_propagates_huge_faulty_values() {
+        // A faulty high-intensity activation survives max pooling — part of
+        // why faults propagate to the output (paper §III).
+        let mut x = Tensor::ones(&[1, 1, 4, 4]);
+        x.data_mut()[5] = 1e30;
+        let y = MaxPool2d::new(2, 2).forward(&x);
+        assert_eq!(y.max(), 1e30);
+    }
+
+    #[test]
+    fn avgpool_known_values() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]).unwrap();
+        let y = AvgPool2d::new(2, 2).forward(&x);
+        assert_eq!(y.data(), &[4.0]);
+    }
+
+    #[test]
+    fn avgpool_backward_uniform() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]).unwrap();
+        let mut pool = AvgPool2d::new(2, 2);
+        pool.forward_train(&x);
+        let g = pool.backward(&Tensor::from_vec(vec![8.0], &[1, 1, 1, 1]).unwrap());
+        assert_eq!(g.data(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn pool_shapes() {
+        let x = Tensor::zeros(&[2, 3, 9, 9]);
+        assert_eq!(MaxPool2d::new(3, 3).forward(&x).shape().dims(), &[2, 3, 3, 3]);
+        assert_eq!(AvgPool2d::new(2, 2).forward(&x).shape().dims(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn maxpool_gradient_check() {
+        // values separated by ≥ 0.05 so finite differences never flip the max
+        let vals: Vec<f32> = (0..32).map(|i| ((i * 13) % 32) as f32 * 0.05).collect();
+        let x = Tensor::from_vec(vals, &[1, 2, 4, 4]).unwrap();
+        let mut pool = MaxPool2d::new(2, 2);
+        let y = pool.forward_train(&x);
+        let gx = pool.backward(&Tensor::ones(y.shape().dims()));
+        let eps = 1e-3;
+        let mut xp = x.clone();
+        for i in 0..x.len() {
+            let orig = x.data()[i];
+            xp.data_mut()[i] = orig + eps;
+            let lp = pool.forward(&xp).sum();
+            xp.data_mut()[i] = orig - eps;
+            let lm = pool.forward(&xp).sum();
+            xp.data_mut()[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - gx.data()[i]).abs() < 1e-2, "dx[{i}]");
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Learning-rate schedules.
+
+/// A learning-rate schedule: maps an epoch index to a learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// The same rate every epoch.
+    Constant {
+        /// The learning rate.
+        lr: f32,
+    },
+    /// Multiplies the rate by `gamma` every `step` epochs.
+    StepDecay {
+        /// Initial learning rate.
+        lr: f32,
+        /// Epochs between decays.
+        step: usize,
+        /// Multiplicative decay factor.
+        gamma: f32,
+    },
+    /// Cosine annealing from `lr` to `min_lr` over `total_epochs`.
+    Cosine {
+        /// Initial learning rate.
+        lr: f32,
+        /// Final learning rate.
+        min_lr: f32,
+        /// Total number of epochs in the schedule.
+        total_epochs: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate for `epoch` (0-based).
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::StepDecay { lr, step, gamma } => {
+                let decays = epoch.checked_div(step).unwrap_or(0);
+                lr * gamma.powi(decays as i32)
+            }
+            LrSchedule::Cosine { lr, min_lr, total_epochs } => {
+                if total_epochs <= 1 {
+                    return lr;
+                }
+                let t = (epoch.min(total_epochs - 1)) as f32 / (total_epochs - 1) as f32;
+                min_lr + 0.5 * (lr - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+impl Default for LrSchedule {
+    /// A constant rate of `0.01`.
+    fn default() -> Self {
+        LrSchedule::Constant { lr: 0.01 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.1 };
+        assert_eq!(s.lr_at(0), 0.1);
+        assert_eq!(s.lr_at(100), 0.1);
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = LrSchedule::StepDecay { lr: 0.1, step: 10, gamma: 0.5 };
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(9) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(10) - 0.05).abs() < 1e-7);
+        assert!((s.lr_at(25) - 0.025).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cosine_endpoints() {
+        let s = LrSchedule::Cosine { lr: 0.1, min_lr: 0.001, total_epochs: 11 };
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-6);
+        assert!((s.lr_at(10) - 0.001).abs() < 1e-6);
+        // monotone decreasing
+        for e in 0..10 {
+            assert!(s.lr_at(e + 1) <= s.lr_at(e) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn cosine_degenerate_single_epoch() {
+        let s = LrSchedule::Cosine { lr: 0.1, min_lr: 0.0, total_epochs: 1 };
+        assert_eq!(s.lr_at(0), 0.1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the CNN engine: activation invariants,
+//! serialization roundtrips and loss-function laws.
+
+use ftclip_nn::{
+    read_network, write_network, Activation, AvgPool2d, BatchNorm2d, Dropout, Layer, MaxPool2d,
+    Sequential,
+};
+use ftclip_tensor::Tensor;
+use proptest::prelude::*;
+
+fn activation_strategy() -> impl Strategy<Value = Activation> {
+    prop_oneof![
+        Just(Activation::Identity),
+        Just(Activation::Relu),
+        (0.1f32..100.0).prop_map(|threshold| Activation::ClippedRelu { threshold }),
+        (0.1f32..100.0).prop_map(|threshold| Activation::SaturatedRelu { threshold }),
+        (0.001f32..0.5).prop_map(|slope| Activation::LeakyRelu { slope }),
+        (0.001f32..0.5, 0.1f32..100.0)
+            .prop_map(|(slope, threshold)| Activation::ClippedLeakyRelu { slope, threshold }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn clipped_relu_output_always_in_range(threshold in 0.1f32..50.0, x in -1e9f32..1e9) {
+        let a = Activation::ClippedRelu { threshold };
+        let y = a.apply_scalar(x);
+        prop_assert!((0.0..=threshold).contains(&y), "f({x}) = {y} outside [0, {threshold}]");
+    }
+
+    #[test]
+    fn clipped_relu_squashes_everything_above_threshold(threshold in 0.1f32..50.0, excess in 0.001f32..1e6) {
+        let a = Activation::ClippedRelu { threshold };
+        prop_assert_eq!(a.apply_scalar(threshold + excess), 0.0);
+    }
+
+    #[test]
+    fn saturated_relu_output_always_in_range(threshold in 0.1f32..50.0, x in -1e9f32..1e9) {
+        let a = Activation::SaturatedRelu { threshold };
+        let y = a.apply_scalar(x);
+        prop_assert!((0.0..=threshold).contains(&y));
+    }
+
+    #[test]
+    fn relu_family_is_idempotent(act in activation_strategy(), x in -100.0f32..100.0) {
+        // applying any of these activations twice equals applying once
+        // (their ranges are fixed points), except leaky variants on
+        // negative values — restrict to the non-negative case there.
+        let once = act.apply_scalar(x);
+        let twice = act.apply_scalar(once);
+        match act {
+            Activation::LeakyRelu { .. } | Activation::ClippedLeakyRelu { .. } if once < 0.0 => {}
+            _ => prop_assert_eq!(once, twice, "activation {} not idempotent at {}", act, x),
+        }
+    }
+
+    #[test]
+    fn derivative_is_zero_where_clipped(threshold in 0.5f32..50.0, excess in 0.01f32..1e3) {
+        let a = Activation::ClippedRelu { threshold };
+        prop_assert_eq!(a.derivative(threshold + excess), 0.0);
+        prop_assert_eq!(a.derivative(-excess), 0.0);
+    }
+
+    #[test]
+    fn threshold_update_roundtrip(act in activation_strategy(), t in 0.1f32..100.0) {
+        if let Some(updated) = act.with_threshold(t) {
+            prop_assert_eq!(updated.threshold(), Some(t));
+        } else {
+            prop_assert!(act.threshold().is_none());
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one(
+        rows in 1usize..5,
+        cols in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i as u64 * 2654435761 + seed) % 2000) as f32 / 100.0 - 10.0)
+            .collect();
+        let logits = Tensor::from_vec(data, &[rows, cols]).unwrap();
+        let probs = ftclip_nn::loss::SoftmaxCrossEntropy::new().softmax(&logits);
+        for r in 0..rows {
+            let s: f32 = (0..cols).map(|c| probs.at2(r, c)).sum();
+            prop_assert!((s - 1.0).abs() < 1e-4, "row {} sums to {}", r, s);
+        }
+    }
+
+    #[test]
+    fn loss_grad_rows_sum_to_zero(
+        rows in 1usize..5,
+        cols in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i as u64 * 1099511628211 + seed) % 600) as f32 / 100.0 - 3.0)
+            .collect();
+        let logits = Tensor::from_vec(data, &[rows, cols]).unwrap();
+        let labels: Vec<usize> = (0..rows).map(|r| (r + seed as usize) % cols).collect();
+        let (_, grad) = ftclip_nn::loss::SoftmaxCrossEntropy::new().loss_and_grad(&logits, &labels);
+        for r in 0..rows {
+            let s: f32 = (0..cols).map(|c| grad.at2(r, c)).sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+}
+
+fn layer_strategy(seed: u64) -> impl Strategy<Value = Layer> {
+    prop_oneof![
+        (1usize..4, 1usize..4).prop_map(move |(i, o)| Layer::conv2d(i, o, 3, 1, 1, seed)),
+        activation_strategy().prop_map(Layer::activation),
+        Just(Layer::MaxPool2d(MaxPool2d::new(2, 2))),
+        Just(Layer::AvgPool2d(AvgPool2d::new(2, 2))),
+        Just(Layer::flatten()),
+        (1usize..8).prop_map(|c| Layer::BatchNorm2d(BatchNorm2d::new(c))),
+        (0.0f32..0.9).prop_map(|p| Layer::Dropout(Dropout::new(p))),
+        (1usize..20, 1usize..20).prop_map(move |(i, o)| Layer::linear(i, o, seed)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn arbitrary_networks_roundtrip_through_serialization(
+        layers in proptest::collection::vec(layer_strategy(99), 1..6)
+    ) {
+        let net = Sequential::new(layers);
+        let mut buf = Vec::new();
+        write_network(&net, &mut buf).unwrap();
+        let loaded = read_network(buf.as_slice()).unwrap();
+        prop_assert_eq!(loaded.len(), net.len());
+        prop_assert_eq!(loaded.param_count(), net.param_count());
+        prop_assert_eq!(loaded.clip_thresholds(), net.clip_thresholds());
+        // parameter data is bit-identical
+        let mut a = Vec::new();
+        net.visit_params(&mut |_, _, t, _| a.extend(t.data().iter().map(|x| x.to_bits())));
+        let mut b = Vec::new();
+        loaded.visit_params(&mut |_, _, t, _| b.extend(t.data().iter().map(|x| x.to_bits())));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn convert_to_clipped_preserves_behaviour_below_thresholds(
+        threshold in 1.0f32..10.0,
+        seed in 0u64..100,
+    ) {
+        // inputs small enough that no activation exceeds the threshold →
+        // the clipped network computes exactly the same function
+        let mut net = Sequential::new(vec![
+            Layer::linear(4, 4, seed),
+            Layer::relu(),
+            Layer::linear(4, 2, seed ^ 1),
+        ]);
+        let x = Tensor::from_vec(
+            (0..8).map(|i| ((i as f32) * 0.01) - 0.04).collect(),
+            &[2, 4],
+        ).unwrap();
+        let before = net.forward(&x);
+        // weights are He-initialized (|w| < 1.5 with overwhelming margin),
+        // inputs tiny, so pre-activations stay well below threshold ≥ 1.0
+        net.convert_to_clipped(&[threshold]);
+        let after = net.forward(&x);
+        prop_assert!(before.approx_eq(&after, 1e-6));
+    }
+}

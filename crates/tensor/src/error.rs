@@ -1,0 +1,75 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by fallible tensor constructors and reshaping operations.
+///
+/// Hot-path arithmetic (elementwise ops, matmul) panics on shape mismatch
+/// instead of returning `Result`; those panics are documented on each method.
+/// This type is reserved for the boundary where user-provided data enters the
+/// crate ([`crate::Tensor::from_vec`], [`crate::Tensor::reshape`], …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by the shape differs from the length of
+    /// the provided buffer.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        got: usize,
+    },
+    /// A shape with zero dimensions (or a zero-sized dimension where it is not
+    /// allowed) was provided.
+    InvalidShape {
+        /// Human-readable description of what was wrong.
+        reason: String,
+    },
+    /// Two shapes that were required to match did not.
+    ShapeMismatch {
+        /// The shape the operation expected.
+        expected: Vec<usize>,
+        /// The shape the operation received.
+        got: Vec<usize>,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, got } => {
+                write!(f, "buffer length {got} does not match shape volume {expected}")
+            }
+            TensorError::InvalidShape { reason } => write!(f, "invalid shape: {reason}"),
+            TensorError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected:?}, got {got:?}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = TensorError::LengthMismatch { expected: 4, got: 3 };
+        let s = e.to_string();
+        assert!(s.contains('4') && s.contains('3'));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn shape_mismatch_display_lists_both_shapes() {
+        let e = TensorError::ShapeMismatch { expected: vec![2, 2], got: vec![4] };
+        let s = e.to_string();
+        assert!(s.contains("[2, 2]") && s.contains("[4]"));
+    }
+}

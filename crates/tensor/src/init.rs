@@ -1,0 +1,112 @@
+//! Random weight initializers.
+//!
+//! All initializers take an explicit RNG so every experiment in the workspace
+//! is reproducible from a single seed. The normal sampler uses Box–Muller so
+//! no distribution crate is needed.
+
+use rand::Rng;
+
+use crate::Tensor;
+
+/// He (Kaiming) normal initialization: `N(0, sqrt(2 / fan_in))`.
+///
+/// The standard initializer for ReLU networks; all conv and FC layers in the
+/// model zoo use it.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0` or the shape is invalid.
+pub fn he_normal<R: Rng + ?Sized>(dims: &[usize], fan_in: usize, rng: &mut R) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f32).sqrt();
+    normal(dims, 0.0, std, rng)
+}
+
+/// Xavier/Glorot uniform initialization: `U(±sqrt(6 / (fan_in + fan_out)))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out == 0` or the shape is invalid.
+pub fn xavier_uniform<R: Rng + ?Sized>(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform_init(dims, -bound, bound, rng)
+}
+
+/// Uniform initialization on `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi` or the shape is invalid.
+pub fn uniform_init<R: Rng + ?Sized>(dims: &[usize], lo: f32, hi: f32, rng: &mut R) -> Tensor {
+    assert!(lo < hi, "empty uniform range [{lo}, {hi})");
+    let volume: usize = dims.iter().product();
+    let data = (0..volume).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(data, dims).expect("volume matches by construction")
+}
+
+/// Normal initialization `N(mean, std²)` via Box–Muller.
+fn normal<R: Rng + ?Sized>(dims: &[usize], mean: f32, std: f32, rng: &mut R) -> Tensor {
+    let volume: usize = dims.iter().product();
+    let mut data = Vec::with_capacity(volume);
+    while data.len() < volume {
+        let u1: f32 = rng.gen_range(f32::MIN_POSITIVE..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < volume {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Tensor::from_vec(data, dims).expect("volume matches by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_normal_std_close_to_target() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let fan_in = 128;
+        let t = he_normal(&[10_000], fan_in, &mut rng);
+        let mean = t.mean();
+        let var = t.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        let target = 2.0 / fan_in as f32;
+        assert!((mean).abs() < 0.01, "mean {mean} too far from 0");
+        assert!((var - target).abs() / target < 0.1, "var {var} vs target {target}");
+    }
+
+    #[test]
+    fn xavier_uniform_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = xavier_uniform(&[1000], 50, 50, &mut rng);
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(t.max() <= bound && t.min() >= -bound);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = he_normal(&[64], 8, &mut StdRng::seed_from_u64(42));
+        let b = he_normal(&[64], 8, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty uniform range")]
+    fn uniform_rejects_empty_range() {
+        uniform_init(&[4], 1.0, 1.0, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn weights_concentrated_near_zero() {
+        // The FT-ClipAct premise: trained/initialized weights sit near zero,
+        // so MSB exponent flips create huge outliers. Sanity-check magnitude.
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = he_normal(&[4096], 256, &mut rng);
+        assert!(t.max() < 1.0 && t.min() > -1.0);
+    }
+}

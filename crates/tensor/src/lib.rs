@@ -1,0 +1,51 @@
+//! Dense `f32` tensor substrate for the FT-ClipAct reproduction.
+//!
+//! This crate provides the numeric foundation on which the rest of the
+//! workspace (the CNN engine in `ftclip-nn`, the fault-injection framework in
+//! `ftclip-fault` and the FT-ClipAct methodology in `ftclip-core`) is built:
+//!
+//! * [`Tensor`] — an owned, contiguous, row-major `f32` tensor with an
+//!   arbitrary number of dimensions (networks use NCHW).
+//! * [`Shape`] — a lightweight dimension list with explicit validation.
+//! * [`matmul`], [`matmul_tn`], [`matmul_nt`] — cache-blocked, multi-threaded
+//!   matrix products (the only compute-heavy primitives the workspace needs).
+//! * [`im2col`]/[`col2im`] — the standard convolution lowering used by
+//!   `ftclip-nn`'s `Conv2d` forward and backward passes.
+//!
+//! # Example
+//!
+//! ```
+//! use ftclip_tensor::{Tensor, matmul};
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+//! let b = Tensor::eye(2);
+//! let c = matmul(&a, &b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+//!
+//! # Design notes
+//!
+//! * Everything is `f32`: the paper injects bit flips into IEEE-754
+//!   single-precision weight words, so the memory representation of
+//!   parameters must be exactly `f32`.
+//! * No `unsafe` is used anywhere in the workspace.
+//! * Threading uses `std::thread::scope`; no runtime dependency is needed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod im2col;
+mod init;
+mod matmul;
+mod par;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use im2col::{col2im, conv_output_size, im2col, im2col_batch, Conv2dGeometry};
+pub use init::{he_normal, uniform_init, xavier_uniform};
+pub use matmul::{matmul, matmul_into, matmul_nt, matmul_tn};
+pub use par::{num_threads, par_row_bands};
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,117 @@
+//! Minimal data-parallel helpers built on `std::thread::scope`.
+//!
+//! The workspace deliberately avoids a thread-pool dependency: the only
+//! parallel workload is "split the rows of an output matrix into contiguous
+//! bands and have each thread fill one band", which scoped threads express
+//! directly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads used by [`par_row_bands`] and the matmul kernels.
+///
+/// Resolves to `std::thread::available_parallelism()` capped at 8 (the
+/// kernels are memory-bound beyond that on typical hardware). The value can
+/// be overridden — e.g. forced to 1 for bit-reproducible single-threaded
+/// runs — with the `FTCLIP_THREADS` environment variable.
+pub fn num_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = match std::env::var("FTCLIP_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8),
+    };
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Splits `data` into `bands` contiguous chunks of whole rows (`row_len`
+/// elements each) and runs `f(first_row_index, band_slice)` on each chunk,
+/// possibly in parallel.
+///
+/// `f` must be safe to call concurrently on disjoint bands. Bands are
+/// maximally even: the first `rows % bands` bands get one extra row.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `row_len`.
+pub fn par_row_bands<F>(data: &mut [f32], row_len: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert_eq!(data.len() % row_len, 0, "data length must be a whole number of rows");
+    let rows = data.len() / row_len;
+    let threads = num_threads().min(rows.max(1));
+    if threads <= 1 || rows <= 1 {
+        f(0, data);
+        return;
+    }
+    let base = rows / threads;
+    let extra = rows % threads;
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut row0 = 0usize;
+        for t in 0..threads {
+            let band_rows = base + usize::from(t < extra);
+            if band_rows == 0 {
+                continue;
+            }
+            let (band, tail) = rest.split_at_mut(band_rows * row_len);
+            rest = tail;
+            let fr = &f;
+            let start = row0;
+            scope.spawn(move || fr(start, band));
+            row0 += band_rows;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_threads_at_least_one() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn bands_cover_all_rows_exactly_once() {
+        let rows = 17;
+        let row_len = 5;
+        let mut data = vec![0.0f32; rows * row_len];
+        par_row_bands(&mut data, row_len, |first_row, band| {
+            for (i, row) in band.chunks_mut(row_len).enumerate() {
+                for x in row.iter_mut() {
+                    *x += (first_row + i) as f32;
+                }
+            }
+        });
+        for r in 0..rows {
+            for c in 0..row_len {
+                assert_eq!(data[r * row_len + c], r as f32, "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_row_runs_inline() {
+        let mut data = vec![1.0f32; 4];
+        par_row_bands(&mut data, 4, |first, band| {
+            assert_eq!(first, 0);
+            for x in band.iter_mut() {
+                *x *= 2.0;
+            }
+        });
+        assert_eq!(data, vec![2.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of rows")]
+    fn rejects_ragged_rows() {
+        let mut data = vec![0.0f32; 7];
+        par_row_bands(&mut data, 3, |_, _| {});
+    }
+}

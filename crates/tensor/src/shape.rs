@@ -1,0 +1,183 @@
+use std::fmt;
+
+use crate::TensorError;
+
+/// The dimension list of a [`crate::Tensor`].
+///
+/// A `Shape` is an ordered list of dimension sizes, e.g. `[N, C, H, W]` for a
+/// batch of feature maps. Dimensions of size zero are permitted only through
+/// the fallible constructor and are rejected there, so every constructed
+/// `Shape` has a strictly positive volume.
+///
+/// # Example
+///
+/// ```
+/// use ftclip_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4, 4]).unwrap();
+/// assert_eq!(s.rank(), 4);
+/// assert_eq!(s.volume(), 96);
+/// assert_eq!(s[1], 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a dimension list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] if `dims` is empty or any
+    /// dimension is zero.
+    pub fn new(dims: &[usize]) -> Result<Self, TensorError> {
+        if dims.is_empty() {
+            return Err(TensorError::InvalidShape { reason: "shape must have at least one dimension".into() });
+        }
+        if dims.contains(&0) {
+            return Err(TensorError::InvalidShape { reason: format!("zero-sized dimension in {dims:?}") });
+        }
+        Ok(Shape(dims.to_vec()))
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of all dimensions).
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// The dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Returns the size of dimension `i`, or `None` when `i >= rank()`.
+    pub fn get(&self, i: usize) -> Option<usize> {
+        self.0.get(i).copied()
+    }
+
+    /// Interprets the shape as a matrix `[rows, cols]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not 2.
+    pub fn as_matrix(&self) -> (usize, usize) {
+        assert_eq!(self.rank(), 2, "expected rank-2 shape, got {self}");
+        (self.0[0], self.0[1])
+    }
+
+    /// Interprets the shape as an NCHW batch `[n, c, h, w]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not 4.
+    pub fn as_nchw(&self) -> (usize, usize, usize, usize) {
+        assert_eq!(self.rank(), 4, "expected rank-4 shape, got {self}");
+        (self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl std::ops::Index<usize> for Shape {
+    type Output = usize;
+
+    fn index(&self, i: usize) -> &usize {
+        &self.0[i]
+    }
+}
+
+impl TryFrom<&[usize]> for Shape {
+    type Error = TensorError;
+
+    fn try_from(dims: &[usize]) -> Result<Self, TensorError> {
+        Shape::new(dims)
+    }
+}
+
+impl TryFrom<Vec<usize>> for Shape {
+    type Error = TensorError;
+
+    fn try_from(dims: Vec<usize>) -> Result<Self, TensorError> {
+        Shape::new(&dims)
+    }
+}
+
+impl AsRef<[usize]> for Shape {
+    fn as_ref(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_empty() {
+        assert!(Shape::new(&[]).is_err());
+    }
+
+    #[test]
+    fn new_rejects_zero_dim() {
+        assert!(Shape::new(&[2, 0, 3]).is_err());
+    }
+
+    #[test]
+    fn volume_is_product() {
+        let s = Shape::new(&[2, 3, 4]).unwrap();
+        assert_eq!(s.volume(), 24);
+    }
+
+    #[test]
+    fn display_uses_times_sign() {
+        let s = Shape::new(&[1, 28, 28]).unwrap();
+        assert_eq!(s.to_string(), "[1×28×28]");
+    }
+
+    #[test]
+    fn as_matrix_roundtrip() {
+        let s = Shape::new(&[5, 7]).unwrap();
+        assert_eq!(s.as_matrix(), (5, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank-2")]
+    fn as_matrix_panics_on_rank3() {
+        Shape::new(&[1, 2, 3]).unwrap().as_matrix();
+    }
+
+    #[test]
+    fn as_nchw_roundtrip() {
+        let s = Shape::new(&[8, 3, 32, 32]).unwrap();
+        assert_eq!(s.as_nchw(), (8, 3, 32, 32));
+    }
+
+    #[test]
+    fn try_from_slice() {
+        let s: Shape = (&[2usize, 2][..]).try_into().unwrap();
+        assert_eq!(s.volume(), 4);
+    }
+
+    #[test]
+    fn index_and_get_agree() {
+        let s = Shape::new(&[4, 5, 6]).unwrap();
+        assert_eq!(s[2], 6);
+        assert_eq!(s.get(2), Some(6));
+        assert_eq!(s.get(3), None);
+    }
+}

@@ -1,0 +1,524 @@
+use std::fmt;
+
+use crate::{Shape, TensorError};
+
+/// An owned, contiguous, row-major `f32` tensor.
+///
+/// `Tensor` is the single numeric container used throughout the FT-ClipAct
+/// workspace: network parameters, activations, gradients and dataset batches
+/// are all `Tensor`s. Storage is always contiguous, which is what allows the
+/// fault-injection framework to treat a parameter tensor as a flat array of
+/// IEEE-754 words and flip individual bits in it.
+///
+/// # Example
+///
+/// ```
+/// use ftclip_tensor::Tensor;
+///
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.shape().dims(), &[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// assert!(t.iter().all(|&x| x == 0.0));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Creates a tensor filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or contains a zero-sized dimension.
+    pub fn zeros(dims: &[usize]) -> Self {
+        Tensor::filled(dims, 0.0)
+    }
+
+    /// Creates a tensor filled with ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or contains a zero-sized dimension.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::filled(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or contains a zero-sized dimension.
+    pub fn filled(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims).expect("invalid tensor shape");
+        let data = vec![value; shape.volume()];
+        Tensor { shape, data }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor that takes ownership of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the shape volume and [`TensorError::InvalidShape`] for malformed
+    /// shapes.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims)?;
+        if shape.volume() != data.len() {
+            return Err(TensorError::LengthMismatch { expected: shape.volume(), got: data.len() });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor::from_vec(data.to_vec(), &[data.len()]).expect("non-empty slice")
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor has no elements. Shapes forbid zero-sized
+    /// dimensions, so this is always `false`; it exists for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the underlying storage in row-major order.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying storage in row-major order.
+    ///
+    /// This is the hook used by the fault-injection framework and the
+    /// optimizers: both need raw access to the IEEE-754 words of a parameter
+    /// tensor.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Iterator over elements in row-major order.
+    pub fn iter(&self) -> std::slice::Iter<'_, f32> {
+        self.data.iter()
+    }
+
+    /// Element at a rank-2 index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or the index is out of bounds.
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        let (rows, cols) = self.shape.as_matrix();
+        assert!(r < rows && c < cols, "index ({r},{c}) out of bounds for {rows}x{cols}");
+        self.data[r * cols + c]
+    }
+
+    /// Element at a rank-4 (NCHW) index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4 or the index is out of bounds.
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        let (nn, cc, hh, ww) = self.shape.as_nchw();
+        assert!(n < nn && c < cc && h < hh && w < ww, "index out of bounds");
+        self.data[((n * cc + c) * hh + h) * ww + w]
+    }
+
+    /// Sets the element at a rank-4 (NCHW) index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4 or the index is out of bounds.
+    pub fn set4(&mut self, n: usize, c: usize, h: usize, w: usize, v: f32) {
+        let (nn, cc, hh, ww) = self.shape.as_nchw();
+        assert!(n < nn && c < cc && h < hh && w < ww, "index out of bounds");
+        self.data[((n * cc + c) * hh + h) * ww + w] = v;
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when the volumes differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor, TensorError> {
+        Tensor::from_vec(self.data.clone(), dims)
+    }
+
+    /// Reshapes in place without copying the data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when the volumes differ.
+    pub fn reshape_in_place(&mut self, dims: &[usize]) -> Result<(), TensorError> {
+        let shape = Shape::new(dims)?;
+        if shape.volume() != self.data.len() {
+            return Err(TensorError::LengthMismatch { expected: shape.volume(), got: self.data.len() });
+        }
+        self.shape = shape;
+        Ok(())
+    }
+
+    /// Copies rows `range` of the leading (batch) dimension into a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the leading dimension.
+    pub fn slice_batch(&self, range: std::ops::Range<usize>) -> Tensor {
+        let n = self.shape[0];
+        assert!(range.end <= n, "batch range {range:?} out of bounds for leading dim {n}");
+        assert!(range.start < range.end, "empty batch range");
+        let stride: usize = self.shape.dims()[1..].iter().product();
+        let mut dims = self.shape.dims().to_vec();
+        dims[0] = range.end - range.start;
+        let data = self.data[range.start * stride..range.end * stride].to_vec();
+        Tensor::from_vec(data, &dims).expect("slice volume matches")
+    }
+
+    /// Stacks tensors of identical shape along a new leading dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty or the shapes differ.
+    pub fn stack(items: &[&Tensor]) -> Tensor {
+        assert!(!items.is_empty(), "cannot stack zero tensors");
+        let inner = items[0].shape.dims();
+        let mut data = Vec::with_capacity(items.len() * items[0].len());
+        for t in items {
+            assert_eq!(t.shape.dims(), inner, "stack requires identical shapes");
+            data.extend_from_slice(&t.data);
+        }
+        let mut dims = vec![items.len()];
+        dims.extend_from_slice(inner);
+        Tensor::from_vec(data, &dims).expect("stack volume matches")
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise arithmetic
+    // ------------------------------------------------------------------
+
+    /// Returns a new tensor with `f` applied to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let data = self.data.iter().map(|&x| f(x)).collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Returns `self[i] op other[i]` for every element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip_with shape mismatch: {} vs {}", self.shape, other.shape);
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// `self += alpha * other`, the BLAS `axpy` primitive used by the
+    /// optimizers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `alpha` in place.
+    pub fn scale(&mut self, alpha: f32) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Sets every element to zero, preserving the shape.
+    pub fn fill(&mut self, value: f32) {
+        for x in &mut self.data {
+            *x = value;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.len() as f32
+    }
+
+    /// Maximum element. NaNs are ignored; returns `f32::NEG_INFINITY` if all
+    /// elements are NaN.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().filter(|x| !x.is_nan()).fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element. NaNs are ignored; returns `f32::INFINITY` if all
+    /// elements are NaN.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().filter(|x| !x.is_nan()).fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element of each row of a rank-2 tensor.
+    ///
+    /// This is the classification decision: for logits of shape
+    /// `[batch, classes]` it returns the predicted class per sample. Ties are
+    /// broken toward the lower index; NaN logits never win, and an all-NaN row
+    /// (which faulted networks do produce) yields class 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        let (rows, cols) = self.shape.as_matrix();
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &self.data[r * cols..(r + 1) * cols];
+            let mut best = 0usize;
+            let mut best_v = f32::NEG_INFINITY;
+            for (i, &v) in row.iter().enumerate() {
+                if v > best_v {
+                    best_v = v;
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
+        out
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Returns `true` when every element differs from `other` by at most
+    /// `tol` (absolute). Useful in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        assert_eq!(self.shape, other.shape, "approx_eq shape mismatch");
+        self.data.iter().zip(&other.data).all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        if self.len() <= 8 {
+            write!(f, "{:?}", self.data)
+        } else {
+            write!(f, "[{:.4}, {:.4}, … ; n={} mean={:.4}]", self.data[0], self.data[1], self.len(), self.mean())
+        }
+    }
+}
+
+impl Default for Tensor {
+    /// A single-element zero tensor of shape `[1]`.
+    fn default() -> Self {
+        Tensor::zeros(&[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Tensor::zeros(&[2, 2]);
+        let o = Tensor::ones(&[2, 2]);
+        assert_eq!(z.sum(), 0.0);
+        assert_eq!(o.sum(), 4.0);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Tensor::from_vec(vec![1.0; 3], &[2, 2]).is_err());
+        assert!(Tensor::from_vec(vec![1.0; 4], &[2, 2]).is_ok());
+    }
+
+    #[test]
+    fn eye_diagonal() {
+        let e = Tensor::eye(3);
+        assert_eq!(e.at2(0, 0), 1.0);
+        assert_eq!(e.at2(1, 2), 0.0);
+        assert_eq!(e.sum(), 3.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let r = t.reshape(&[2, 2]).unwrap();
+        assert_eq!(r.at2(1, 0), 3.0);
+        assert!(t.reshape(&[3, 2]).is_err());
+    }
+
+    #[test]
+    fn slice_batch_copies_rows() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]).unwrap();
+        let s = t.slice_batch(1..3);
+        assert_eq!(s.shape().dims(), &[2, 4]);
+        assert_eq!(s.at2(0, 0), 4.0);
+        assert_eq!(s.at2(1, 3), 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_batch_checks_range() {
+        Tensor::zeros(&[2, 2]).slice_batch(1..3);
+    }
+
+    #[test]
+    fn stack_adds_leading_dim() {
+        let a = Tensor::ones(&[2, 2]);
+        let b = Tensor::zeros(&[2, 2]);
+        let s = Tensor::stack(&[&a, &b]);
+        assert_eq!(s.shape().dims(), &[2, 2, 2]);
+        assert_eq!(s.sum(), 4.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[3.0, 5.0]);
+        assert_eq!(a.add(&b).data(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).data(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[3.0, 10.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_slice(&[1.0, 1.0]);
+        let g = Tensor::from_slice(&[2.0, 4.0]);
+        a.axpy(-0.5, &g);
+        assert_eq!(a.data(), &[0.0, -1.0]);
+    }
+
+    #[test]
+    fn argmax_rows_basic() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.5, 0.2, 0.3], &[2, 3]).unwrap();
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn argmax_rows_ignores_nan() {
+        let t = Tensor::from_vec(vec![f32::NAN, 0.5, 0.1, f32::NAN, f32::NAN, f32::NAN], &[2, 3]).unwrap();
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn max_ignores_nan() {
+        let t = Tensor::from_slice(&[1.0, f32::NAN, 3.0]);
+        assert_eq!(t.max(), 3.0);
+    }
+
+    #[test]
+    fn at4_row_major_layout() {
+        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 2, 2]).unwrap();
+        // element (n=1, c=2, h=1, w=0) = ((1*3+2)*2+1)*2+0 = 22
+        assert_eq!(t.at4(1, 2, 1, 0), 22.0);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        let t = Tensor::zeros(&[1]);
+        assert!(!format!("{t:?}").is_empty());
+        let big = Tensor::zeros(&[100]);
+        assert!(format!("{big:?}").contains("n=100"));
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[1.0005, 2.0]);
+        assert!(a.approx_eq(&b, 1e-3));
+        assert!(!a.approx_eq(&b, 1e-5));
+    }
+}

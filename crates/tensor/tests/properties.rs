@@ -1,0 +1,130 @@
+//! Property-based tests for the tensor substrate.
+
+use ftclip_tensor::{col2im, im2col, matmul, matmul_nt, matmul_tn, Conv2dGeometry, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c).prop_map(move |v| Tensor::from_vec(v, &[r, c]).unwrap())
+    })
+}
+
+fn matrix_pair(max_dim: usize) -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(|(m, k, n)| {
+        let a = proptest::collection::vec(-5.0f32..5.0, m * k).prop_map(move |v| Tensor::from_vec(v, &[m, k]).unwrap());
+        let b = proptest::collection::vec(-5.0f32..5.0, k * n).prop_map(move |v| Tensor::from_vec(v, &[k, n]).unwrap());
+        (a, b)
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(t in tensor_strategy(8)) {
+        let doubled = t.add(&t);
+        let scaled = t.map(|x| 2.0 * x);
+        prop_assert!(doubled.approx_eq(&scaled, 1e-5));
+    }
+
+    #[test]
+    fn sub_self_is_zero(t in tensor_strategy(8)) {
+        let z = t.sub(&t);
+        prop_assert_eq!(z.sum(), 0.0);
+    }
+
+    #[test]
+    fn reshape_preserves_sum(t in tensor_strategy(8)) {
+        let flat = t.reshape(&[t.len()]).unwrap();
+        prop_assert_eq!(t.sum(), flat.sum());
+    }
+
+    #[test]
+    fn matmul_identity_left(t in tensor_strategy(8)) {
+        let (rows, _) = t.shape().as_matrix();
+        let prod = matmul(&Tensor::eye(rows), &t);
+        prop_assert!(prod.approx_eq(&t, 1e-4));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition((a, b) in matrix_pair(6), ) {
+        // A·(B+B) == A·B + A·B
+        let b2 = b.add(&b);
+        let lhs = matmul(&a, &b2);
+        let ab = matmul(&a, &b);
+        let rhs = ab.add(&ab);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_tn_consistent_with_matmul((a, b) in matrix_pair(6)) {
+        // (Aᵀ)ᵀ·B via matmul_tn on the transposed operand must equal A·B.
+        let (m, k) = a.shape().as_matrix();
+        let mut at = Tensor::zeros(&[k, m]);
+        for i in 0..m {
+            for j in 0..k {
+                at.data_mut()[j * m + i] = a.at2(i, j);
+            }
+        }
+        let lhs = matmul_tn(&at, &b);
+        let rhs = matmul(&a, &b);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_nt_consistent_with_matmul((a, b) in matrix_pair(6)) {
+        let (k, n) = b.shape().as_matrix();
+        let mut bt = Tensor::zeros(&[n, k]);
+        for i in 0..k {
+            for j in 0..n {
+                bt.data_mut()[j * k + i] = b.at2(i, j);
+            }
+        }
+        let lhs = matmul_nt(&a, &bt);
+        let rhs = matmul(&a, &b);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn argmax_rows_within_bounds(t in tensor_strategy(8)) {
+        let (_, cols) = t.shape().as_matrix();
+        for idx in t.argmax_rows() {
+            prop_assert!(idx < cols);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        c in 1usize..3, h in 3usize..8, w in 3usize..8,
+        kernel in 1usize..4, stride in 1usize..3, pad in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(h + 2 * pad >= kernel && w + 2 * pad >= kernel);
+        let geom = Conv2dGeometry::new(kernel, stride, pad);
+        let vol = c * h * w;
+        let x = Tensor::from_vec(
+            (0..vol).map(|i| (((i as u64).wrapping_mul(seed + 1) % 17) as f32) - 8.0).collect(),
+            &[c, h, w],
+        ).unwrap();
+        let col = im2col(&x, geom);
+        let (rows, cols) = col.shape().as_matrix();
+        let y = Tensor::from_vec(
+            (0..rows * cols).map(|i| (((i as u64).wrapping_mul(seed + 3) % 13) as f32) - 6.0).collect(),
+            &[rows, cols],
+        ).unwrap();
+        let lhs: f32 = col.data().iter().zip(y.data()).map(|(&p, &q)| p * q).sum();
+        let back = col2im(&y, c, h, w, geom);
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(&p, &q)| p * q).sum();
+        prop_assert!((lhs - rhs).abs() <= 1e-2 * (1.0 + lhs.abs()), "adjoint mismatch {} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn stack_then_slice_roundtrip(t in tensor_strategy(6)) {
+        let stacked = Tensor::stack(&[&t, &t]);
+        let first = stacked.slice_batch(0..1);
+        let expect = {
+            let mut dims = vec![1usize];
+            dims.extend_from_slice(t.shape().dims());
+            t.reshape(&dims).unwrap()
+        };
+        prop_assert!(first.approx_eq(&expect, 0.0));
+    }
+}

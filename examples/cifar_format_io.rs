@@ -1,0 +1,48 @@
+//! Working with the real CIFAR-10 binary format.
+//!
+//! The experiments in this repository run on the synthetic generator, but
+//! the loader speaks the actual CIFAR-10 binary layout. This example
+//! round-trips a synthetic dataset through that format — exactly what you
+//! would do in reverse to run the experiments on the real dataset: drop
+//! `data_batch_*.bin` + `test_batch.bin` into a directory and call
+//! `load_cifar10`.
+//!
+//! ```sh
+//! cargo run --release --example cifar_format_io
+//! ```
+
+use ftclipact::data::{load_cifar10, write_cifar10_batch, SynthCifar};
+
+fn main() {
+    let dir = std::env::temp_dir().join("ftclip-cifar-example");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    // generate synthetic data and export it in CIFAR-10 binary layout
+    let data = SynthCifar::builder().seed(3).train_size(250).val_size(50).test_size(100).build();
+    println!("exporting synthetic data to CIFAR-10 binary format in {} …", dir.display());
+    let (chunk, _) = data.train().split_at(50);
+    for i in 1..=5 {
+        write_cifar10_batch(&chunk, dir.join(format!("data_batch_{i}.bin"))).expect("write batch");
+    }
+    write_cifar10_batch(data.test(), dir.join("test_batch.bin")).expect("write test batch");
+
+    // load it back with the real-format loader
+    let (train, test) = load_cifar10(&dir).expect("load cifar-10 layout");
+    println!("loaded: {} train images, {} test images, {} classes", train.len(), test.len(), train.num_classes());
+    println!("train class histogram: {:?}", train.class_histogram());
+    println!("pixel range: [{:.3}, {:.3}]", train.images().min(), train.images().max());
+
+    // 8-bit quantization is the only loss in the roundtrip
+    let max_err = data
+        .test()
+        .images()
+        .data()
+        .iter()
+        .zip(test.images().data())
+        .map(|(&a, &b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!("max roundtrip error vs original floats: {max_err:.5} (8-bit quantization bound ≈ 0.0079)");
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!("\nto use the real dataset: untar cifar-10-binary.tar.gz and point load_cifar10 at it");
+}

@@ -1,0 +1,89 @@
+//! Reproducibility guarantees across the whole stack: identical seeds must
+//! give bit-identical datasets, models, fault sets and campaign results.
+
+use ftclipact::core::EvalSet;
+use ftclipact::fault::{Campaign, CampaignConfig, FaultModel, Injection, InjectionTarget};
+use ftclipact::nn::{Layer, Sequential, Trainer};
+use ftclipact::prelude::*;
+
+fn tiny_data(seed: u64) -> SynthCifar {
+    SynthCifar::builder().seed(seed).train_size(64).val_size(32).test_size(64).image_size(8).build()
+}
+
+fn tiny_net() -> Sequential {
+    Sequential::new(vec![
+        Layer::conv2d(3, 4, 3, 1, 1, 11),
+        Layer::relu(),
+        Layer::flatten(),
+        Layer::linear(4 * 64, 10, 12),
+    ])
+}
+
+#[test]
+fn datasets_are_bit_reproducible() {
+    let a = tiny_data(5);
+    let b = tiny_data(5);
+    assert_eq!(a.train().images().data(), b.train().images().data());
+    assert_eq!(a.test().images().data(), b.test().images().data());
+}
+
+#[test]
+fn training_is_deterministic_per_seed() {
+    let data = tiny_data(6);
+    let run = |seed: u64| {
+        let mut net = tiny_net();
+        Trainer::builder()
+            .epochs(2)
+            .batch_size(16)
+            .seed(seed)
+            .build()
+            .fit(&mut net, data.train().images(), data.train().labels(), None);
+        net.forward(data.test().images()).data().to_vec()
+    };
+    assert_eq!(run(3), run(3));
+    assert_ne!(run(3), run(4));
+}
+
+#[test]
+fn fault_sampling_is_deterministic_per_seed() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let net = tiny_net();
+    let draw = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Injection::sample(&net, InjectionTarget::AllWeights, FaultModel::BitFlip, 1e-3, &mut rng)
+            .faults()
+            .to_vec()
+    };
+    assert_eq!(draw(9), draw(9));
+    assert_ne!(draw(9), draw(10));
+}
+
+#[test]
+fn campaigns_are_reproducible_end_to_end() {
+    let data = tiny_data(7);
+    let eval = EvalSet::from_dataset(data.test(), 32);
+    let cfg = CampaignConfig {
+        fault_rates: vec![1e-4, 1e-3],
+        repetitions: 3,
+        seed: 21,
+        model: FaultModel::BitFlip,
+        target: InjectionTarget::AllWeights,
+    };
+    let run = || {
+        let mut net = tiny_net();
+        Campaign::new(cfg.clone()).run(&mut net, |n| eval.accuracy(n)).accuracies
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn single_thread_env_does_not_change_results() {
+    // numeric results must be identical regardless of FTCLIP_THREADS because
+    // each output row is accumulated by exactly one thread
+    let data = tiny_data(8);
+    let net = tiny_net();
+    let y1 = net.forward(data.test().images());
+    let y2 = net.forward(data.test().images());
+    assert_eq!(y1.data(), y2.data());
+}

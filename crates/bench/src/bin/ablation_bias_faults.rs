@@ -39,7 +39,10 @@ fn main() {
         &["target", "network", "fault_rate", "mean_acc"],
     )
     .expect("write csv");
-    println!("{:<12} {:<12} {:>10} {:>10} {:>10} {:>10}  AUC", "target", "network", "1e-6", "1e-5", "1e-4", "1e-3");
+    println!(
+        "{:<12} {:<12} {:>10} {:>10} {:>10} {:>10}  AUC",
+        "target", "network", "1e-6", "1e-5", "1e-4", "1e-3"
+    );
     for target in targets {
         for (name, base) in [("unprotected", &workload.model.network), ("clipped", &hardened)] {
             let mut net = base.clone();

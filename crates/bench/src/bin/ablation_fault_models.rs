@@ -42,7 +42,8 @@ fn main() {
             eprintln!("[ablation] {model} on {net_name} …");
             let res = campaign.run(&mut net, |n| eval.accuracy(n));
             for (i, &rate) in res.fault_rates.iter().enumerate() {
-                csv.row(&[&model, &net_name, &rate, &res.mean_accuracies()[i]]).expect("write row");
+                csv.row(&[&model, &net_name, &rate, &res.mean_accuracies()[i]])
+                    .expect("write row");
             }
             let auc = campaign_auc(&res);
             println!("{:<12} {:<12} AUC {:.4}", model.to_string(), net_name, auc);

@@ -12,8 +12,7 @@
 use ftclip_bench::{experiment_data, harden_network, parse_args, trained_alexnet, CsvWriter};
 use ftclip_core::{auc_normalized, EvalSet};
 use ftclip_fault::{
-    derive_seed, inject_with_protection, DoubleErrorPolicy, FaultModel, InjectionTarget,
-    ProtectionScheme,
+    derive_seed, inject_with_protection, DoubleErrorPolicy, FaultModel, InjectionTarget, ProtectionScheme,
 };
 use ftclip_nn::Sequential;
 use rand::rngs::StdRng;
@@ -35,11 +34,27 @@ fn main() {
     harden_network(&mut hardened, data.val(), args.seed, 256.min(data.val().len()), workload.rate_scale());
 
     let variants = [
-        Variant { name: "unprotected", scheme: ProtectionScheme::None, clipped: false },
-        Variant { name: "clipped", scheme: ProtectionScheme::None, clipped: true },
-        Variant { name: "sec-ded", scheme: ProtectionScheme::SecDed(DoubleErrorPolicy::ZeroWord), clipped: false },
+        Variant {
+            name: "unprotected",
+            scheme: ProtectionScheme::None,
+            clipped: false,
+        },
+        Variant {
+            name: "clipped",
+            scheme: ProtectionScheme::None,
+            clipped: true,
+        },
+        Variant {
+            name: "sec-ded",
+            scheme: ProtectionScheme::SecDed(DoubleErrorPolicy::ZeroWord),
+            clipped: false,
+        },
         Variant { name: "tmr", scheme: ProtectionScheme::Tmr, clipped: false },
-        Variant { name: "clipped+sec-ded", scheme: ProtectionScheme::SecDed(DoubleErrorPolicy::ZeroWord), clipped: true },
+        Variant {
+            name: "clipped+sec-ded",
+            scheme: ProtectionScheme::SecDed(DoubleErrorPolicy::ZeroWord),
+            clipped: true,
+        },
     ];
 
     // memory-size-scaled paper grid (DESIGN.md §3); its top end is high

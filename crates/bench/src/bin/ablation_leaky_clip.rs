@@ -29,12 +29,18 @@ fn main() {
         .augment(true)
         .verbose(std::env::var_os("FTCLIP_VERBOSE").is_some())
         .build()
-        .fit(&mut net, data.train().images(), data.train().labels(), Some((data.val().images(), data.val().labels())));
+        .fit(
+            &mut net,
+            data.train().images(),
+            data.train().labels(),
+            Some((data.val().images(), data.val().labels())),
+        );
     let test_acc = evaluate(&net, data.test().images(), data.test().labels(), 64);
     eprintln!("[ablation] leaky AlexNet test accuracy {test_acc:.3}");
 
     let eval = EvalSet::from_subset(data.test(), args.eval_size.min(data.test().len()), args.seed, 64);
-    let profiles = profile_network(&net, data.val().subset(256.min(data.val().len()), args.seed).images(), 64, 32);
+    let profiles =
+        profile_network(&net, data.val().subset(256.min(data.val().len()), args.seed).images(), 64, 32);
     let thresholds: Vec<f32> = profiles.iter().map(|p| p.act_max.max(f32::MIN_POSITIVE)).collect();
     let mut clipped = net.clone();
     clipped.convert_to_clipped(&thresholds);
@@ -73,6 +79,9 @@ fn main() {
 
     let auc_p = campaign_auc(&protected);
     let auc_u = campaign_auc(&unprotected);
-    println!("\nAUC: clipped {auc_p:.4} vs unprotected {auc_u:.4} ({:+.1}%)", (auc_p - auc_u) / auc_u * 100.0);
+    println!(
+        "\nAUC: clipped {auc_p:.4} vs unprotected {auc_u:.4} ({:+.1}%)",
+        (auc_p - auc_u) / auc_u * 100.0
+    );
     println!("shape check: mitigation transfers to Leaky-ReLU ({})", auc_p > auc_u);
 }

@@ -30,7 +30,10 @@ fn main() {
     .expect("write csv");
 
     println!("Ablation — Algorithm 1 vs exhaustive grid ({grid_points} points)\n");
-    println!("{:<10} {:>12} {:>8} {:>6} | {:>12} {:>8} {:>6}", "site", "alg1_T", "auc", "evals", "grid_T", "auc", "evals");
+    println!(
+        "{:<10} {:>12} {:>8} {:>6} | {:>12} {:>8} {:>6}",
+        "site", "alg1_T", "auc", "evals", "grid_T", "auc", "evals"
+    );
     let mut alg1_total = 0usize;
     let mut grid_total = 0usize;
     let mut alg1_auc_sum = 0.0;
@@ -58,14 +61,23 @@ fn main() {
         // grid
         let mut net2 = workload.model.network.clone();
         net2.convert_to_clipped(&init);
-        let grid = grid_search_site(&mut net2, site, act_max, grid_points, &auc_cfg, &eval).expect("clipped site");
+        let grid =
+            grid_search_site(&mut net2, site, act_max, grid_points, &auc_cfg, &eval).expect("clipped site");
 
         println!(
             "{:<10} {:>12.4} {:>8.4} {:>6} | {:>12.4} {:>8.4} {:>6}",
-            profile.feeds_from, alg1.threshold, alg1.auc, alg1.evaluations, grid.threshold, grid.auc, grid.evaluations
+            profile.feeds_from,
+            alg1.threshold,
+            alg1.auc,
+            alg1.evaluations,
+            grid.threshold,
+            grid.auc,
+            grid.evaluations
         );
-        csv.row(&[&profile.feeds_from, &"algorithm1", &alg1.threshold, &alg1.auc, &alg1.evaluations]).expect("row");
-        csv.row(&[&profile.feeds_from, &"grid", &grid.threshold, &grid.auc, &grid.evaluations]).expect("row");
+        csv.row(&[&profile.feeds_from, &"algorithm1", &alg1.threshold, &alg1.auc, &alg1.evaluations])
+            .expect("row");
+        csv.row(&[&profile.feeds_from, &"grid", &grid.threshold, &grid.auc, &grid.evaluations])
+            .expect("row");
         alg1_total += alg1.evaluations;
         grid_total += grid.evaluations;
         alg1_auc_sum += alg1.auc;

@@ -14,8 +14,9 @@ fn main() {
     let report = model_size_report();
     println!("Fig. 1a — model parameter memory (f32 storage)\n");
     println!("{:<16} {:>12} {:>10}", "model", "parameters", "MB");
-    let mut csv = CsvWriter::create(args.out_dir.join("fig1a_model_sizes.csv"), &["model", "params", "megabytes"])
-        .expect("write results csv");
+    let mut csv =
+        CsvWriter::create(args.out_dir.join("fig1a_model_sizes.csv"), &["model", "params", "megabytes"])
+            .expect("write results csv");
     for row in &report {
         println!("{:<16} {:>12} {:>10.2}", row.name, row.params, row.megabytes);
         csv.row(&[&row.name, &row.params, &row.megabytes]).expect("write row");

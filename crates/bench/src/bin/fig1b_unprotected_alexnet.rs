@@ -12,7 +12,7 @@ fn main() {
     let args = parse_args();
     let data = experiment_data(args.seed);
     let workload = trained_alexnet(&data, args.seed);
-    let mut net = workload.model.network.clone();
+    let net = workload.model.network.clone();
     let eval = EvalSet::from_subset(data.test(), args.eval_size.min(data.test().len()), args.seed, 64);
 
     let cfg = CampaignConfig {
@@ -22,13 +22,25 @@ fn main() {
         model: FaultModel::BitFlip,
         target: InjectionTarget::AllWeights,
     };
-    eprintln!("[fig1b] campaign: {} rates × {} reps on {} images", cfg.fault_rates.len(), cfg.repetitions, eval.len());
-    let result = Campaign::new(cfg).run(&mut net, |n| eval.accuracy(n));
+    eprintln!(
+        "[fig1b] campaign: {} rates × {} reps on {} images, {} worker thread(s)",
+        cfg.fault_rates.len(),
+        cfg.repetitions,
+        eval.len(),
+        ftclip_tensor::num_threads()
+    );
+    let result = Campaign::new(cfg).run_parallel(&net, |n| eval.accuracy(n));
 
     println!("Fig. 1b — unprotected AlexNet accuracy vs fault rate");
-    println!("(paper rates mapped ×{:.1} for the width-scaled memory, DESIGN.md §3)\n", workload.rate_scale());
+    println!(
+        "(paper rates mapped ×{:.1} for the width-scaled memory, DESIGN.md §3)\n",
+        workload.rate_scale()
+    );
     println!("baseline (clean) accuracy: {:.4}\n", result.clean_accuracy);
-    println!("{:<12} {:<12} {:>10} {:>10} {:>10}", "paper_rate", "actual_rate", "mean_acc", "min_acc", "max_acc");
+    println!(
+        "{:<12} {:<12} {:>10} {:>10} {:>10}",
+        "paper_rate", "actual_rate", "mean_acc", "min_acc", "max_acc"
+    );
     let mut csv = CsvWriter::create(
         args.out_dir.join("fig1b_unprotected_alexnet.csv"),
         &["paper_rate", "actual_rate", "mean_acc", "min_acc", "max_acc"],
@@ -41,7 +53,8 @@ fn main() {
             "{:<12.1e} {:<12.1e} {:>10.4} {:>10.4} {:>10.4}",
             paper_rates[i], rate, summary.mean, summary.min, summary.max
         );
-        csv.row(&[&paper_rates[i], &rate, &summary.mean, &summary.min, &summary.max]).expect("write row");
+        csv.row(&[&paper_rates[i], &rate, &summary.mean, &summary.min, &summary.max])
+            .expect("write row");
     }
     csv.flush().expect("flush csv");
 

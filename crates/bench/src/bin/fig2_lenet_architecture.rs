@@ -19,13 +19,22 @@ fn main() {
     for (i, rec) in records.iter().enumerate() {
         let dims = rec.output.shape().dims();
         let shape = dims[1..].iter().map(|d| d.to_string()).collect::<Vec<_>>().join("×");
-        println!("{:<6} {:<12} {:<16} {:>10}", i, rec.kind.to_string(), shape, net.layers()[i].param_count());
+        println!(
+            "{:<6} {:<12} {:<16} {:>10}",
+            i,
+            rec.kind.to_string(),
+            shape,
+            net.layers()[i].param_count()
+        );
     }
     println!("\ncomputational layers: {:?}", net.computational_names());
     println!("total parameters: {}", net.param_count());
 
     // the exact annotations of the paper's figure
-    let expect = [(0usize, vec![6usize, 28, 28]), (2, vec![6, 14, 14]), (3, vec![16, 10, 10]), (5, vec![16, 5, 5])];
-    let ok = expect.iter().all(|(idx, dims)| records[*idx].output.shape().dims()[1..] == dims[..]);
+    let expect =
+        [(0usize, vec![6usize, 28, 28]), (2, vec![6, 14, 14]), (3, vec![16, 10, 10]), (5, vec![16, 5, 5])];
+    let ok = expect
+        .iter()
+        .all(|(idx, dims)| records[*idx].output.shape().dims()[1..] == dims[..]);
     println!("shape check: feature maps match Fig. 2 annotations ({ok})");
 }

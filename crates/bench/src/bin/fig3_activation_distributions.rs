@@ -18,16 +18,17 @@ fn main() {
     let data = experiment_data(args.seed);
     let workload = trained_alexnet(&data, args.seed);
     let mut net = workload.model.network.clone();
-    let batch = data.test().subset(args.eval_size.min(256).min(data.test().len()), args.seed).images().clone();
+    let batch = data
+        .test()
+        .subset(args.eval_size.min(256).min(data.test().len()), args.seed)
+        .images()
+        .clone();
     let scale = workload.rate_scale();
 
     // per-panel fault rates follow the paper's per-layer choices, mapped
     // through the memory-size scale (DESIGN.md §3)
-    let panels: [(&str, [f64; 3]); 3] = [
-        ("CONV-1", [1e-7, 1e-4, 5e-4]),
-        ("CONV-5", [1e-7, 5e-6, 1e-5]),
-        ("FC-1", [1e-7, 5e-7, 1e-6]),
-    ];
+    let panels: [(&str, [f64; 3]); 3] =
+        [("CONV-1", [1e-7, 1e-4, 5e-4]), ("CONV-5", [1e-7, 5e-6, 1e-5]), ("FC-1", [1e-7, 5e-7, 1e-6])];
 
     let mut csv = CsvWriter::create(
         args.out_dir.join("fig3_activation_distributions.csv"),
@@ -51,16 +52,26 @@ fn main() {
             let mut fr1e6 = 0.0f64;
             let mut fr1e30 = 0.0f64;
             for draw in 0..draws {
-                let mut rng =
-                    StdRng::seed_from_u64(args.seed ^ (layer_index as u64) << 8 ^ rate.to_bits() ^ draw as u64);
-                let injection =
-                    Injection::sample(&net, InjectionTarget::Layer(layer_index), FaultModel::BitFlip, rate, &mut rng);
+                let mut rng = StdRng::seed_from_u64(
+                    args.seed ^ (layer_index as u64) << 8 ^ rate.to_bits() ^ draw as u64,
+                );
+                let injection = Injection::sample(
+                    &net,
+                    InjectionTarget::Layer(layer_index),
+                    FaultModel::BitFlip,
+                    rate,
+                    &mut rng,
+                );
                 let handle = injection.apply(&mut net);
                 let (_, records) = net.forward_recording(&batch);
                 handle.undo(&mut net);
                 let output = &records[layer_index].output;
                 let total = output.len() as f64;
-                let dmax = output.iter().copied().filter(|v| v.is_finite()).fold(f32::NEG_INFINITY, f32::max);
+                let dmax = output
+                    .iter()
+                    .copied()
+                    .filter(|v| v.is_finite())
+                    .fold(f32::NEG_INFINITY, f32::max);
                 if dmax > act_max {
                     act_max = dmax;
                     let frac = |thresh: f32| output.iter().filter(|&&v| v > thresh).count() as f64 / total;
@@ -73,7 +84,8 @@ fn main() {
                 "{:<12.1e} {:>12.3e} {:>12.2e} {:>12.2e} {:>12.2e}",
                 paper_rate, act_max, fr10, fr1e6, fr1e30
             );
-            csv.row(&[&layer_name, &paper_rate, &rate, &act_max, &fr10, &fr1e6, &fr1e30]).expect("write row");
+            csv.row(&[&layer_name, &paper_rate, &rate, &act_max, &fr10, &fr1e6, &fr1e30])
+                .expect("write row");
         }
         println!();
     }

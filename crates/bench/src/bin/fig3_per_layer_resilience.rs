@@ -22,7 +22,7 @@ fn main() {
     let args = parse_args();
     let data = experiment_data(args.seed);
     let workload = trained_alexnet(&data, args.seed);
-    let mut net = workload.model.network.clone();
+    let net = workload.model.network.clone();
     let eval = EvalSet::from_subset(data.test(), args.eval_size.min(data.test().len()), args.seed, 64);
 
     let layers = ["CONV-1", "CONV-5", "FC-1"];
@@ -49,7 +49,7 @@ fn main() {
             target: InjectionTarget::Layer(layer_index),
         };
         eprintln!("[fig3] {layer_name}: {} rates × {} reps", cfg.fault_rates.len(), cfg.repetitions);
-        let result = Campaign::new(cfg).run(&mut net, |n| eval.accuracy(n));
+        let result = Campaign::new(cfg).run_parallel(&net, |n| eval.accuracy(n));
         println!("\n{layer_name} (network layer {layer_index}):");
         println!("{:<12} {:>10} {:>10} {:>10}", "paper_rate", "mean_acc", "min_acc", "max_acc");
         for (i, s) in result.summaries().iter().enumerate() {

@@ -23,7 +23,11 @@ fn main() {
     };
 
     println!("Fig. 4 — methodology walkthrough on the AlexNet workload\n");
-    println!("input: pre-trained DNN ({} params), validation set ({} images)\n", net.param_count(), data.val().len());
+    println!(
+        "input: pre-trained DNN ({} params), validation set ({} images)\n",
+        net.param_count(),
+        data.val().len()
+    );
 
     let methodology = experiment_methodology(args.seed, 256.min(data.val().len()), workload.rate_scale());
     let report = methodology.harden(&mut net, data.val());
@@ -57,7 +61,8 @@ fn main() {
         v
     };
     println!("\noutput: fault-tolerant DNN with tuned clipped activations");
-    println!("invariant checks: weights untouched ({}), all sites clipped ({})",
+    println!(
+        "invariant checks: weights untouched ({}), all sites clipped ({})",
         weights_before == weights_after,
         net.clip_thresholds().iter().all(Option::is_some)
     );

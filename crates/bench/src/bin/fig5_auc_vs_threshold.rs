@@ -68,7 +68,12 @@ fn main() {
     csv.flush().expect("flush csv");
 
     println!("\nunbounded-activation AUC (red line): {unbounded_auc:.4}");
-    println!("peak: AUC {:.4} at T = {:.4} ({}% of ACT_max)", best.1, best.0, (100.0 * best.0 / act_max) as i32);
+    println!(
+        "peak: AUC {:.4} at T = {:.4} ({}% of ACT_max)",
+        best.1,
+        best.0,
+        (100.0 * best.0 / act_max) as i32
+    );
     println!(
         "shape check: peak below ACT_max ({}), clipped AUC ≥ unbounded AUC ({})",
         best.0 < act_max,

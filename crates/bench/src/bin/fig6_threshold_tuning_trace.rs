@@ -37,22 +37,32 @@ fn main() {
     let tuner = ThresholdTuner::new(TunerConfig { max_iterations: 4, min_iterations: 2, delta: 0.005, auc });
 
     eprintln!("[fig6] tuning CONV-4 (ACT_max = {:.4}) …", conv4_profile.act_max);
-    let outcome = tuner.tune_site(&mut net, conv4_site, conv4_profile.act_max, &eval).expect("site is clipped");
+    let outcome = tuner
+        .tune_site(&mut net, conv4_site, conv4_profile.act_max, &eval)
+        .expect("site is clipped");
 
     let mut csv = CsvWriter::create(
         args.out_dir.join("fig6_threshold_tuning_trace.csv"),
-        &["iteration", "interval_lo", "interval_hi", "t1", "t2", "t3", "t4", "auc1", "auc2", "auc3", "auc4", "best"],
+        &[
+            "iteration",
+            "interval_lo",
+            "interval_hi",
+            "t1",
+            "t2",
+            "t3",
+            "t4",
+            "auc1",
+            "auc2",
+            "auc3",
+            "auc4",
+            "best",
+        ],
     )
     .expect("write results csv");
 
     println!("Fig. 6 — Algorithm 1 trace on CONV-4 (ACT_max = {:.4})\n", conv4_profile.act_max);
     for (i, iter) in outcome.trace.iter().enumerate() {
-        println!(
-            "iteration {}: S = [{:.4}, {:.4}]",
-            i + 1,
-            iter.interval.0,
-            iter.interval.1
-        );
+        println!("iteration {}: S = [{:.4}, {:.4}]", i + 1, iter.interval.0, iter.interval.1);
         for (b, (t, a)) in iter.boundaries.iter().zip(iter.aucs).enumerate() {
             let marker = if b == iter.best_index { "  ← max AUC" } else { "" };
             println!("    T{} = {:>9.4}  AUC = {:.4}{}", b + 1, t, a, marker);
@@ -86,5 +96,8 @@ fn main() {
         .trace
         .windows(2)
         .all(|w| (w[1].interval.1 - w[1].interval.0) < (w[0].interval.1 - w[0].interval.0) + 1e-9);
-    println!("shape check: interval shrinks every iteration ({shrank}), T < ACT_max ({})", outcome.threshold < conv4_profile.act_max);
+    println!(
+        "shape check: interval shrinks every iteration ({shrank}), T < ACT_max ({})",
+        outcome.threshold < conv4_profile.act_max
+    );
 }

@@ -12,7 +12,9 @@
 //! case craters; the AUC improvement is large and positive (paper:
 //! +173.32 % over 0…1e-5).
 
-use ftclip_bench::{evaluate_resilience, experiment_data, parse_args, print_panels, shape_checks, trained_alexnet};
+use ftclip_bench::{
+    evaluate_resilience, experiment_data, parse_args, print_panels, shape_checks, trained_alexnet,
+};
 
 fn main() {
     let args = parse_args();

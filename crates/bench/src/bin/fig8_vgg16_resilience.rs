@@ -6,7 +6,9 @@
 //! than the AlexNet, and the clipped variant gains *more* (paper: +654.91 %
 //! AUC at ≤5e-7, +68.92 % accuracy at 1e-5).
 
-use ftclip_bench::{evaluate_resilience, experiment_data, parse_args, print_panels, shape_checks, trained_vgg16};
+use ftclip_bench::{
+    evaluate_resilience, experiment_data, parse_args, print_panels, shape_checks, trained_vgg16,
+};
 
 fn main() {
     let args = parse_args();

@@ -1,19 +1,100 @@
 //! Quick wall-clock probe of the experiment workloads' inference cost —
 //! handy for sizing `--reps`/`--eval-size` budgets on a new machine
 //! (Criterion benches measure the same paths with proper statistics).
+//!
+//! `timing_probe campaign` additionally measures the parallel campaign
+//! executor's speedup on the synthetic-LeNet workload: the paper-default
+//! grid runs through `Campaign::run_parallel_with_threads` at 1, 2 and 4
+//! workers and the wall-clock ratios are printed. Worker counts beyond the
+//! machine's core count cannot speed anything up, so interpret the ratios
+//! against the reported `available_parallelism`.
 
 use std::time::Instant;
 
-fn main() {
+use ftclip_core::EvalSet;
+use ftclip_data::Dataset;
+use ftclip_fault::{Campaign, CampaignConfig};
+
+fn probe_inference() {
     let net = ftclip_models::alexnet_cifar(0.125, 10, 1);
     let x = ftclip_tensor::Tensor::ones(&[64, 3, 32, 32]);
     let _ = net.forward(&x); // warm
     let t = Instant::now();
-    for _ in 0..10 { let _ = net.forward(&x); }
-    println!("alexnet w=0.125 batch64: {:.1} ms/batch ({:.2} ms/img)", t.elapsed().as_secs_f64()*100.0, t.elapsed().as_secs_f64()*100.0/64.0);
+    for _ in 0..10 {
+        let _ = net.forward(&x);
+    }
+    println!(
+        "alexnet w=0.125 batch64: {:.1} ms/batch ({:.2} ms/img)",
+        t.elapsed().as_secs_f64() * 100.0,
+        t.elapsed().as_secs_f64() * 100.0 / 64.0
+    );
     let vgg = ftclip_models::vgg16_bn_cifar(0.125, 10, 1);
     let _ = vgg.forward(&x);
     let t = Instant::now();
-    for _ in 0..10 { let _ = vgg.forward(&x); }
-    println!("vgg16bn w=0.125 batch64: {:.1} ms/batch ({:.2} ms/img)", t.elapsed().as_secs_f64()*100.0, t.elapsed().as_secs_f64()*100.0/64.0);
+    for _ in 0..10 {
+        let _ = vgg.forward(&x);
+    }
+    println!(
+        "vgg16bn w=0.125 batch64: {:.1} ms/batch ({:.2} ms/img)",
+        t.elapsed().as_secs_f64() * 100.0,
+        t.elapsed().as_secs_f64() * 100.0 / 64.0
+    );
+}
+
+/// The synthetic-LeNet campaign workload: LeNet-5 over a grayscale
+/// collapse of the synthetic CIFAR test split.
+fn lenet_eval_set(images: usize) -> EvalSet {
+    let data = ftclip_data::SynthCifar::builder()
+        .seed(1)
+        .train_size(8)
+        .val_size(8)
+        .test_size(images)
+        .build();
+    let rgb = data.test().images();
+    let dims = rgb.shape().dims();
+    let (n, h, w) = (dims[0], dims[2], dims[3]);
+    let mut gray = vec![0.0f32; n * h * w];
+    let src = rgb.data();
+    for (i, g) in gray.iter_mut().enumerate() {
+        let (img, px) = (i / (h * w), i % (h * w));
+        let base = img * 3 * h * w + px;
+        *g = (src[base] + src[base + h * w] + src[base + 2 * h * w]) / 3.0;
+    }
+    let gray = ftclip_tensor::Tensor::from_vec(gray, &[n, 1, h, w]).expect("grayscale tensor");
+    let dataset = Dataset::new(gray, data.test().labels().to_vec(), 10).expect("grayscale dataset");
+    EvalSet::from_dataset(&dataset, 64)
+}
+
+fn probe_campaign_speedup() {
+    let net = ftclip_models::lenet5(10, 7);
+    let eval = lenet_eval_set(256);
+    let campaign = Campaign::new(CampaignConfig::paper_default(11, 8));
+    println!(
+        "\ncampaign executor, paper-default grid (7 rates × 8 reps), synthetic LeNet, {} images:",
+        eval.len()
+    );
+    let mut baseline = None;
+    for threads in [1usize, 2, 4] {
+        let t = Instant::now();
+        let result = campaign.run_parallel_with_threads(&net, threads, |m| eval.accuracy(m));
+        let secs = t.elapsed().as_secs_f64();
+        let baseline = *baseline.get_or_insert(secs);
+        println!(
+            "  {threads} worker(s): {secs:.2} s  (speedup ×{:.2}, clean acc {:.3})",
+            baseline / secs,
+            result.clean_accuracy
+        );
+    }
+    println!(
+        "  (machine reports {} available core(s))",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+}
+
+fn main() {
+    let campaign_only = std::env::args().any(|a| a == "campaign");
+    if !campaign_only {
+        probe_inference();
+    }
+    probe_campaign_speedup();
 }

@@ -90,7 +90,8 @@ fn parse_arg_list(args: impl Iterator<Item = String>) -> RunArgs {
             }
             "--reps" => explicit_reps = Some(value("--reps").parse().unwrap_or_else(|_| usage("bad --reps"))),
             "--eval-size" => {
-                explicit_eval = Some(value("--eval-size").parse().unwrap_or_else(|_| usage("bad --eval-size")))
+                explicit_eval =
+                    Some(value("--eval-size").parse().unwrap_or_else(|_| usage("bad --eval-size")))
             }
             "--seed" => out.seed = value("--seed").parse().unwrap_or_else(|_| usage("bad --seed")),
             "--out" => out.out_dir = PathBuf::from(value("--out")),
@@ -181,8 +182,11 @@ mod tests {
 
     #[test]
     fn explicit_flags_override_scale_defaults() {
-        let args =
-            parse_arg_list(["--scale", "paper", "--reps", "7", "--eval-size", "33", "--seed", "9"].iter().map(|s| s.to_string()));
+        let args = parse_arg_list(
+            ["--scale", "paper", "--reps", "7", "--eval-size", "33", "--seed", "9"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
         assert_eq!(args.reps, 7);
         assert_eq!(args.eval_size, 33);
         assert_eq!(args.seed, 9);

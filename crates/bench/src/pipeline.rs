@@ -10,7 +10,10 @@ use ftclip_nn::Sequential;
 /// bars) per DESIGN.md §3.
 pub fn tuning_auc_config(seed: u64, rate_scale: f64) -> AucConfig {
     AucConfig {
-        fault_rates: vec![1e-7, 1e-6, 1e-5].into_iter().map(|r: f64| (r * rate_scale).min(1.0)).collect(),
+        fault_rates: vec![1e-7, 1e-6, 1e-5]
+            .into_iter()
+            .map(|r: f64| (r * rate_scale).min(1.0))
+            .collect(),
         repetitions: 3,
         seed,
         model: FaultModel::BitFlip,
@@ -47,7 +50,11 @@ pub fn harden_network(
     for layer in &report.per_layer {
         eprintln!(
             "[harden] {}: ACT_max {:.4} → T {:.4} (AUC {:.4}, {} evals)",
-            layer.feeds_from, layer.act_max, layer.outcome.threshold, layer.outcome.auc, layer.outcome.evaluations
+            layer.feeds_from,
+            layer.act_max,
+            layer.outcome.threshold,
+            layer.outcome.auc,
+            layer.outcome.evaluations
         );
     }
     eprintln!("[harden] done in {:.1}s", start.elapsed().as_secs_f64());

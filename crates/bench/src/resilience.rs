@@ -8,7 +8,9 @@
 //! tables label each row with the paper-equivalent rate.
 
 use ftclip_core::{Comparison, EvalSet};
-use ftclip_fault::{paper_fault_rates, Campaign, CampaignConfig, CampaignResult, FaultModel, InjectionTarget};
+use ftclip_fault::{
+    paper_fault_rates, Campaign, CampaignConfig, CampaignResult, FaultModel, InjectionTarget,
+};
 
 use crate::harness::{CsvWriter, RunArgs};
 use crate::pipeline::harden_network;
@@ -41,7 +43,8 @@ pub fn evaluate_resilience(workload: &Workload, args: &RunArgs) -> ResilienceEva
 
     let mut protected_net = workload.model.network.clone();
     let tuning_subset = args.eval_size.min(256).min(data.val().len());
-    let report = harden_network(&mut protected_net, data.val(), args.seed, tuning_subset, workload.rate_scale());
+    let report =
+        harden_network(&mut protected_net, data.val(), args.seed, tuning_subset, workload.rate_scale());
 
     let campaign = Campaign::new(CampaignConfig {
         fault_rates: workload.scaled_paper_rates(),
@@ -51,14 +54,15 @@ pub fn evaluate_resilience(workload: &Workload, args: &RunArgs) -> ResilienceEva
         target: InjectionTarget::AllWeights,
     });
     eprintln!(
-        "[resilience] campaigns: {} reps/rate, rate scale ×{:.1}",
+        "[resilience] campaigns: {} reps/rate, rate scale ×{:.1}, {} worker thread(s)",
         args.reps,
-        workload.rate_scale()
+        workload.rate_scale(),
+        ftclip_tensor::num_threads()
     );
-    let protected = campaign.run(&mut protected_net, |n| eval.accuracy(n));
+    let protected = campaign.run_parallel(&protected_net, |n| eval.accuracy(n));
     eprintln!("[resilience] protected done, running unprotected …");
-    let mut unprotected_net = workload.model.network.clone();
-    let unprotected = campaign.run(&mut unprotected_net, |n| eval.accuracy(n));
+    let unprotected_net = workload.model.network.clone();
+    let unprotected = campaign.run_parallel(&unprotected_net, |n| eval.accuracy(n));
 
     let comparison = Comparison::new(&protected, &unprotected);
     ResilienceEvaluation {
@@ -81,7 +85,10 @@ pub fn print_panels(eval: &ResilienceEvaluation, stem: &str, args: &RunArgs) {
         "    (paper rates mapped ×{:.1} for the width-scaled memory, see DESIGN.md §3)\n",
         eval.rate_scale
     );
-    println!("baseline (clean): clipped {:.4}, unprotected {:.4}\n", cmp.protected_clean, cmp.unprotected_clean);
+    println!(
+        "baseline (clean): clipped {:.4}, unprotected {:.4}\n",
+        cmp.protected_clean, cmp.unprotected_clean
+    );
     println!(
         "{:<12} {:<12} {:>10} {:>12} {:>13}",
         "paper_rate", "actual_rate", "clipped", "unprotected", "improvement%"
@@ -103,15 +110,10 @@ pub fn print_panels(eval: &ResilienceEvaluation, stem: &str, args: &RunArgs) {
     }
     csv_a.flush().expect("flush csv");
 
-    for (panel, label, result) in [
-        ("b", "clipped", &eval.protected),
-        ("c", "unprotected", &eval.unprotected),
-    ] {
+    for (panel, label, result) in [("b", "clipped", &eval.protected), ("c", "unprotected", &eval.unprotected)]
+    {
         println!("\n({panel}) accuracy distribution, {label} network (box-plot statistics)\n");
-        println!(
-            "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}",
-            "paper_rate", "min", "q1", "median", "q3", "max"
-        );
+        println!("{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}", "paper_rate", "min", "q1", "median", "q3", "max");
         let mut csv = CsvWriter::create(
             args.out_dir.join(format!("{stem}_{panel}_box.csv")),
             &["paper_rate", "actual_rate", "min", "q1", "median", "q3", "max", "mean", "std"],

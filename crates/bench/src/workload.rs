@@ -37,7 +37,10 @@ impl Workload {
     /// The paper's fault-rate grid mapped to this workload's memory size.
     pub fn scaled_paper_rates(&self) -> Vec<f64> {
         let s = self.rate_scale();
-        ftclip_fault::paper_fault_rates().into_iter().map(|r| (r * s).min(1.0)).collect()
+        ftclip_fault::paper_fault_rates()
+            .into_iter()
+            .map(|r| (r * s).min(1.0))
+            .collect()
     }
 
     /// Maps one of the paper's quoted fault rates onto this workload.
@@ -121,13 +124,20 @@ fn load(spec: ModelSpec, data: &SynthCifar, name: &str, full_width_params: usize
         model.network.param_count(),
         full_width_params as f64 / model.network.param_count() as f64,
     );
-    Workload { data: data.clone(), model, name: name.to_string(), full_width_params }
+    Workload {
+        data: data.clone(),
+        model,
+        name: name.to_string(),
+        full_width_params,
+    }
 }
 
 /// Model-cache directory: `$FTCLIP_ASSETS` or `assets/` relative to the
 /// working directory.
 pub fn cache_dir() -> std::path::PathBuf {
-    std::env::var_os("FTCLIP_ASSETS").map(Into::into).unwrap_or_else(|| "assets".into())
+    std::env::var_os("FTCLIP_ASSETS")
+        .map(Into::into)
+        .unwrap_or_else(|| "assets".into())
 }
 
 #[cfg(test)]

@@ -102,6 +102,10 @@ impl AucConfig {
 
     /// Runs the configured campaign and returns the full result (used where
     /// the curve itself is needed, e.g. Fig. 5a).
+    ///
+    /// Tuning measures AUC hundreds of times, so the campaign grid fans out
+    /// over worker threads ([`Campaign::run_parallel`]); results are
+    /// bit-identical to the serial executor at any `FTCLIP_THREADS`.
     pub fn run_campaign(&self, net: &mut Sequential, eval: &EvalSet) -> CampaignResult {
         let cfg = CampaignConfig {
             fault_rates: self.fault_rates.clone(),
@@ -110,7 +114,7 @@ impl AucConfig {
             model: self.model,
             target: self.target,
         };
-        Campaign::new(cfg).run(net, |n| eval.accuracy(n))
+        Campaign::new(cfg).run_parallel(net, |n| eval.accuracy(n))
     }
 }
 
@@ -176,7 +180,11 @@ mod tests {
             net.visit_params(&mut |_, _, t, _| v.extend_from_slice(t.data()));
             v
         };
-        let cfg = AucConfig { fault_rates: vec![1e-5, 1e-4], repetitions: 2, ..AucConfig::default() };
+        let cfg = AucConfig {
+            fault_rates: vec![1e-5, 1e-4],
+            repetitions: 2,
+            ..AucConfig::default()
+        };
         let auc = cfg.measure(&mut net, &eval);
         assert!((0.0..=1.0).contains(&auc));
         let after: Vec<f32> = {

@@ -37,7 +37,11 @@ impl EvalSet {
     /// Panics if `batch_size == 0`.
     pub fn from_dataset(dataset: &Dataset, batch_size: usize) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
-        EvalSet { images: dataset.images().clone(), labels: dataset.labels().to_vec(), batch_size }
+        EvalSet {
+            images: dataset.images().clone(),
+            labels: dataset.labels().to_vec(),
+            batch_size,
+        }
     }
 
     /// Uses a random `n`-image subset of `dataset` (without replacement).

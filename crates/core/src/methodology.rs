@@ -144,10 +144,10 @@ impl Methodology {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::AucConfig;
     use ftclip_data::SynthCifar;
     use ftclip_fault::FaultModel;
     use ftclip_nn::{Layer, ParamKind};
-    use crate::AucConfig;
 
     fn quick_methodology() -> Methodology {
         Methodology {
@@ -179,7 +179,13 @@ mod tests {
     }
 
     fn data() -> SynthCifar {
-        SynthCifar::builder().seed(31).train_size(16).val_size(32).test_size(16).image_size(8).build()
+        SynthCifar::builder()
+            .seed(31)
+            .train_size(16)
+            .val_size(32)
+            .test_size(16)
+            .image_size(8)
+            .build()
     }
 
     #[test]

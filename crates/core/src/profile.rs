@@ -96,7 +96,12 @@ pub struct SiteProfile {
 ///
 /// Panics if the network has no activation sites, `images` is not a valid
 /// input batch tensor for the network, or `batch_size == 0`.
-pub fn profile_network(net: &Sequential, images: &Tensor, batch_size: usize, bins: usize) -> Vec<SiteProfile> {
+pub fn profile_network(
+    net: &Sequential,
+    images: &Tensor,
+    batch_size: usize,
+    bins: usize,
+) -> Vec<SiteProfile> {
     assert!(batch_size > 0, "batch size must be positive");
     let sites = net.activation_sites();
     assert!(!sites.is_empty(), "network has no activation sites to profile");
@@ -109,7 +114,8 @@ pub fn profile_network(net: &Sequential, images: &Tensor, batch_size: usize, bin
     let name_of_site = |site: usize| -> String {
         comp_indices
             .iter()
-            .zip(&comp_names).rfind(|(&ci, _)| ci < site)
+            .zip(&comp_names)
+            .rfind(|(&ci, _)| ci < site)
             .map(|(_, name)| name.clone())
             .unwrap_or_else(|| "INPUT".to_string())
     };

@@ -31,7 +31,12 @@ pub struct TunerConfig {
 impl Default for TunerConfig {
     /// `N = 4`, `M = 2`, `δ = 0.01`, default [`AucConfig`].
     fn default() -> Self {
-        TunerConfig { max_iterations: 4, min_iterations: 2, delta: 0.01, auc: AucConfig::default() }
+        TunerConfig {
+            max_iterations: 4,
+            min_iterations: 2,
+            delta: 0.01,
+            auc: AucConfig::default(),
+        }
     }
 }
 
@@ -210,7 +215,12 @@ pub fn grid_search_site(
         }
     }
     net.set_clip_threshold(site, best.0)?;
-    Ok(TuneOutcome { threshold: best.0, auc: best.1, trace: Vec::new(), evaluations })
+    Ok(TuneOutcome {
+        threshold: best.0,
+        auc: best.1,
+        trace: Vec::new(),
+        evaluations,
+    })
 }
 
 fn argmax(xs: &[f64]) -> usize {
@@ -275,7 +285,7 @@ mod tests {
         assert!(out.threshold > 0.0 && out.threshold <= 5.0);
         assert_eq!(out.trace.len(), 2);
         assert_eq!(out.evaluations, 8); // 2 iterations × 4 boundaries
-        // the network's threshold was left at the tuned value
+                                        // the network's threshold was left at the tuned value
         assert_eq!(net.clip_thresholds()[0], Some(out.threshold));
     }
 
@@ -359,6 +369,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "1 ≤ M ≤ N")]
     fn config_validates_m_le_n() {
-        ThresholdTuner::new(TunerConfig { max_iterations: 2, min_iterations: 5, delta: 0.0, auc: AucConfig::default() });
+        ThresholdTuner::new(TunerConfig {
+            max_iterations: 2,
+            min_iterations: 5,
+            delta: 0.0,
+            auc: AucConfig::default(),
+        });
     }
 }

@@ -7,11 +7,8 @@ use proptest::prelude::*;
 fn curve_strategy() -> impl Strategy<Value = Vec<(f64, f64)>> {
     // 2..8 points with strictly increasing positive rates and accuracies in [0,1]
     (2usize..8).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(1e-9f64..1e-3, n),
-            proptest::collection::vec(0.0f64..1.0, n),
-        )
-            .prop_map(|(mut rates, accs)| {
+        (proptest::collection::vec(1e-9f64..1e-3, n), proptest::collection::vec(0.0f64..1.0, n)).prop_map(
+            |(mut rates, accs)| {
                 rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
                 // de-duplicate rates by nudging
                 for i in 1..rates.len() {
@@ -20,7 +17,8 @@ fn curve_strategy() -> impl Strategy<Value = Vec<(f64, f64)>> {
                     }
                 }
                 rates.into_iter().zip(accs).collect()
-            })
+            },
+        )
     })
 }
 

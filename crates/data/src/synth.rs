@@ -72,8 +72,8 @@ impl ClassProto {
         }
         let gratings = (0..GRATINGS)
             .map(|_| {
-                let fx = rng.gen_range(0.5..3.0) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
-                let fy = rng.gen_range(0.5..3.0) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                let fx = rng.gen_range(0.5f32..3.0) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                let fy = rng.gen_range(0.5f32..3.0) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
                 let phase = rng.gen_range(0.0..std::f32::consts::TAU);
                 let amp = rng.gen_range(0.2..0.45);
                 let mut w = [0.0f32; 3];
@@ -87,8 +87,8 @@ impl ClassProto {
             .map(|_| {
                 let cx = rng.gen_range(0.2..0.8);
                 let cy = rng.gen_range(0.2..0.8);
-                let sigma = rng.gen_range(0.08..0.2);
-                let amp = rng.gen_range(0.3..0.6) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                let sigma = rng.gen_range(0.08f32..0.2);
+                let amp = rng.gen_range(0.3f32..0.6) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
                 let mut w = [0.0f32; 3];
                 for v in &mut w {
                     *v = rng.gen_range(0.0..1.0);
@@ -135,13 +135,13 @@ impl SampleJitter {
         let mut grating_amp = [1.0f32; GRATINGS];
         let mut blob_offset = [(0.0f32, 0.0f32); BLOBS];
         for p in &mut grating_phase {
-            *p = rng.gen_range(-1.0..1.0) * distortion * std::f32::consts::PI;
+            *p = rng.gen_range(-1.0f32..1.0) * distortion * std::f32::consts::PI;
         }
         for a in &mut grating_amp {
-            *a = 1.0 + rng.gen_range(-0.5..0.5) * distortion;
+            *a = 1.0 + rng.gen_range(-0.5f32..0.5) * distortion;
         }
         for o in &mut blob_offset {
-            *o = (rng.gen_range(-0.2..0.2) * distortion, rng.gen_range(-0.2..0.2) * distortion);
+            *o = (rng.gen_range(-0.2f32..0.2) * distortion, rng.gen_range(-0.2f32..0.2) * distortion);
         }
         SampleJitter { grating_phase, grating_amp, blob_offset }
     }
@@ -314,16 +314,24 @@ impl SynthCifarBuilder {
     /// `image_size < 8`.
     pub fn build(self) -> SynthCifar {
         assert!(self.classes > 0, "need at least one class");
-        assert!(self.train_size > 0 && self.val_size > 0 && self.test_size > 0, "split sizes must be positive");
+        assert!(
+            self.train_size > 0 && self.val_size > 0 && self.test_size > 0,
+            "split sizes must be positive"
+        );
         assert!(self.image_size >= 8, "image size must be at least 8");
         assert!((1..=3).contains(&self.channels), "channels must be 1–3, got {}", self.channels);
-        assert!((0.0..=1.0).contains(&self.distortion), "distortion must be in [0, 1], got {}", self.distortion);
+        assert!(
+            (0.0..=1.0).contains(&self.distortion),
+            "distortion must be in [0, 1], got {}",
+            self.distortion
+        );
         assert!(
             self.class_sep > 0.0 && self.class_sep <= 1.0,
             "class_sep must be in (0, 1], got {}",
             self.class_sep
         );
-        let mut proto_rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
+        let mut proto_rng =
+            StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
         let shared = ClassProto::sample(&mut proto_rng);
         let protos: Vec<ClassProto> = (0..self.classes)
             .map(|_| {
@@ -442,7 +450,12 @@ mod tests {
     fn classes_are_separable_by_nearest_mean() {
         // A nearest-class-mean classifier on raw pixels must beat chance by a
         // wide margin, otherwise no CNN could learn the task.
-        let d = SynthCifar::builder().seed(9).train_size(400).val_size(50).test_size(200).build();
+        let d = SynthCifar::builder()
+            .seed(9)
+            .train_size(400)
+            .val_size(50)
+            .test_size(200)
+            .build();
         let (n, _, h, w) = d.train().images().shape().as_nchw();
         let dim = 3 * h * w;
         let mut means = vec![vec![0.0f32; dim]; 10];

@@ -1,4 +1,13 @@
 //! Fault-injection campaigns: rates × repetitions with derived seeds.
+//!
+//! The `(rate × repetition)` grid is embarrassingly parallel — every cell
+//! derives its own RNG from [`derive_seed`] and leaves the network exactly
+//! as it found it — so [`Campaign::run_parallel`] fans the grid out over
+//! scoped worker threads (honoring `FTCLIP_THREADS` via
+//! [`ftclip_tensor::num_threads`]) with results bit-identical to the serial
+//! [`Campaign::run`] at any thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ftclip_nn::Sequential;
 use rand::rngs::StdRng;
@@ -181,7 +190,117 @@ impl Campaign {
             }
             accuracies.push(per_rate);
         }
-        CampaignResult { fault_rates: self.config.fault_rates.clone(), accuracies, runs, clean_accuracy }
+        CampaignResult {
+            fault_rates: self.config.fault_rates.clone(),
+            accuracies,
+            runs,
+            clean_accuracy,
+        }
+    }
+
+    /// Runs the full campaign with the `(rate, repetition)` grid fanned out
+    /// over [`ftclip_tensor::num_threads`] worker threads.
+    ///
+    /// Results are **bit-identical** to [`Campaign::run`] at any thread
+    /// count: every cell derives its RNG from
+    /// [`derive_seed`]`(seed, rate_index, repetition)` independent of
+    /// execution order, evaluation is deterministic, and the merged
+    /// [`RunRecord`]s are emitted in the serial path's order. Unlike
+    /// [`Campaign::run`] the network is borrowed immutably — each worker
+    /// injects faults into its own clone — and the evaluation closure must
+    /// be `Fn + Sync` because workers share it.
+    pub fn run_parallel(&self, net: &Sequential, eval: impl Fn(&Sequential) -> f64 + Sync) -> CampaignResult {
+        self.run_parallel_with_threads(net, ftclip_tensor::num_threads(), eval)
+    }
+
+    /// [`Campaign::run_parallel`] with an explicit worker-thread count
+    /// (`FTCLIP_THREADS` is process-global and cached, so tests comparing
+    /// thread counts inside one process use this entry point).
+    ///
+    /// Workers pull cells from a shared queue (dynamic scheduling: the
+    /// expensive high-rate cells spread across workers) and run their
+    /// evaluations under [`ftclip_tensor::with_thread_limit`]`(1, …)` so the
+    /// matmul kernels underneath do not multiply the thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or if a worker thread panics.
+    pub fn run_parallel_with_threads(
+        &self,
+        net: &Sequential,
+        threads: usize,
+        eval: impl Fn(&Sequential) -> f64 + Sync,
+    ) -> CampaignResult {
+        assert!(threads > 0, "campaign needs at least one worker thread");
+        let reps = self.config.repetitions;
+        let total = self.config.fault_rates.len() * reps;
+        let workers = threads.min(total);
+
+        if workers <= 1 {
+            let mut net = net.clone();
+            return self.run(&mut net, eval);
+        }
+
+        let clean_accuracy = eval(net);
+        let next_cell = AtomicUsize::new(0);
+        let mut runs: Vec<RunRecord> = Vec::with_capacity(total);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let next_cell = &next_cell;
+                let eval = &eval;
+                let config = &self.config;
+                handles.push(scope.spawn(move || {
+                    // one network clone per worker serves all its cells;
+                    // inner kernels run single-threaded (see method docs)
+                    ftclip_tensor::with_thread_limit(1, || {
+                        let mut local = net.clone();
+                        let mut out = Vec::new();
+                        loop {
+                            let cell = next_cell.fetch_add(1, Ordering::Relaxed);
+                            if cell >= total {
+                                return out;
+                            }
+                            let (i, rep) = (cell / reps, cell % reps);
+                            let mut rng = StdRng::seed_from_u64(derive_seed(config.seed, i, rep));
+                            let injection = Injection::sample(
+                                &local,
+                                config.target,
+                                config.model,
+                                config.fault_rates[i],
+                                &mut rng,
+                            );
+                            let fault_count = injection.fault_count();
+                            let accuracy = if fault_count == 0 {
+                                clean_accuracy
+                            } else {
+                                let handle = injection.apply(&mut local);
+                                let accuracy = eval(&local);
+                                handle.undo(&mut local);
+                                accuracy
+                            };
+                            out.push(RunRecord { rate_index: i, repetition: rep, fault_count, accuracy });
+                        }
+                    })
+                }));
+            }
+            for handle in handles {
+                runs.extend(handle.join().expect("campaign worker panicked"));
+            }
+        });
+
+        // restore the serial path's (rate-major) execution order
+        runs.sort_by_key(|r| (r.rate_index, r.repetition));
+        let mut accuracies = vec![Vec::with_capacity(reps); self.config.fault_rates.len()];
+        for r in &runs {
+            accuracies[r.rate_index].push(r.accuracy);
+        }
+        CampaignResult {
+            fault_rates: self.config.fault_rates.clone(),
+            accuracies,
+            runs,
+            clean_accuracy,
+        }
     }
 }
 
@@ -272,7 +391,11 @@ mod tests {
         };
         let res = Campaign::new(cfg).run(&mut n, finite_fraction);
         let count_at = |rate_idx: usize| -> usize {
-            res.runs.iter().filter(|r| r.rate_index == rate_idx).map(|r| r.fault_count).sum()
+            res.runs
+                .iter()
+                .filter(|r| r.rate_index == rate_idx)
+                .map(|r| r.fault_count)
+                .sum()
         };
         assert!(count_at(1) > count_at(0) * 10, "100× rate should give ≫ faults");
     }
@@ -284,6 +407,66 @@ mod tests {
         assert_eq!(cfg.repetitions, 50);
         assert_eq!(cfg.fault_rates[0], 1e-8);
         assert_eq!(*cfg.fault_rates.last().unwrap(), 1e-5);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise_at_any_thread_count() {
+        let cfg = CampaignConfig {
+            fault_rates: vec![1e-3, 1e-2, 1e-1],
+            repetitions: 6,
+            seed: 17,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::AllWeights,
+        };
+        let campaign = Campaign::new(cfg);
+        let mut serial_net = net();
+        let serial = campaign.run(&mut serial_net, finite_fraction);
+        for threads in [1, 2, 4, 7] {
+            let parallel = campaign.run_parallel_with_threads(&net(), threads, finite_fraction);
+            let bits = |a: &[Vec<f64>]| -> Vec<Vec<u64>> {
+                a.iter().map(|v| v.iter().map(|x| x.to_bits()).collect()).collect()
+            };
+            assert_eq!(bits(&parallel.accuracies), bits(&serial.accuracies), "{threads} threads");
+            assert_eq!(parallel.runs, serial.runs, "{threads} threads");
+            assert_eq!(parallel.clean_accuracy.to_bits(), serial.clean_accuracy.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_does_not_mutate_input_network() {
+        let n = net();
+        let before: Vec<u32> = {
+            let mut v = Vec::new();
+            n.visit_params(&mut |_, _, t, _| v.extend(t.data().iter().map(|x| x.to_bits())));
+            v
+        };
+        let cfg = CampaignConfig {
+            fault_rates: vec![1e-1],
+            repetitions: 8,
+            seed: 2,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::AllWeights,
+        };
+        Campaign::new(cfg).run_parallel_with_threads(&n, 3, finite_fraction);
+        let after: Vec<u32> = {
+            let mut v = Vec::new();
+            n.visit_params(&mut |_, _, t, _| v.extend(t.data().iter().map(|x| x.to_bits())));
+            v
+        };
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker thread")]
+    fn parallel_rejects_zero_threads() {
+        let cfg = CampaignConfig {
+            fault_rates: vec![1e-2],
+            repetitions: 1,
+            seed: 0,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::AllWeights,
+        };
+        Campaign::new(cfg).run_parallel_with_threads(&net(), 0, finite_fraction);
     }
 
     #[test]

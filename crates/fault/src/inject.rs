@@ -174,10 +174,7 @@ mod tests {
         let before = weights_snapshot(&n);
         let inj = Injection::from_faults(
             FaultModel::BitFlip,
-            vec![
-                (0, ParamKind::Weight, 3, 30),
-                (0, ParamKind::Weight, 3, 31),
-            ],
+            vec![(0, ParamKind::Weight, 3, 30), (0, ParamKind::Weight, 3, 31)],
         );
         let handle = inj.apply(&mut n);
         assert_eq!(handle.modified_count(), 2);
@@ -188,8 +185,20 @@ mod tests {
     #[test]
     fn same_seed_same_faults() {
         let n = net();
-        let a = Injection::sample(&n, InjectionTarget::AllWeights, FaultModel::BitFlip, 0.01, &mut StdRng::seed_from_u64(3));
-        let b = Injection::sample(&n, InjectionTarget::AllWeights, FaultModel::BitFlip, 0.01, &mut StdRng::seed_from_u64(3));
+        let a = Injection::sample(
+            &n,
+            InjectionTarget::AllWeights,
+            FaultModel::BitFlip,
+            0.01,
+            &mut StdRng::seed_from_u64(3),
+        );
+        let b = Injection::sample(
+            &n,
+            InjectionTarget::AllWeights,
+            FaultModel::BitFlip,
+            0.01,
+            &mut StdRng::seed_from_u64(3),
+        );
         assert_eq!(a.faults(), b.faults());
     }
 
@@ -200,7 +209,13 @@ mod tests {
         let mut plain = net();
         let mut clipped = plain.clone();
         clipped.convert_to_clipped(&[1.0]);
-        let inj = Injection::sample(&plain, InjectionTarget::AllWeights, FaultModel::BitFlip, 0.02, &mut StdRng::seed_from_u64(8));
+        let inj = Injection::sample(
+            &plain,
+            InjectionTarget::AllWeights,
+            FaultModel::BitFlip,
+            0.02,
+            &mut StdRng::seed_from_u64(8),
+        );
         let h1 = inj.apply(&mut plain);
         let h2 = inj.apply(&mut clipped);
         // same words corrupted in both
@@ -213,7 +228,13 @@ mod tests {
     #[test]
     fn layer_target_only_touches_that_layer() {
         let mut n = net();
-        let inj = Injection::sample(&n, InjectionTarget::Layer(3), FaultModel::BitFlip, 1.0, &mut StdRng::seed_from_u64(1));
+        let inj = Injection::sample(
+            &n,
+            InjectionTarget::Layer(3),
+            FaultModel::BitFlip,
+            1.0,
+            &mut StdRng::seed_from_u64(1),
+        );
         let before_conv: Vec<u32> = {
             let mut v = Vec::new();
             n.visit_params(&mut |l, k, t, _| {
@@ -247,7 +268,10 @@ mod tests {
                 val = t.data()[0];
             }
         });
-        assert!(val.abs() > 1e30 || val.is_infinite(), "stuck-at-1 on exponent MSB must explode, got {val}");
+        assert!(
+            val.abs() > 1e30 || val.is_infinite(),
+            "stuck-at-1 on exponent MSB must explode, got {val}"
+        );
         handle.undo(&mut n);
     }
 }

@@ -53,8 +53,8 @@ pub use inject::{AppliedInjection, Injection};
 pub use memory::{InjectionTarget, MemoryMap, Region};
 pub use model::{BitLocation, FaultModel};
 pub use protection::{
-    apply_tmr, inject_with_protection, DecodeStatus, DoubleErrorPolicy, ProtectedInjection,
-    ProtectionScheme, SecDed,
+    apply_tmr, inject_with_protection, DecodeStatus, DoubleErrorPolicy, ProtectedInjection, ProtectionScheme,
+    SecDed,
 };
 pub use sampler::{derive_seed, expected_fault_count, sample_bit_positions};
 pub use stats::Summary;

@@ -93,10 +93,7 @@ impl MemoryMap {
             }
         });
         if let InjectionTarget::Layer(i) = target {
-            assert!(
-                !regions.is_empty(),
-                "layer {i} has no weight tensor (not a computational layer?)"
-            );
+            assert!(!regions.is_empty(), "layer {i} has no weight tensor (not a computational layer?)");
         }
         MemoryMap { regions, total_words: offset }
     }

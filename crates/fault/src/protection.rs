@@ -341,11 +341,7 @@ pub fn inject_with_protection<R: Rng + ?Sized>(
                 for bit in &bit_offsets {
                     per_copy[bit / 32].push((bit % 32) as u8);
                 }
-                let voted = apply_tmr(
-                    original_bits,
-                    [&per_copy[0], &per_copy[1], &per_copy[2]],
-                    model,
-                );
+                let voted = apply_tmr(original_bits, [&per_copy[0], &per_copy[1], &per_copy[2]], model);
                 if voted == original_bits {
                     corrected += 1;
                 } else {
@@ -535,7 +531,10 @@ mod tests {
     #[test]
     fn overheads_match_scheme_definitions() {
         assert_eq!(ProtectionScheme::None.memory_overhead_percent(), 0.0);
-        assert!((ProtectionScheme::SecDed(DoubleErrorPolicy::ZeroWord).memory_overhead_percent() - 21.875).abs() < 1e-9);
+        assert!(
+            (ProtectionScheme::SecDed(DoubleErrorPolicy::ZeroWord).memory_overhead_percent() - 21.875).abs()
+                < 1e-9
+        );
         assert_eq!(ProtectionScheme::Tmr.memory_overhead_percent(), 200.0);
     }
 }

@@ -1,8 +1,6 @@
 //! Property-based tests for the fault-injection framework.
 
-use ftclip_fault::{
-    sample_bit_positions, FaultModel, Injection, InjectionTarget, MemoryMap, Summary,
-};
+use ftclip_fault::{sample_bit_positions, FaultModel, Injection, InjectionTarget, MemoryMap, Summary};
 use ftclip_nn::{Layer, ParamKind, Sequential};
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -8,7 +8,10 @@ use ftclip_nn::{Activation, BatchNorm2d, Dropout, Layer, MaxPool2d, Sequential};
 ///
 /// Panics if `width_mult` is not finite and positive.
 pub fn scale_dim(base: usize, width_mult: f64) -> usize {
-    assert!(width_mult.is_finite() && width_mult > 0.0, "width multiplier must be positive, got {width_mult}");
+    assert!(
+        width_mult.is_finite() && width_mult > 0.0,
+        "width multiplier must be positive, got {width_mult}"
+    );
     ((base as f64 * width_mult).round() as usize).max(1)
 }
 
@@ -73,7 +76,8 @@ pub fn alexnet_cifar_with_activation(
 }
 
 /// VGG-16 channel plan: 13 convs with max-pool after each block.
-const VGG16_PLAN: &[&[usize]] = &[&[64, 64], &[128, 128], &[256, 256, 256], &[512, 512, 512], &[512, 512, 512]];
+const VGG16_PLAN: &[&[usize]] =
+    &[&[64, 64], &[128, 128], &[256, 256, 256], &[512, 512, 512], &[512, 512, 512]];
 
 /// CIFAR-input VGG-16: 13 conv layers + 1 FC layer (paper §V-A: "the base
 /// VGG-16 contains 13 CONV layer and 1 FC layer").
@@ -136,7 +140,7 @@ pub fn lenet5(classes: usize, seed: u64) -> Sequential {
     Sequential::new(vec![
         Layer::conv2d(1, 6, 5, 1, 0, seed ^ 0x11), // 32 → 28
         Layer::relu(),
-        Layer::MaxPool2d(MaxPool2d::new(2, 2)), // 28 → 14
+        Layer::MaxPool2d(MaxPool2d::new(2, 2)),     // 28 → 14
         Layer::conv2d(6, 16, 5, 1, 0, seed ^ 0x12), // 14 → 10
         Layer::relu(),
         Layer::MaxPool2d(MaxPool2d::new(2, 2)), // 10 → 5
@@ -189,10 +193,7 @@ mod tests {
     fn alexnet_layer_structure_matches_paper() {
         let net = alexnet_cifar(0.25, 10, 1);
         let names = net.computational_names();
-        assert_eq!(
-            names,
-            vec!["CONV-1", "CONV-2", "CONV-3", "CONV-4", "CONV-5", "FC-1", "FC-2", "FC-3"]
-        );
+        assert_eq!(names, vec!["CONV-1", "CONV-2", "CONV-3", "CONV-4", "CONV-5", "FC-1", "FC-2", "FC-3"]);
         assert_eq!(net.activation_sites().len(), 7);
     }
 

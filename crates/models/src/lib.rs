@@ -37,7 +37,7 @@ mod archs;
 mod zoo;
 
 pub use archs::{
-    alexnet_cifar, alexnet_cifar_with_activation, lenet5, model_size_report, scale_dim,
-    vgg16_bn_cifar, vgg16_cifar, ModelSizeRow,
+    alexnet_cifar, alexnet_cifar_with_activation, lenet5, model_size_report, scale_dim, vgg16_bn_cifar,
+    vgg16_cifar, ModelSizeRow,
 };
 pub use zoo::{ModelSpec, TrainedModel, Zoo, ZooArch};

@@ -93,7 +93,13 @@ impl ModelSpec {
     pub fn cache_key(&self) -> String {
         format!(
             "{}-w{:.4}-c{}-s{}-e{}-b{}-lr{:.4}-a{}",
-            self.arch, self.width_mult, self.classes, self.seed, self.epochs, self.batch_size, self.lr,
+            self.arch,
+            self.width_mult,
+            self.classes,
+            self.seed,
+            self.epochs,
+            self.batch_size,
+            self.lr,
             u8::from(self.augment)
         )
     }
@@ -160,7 +166,11 @@ impl Zoo {
         let trainer = Trainer::builder()
             .epochs(spec.epochs)
             .batch_size(spec.batch_size)
-            .schedule(LrSchedule::Cosine { lr: spec.lr, min_lr: spec.lr / 100.0, total_epochs: spec.epochs })
+            .schedule(LrSchedule::Cosine {
+                lr: spec.lr,
+                min_lr: spec.lr / 100.0,
+                total_epochs: spec.epochs,
+            })
             .optimizer(OptimizerKind::Sgd { momentum: 0.9, weight_decay: 5e-4 })
             .seed(spec.seed)
             .augment(spec.augment)

@@ -97,7 +97,12 @@ impl BatchNorm2d {
         running_mean: Tensor,
         running_var: Tensor,
     ) -> Self {
-        for (name, t) in [("gamma", &gamma), ("beta", &beta), ("running_mean", &running_mean), ("running_var", &running_var)] {
+        for (name, t) in [
+            ("gamma", &gamma),
+            ("beta", &beta),
+            ("running_mean", &running_mean),
+            ("running_var", &running_var),
+        ] {
             assert_eq!(t.shape().dims(), &[channels], "batchnorm {name} shape mismatch");
         }
         BatchNorm2d {

@@ -44,7 +44,9 @@ impl Dropout {
             return x.clone();
         }
         let scale = 1.0 / (1.0 - self.p);
-        let mask: Vec<f32> = (0..x.len()).map(|_| if rng.gen::<f32>() < self.p { 0.0 } else { scale }).collect();
+        let mask: Vec<f32> = (0..x.len())
+            .map(|_| if rng.gen::<f32>() < self.p { 0.0 } else { scale })
+            .collect();
         let mut y = x.clone();
         for (v, m) in y.data_mut().iter_mut().zip(&mask) {
             *v *= m;

@@ -55,7 +55,12 @@ mod tests {
     fn param_ref_is_constructible() {
         let mut v = Tensor::zeros(&[2]);
         let mut g = Tensor::zeros(&[2]);
-        let p = ParamRef { layer: 0, kind: ParamKind::Weight, values: &mut v, grad: &mut g };
+        let p = ParamRef {
+            layer: 0,
+            kind: ParamKind::Weight,
+            values: &mut v,
+            grad: &mut g,
+        };
         assert_eq!(p.values.len(), p.grad.len());
     }
 }

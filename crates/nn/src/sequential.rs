@@ -176,16 +176,46 @@ impl Sequential {
         for (i, layer) in self.layers.iter_mut().enumerate() {
             match layer {
                 Layer::Conv2d(c) => {
-                    out.push(ParamRef { layer: i, kind: ParamKind::Weight, values: &mut c.weight, grad: &mut c.grad_weight });
-                    out.push(ParamRef { layer: i, kind: ParamKind::Bias, values: &mut c.bias, grad: &mut c.grad_bias });
+                    out.push(ParamRef {
+                        layer: i,
+                        kind: ParamKind::Weight,
+                        values: &mut c.weight,
+                        grad: &mut c.grad_weight,
+                    });
+                    out.push(ParamRef {
+                        layer: i,
+                        kind: ParamKind::Bias,
+                        values: &mut c.bias,
+                        grad: &mut c.grad_bias,
+                    });
                 }
                 Layer::Linear(l) => {
-                    out.push(ParamRef { layer: i, kind: ParamKind::Weight, values: &mut l.weight, grad: &mut l.grad_weight });
-                    out.push(ParamRef { layer: i, kind: ParamKind::Bias, values: &mut l.bias, grad: &mut l.grad_bias });
+                    out.push(ParamRef {
+                        layer: i,
+                        kind: ParamKind::Weight,
+                        values: &mut l.weight,
+                        grad: &mut l.grad_weight,
+                    });
+                    out.push(ParamRef {
+                        layer: i,
+                        kind: ParamKind::Bias,
+                        values: &mut l.bias,
+                        grad: &mut l.grad_bias,
+                    });
                 }
                 Layer::BatchNorm2d(b) => {
-                    out.push(ParamRef { layer: i, kind: ParamKind::Weight, values: &mut b.gamma, grad: &mut b.grad_gamma });
-                    out.push(ParamRef { layer: i, kind: ParamKind::Bias, values: &mut b.beta, grad: &mut b.grad_beta });
+                    out.push(ParamRef {
+                        layer: i,
+                        kind: ParamKind::Weight,
+                        values: &mut b.gamma,
+                        grad: &mut b.grad_gamma,
+                    });
+                    out.push(ParamRef {
+                        layer: i,
+                        kind: ParamKind::Bias,
+                        values: &mut b.beta,
+                        grad: &mut b.grad_beta,
+                    });
                 }
                 _ => {}
             }
@@ -272,7 +302,8 @@ impl Sequential {
     /// sites. Use [`Sequential::try_convert_to_clipped`] for a fallible
     /// variant.
     pub fn convert_to_clipped(&mut self, thresholds: &[f32]) {
-        self.try_convert_to_clipped(thresholds).expect("threshold count must match activation sites");
+        self.try_convert_to_clipped(thresholds)
+            .expect("threshold count must match activation sites");
     }
 
     /// Fallible variant of [`Sequential::convert_to_clipped`].
@@ -324,7 +355,10 @@ impl Sequential {
             return Err(NnError::InvalidThreshold { value: threshold });
         }
         let len = self.layers.len();
-        let layer = self.layers.get_mut(layer_index).ok_or(NnError::NoSuchLayer { index: layer_index, len })?;
+        let layer = self
+            .layers
+            .get_mut(layer_index)
+            .ok_or(NnError::NoSuchLayer { index: layer_index, len })?;
         match layer {
             Layer::Activation(a) => match a.func.with_threshold(threshold) {
                 Some(func) => {

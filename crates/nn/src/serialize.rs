@@ -173,13 +173,23 @@ pub fn read_network<R: Read>(mut r: R) -> Result<Sequential, NnError> {
                 let momentum = read_f32(&mut r)?;
                 let hyper_valid = eps > 0.0 && momentum > 0.0 && momentum <= 1.0;
                 if !hyper_valid {
-                    return Err(NnError::Format { reason: format!("bad batchnorm hyper-params eps={eps} momentum={momentum}") });
+                    return Err(NnError::Format {
+                        reason: format!("bad batchnorm hyper-params eps={eps} momentum={momentum}"),
+                    });
                 }
                 let gamma = read_tensor(&mut r, &[channels])?;
                 let beta = read_tensor(&mut r, &[channels])?;
                 let running_mean = read_tensor(&mut r, &[channels])?;
                 let running_var = read_tensor(&mut r, &[channels])?;
-                Layer::BatchNorm2d(BatchNorm2d::from_parts(channels, eps, momentum, gamma, beta, running_mean, running_var))
+                Layer::BatchNorm2d(BatchNorm2d::from_parts(
+                    channels,
+                    eps,
+                    momentum,
+                    gamma,
+                    beta,
+                    running_mean,
+                    running_var,
+                ))
             }
             other => return Err(NnError::Format { reason: format!("unknown layer tag {other}") }),
         };
@@ -264,7 +274,10 @@ fn read_tensor<R: Read>(r: &mut R, dims: &[usize]) -> Result<Tensor, NnError> {
     let volume: usize = dims.iter().product();
     let mut buf = vec![0u8; volume * 4];
     r.read_exact(&mut buf)?;
-    let data: Vec<f32> = buf.chunks_exact(4).map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]])).collect();
+    let data: Vec<f32> = buf
+        .chunks_exact(4)
+        .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .collect();
     Tensor::from_vec(data, dims).map_err(|e| NnError::Format { reason: e.to_string() })
 }
 

@@ -118,12 +118,7 @@ impl Trainer {
                 net.backward(&grad);
                 opt.step(&mut net.params_mut(), lr);
                 loss_sum += loss as f64;
-                correct += logits
-                    .argmax_rows()
-                    .iter()
-                    .zip(&by)
-                    .filter(|(p, l)| p == l)
-                    .count();
+                correct += logits.argmax_rows().iter().zip(&by).filter(|(p, l)| p == l).count();
                 batches += 1;
             }
             let val_accuracy = val.map(|(vx, vy)| evaluate(net, vx, vy, self.batch_size));
@@ -333,7 +328,7 @@ mod tests {
         for i in 0..n {
             let offset: f32 = if i % 2 == 0 { 0.5 } else { -0.5 };
             for _ in 0..16 {
-                data.push(offset + rng.gen_range(-0.3..0.3));
+                data.push(offset + rng.gen_range(-0.3f32..0.3));
             }
             labels.push(usize::from(i % 2 == 0));
         }

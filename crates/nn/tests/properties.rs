@@ -2,8 +2,7 @@
 //! serialization roundtrips and loss-function laws.
 
 use ftclip_nn::{
-    read_network, write_network, Activation, AvgPool2d, BatchNorm2d, Dropout, Layer, MaxPool2d,
-    Sequential,
+    read_network, write_network, Activation, AvgPool2d, BatchNorm2d, Dropout, Layer, MaxPool2d, Sequential,
 };
 use ftclip_tensor::Tensor;
 use proptest::prelude::*;

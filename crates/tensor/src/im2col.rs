@@ -262,10 +262,13 @@ mod tests {
         // property the backward pass relies on.
         let geom = Conv2dGeometry::new(3, 2, 1);
         let (c, h, w) = (2, 5, 4);
-        let x = Tensor::from_vec((0..c * h * w).map(|i| ((i * 37) % 11) as f32 - 5.0).collect(), &[c, h, w]).unwrap();
+        let x = Tensor::from_vec((0..c * h * w).map(|i| ((i * 37) % 11) as f32 - 5.0).collect(), &[c, h, w])
+            .unwrap();
         let col = im2col(&x, geom);
         let (rows, cols) = col.shape().as_matrix();
-        let y = Tensor::from_vec((0..rows * cols).map(|i| ((i * 13) % 7) as f32 - 3.0).collect(), &[rows, cols]).unwrap();
+        let y =
+            Tensor::from_vec((0..rows * cols).map(|i| ((i * 13) % 7) as f32 - 3.0).collect(), &[rows, cols])
+                .unwrap();
         let lhs: f32 = col.data().iter().zip(y.data()).map(|(&a, &b)| a * b).sum();
         let back = col2im(&y, c, h, w, geom);
         let rhs: f32 = x.data().iter().zip(back.data()).map(|(&a, &b)| a * b).sum();

@@ -5,15 +5,33 @@
 //! bands and have each thread fill one band", which scoped threads express
 //! directly.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Per-thread cap on [`num_threads`]; 0 means "no override". Set by
+    /// [`with_thread_limit`] so coarse-grained parallel drivers (e.g. the
+    /// fault-injection campaign executor) can stop the kernels underneath
+    /// them from oversubscribing the machine with nested thread scopes.
+    static THREAD_LIMIT: Cell<usize> = const { Cell::new(0) };
+}
 
 /// Number of worker threads used by [`par_row_bands`] and the matmul kernels.
 ///
 /// Resolves to `std::thread::available_parallelism()` capped at 8 (the
 /// kernels are memory-bound beyond that on typical hardware). The value can
 /// be overridden — e.g. forced to 1 for bit-reproducible single-threaded
-/// runs — with the `FTCLIP_THREADS` environment variable.
+/// runs — with the `FTCLIP_THREADS` environment variable, and capped per
+/// thread by [`with_thread_limit`].
 pub fn num_threads() -> usize {
+    let global = global_num_threads();
+    match THREAD_LIMIT.get() {
+        0 => global,
+        limit => limit.min(global),
+    }
+}
+
+fn global_num_threads() -> usize {
     static CACHED: AtomicUsize = AtomicUsize::new(0);
     let cached = CACHED.load(Ordering::Relaxed);
     if cached != 0 {
@@ -25,6 +43,26 @@ pub fn num_threads() -> usize {
     };
     CACHED.store(n, Ordering::Relaxed);
     n
+}
+
+/// Runs `f` with [`num_threads`] capped at `limit` on the current thread.
+///
+/// Kernel results are banding-invariant (every output row is produced by
+/// exactly one thread regardless of the band count), so this changes
+/// scheduling only, never numerics. The previous limit is restored on exit;
+/// threads spawned *inside* `f` start with no limit of their own.
+pub fn with_thread_limit<T>(limit: usize, f: impl FnOnce() -> T) -> T {
+    assert!(limit >= 1, "thread limit must be at least 1");
+    let prev = THREAD_LIMIT.get();
+    THREAD_LIMIT.set(limit);
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_LIMIT.set(self.0);
+        }
+    }
+    let _restore = Restore(prev);
+    f()
 }
 
 /// Splits `data` into `bands` contiguous chunks of whole rows (`row_len`
@@ -113,5 +151,54 @@ mod tests {
     fn rejects_ragged_rows() {
         let mut data = vec![0.0f32; 7];
         par_row_bands(&mut data, 3, |_, _| {});
+    }
+
+    #[test]
+    fn thread_limit_caps_and_restores() {
+        let unlimited = num_threads();
+        with_thread_limit(1, || {
+            assert_eq!(num_threads(), 1);
+            // nested limits compose: the inner cap applies, then pops
+            with_thread_limit(1, || assert_eq!(num_threads(), 1));
+            assert_eq!(num_threads(), 1);
+        });
+        assert_eq!(num_threads(), unlimited);
+    }
+
+    #[test]
+    fn thread_limit_does_not_leak_to_spawned_threads() {
+        let unlimited = num_threads();
+        with_thread_limit(1, || {
+            let inner = std::thread::scope(|s| s.spawn(num_threads).join().unwrap());
+            assert_eq!(inner, unlimited, "fresh threads must start uncapped");
+        });
+    }
+
+    #[test]
+    fn banding_is_result_invariant() {
+        // the same reduction at limit 1 and unlimited must agree bitwise
+        let rows = 13;
+        let row_len = 7;
+        let run = |limit: Option<usize>| {
+            let mut data: Vec<f32> = (0..rows * row_len).map(|i| (i as f32 * 0.1).sin()).collect();
+            let body = |mut data: Vec<f32>| {
+                par_row_bands(&mut data, row_len, |first_row, band| {
+                    for (i, row) in band.chunks_mut(row_len).enumerate() {
+                        let scale = (first_row + i) as f32 + 1.0;
+                        for x in row.iter_mut() {
+                            *x = x.mul_add(scale, 0.25);
+                        }
+                    }
+                });
+                data
+            };
+            match limit {
+                Some(l) => with_thread_limit(l, || body(std::mem::take(&mut data))),
+                None => body(data),
+            }
+        };
+        let serial: Vec<u32> = run(Some(1)).iter().map(|x| x.to_bits()).collect();
+        let parallel: Vec<u32> = run(None).iter().map(|x| x.to_bits()).collect();
+        assert_eq!(serial, parallel);
     }
 }

@@ -31,7 +31,9 @@ impl Shape {
     /// dimension is zero.
     pub fn new(dims: &[usize]) -> Result<Self, TensorError> {
         if dims.is_empty() {
-            return Err(TensorError::InvalidShape { reason: "shape must have at least one dimension".into() });
+            return Err(TensorError::InvalidShape {
+                reason: "shape must have at least one dimension".into(),
+            });
         }
         if dims.contains(&0) {
             return Err(TensorError::InvalidShape { reason: format!("zero-sized dimension in {dims:?}") });

@@ -334,7 +334,11 @@ impl Tensor {
     /// Maximum element. NaNs are ignored; returns `f32::NEG_INFINITY` if all
     /// elements are NaN.
     pub fn max(&self) -> f32 {
-        self.data.iter().copied().filter(|x| !x.is_nan()).fold(f32::NEG_INFINITY, f32::max)
+        self.data
+            .iter()
+            .copied()
+            .filter(|x| !x.is_nan())
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element. NaNs are ignored; returns `f32::INFINITY` if all
@@ -394,7 +398,14 @@ impl fmt::Debug for Tensor {
         if self.len() <= 8 {
             write!(f, "{:?}", self.data)
         } else {
-            write!(f, "[{:.4}, {:.4}, … ; n={} mean={:.4}]", self.data[0], self.data[1], self.len(), self.mean())
+            write!(
+                f,
+                "[{:.4}, {:.4}, … ; n={} mean={:.4}]",
+                self.data[0],
+                self.data[1],
+                self.len(),
+                self.mean()
+            )
         }
     }
 }

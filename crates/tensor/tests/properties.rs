@@ -5,14 +5,17 @@ use proptest::prelude::*;
 
 fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(-10.0f32..10.0, r * c).prop_map(move |v| Tensor::from_vec(v, &[r, c]).unwrap())
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |v| Tensor::from_vec(v, &[r, c]).unwrap())
     })
 }
 
 fn matrix_pair(max_dim: usize) -> impl Strategy<Value = (Tensor, Tensor)> {
     (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(|(m, k, n)| {
-        let a = proptest::collection::vec(-5.0f32..5.0, m * k).prop_map(move |v| Tensor::from_vec(v, &[m, k]).unwrap());
-        let b = proptest::collection::vec(-5.0f32..5.0, k * n).prop_map(move |v| Tensor::from_vec(v, &[k, n]).unwrap());
+        let a = proptest::collection::vec(-5.0f32..5.0, m * k)
+            .prop_map(move |v| Tensor::from_vec(v, &[m, k]).unwrap());
+        let b = proptest::collection::vec(-5.0f32..5.0, k * n)
+            .prop_map(move |v| Tensor::from_vec(v, &[k, n]).unwrap());
         (a, b)
     })
 }

@@ -18,7 +18,12 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("create temp dir");
 
     // generate synthetic data and export it in CIFAR-10 binary layout
-    let data = SynthCifar::builder().seed(3).train_size(250).val_size(50).test_size(100).build();
+    let data = SynthCifar::builder()
+        .seed(3)
+        .train_size(250)
+        .val_size(50)
+        .test_size(100)
+        .build();
     println!("exporting synthetic data to CIFAR-10 binary format in {} …", dir.display());
     let (chunk, _) = data.train().split_at(50);
     for i in 1..=5 {
@@ -28,7 +33,12 @@ fn main() {
 
     // load it back with the real-format loader
     let (train, test) = load_cifar10(&dir).expect("load cifar-10 layout");
-    println!("loaded: {} train images, {} test images, {} classes", train.len(), test.len(), train.num_classes());
+    println!(
+        "loaded: {} train images, {} test images, {} classes",
+        train.len(),
+        test.len(),
+        train.num_classes()
+    );
     println!("train class histogram: {:?}", train.class_histogram());
     println!("pixel range: [{:.3}, {:.3}]", train.images().min(), train.images().max());
 

@@ -6,7 +6,9 @@
 //! cargo run --release --example harden_pipeline
 //! ```
 
-use ftclipact::core::{campaign_auc, AucConfig, Comparison, EvalSet, Methodology, ProfileConfig, TunerConfig};
+use ftclipact::core::{
+    campaign_auc, AucConfig, Comparison, EvalSet, Methodology, ProfileConfig, TunerConfig,
+};
 use ftclipact::fault::{Campaign, CampaignConfig, FaultModel, InjectionTarget};
 use ftclipact::nn::{OptimizerKind, Trainer};
 use ftclipact::prelude::*;

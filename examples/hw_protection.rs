@@ -12,8 +12,8 @@
 
 use ftclipact::core::{profile_network, EvalSet};
 use ftclipact::fault::{
-    derive_seed, inject_with_protection, DoubleErrorPolicy, FaultModel, InjectionTarget,
-    ProtectionScheme, SecDed,
+    derive_seed, inject_with_protection, DoubleErrorPolicy, FaultModel, InjectionTarget, ProtectionScheme,
+    SecDed,
 };
 use ftclipact::nn::{OptimizerKind, Trainer};
 use ftclipact::prelude::*;

@@ -44,7 +44,12 @@ fn main() {
         .seed(1)
         .verbose(true)
         .build();
-    trainer.fit(&mut net, data.train().images(), data.train().labels(), Some((data.val().images(), data.val().labels())));
+    trainer.fit(
+        &mut net,
+        data.train().images(),
+        data.train().labels(),
+        Some((data.val().images(), data.val().labels())),
+    );
 
     let eval = EvalSet::from_dataset(data.test(), 64);
     let clean = eval.accuracy(&net);
@@ -87,5 +92,8 @@ fn main() {
     }
     let auc_u = ftclipact::core::campaign_auc(&unprotected);
     let auc_p = ftclipact::core::campaign_auc(&protected);
-    println!("\nAUC: unprotected {auc_u:.3}, clipped {auc_p:.3} ({:+.1}%)", (auc_p - auc_u) / auc_u * 100.0);
+    println!(
+        "\nAUC: unprotected {auc_u:.3}, clipped {auc_p:.3} ({:+.1}%)",
+        (auc_p - auc_u) / auc_u * 100.0
+    );
 }

@@ -72,12 +72,16 @@ fn main() {
     let conv1 = net.layer_index_by_name("CONV-1").expect("CONV-1 exists");
     let x = data.test().images().slice_batch(0..16);
     let (_, clean_records) = net.forward_recording(&x);
-    let injection = Injection::sample(&net, InjectionTarget::Layer(conv1), FaultModel::StuckAt1, 0.0, &mut StdRng::seed_from_u64(0));
-    drop(injection); // rate 0: sample() kept for API symmetry; use explicit fault below
-    let explicit = Injection::from_faults(
+    let injection = Injection::sample(
+        &net,
+        InjectionTarget::Layer(conv1),
         FaultModel::StuckAt1,
-        vec![(conv1, ftclipact::nn::ParamKind::Weight, 0, 30)],
+        0.0,
+        &mut StdRng::seed_from_u64(0),
     );
+    drop(injection); // rate 0: sample() kept for API symmetry; use explicit fault below
+    let explicit =
+        Injection::from_faults(FaultModel::StuckAt1, vec![(conv1, ftclipact::nn::ParamKind::Weight, 0, 30)]);
     let handle = explicit.apply(&mut net);
     let (_, faulty_records) = net.forward_recording(&x);
     handle.undo(&mut net);

@@ -1,0 +1,168 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment has no registry access, so this shim reimplements
+//! the subset of proptest the workspace's property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`, implemented
+//!   for ranges, tuples and [`strategy::Just`];
+//! * [`collection::vec`] for sized/ranged element vectors;
+//! * [`arbitrary::any`] for primitive full-range values;
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`] and [`prop_assume!`] macros;
+//! * [`test_runner::Config`] (a.k.a. `ProptestConfig`) with `with_cases`.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! values via the assertion message only), and generation is driven by a
+//! fixed per-test seed derived from the test name, so runs are fully
+//! deterministic. Case count can be overridden with `PROPTEST_CASES`.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Runs a `proptest!`-generated test body for the configured number of cases.
+#[doc(hidden)]
+pub fn run_cases<F>(config: test_runner::Config, name: &str, mut body: F)
+where
+    F: FnMut(&mut rand::rngs::StdRng) -> Result<(), test_runner::TestCaseError>,
+{
+    use rand::SeedableRng;
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(config.cases)
+        .max(1);
+    // FNV-1a over the test name: any fixed, name-dependent seed works; the
+    // point is that every run of the suite explores the identical stream.
+    let seed = name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < cases {
+        match body(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(test_runner::TestCaseError::Reject(why)) => {
+                rejected += 1;
+                let limit = cases.saturating_mul(16).max(1024);
+                assert!(
+                    rejected <= limit,
+                    "proptest '{name}': {limit}+ cases rejected ({why}); strategy too narrow"
+                );
+            }
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed after {passed} passing case(s): {msg}")
+            }
+        }
+    }
+}
+
+/// Declares property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..100, (a, b) in pair_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { (<$crate::test_runner::Config as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) $( #[test] $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases($cfg, ::core::stringify!($name), |__proptest_rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)*
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Strategy union: picks one of the argument strategies uniformly per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![$($crate::strategy::Union::case($strat)),+])
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not the
+/// process) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::core::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(lhs == rhs, "assertion failed: {:?} == {:?}", lhs, rhs);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(lhs == rhs, $($fmt)+);
+    }};
+}
+
+/// Inequality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(lhs != rhs, "assertion failed: {:?} != {:?}", lhs, rhs);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(lhs != rhs, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case (it is re-drawn and does not count toward the
+/// case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::core::stringify!($cond),
+            ));
+        }
+    };
+}

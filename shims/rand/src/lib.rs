@@ -1,0 +1,342 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors the tiny slice of the rand 0.8 API it actually uses:
+//!
+//! * [`rngs::StdRng`] + [`SeedableRng::seed_from_u64`] — a seedable,
+//!   deterministic generator (xoshiro256** seeded via SplitMix64; pure
+//!   integer arithmetic, so streams are identical on every platform).
+//! * [`Rng::gen_range`], [`Rng::gen_bool`], [`Rng::gen`] — uniform sampling.
+//! * [`seq::SliceRandom::shuffle`] — Fisher–Yates shuffling.
+//!
+//! The algorithm differs from upstream `StdRng` (ChaCha12), which is
+//! explicitly *not* a stability guarantee upstream either; everything in this
+//! workspace only relies on seed → stream determinism, which this shim
+//! provides unconditionally.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words. Minimal analogue of `rand_core::RngCore`.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators. Minimal analogue of `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, provided for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        unit_f64(self) < p
+    }
+
+    /// Samples a value of `T` from its standard distribution
+    /// (uniform `[0, 1)` for floats, uniform over all values for integers).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable by [`Rng::gen`]. Analogue of `Distribution<T> for Standard`.
+pub trait StandardSample: Sized {
+    /// Draws one value from the type's standard distribution.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 explicit mantissa bits → uniform on [0, 1)
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform `f64` on `[0, 1)` using the top 53 bits of one output word.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges accepted by [`Rng::gen_range`]. Analogue of `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = rng.next_u64() as u128 % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = rng.next_u64() as u128 % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let u = unit_f64(rng) as $t;
+                let v = self.start + u * (self.end - self.start);
+                // guard against rounding up onto the excluded endpoint
+                if v >= self.end { self.start } else { v }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                lo + (unit_f64(rng) as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+float_range!(f32, f64);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**,
+    /// state-initialized with SplitMix64 as its authors recommend.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Trivially predictable generators for tests.
+    pub mod mock {
+        use super::RngCore;
+
+        /// Yields `initial`, `initial + increment`, … — an arithmetic
+        /// sequence, exactly like `rand::rngs::mock::StepRng`.
+        #[derive(Debug, Clone)]
+        pub struct StepRng {
+            value: u64,
+            increment: u64,
+        }
+
+        impl StepRng {
+            /// Creates a generator starting at `initial`, stepping by
+            /// `increment` per output word.
+            pub fn new(initial: u64, increment: u64) -> Self {
+                StepRng { value: initial, increment }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u64(&mut self) -> u64 {
+                let out = self.value;
+                self.value = self.value.wrapping_add(self.increment);
+                out
+            }
+        }
+    }
+}
+
+/// Slice helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random slice operations. Analogue of `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::seq::SliceRandom;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-2i32..=2);
+            assert!((-2..=2).contains(&x));
+            let f = rng.gen_range(0.5f64..3.0);
+            assert!((0.5..3.0).contains(&f));
+            let u = rng.gen_range(0usize..10);
+            assert!(u < 10);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_inclusive_endpoints() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[(rng.gen_range(-2i32..=2) + 2) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of -2..=2 should appear: {seen:?}");
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let f: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let d: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_deterministic() {
+        let mut a: Vec<usize> = (0..20).collect();
+        let mut b: Vec<usize> = (0..20).collect();
+        a.shuffle(&mut StdRng::seed_from_u64(9));
+        b.shuffle(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_through_unsized_bounds() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(f64::MIN_POSITIVE..1.0)
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = draw(&mut rng);
+        assert!(v > 0.0 && v < 1.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! `#[derive(Serialize)]` for the `serde` shim.
+//!
+//! Supports exactly what the workspace needs: non-generic structs with named
+//! fields. Anything else produces a `compile_error!` naming the limitation.
+//! Implemented directly on the `proc_macro` token API — the build environment
+//! has no registry access, so `syn`/`quote` are unavailable.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by generating a `to_value` that builds a JSON
+/// object with one entry per named field, in declaration order.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("compile_error tokens"),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // locate `struct <Name>`, skipping attributes and visibility
+    let mut struct_kw = None;
+    for (i, t) in tokens.iter().enumerate() {
+        if let TokenTree::Ident(id) = t {
+            match id.to_string().as_str() {
+                "struct" => {
+                    struct_kw = Some(i);
+                    break;
+                }
+                "enum" | "union" => {
+                    return Err("derive(Serialize) shim supports structs with named fields only".into())
+                }
+                _ => {}
+            }
+        }
+    }
+    let struct_kw =
+        struct_kw.ok_or_else(|| "derive(Serialize) shim: no `struct` keyword found".to_string())?;
+    let name = match tokens.get(struct_kw + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("derive(Serialize) shim: expected struct name".into()),
+    };
+
+    // the body must be the next token: a brace group (no generics supported)
+    let body = match tokens.get(struct_kw + 2) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err("derive(Serialize) shim does not support generic structs".into())
+        }
+        _ => return Err("derive(Serialize) shim supports named-field structs only".into()),
+    };
+
+    let fields = field_names(body)?;
+    let mut entries = String::new();
+    for f in &fields {
+        entries.push_str(&format!(
+            "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+        ));
+    }
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    );
+    out.parse()
+        .map_err(|e| format!("derive(Serialize) shim: generated code failed to parse: {e:?}"))
+}
+
+/// Extracts field names from the token stream inside the struct braces.
+/// Grammar per field: `#[attr]* <vis>? <name> : <type>` separated by commas.
+/// Commas inside angle brackets (`HashMap<String, f64>`) are part of the
+/// field's type, not separators, so bracket depth is tracked.
+fn field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in body {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                current.push(t);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+                current.push(t);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !current.is_empty() {
+                    fields.push(name_of_field(&current)?);
+                    current.clear();
+                }
+            }
+            _ => current.push(t),
+        }
+    }
+    if !current.is_empty() {
+        fields.push(name_of_field(&current)?);
+    }
+    Ok(fields)
+}
+
+/// The field name is the last identifier before the `:` separating name from
+/// type (this skips `pub`, `pub(crate)` groups and `#[...]` attributes).
+fn name_of_field(tokens: &[TokenTree]) -> Result<String, String> {
+    let mut last_ident = None;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ':' => {
+                return last_ident.ok_or_else(|| "derive(Serialize) shim: field without a name".to_string())
+            }
+            TokenTree::Ident(id) => last_ident = Some(id.to_string()),
+            _ => {}
+        }
+    }
+    Err("derive(Serialize) shim: tuple structs are not supported".into())
+}

@@ -1,0 +1,159 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json):
+//! renders the `serde` shim's [`serde::Value`] tree as JSON text.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use serde::{Serialize, Value};
+
+/// Serialization error. The shim's rendering is infallible, so this type
+/// exists only to keep `serde_json`'s `Result`-returning signatures.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => render_number(*n, out),
+        Value::String(s) => render_string(s, out),
+        Value::Array(items) => {
+            render_seq(items.iter(), indent, depth, out, '[', ']', |item, d, o| render(item, indent, d, o))
+        }
+        Value::Object(entries) => {
+            render_seq(entries.iter(), indent, depth, out, '{', '}', |(k, val), d, o| {
+                render_string(k, o);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                render(val, indent, d, o);
+            })
+        }
+    }
+}
+
+fn render_seq<I, F>(
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    open: char,
+    close: char,
+    mut each: F,
+) where
+    I: ExactSizeIterator,
+    F: FnMut(I::Item, usize, &mut String),
+{
+    out.push(open);
+    let n = items.len();
+    if n == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        newline(indent, depth + 1, out);
+        each(item, depth + 1, out);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    newline(indent, depth, out);
+    out.push(close);
+}
+
+fn newline(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn render_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        out.push_str("null"); // JSON has no NaN/Inf; match serde_json's lossy behaviour for raw f64
+    } else if n == n.trunc() && n.abs() < 9_007_199_254_740_992.0 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object() {
+        let v =
+            Value::Object(vec![("a".into(), Value::Number(1.0)), ("b".into(), Value::String("x\"y".into()))]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":"x\"y"}"#);
+    }
+
+    #[test]
+    fn pretty_array_of_objects() {
+        let v = Value::Array(vec![Value::Object(vec![("k".into(), Value::Bool(true))])]);
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  {\n    \"k\": true\n  }\n]");
+    }
+
+    #[test]
+    fn numbers_render_integers_exactly() {
+        assert_eq!(to_string(&Value::Number(42.0)).unwrap(), "42");
+        assert_eq!(to_string(&Value::Number(0.5)).unwrap(), "0.5");
+    }
+
+    #[test]
+    fn derive_handles_generic_field_types() {
+        // the comma inside BTreeMap<String, f64> must not split the field
+        #[derive(serde::Serialize)]
+        struct Row {
+            name: String,
+            scores: std::collections::BTreeMap<String, f64>,
+        }
+        let mut scores = std::collections::BTreeMap::new();
+        scores.insert("auc".to_string(), 0.5);
+        let row = Row { name: "x".into(), scores };
+        assert_eq!(to_string(&row).unwrap(), r#"{"name":"x","scores":{"auc":0.5}}"#);
+    }
+}

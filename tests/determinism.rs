@@ -7,7 +7,13 @@ use ftclipact::nn::{Layer, Sequential, Trainer};
 use ftclipact::prelude::*;
 
 fn tiny_data(seed: u64) -> SynthCifar {
-    SynthCifar::builder().seed(seed).train_size(64).val_size(32).test_size(64).image_size(8).build()
+    SynthCifar::builder()
+        .seed(seed)
+        .train_size(64)
+        .val_size(32)
+        .test_size(64)
+        .image_size(8)
+        .build()
 }
 
 fn tiny_net() -> Sequential {
@@ -32,12 +38,12 @@ fn training_is_deterministic_per_seed() {
     let data = tiny_data(6);
     let run = |seed: u64| {
         let mut net = tiny_net();
-        Trainer::builder()
-            .epochs(2)
-            .batch_size(16)
-            .seed(seed)
-            .build()
-            .fit(&mut net, data.train().images(), data.train().labels(), None);
+        Trainer::builder().epochs(2).batch_size(16).seed(seed).build().fit(
+            &mut net,
+            data.train().images(),
+            data.train().labels(),
+            None,
+        );
         net.forward(data.test().images()).data().to_vec()
     };
     assert_eq!(run(3), run(3));
@@ -75,6 +81,38 @@ fn campaigns_are_reproducible_end_to_end() {
         Campaign::new(cfg.clone()).run(&mut net, |n| eval.accuracy(n)).accuracies
     };
     assert_eq!(run(), run());
+}
+
+#[test]
+fn parallel_campaign_is_bit_identical_to_single_threaded() {
+    // the `FTCLIP_THREADS=4` vs `FTCLIP_THREADS=1` guarantee, exercised via
+    // the explicit-thread-count entry point because the env variable is
+    // read once and cached for the whole process: worker count must never
+    // change any RunRecord bit
+    let data = tiny_data(9);
+    let eval = EvalSet::from_dataset(data.test(), 32);
+    let cfg = CampaignConfig {
+        fault_rates: vec![1e-5, 1e-4, 1e-3],
+        repetitions: 4,
+        seed: 33,
+        model: FaultModel::BitFlip,
+        target: InjectionTarget::AllWeights,
+    };
+    let campaign = Campaign::new(cfg);
+    let net = tiny_net();
+    let one = campaign.run_parallel_with_threads(&net, 1, |n| eval.accuracy(n));
+    let four = campaign.run_parallel_with_threads(&net, 4, |n| eval.accuracy(n));
+    assert_eq!(one.runs, four.runs, "RunRecords must be bit-identical across thread counts");
+    assert_eq!(one.clean_accuracy.to_bits(), four.clean_accuracy.to_bits());
+    let bits = |r: &ftclipact::fault::CampaignResult| -> Vec<Vec<u64>> {
+        r.accuracies.iter().map(|v| v.iter().map(|x| x.to_bits()).collect()).collect()
+    };
+    assert_eq!(bits(&one), bits(&four));
+
+    // and the parallel path agrees with the historical serial executor
+    let mut serial_net = tiny_net();
+    let serial = campaign.run(&mut serial_net, |n| eval.accuracy(n));
+    assert_eq!(serial.runs, four.runs);
 }
 
 #[test]

@@ -1,7 +1,9 @@
 //! End-to-end integration: train → inject → harden → compare, across all
 //! workspace crates through the facade.
 
-use ftclipact::core::{campaign_auc, profile_network, AucConfig, EvalSet, Methodology, ProfileConfig, TunerConfig};
+use ftclipact::core::{
+    campaign_auc, profile_network, AucConfig, EvalSet, Methodology, ProfileConfig, TunerConfig,
+};
 use ftclipact::fault::{Campaign, CampaignConfig, FaultModel, InjectionTarget};
 use ftclipact::nn::{Layer, OptimizerKind, Sequential, Trainer};
 use ftclipact::prelude::*;
@@ -97,10 +99,7 @@ fn profiled_clipping_recovers_resilience() {
 
     let auc_u = campaign_auc(&res_unprotected);
     let auc_c = campaign_auc(&res_clipped);
-    assert!(
-        auc_c > auc_u,
-        "clipped AUC {auc_c:.4} must beat unprotected {auc_u:.4}"
-    );
+    assert!(auc_c > auc_u, "clipped AUC {auc_c:.4} must beat unprotected {auc_u:.4}");
     // clipping must not hurt the clean accuracy measurably
     assert!(res_clipped.clean_accuracy >= res_unprotected.clean_accuracy - 0.03);
 }

@@ -11,7 +11,13 @@ fn temp_path(name: &str) -> std::path::PathBuf {
 
 #[test]
 fn hardened_network_roundtrips_with_thresholds() {
-    let data = SynthCifar::builder().seed(41).train_size(64).val_size(32).test_size(32).image_size(8).build();
+    let data = SynthCifar::builder()
+        .seed(41)
+        .train_size(64)
+        .val_size(32)
+        .test_size(32)
+        .image_size(8)
+        .build();
     let mut net = Sequential::new(vec![
         Layer::conv2d(3, 4, 3, 1, 1, 21),
         Layer::relu(),
@@ -44,7 +50,13 @@ fn hardened_network_roundtrips_with_thresholds() {
 #[test]
 fn zoo_cache_through_facade() {
     use ftclipact::models::{ModelSpec, Zoo, ZooArch};
-    let data = SynthCifar::builder().seed(43).train_size(60).val_size(20).test_size(20).noise_std(0.2).build();
+    let data = SynthCifar::builder()
+        .seed(43)
+        .train_size(60)
+        .val_size(20)
+        .test_size(20)
+        .noise_std(0.2)
+        .build();
     let dir = std::env::temp_dir().join("ftclip-integration-zoo");
     std::fs::remove_dir_all(&dir).ok();
     let zoo = Zoo::new(&dir);

@@ -10,9 +10,9 @@
 //! against both, since a corrupted bias also manifests as high-intensity
 //! activations.
 
-use ftclip_bench::{experiment_data, harden_network, parse_args, trained_alexnet, CsvWriter};
-use ftclip_core::{campaign_auc, EvalSet};
-use ftclip_fault::{Campaign, CampaignConfig, FaultModel, InjectionTarget, MemoryMap};
+use ftclip_bench::{experiment_data, harden_network, parse_args, trained_alexnet};
+use ftclip_core::{campaign_auc, EvalSet, ResultTable};
+use ftclip_fault::{cache_of, Campaign, CampaignConfig, FaultModel, InjectionTarget, MemoryMap};
 
 fn main() {
     let args = parse_args();
@@ -34,11 +34,8 @@ fn main() {
     }
     println!();
 
-    let mut csv = CsvWriter::create(
-        args.out_dir.join("ablation_bias_faults.csv"),
-        &["target", "network", "fault_rate", "mean_acc"],
-    )
-    .expect("write csv");
+    let mut table =
+        ResultTable::new("ablation_bias_faults", &["target", "network", "fault_rate", "mean_acc"]);
     println!(
         "{:<12} {:<12} {:>10} {:>10} {:>10} {:>10}  AUC",
         "target", "network", "1e-6", "1e-5", "1e-4", "1e-3"
@@ -53,7 +50,8 @@ fn main() {
                 model: FaultModel::BitFlip,
                 target,
             });
-            let res = campaign.run(&mut net, |n| eval.accuracy(n));
+            let session = args.campaign_session("ablation_bias_faults", &net, campaign.config());
+            let res = campaign.run_cached(&mut net, cache_of(&session), |n| eval.accuracy(n));
             let means = res.mean_accuracies();
             println!(
                 "{:<12} {:<12} {:>10.4} {:>10.4} {:>10.4} {:>10.4}  {:.4}",
@@ -66,10 +64,10 @@ fn main() {
                 campaign_auc(&res)
             );
             for (i, &rate) in rates.iter().enumerate() {
-                csv.row(&[&target, &name, &rate, &means[i]]).expect("row");
+                table.row([target.to_string().into(), name.into(), rate.into(), means[i].into()]);
             }
         }
     }
-    csv.flush().expect("flush csv");
+    args.writer().emit(&table);
     println!("\nshape check: bias-only damage requires much higher rates than all-weights");
 }

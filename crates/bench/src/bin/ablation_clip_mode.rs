@@ -7,9 +7,9 @@
 //! rates, clip-to-zero should dominate saturation, and both should dominate
 //! the unprotected baseline.
 
-use ftclip_bench::{experiment_data, parse_args, trained_alexnet, CsvWriter};
-use ftclip_core::{campaign_auc, profile_network, EvalSet};
-use ftclip_fault::{Campaign, CampaignConfig, FaultModel, InjectionTarget};
+use ftclip_bench::{experiment_data, parse_args, trained_alexnet};
+use ftclip_core::{campaign_auc, profile_network, EvalSet, ResultTable};
+use ftclip_fault::{cache_of, Campaign, CampaignConfig, FaultModel, InjectionTarget};
 use ftclip_nn::{Activation, Layer, Sequential};
 
 fn with_saturated(net: &Sequential, thresholds: &[f32]) -> Sequential {
@@ -55,21 +55,19 @@ fn main() {
     let mut results = Vec::new();
     for (name, mut net) in variants {
         eprintln!("[ablation] campaign on {name} …");
-        let res = campaign.run(&mut net, |n| eval.accuracy(n));
+        let session = args.campaign_session("ablation_clip_mode", &net, campaign.config());
+        let res = campaign.run_cached(&mut net, cache_of(&session), |n| eval.accuracy(n));
         results.push((name, res));
     }
-    let mut csv = CsvWriter::create(
-        args.out_dir.join("ablation_clip_mode.csv"),
-        &["fault_rate", "unprotected", "saturate", "clip_to_zero"],
-    )
-    .expect("write csv");
+    let mut table =
+        ResultTable::new("ablation_clip_mode", &["fault_rate", "unprotected", "saturate", "clip_to_zero"]);
     let rates = results[0].1.fault_rates.clone();
     let means: Vec<Vec<f64>> = results.iter().map(|(_, r)| r.mean_accuracies()).collect();
     for (i, &rate) in rates.iter().enumerate() {
         println!("{:<12.1e} {:>12.4} {:>12.4} {:>12.4}", rate, means[0][i], means[1][i], means[2][i]);
-        csv.row(&[&rate, &means[0][i], &means[1][i], &means[2][i]]).expect("write row");
+        table.row([rate.into(), means[0][i].into(), means[1][i].into(), means[2][i].into()]);
     }
-    csv.flush().expect("flush csv");
+    args.writer().emit(&table);
 
     println!("\nAUC:");
     for (name, res) in &results {

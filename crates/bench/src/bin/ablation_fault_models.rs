@@ -7,9 +7,9 @@
 //! inflate); random bit flips sit in between. Clipping should recover most
 //! of the stuck-at-1 and bit-flip damage.
 
-use ftclip_bench::{experiment_data, harden_network, parse_args, trained_alexnet, CsvWriter};
-use ftclip_core::{campaign_auc, EvalSet};
-use ftclip_fault::{Campaign, CampaignConfig, FaultModel, InjectionTarget};
+use ftclip_bench::{experiment_data, harden_network, parse_args, trained_alexnet};
+use ftclip_core::{campaign_auc, EvalSet, ResultTable};
+use ftclip_fault::{cache_of, Campaign, CampaignConfig, FaultModel, InjectionTarget};
 
 fn main() {
     let args = parse_args();
@@ -21,11 +21,8 @@ fn main() {
     harden_network(&mut hardened, data.val(), args.seed, 256.min(data.val().len()), workload.rate_scale());
 
     let models = [FaultModel::BitFlip, FaultModel::StuckAt0, FaultModel::StuckAt1];
-    let mut csv = CsvWriter::create(
-        args.out_dir.join("ablation_fault_models.csv"),
-        &["fault_model", "network", "fault_rate", "mean_acc"],
-    )
-    .expect("write csv");
+    let mut table =
+        ResultTable::new("ablation_fault_models", &["fault_model", "network", "fault_rate", "mean_acc"]);
 
     println!("Ablation — fault models × protection\n");
     let mut aucs = Vec::new();
@@ -40,17 +37,18 @@ fn main() {
                 target: InjectionTarget::AllWeights,
             });
             eprintln!("[ablation] {model} on {net_name} …");
-            let res = campaign.run(&mut net, |n| eval.accuracy(n));
+            let session = args.campaign_session("ablation_fault_models", &net, campaign.config());
+            let res = campaign.run_cached(&mut net, cache_of(&session), |n| eval.accuracy(n));
+            let means = res.mean_accuracies();
             for (i, &rate) in res.fault_rates.iter().enumerate() {
-                csv.row(&[&model, &net_name, &rate, &res.mean_accuracies()[i]])
-                    .expect("write row");
+                table.row([model.to_string().into(), net_name.into(), rate.into(), means[i].into()]);
             }
             let auc = campaign_auc(&res);
             println!("{:<12} {:<12} AUC {:.4}", model.to_string(), net_name, auc);
             aucs.push((model, net_name, auc));
         }
     }
-    csv.flush().expect("flush csv");
+    args.writer().emit(&table);
 
     let auc_of = |m: FaultModel, n: &str| aucs.iter().find(|(am, an, _)| *am == m && *an == n).unwrap().2;
     println!(

@@ -9,8 +9,8 @@
 //! clipping costs nothing in memory and still recovers most accuracy —
 //! the paper's cost/benefit argument, quantified.
 
-use ftclip_bench::{experiment_data, harden_network, parse_args, trained_alexnet, CsvWriter};
-use ftclip_core::{auc_normalized, EvalSet};
+use ftclip_bench::{experiment_data, harden_network, parse_args, trained_alexnet};
+use ftclip_core::{auc_normalized, EvalSet, ResultTable};
 use ftclip_fault::{
     derive_seed, inject_with_protection, DoubleErrorPolicy, FaultModel, InjectionTarget, ProtectionScheme,
 };
@@ -61,11 +61,10 @@ fn main() {
     // enough that the ECC knee (double faults per word) becomes visible
     let rates = workload.scaled_paper_rates();
 
-    let mut csv = CsvWriter::create(
-        args.out_dir.join("ablation_hw_baselines.csv"),
+    let mut table = ResultTable::new(
+        "ablation_hw_baselines",
         &["variant", "memory_overhead_pct", "fault_rate", "mean_acc"],
-    )
-    .expect("write csv");
+    );
 
     println!("Ablation — clipping vs hardware baselines (equal physical per-bit rates)\n");
     println!(
@@ -104,14 +103,14 @@ fn main() {
             means.iter().map(|m| format!("{m:>8.3}")).collect::<String>()
         );
         for (i, &rate) in rates.iter().enumerate() {
-            csv.row(&[&variant.name, &overhead, &rate, &means[i]]).expect("row");
+            table.row([variant.name.into(), overhead.into(), rate.into(), means[i].into()]);
         }
         let mut pts = vec![(0.0, eval.accuracy(&net))];
         pts.extend(rates.iter().copied().zip(means.iter().copied()));
         aucs.push((variant.name.to_string(), overhead, auc_normalized(&pts)));
         eprintln!("[hw-baselines] {} done", variant.name);
     }
-    csv.flush().expect("flush csv");
+    args.writer().emit(&table);
 
     println!("\n{:<18} {:>9} {:>8}", "variant", "mem+%", "AUC");
     for (name, overhead, auc) in &aucs {

@@ -7,9 +7,9 @@
 //! Leaky network should beat its unprotected twin by a similar margin as in
 //! the ReLU experiments.
 
-use ftclip_bench::{experiment_data, parse_args, CsvWriter};
-use ftclip_core::{campaign_auc, profile_network, EvalSet};
-use ftclip_fault::{paper_fault_rates, Campaign, CampaignConfig, FaultModel, InjectionTarget};
+use ftclip_bench::{experiment_data, parse_args};
+use ftclip_core::{campaign_auc, profile_network, EvalSet, ResultTable};
+use ftclip_fault::{cache_of, paper_fault_rates, Campaign, CampaignConfig, FaultModel, InjectionTarget};
 use ftclip_models::alexnet_cifar_with_activation;
 use ftclip_nn::sched::LrSchedule;
 use ftclip_nn::{evaluate, Activation, OptimizerKind, Trainer};
@@ -58,24 +58,23 @@ fn main() {
         target: InjectionTarget::AllWeights,
     });
     eprintln!("[ablation] campaigns …");
-    let unprotected = campaign.run(&mut net, |n| eval.accuracy(n));
-    let protected = campaign.run(&mut clipped, |n| eval.accuracy(n));
+    let unprot_session = args.campaign_session("ablation_leaky_clip", &net, campaign.config());
+    let unprotected = campaign.run_cached(&mut net, cache_of(&unprot_session), |n| eval.accuracy(n));
+    let prot_session = args.campaign_session("ablation_leaky_clip", &clipped, campaign.config());
+    let protected = campaign.run_cached(&mut clipped, cache_of(&prot_session), |n| eval.accuracy(n));
 
     println!("Ablation — clipped Leaky-ReLU (slope 0.01, thresholds = ACT_max)\n");
     println!("clean accuracy: {:.4}\n", unprotected.clean_accuracy);
     println!("{:<12} {:>12} {:>14}", "fault_rate", "clipped", "unprotected");
-    let mut csv = CsvWriter::create(
-        args.out_dir.join("ablation_leaky_clip.csv"),
-        &["fault_rate", "clipped_leaky", "unprotected_leaky"],
-    )
-    .expect("write csv");
+    let mut table =
+        ResultTable::new("ablation_leaky_clip", &["fault_rate", "clipped_leaky", "unprotected_leaky"]);
     for (i, &rate) in protected.fault_rates.iter().enumerate() {
         let p = protected.mean_accuracies()[i];
         let u = unprotected.mean_accuracies()[i];
         println!("{:<12.1e} {:>12.4} {:>14.4}", rate, p, u);
-        csv.row(&[&rate, &p, &u]).expect("row");
+        table.row([rate.into(), p.into(), u.into()]);
     }
-    csv.flush().expect("flush csv");
+    args.writer().emit(&table);
 
     let auc_p = campaign_auc(&protected);
     let auc_u = campaign_auc(&unprotected);

@@ -7,8 +7,8 @@
 //! the interval search reaches within noise of the grid's AUC at a fraction
 //! of its evaluations.
 
-use ftclip_bench::{experiment_data, parse_args, trained_alexnet, tuning_auc_config, CsvWriter};
-use ftclip_core::{grid_search_site, profile_network, EvalSet, ThresholdTuner, TunerConfig};
+use ftclip_bench::{experiment_data, parse_args, trained_alexnet, tuning_auc_config};
+use ftclip_core::{grid_search_site, profile_network, EvalSet, ResultTable, ThresholdTuner, TunerConfig};
 use ftclip_fault::InjectionTarget;
 
 fn main() {
@@ -23,11 +23,8 @@ fn main() {
     let comp_indices = workload.model.network.computational_indices();
 
     let grid_points = 12usize;
-    let mut csv = CsvWriter::create(
-        args.out_dir.join("ablation_tuner_vs_grid.csv"),
-        &["site", "method", "threshold", "auc", "evaluations"],
-    )
-    .expect("write csv");
+    let mut table =
+        ResultTable::new("ablation_tuner_vs_grid", &["site", "method", "threshold", "auc", "evaluations"]);
 
     println!("Ablation — Algorithm 1 vs exhaustive grid ({grid_points} points)\n");
     println!(
@@ -74,16 +71,26 @@ fn main() {
             grid.auc,
             grid.evaluations
         );
-        csv.row(&[&profile.feeds_from, &"algorithm1", &alg1.threshold, &alg1.auc, &alg1.evaluations])
-            .expect("row");
-        csv.row(&[&profile.feeds_from, &"grid", &grid.threshold, &grid.auc, &grid.evaluations])
-            .expect("row");
+        table.row([
+            profile.feeds_from.as_str().into(),
+            "algorithm1".into(),
+            alg1.threshold.into(),
+            alg1.auc.into(),
+            alg1.evaluations.into(),
+        ]);
+        table.row([
+            profile.feeds_from.as_str().into(),
+            "grid".into(),
+            grid.threshold.into(),
+            grid.auc.into(),
+            grid.evaluations.into(),
+        ]);
         alg1_total += alg1.evaluations;
         grid_total += grid.evaluations;
         alg1_auc_sum += alg1.auc;
         grid_auc_sum += grid.auc;
     }
-    csv.flush().expect("flush csv");
+    args.writer().emit(&table);
 
     println!(
         "\ntotals: algorithm1 {} evaluations (mean AUC {:.4}) vs grid {} evaluations (mean AUC {:.4})",

@@ -6,7 +6,8 @@
 //! of our zoo at full width, reproducing the ordering (VGG-16 ≫ AlexNet ≫
 //! LeNet-5).
 
-use ftclip_bench::{parse_args, CsvWriter};
+use ftclip_bench::parse_args;
+use ftclip_core::ResultTable;
 use ftclip_models::model_size_report;
 
 fn main() {
@@ -14,13 +15,10 @@ fn main() {
     let report = model_size_report();
     println!("Fig. 1a — model parameter memory (f32 storage)\n");
     println!("{:<16} {:>12} {:>10}", "model", "parameters", "MB");
-    let mut csv =
-        CsvWriter::create(args.out_dir.join("fig1a_model_sizes.csv"), &["model", "params", "megabytes"])
-            .expect("write results csv");
+    let mut table = ResultTable::new("fig1a_model_sizes", &["model", "params", "megabytes"]);
     for row in &report {
         println!("{:<16} {:>12} {:>10.2}", row.name, row.params, row.megabytes);
-        csv.row(&[&row.name, &row.params, &row.megabytes]).expect("write row");
+        table.row([row.name.as_str().into(), row.params.into(), row.megabytes.into()]);
     }
-    csv.flush().expect("flush csv");
-    println!("\nwrote {}", args.out_dir.join("fig1a_model_sizes.csv").display());
+    args.writer().emit(&table);
 }

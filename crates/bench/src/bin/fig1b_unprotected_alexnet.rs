@@ -4,9 +4,9 @@
 //! Reproduction target (paper Fig. 1b): accuracy stays near baseline at low
 //! rates and collapses monotonically as the rate approaches 1e-5.
 
-use ftclip_bench::{experiment_data, parse_args, trained_alexnet, CsvWriter};
+use ftclip_bench::{campaign_summary_table, experiment_data, parse_args, trained_alexnet};
 use ftclip_core::EvalSet;
-use ftclip_fault::{paper_fault_rates, Campaign, CampaignConfig, FaultModel, InjectionTarget};
+use ftclip_fault::{cache_of, paper_fault_rates, Campaign, CampaignConfig, FaultModel, InjectionTarget};
 
 fn main() {
     let args = parse_args();
@@ -29,7 +29,8 @@ fn main() {
         eval.len(),
         ftclip_tensor::num_threads()
     );
-    let result = Campaign::new(cfg).run_parallel(&net, |n| eval.accuracy(n));
+    let session = args.campaign_session("fig1b", &net, &cfg);
+    let result = Campaign::new(cfg).run_parallel_cached(&net, cache_of(&session), |n| eval.accuracy(n));
 
     println!("Fig. 1b — unprotected AlexNet accuracy vs fault rate");
     println!(
@@ -41,22 +42,15 @@ fn main() {
         "{:<12} {:<12} {:>10} {:>10} {:>10}",
         "paper_rate", "actual_rate", "mean_acc", "min_acc", "max_acc"
     );
-    let mut csv = CsvWriter::create(
-        args.out_dir.join("fig1b_unprotected_alexnet.csv"),
-        &["paper_rate", "actual_rate", "mean_acc", "min_acc", "max_acc"],
-    )
-    .expect("write results csv");
     let paper_rates = paper_fault_rates();
     for (i, summary) in result.summaries().iter().enumerate() {
-        let rate = result.fault_rates[i];
         println!(
             "{:<12.1e} {:<12.1e} {:>10.4} {:>10.4} {:>10.4}",
-            paper_rates[i], rate, summary.mean, summary.min, summary.max
+            paper_rates[i], result.fault_rates[i], summary.mean, summary.min, summary.max
         );
-        csv.row(&[&paper_rates[i], &rate, &summary.mean, &summary.min, &summary.max])
-            .expect("write row");
     }
-    csv.flush().expect("flush csv");
+    args.writer()
+        .emit(&campaign_summary_table("fig1b_unprotected_alexnet", &result, &paper_rates));
 
     // the headline qualitative check of Fig. 1b
     let means = result.mean_accuracies();

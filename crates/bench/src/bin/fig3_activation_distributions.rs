@@ -8,7 +8,8 @@
 //! activations** (`ACT_max` jumps from O(1–100) to O(10³⁶–10³⁸)) because
 //! exponent-MSB bit flips inflate small weights.
 
-use ftclip_bench::{experiment_data, parse_args, trained_alexnet, CsvWriter};
+use ftclip_bench::{experiment_data, parse_args, trained_alexnet};
+use ftclip_core::ResultTable;
 use ftclip_fault::{FaultModel, Injection, InjectionTarget};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,11 +31,10 @@ fn main() {
     let panels: [(&str, [f64; 3]); 3] =
         [("CONV-1", [1e-7, 1e-4, 5e-4]), ("CONV-5", [1e-7, 5e-6, 1e-5]), ("FC-1", [1e-7, 5e-7, 1e-6])];
 
-    let mut csv = CsvWriter::create(
-        args.out_dir.join("fig3_activation_distributions.csv"),
+    let mut table = ResultTable::new(
+        "fig3_activation_distributions",
         &["layer", "paper_rate", "actual_rate", "act_max", "frac_gt_10", "frac_gt_1e6", "frac_gt_1e30"],
-    )
-    .expect("write results csv");
+    );
 
     println!("Fig. 3 (b–d, f–h, j–l) — activation distributions under faults");
     println!("(paper rates mapped ×{scale:.1} for the width-scaled memory)\n");
@@ -84,11 +84,18 @@ fn main() {
                 "{:<12.1e} {:>12.3e} {:>12.2e} {:>12.2e} {:>12.2e}",
                 paper_rate, act_max, fr10, fr1e6, fr1e30
             );
-            csv.row(&[&layer_name, &paper_rate, &rate, &act_max, &fr10, &fr1e6, &fr1e30])
-                .expect("write row");
+            table.row([
+                layer_name.into(),
+                paper_rate.into(),
+                rate.into(),
+                act_max.into(),
+                fr10.into(),
+                fr1e6.into(),
+                fr1e30.into(),
+            ]);
         }
         println!();
     }
-    csv.flush().expect("flush csv");
+    args.writer().emit(&table);
     println!("shape check: ACT_max at the highest rate should reach ~1e36–1e38 for at least one layer");
 }

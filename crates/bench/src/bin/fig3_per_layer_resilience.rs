@@ -7,9 +7,9 @@
 //! layer-specific knee and then drops; the knee differs between layers
 //! because their parameter counts (and distances from the output) differ.
 
-use ftclip_bench::{experiment_data, parse_args, trained_alexnet, CsvWriter};
-use ftclip_core::EvalSet;
-use ftclip_fault::{Campaign, CampaignConfig, FaultModel, InjectionTarget};
+use ftclip_bench::{experiment_data, parse_args, trained_alexnet};
+use ftclip_core::{EvalSet, ResultTable};
+use ftclip_fault::{cache_of, Campaign, CampaignConfig, FaultModel, InjectionTarget};
 
 /// The per-layer sweep uses a wider grid than the whole-network experiments
 /// because single layers hold far fewer bits (paper Fig. 3 sweeps CONV-1 up
@@ -27,11 +27,10 @@ fn main() {
 
     let layers = ["CONV-1", "CONV-5", "FC-1"];
     let scale = workload.rate_scale();
-    let mut csv = CsvWriter::create(
-        args.out_dir.join("fig3_per_layer_resilience.csv"),
+    let mut table = ResultTable::new(
+        "fig3_per_layer_resilience",
         &["layer", "paper_rate", "actual_rate", "mean_acc", "min_acc", "max_acc"],
-    )
-    .expect("write results csv");
+    );
 
     println!("Fig. 3 (a, e, i) — per-layer resilience of the AlexNet");
     println!("(paper rates mapped ×{scale:.1} for the width-scaled memory)");
@@ -49,15 +48,21 @@ fn main() {
             target: InjectionTarget::Layer(layer_index),
         };
         eprintln!("[fig3] {layer_name}: {} rates × {} reps", cfg.fault_rates.len(), cfg.repetitions);
-        let result = Campaign::new(cfg).run_parallel(&net, |n| eval.accuracy(n));
+        let session = args.campaign_session("fig3_per_layer", &net, &cfg);
+        let result = Campaign::new(cfg).run_parallel_cached(&net, cache_of(&session), |n| eval.accuracy(n));
         println!("\n{layer_name} (network layer {layer_index}):");
         println!("{:<12} {:>10} {:>10} {:>10}", "paper_rate", "mean_acc", "min_acc", "max_acc");
         for (i, s) in result.summaries().iter().enumerate() {
             println!("{:<12.1e} {:>10.4} {:>10.4} {:>10.4}", paper_rates[i], s.mean, s.min, s.max);
-            csv.row(&[&layer_name, &paper_rates[i], &result.fault_rates[i], &s.mean, &s.min, &s.max])
-                .expect("write row");
+            table.row([
+                layer_name.into(),
+                paper_rates[i].into(),
+                result.fault_rates[i].into(),
+                s.mean.into(),
+                s.min.into(),
+                s.max.into(),
+            ]);
         }
     }
-    csv.flush().expect("flush csv");
-    println!("\nwrote {}", args.out_dir.join("fig3_per_layer_resilience.csv").display());
+    args.writer().emit(&table);
 }

@@ -7,8 +7,8 @@
 //! network with *unbounded* activations (the red line) sits far below the
 //! whole usable range of the curve.
 
-use ftclip_bench::{experiment_data, parse_args, trained_alexnet, tuning_auc_config, CsvWriter};
-use ftclip_core::{campaign_auc, profile_network, EvalSet};
+use ftclip_bench::{experiment_data, parse_args, trained_alexnet, tuning_auc_config};
+use ftclip_core::{campaign_auc, profile_network, EvalSet, ResultTable};
 use ftclip_fault::InjectionTarget;
 
 fn main() {
@@ -49,8 +49,7 @@ fn main() {
     net.convert_to_clipped(&init);
 
     let sweep_points = 13usize;
-    let mut csv = CsvWriter::create(args.out_dir.join("fig5_auc_vs_threshold.csv"), &["threshold", "auc"])
-        .expect("write results csv");
+    let mut table = ResultTable::new("fig5_auc_vs_threshold", &["threshold", "auc"]);
     println!("Fig. 5b — AUC vs clipping threshold T (CONV-4, ACT_max = {act_max:.4})\n");
     println!("{:>12} {:>10}", "T", "AUC");
     let mut best = (0.0f32, f64::NEG_INFINITY);
@@ -60,12 +59,12 @@ fn main() {
         let result = auc_cfg.run_campaign(&mut net, &eval);
         let auc = campaign_auc(&result);
         println!("{t:>12.4} {auc:>10.4}");
-        csv.row(&[&t, &auc]).expect("write row");
+        table.row([t.into(), auc.into()]);
         if auc > best.1 {
             best = (t, auc);
         }
     }
-    csv.flush().expect("flush csv");
+    args.writer().emit(&table);
 
     println!("\nunbounded-activation AUC (red line): {unbounded_auc:.4}");
     println!(

@@ -6,8 +6,8 @@
 //! boundary, and the search interval shrinks monotonically toward the
 //! AUC-vs-T peak found by the exhaustive sweep of Fig. 5b.
 
-use ftclip_bench::{experiment_data, parse_args, trained_alexnet, tuning_auc_config, CsvWriter};
-use ftclip_core::{profile_network, EvalSet, ThresholdTuner, TunerConfig};
+use ftclip_bench::{experiment_data, parse_args, trained_alexnet, tuning_auc_config};
+use ftclip_core::{profile_network, EvalSet, ResultTable, ThresholdTuner, TunerConfig};
 use ftclip_fault::InjectionTarget;
 
 fn main() {
@@ -41,8 +41,8 @@ fn main() {
         .tune_site(&mut net, conv4_site, conv4_profile.act_max, &eval)
         .expect("site is clipped");
 
-    let mut csv = CsvWriter::create(
-        args.out_dir.join("fig6_threshold_tuning_trace.csv"),
+    let mut table = ResultTable::new(
+        "fig6_threshold_tuning_trace",
         &[
             "iteration",
             "interval_lo",
@@ -57,8 +57,7 @@ fn main() {
             "auc4",
             "best",
         ],
-    )
-    .expect("write results csv");
+    );
 
     println!("Fig. 6 — Algorithm 1 trace on CONV-4 (ACT_max = {:.4})\n", conv4_profile.act_max);
     for (i, iter) in outcome.trace.iter().enumerate() {
@@ -67,23 +66,22 @@ fn main() {
             let marker = if b == iter.best_index { "  ← max AUC" } else { "" };
             println!("    T{} = {:>9.4}  AUC = {:.4}{}", b + 1, t, a, marker);
         }
-        csv.row(&[
-            &(i + 1),
-            &iter.interval.0,
-            &iter.interval.1,
-            &iter.boundaries[0],
-            &iter.boundaries[1],
-            &iter.boundaries[2],
-            &iter.boundaries[3],
-            &iter.aucs[0],
-            &iter.aucs[1],
-            &iter.aucs[2],
-            &iter.aucs[3],
-            &(iter.best_index + 1),
-        ])
-        .expect("write row");
+        table.row([
+            (i + 1).into(),
+            iter.interval.0.into(),
+            iter.interval.1.into(),
+            iter.boundaries[0].into(),
+            iter.boundaries[1].into(),
+            iter.boundaries[2].into(),
+            iter.boundaries[3].into(),
+            iter.aucs[0].into(),
+            iter.aucs[1].into(),
+            iter.aucs[2].into(),
+            iter.aucs[3].into(),
+            (iter.best_index + 1).into(),
+        ]);
     }
-    csv.flush().expect("flush csv");
+    args.writer().emit(&table);
 
     println!(
         "\nselected T = {:.4} (AUC {:.4}) after {} iterations, {} AUC evaluations",

@@ -12,10 +12,8 @@
 //! improvements, VGG-16 gaining more than AlexNet.
 
 use ftclip_bench::{evaluate_resilience, experiment_data, parse_args, trained_alexnet, trained_vgg16};
-use ftclip_core::{auc_normalized, improvement_percent};
-use serde::Serialize;
+use ftclip_core::{auc_normalized, improvement_percent, ResultTable};
 
-#[derive(Serialize)]
 struct HeadlineRow {
     metric: String,
     paper: String,
@@ -83,13 +81,10 @@ fn main() {
     });
 
     println!("{:<52} {:<22} measured", "metric", "paper");
+    let mut table = ResultTable::new("headline_table", &["metric", "paper", "measured"]);
     for row in &rows {
         println!("{:<52} {:<22} {}", row.metric, row.paper, row.measured);
+        table.row([row.metric.as_str().into(), row.paper.as_str().into(), row.measured.as_str().into()]);
     }
-
-    std::fs::create_dir_all(&args.out_dir).expect("create results dir");
-    let json_path = args.out_dir.join("headline_table.json");
-    std::fs::write(&json_path, serde_json::to_string_pretty(&rows).expect("serialize rows"))
-        .expect("write json");
-    println!("\nwrote {}", json_path.display());
+    args.writer().emit(&table);
 }

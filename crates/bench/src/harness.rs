@@ -1,9 +1,11 @@
 //! Command-line plumbing and result files shared by the figure binaries.
 
-use std::fmt::Display;
-use std::fs::File;
-use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+
+use ftclip_core::ResultTable;
+use ftclip_fault::CampaignConfig;
+use ftclip_nn::Sequential;
+use ftclip_store::{campaign_fingerprint, resolve_cache_root, ResultStore, StoreSession};
 
 /// Experiment scale presets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,36 +47,90 @@ pub struct RunArgs {
     pub eval_size: usize,
     /// Master seed.
     pub seed: u64,
-    /// Output directory for CSV files.
+    /// Output directory for CSV/JSON result files.
     pub out_dir: PathBuf,
+    /// Campaign-cell cache root, or `None` when caching is disabled
+    /// (`--no-cache` / `FTCLIP_CACHE=off`). Defaults to `<out_dir>/cache`.
+    pub cache_root: Option<PathBuf>,
 }
 
 impl Default for RunArgs {
     fn default() -> Self {
         let scale = Scale::Small;
+        let out_dir = PathBuf::from("results");
         RunArgs {
             scale,
             reps: scale.default_reps(),
             eval_size: scale.default_eval_size(),
             seed: 42,
-            out_dir: PathBuf::from("results"),
+            cache_root: Some(out_dir.join("cache")),
+            out_dir,
+        }
+    }
+}
+
+impl RunArgs {
+    /// The typed result writer targeting this run's output directory.
+    pub fn writer(&self) -> ResultWriter {
+        ResultWriter::new(&self.out_dir)
+    }
+
+    /// Opens the persistent cell cache for one campaign, or `None` when
+    /// caching is disabled (or the cache directory is unwritable — a cache
+    /// failure degrades to an uncached run, never a crashed experiment).
+    ///
+    /// `experiment` scopes the session to this binary's evaluation set:
+    /// the fingerprint cannot see the evaluation closure, so campaigns only
+    /// share cells when the label, eval settings, model bits and campaign
+    /// config all agree. Binaries evaluating on the same split with the
+    /// same settings (e.g. `fig7` and `headline_table`) deliberately use
+    /// the same label and reuse each other's cells.
+    pub fn campaign_session(
+        &self,
+        experiment: &str,
+        net: &Sequential,
+        config: &CampaignConfig,
+    ) -> Option<StoreSession> {
+        let store = ResultStore::new(self.cache_root.clone()?);
+        let fingerprint = campaign_fingerprint(net, config)
+            .text("experiment", experiment)
+            .uint("eval_size", self.eval_size as u64)
+            .uint("data_seed", self.seed);
+        match store.session(&fingerprint) {
+            Ok(session) => {
+                eprintln!(
+                    "[cache] {experiment}: {} cell(s) already cached in {}",
+                    session.cached_cells(),
+                    session.dir().display()
+                );
+                Some(session)
+            }
+            Err(e) => {
+                eprintln!("[cache] {experiment}: cache unavailable, running uncached ({e})");
+                None
+            }
         }
     }
 }
 
 /// Parses `--scale small|paper`, `--reps N`, `--eval-size N`, `--seed N`,
-/// `--out DIR` from `std::env::args`.
+/// `--out DIR`, `--cache DIR`, `--no-cache` from `std::env::args`.
+///
+/// Cache resolution: an explicit `--cache`/`--no-cache` flag wins;
+/// otherwise `FTCLIP_CACHE` decides (`off`/`0`/`false` disables, a path
+/// relocates); otherwise the default is `<out_dir>/cache`.
 ///
 /// Unknown flags abort with a usage message, because a typo silently
 /// falling back to defaults would corrupt an experiment.
 pub fn parse_args() -> RunArgs {
-    parse_arg_list(std::env::args().skip(1))
+    parse_arg_list(std::env::args().skip(1), std::env::var("FTCLIP_CACHE").ok().as_deref())
 }
 
-fn parse_arg_list(args: impl Iterator<Item = String>) -> RunArgs {
+fn parse_arg_list(args: impl Iterator<Item = String>, env_cache: Option<&str>) -> RunArgs {
     let mut out = RunArgs::default();
     let mut explicit_reps = None;
     let mut explicit_eval = None;
+    let mut explicit_cache: Option<Option<PathBuf>> = None;
     let mut it = args.peekable();
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| -> String {
@@ -95,76 +151,81 @@ fn parse_arg_list(args: impl Iterator<Item = String>) -> RunArgs {
             }
             "--seed" => out.seed = value("--seed").parse().unwrap_or_else(|_| usage("bad --seed")),
             "--out" => out.out_dir = PathBuf::from(value("--out")),
+            "--cache" => explicit_cache = Some(Some(PathBuf::from(value("--cache")))),
+            "--no-cache" => explicit_cache = Some(None),
             "--help" | "-h" => usage("help requested"),
             other => usage(&format!("unknown flag '{other}'")),
         }
     }
     out.reps = explicit_reps.unwrap_or_else(|| out.scale.default_reps());
     out.eval_size = explicit_eval.unwrap_or_else(|| out.scale.default_eval_size());
+    out.cache_root = match explicit_cache {
+        Some(choice) => choice,
+        None => resolve_cache_root(env_cache, out.out_dir.join("cache")),
+    };
     out
 }
 
 fn usage(reason: &str) -> ! {
     eprintln!("{reason}");
-    eprintln!("usage: <binary> [--scale small|paper] [--reps N] [--eval-size N] [--seed N] [--out DIR]");
+    eprintln!(
+        "usage: <binary> [--scale small|paper] [--reps N] [--eval-size N] [--seed N] \
+         [--out DIR] [--cache DIR] [--no-cache]"
+    );
     std::process::exit(2)
 }
 
-/// Minimal CSV writer for experiment outputs.
+/// Writes [`ResultTable`]s as paired `<name>.csv` + `<name>.json` files —
+/// the single emission path for every figure binary.
 ///
 /// # Example
 ///
 /// ```no_run
-/// use ftclip_bench::CsvWriter;
+/// use ftclip_bench::ResultWriter;
+/// use ftclip_core::ResultTable;
 ///
-/// let mut csv = CsvWriter::create("results/fig.csv", &["rate", "accuracy"]).unwrap();
-/// csv.row(&[&1e-7, &0.72]).unwrap();
+/// let mut table = ResultTable::new("fig", &["rate", "accuracy"]);
+/// table.row([1e-7.into(), 0.72f64.into()]);
+/// ResultWriter::new("results").write(&table).unwrap();
 /// ```
-#[derive(Debug)]
-pub struct CsvWriter {
-    file: BufWriter<File>,
-    columns: usize,
+#[derive(Debug, Clone)]
+pub struct ResultWriter {
+    out_dir: PathBuf,
 }
 
-impl CsvWriter {
-    /// Creates the file (and parent directories) and writes the header.
-    ///
-    /// # Errors
-    ///
-    /// Returns any filesystem error.
-    pub fn create<P: AsRef<Path>>(path: P, header: &[&str]) -> std::io::Result<Self> {
-        if let Some(parent) = path.as_ref().parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        let mut file = BufWriter::new(File::create(path)?);
-        writeln!(file, "{}", header.join(","))?;
-        Ok(CsvWriter { file, columns: header.len() })
+impl ResultWriter {
+    /// A writer targeting `out_dir` (created on first write).
+    pub fn new<P: Into<PathBuf>>(out_dir: P) -> Self {
+        ResultWriter { out_dir: out_dir.into() }
     }
 
-    /// Writes one row.
+    /// The output directory.
+    pub fn out_dir(&self) -> &Path {
+        &self.out_dir
+    }
+
+    /// Writes `<name>.csv` and `<name>.json` and returns the CSV path.
     ///
     /// # Errors
     ///
     /// Returns any filesystem error.
+    pub fn write(&self, table: &ResultTable) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.out_dir)?;
+        let csv_path = self.out_dir.join(format!("{}.csv", table.name()));
+        std::fs::write(&csv_path, table.to_csv())?;
+        std::fs::write(self.out_dir.join(format!("{}.json", table.name())), table.to_json())?;
+        Ok(csv_path)
+    }
+
+    /// Writes the table and logs the CSV path — what `main` functions call.
     ///
     /// # Panics
     ///
-    /// Panics if the value count differs from the header width.
-    pub fn row(&mut self, values: &[&dyn Display]) -> std::io::Result<()> {
-        assert_eq!(values.len(), self.columns, "row width must match header");
-        let cells: Vec<String> = values.iter().map(|v| v.to_string()).collect();
-        writeln!(self.file, "{}", cells.join(","))
-    }
-
-    /// Flushes the underlying file.
-    ///
-    /// # Errors
-    ///
-    /// Returns any filesystem error.
-    pub fn flush(&mut self) -> std::io::Result<()> {
-        self.file.flush()
+    /// Panics on filesystem errors: losing an experiment's results is
+    /// unrecoverable for a figure run.
+    pub fn emit(&self, table: &ResultTable) {
+        let path = self.write(table).expect("write result files");
+        eprintln!("[results] wrote {} (+ .json)", path.display());
     }
 }
 
@@ -172,45 +233,64 @@ impl CsvWriter {
 mod tests {
     use super::*;
 
+    fn parse(args: &[&str], env_cache: Option<&str>) -> RunArgs {
+        parse_arg_list(args.iter().map(|s| s.to_string()), env_cache)
+    }
+
     #[test]
     fn defaults_track_scale() {
-        let args = parse_arg_list(["--scale", "paper"].iter().map(|s| s.to_string()));
+        let args = parse(&["--scale", "paper"], None);
         assert_eq!(args.scale, Scale::Paper);
         assert_eq!(args.reps, 50);
         assert_eq!(args.eval_size, 1024);
+        assert_eq!(args.cache_root, Some(PathBuf::from("results/cache")));
     }
 
     #[test]
     fn explicit_flags_override_scale_defaults() {
-        let args = parse_arg_list(
-            ["--scale", "paper", "--reps", "7", "--eval-size", "33", "--seed", "9"]
-                .iter()
-                .map(|s| s.to_string()),
-        );
+        let args = parse(&["--scale", "paper", "--reps", "7", "--eval-size", "33", "--seed", "9"], None);
         assert_eq!(args.reps, 7);
         assert_eq!(args.eval_size, 33);
         assert_eq!(args.seed, 9);
     }
 
     #[test]
-    fn csv_writer_roundtrip() {
-        let dir = std::env::temp_dir().join("ftclip-csv-test");
-        let path = dir.join("t.csv");
-        let mut csv = CsvWriter::create(&path, &["a", "b"]).unwrap();
-        csv.row(&[&1, &2.5]).unwrap();
-        csv.row(&[&"x", &"y"]).unwrap();
-        csv.flush().unwrap();
-        drop(csv);
-        let content = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(content, "a,b\n1,2.5\nx,y\n");
-        std::fs::remove_dir_all(&dir).ok();
+    fn cache_flags() {
+        assert_eq!(parse(&["--no-cache"], None).cache_root, None);
+        assert_eq!(parse(&["--cache", "/tmp/c"], None).cache_root, Some(PathBuf::from("/tmp/c")));
+        assert_eq!(
+            parse(&["--out", "elsewhere"], None).cache_root,
+            Some(PathBuf::from("elsewhere/cache")),
+            "cache follows --out"
+        );
     }
 
     #[test]
-    #[should_panic(expected = "row width")]
-    fn csv_rejects_ragged_rows() {
-        let dir = std::env::temp_dir().join("ftclip-csv-ragged");
-        let mut csv = CsvWriter::create(dir.join("t.csv"), &["a", "b"]).unwrap();
-        let _ = csv.row(&[&1]);
+    fn env_toggle_applies_regardless_of_out_dir() {
+        // the FTCLIP_CACHE env must disable/relocate the cache even when
+        // --out moves the default location
+        assert_eq!(parse(&["--out", "elsewhere"], Some("off")).cache_root, None);
+        assert_eq!(parse(&[], Some("0")).cache_root, None);
+        assert_eq!(
+            parse(&["--out", "elsewhere"], Some("/var/cache/ft")).cache_root,
+            Some(PathBuf::from("/var/cache/ft"))
+        );
+        // explicit flags beat the environment
+        assert_eq!(parse(&["--cache", "/tmp/c"], Some("off")).cache_root, Some(PathBuf::from("/tmp/c")));
+        assert_eq!(parse(&["--no-cache"], Some("/var/cache/ft")).cache_root, None);
+    }
+
+    #[test]
+    fn writer_emits_csv_and_json_pairs() {
+        let dir = std::env::temp_dir().join(format!("ftclip-writer-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut table = ResultTable::new("t", &["a", "b"]);
+        table.row([1u32.into(), 2.5f64.into()]);
+        table.row(["x".into(), "y".into()]);
+        let csv_path = ResultWriter::new(&dir).write(&table).unwrap();
+        assert_eq!(std::fs::read_to_string(&csv_path).unwrap(), "a,b\n1,2.5\nx,y\n");
+        let json = std::fs::read_to_string(dir.join("t.json")).unwrap();
+        assert!(json.starts_with("[\n"), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -18,7 +18,11 @@
 //!
 //! Every binary accepts `--scale small|paper` (default `small`), `--reps N`,
 //! `--eval-size N` and `--seed N`, prints the series the paper plots, and
-//! writes CSV under `results/`.
+//! writes paired CSV + JSON result files under `results/` through the typed
+//! [`harness::ResultWriter`]. Campaign cells are served from the persistent
+//! cache under `results/cache/` (see `ftclip_store`; disable with
+//! `--no-cache` or `FTCLIP_CACHE=off`), so re-runs and interrupted grids
+//! only pay for cells not yet on disk — with bit-identical results.
 //!
 //! This crate also hosts the Criterion micro-benchmarks (`benches/`).
 
@@ -28,9 +32,11 @@
 pub mod harness;
 pub mod pipeline;
 pub mod resilience;
+pub mod tables;
 pub mod workload;
 
-pub use harness::{parse_args, CsvWriter, RunArgs, Scale};
+pub use harness::{parse_args, ResultWriter, RunArgs, Scale};
 pub use pipeline::{experiment_methodology, harden_network, tuning_auc_config};
 pub use resilience::{evaluate_resilience, print_panels, shape_checks, ResilienceEvaluation};
+pub use tables::{campaign_summary_table, resilience_box_table, resilience_mean_table};
 pub use workload::{experiment_data, trained_alexnet, trained_vgg16, Workload};

@@ -9,11 +9,12 @@
 
 use ftclip_core::{Comparison, EvalSet};
 use ftclip_fault::{
-    paper_fault_rates, Campaign, CampaignConfig, CampaignResult, FaultModel, InjectionTarget,
+    cache_of, paper_fault_rates, Campaign, CampaignConfig, CampaignResult, FaultModel, InjectionTarget,
 };
 
-use crate::harness::{CsvWriter, RunArgs};
+use crate::harness::RunArgs;
 use crate::pipeline::harden_network;
+use crate::tables::{resilience_box_table, resilience_mean_table};
 use crate::workload::Workload;
 
 /// Everything the Fig. 7 / Fig. 8 panels need.
@@ -59,10 +60,18 @@ pub fn evaluate_resilience(workload: &Workload, args: &RunArgs) -> ResilienceEva
         workload.rate_scale(),
         ftclip_tensor::num_threads()
     );
-    let protected = campaign.run_parallel(&protected_net, |n| eval.accuracy(n));
+    // both campaigns cache under the shared "resilience" label: any binary
+    // evaluating the same model/eval settings (fig7, fig8, headline_table)
+    // resumes the same cells; the hardened network's clipping thresholds are
+    // part of the model digest, so the two sessions can never alias
+    let protected_session = args.campaign_session("resilience", &protected_net, campaign.config());
+    let protected =
+        campaign.run_parallel_cached(&protected_net, cache_of(&protected_session), |n| eval.accuracy(n));
     eprintln!("[resilience] protected done, running unprotected …");
     let unprotected_net = workload.model.network.clone();
-    let unprotected = campaign.run_parallel(&unprotected_net, |n| eval.accuracy(n));
+    let unprotected_session = args.campaign_session("resilience", &unprotected_net, campaign.config());
+    let unprotected =
+        campaign.run_parallel_cached(&unprotected_net, cache_of(&unprotected_session), |n| eval.accuracy(n));
 
     let comparison = Comparison::new(&protected, &unprotected);
     ResilienceEvaluation {
@@ -93,43 +102,27 @@ pub fn print_panels(eval: &ResilienceEvaluation, stem: &str, args: &RunArgs) {
         "{:<12} {:<12} {:>10} {:>12} {:>13}",
         "paper_rate", "actual_rate", "clipped", "unprotected", "improvement%"
     );
-    let mut csv_a = CsvWriter::create(
-        args.out_dir.join(format!("{stem}_a_mean.csv")),
-        &["paper_rate", "actual_rate", "clipped_mean", "unprotected_mean"],
-    )
-    .expect("write csv");
+    let writer = args.writer();
     for (i, (&paper_rate, &rate)) in eval.paper_rates.iter().zip(&cmp.fault_rates).enumerate() {
         let improvement = ftclip_core::improvement_percent(cmp.unprotected_mean[i], cmp.protected_mean[i]);
         println!(
             "{:<12.1e} {:<12.1e} {:>10.4} {:>12.4} {:>13.2}",
             paper_rate, rate, cmp.protected_mean[i], cmp.unprotected_mean[i], improvement
         );
-        csv_a
-            .row(&[&paper_rate, &rate, &cmp.protected_mean[i], &cmp.unprotected_mean[i]])
-            .expect("write row");
     }
-    csv_a.flush().expect("flush csv");
+    writer.emit(&resilience_mean_table(&format!("{stem}_a_mean"), cmp, &eval.paper_rates));
 
     for (panel, label, result) in [("b", "clipped", &eval.protected), ("c", "unprotected", &eval.unprotected)]
     {
         println!("\n({panel}) accuracy distribution, {label} network (box-plot statistics)\n");
         println!("{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}", "paper_rate", "min", "q1", "median", "q3", "max");
-        let mut csv = CsvWriter::create(
-            args.out_dir.join(format!("{stem}_{panel}_box.csv")),
-            &["paper_rate", "actual_rate", "min", "q1", "median", "q3", "max", "mean", "std"],
-        )
-        .expect("write csv");
         for (i, s) in result.summaries().iter().enumerate() {
-            let paper_rate = eval.paper_rates[i];
-            let rate = result.fault_rates[i];
             println!(
                 "{:<12.1e} {:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>8.4}",
-                paper_rate, s.min, s.q1, s.median, s.q3, s.max
+                eval.paper_rates[i], s.min, s.q1, s.median, s.q3, s.max
             );
-            csv.row(&[&paper_rate, &rate, &s.min, &s.q1, &s.median, &s.q3, &s.max, &s.mean, &s.std])
-                .expect("write row");
         }
-        csv.flush().expect("flush csv");
+        writer.emit(&resilience_box_table(&format!("{stem}_{panel}_box"), result, &eval.paper_rates));
     }
 
     println!(

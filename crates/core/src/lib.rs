@@ -45,6 +45,7 @@ mod evalset;
 mod methodology;
 mod profile;
 mod report;
+mod table;
 mod tuner;
 
 pub use auc::{auc_normalized, campaign_auc, AucConfig};
@@ -52,4 +53,5 @@ pub use evalset::EvalSet;
 pub use methodology::{HardenReport, LayerTuneReport, Methodology, ProfileConfig};
 pub use profile::{profile_network, ActivationHistogram, SiteProfile};
 pub use report::{improvement_percent, Comparison};
+pub use table::{CellValue, ResultTable};
 pub use tuner::{grid_search_site, IterationTrace, ThresholdTuner, TuneOutcome, TunerConfig};

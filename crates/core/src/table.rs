@@ -1,0 +1,299 @@
+//! Typed result tables — the single serialization path for experiment
+//! output.
+//!
+//! Every figure binary used to hand-roll its CSV lines; a formatting change
+//! in one binary silently diverged from the others and nothing produced
+//! machine-friendly JSON. [`ResultTable`] replaces that: a named table of
+//! typed cells ([`CellValue`]) that renders to CSV and JSON from the *same*
+//! values, so the two files can never disagree and golden-snapshot tests
+//! can pin the format in one place.
+//!
+//! Rendering is deterministic: floats use Rust's shortest-roundtrip
+//! `Display` (identical in CSV and JSON), `f32` values are rendered as
+//! `f32` (not widened to `f64`, which would append noise digits), and rows
+//! appear exactly in insertion order.
+
+use std::fmt;
+
+/// One typed cell of a [`ResultTable`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellValue {
+    /// Text (CSV-escaped and JSON-quoted on render).
+    Text(String),
+    /// An integer.
+    Int(i64),
+    /// A single-precision float, rendered with `f32` precision.
+    F32(f32),
+    /// A double-precision float.
+    F64(f64),
+}
+
+impl fmt::Display for CellValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellValue::Text(s) => write!(f, "{s}"),
+            CellValue::Int(v) => write!(f, "{v}"),
+            CellValue::F32(v) => write!(f, "{v}"),
+            CellValue::F64(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+macro_rules! from_impls {
+    ($($t:ty => $variant:ident as $conv:ty),*) => {$(
+        impl From<$t> for CellValue {
+            fn from(v: $t) -> CellValue {
+                CellValue::$variant(v as $conv)
+            }
+        }
+    )*};
+}
+from_impls!(i8 => Int as i64, i16 => Int as i64, i32 => Int as i64, i64 => Int as i64,
+            u8 => Int as i64, u16 => Int as i64, u32 => Int as i64, usize => Int as i64,
+            f32 => F32 as f32, f64 => F64 as f64);
+
+impl From<&str> for CellValue {
+    fn from(v: &str) -> CellValue {
+        CellValue::Text(v.to_string())
+    }
+}
+
+impl From<String> for CellValue {
+    fn from(v: String) -> CellValue {
+        CellValue::Text(v)
+    }
+}
+
+impl From<&String> for CellValue {
+    fn from(v: &String) -> CellValue {
+        CellValue::Text(v.clone())
+    }
+}
+
+impl From<bool> for CellValue {
+    fn from(v: bool) -> CellValue {
+        CellValue::Text(v.to_string())
+    }
+}
+
+/// A named, typed result table that renders to CSV and JSON.
+///
+/// # Example
+///
+/// ```
+/// use ftclip_core::ResultTable;
+///
+/// let mut t = ResultTable::new("demo", &["rate", "accuracy"]);
+/// t.row([1e-7.into(), 0.72f64.into()]);
+/// assert_eq!(t.to_csv(), "rate,accuracy\n0.0000001,0.72\n");
+/// assert_eq!(t.to_json(), "[\n  {\"rate\": 0.0000001, \"accuracy\": 0.72}\n]\n");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultTable {
+    name: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<CellValue>>,
+}
+
+impl ResultTable {
+    /// Creates an empty table. `name` becomes the output file stem
+    /// (`<name>.csv` / `<name>.json`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty.
+    pub fn new(name: &str, columns: &[&str]) -> Self {
+        assert!(!columns.is_empty(), "result table needs at least one column");
+        ResultTable {
+            name: name.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table name (output file stem).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count differs from the column count — a ragged
+    /// table is always a caller bug.
+    pub fn row<const N: usize>(&mut self, values: [CellValue; N]) {
+        self.push_row(values.into_iter().collect());
+    }
+
+    /// Appends one row from a `Vec` (for rows built dynamically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count differs from the column count.
+    pub fn push_row(&mut self, values: Vec<CellValue>) {
+        assert_eq!(values.len(), self.columns.len(), "row width must match column count");
+        self.rows.push(values);
+    }
+
+    /// Renders the table as CSV (header + one line per row, `\n`-terminated).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(csv_cell).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as a JSON array of objects keyed by column name,
+    /// with numbers formatted exactly as in the CSV.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (r, row) in self.rows.iter().enumerate() {
+            out.push_str(if r == 0 { "\n  {" } else { ",\n  {" });
+            for (c, (col, value)) in self.columns.iter().zip(row).enumerate() {
+                if c > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_string(col));
+                out.push_str(": ");
+                out.push_str(&json_cell(value));
+            }
+            out.push('}');
+        }
+        out.push_str(if self.rows.is_empty() { "]\n" } else { "\n]\n" });
+        out
+    }
+}
+
+/// CSV cell rendering: numbers verbatim, text quoted only when it contains
+/// a comma, quote or newline (RFC 4180 quoting).
+fn csv_cell(value: &CellValue) -> String {
+    match value {
+        CellValue::Text(s) if s.contains([',', '"', '\n']) => {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        }
+        other => other.to_string(),
+    }
+}
+
+/// JSON cell rendering: numbers via the shared `Display` (JSON accepts any
+/// decimal literal Rust prints), non-finite floats as `null`, text quoted.
+fn json_cell(value: &CellValue) -> String {
+    match value {
+        CellValue::Text(s) => json_string(s),
+        CellValue::Int(v) => v.to_string(),
+        CellValue::F32(v) if !v.is_finite() => "null".to_string(),
+        CellValue::F64(v) if !v.is_finite() => "null".to_string(),
+        number => number.to_string(),
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_matches_legacy_display_formatting() {
+        // the historical CsvWriter rendered `&dyn Display` values with `{}`;
+        // the typed table must produce identical text for the same values
+        let mut t = ResultTable::new("t", &["a", "b", "c"]);
+        t.row([1u32.into(), 2.5f64.into(), "x".into()]);
+        assert_eq!(t.to_csv(), "a,b,c\n1,2.5,x\n");
+    }
+
+    #[test]
+    fn f32_cells_render_with_f32_precision() {
+        let mut t = ResultTable::new("t", &["v"]);
+        t.row([0.1f32.into()]);
+        // 0.1f32 as f64 would print 0.10000000149011612
+        assert_eq!(t.to_csv(), "v\n0.1\n");
+        assert!(t.to_json().contains("0.1"), "{}", t.to_json());
+        assert!(!t.to_json().contains("0.100000001"), "{}", t.to_json());
+    }
+
+    #[test]
+    fn json_is_array_of_objects() {
+        let mut t = ResultTable::new("t", &["rate", "acc"]);
+        t.row([1e-7.into(), 0.75f64.into()]);
+        t.row([1e-6.into(), 0.5f64.into()]);
+        assert_eq!(
+            t.to_json(),
+            "[\n  {\"rate\": 0.0000001, \"acc\": 0.75},\n  {\"rate\": 0.000001, \"acc\": 0.5}\n]\n"
+        );
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = ResultTable::new("t", &["a"]);
+        assert_eq!(t.to_csv(), "a\n");
+        assert_eq!(t.to_json(), "[]\n");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn text_with_commas_is_quoted_in_csv_and_escaped_in_json() {
+        let mut t = ResultTable::new("t", &["s"]);
+        t.row(["a,b \"q\"".into()]);
+        assert_eq!(t.to_csv(), "s\n\"a,b \"\"q\"\"\"\n");
+        assert_eq!(t.to_json(), "[\n  {\"s\": \"a,b \\\"q\\\"\"}\n]\n");
+    }
+
+    #[test]
+    fn non_finite_floats_become_json_null() {
+        let mut t = ResultTable::new("t", &["v"]);
+        t.row([f64::INFINITY.into()]);
+        assert_eq!(t.to_json(), "[\n  {\"v\": null}\n]\n");
+        assert_eq!(t.to_csv(), "v\ninf\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_are_rejected() {
+        let mut t = ResultTable::new("t", &["a", "b"]);
+        t.row([1u32.into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_columns_are_rejected() {
+        ResultTable::new("t", &[]);
+    }
+}

@@ -55,6 +55,57 @@ pub fn paper_fault_rates() -> Vec<f64> {
     vec![1e-8, 5e-8, 1e-7, 5e-7, 1e-6, 5e-6, 1e-5]
 }
 
+/// A lookup/record interface for per-cell campaign results, implemented by
+/// persistent stores (see the `ftclip_store` crate) and by [`NoCache`].
+///
+/// The executors consult the cache before evaluating a cell and record every
+/// freshly computed cell afterwards. Because each cell's result is a pure
+/// function of `(config, rate_index, repetition)` — the RNG is derived per
+/// cell and evaluation is deterministic — replaying a cached [`RunRecord`]
+/// is bit-identical to recomputing it, which is the property that makes
+/// resumed campaigns indistinguishable from fresh ones.
+///
+/// Implementations must tolerate concurrent calls from the parallel
+/// executor's workers (hence the `Sync` bound).
+pub trait CampaignCache: Sync {
+    /// Returns the cached cell, or `None` if it has not been computed yet.
+    fn lookup(&self, rate_index: usize, repetition: usize) -> Option<RunRecord>;
+
+    /// Records a freshly computed cell.
+    fn record(&self, _record: &RunRecord) {}
+
+    /// Returns the cached clean (fault-free) accuracy, if known.
+    fn clean_accuracy(&self) -> Option<f64> {
+        None
+    }
+
+    /// Records the clean accuracy of a fresh run.
+    fn record_clean(&self, _accuracy: f64) {}
+}
+
+/// The null cache: every lookup misses, every record is dropped. Running a
+/// campaign against it is exactly the historical uncached behaviour.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCache;
+
+impl CampaignCache for NoCache {
+    fn lookup(&self, _rate_index: usize, _repetition: usize) -> Option<RunRecord> {
+        None
+    }
+}
+
+static NO_CACHE: NoCache = NoCache;
+
+/// Borrows `session` as a [`CampaignCache`], falling back to [`NoCache`]
+/// when it is `None` — the one-liner figure binaries use to make caching
+/// optional (`FTCLIP_CACHE=off`).
+pub fn cache_of<C: CampaignCache>(session: &Option<C>) -> &dyn CampaignCache {
+    match session {
+        Some(cache) => cache,
+        None => &NO_CACHE,
+    }
+}
+
 /// One (rate, repetition) cell of a campaign.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunRecord {
@@ -167,26 +218,34 @@ impl Campaign {
     /// paper's rate grid) reuse the clean accuracy instead of re-evaluating:
     /// evaluation is deterministic, so the result is identical and the
     /// campaign cost drops substantially.
-    pub fn run(&self, net: &mut Sequential, mut eval: impl FnMut(&Sequential) -> f64) -> CampaignResult {
-        let clean_accuracy = eval(net);
+    pub fn run(&self, net: &mut Sequential, eval: impl FnMut(&Sequential) -> f64) -> CampaignResult {
+        self.run_cached(net, &NoCache, eval)
+    }
+
+    /// [`Campaign::run`] against a persistent cell cache: cells found in
+    /// `cache` are replayed bit-identically without evaluation, fresh cells
+    /// are recorded as they complete, and the merged result is bit-identical
+    /// to an uncached run regardless of how the cells split between cache
+    /// hits and fresh computation.
+    pub fn run_cached(
+        &self,
+        net: &mut Sequential,
+        cache: &dyn CampaignCache,
+        mut eval: impl FnMut(&Sequential) -> f64,
+    ) -> CampaignResult {
+        let clean_accuracy = cache.clean_accuracy().unwrap_or_else(|| {
+            let clean = eval(net);
+            cache.record_clean(clean);
+            clean
+        });
         let mut accuracies = Vec::with_capacity(self.config.fault_rates.len());
         let mut runs = Vec::new();
         for (i, &rate) in self.config.fault_rates.iter().enumerate() {
             let mut per_rate = Vec::with_capacity(self.config.repetitions);
             for rep in 0..self.config.repetitions {
-                let mut rng = StdRng::seed_from_u64(derive_seed(self.config.seed, i, rep));
-                let injection = Injection::sample(net, self.config.target, self.config.model, rate, &mut rng);
-                let fault_count = injection.fault_count();
-                let accuracy = if fault_count == 0 {
-                    clean_accuracy
-                } else {
-                    let handle = injection.apply(net);
-                    let accuracy = eval(net);
-                    handle.undo(net);
-                    accuracy
-                };
-                per_rate.push(accuracy);
-                runs.push(RunRecord { rate_index: i, repetition: rep, fault_count, accuracy });
+                let record = self.cell(net, i, rate, rep, clean_accuracy, cache, &mut eval);
+                per_rate.push(record.accuracy);
+                runs.push(record);
             }
             accuracies.push(per_rate);
         }
@@ -196,6 +255,38 @@ impl Campaign {
             runs,
             clean_accuracy,
         }
+    }
+
+    /// Computes (or replays from `cache`) one `(rate, repetition)` cell.
+    /// The network is returned to its pre-call state.
+    fn cell(
+        &self,
+        net: &mut Sequential,
+        i: usize,
+        rate: f64,
+        rep: usize,
+        clean_accuracy: f64,
+        cache: &dyn CampaignCache,
+        eval: &mut dyn FnMut(&Sequential) -> f64,
+    ) -> RunRecord {
+        if let Some(record) = cache.lookup(i, rep) {
+            assert_eq!((record.rate_index, record.repetition), (i, rep), "cache returned a mislabeled cell");
+            return record;
+        }
+        let mut rng = StdRng::seed_from_u64(derive_seed(self.config.seed, i, rep));
+        let injection = Injection::sample(net, self.config.target, self.config.model, rate, &mut rng);
+        let fault_count = injection.fault_count();
+        let accuracy = if fault_count == 0 {
+            clean_accuracy
+        } else {
+            let handle = injection.apply(net);
+            let accuracy = eval(net);
+            handle.undo(net);
+            accuracy
+        };
+        let record = RunRecord { rate_index: i, repetition: rep, fault_count, accuracy };
+        cache.record(&record);
+        record
     }
 
     /// Runs the full campaign with the `(rate, repetition)` grid fanned out
@@ -211,6 +302,22 @@ impl Campaign {
     /// be `Fn + Sync` because workers share it.
     pub fn run_parallel(&self, net: &Sequential, eval: impl Fn(&Sequential) -> f64 + Sync) -> CampaignResult {
         self.run_parallel_with_threads(net, ftclip_tensor::num_threads(), eval)
+    }
+
+    /// [`Campaign::run_parallel`] against a persistent cell cache — the
+    /// resumable entry point the figure binaries use. Cached cells are
+    /// replayed without evaluation; fresh cells are recorded as workers
+    /// complete them (recording order is scheduling-dependent, cell content
+    /// is not). The merged result is **bit-identical** to both the uncached
+    /// and the serial executor at any thread count and any cache state:
+    /// empty, partial, or complete.
+    pub fn run_parallel_cached(
+        &self,
+        net: &Sequential,
+        cache: &dyn CampaignCache,
+        eval: impl Fn(&Sequential) -> f64 + Sync,
+    ) -> CampaignResult {
+        self.run_parallel_cached_with_threads(net, ftclip_tensor::num_threads(), cache, eval)
     }
 
     /// [`Campaign::run_parallel`] with an explicit worker-thread count
@@ -231,6 +338,24 @@ impl Campaign {
         threads: usize,
         eval: impl Fn(&Sequential) -> f64 + Sync,
     ) -> CampaignResult {
+        self.run_parallel_cached_with_threads(net, threads, &NoCache, eval)
+    }
+
+    /// [`Campaign::run_parallel_cached`] with an explicit worker-thread
+    /// count (see [`Campaign::run_parallel_with_threads`] for why tests need
+    /// this entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`, a worker thread panics, or the cache
+    /// returns a cell labeled with the wrong `(rate_index, repetition)`.
+    pub fn run_parallel_cached_with_threads(
+        &self,
+        net: &Sequential,
+        threads: usize,
+        cache: &dyn CampaignCache,
+        eval: impl Fn(&Sequential) -> f64 + Sync,
+    ) -> CampaignResult {
         assert!(threads > 0, "campaign needs at least one worker thread");
         let reps = self.config.repetitions;
         let total = self.config.fault_rates.len() * reps;
@@ -238,10 +363,14 @@ impl Campaign {
 
         if workers <= 1 {
             let mut net = net.clone();
-            return self.run(&mut net, eval);
+            return self.run_cached(&mut net, cache, eval);
         }
 
-        let clean_accuracy = eval(net);
+        let clean_accuracy = cache.clean_accuracy().unwrap_or_else(|| {
+            let clean = eval(net);
+            cache.record_clean(clean);
+            clean
+        });
         let next_cell = AtomicUsize::new(0);
         let mut runs: Vec<RunRecord> = Vec::with_capacity(total);
         std::thread::scope(|scope| {
@@ -249,12 +378,12 @@ impl Campaign {
             for _ in 0..workers {
                 let next_cell = &next_cell;
                 let eval = &eval;
-                let config = &self.config;
                 handles.push(scope.spawn(move || {
                     // one network clone per worker serves all its cells;
                     // inner kernels run single-threaded (see method docs)
                     ftclip_tensor::with_thread_limit(1, || {
                         let mut local = net.clone();
+                        let mut local_eval = |n: &Sequential| eval(n);
                         let mut out = Vec::new();
                         loop {
                             let cell = next_cell.fetch_add(1, Ordering::Relaxed);
@@ -262,24 +391,16 @@ impl Campaign {
                                 return out;
                             }
                             let (i, rep) = (cell / reps, cell % reps);
-                            let mut rng = StdRng::seed_from_u64(derive_seed(config.seed, i, rep));
-                            let injection = Injection::sample(
-                                &local,
-                                config.target,
-                                config.model,
-                                config.fault_rates[i],
-                                &mut rng,
-                            );
-                            let fault_count = injection.fault_count();
-                            let accuracy = if fault_count == 0 {
-                                clean_accuracy
-                            } else {
-                                let handle = injection.apply(&mut local);
-                                let accuracy = eval(&local);
-                                handle.undo(&mut local);
-                                accuracy
-                            };
-                            out.push(RunRecord { rate_index: i, repetition: rep, fault_count, accuracy });
+                            let rate = self.config.fault_rates[i];
+                            out.push(self.cell(
+                                &mut local,
+                                i,
+                                rate,
+                                rep,
+                                clean_accuracy,
+                                cache,
+                                &mut local_eval,
+                            ));
                         }
                     })
                 }));
@@ -467,6 +588,147 @@ mod tests {
             target: InjectionTarget::AllWeights,
         };
         Campaign::new(cfg).run_parallel_with_threads(&net(), 0, finite_fraction);
+    }
+
+    /// In-memory [`CampaignCache`] with eviction hooks, for testing resume.
+    #[derive(Default)]
+    struct MemCache {
+        cells: std::sync::Mutex<std::collections::HashMap<(usize, usize), RunRecord>>,
+        clean: std::sync::Mutex<Option<f64>>,
+    }
+
+    impl CampaignCache for MemCache {
+        fn lookup(&self, rate_index: usize, repetition: usize) -> Option<RunRecord> {
+            self.cells.lock().unwrap().get(&(rate_index, repetition)).copied()
+        }
+        fn record(&self, record: &RunRecord) {
+            self.cells
+                .lock()
+                .unwrap()
+                .insert((record.rate_index, record.repetition), *record);
+        }
+        fn clean_accuracy(&self) -> Option<f64> {
+            *self.clean.lock().unwrap()
+        }
+        fn record_clean(&self, accuracy: f64) {
+            *self.clean.lock().unwrap() = Some(accuracy);
+        }
+    }
+
+    fn bits(a: &[Vec<f64>]) -> Vec<Vec<u64>> {
+        a.iter().map(|v| v.iter().map(|x| x.to_bits()).collect()).collect()
+    }
+
+    #[test]
+    fn cached_resume_is_bit_identical_at_any_cache_state() {
+        let cfg = CampaignConfig {
+            fault_rates: vec![1e-3, 1e-2, 1e-1],
+            repetitions: 4,
+            seed: 23,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::AllWeights,
+        };
+        let campaign = Campaign::new(cfg);
+        let mut fresh_net = net();
+        let fresh = campaign.run(&mut fresh_net, finite_fraction);
+
+        let cache = MemCache::default();
+        let populated = campaign.run_parallel_cached_with_threads(&net(), 3, &cache, finite_fraction);
+        assert_eq!(populated.runs, fresh.runs, "populating run must match uncached");
+        assert_eq!(cache.cells.lock().unwrap().len(), 12);
+
+        // evict an arbitrary half of the cells, then resume at several
+        // thread counts: every merged result must replay the fresh bits
+        let evicted: Vec<(usize, usize)> = cache
+            .cells
+            .lock()
+            .unwrap()
+            .keys()
+            .copied()
+            .enumerate()
+            .filter(|(n, _)| n % 2 == 0)
+            .map(|(_, k)| k)
+            .collect();
+        for key in &evicted {
+            cache.cells.lock().unwrap().remove(key);
+        }
+        for threads in [1, 2, 4] {
+            let resumed = campaign.run_parallel_cached_with_threads(&net(), threads, &cache, finite_fraction);
+            assert_eq!(resumed.runs, fresh.runs, "{threads} threads");
+            assert_eq!(bits(&resumed.accuracies), bits(&fresh.accuracies), "{threads} threads");
+            assert_eq!(resumed.clean_accuracy.to_bits(), fresh.clean_accuracy.to_bits());
+        }
+    }
+
+    #[test]
+    fn fully_cached_run_never_evaluates() {
+        let cfg = CampaignConfig {
+            fault_rates: vec![1e-2, 1e-1],
+            repetitions: 3,
+            seed: 5,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::AllWeights,
+        };
+        let campaign = Campaign::new(cfg);
+        let cache = MemCache::default();
+        let first = campaign.run_parallel_cached_with_threads(&net(), 2, &cache, finite_fraction);
+
+        let evals = AtomicUsize::new(0);
+        let counting = |n: &Sequential| {
+            evals.fetch_add(1, Ordering::Relaxed);
+            finite_fraction(n)
+        };
+        let replayed = campaign.run_parallel_cached_with_threads(&net(), 2, &cache, counting);
+        assert_eq!(evals.load(Ordering::Relaxed), 0, "cache hit must skip evaluation entirely");
+        assert_eq!(replayed.runs, first.runs);
+    }
+
+    #[test]
+    fn serial_cached_matches_parallel_cached() {
+        let cfg = CampaignConfig {
+            fault_rates: vec![1e-2],
+            repetitions: 5,
+            seed: 77,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::AllWeights,
+        };
+        let campaign = Campaign::new(cfg);
+        let serial_cache = MemCache::default();
+        let mut n1 = net();
+        let serial = campaign.run_cached(&mut n1, &serial_cache, finite_fraction);
+        let parallel_cache = MemCache::default();
+        let parallel = campaign.run_parallel_cached_with_threads(&net(), 4, &parallel_cache, finite_fraction);
+        assert_eq!(serial.runs, parallel.runs);
+        assert_eq!(
+            serial_cache.cells.lock().unwrap().len(),
+            parallel_cache.cells.lock().unwrap().len(),
+            "both executors record every cell"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mislabeled cell")]
+    fn mislabeled_cache_cell_is_rejected() {
+        struct LyingCache;
+        impl CampaignCache for LyingCache {
+            fn lookup(&self, _i: usize, _r: usize) -> Option<RunRecord> {
+                Some(RunRecord {
+                    rate_index: 99,
+                    repetition: 99,
+                    fault_count: 0,
+                    accuracy: 1.0,
+                })
+            }
+        }
+        let cfg = CampaignConfig {
+            fault_rates: vec![1e-2],
+            repetitions: 1,
+            seed: 0,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::AllWeights,
+        };
+        let mut n = net();
+        Campaign::new(cfg).run_cached(&mut n, &LyingCache, finite_fraction);
     }
 
     #[test]

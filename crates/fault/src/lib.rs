@@ -48,7 +48,9 @@ mod protection;
 mod sampler;
 mod stats;
 
-pub use campaign::{paper_fault_rates, Campaign, CampaignConfig, CampaignResult, RunRecord};
+pub use campaign::{
+    cache_of, paper_fault_rates, Campaign, CampaignCache, CampaignConfig, CampaignResult, NoCache, RunRecord,
+};
 pub use inject::{AppliedInjection, Injection};
 pub use memory::{InjectionTarget, MemoryMap, Region};
 pub use model::{BitLocation, FaultModel};

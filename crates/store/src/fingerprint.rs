@@ -1,0 +1,328 @@
+//! Content-addressed campaign fingerprints.
+//!
+//! A campaign cell is uniquely determined by everything that can change its
+//! result: the model (weight bits, architecture, activation/protection
+//! configuration), the fault model and injection target, the rate grid, the
+//! base seed, and the caller's evaluation settings. [`Fingerprint`] collects
+//! those inputs as *named* fields and folds them into a 128-bit [`CellKey`]
+//! that is independent of the order the fields were added in — so two call
+//! sites that describe the same campaign in a different order still address
+//! the same cache entry.
+
+use ftclip_nn::{Layer, Sequential};
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+/// Second offset basis for the upper key half (FNV offset folded once with a
+/// fixed tweak so the two halves decorrelate).
+const FNV_OFFSET_HI: u64 = FNV_OFFSET ^ 0x9E37_79B9_7F4A_7C15;
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    bytes.iter().fold(seed, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+}
+
+/// A 128-bit content-address of one campaign scope (the directory name under
+/// the cache root).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellKey(pub u128);
+
+impl CellKey {
+    /// Renders the key as 32 lowercase hex digits — the on-disk encoding.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses the on-disk encoding back into a key.
+    ///
+    /// Returns `None` unless `s` is exactly 32 hex digits.
+    pub fn from_hex(s: &str) -> Option<CellKey> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(CellKey)
+    }
+}
+
+impl std::fmt::Display for CellKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+/// A builder of campaign fingerprints: an unordered set of named fields,
+/// hashed into a [`CellKey`].
+///
+/// Field order does not matter — [`Fingerprint::key`] sorts fields by name
+/// before hashing — but field *names* do: the same value under a different
+/// name is a different fingerprint. Adding a field twice under one name is a
+/// caller bug and panics, because silently keeping either value would make
+/// cache addresses ambiguous.
+///
+/// # Example
+///
+/// ```
+/// use ftclip_store::Fingerprint;
+///
+/// let a = Fingerprint::new("demo").uint("seed", 7).text("model", "alexnet");
+/// let b = Fingerprint::new("demo").text("model", "alexnet").uint("seed", 7);
+/// assert_eq!(a.key(), b.key());
+/// assert_ne!(a.key(), Fingerprint::new("demo").uint("seed", 8).text("model", "alexnet").key());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    domain: String,
+    /// `(name, human-readable value, value hash)` triples.
+    fields: Vec<(String, String, u64)>,
+}
+
+impl Fingerprint {
+    /// Starts a fingerprint in a named domain (a version tag: bump it to
+    /// invalidate every existing cache entry of this kind).
+    pub fn new(domain: &str) -> Self {
+        Fingerprint { domain: domain.to_string(), fields: Vec::new() }
+    }
+
+    fn push(mut self, name: &str, display: String, value_hash: u64) -> Self {
+        assert!(self.fields.iter().all(|(n, _, _)| n != name), "fingerprint field {name:?} added twice");
+        self.fields.push((name.to_string(), display, value_hash));
+        self
+    }
+
+    /// Adds a text field.
+    pub fn text(self, name: &str, value: &str) -> Self {
+        self.push(name, value.to_string(), fnv1a(FNV_OFFSET, value.as_bytes()))
+    }
+
+    /// Adds an unsigned-integer field.
+    pub fn uint(self, name: &str, value: u64) -> Self {
+        self.push(name, value.to_string(), fnv1a(FNV_OFFSET, &value.to_le_bytes()))
+    }
+
+    /// Adds a float field, hashed by its IEEE-754 bits (so `-0.0 ≠ 0.0` and
+    /// every NaN payload is distinct — bit-identity is the contract).
+    pub fn float(self, name: &str, value: f64) -> Self {
+        self.push(name, format!("{value:e}"), fnv1a(FNV_OFFSET, &value.to_bits().to_le_bytes()))
+    }
+
+    /// Adds an *ordered* list of floats (e.g. a fault-rate grid), hashed by
+    /// bits. List order is significant: cells are addressed by rate index.
+    pub fn float_list(self, name: &str, values: &[f64]) -> Self {
+        let mut h = fnv1a(FNV_OFFSET, &values.len().to_le_bytes());
+        for v in values {
+            h = fnv1a(h, &v.to_bits().to_le_bytes());
+        }
+        let display = values.iter().map(|v| format!("{v:e}")).collect::<Vec<_>>().join(" ");
+        self.push(name, display, h)
+    }
+
+    /// Folds the domain and the name-sorted fields into the 128-bit key.
+    pub fn key(&self) -> CellKey {
+        let mut sorted: Vec<&(String, String, u64)> = self.fields.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut lo = fnv1a(FNV_OFFSET, self.domain.as_bytes());
+        let mut hi = fnv1a(FNV_OFFSET_HI, self.domain.as_bytes());
+        for (name, _, value_hash) in sorted {
+            let name_hash = fnv1a(FNV_OFFSET, name.as_bytes());
+            lo = fnv1a(lo, &name_hash.to_le_bytes());
+            lo = fnv1a(lo, &value_hash.to_le_bytes());
+            hi = fnv1a(hi, &value_hash.to_le_bytes());
+            hi = fnv1a(hi, &name_hash.to_le_bytes());
+        }
+        CellKey((u128::from(hi) << 64) | u128::from(lo))
+    }
+
+    /// The fields as sorted human-readable `name = value` lines — the
+    /// session manifest, so a cache directory is inspectable by eye.
+    pub fn manifest(&self) -> String {
+        let mut sorted: Vec<&(String, String, u64)> = self.fields.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = format!("domain = {}\n", self.domain);
+        for (name, display, _) in sorted {
+            out.push_str(&format!("{name} = {display}\n"));
+        }
+        out
+    }
+}
+
+/// Digest of everything about a network that can change a campaign result:
+/// layer kinds and their inference geometry (conv kernel/stride/padding,
+/// pooling windows, batch-norm ε and running statistics), parameter tensor
+/// shapes and exact weight bits, and the full activation configuration
+/// (function type, clipping thresholds, slopes) — so a hardened network
+/// never shares a cache address with its unprotected twin even though their
+/// weights are identical, and no geometry-only model change can replay a
+/// stale cell.
+pub fn model_digest(net: &Sequential) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = fnv1a(h, &net.layers().len().to_le_bytes());
+    for (i, layer) in net.layers().iter().enumerate() {
+        h = fnv1a(h, &i.to_le_bytes());
+        // structural descriptor: the kind plus every inference-affecting
+        // configuration that lives outside the parameter tensors
+        let desc = match layer {
+            Layer::Conv2d(c) => {
+                let g = c.geometry();
+                format!("conv2d k{} s{} p{}", g.kernel, g.stride, g.pad)
+            }
+            Layer::MaxPool2d(p) => format!("maxpool2d k{} s{}", p.kernel(), p.stride()),
+            Layer::AvgPool2d(p) => format!("avgpool2d k{} s{}", p.kernel(), p.stride()),
+            // Debug includes the variant name and every threshold/slope bit
+            Layer::Activation(_) => format!("activation {:?}", net.activation_at(i)),
+            Layer::BatchNorm2d(b) => format!("batchnorm2d eps{:08x}", b.eps().to_bits()),
+            other => other.kind().to_string(),
+        };
+        h = fnv1a(h, desc.as_bytes());
+        if let Layer::BatchNorm2d(b) = layer {
+            // running statistics shape the inference output but are not
+            // injectable parameters, so visit_params below never sees them
+            for t in [b.running_mean(), b.running_var()] {
+                for v in t.data() {
+                    h = fnv1a(h, &v.to_bits().to_le_bytes());
+                }
+            }
+        }
+    }
+    net.visit_params(&mut |layer, kind, tensor, _| {
+        h = fnv1a(h, &layer.to_le_bytes());
+        h = fnv1a(h, format!("{kind:?}").as_bytes());
+        for &d in tensor.shape().dims() {
+            h = fnv1a(h, &d.to_le_bytes());
+        }
+        for v in tensor.data() {
+            h = fnv1a(h, &v.to_bits().to_le_bytes());
+        }
+    });
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftclip_nn::{Layer, Sequential};
+
+    #[test]
+    fn key_ignores_field_order() {
+        let a = Fingerprint::new("d").uint("x", 1).text("y", "z").float("r", 0.5);
+        let b = Fingerprint::new("d").float("r", 0.5).uint("x", 1).text("y", "z");
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn key_depends_on_domain_names_and_values() {
+        let base = Fingerprint::new("d").uint("x", 1);
+        assert_ne!(base.key(), Fingerprint::new("e").uint("x", 1).key());
+        assert_ne!(base.key(), Fingerprint::new("d").uint("y", 1).key());
+        assert_ne!(base.key(), Fingerprint::new("d").uint("x", 2).key());
+    }
+
+    #[test]
+    #[should_panic(expected = "added twice")]
+    fn duplicate_field_panics() {
+        let _ = Fingerprint::new("d").uint("x", 1).uint("x", 2);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for key in [CellKey(0), CellKey(u128::MAX), Fingerprint::new("d").uint("x", 3).key()] {
+            let hex = key.to_hex();
+            assert_eq!(hex.len(), 32);
+            assert_eq!(CellKey::from_hex(&hex), Some(key));
+        }
+        assert_eq!(CellKey::from_hex("xyz"), None);
+        assert_eq!(CellKey::from_hex(&"0".repeat(31)), None);
+        assert_eq!(CellKey::from_hex(&"0".repeat(33)), None);
+    }
+
+    #[test]
+    fn float_fields_are_bit_exact() {
+        let pos = Fingerprint::new("d").float("v", 0.0).key();
+        let neg = Fingerprint::new("d").float("v", -0.0).key();
+        assert_ne!(pos, neg);
+    }
+
+    #[test]
+    fn rate_list_order_is_significant() {
+        let ab = Fingerprint::new("d").float_list("rates", &[1e-7, 1e-6]).key();
+        let ba = Fingerprint::new("d").float_list("rates", &[1e-6, 1e-7]).key();
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn manifest_lists_fields_sorted() {
+        let m = Fingerprint::new("d").uint("b", 2).uint("a", 1).manifest();
+        assert_eq!(m, "domain = d\na = 1\nb = 2\n");
+    }
+
+    #[test]
+    fn model_digest_sees_geometry_not_just_weights() {
+        use ftclip_nn::{AvgPool2d, BatchNorm2d, Conv2d, MaxPool2d};
+        use rand::SeedableRng;
+
+        // conv stride/padding: weight init depends only on the rng stream,
+        // so these nets have bit-identical weights and differ in geometry only
+        let conv = |stride: usize, pad: usize| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            Sequential::new(vec![Layer::Conv2d(Conv2d::new(3, 4, 3, stride, pad, &mut rng))])
+        };
+        assert_ne!(model_digest(&conv(1, 1)), model_digest(&conv(2, 1)), "conv stride");
+        assert_ne!(model_digest(&conv(1, 1)), model_digest(&conv(1, 0)), "conv padding");
+
+        // pooling windows carry no parameters at all
+        let pool = |k: usize| Sequential::new(vec![Layer::MaxPool2d(MaxPool2d::new(k, 2))]);
+        assert_ne!(model_digest(&pool(2)), model_digest(&pool(3)), "max-pool kernel");
+        let avg = |s: usize| Sequential::new(vec![Layer::AvgPool2d(AvgPool2d::new(2, s))]);
+        assert_ne!(model_digest(&avg(1)), model_digest(&avg(2)), "avg-pool stride");
+        assert_ne!(
+            model_digest(&pool(2)),
+            model_digest(&Sequential::new(vec![Layer::AvgPool2d(AvgPool2d::new(2, 2))])),
+            "pool kind"
+        );
+
+        // batch-norm ε and running statistics are inference state outside
+        // visit_params
+        let bn = |eps: f32, mean: f32| {
+            use ftclip_tensor::Tensor;
+            let layer = BatchNorm2d::from_parts(
+                2,
+                eps,
+                0.1,
+                Tensor::ones(&[2]),
+                Tensor::zeros(&[2]),
+                Tensor::filled(&[2], mean),
+                Tensor::ones(&[2]),
+            );
+            model_digest(&Sequential::new(vec![Layer::BatchNorm2d(layer)]))
+        };
+        assert_ne!(bn(1e-5, 0.0), bn(1e-5, 0.5), "batch-norm running mean");
+        assert_ne!(bn(1e-5, 0.0), bn(1e-3, 0.0), "batch-norm eps");
+    }
+
+    #[test]
+    fn model_digest_sees_weights_and_thresholds() {
+        let net = Sequential::new(vec![Layer::linear(4, 2, 0), Layer::relu()]);
+        let base = model_digest(&net);
+        assert_eq!(base, model_digest(&net.clone()), "digest is deterministic");
+
+        // flip one weight bit
+        let mut tweaked = net.clone();
+        tweaked.visit_params_mut(&mut |_, _, t, _| {
+            let v = t.data()[0];
+            t.data_mut()[0] = f32::from_bits(v.to_bits() ^ 1);
+        });
+        assert_ne!(base, model_digest(&tweaked), "weight bits are part of the digest");
+
+        // clip the activation: weights identical, digest must still change
+        let mut clipped = net.clone();
+        clipped.convert_to_clipped(&[1.5]);
+        assert_ne!(base, model_digest(&clipped), "activation config is part of the digest");
+        let mut clipped2 = net.clone();
+        clipped2.convert_to_clipped(&[2.5]);
+        assert_ne!(
+            model_digest(&clipped),
+            model_digest(&clipped2),
+            "clipping thresholds are part of the digest"
+        );
+    }
+}

@@ -1,0 +1,385 @@
+//! The on-disk campaign result store.
+//!
+//! Layout under the cache root (default `results/cache/`):
+//!
+//! ```text
+//! results/cache/
+//!   <32-hex cell key>/          one directory per campaign scope
+//!     manifest.txt              the fingerprint fields, human-readable
+//!     cells.csv                 append-only: one line per completed cell
+//!     clean.txt                 IEEE-754 bits of the clean accuracy
+//! ```
+//!
+//! `cells.csv` is append-only and crash-tolerant: a session opened on an
+//! interrupted file ignores a truncated final line and any malformed line,
+//! and duplicate cells (two workers racing across processes) are harmless
+//! because cells are deterministic — the first parsed copy wins. Accuracies
+//! are stored as hex-encoded `f64` bits, never as decimal text, so a resumed
+//! campaign replays exactly the bits a fresh run would compute.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use ftclip_fault::{CampaignCache, RunRecord};
+
+use crate::Fingerprint;
+
+/// Name of the append-only per-cell file inside a session directory.
+pub const CELLS_FILE: &str = "cells.csv";
+/// Name of the clean-accuracy file inside a session directory.
+pub const CLEAN_FILE: &str = "clean.txt";
+/// Name of the human-readable fingerprint manifest.
+pub const MANIFEST_FILE: &str = "manifest.txt";
+
+const CELLS_HEADER: &str = "rate_index,repetition,fault_count,accuracy_bits";
+
+/// A root directory holding one session directory per campaign fingerprint.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    root: PathBuf,
+}
+
+impl ResultStore {
+    /// A store rooted at `root` (created lazily on first session).
+    pub fn new<P: Into<PathBuf>>(root: P) -> Self {
+        ResultStore { root: root.into() }
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Resolves the store from the `FTCLIP_CACHE` environment variable:
+    /// unset → `Some(store at default_root)`; `0`, `off`, `false` or the
+    /// empty string → `None` (caching disabled); anything else → that path.
+    pub fn from_env<P: Into<PathBuf>>(default_root: P) -> Option<ResultStore> {
+        resolve_cache_root(std::env::var("FTCLIP_CACHE").ok().as_deref(), default_root.into())
+            .map(ResultStore::new)
+    }
+
+    /// Opens (or creates) the session addressed by `fingerprint`, loading
+    /// every completed cell already on disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error.
+    pub fn session(&self, fingerprint: &Fingerprint) -> std::io::Result<StoreSession> {
+        StoreSession::open(self.root.join(fingerprint.key().to_hex()), fingerprint)
+    }
+}
+
+/// `FTCLIP_CACHE` interpretation, separated from the process environment so
+/// it is unit-testable.
+pub fn resolve_cache_root(env_value: Option<&str>, default_root: PathBuf) -> Option<PathBuf> {
+    match env_value {
+        None => Some(default_root),
+        Some(v) => {
+            let v = v.trim();
+            if v.is_empty()
+                || v.eq_ignore_ascii_case("0")
+                || v.eq_ignore_ascii_case("off")
+                || v.eq_ignore_ascii_case("false")
+            {
+                None
+            } else {
+                Some(PathBuf::from(v))
+            }
+        }
+    }
+}
+
+struct SessionState {
+    cells: HashMap<(usize, usize), RunRecord>,
+    writer: BufWriter<File>,
+    clean_bits: Option<u64>,
+    /// Set on the first failed write: the session stops persisting (memory
+    /// still serves the running campaign) instead of panicking mid-grid.
+    write_failed: bool,
+}
+
+/// One campaign's slice of the store: an open, append-only cell cache that
+/// plugs into the campaign executor as a [`CampaignCache`].
+///
+/// All methods take `&self`; internal state is mutex-guarded so the parallel
+/// executor's workers can record cells concurrently. The on-disk *order* of
+/// cells therefore depends on scheduling — but order carries no meaning:
+/// cells are keyed by `(rate_index, repetition)` and results are
+/// deterministic per key, which is what makes resume bit-identical.
+///
+/// Write failures (disk full, cache directory deleted mid-run) never panic:
+/// the session logs once, stops persisting, and keeps serving cells from
+/// memory — the campaign degrades to an uncached run instead of losing its
+/// in-flight results.
+pub struct StoreSession {
+    dir: PathBuf,
+    state: Mutex<SessionState>,
+}
+
+impl std::fmt::Debug for StoreSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreSession")
+            .field("dir", &self.dir)
+            .field("cached_cells", &self.cached_cells())
+            .finish()
+    }
+}
+
+impl StoreSession {
+    fn open(dir: PathBuf, fingerprint: &Fingerprint) -> std::io::Result<StoreSession> {
+        std::fs::create_dir_all(&dir)?;
+        let manifest = dir.join(MANIFEST_FILE);
+        if !manifest.exists() {
+            std::fs::write(&manifest, fingerprint.manifest())?;
+        }
+
+        let cells_path = dir.join(CELLS_FILE);
+        let mut cells = HashMap::new();
+        let existing =
+            if cells_path.exists() { std::fs::read_to_string(&cells_path)? } else { String::new() };
+        for line in existing.lines() {
+            if let Some(rec) = parse_cell_line(line) {
+                cells.entry((rec.rate_index, rec.repetition)).or_insert(rec);
+            }
+        }
+        let mut writer = BufWriter::new(OpenOptions::new().create(true).append(true).open(&cells_path)?);
+        if existing.is_empty() {
+            writeln!(writer, "{CELLS_HEADER}")?;
+            writer.flush()?;
+        } else if !existing.ends_with('\n') {
+            // an interrupted append left a truncated tail line: terminate it
+            // so the next record starts on its own line instead of merging
+            // into the garbage
+            writeln!(writer)?;
+            writer.flush()?;
+        }
+
+        let clean_bits = std::fs::read_to_string(dir.join(CLEAN_FILE))
+            .ok()
+            .and_then(|s| u64::from_str_radix(s.trim(), 16).ok());
+
+        Ok(StoreSession {
+            dir,
+            state: Mutex::new(SessionState { cells, writer, clean_bits, write_failed: false }),
+        })
+    }
+
+    /// The session directory (`<root>/<key hex>/`).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of cells currently cached (on disk + recorded this session).
+    pub fn cached_cells(&self) -> usize {
+        self.state.lock().expect("store lock").cells.len()
+    }
+}
+
+impl CampaignCache for StoreSession {
+    fn lookup(&self, rate_index: usize, repetition: usize) -> Option<RunRecord> {
+        self.state
+            .lock()
+            .expect("store lock")
+            .cells
+            .get(&(rate_index, repetition))
+            .copied()
+    }
+
+    fn record(&self, record: &RunRecord) {
+        let mut state = self.state.lock().expect("store lock");
+        if !state.write_failed {
+            let line = format!(
+                "{},{},{},{:016x}",
+                record.rate_index,
+                record.repetition,
+                record.fault_count,
+                record.accuracy.to_bits()
+            );
+            // flush per cell: cells are expensive (a full evaluation each),
+            // so a crash must lose at most the line being written
+            if let Err(e) = writeln!(state.writer, "{line}").and_then(|()| state.writer.flush()) {
+                // a cache failure degrades the run to uncached — it must
+                // never take down a campaign that is mid-grid
+                state.write_failed = true;
+                eprintln!(
+                    "[store] cell write to {} failed ({e}); continuing without persistence",
+                    self.dir.display()
+                );
+            }
+        }
+        // memory always keeps the cell so the running campaign still reuses it
+        state.cells.insert((record.rate_index, record.repetition), *record);
+    }
+
+    fn clean_accuracy(&self) -> Option<f64> {
+        self.state.lock().expect("store lock").clean_bits.map(f64::from_bits)
+    }
+
+    fn record_clean(&self, accuracy: f64) {
+        let mut state = self.state.lock().expect("store lock");
+        if !state.write_failed {
+            if let Err(e) =
+                std::fs::write(self.dir.join(CLEAN_FILE), format!("{:016x}\n", accuracy.to_bits()))
+            {
+                state.write_failed = true;
+                eprintln!(
+                    "[store] clean-accuracy write to {} failed ({e}); continuing without persistence",
+                    self.dir.display()
+                );
+            }
+        }
+        state.clean_bits = Some(accuracy.to_bits());
+    }
+}
+
+/// Parses one `cells.csv` line; `None` for the header, malformed lines and
+/// truncated (interrupted-write) tails.
+fn parse_cell_line(line: &str) -> Option<RunRecord> {
+    let mut parts = line.split(',');
+    let rate_index = parts.next()?.parse().ok()?;
+    let repetition = parts.next()?.parse().ok()?;
+    let fault_count = parts.next()?.parse().ok()?;
+    let bits_field = parts.next()?;
+    if parts.next().is_some() || bits_field.len() != 16 {
+        return None;
+    }
+    let accuracy = f64::from_bits(u64::from_str_radix(bits_field, 16).ok()?);
+    Some(RunRecord { rate_index, repetition, fault_count, accuracy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ftclip-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fp(seed: u64) -> Fingerprint {
+        Fingerprint::new("test").uint("seed", seed)
+    }
+
+    fn rec(i: usize, r: usize, acc: f64) -> RunRecord {
+        RunRecord {
+            rate_index: i,
+            repetition: r,
+            fault_count: i + r,
+            accuracy: acc,
+        }
+    }
+
+    #[test]
+    fn cells_persist_across_sessions() {
+        let root = tmp_root("persist");
+        let store = ResultStore::new(&root);
+        {
+            let s = store.session(&fp(1)).unwrap();
+            assert_eq!(s.cached_cells(), 0);
+            s.record(&rec(0, 0, 0.5));
+            s.record(&rec(1, 2, 0.25));
+            s.record_clean(0.75);
+        }
+        let s = store.session(&fp(1)).unwrap();
+        assert_eq!(s.cached_cells(), 2);
+        assert_eq!(s.lookup(0, 0), Some(rec(0, 0, 0.5)));
+        assert_eq!(s.lookup(1, 2), Some(rec(1, 2, 0.25)));
+        assert_eq!(s.lookup(9, 9), None);
+        assert_eq!(s.clean_accuracy().map(f64::to_bits), Some(0.75f64.to_bits()));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn different_fingerprints_do_not_share_cells() {
+        let root = tmp_root("distinct");
+        let store = ResultStore::new(&root);
+        store.session(&fp(1)).unwrap().record(&rec(0, 0, 0.5));
+        assert_eq!(store.session(&fp(2)).unwrap().lookup(0, 0), None);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn accuracy_bits_roundtrip_exactly() {
+        let root = tmp_root("bits");
+        let store = ResultStore::new(&root);
+        // values with no short decimal representation must survive bitwise
+        let tricky = [0.1 + 0.2, 1.0 / 3.0, f64::MIN_POSITIVE, 0.728_515_625];
+        {
+            let s = store.session(&fp(3)).unwrap();
+            for (i, &acc) in tricky.iter().enumerate() {
+                s.record(&rec(i, 0, acc));
+            }
+        }
+        let s = store.session(&fp(3)).unwrap();
+        for (i, &acc) in tricky.iter().enumerate() {
+            assert_eq!(s.lookup(i, 0).unwrap().accuracy.to_bits(), acc.to_bits());
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn truncated_and_malformed_lines_are_ignored() {
+        let root = tmp_root("truncated");
+        let store = ResultStore::new(&root);
+        let dir = {
+            let s = store.session(&fp(4)).unwrap();
+            s.record(&rec(0, 0, 0.5));
+            s.record(&rec(0, 1, 0.6));
+            s.dir().to_path_buf()
+        };
+        // simulate an interrupt mid-append plus stray garbage
+        let path = dir.join(CELLS_FILE);
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        content.push_str("not,a,cell\n0,2,7,3fe0");
+        std::fs::write(&path, content).unwrap();
+
+        let s = store.session(&fp(4)).unwrap();
+        assert_eq!(s.cached_cells(), 2);
+        assert_eq!(s.lookup(0, 2), None, "truncated tail line must not resurrect a cell");
+        // the reopened session still appends cleanly
+        s.record(&rec(0, 2, 0.7));
+        drop(s);
+        assert_eq!(store.session(&fp(4)).unwrap().cached_cells(), 3);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn write_failure_degrades_instead_of_panicking() {
+        let root = tmp_root("degrade");
+        let store = ResultStore::new(&root);
+        let s = store.session(&fp(6)).unwrap();
+        // yank the cache out from under the open session: clean.txt writes
+        // (fresh fs::write) must fail, yet nothing may panic
+        std::fs::remove_dir_all(&root).unwrap();
+        s.record_clean(0.5);
+        s.record(&rec(0, 0, 0.25));
+        // memory still serves the running campaign
+        assert_eq!(s.clean_accuracy().map(f64::to_bits), Some(0.5f64.to_bits()));
+        assert_eq!(s.lookup(0, 0), Some(rec(0, 0, 0.25)));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn env_toggle_resolution() {
+        let default = PathBuf::from("results/cache");
+        assert_eq!(resolve_cache_root(None, default.clone()), Some(default.clone()));
+        for off in ["0", "off", "OFF", "false", "", "  "] {
+            assert_eq!(resolve_cache_root(Some(off), default.clone()), None, "{off:?}");
+        }
+        assert_eq!(resolve_cache_root(Some("/tmp/x"), default), Some(PathBuf::from("/tmp/x")));
+    }
+
+    #[test]
+    fn manifest_is_written_once() {
+        let root = tmp_root("manifest");
+        let store = ResultStore::new(&root);
+        let dir = store.session(&fp(5)).unwrap().dir().to_path_buf();
+        let manifest = std::fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+        assert!(manifest.contains("seed = 5"));
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

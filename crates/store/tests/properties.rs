@@ -1,0 +1,70 @@
+//! Property tests for the cell fingerprint: field-order independence,
+//! injectivity over the result-determining inputs, and round-tripping of
+//! the on-disk key encoding.
+
+use ftclip_store::{CellKey, Fingerprint};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // The key is stable under any permutation of field insertion order.
+    #[test]
+    fn key_is_stable_across_field_ordering(
+        rate in 0.0f64..1.0,
+        seed in any::<u64>(),
+        model_hash in any::<u64>(),
+        rotation in 0usize..6,
+    ) {
+        let fields: Vec<(&str, f64, u64)> = vec![
+            ("rate", rate, 0),
+            ("seed", 0.0, seed),
+            ("model", 0.0, model_hash),
+        ];
+        let build = |order: &[usize]| {
+            let mut fp = Fingerprint::new("prop");
+            for &idx in order {
+                let (name, f, u) = fields[idx];
+                fp = if name == "rate" { fp.float(name, f) } else { fp.uint(name, u) };
+            }
+            fp.key()
+        };
+        let orders = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let reference = build(&orders[0]);
+        prop_assert_eq!(build(&orders[rotation % orders.len()]), reference);
+    }
+
+    // Distinct `(rate, seed, model-hash)` inputs address distinct cells.
+    #[test]
+    fn distinct_inputs_give_distinct_keys(
+        rate_a in 0.0f64..1.0,
+        rate_b in 0.0f64..1.0,
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+        model_a in any::<u64>(),
+        model_b in any::<u64>(),
+    ) {
+        prop_assume!((rate_a, seed_a, model_a) != (rate_b, seed_b, model_b));
+        let key = |rate: f64, seed: u64, model: u64| {
+            Fingerprint::new("prop").float("rate", rate).uint("seed", seed).uint("model", model).key()
+        };
+        prop_assert_ne!(key(rate_a, seed_a, model_a), key(rate_b, seed_b, model_b));
+    }
+
+    // Every key survives the on-disk hex encoding bit-exactly.
+    #[test]
+    fn key_roundtrips_through_hex(lo in any::<u64>(), hi in any::<u64>()) {
+        let key = CellKey((u128::from(hi) << 64) | u128::from(lo));
+        let hex = key.to_hex();
+        prop_assert_eq!(hex.len(), 32);
+        prop_assert!(hex.bytes().all(|b| b.is_ascii_hexdigit()));
+        prop_assert_eq!(CellKey::from_hex(&hex), Some(key));
+    }
+
+    // Fingerprint-derived keys (not just raw u128s) round-trip too.
+    #[test]
+    fn fingerprint_keys_roundtrip_through_hex(seed in any::<u64>(), rate in 0.0f64..1.0) {
+        let key = Fingerprint::new("prop").uint("seed", seed).float("rate", rate).key();
+        prop_assert_eq!(CellKey::from_hex(&key.to_hex()), Some(key));
+    }
+}

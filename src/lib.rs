@@ -7,6 +7,7 @@
 //! * [`data`] — CIFAR-10 loader and the synthetic CIFAR-class generator.
 //! * [`fault`] — bit-exact weight-memory fault injection and campaigns.
 //! * [`models`] — AlexNet / VGG-16 / LeNet-5 CIFAR model zoo.
+//! * [`store`] — persistent, resumable campaign result cache.
 //! * [`core`] — the FT-ClipAct methodology: profiling, AUC, threshold tuning.
 //!
 //! ## Quickstart
@@ -31,6 +32,7 @@ pub use ftclip_data as data;
 pub use ftclip_fault as fault;
 pub use ftclip_models as models;
 pub use ftclip_nn as nn;
+pub use ftclip_store as store;
 pub use ftclip_tensor as tensor;
 
 /// Commonly used items, for glob import in examples and tests.
@@ -41,5 +43,6 @@ pub mod prelude {
     pub use ftclip_data::{Dataset, SynthCifar};
     pub use ftclip_fault::{Campaign, CampaignConfig, FaultModel, InjectionTarget, Summary};
     pub use ftclip_nn::{Activation, Layer, Sequential, Trainer};
+    pub use ftclip_store::{campaign_fingerprint, Fingerprint, ResultStore};
     pub use ftclip_tensor::Tensor;
 }

@@ -1,0 +1,84 @@
+//! Golden-snapshot tests for the typed writer API: the fig1b and fig7 table
+//! formats are pinned against committed fixtures in `tests/golden/`, so any
+//! change to column sets, value formatting or CSV/JSON rendering fails
+//! loudly instead of silently shifting every published figure.
+//!
+//! The inputs are hand-built [`CampaignResult`]s (no training, no fault
+//! injection), so the snapshots test the *serialization*, not the models.
+//! To regenerate after an intentional format change:
+//!
+//! ```sh
+//! FTCLIP_BLESS=1 cargo test --test golden
+//! ```
+
+use ftclip_bench::{campaign_summary_table, resilience_box_table, resilience_mean_table};
+use ftclip_core::Comparison;
+use ftclip_fault::{CampaignResult, RunRecord};
+
+/// A deterministic synthetic campaign: accuracy decays with the rate index
+/// and wiggles per repetition, exercising several float shapes (exact
+/// halves, thirds-like repeating fractions) in the output.
+fn synthetic_result(clean: f64, decay: f64) -> CampaignResult {
+    let fault_rates = vec![1e-7, 1e-6, 1e-5];
+    let mut accuracies = Vec::new();
+    let mut runs = Vec::new();
+    for (i, _) in fault_rates.iter().enumerate() {
+        let mut per_rate = Vec::new();
+        for rep in 0..4 {
+            let accuracy = (clean - decay * i as f64 * (1.0 + rep as f64 / 3.0)).max(0.0);
+            per_rate.push(accuracy);
+            runs.push(RunRecord {
+                rate_index: i,
+                repetition: rep,
+                fault_count: i * 10 + rep,
+                accuracy,
+            });
+        }
+        accuracies.push(per_rate);
+    }
+    CampaignResult { fault_rates, accuracies, runs, clean_accuracy: clean }
+}
+
+fn check(name: &str, rendered: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name);
+    if std::env::var_os("FTCLIP_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create golden dir");
+        std::fs::write(&path, rendered).expect("bless golden fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden fixture {} ({e}); run with FTCLIP_BLESS=1", path.display())
+    });
+    assert_eq!(
+        rendered, expected,
+        "{name} diverged from the committed fixture; if the change is intentional, \
+         regenerate with FTCLIP_BLESS=1 cargo test --test golden"
+    );
+}
+
+#[test]
+fn fig1b_csv_and_json_match_golden() {
+    let table = campaign_summary_table(
+        "fig1b_unprotected_alexnet",
+        &synthetic_result(0.75, 0.1),
+        &[1e-8, 1e-7, 1e-6],
+    );
+    check("fig1b.csv", &table.to_csv());
+    check("fig1b.json", &table.to_json());
+}
+
+#[test]
+fn fig7_mean_csv_matches_golden() {
+    let protected = synthetic_result(0.75, 0.02);
+    let unprotected = synthetic_result(0.75, 0.15);
+    let comparison = Comparison::new(&protected, &unprotected);
+    let table = resilience_mean_table("fig7_alexnet_a_mean", &comparison, &[1e-8, 1e-7, 1e-6]);
+    check("fig7_a_mean.csv", &table.to_csv());
+}
+
+#[test]
+fn fig7_box_csv_matches_golden() {
+    let table =
+        resilience_box_table("fig7_alexnet_b_box", &synthetic_result(0.75, 0.02), &[1e-8, 1e-7, 1e-6]);
+    check("fig7_b_box.csv", &table.to_csv());
+}

@@ -1,11 +1,18 @@
-//! Micro-benchmark: the matmul kernels that dominate inference cost.
+//! Micro-benchmark: the matmul kernels that dominate inference cost —
+//! square shapes plus the rectangular im2col products the conv layers
+//! actually issue.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ftclip_tensor::{matmul, matmul_nt, matmul_tn, Tensor};
+use ftclip_tensor::{matmul, matmul_nt, matmul_tn, with_thread_limit, Tensor};
 use std::hint::black_box;
 
+fn filled(dims: &[usize], seed: f32) -> Tensor {
+    let vol: usize = dims.iter().product();
+    Tensor::from_vec((0..vol).map(|i| ((i as f32 + seed) * 0.37).sin()).collect(), dims).unwrap()
+}
+
 fn square(n: usize, seed: f32) -> Tensor {
-    Tensor::from_vec((0..n * n).map(|i| ((i as f32 + seed) * 0.37).sin()).collect(), &[n, n]).unwrap()
+    filled(&[n, n], seed)
 }
 
 fn bench_matmul(c: &mut Criterion) {
@@ -27,5 +34,22 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul);
+/// The wide-and-short im2col products behind the conv layers: `W · cols`
+/// where `W` is `[oc, c·k·k]` and `cols` is `[c·k·k, batch·oh·ow]`. The
+/// `[96, 363] × [363, 4096]` shape is the blocked-kernel acceptance target;
+/// single-threaded so the kernel, not the fan-out, is measured.
+fn bench_conv_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_conv_shape");
+    group.sample_size(10);
+    for &(m, k, n) in &[(96usize, 363usize, 4096usize), (12, 75, 4096)] {
+        let a = filled(&[m, k], 0.0);
+        let b = filled(&[k, n], 1.0);
+        group.bench_with_input(BenchmarkId::new("nn_1thread", format!("{m}x{k}x{n}")), &n, |bench, _| {
+            bench.iter(|| with_thread_limit(1, || black_box(matmul(black_box(&a), black_box(&b)))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_conv_shapes);
 criterion_main!(benches);

@@ -8,12 +8,20 @@
 //! workers and the wall-clock ratios are printed. Worker counts beyond the
 //! machine's core count cannot speed anything up, so interpret the ratios
 //! against the reported `available_parallelism`.
+//!
+//! `timing_probe eval [--out FILE]` measures the batch-parallel inference
+//! hot path itself — the blocked matmul kernel on the conv-shaped
+//! `[96, 363] × [363, 4096]` product against a naive triple-loop baseline
+//! (single-threaded), and end-to-end `EvalSet::accuracy` throughput at 1, 2
+//! and 4 batch-shard workers — and writes a machine-readable JSON summary
+//! (default `BENCH_3.json`) that CI publishes as the bench-smoke artifact.
 
 use std::time::Instant;
 
 use ftclip_core::EvalSet;
 use ftclip_data::Dataset;
 use ftclip_fault::{Campaign, CampaignConfig};
+use ftclip_tensor::{with_thread_limit, Tensor};
 
 fn probe_inference() {
     let net = ftclip_models::alexnet_cifar(0.125, 10, 1);
@@ -91,8 +99,134 @@ fn probe_campaign_speedup() {
     );
 }
 
+/// Median-of-`reps` wall-clock seconds for one call of `f`.
+fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The naive `i-k-j` triple loop the blocked kernel must beat — kept here so
+/// the probe always compares against the true pre-blocking baseline rather
+/// than whatever the library currently ships.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape().as_matrix();
+    let (_, n) = b.shape().as_matrix();
+    let mut c = Tensor::zeros(&[m, n]);
+    let a_data = a.data();
+    let b_data = b.data();
+    let c_data = c.data_mut();
+    for i in 0..m {
+        let a_row = &a_data[i * k..(i + 1) * k];
+        let c_row = &mut c_data[i * n..(i + 1) * n];
+        for (kk, &a_ik) in a_row.iter().enumerate() {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = &b_data[kk * n..(kk + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_ik * b_v;
+            }
+        }
+    }
+    c
+}
+
+fn probe_eval(out_path: &str) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // --- blocked vs naive matmul, conv shape, single-threaded ---
+    let (m, k, n) = (96usize, 363usize, 4096usize);
+    let a = Tensor::from_vec((0..m * k).map(|i| (i as f32 * 0.37).sin()).collect(), &[m, k]).unwrap();
+    let b = Tensor::from_vec((0..k * n).map(|i| (i as f32 * 0.19).cos()).collect(), &[k, n]).unwrap();
+    with_thread_limit(1, || {
+        let _ = ftclip_tensor::matmul(&a, &b); // warm
+    });
+    let blocked_s = with_thread_limit(1, || time_median(5, || ftclip_tensor::matmul(&a, &b)));
+    let naive_s = time_median(3, || naive_matmul(&a, &b));
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    println!("matmul [{m},{k}]x[{k},{n}] single-threaded:");
+    println!("  blocked: {:.2} ms  ({:.2} GFLOP/s)", blocked_s * 1e3, flops / blocked_s / 1e9);
+    println!(
+        "  naive:   {:.2} ms  ({:.2} GFLOP/s)  → blocked speedup ×{:.2}",
+        naive_s * 1e3,
+        flops / naive_s / 1e9,
+        naive_s / blocked_s
+    );
+
+    // --- end-to-end EvalSet::accuracy throughput at 1/2/4 shard workers ---
+    let net = ftclip_models::alexnet_cifar(0.125, 10, 1);
+    let data = ftclip_data::SynthCifar::builder()
+        .seed(1)
+        .train_size(8)
+        .val_size(8)
+        .test_size(256)
+        .build();
+    let eval = EvalSet::from_dataset(data.test(), 64);
+    let images = eval.len();
+    let _ = eval.accuracy_with_threads(&net, 1); // warm
+    println!("\nEvalSet::accuracy, alexnet w=0.125, {images} images, batch 64:");
+    let mut rows = Vec::new();
+    let mut t1 = f64::NAN;
+    for threads in [1usize, 2, 4] {
+        let secs = time_median(3, || eval.accuracy_with_threads(&net, threads));
+        if threads == 1 {
+            t1 = secs;
+        }
+        let throughput = images as f64 / secs;
+        println!(
+            "  {threads} shard worker(s): {:6.1} ms  ({:7.1} img/s, speedup ×{:.2})",
+            secs * 1e3,
+            throughput,
+            t1 / secs
+        );
+        rows.push((threads, secs, throughput));
+    }
+    let speedup_4v1 = t1 / rows.last().map(|r| r.1).unwrap_or(t1);
+    println!("  (machine reports {cores} available core(s); ≥2× @4 requires ≥4 cores)");
+
+    // --- machine-readable summary ---
+    let eval_json: Vec<String> = rows
+        .iter()
+        .map(|(threads, secs, tput)| {
+            format!("    {{\"threads\": {threads}, \"seconds\": {secs:.6}, \"images_per_sec\": {tput:.1}}}")
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"probe\": \"timing_probe eval\",\n  \"available_parallelism\": {cores},\n  \
+         \"matmul_{m}x{k}x{n}_1thread\": {{\n    \"blocked_ms\": {:.3},\n    \"naive_ms\": {:.3},\n    \
+         \"gflops_blocked\": {:.3},\n    \"speedup_blocked_vs_naive\": {:.3}\n  }},\n  \
+         \"evalset_accuracy\": {{\n    \"model\": \"alexnet_cifar(0.125)\",\n    \"images\": {images},\n    \
+         \"batch_size\": 64,\n    \"shards\": [\n{}\n    ],\n    \"speedup_4v1\": {:.3}\n  }}\n}}\n",
+        blocked_s * 1e3,
+        naive_s * 1e3,
+        flops / blocked_s / 1e9,
+        naive_s / blocked_s,
+        eval_json.join(",\n"),
+        speedup_4v1,
+    );
+    std::fs::write(out_path, &json).expect("write timing summary");
+    println!("\nwrote {out_path}");
+}
+
 fn main() {
-    let campaign_only = std::env::args().any(|a| a == "campaign");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "eval") {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|p| args.get(p + 1))
+            .map_or("BENCH_3.json", String::as_str);
+        probe_eval(out);
+        return;
+    }
+    let campaign_only = args.iter().any(|a| a == "campaign");
     if !campaign_only {
         probe_inference();
     }

@@ -1,7 +1,9 @@
 //! Fixed evaluation sets for campaigns and tuning.
 
+use std::sync::Arc;
+
 use ftclip_data::Dataset;
-use ftclip_nn::{evaluate, Sequential};
+use ftclip_nn::{evaluate, evaluate_with_threads, Sequential};
 use ftclip_tensor::Tensor;
 
 /// A fixed set of images + labels used to score a network's accuracy.
@@ -24,13 +26,19 @@ use ftclip_tensor::Tensor;
 /// ```
 #[derive(Debug, Clone)]
 pub struct EvalSet {
-    images: Tensor,
-    labels: Vec<usize>,
+    /// Shared, not owned: cloning an `EvalSet` (e.g. handing one to every
+    /// campaign worker) bumps a refcount instead of copying the full image
+    /// tensor, so evaluation memory no longer scales with the thread count.
+    images: Arc<Tensor>,
+    labels: Arc<[usize]>,
     batch_size: usize,
 }
 
 impl EvalSet {
     /// Uses all of `dataset` with the given evaluation batch size.
+    ///
+    /// The image tensor is copied out of `dataset` exactly once, into shared
+    /// storage; all clones of the returned set alias it.
     ///
     /// # Panics
     ///
@@ -38,8 +46,8 @@ impl EvalSet {
     pub fn from_dataset(dataset: &Dataset, batch_size: usize) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
         EvalSet {
-            images: dataset.images().clone(),
-            labels: dataset.labels().to_vec(),
+            images: Arc::new(dataset.images().clone()),
+            labels: dataset.labels().into(),
             batch_size,
         }
     }
@@ -76,8 +84,21 @@ impl EvalSet {
     }
 
     /// Classification accuracy of `net` on this set.
+    ///
+    /// The evaluation batches are sharded across
+    /// [`ftclip_tensor::num_threads`] workers (see
+    /// [`ftclip_nn::evaluate_with_threads`]); the result is bit-identical at
+    /// any thread count.
     pub fn accuracy(&self, net: &Sequential) -> f64 {
         evaluate(net, &self.images, &self.labels, self.batch_size)
+    }
+
+    /// [`EvalSet::accuracy`] with an explicit batch-shard worker budget —
+    /// the entry point for tests and probes that compare thread counts
+    /// within one process (the `FTCLIP_THREADS` variable is read once and
+    /// cached).
+    pub fn accuracy_with_threads(&self, net: &Sequential, threads: usize) -> f64 {
+        evaluate_with_threads(net, &self.images, &self.labels, self.batch_size, threads)
     }
 }
 

@@ -326,8 +326,15 @@ impl Campaign {
     ///
     /// Workers pull cells from a shared queue (dynamic scheduling: the
     /// expensive high-rate cells spread across workers) and run their
-    /// evaluations under [`ftclip_tensor::with_thread_limit`]`(1, …)` so the
-    /// matmul kernels underneath do not multiply the thread count.
+    /// evaluations under [`ftclip_tensor::with_thread_limit`] with their
+    /// share of the thread budget. When the grid has at least `threads`
+    /// cells that share is 1 — campaign-level fan-out alone saturates the
+    /// machine and the kernels underneath must not multiply the thread
+    /// count. When the grid is *smaller* than the budget (cells < threads)
+    /// each worker receives `threads / workers` threads, which the
+    /// batch-sharded evaluation inside `EvalSet::accuracy` turns into
+    /// batch-level parallelism — the adaptive composition that keeps small
+    /// grids from leaving cores idle.
     ///
     /// # Panics
     ///
@@ -362,26 +369,35 @@ impl Campaign {
         let workers = threads.min(total);
 
         if workers <= 1 {
+            // honor the explicit budget even without campaign fan-out: the
+            // batch-sharded evaluation underneath must not exceed `threads`
+            // (an uncapped threads=1 baseline would silently parallelize)
             let mut net = net.clone();
-            return self.run_cached(&mut net, cache, eval);
+            return ftclip_tensor::with_thread_limit(threads, || self.run_cached(&mut net, cache, eval));
         }
 
         let clean_accuracy = cache.clean_accuracy().unwrap_or_else(|| {
-            let clean = eval(net);
+            let clean = ftclip_tensor::with_thread_limit(threads, || eval(net));
             cache.record_clean(clean);
             clean
         });
+        // leftover parallelism per worker when cells < threads; 1 otherwise
+        // (the first `threads % workers` workers absorb the remainder so the
+        // whole budget is used)
+        let inner = threads / workers;
+        let spare = threads % workers;
         let next_cell = AtomicUsize::new(0);
         let mut runs: Vec<RunRecord> = Vec::with_capacity(total);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
-            for _ in 0..workers {
+            for w in 0..workers {
                 let next_cell = &next_cell;
                 let eval = &eval;
+                let budget = (inner + usize::from(w < spare)).max(1);
                 handles.push(scope.spawn(move || {
                     // one network clone per worker serves all its cells;
-                    // inner kernels run single-threaded (see method docs)
-                    ftclip_tensor::with_thread_limit(1, || {
+                    // inner kernels share the leftover budget (method docs)
+                    ftclip_tensor::with_thread_limit(budget, || {
                         let mut local = net.clone();
                         let mut local_eval = |n: &Sequential| eval(n);
                         let mut out = Vec::new();

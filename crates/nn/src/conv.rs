@@ -1,7 +1,11 @@
 //! 2-D convolution layer (im2col + matmul lowering).
 
-use ftclip_tensor::{col2im, im2col_batch, matmul, matmul_nt, matmul_tn, Conv2dGeometry, Tensor};
+use ftclip_tensor::{
+    col2im, im2col_batch, im2col_batch_into, matmul_into, matmul_nt, matmul_tn, Conv2dGeometry, Tensor,
+};
 use rand::Rng;
+
+use crate::Scratch;
 
 /// A 2-D convolution over NCHW feature maps.
 ///
@@ -139,13 +143,17 @@ impl Conv2d {
     /// Computes the batched product `W · col_all` and scatters it into NCHW
     /// layout with bias applied.
     fn forward_from_cols(&self, cols: &Tensor, n: usize, oh: usize, ow: usize) -> Tensor {
-        let l = oh * ow;
-        // out_mat: [oc, n·L]
-        let out_mat = matmul(&self.weight, cols);
+        let mut out_mat = Tensor::zeros(&[self.out_channels, n * oh * ow]);
+        matmul_into(&self.weight, cols, &mut out_mat);
         let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
+        self.scatter_with_bias(out_mat.data(), n, oh * ow, out.data_mut());
+        out
+    }
+
+    /// Scatters the `[oc, n·L]` product matrix into n-major NCHW layout,
+    /// adding the per-channel bias. Writes every element of `dst`.
+    fn scatter_with_bias(&self, src: &[f32], n: usize, l: usize, dst: &mut [f32]) {
         let total_cols = n * l;
-        let src = out_mat.data();
-        let dst = out.data_mut();
         for i in 0..n {
             for oc in 0..self.out_channels {
                 let b = self.bias.data()[oc];
@@ -156,7 +164,6 @@ impl Conv2d {
                 }
             }
         }
-        out
     }
 
     /// Inference forward pass (batched im2col + one matrix product).
@@ -166,11 +173,44 @@ impl Conv2d {
     /// Panics if `x` is not rank 4 or its channel count differs from
     /// `in_channels`.
     pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.forward_scratch(x, &mut Scratch::new())
+    }
+
+    /// [`Conv2d::forward`] drawing the im2col column matrix, the product
+    /// matrix and the output from a reusable [`Scratch`] arena — the
+    /// allocation-free kernel of the batched evaluation loop. Bit-identical
+    /// to the allocating path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 4 or its channel count differs from
+    /// `in_channels`.
+    pub fn forward_scratch(&self, x: &Tensor, scratch: &mut Scratch) -> Tensor {
         let (n, c, h, w) = x.shape().as_nchw();
         assert_eq!(c, self.in_channels, "conv input channel mismatch");
         let (oh, ow) = self.geom.output_size(h, w);
-        let cols = im2col_batch(x, self.geom);
-        self.forward_from_cols(&cols, n, oh, ow)
+        let k = self.geom.kernel;
+        let rows = self.in_channels * k * k;
+        let l = oh * ow;
+        let total_cols = n * l;
+
+        // cols and out_mat live only within this call; their storage cycles
+        // back into the arena for the next layer or batch
+        let mut cols_buf = scratch.zeroed(rows * total_cols);
+        im2col_batch_into(x, self.geom, &mut cols_buf);
+        let cols = Tensor::from_vec(cols_buf, &[rows, total_cols]).expect("im2col volume matches");
+        let mut out_mat = Tensor::from_vec(
+            scratch.zeroed(self.out_channels * total_cols),
+            &[self.out_channels, total_cols],
+        )
+        .expect("product volume matches");
+        matmul_into(&self.weight, &cols, &mut out_mat);
+        scratch.recycle(cols.into_vec());
+
+        let mut out_buf = scratch.buffer(n * self.out_channels * l);
+        self.scatter_with_bias(out_mat.data(), n, l, &mut out_buf);
+        scratch.recycle(out_mat.into_vec());
+        Tensor::from_vec(out_buf, &[n, self.out_channels, oh, ow]).expect("output volume matches")
     }
 
     /// Training forward pass: same as [`Conv2d::forward`] but caches the

@@ -3,7 +3,7 @@
 use ftclip_tensor::Tensor;
 use rand::Rng;
 
-use crate::{Activation, AvgPool2d, BatchNorm2d, Conv2d, Dropout, Linear, MaxPool2d, ParamKind};
+use crate::{Activation, AvgPool2d, BatchNorm2d, Conv2d, Dropout, Linear, MaxPool2d, ParamKind, Scratch};
 
 /// An [`Activation`] function together with its training-time cache.
 ///
@@ -175,6 +175,38 @@ impl Layer {
             Layer::Flatten { .. } => flatten_forward(x),
             Layer::Dropout(d) => d.forward(x),
             Layer::BatchNorm2d(b) => b.forward(x),
+        }
+    }
+
+    /// [`Layer::forward`] drawing output (and, for convolutions, im2col)
+    /// storage from a reusable [`Scratch`] arena. Layers whose forward pass
+    /// is not allocation-dominated simply delegate to [`Layer::forward`].
+    /// Bit-identical to the allocating path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input shape mismatches (see the individual layer docs).
+    pub fn forward_scratch(&self, x: &Tensor, scratch: &mut Scratch) -> Tensor {
+        match self {
+            Layer::Conv2d(c) => c.forward_scratch(x, scratch),
+            Layer::Linear(l) => l.forward_scratch(x, scratch),
+            Layer::Activation(a) => {
+                let mut buf = scratch.buffer(x.len());
+                for (o, &v) in buf.iter_mut().zip(x.data()) {
+                    *o = a.func.apply_scalar(v);
+                }
+                Tensor::from_vec(buf, x.shape().dims()).expect("activation preserves shape")
+            }
+            Layer::Flatten { .. } => {
+                // reshape clones the full activation; copy into recycled
+                // storage instead (same bits, no allocation)
+                let n = x.shape()[0];
+                let rest: usize = x.shape().dims()[1..].iter().product();
+                let mut buf = scratch.buffer(x.len());
+                buf.copy_from_slice(x.data());
+                Tensor::from_vec(buf, &[n, rest]).expect("flatten preserves volume")
+            }
+            other => other.forward(x),
         }
     }
 

@@ -53,6 +53,7 @@ pub mod opt;
 mod param;
 mod pool;
 pub mod sched;
+mod scratch;
 mod sequential;
 mod serialize;
 mod train;
@@ -66,6 +67,7 @@ pub use layer::{ActivationLayer, Layer, LayerKind};
 pub use linear::Linear;
 pub use param::{ParamKind, ParamRef};
 pub use pool::{AvgPool2d, MaxPool2d};
+pub use scratch::Scratch;
 pub use sequential::{LayerRecord, Sequential};
 pub use serialize::{load_network, read_network, save_network, write_network, FORMAT_VERSION};
-pub use train::{evaluate, EpochStats, OptimizerKind, Trainer, TrainerBuilder};
+pub use train::{evaluate, evaluate_with_threads, EpochStats, OptimizerKind, Trainer, TrainerBuilder};

@@ -1,7 +1,9 @@
 //! Fully-connected (dense) layer.
 
-use ftclip_tensor::{matmul, matmul_nt, matmul_tn, Tensor};
+use ftclip_tensor::{matmul, matmul_nt, matmul_nt_into, matmul_tn, Tensor};
 use rand::Rng;
+
+use crate::Scratch;
 
 /// A fully-connected layer computing `y = x · Wᵀ + b`.
 ///
@@ -107,13 +109,35 @@ impl Linear {
         let (n, f) = x.shape().as_matrix();
         assert_eq!(f, self.in_features, "linear input feature mismatch");
         let mut y = matmul_nt(x, &self.weight);
-        let data = y.data_mut();
+        self.add_bias(n, y.data_mut());
+        y
+    }
+
+    /// [`Linear::forward`] writing the output into recycled [`Scratch`]
+    /// storage instead of a fresh allocation. Bit-identical to the
+    /// allocating path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 2 or its trailing dimension differs from
+    /// `in_features`.
+    pub fn forward_scratch(&self, x: &Tensor, scratch: &mut Scratch) -> Tensor {
+        let (n, f) = x.shape().as_matrix();
+        assert_eq!(f, self.in_features, "linear input feature mismatch");
+        // matmul_nt_into overwrites every element, so unzeroed storage is fine
+        let mut y = Tensor::from_vec(scratch.buffer(n * self.out_features), &[n, self.out_features])
+            .expect("output volume matches");
+        matmul_nt_into(x, &self.weight, &mut y);
+        self.add_bias(n, y.data_mut());
+        y
+    }
+
+    fn add_bias(&self, n: usize, data: &mut [f32]) {
         for r in 0..n {
             for (c, &b) in self.bias.data().iter().enumerate() {
                 data[r * self.out_features + c] += b;
             }
         }
-        y
     }
 
     /// Training forward pass; caches the input for [`Linear::backward`].

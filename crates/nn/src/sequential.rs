@@ -3,7 +3,7 @@
 use ftclip_tensor::Tensor;
 use rand::Rng;
 
-use crate::{Activation, Layer, LayerKind, NnError, ParamKind, ParamRef};
+use crate::{Activation, Layer, LayerKind, NnError, ParamKind, ParamRef, Scratch};
 
 /// A feed-forward stack of [`Layer`]s.
 ///
@@ -94,9 +94,30 @@ impl Sequential {
     ///
     /// Panics on input shape mismatches.
     pub fn forward(&self, x: &Tensor) -> Tensor {
-        let mut cur = x.clone();
-        for layer in &self.layers {
-            cur = layer.forward(&cur);
+        self.forward_scratch(x, &mut Scratch::new())
+    }
+
+    /// [`Sequential::forward`] drawing the intermediate activations and
+    /// im2col matrices from a reusable [`Scratch`] arena: each layer's input
+    /// buffer is recycled the moment the next layer has produced its output,
+    /// so a steady-state evaluation loop that reuses one arena across
+    /// batches allocates almost nothing (see the [`Scratch`] module docs for
+    /// the exact coverage). Bit-identical to [`Sequential::forward`] — the
+    /// arena changes where buffers live, never what they hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input shape mismatches.
+    pub fn forward_scratch(&self, x: &Tensor, scratch: &mut Scratch) -> Tensor {
+        let mut layers = self.layers.iter();
+        let Some(first) = layers.next() else {
+            return x.clone();
+        };
+        let mut cur = first.forward_scratch(x, scratch);
+        for layer in layers {
+            let next = layer.forward_scratch(&cur, scratch);
+            scratch.recycle(cur.into_vec());
+            cur = next;
         }
         cur
     }

@@ -249,24 +249,102 @@ impl TrainerBuilder {
 ///
 /// Panics if `labels.len()` differs from the leading dimension of `images`.
 pub fn evaluate(net: &Sequential, images: &Tensor, labels: &[usize], batch_size: usize) -> f64 {
+    evaluate_with_threads(net, images, labels, batch_size, ftclip_tensor::num_threads())
+}
+
+/// [`evaluate`] with an explicit worker budget (`FTCLIP_THREADS` is
+/// process-global and cached, so tests and probes comparing thread counts
+/// inside one process use this entry point).
+///
+/// The evaluation batches are split into contiguous shards, one scoped
+/// worker per shard, and each worker runs its forward passes under
+/// [`ftclip_tensor::with_thread_limit`] with its share of the remaining
+/// budget (`threads / workers`) — so when there are fewer batches than
+/// threads, the matmul kernels underneath soak up the leftover parallelism
+/// instead of idling. Each worker reuses one [`crate::Scratch`] arena across
+/// its batches, eliminating steady-state allocation.
+///
+/// Results are **bit-identical at any thread count**: every batch's forward
+/// pass is banding-invariant, each batch is scored by exactly one worker,
+/// and the per-batch correct counts are integers whose sum is
+/// order-independent.
+pub fn evaluate_with_threads(
+    net: &Sequential,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+    threads: usize,
+) -> f64 {
     let n = images.shape()[0];
     assert_eq!(labels.len(), n, "label count must match image count");
     let bs = batch_size.max(1);
+    let batches = n.div_ceil(bs);
+    let workers = threads.max(1).min(batches);
+    if workers <= 1 {
+        // honor the budget even without sharding: an explicit `threads: 1`
+        // must pin the kernels underneath to one thread, or the "1-thread"
+        // baseline of every speedup measurement silently parallelizes
+        let correct = ftclip_tensor::with_thread_limit(threads.max(1), || {
+            correct_in_batches(net, images, labels, bs, 0..batches, &mut crate::Scratch::new())
+        });
+        return correct as f64 / n as f64;
+    }
+    let inner = threads / workers;
+    let spare_threads = threads % workers; // first workers absorb the remainder
+    let base = batches / workers;
+    let extra = batches % workers;
+    let correct: usize = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut b0 = 0usize;
+        for w in 0..workers {
+            let count = base + usize::from(w < extra);
+            let range = b0..b0 + count;
+            b0 += count;
+            let budget = inner + usize::from(w < spare_threads);
+            handles.push(scope.spawn(move || {
+                ftclip_tensor::with_thread_limit(budget, || {
+                    correct_in_batches(net, images, labels, bs, range, &mut crate::Scratch::new())
+                })
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("evaluation worker panicked")).sum()
+    });
+    correct as f64 / n as f64
+}
+
+/// Correct-classification count over a contiguous range of batch indices.
+fn correct_in_batches(
+    net: &Sequential,
+    images: &Tensor,
+    labels: &[usize],
+    bs: usize,
+    batches: std::ops::Range<usize>,
+    scratch: &mut crate::Scratch,
+) -> usize {
+    let n = images.shape()[0];
+    let stride: usize = images.shape().dims()[1..].iter().product();
+    let mut dims = images.shape().dims().to_vec();
     let mut correct = 0usize;
-    let mut start = 0usize;
-    while start < n {
+    for b in batches {
+        let start = b * bs;
         let end = (start + bs).min(n);
-        let bx = images.slice_batch(start..end);
-        let logits = net.forward(&bx);
+        // copy the batch into recycled storage (what slice_batch does, minus
+        // the per-batch allocation) so the steady-state loop stays heap-free
+        let mut buf = scratch.buffer((end - start) * stride);
+        buf.copy_from_slice(&images.data()[start * stride..end * stride]);
+        dims[0] = end - start;
+        let bx = Tensor::from_vec(buf, &dims).expect("batch volume matches");
+        let logits = net.forward_scratch(&bx, scratch);
         correct += logits
             .argmax_rows()
             .iter()
             .zip(&labels[start..end])
             .filter(|(p, l)| p == l)
             .count();
-        start = end;
+        scratch.recycle(logits.into_vec());
+        scratch.recycle(bx.into_vec());
     }
-    correct as f64 / n as f64
+    correct
 }
 
 fn gather_batch(images: &Tensor, labels: &[usize], idxs: &[usize]) -> (Tensor, Vec<usize>) {

@@ -128,11 +128,32 @@ pub fn im2col_batch(images: &Tensor, geom: Conv2dGeometry) -> Tensor {
     let (oh, ow) = geom.output_size(h, w);
     let k = geom.kernel;
     let rows = c * k * k;
+    let total_cols = n * oh * ow;
+    let mut out = Tensor::zeros(&[rows, total_cols]);
+    im2col_batch_into(images, geom, out.data_mut());
+    out
+}
+
+/// [`im2col_batch`] writing into caller-provided storage — the allocation-free
+/// entry point used by the inference scratch arena.
+///
+/// Padding positions are left untouched (they must read as zero), so `dst`
+/// **must be zero-filled** on entry; passing recycled storage without zeroing
+/// it first produces garbage patches.
+///
+/// # Panics
+///
+/// Panics if `images` is not rank 4 or `dst` is not exactly
+/// `c·k·k × n·oh·ow` elements.
+pub fn im2col_batch_into(images: &Tensor, geom: Conv2dGeometry, dst: &mut [f32]) {
+    let (n, c, h, w) = images.shape().as_nchw();
+    let (oh, ow) = geom.output_size(h, w);
+    let k = geom.kernel;
+    let rows = c * k * k;
     let l = oh * ow;
     let total_cols = n * l;
-    let mut out = Tensor::zeros(&[rows, total_cols]);
+    assert_eq!(dst.len(), rows * total_cols, "im2col_batch_into destination size mismatch");
     let src = images.data();
-    let dst = out.data_mut();
     let img_stride = c * h * w;
     for i in 0..n {
         let img_base = i * img_stride;
@@ -161,7 +182,6 @@ pub fn im2col_batch(images: &Tensor, geom: Conv2dGeometry) -> Tensor {
             }
         }
     }
-    out
 }
 
 /// Scatters a column matrix `[c·k·k, oh·ow]` back into an image `[c, h, w]`,

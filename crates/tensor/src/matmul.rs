@@ -4,15 +4,39 @@
 //!
 //! * [`matmul`]    — `C = A · B`       (forward passes)
 //! * [`matmul_tn`] — `C = Aᵀ · B`      (input-gradient of linear layers)
-//! * [`matmul_nt`] — `C = A · Bᵀ`      (weight-gradient of linear layers)
+//! * [`matmul_nt`] — `C = A · Bᵀ`      (weight-gradient and linear forward)
 //!
 //! All variants parallelize over contiguous bands of output rows
-//! ([`crate::par_row_bands`]) and use an `i-k-j` loop order so the innermost
-//! loop streams through contiguous memory of both the output row and one
-//! operand row.
+//! ([`crate::par_row_bands`]) and run cache-blocked micro-kernels inside each
+//! band: the output row is tiled into [`J_TILE`]-column strips that stay in
+//! L1, the reduction dimension is cut into [`K_BLOCK`]-row panels of `B` that
+//! are reused across every row of the band while L2-resident, and the
+//! innermost loop unrolls four `a_ik` coefficients per pass over the strip.
+//!
+//! **Bit-exactness contract.** Every output element is accumulated in
+//! ascending-`k` order with one rounding per non-zero `a_ik` — exactly the
+//! naive `i-k-j` kernel's floating-point sequence — and each element is
+//! produced by exactly one thread. Blocking, unrolling and the thread count
+//! therefore change scheduling only, never a single output bit; the
+//! `ftclip_store` campaign cache and the golden figure snapshots survive any
+//! kernel-tuning change that preserves this contract.
 
 use crate::par::par_row_bands;
 use crate::Tensor;
+
+/// Output columns per micro-kernel strip: 512 f32 = 2 KB of `C` (and of each
+/// `B`-row segment), small enough that the strip plus four `B` segments stay
+/// in L1 while the unrolled loop runs.
+const J_TILE: usize = 512;
+
+/// Reduction rows per `B` panel: a `K_BLOCK × J_TILE` panel is 128 KB,
+/// L2-resident across the band's row loop so `B` is streamed from memory
+/// once per panel instead of once per output row.
+const K_BLOCK: usize = 64;
+
+/// Output rows per `A`-row tile in [`matmul_nt`]: one `B` row is reused
+/// across this many dot products while it sits in L1.
+const NT_ROW_TILE: usize = 8;
 
 /// `C = A · B` for `A: [m, k]`, `B: [k, n]` → `C: [m, n]`.
 ///
@@ -39,7 +63,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 /// `C += A · B`, writing into a preallocated output (used by the conv kernels
-/// to avoid reallocating per batch item).
+/// and the inference scratch arena to avoid reallocating per batch item).
 ///
 /// # Panics
 ///
@@ -61,64 +85,139 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
     let a_data = a.data();
     let b_data = b.data();
     par_row_bands(c.data_mut(), n, |first_row, band| {
-        for (bi, c_row) in band.chunks_mut(n).enumerate() {
-            let i = first_row + bi;
-            let a_row = &a_data[i * k..(i + 1) * k];
-            for (kk, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &b_data[kk * n..(kk + 1) * n];
-                for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
-                    *c_v += a_ik * b_v;
-                }
-            }
-        }
+        accumulate_band(a_data, b_data, band, first_row, k, n, n, 0);
     });
 }
 
+/// Blocked `band[r] += A[first_row + r] · B`-panel product for one band of
+/// whole output rows, where the band's rows are `row_len` long and the
+/// micro-kernel reads `B` columns `b_col0 .. b_col0 + row_len`.
+///
+/// Loop order is `j`-strip → `k`-panel → band row, so one L2-resident panel
+/// of `B` serves every row of the band before the next panel is streamed in.
+/// Per output element the accumulation order stays ascending-`k`.
+fn accumulate_band(
+    a: &[f32],
+    b: &[f32],
+    band: &mut [f32],
+    first_row: usize,
+    k: usize,
+    b_stride: usize,
+    row_len: usize,
+    b_col0: usize,
+) {
+    let rows = band.len() / row_len;
+    let mut j0 = 0;
+    while j0 < row_len {
+        let j1 = (j0 + J_TILE).min(row_len);
+        let mut k0 = 0;
+        while k0 < k {
+            let k1 = (k0 + K_BLOCK).min(k);
+            for r in 0..rows {
+                let i = first_row + r;
+                let a_block = &a[i * k + k0..i * k + k1];
+                let c_strip = &mut band[r * row_len + j0..r * row_len + j1];
+                micro_kernel(a_block, b, b_stride, b_col0 + j0, k0, c_strip);
+            }
+            k0 = k1;
+        }
+        j0 = j1;
+    }
+}
+
+/// `c_strip[j] += Σ_dk a_block[dk] · B[k0 + dk, b_col0 + j]`, ascending `dk`,
+/// skipping zero coefficients — one rounding per non-zero coefficient, the
+/// exact floating-point sequence of the naive kernel.
+///
+/// Four coefficients are peeled per pass so the strip element is loaded and
+/// stored once per four multiply-adds; the four adds stay in program order,
+/// so vectorization happens across `j` lanes only and per-element bits are
+/// unchanged.
+fn micro_kernel(a_block: &[f32], b: &[f32], b_stride: usize, b_col0: usize, k0: usize, c_strip: &mut [f32]) {
+    let width = c_strip.len();
+    let mut dk = 0;
+    while dk + 4 <= a_block.len() {
+        let (a0, a1, a2, a3) = (a_block[dk], a_block[dk + 1], a_block[dk + 2], a_block[dk + 3]);
+        if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+            let base = (k0 + dk) * b_stride + b_col0;
+            let b0 = &b[base..base + width];
+            let b1 = &b[base + b_stride..base + b_stride + width];
+            let b2 = &b[base + 2 * b_stride..base + 2 * b_stride + width];
+            let b3 = &b[base + 3 * b_stride..base + 3 * b_stride + width];
+            for ((((c_v, &v0), &v1), &v2), &v3) in c_strip.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+                let mut acc = *c_v;
+                acc += a0 * v0;
+                acc += a1 * v1;
+                acc += a2 * v2;
+                acc += a3 * v3;
+                *c_v = acc;
+            }
+        } else {
+            // a zero coefficient must be skipped, not multiplied through:
+            // `x + 0·b` is not always bit-identical to `x` (signed zeros,
+            // non-finite b under injected faults)
+            for t in 0..4 {
+                axpy_strip(a_block[dk + t], b, (k0 + dk + t) * b_stride + b_col0, c_strip);
+            }
+        }
+        dk += 4;
+    }
+    while dk < a_block.len() {
+        axpy_strip(a_block[dk], b, (k0 + dk) * b_stride + b_col0, c_strip);
+        dk += 1;
+    }
+}
+
+/// `c_strip += a_v · b[base..]` for a single coefficient, skipping zeros.
+#[inline]
+fn axpy_strip(a_v: f32, b: &[f32], base: usize, c_strip: &mut [f32]) {
+    if a_v == 0.0 {
+        return;
+    }
+    let b_seg = &b[base..base + c_strip.len()];
+    for (c_v, &b_v) in c_strip.iter_mut().zip(b_seg) {
+        *c_v += a_v * b_v;
+    }
+}
+
 /// Column-parallel kernel for `m < threads`: each worker owns a contiguous
-/// column band of every output row, computes it into a local buffer
-/// (L2-resident) and the results are assembled afterwards.
+/// column band of every output row, accumulates it in a local buffer
+/// (L2-resident) **seeded from the existing `C` values**, and the bands are
+/// copied back afterwards. Seeding (rather than summing into zeros and
+/// adding the prior `C` in one extra rounding) keeps the per-element chain
+/// identical to the row-banded path, so the thread-count-dependent dispatch
+/// between the two paths can never change an output bit — even for callers
+/// accumulating into nonzero `C`.
 fn matmul_into_col_parallel(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     let threads = crate::par::num_threads();
     let band = n.div_ceil(threads);
-    let results: Vec<(usize, usize, Vec<f32>)> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let j0 = t * band;
-            if j0 >= n {
-                break;
-            }
-            let j1 = ((t + 1) * band).min(n);
-            let width = j1 - j0;
-            handles.push(scope.spawn(move || {
-                let mut local = vec![0.0f32; m * width];
-                for i in 0..m {
-                    let a_row = &a[i * k..(i + 1) * k];
-                    let c_row = &mut local[i * width..(i + 1) * width];
-                    for (kk, &a_ik) in a_row.iter().enumerate() {
-                        if a_ik == 0.0 {
-                            continue;
-                        }
-                        let b_seg = &b[kk * n + j0..kk * n + j1];
-                        for (c_v, &b_v) in c_row.iter_mut().zip(b_seg) {
-                            *c_v += a_ik * b_v;
-                        }
-                    }
+    let results: Vec<(usize, usize, Vec<f32>)> = {
+        let c_init: &[f32] = c;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let j0 = t * band;
+                if j0 >= n {
+                    break;
                 }
-                (j0, width, local)
-            }));
-        }
-        handles.into_iter().map(|h| h.join().expect("matmul worker panicked")).collect()
-    });
+                let j1 = ((t + 1) * band).min(n);
+                let width = j1 - j0;
+                handles.push(scope.spawn(move || {
+                    let mut local = vec![0.0f32; m * width];
+                    for i in 0..m {
+                        local[i * width..(i + 1) * width]
+                            .copy_from_slice(&c_init[i * n + j0..i * n + j0 + width]);
+                    }
+                    accumulate_band(a, b, &mut local, 0, k, n, width, j0);
+                    (j0, width, local)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("matmul worker panicked")).collect()
+        })
+    };
     for (j0, width, local) in results {
         for i in 0..m {
-            let dst = &mut c[i * n + j0..i * n + j0 + width];
-            let src = &local[i * width..(i + 1) * width];
-            for (d, &s) in dst.iter_mut().zip(src) {
-                *d += s;
-            }
+            c[i * n + j0..i * n + j0 + width].copy_from_slice(&local[i * width..(i + 1) * width]);
         }
     }
 }
@@ -137,18 +236,16 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let a_data = a.data();
     let b_data = b.data();
     par_row_bands(c.data_mut(), n, |first_row, band| {
+        // gather the strided A column once per output row (O(k), negligible
+        // next to the O(k·n) product) so the blocked contiguous micro-kernel
+        // applies unchanged
+        let mut a_col = vec![0.0f32; k];
         for (bi, c_row) in band.chunks_mut(n).enumerate() {
             let i = first_row + bi; // column index of A = row index of C
-            for kk in 0..k {
-                let a_ki = a_data[kk * m + i];
-                if a_ki == 0.0 {
-                    continue;
-                }
-                let b_row = &b_data[kk * n..(kk + 1) * n];
-                for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
-                    *c_v += a_ki * b_v;
-                }
+            for (kk, slot) in a_col.iter_mut().enumerate() {
+                *slot = a_data[kk * m + i];
             }
+            accumulate_band(&a_col, b_data, c_row, 0, k, n, n, 0);
         }
     });
     c
@@ -163,25 +260,50 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, ka) = a.shape().as_matrix();
     let (n, kb) = b.shape().as_matrix();
     assert_eq!(ka, kb, "matmul_nt trailing dimension mismatch: {} vs {}", a.shape(), b.shape());
-    let k = ka;
     let mut c = Tensor::zeros(&[m, n]);
+    matmul_nt_into(a, b, &mut c);
+    c
+}
+
+/// `C = A · Bᵀ` written into a preallocated output: every element of `c` is
+/// overwritten (not accumulated), so callers may pass recycled scratch
+/// storage. This is the linear layer's forward kernel.
+///
+/// # Panics
+///
+/// Panics on any rank or dimension mismatch between `a`, `b` and `c`.
+pub fn matmul_nt_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    let (m, ka) = a.shape().as_matrix();
+    let (n, kb) = b.shape().as_matrix();
+    let (mc, nc) = c.shape().as_matrix();
+    assert_eq!(ka, kb, "matmul_nt trailing dimension mismatch: {} vs {}", a.shape(), b.shape());
+    assert_eq!((m, n), (mc, nc), "matmul_nt output shape mismatch");
+    let k = ka;
     let a_data = a.data();
     let b_data = b.data();
     par_row_bands(c.data_mut(), n, |first_row, band| {
-        for (bi, c_row) in band.chunks_mut(n).enumerate() {
-            let i = first_row + bi;
-            let a_row = &a_data[i * k..(i + 1) * k];
-            for (j, c_v) in c_row.iter_mut().enumerate() {
+        // tile the band's rows so one L1-resident B row serves a whole tile
+        // of dot products before the next B row is streamed in; each dot
+        // product remains a single ascending-k accumulator chain
+        let rows = band.len() / n;
+        let mut r0 = 0;
+        while r0 < rows {
+            let r1 = (r0 + NT_ROW_TILE).min(rows);
+            for j in 0..n {
                 let b_row = &b_data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a_v, &b_v) in a_row.iter().zip(b_row) {
-                    acc += a_v * b_v;
+                for r in r0..r1 {
+                    let i = first_row + r;
+                    let a_row = &a_data[i * k..(i + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&a_v, &b_v) in a_row.iter().zip(b_row) {
+                        acc += a_v * b_v;
+                    }
+                    band[r * n + j] = acc;
                 }
-                *c_v = acc;
             }
+            r0 = r1;
         }
     });
-    c
 }
 
 #[cfg(test)]
@@ -209,11 +331,52 @@ mod tests {
         Tensor::from_vec((0..vol).map(|x| (x as f32 * 0.37).sin()).collect(), dims).unwrap()
     }
 
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.data().iter().map(|x| x.to_bits()).collect()
+    }
+
     #[test]
     fn matmul_matches_naive() {
         let a = arange(&[7, 5]);
         let b = arange(&[5, 9]);
         assert!(matmul(&a, &b).approx_eq(&naive_matmul(&a, &b), 1e-5));
+    }
+
+    #[test]
+    fn matmul_matches_naive_bitwise() {
+        // nonzero data: the zero-skip never fires, so the blocked kernel must
+        // replay the naive kernel's exact rounding sequence
+        let a = arange(&[5, 7]);
+        let b = arange(&[7, 6]);
+        assert_eq!(bits(&matmul(&a, &b)), bits(&naive_matmul(&a, &b)));
+    }
+
+    #[test]
+    fn matmul_bitwise_across_tile_boundaries() {
+        // k and n straddle K_BLOCK and J_TILE so every block-edge code path
+        // (full 4-unroll, remainder, partial strips) is exercised
+        for (m, k, n) in [(3, K_BLOCK + 3, J_TILE + 5), (2, 4 * K_BLOCK + 1, 17), (1, 3, 2 * J_TILE)] {
+            let a = arange(&[m, k]);
+            let b = arange(&[k, n]);
+            assert_eq!(bits(&matmul(&a, &b)), bits(&naive_matmul(&a, &b)), "[{m},{k}]x[{k},{n}]");
+        }
+    }
+
+    #[test]
+    fn zero_coefficients_are_skipped_not_multiplied() {
+        // a zero a_ik must contribute nothing even when B holds non-finite
+        // values (injected faults): 0·inf would poison the row with NaN
+        let mut a = arange(&[2, 5]);
+        a.data_mut()[1] = 0.0; // row 0, k=1
+        a.data_mut()[7] = 0.0; // row 1, k=2
+        let mut b = arange(&[5, 4]);
+        b.data_mut()[4] = f32::INFINITY; // k=1, column 0
+        b.data_mut()[9] = f32::NAN; // k=2, column 1
+        let c = matmul(&a, &b);
+        assert!(c.at2(0, 0).is_finite(), "zero-skip must ignore the inf element");
+        assert!(c.at2(1, 1).is_finite(), "zero-skip must ignore the NaN element");
+        assert!(c.at2(1, 0).is_infinite(), "non-skipped inf must still propagate");
+        assert!(c.at2(0, 1).is_nan(), "non-skipped NaN must still propagate");
     }
 
     #[test]
@@ -259,6 +422,27 @@ mod tests {
     }
 
     #[test]
+    fn matmul_nt_row_tiling_is_bit_invariant() {
+        // more rows than NT_ROW_TILE: tiled and untiled element chains are
+        // the same single ascending-k accumulator, so bits must match the
+        // explicit per-element dot product
+        let a = arange(&[3 * NT_ROW_TILE + 1, 9]);
+        let b = arange(&[5, 9]);
+        let c = matmul_nt(&a, &b);
+        let (m, k) = a.shape().as_matrix();
+        let (n, _) = b.shape().as_matrix();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.at2(i, kk) * b.at2(j, kk);
+                }
+                assert_eq!(c.at2(i, j).to_bits(), acc.to_bits(), "element ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "inner dimension mismatch")]
     fn matmul_rejects_mismatch() {
         matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
@@ -271,6 +455,15 @@ mod tests {
         let mut c = Tensor::ones(&[2, 2]);
         matmul_into(&a, &b, &mut c);
         assert_eq!(c.data(), &[2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn matmul_nt_into_overwrites() {
+        let a = arange(&[3, 4]);
+        let b = arange(&[5, 4]);
+        let mut c = Tensor::filled(&[3, 5], 123.0); // recycled-scratch garbage
+        matmul_nt_into(&a, &b, &mut c);
+        assert_eq!(bits(&c), bits(&matmul_nt(&a, &b)));
     }
 
     #[test]
@@ -301,6 +494,24 @@ mod tests {
         let mut c = Tensor::zeros(&[3, 4500]);
         matmul_into_col_parallel(a.data(), b.data(), c.data_mut(), 3, 7, 4500);
         assert!(c.approx_eq(&naive_matmul(&a, &b), 1e-3));
+    }
+
+    #[test]
+    fn column_parallel_kernel_bitwise_matches_row_kernel() {
+        // the col path seeds its local bands from C, so both paths replay
+        // the same per-element rounding chain — even when C starts nonzero —
+        // and the thread-count-dependent dispatch can never change bits
+        let a = arange(&[3, 39]);
+        let b = arange(&[39, 4400]);
+        for seed in [0.0f32, 1e8] {
+            let mut col = Tensor::filled(&[3, 4400], seed);
+            matmul_into_col_parallel(a.data(), b.data(), col.data_mut(), 3, 39, 4400);
+            let mut row = Tensor::filled(&[3, 4400], seed);
+            par_row_bands(row.data_mut(), 4400, |first_row, band| {
+                accumulate_band(a.data(), b.data(), band, first_row, 39, 4400, 4400, 0);
+            });
+            assert_eq!(bits(&col), bits(&row), "C seeded with {seed}");
+        }
     }
 
     #[test]

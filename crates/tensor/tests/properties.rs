@@ -3,6 +3,97 @@
 use ftclip_tensor::{col2im, im2col, matmul, matmul_nt, matmul_tn, Conv2dGeometry, Tensor};
 use proptest::prelude::*;
 
+/// The reference the blocked kernel must replay bit-for-bit: a naive
+/// `i-j-k` triple loop accumulating each element in ascending-`k` order.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape().as_matrix();
+    let (_, n) = b.shape().as_matrix();
+    let mut c = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a.at2(i, kk) * b.at2(kk, j);
+            }
+            c.data_mut()[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|x| x.to_bits()).collect()
+}
+
+/// Deterministic nonzero pseudo-random fill (the kernel's zero-skip makes
+/// exact zeros follow a different — deliberately different — code path,
+/// covered by `matmul_with_zero_coefficients_matches_skip_reference`).
+fn nonzero_fill(dims: &[usize], seed: u64) -> Tensor {
+    let vol: usize = dims.iter().product();
+    let data = (0..vol)
+        .map(|i| {
+            let x = ((i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed) >> 33) as u32;
+            let mag = 0.1 + (x % 1000) as f32 / 250.0;
+            if x.is_multiple_of(2) {
+                mag
+            } else {
+                -mag
+            }
+        })
+        .collect();
+    Tensor::from_vec(data, dims).unwrap()
+}
+
+/// The blocked kernel must be bit-identical to the naive triple loop on the
+/// shapes its tiling finds awkward: degenerate, tall-skinny, wide-short and
+/// sizes straddling the 512-column / 64-k tile boundaries.
+#[test]
+fn blocked_matmul_bitwise_on_odd_shapes() {
+    for &(m, k, n) in &[
+        (1usize, 1usize, 1usize), // degenerate
+        (70, 3, 2),               // tall-skinny
+        (2, 7, 4097),             // wide-short (column-parallel dispatch range)
+        (5, 67, 513),             // one past the K_BLOCK=64 / J_TILE=512 edges
+        (3, 128, 512),            // exact tile multiples
+        (9, 65, 31),              // 4-wide unroll remainder (65 = 16·4 + 1)
+    ] {
+        let a = nonzero_fill(&[m, k], 11);
+        let b = nonzero_fill(&[k, n], 23);
+        assert_eq!(
+            bits(&matmul(&a, &b)),
+            bits(&naive_matmul(&a, &b)),
+            "blocked kernel diverged from naive on [{m},{k}]x[{k},{n}]"
+        );
+    }
+}
+
+/// With exact-zero coefficients the kernel skips the multiply entirely; the
+/// reference with the same skip rule must still match bit-for-bit.
+#[test]
+fn matmul_with_zero_coefficients_matches_skip_reference() {
+    let (m, k, n) = (6usize, 70usize, 130usize);
+    let mut a = nonzero_fill(&[m, k], 5);
+    for i in 0..a.len() {
+        if i % 3 == 0 {
+            a.data_mut()[i] = 0.0;
+        }
+    }
+    let b = nonzero_fill(&[k, n], 7);
+    let mut expect = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for kk in 0..k {
+            let a_ik = a.at2(i, kk);
+            if a_ik == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                expect.data_mut()[i * n + j] += a_ik * b.at2(kk, j);
+            }
+        }
+    }
+    assert_eq!(bits(&matmul(&a, &b)), bits(&expect));
+}
+
 fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
         proptest::collection::vec(-10.0f32..10.0, r * c)
@@ -84,6 +175,18 @@ proptest! {
         let lhs = matmul_nt(&a, &bt);
         let rhs = matmul(&a, &b);
         prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn blocked_matmul_bitwise_matches_naive(
+        m in 1usize..16, k in 1usize..140, n in 1usize..40,
+        sa in 0u64..1000, sb in 0u64..1000,
+    ) {
+        // random shapes, nonzero data: the blocked/unrolled kernel must
+        // replay the naive kernel's exact per-element rounding sequence
+        let a = nonzero_fill(&[m, k], sa);
+        let b = nonzero_fill(&[k, n], sb);
+        prop_assert_eq!(bits(&matmul(&a, &b)), bits(&naive_matmul(&a, &b)));
     }
 
     #[test]

@@ -116,6 +116,48 @@ fn parallel_campaign_is_bit_identical_to_single_threaded() {
 }
 
 #[test]
+fn sharded_accuracy_is_bit_identical_across_thread_counts() {
+    // EvalSet::accuracy splits the evaluation batches across worker threads;
+    // each batch's forward pass is banding-invariant and the correct counts
+    // are integers, so the shard count must never change a single bit
+    let data = tiny_data(12);
+    let eval = EvalSet::from_dataset(data.test(), 8); // 64 images → 8 batches
+    let net = tiny_net();
+    let reference = eval.accuracy_with_threads(&net, 1);
+    for threads in [2usize, 3, 4, 8] {
+        let sharded = eval.accuracy_with_threads(&net, threads);
+        assert_eq!(
+            sharded.to_bits(),
+            reference.to_bits(),
+            "{threads} shard threads changed the accuracy bits"
+        );
+    }
+    assert_eq!(eval.accuracy(&net).to_bits(), reference.to_bits());
+}
+
+#[test]
+fn campaign_with_fewer_cells_than_threads_is_bit_identical() {
+    // cells < threads: the executor hands each worker its share of the
+    // leftover budget (batch-level parallelism inside EvalSet::accuracy);
+    // the composition must still replay the serial bits exactly
+    let data = tiny_data(13);
+    let eval = EvalSet::from_dataset(data.test(), 8);
+    let cfg = CampaignConfig {
+        fault_rates: vec![1e-3],
+        repetitions: 2, // 2 cells
+        seed: 41,
+        model: FaultModel::BitFlip,
+        target: InjectionTarget::AllWeights,
+    };
+    let campaign = Campaign::new(cfg);
+    let mut serial_net = tiny_net();
+    let serial = campaign.run(&mut serial_net, |n| eval.accuracy(n));
+    let wide = campaign.run_parallel_with_threads(&tiny_net(), 8, |n| eval.accuracy(n));
+    assert_eq!(serial.runs, wide.runs);
+    assert_eq!(serial.clean_accuracy.to_bits(), wide.clean_accuracy.to_bits());
+}
+
+#[test]
 fn single_thread_env_does_not_change_results() {
     // numeric results must be identical regardless of FTCLIP_THREADS because
     // each output row is accumulated by exactly one thread

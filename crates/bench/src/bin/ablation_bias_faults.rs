@@ -1,73 +1,8 @@
-//! Ablation (beyond the paper): where do faults hurt — weights, biases, or
-//! both?
+//! Ablation (beyond the paper): where do faults hurt — weights, biases, or both?
 //!
-//! The paper's fault model corrupts only the weight memory. Biases are a
-//! tiny fraction of the parameter memory but each one feeds *every* spatial
-//! position of its channel, so this ablation measures per-bit damage across
-//! targets. Expected shape: at equal per-bit rates the whole-weight target
-//! dominates total damage simply because it covers ~99 % of the bits, while
-//! the bias-only target needs far higher rates to matter; clipping protects
-//! against both, since a corrupted bias also manifests as high-intensity
-//! activations.
-
-use ftclip_bench::{experiment_data, harden_network, parse_args, trained_alexnet};
-use ftclip_core::{campaign_auc, EvalSet, ResultTable};
-use ftclip_fault::{cache_of, Campaign, CampaignConfig, FaultModel, InjectionTarget, MemoryMap};
+//! Thin wrapper over the `ablation-bias-faults` preset — `ftclip run ablation-bias-faults` is
+//! the canonical entry point (same flags, same output).
 
 fn main() {
-    let args = parse_args();
-    let data = experiment_data(args.seed);
-    let workload = trained_alexnet(&data, args.seed);
-    let eval = EvalSet::from_subset(data.test(), args.eval_size.min(data.test().len()), args.seed, 64);
-
-    let mut hardened = workload.model.network.clone();
-    harden_network(&mut hardened, data.val(), args.seed, 256.min(data.val().len()), workload.rate_scale());
-
-    // bias memories are tiny: use a wider rate grid so faults actually land
-    let rates = vec![1e-6, 1e-5, 1e-4, 1e-3];
-    let targets = [InjectionTarget::AllWeights, InjectionTarget::Biases, InjectionTarget::AllParams];
-
-    println!("Ablation — injection targets (per-bit rates; bias memory ≪ weight memory)\n");
-    for target in targets {
-        let map = MemoryMap::build(&workload.model.network, target);
-        println!("target {:<12} covers {:>9} bits", target.to_string(), map.total_bits());
-    }
-    println!();
-
-    let mut table =
-        ResultTable::new("ablation_bias_faults", &["target", "network", "fault_rate", "mean_acc"]);
-    println!(
-        "{:<12} {:<12} {:>10} {:>10} {:>10} {:>10}  AUC",
-        "target", "network", "1e-6", "1e-5", "1e-4", "1e-3"
-    );
-    for target in targets {
-        for (name, base) in [("unprotected", &workload.model.network), ("clipped", &hardened)] {
-            let mut net = base.clone();
-            let campaign = Campaign::new(CampaignConfig {
-                fault_rates: rates.clone(),
-                repetitions: args.reps,
-                seed: args.seed,
-                model: FaultModel::BitFlip,
-                target,
-            });
-            let session = args.campaign_session("ablation_bias_faults", &net, campaign.config());
-            let res = campaign.run_cached(&mut net, cache_of(&session), |n| eval.accuracy(n));
-            let means = res.mean_accuracies();
-            println!(
-                "{:<12} {:<12} {:>10.4} {:>10.4} {:>10.4} {:>10.4}  {:.4}",
-                target.to_string(),
-                name,
-                means[0],
-                means[1],
-                means[2],
-                means[3],
-                campaign_auc(&res)
-            );
-            for (i, &rate) in rates.iter().enumerate() {
-                table.row([target.to_string().into(), name.into(), rate.into(), means[i].into()]);
-            }
-        }
-    }
-    args.writer().emit(&table);
-    println!("\nshape check: bias-only damage requires much higher rates than all-weights");
+    ftclip_bench::cli::legacy_main("ablation-bias-faults")
 }

@@ -1,84 +1,8 @@
-//! Ablation (beyond the paper): clip-to-**zero** (the paper's choice) vs
-//! clip-to-**threshold** (ReLU6-style saturation) vs unprotected.
+//! Ablation (beyond the paper): clip-to-zero vs ReLU6-style saturation vs unprotected.
 //!
-//! The paper argues mapping high-intensity activations to zero is right
-//! because zero is neutral while a saturated value still injects maximal
-//! (wrong) signal. This ablation quantifies that argument: at high fault
-//! rates, clip-to-zero should dominate saturation, and both should dominate
-//! the unprotected baseline.
-
-use ftclip_bench::{experiment_data, parse_args, trained_alexnet};
-use ftclip_core::{campaign_auc, profile_network, EvalSet, ResultTable};
-use ftclip_fault::{cache_of, Campaign, CampaignConfig, FaultModel, InjectionTarget};
-use ftclip_nn::{Activation, Layer, Sequential};
-
-fn with_saturated(net: &Sequential, thresholds: &[f32]) -> Sequential {
-    let mut out = net.clone();
-    let sites = out.activation_sites();
-    assert_eq!(sites.len(), thresholds.len());
-    for (&site, &t) in sites.iter().zip(thresholds) {
-        if let Layer::Activation(a) = &mut out.layers_mut()[site] {
-            a.func = Activation::SaturatedRelu { threshold: t };
-        }
-    }
-    out
-}
+//! Thin wrapper over the `ablation-clip-mode` preset — `ftclip run ablation-clip-mode` is
+//! the canonical entry point (same flags, same output).
 
 fn main() {
-    let args = parse_args();
-    let data = experiment_data(args.seed);
-    let workload = trained_alexnet(&data, args.seed);
-    let base = workload.model.network.clone();
-    let eval = EvalSet::from_subset(data.test(), args.eval_size.min(data.test().len()), args.seed, 64);
-
-    let subset = data.val().subset(256.min(data.val().len()), args.seed);
-    let profiles = profile_network(&base, subset.images(), 64, 32);
-    let thresholds: Vec<f32> = profiles.iter().map(|p| p.act_max.max(f32::MIN_POSITIVE)).collect();
-
-    let mut clip_zero = base.clone();
-    clip_zero.convert_to_clipped(&thresholds);
-    let saturated = with_saturated(&base, &thresholds);
-
-    let campaign = Campaign::new(CampaignConfig {
-        fault_rates: workload.scaled_paper_rates(),
-        repetitions: args.reps,
-        seed: args.seed,
-        model: FaultModel::BitFlip,
-        target: InjectionTarget::AllWeights,
-    });
-
-    let variants: Vec<(&str, Sequential)> =
-        vec![("unprotected", base), ("saturate", saturated), ("clip-to-zero", clip_zero)];
-
-    println!("Ablation — clipping mode (thresholds = profiled ACT_max, no fine-tuning)\n");
-    println!("{:<12} {:>12} {:>12} {:>12}", "fault_rate", "unprotected", "saturate", "clip-to-zero");
-    let mut results = Vec::new();
-    for (name, mut net) in variants {
-        eprintln!("[ablation] campaign on {name} …");
-        let session = args.campaign_session("ablation_clip_mode", &net, campaign.config());
-        let res = campaign.run_cached(&mut net, cache_of(&session), |n| eval.accuracy(n));
-        results.push((name, res));
-    }
-    let mut table =
-        ResultTable::new("ablation_clip_mode", &["fault_rate", "unprotected", "saturate", "clip_to_zero"]);
-    let rates = results[0].1.fault_rates.clone();
-    let means: Vec<Vec<f64>> = results.iter().map(|(_, r)| r.mean_accuracies()).collect();
-    for (i, &rate) in rates.iter().enumerate() {
-        println!("{:<12.1e} {:>12.4} {:>12.4} {:>12.4}", rate, means[0][i], means[1][i], means[2][i]);
-        table.row([rate.into(), means[0][i].into(), means[1][i].into(), means[2][i].into()]);
-    }
-    args.writer().emit(&table);
-
-    println!("\nAUC:");
-    for (name, res) in &results {
-        println!("  {:<14} {:.4}", name, campaign_auc(res));
-    }
-    let auc_unprot = campaign_auc(&results[0].1);
-    let auc_sat = campaign_auc(&results[1].1);
-    let auc_zero = campaign_auc(&results[2].1);
-    println!(
-        "\nshape check: clip-to-zero ≥ saturate ({}), both ≥ unprotected ({})",
-        auc_zero >= auc_sat,
-        auc_sat >= auc_unprot && auc_zero >= auc_unprot
-    );
+    ftclip_bench::cli::legacy_main("ablation-clip-mode")
 }

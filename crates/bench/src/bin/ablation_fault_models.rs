@@ -1,60 +1,8 @@
-//! Ablation (beyond the paper): transient bit flips vs permanent
-//! stuck-at-0 / stuck-at-1 faults.
+//! Ablation (beyond the paper): transient bit flips vs permanent stuck-at faults.
 //!
-//! Expected shape: stuck-at-0 is nearly harmless (it can only *shrink*
-//! weight magnitudes — flipping exponent bits to 0 pushes values toward
-//! zero, which DNNs tolerate); stuck-at-1 is the most damaging (it can only
-//! inflate); random bit flips sit in between. Clipping should recover most
-//! of the stuck-at-1 and bit-flip damage.
-
-use ftclip_bench::{experiment_data, harden_network, parse_args, trained_alexnet};
-use ftclip_core::{campaign_auc, EvalSet, ResultTable};
-use ftclip_fault::{cache_of, Campaign, CampaignConfig, FaultModel, InjectionTarget};
+//! Thin wrapper over the `ablation-fault-models` preset — `ftclip run ablation-fault-models` is
+//! the canonical entry point (same flags, same output).
 
 fn main() {
-    let args = parse_args();
-    let data = experiment_data(args.seed);
-    let workload = trained_alexnet(&data, args.seed);
-    let eval = EvalSet::from_subset(data.test(), args.eval_size.min(data.test().len()), args.seed, 64);
-
-    let mut hardened = workload.model.network.clone();
-    harden_network(&mut hardened, data.val(), args.seed, 256.min(data.val().len()), workload.rate_scale());
-
-    let models = [FaultModel::BitFlip, FaultModel::StuckAt0, FaultModel::StuckAt1];
-    let mut table =
-        ResultTable::new("ablation_fault_models", &["fault_model", "network", "fault_rate", "mean_acc"]);
-
-    println!("Ablation — fault models × protection\n");
-    let mut aucs = Vec::new();
-    for model in models {
-        for (net_name, base) in [("unprotected", &workload.model.network), ("clipped", &hardened)] {
-            let mut net = base.clone();
-            let campaign = Campaign::new(CampaignConfig {
-                fault_rates: workload.scaled_paper_rates(),
-                repetitions: args.reps,
-                seed: args.seed,
-                model,
-                target: InjectionTarget::AllWeights,
-            });
-            eprintln!("[ablation] {model} on {net_name} …");
-            let session = args.campaign_session("ablation_fault_models", &net, campaign.config());
-            let res = campaign.run_cached(&mut net, cache_of(&session), |n| eval.accuracy(n));
-            let means = res.mean_accuracies();
-            for (i, &rate) in res.fault_rates.iter().enumerate() {
-                table.row([model.to_string().into(), net_name.into(), rate.into(), means[i].into()]);
-            }
-            let auc = campaign_auc(&res);
-            println!("{:<12} {:<12} AUC {:.4}", model.to_string(), net_name, auc);
-            aucs.push((model, net_name, auc));
-        }
-    }
-    args.writer().emit(&table);
-
-    let auc_of = |m: FaultModel, n: &str| aucs.iter().find(|(am, an, _)| *am == m && *an == n).unwrap().2;
-    println!(
-        "\nshape checks: stuck-at-0 ≈ harmless on unprotected ({}), stuck-at-1 ≤ bit-flip on unprotected ({}), clipping recovers stuck-at-1 ({})",
-        auc_of(FaultModel::StuckAt0, "unprotected") > auc_of(FaultModel::BitFlip, "unprotected"),
-        auc_of(FaultModel::StuckAt1, "unprotected") <= auc_of(FaultModel::BitFlip, "unprotected") + 0.05,
-        auc_of(FaultModel::StuckAt1, "clipped") > auc_of(FaultModel::StuckAt1, "unprotected")
-    );
+    ftclip_bench::cli::legacy_main("ablation-fault-models")
 }

@@ -1,126 +1,8 @@
-//! Ablation (paper §I motivation, beyond its experiments): clipped
-//! activations vs the hardware mitigations the paper argues against —
-//! SEC-DED ECC and TMR — at equal *physical* per-bit fault rates.
+//! Ablation (paper SS I motivation): clipped activations vs SEC-DED ECC and TMR.
 //!
-//! The schemes store more bits per word (ECC +21.9 %, TMR +200 %), so more
-//! raw faults land in their memories; they must earn their keep by
-//! correction. Expected shape: ECC and TMR win at low-to-mid rates (they
-//! eliminate faults outright) but carry their fixed memory overhead, while
-//! clipping costs nothing in memory and still recovers most accuracy —
-//! the paper's cost/benefit argument, quantified.
-
-use ftclip_bench::{experiment_data, harden_network, parse_args, trained_alexnet};
-use ftclip_core::{auc_normalized, EvalSet, ResultTable};
-use ftclip_fault::{
-    derive_seed, inject_with_protection, DoubleErrorPolicy, FaultModel, InjectionTarget, ProtectionScheme,
-};
-use ftclip_nn::Sequential;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-struct Variant {
-    name: &'static str,
-    scheme: ProtectionScheme,
-    clipped: bool,
-}
+//! Thin wrapper over the `ablation-hw-baselines` preset — `ftclip run ablation-hw-baselines` is
+//! the canonical entry point (same flags, same output).
 
 fn main() {
-    let args = parse_args();
-    let data = experiment_data(args.seed);
-    let workload = trained_alexnet(&data, args.seed);
-    let eval = EvalSet::from_subset(data.test(), args.eval_size.min(data.test().len()), args.seed, 64);
-
-    let mut hardened = workload.model.network.clone();
-    harden_network(&mut hardened, data.val(), args.seed, 256.min(data.val().len()), workload.rate_scale());
-
-    let variants = [
-        Variant {
-            name: "unprotected",
-            scheme: ProtectionScheme::None,
-            clipped: false,
-        },
-        Variant {
-            name: "clipped",
-            scheme: ProtectionScheme::None,
-            clipped: true,
-        },
-        Variant {
-            name: "sec-ded",
-            scheme: ProtectionScheme::SecDed(DoubleErrorPolicy::ZeroWord),
-            clipped: false,
-        },
-        Variant { name: "tmr", scheme: ProtectionScheme::Tmr, clipped: false },
-        Variant {
-            name: "clipped+sec-ded",
-            scheme: ProtectionScheme::SecDed(DoubleErrorPolicy::ZeroWord),
-            clipped: true,
-        },
-    ];
-
-    // memory-size-scaled paper grid (DESIGN.md §3); its top end is high
-    // enough that the ECC knee (double faults per word) becomes visible
-    let rates = workload.scaled_paper_rates();
-
-    let mut table = ResultTable::new(
-        "ablation_hw_baselines",
-        &["variant", "memory_overhead_pct", "fault_rate", "mean_acc"],
-    );
-
-    println!("Ablation — clipping vs hardware baselines (equal physical per-bit rates)\n");
-    println!(
-        "{:<18} {:>9} {}",
-        "variant",
-        "mem+%",
-        rates.iter().map(|r| format!("{r:>8.0e}")).collect::<String>()
-    );
-    let mut aucs: Vec<(String, f64, f64)> = Vec::new();
-    for variant in &variants {
-        let base: &Sequential = if variant.clipped { &hardened } else { &workload.model.network };
-        let mut net = base.clone();
-        let mut means = Vec::with_capacity(rates.len());
-        for (i, &rate) in rates.iter().enumerate() {
-            let mut acc_sum = 0.0;
-            for rep in 0..args.reps {
-                let mut rng = StdRng::seed_from_u64(derive_seed(args.seed, i, rep));
-                let handle = inject_with_protection(
-                    &mut net,
-                    InjectionTarget::AllWeights,
-                    FaultModel::BitFlip,
-                    rate,
-                    variant.scheme,
-                    &mut rng,
-                );
-                acc_sum += eval.accuracy(&net);
-                handle.undo(&mut net);
-            }
-            means.push(acc_sum / args.reps as f64);
-        }
-        let overhead = variant.scheme.memory_overhead_percent();
-        println!(
-            "{:<18} {:>9.1} {}",
-            variant.name,
-            overhead,
-            means.iter().map(|m| format!("{m:>8.3}")).collect::<String>()
-        );
-        for (i, &rate) in rates.iter().enumerate() {
-            table.row([variant.name.into(), overhead.into(), rate.into(), means[i].into()]);
-        }
-        let mut pts = vec![(0.0, eval.accuracy(&net))];
-        pts.extend(rates.iter().copied().zip(means.iter().copied()));
-        aucs.push((variant.name.to_string(), overhead, auc_normalized(&pts)));
-        eprintln!("[hw-baselines] {} done", variant.name);
-    }
-    args.writer().emit(&table);
-
-    println!("\n{:<18} {:>9} {:>8}", "variant", "mem+%", "AUC");
-    for (name, overhead, auc) in &aucs {
-        println!("{:<18} {:>9.1} {:>8.4}", name, overhead, auc);
-    }
-    let auc_of = |n: &str| aucs.iter().find(|(name, _, _)| name == n).unwrap().2;
-    println!(
-        "\nshape checks: every protection beats unprotected ({}), clipping is memory-free (true), \
-         combined clipped+ECC is best or tied ({})",
-        aucs.iter().all(|(n, _, a)| n == "unprotected" || *a >= auc_of("unprotected")),
-        auc_of("clipped+sec-ded") + 0.02 >= aucs.iter().map(|(_, _, a)| *a).fold(f64::MIN, f64::max)
-    );
+    ftclip_bench::cli::legacy_main("ablation-hw-baselines")
 }

@@ -1,86 +1,8 @@
-//! Ablation (paper §IV-A's generalization): clipped **Leaky-ReLU**.
+//! Ablation (paper SS IV-A generalization): clipped Leaky-ReLU.
 //!
-//! The paper presents the clipped ReLU and notes that "clipped versions of
-//! other activation functions (e.g., Leaky-ReLU) can also be designed
-//! similarly". This binary trains a Leaky-ReLU AlexNet, clips it with
-//! profiled thresholds, and verifies the mitigation transfers: the clipped
-//! Leaky network should beat its unprotected twin by a similar margin as in
-//! the ReLU experiments.
-
-use ftclip_bench::{experiment_data, parse_args};
-use ftclip_core::{campaign_auc, profile_network, EvalSet, ResultTable};
-use ftclip_fault::{cache_of, paper_fault_rates, Campaign, CampaignConfig, FaultModel, InjectionTarget};
-use ftclip_models::alexnet_cifar_with_activation;
-use ftclip_nn::sched::LrSchedule;
-use ftclip_nn::{evaluate, Activation, OptimizerKind, Trainer};
+//! Thin wrapper over the `ablation-leaky-clip` preset — `ftclip run ablation-leaky-clip` is
+//! the canonical entry point (same flags, same output).
 
 fn main() {
-    let args = parse_args();
-    let data = experiment_data(args.seed);
-
-    eprintln!("[ablation] training Leaky-ReLU AlexNet …");
-    let mut net = alexnet_cifar_with_activation(0.125, 10, args.seed, Activation::LeakyRelu { slope: 0.01 });
-    Trainer::builder()
-        .epochs(10)
-        .batch_size(64)
-        .schedule(LrSchedule::Cosine { lr: 0.03, min_lr: 0.0003, total_epochs: 10 })
-        .optimizer(OptimizerKind::Sgd { momentum: 0.9, weight_decay: 5e-4 })
-        .seed(args.seed)
-        .augment(true)
-        .verbose(std::env::var_os("FTCLIP_VERBOSE").is_some())
-        .build()
-        .fit(
-            &mut net,
-            data.train().images(),
-            data.train().labels(),
-            Some((data.val().images(), data.val().labels())),
-        );
-    let test_acc = evaluate(&net, data.test().images(), data.test().labels(), 64);
-    eprintln!("[ablation] leaky AlexNet test accuracy {test_acc:.3}");
-
-    let eval = EvalSet::from_subset(data.test(), args.eval_size.min(data.test().len()), args.seed, 64);
-    let profiles =
-        profile_network(&net, data.val().subset(256.min(data.val().len()), args.seed).images(), 64, 32);
-    let thresholds: Vec<f32> = profiles.iter().map(|p| p.act_max.max(f32::MIN_POSITIVE)).collect();
-    let mut clipped = net.clone();
-    clipped.convert_to_clipped(&thresholds);
-    assert!(matches!(
-        clipped.activation_at(clipped.activation_sites()[0]),
-        Some(Activation::ClippedLeakyRelu { .. })
-    ));
-
-    let rate_scale = ftclip_models::alexnet_cifar(1.0, 10, 0).param_count() as f64 / net.param_count() as f64;
-    let campaign = Campaign::new(CampaignConfig {
-        fault_rates: paper_fault_rates().into_iter().map(|r| (r * rate_scale).min(1.0)).collect(),
-        repetitions: args.reps,
-        seed: args.seed,
-        model: FaultModel::BitFlip,
-        target: InjectionTarget::AllWeights,
-    });
-    eprintln!("[ablation] campaigns …");
-    let unprot_session = args.campaign_session("ablation_leaky_clip", &net, campaign.config());
-    let unprotected = campaign.run_cached(&mut net, cache_of(&unprot_session), |n| eval.accuracy(n));
-    let prot_session = args.campaign_session("ablation_leaky_clip", &clipped, campaign.config());
-    let protected = campaign.run_cached(&mut clipped, cache_of(&prot_session), |n| eval.accuracy(n));
-
-    println!("Ablation — clipped Leaky-ReLU (slope 0.01, thresholds = ACT_max)\n");
-    println!("clean accuracy: {:.4}\n", unprotected.clean_accuracy);
-    println!("{:<12} {:>12} {:>14}", "fault_rate", "clipped", "unprotected");
-    let mut table =
-        ResultTable::new("ablation_leaky_clip", &["fault_rate", "clipped_leaky", "unprotected_leaky"]);
-    for (i, &rate) in protected.fault_rates.iter().enumerate() {
-        let p = protected.mean_accuracies()[i];
-        let u = unprotected.mean_accuracies()[i];
-        println!("{:<12.1e} {:>12.4} {:>14.4}", rate, p, u);
-        table.row([rate.into(), p.into(), u.into()]);
-    }
-    args.writer().emit(&table);
-
-    let auc_p = campaign_auc(&protected);
-    let auc_u = campaign_auc(&unprotected);
-    println!(
-        "\nAUC: clipped {auc_p:.4} vs unprotected {auc_u:.4} ({:+.1}%)",
-        (auc_p - auc_u) / auc_u * 100.0
-    );
-    println!("shape check: mitigation transfers to Leaky-ReLU ({})", auc_p > auc_u);
+    ftclip_bench::cli::legacy_main("ablation-leaky-clip")
 }

@@ -1,108 +1,8 @@
-//! Ablation (beyond the paper): Algorithm 1's interval search vs an
-//! exhaustive grid search over `(0, ACT_max]`.
+//! Ablation (beyond the paper): Algorithm 1's interval search vs an exhaustive grid search.
 //!
-//! The paper motivates Algorithm 1 as "an efficient method" (§IV-C). This
-//! binary quantifies the trade-off on every activation site of the AlexNet:
-//! AUC achieved and campaign evaluations spent per method. Expected shape:
-//! the interval search reaches within noise of the grid's AUC at a fraction
-//! of its evaluations.
-
-use ftclip_bench::{experiment_data, parse_args, trained_alexnet, tuning_auc_config};
-use ftclip_core::{grid_search_site, profile_network, EvalSet, ResultTable, ThresholdTuner, TunerConfig};
-use ftclip_fault::InjectionTarget;
+//! Thin wrapper over the `ablation-tuner-vs-grid` preset — `ftclip run ablation-tuner-vs-grid` is
+//! the canonical entry point (same flags, same output).
 
 fn main() {
-    let args = parse_args();
-    let data = experiment_data(args.seed);
-    let workload = trained_alexnet(&data, args.seed);
-    let eval = EvalSet::from_subset(data.val(), args.eval_size.min(data.val().len()), args.seed, 64);
-
-    let subset = data.val().subset(256.min(data.val().len()), args.seed);
-    let profiles = profile_network(&workload.model.network, subset.images(), 64, 32);
-    let sites = workload.model.network.activation_sites();
-    let comp_indices = workload.model.network.computational_indices();
-
-    let grid_points = 12usize;
-    let mut table =
-        ResultTable::new("ablation_tuner_vs_grid", &["site", "method", "threshold", "auc", "evaluations"]);
-
-    println!("Ablation — Algorithm 1 vs exhaustive grid ({grid_points} points)\n");
-    println!(
-        "{:<10} {:>12} {:>8} {:>6} | {:>12} {:>8} {:>6}",
-        "site", "alg1_T", "auc", "evals", "grid_T", "auc", "evals"
-    );
-    let mut alg1_total = 0usize;
-    let mut grid_total = 0usize;
-    let mut alg1_auc_sum = 0.0;
-    let mut grid_auc_sum = 0.0;
-    for (pos, profile) in profiles.iter().enumerate() {
-        let site = sites[pos];
-        let feeding = comp_indices.iter().copied().rfind(|&c| c < site).expect("site has feeder");
-        let mut auc_cfg = tuning_auc_config(args.seed, workload.rate_scale());
-        auc_cfg.repetitions = args.reps.min(3);
-        auc_cfg.target = InjectionTarget::Layer(feeding);
-        let act_max = profile.act_max.max(f32::MIN_POSITIVE);
-
-        // Algorithm 1
-        let mut net1 = workload.model.network.clone();
-        let init: Vec<f32> = profiles.iter().map(|p| p.act_max.max(f32::MIN_POSITIVE)).collect();
-        net1.convert_to_clipped(&init);
-        let tuner = ThresholdTuner::new(TunerConfig {
-            max_iterations: 3,
-            min_iterations: 2,
-            delta: 0.01,
-            auc: auc_cfg.clone(),
-        });
-        let alg1 = tuner.tune_site(&mut net1, site, act_max, &eval).expect("clipped site");
-
-        // grid
-        let mut net2 = workload.model.network.clone();
-        net2.convert_to_clipped(&init);
-        let grid =
-            grid_search_site(&mut net2, site, act_max, grid_points, &auc_cfg, &eval).expect("clipped site");
-
-        println!(
-            "{:<10} {:>12.4} {:>8.4} {:>6} | {:>12.4} {:>8.4} {:>6}",
-            profile.feeds_from,
-            alg1.threshold,
-            alg1.auc,
-            alg1.evaluations,
-            grid.threshold,
-            grid.auc,
-            grid.evaluations
-        );
-        table.row([
-            profile.feeds_from.as_str().into(),
-            "algorithm1".into(),
-            alg1.threshold.into(),
-            alg1.auc.into(),
-            alg1.evaluations.into(),
-        ]);
-        table.row([
-            profile.feeds_from.as_str().into(),
-            "grid".into(),
-            grid.threshold.into(),
-            grid.auc.into(),
-            grid.evaluations.into(),
-        ]);
-        alg1_total += alg1.evaluations;
-        grid_total += grid.evaluations;
-        alg1_auc_sum += alg1.auc;
-        grid_auc_sum += grid.auc;
-    }
-    args.writer().emit(&table);
-
-    println!(
-        "\ntotals: algorithm1 {} evaluations (mean AUC {:.4}) vs grid {} evaluations (mean AUC {:.4})",
-        alg1_total,
-        alg1_auc_sum / profiles.len() as f64,
-        grid_total,
-        grid_auc_sum / profiles.len() as f64
-    );
-    println!(
-        "shape check: algorithm1 within 0.05 AUC of grid ({}) at ≤ {:.0}% of its cost ({})",
-        (grid_auc_sum - alg1_auc_sum).abs() / profiles.len() as f64 <= 0.05,
-        100.0 * alg1_total as f64 / grid_total as f64,
-        alg1_total < grid_total
-    );
+    ftclip_bench::cli::legacy_main("ablation-tuner-vs-grid")
 }

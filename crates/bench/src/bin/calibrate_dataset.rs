@@ -1,61 +1,8 @@
-//! Calibration utility: sweeps the synthetic dataset's primary difficulty
-//! knob (`class_sep`, with `noise_std` fixed) and reports the trained
-//! AlexNet/VGG-16 test accuracies at each setting, so the experiment
-//! dataset can be pinned to the paper's baseline band (AlexNet 72.8 %,
-//! VGG-16 82.8 %).
+//! Calibration utility: dataset difficulty sweep (results feed DESIGN.md SS 3).
 //!
-//! Not a paper figure — a reproducibility tool (results feed DESIGN.md §3).
-
-use ftclip_bench::parse_args;
-use ftclip_data::SynthCifar;
-use ftclip_models::{ModelSpec, Zoo, ZooArch};
+//! Thin wrapper over the `calibrate` preset — `ftclip run calibrate` is
+//! the canonical entry point (same flags, same output).
 
 fn main() {
-    let args = parse_args();
-    let noise = 0.40f32;
-    println!("noise_std fixed at {noise} (VGG-16 = BN variant)");
-    println!("{:<10} {:>10} {:>10}", "class_sep", "alex_acc", "vgg_acc");
-    for sep in [0.2f32, 0.25, 0.3, 0.4] {
-        let data = SynthCifar::builder()
-            .seed(args.seed)
-            .train_size(3000)
-            .val_size(768)
-            .test_size(1024)
-            .noise_std(noise)
-            .class_sep(sep)
-            .build();
-        let zoo = Zoo::new(std::env::temp_dir().join("ftclip-calibration"));
-        let key = (sep.to_bits() as u64) << 32 | noise.to_bits() as u64;
-        let alex = zoo
-            .train_or_load(
-                &ModelSpec {
-                    arch: ZooArch::AlexNet,
-                    width_mult: 0.125,
-                    classes: 10,
-                    seed: args.seed ^ key,
-                    epochs: 10,
-                    batch_size: 64,
-                    lr: 0.03,
-                    augment: true,
-                },
-                &data,
-            )
-            .expect("train alexnet");
-        let vgg = zoo
-            .train_or_load(
-                &ModelSpec {
-                    arch: ZooArch::Vgg16Bn,
-                    width_mult: 0.125,
-                    classes: 10,
-                    seed: args.seed ^ key,
-                    epochs: 12,
-                    batch_size: 64,
-                    lr: 0.05,
-                    augment: true,
-                },
-                &data,
-            )
-            .expect("train vgg");
-        println!("{:<10.2} {:>10.3} {:>10.3}", sep, alex.test_accuracy, vgg.test_accuracy);
-    }
+    ftclip_bench::cli::legacy_main("calibrate")
 }

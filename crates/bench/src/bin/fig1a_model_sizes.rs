@@ -1,24 +1,8 @@
 //! Fig. 1a — parameter-memory sizes of the model zoo.
 //!
-//! The paper motivates the reliability problem with the memory footprint of
-//! state-of-the-art DNNs ("on average, the size of deeper networks is more
-//! than 100 MB"). This binary reports the parameter counts and `f32` memory
-//! of our zoo at full width, reproducing the ordering (VGG-16 ≫ AlexNet ≫
-//! LeNet-5).
-
-use ftclip_bench::parse_args;
-use ftclip_core::ResultTable;
-use ftclip_models::model_size_report;
+//! Thin wrapper over the `fig1a` preset — `ftclip run fig1a` is
+//! the canonical entry point (same flags, same output).
 
 fn main() {
-    let args = parse_args();
-    let report = model_size_report();
-    println!("Fig. 1a — model parameter memory (f32 storage)\n");
-    println!("{:<16} {:>12} {:>10}", "model", "parameters", "MB");
-    let mut table = ResultTable::new("fig1a_model_sizes", &["model", "params", "megabytes"]);
-    for row in &report {
-        println!("{:<16} {:>12} {:>10.2}", row.name, row.params, row.megabytes);
-        table.row([row.name.as_str().into(), row.params.into(), row.megabytes.into()]);
-    }
-    args.writer().emit(&table);
+    ftclip_bench::cli::legacy_main("fig1a")
 }

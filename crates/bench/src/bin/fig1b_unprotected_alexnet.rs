@@ -1,64 +1,8 @@
-//! Fig. 1b — classification accuracy of the unprotected AlexNet under
-//! increasing weight-memory fault rates.
+//! Fig. 1b — classification accuracy of the unprotected AlexNet under increasing weight-memory fault rates.
 //!
-//! Reproduction target (paper Fig. 1b): accuracy stays near baseline at low
-//! rates and collapses monotonically as the rate approaches 1e-5.
-
-use ftclip_bench::{campaign_summary_table, experiment_data, parse_args, trained_alexnet};
-use ftclip_core::EvalSet;
-use ftclip_fault::{cache_of, paper_fault_rates, Campaign, CampaignConfig, FaultModel, InjectionTarget};
+//! Thin wrapper over the `fig1b` preset — `ftclip run fig1b` is
+//! the canonical entry point (same flags, same output).
 
 fn main() {
-    let args = parse_args();
-    let data = experiment_data(args.seed);
-    let workload = trained_alexnet(&data, args.seed);
-    let net = workload.model.network.clone();
-    let eval = EvalSet::from_subset(data.test(), args.eval_size.min(data.test().len()), args.seed, 64);
-
-    let cfg = CampaignConfig {
-        fault_rates: workload.scaled_paper_rates(),
-        repetitions: args.reps,
-        seed: args.seed,
-        model: FaultModel::BitFlip,
-        target: InjectionTarget::AllWeights,
-    };
-    eprintln!(
-        "[fig1b] campaign: {} rates × {} reps on {} images, {} worker thread(s)",
-        cfg.fault_rates.len(),
-        cfg.repetitions,
-        eval.len(),
-        ftclip_tensor::num_threads()
-    );
-    let session = args.campaign_session("fig1b", &net, &cfg);
-    let result = Campaign::new(cfg).run_parallel_cached(&net, cache_of(&session), |n| eval.accuracy(n));
-
-    println!("Fig. 1b — unprotected AlexNet accuracy vs fault rate");
-    println!(
-        "(paper rates mapped ×{:.1} for the width-scaled memory, DESIGN.md §3)\n",
-        workload.rate_scale()
-    );
-    println!("baseline (clean) accuracy: {:.4}\n", result.clean_accuracy);
-    println!(
-        "{:<12} {:<12} {:>10} {:>10} {:>10}",
-        "paper_rate", "actual_rate", "mean_acc", "min_acc", "max_acc"
-    );
-    let paper_rates = paper_fault_rates();
-    for (i, summary) in result.summaries().iter().enumerate() {
-        println!(
-            "{:<12.1e} {:<12.1e} {:>10.4} {:>10.4} {:>10.4}",
-            paper_rates[i], result.fault_rates[i], summary.mean, summary.min, summary.max
-        );
-    }
-    args.writer()
-        .emit(&campaign_summary_table("fig1b_unprotected_alexnet", &result, &paper_rates));
-
-    // the headline qualitative check of Fig. 1b
-    let means = result.mean_accuracies();
-    let collapse = means.last().expect("non-empty grid");
-    println!(
-        "\nshape check: accuracy decreases with fault rate ({} → {:.4}), clean {:.4}",
-        means.first().map(|m| format!("{m:.4}")).unwrap_or_default(),
-        collapse,
-        result.clean_accuracy
-    );
+    ftclip_bench::cli::legacy_main("fig1b")
 }

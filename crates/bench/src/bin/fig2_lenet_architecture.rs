@@ -1,40 +1,8 @@
 //! Fig. 2 — the LeNet-5 architecture diagram (background figure).
 //!
-//! The paper's Fig. 2 is a structural diagram, not a measurement; this
-//! binary verifies and prints the same feature-map progression the figure
-//! annotates (6×28×28 → 6×14×14 → 16×10×10 → 16×5×5 → FC stack).
-
-use ftclip_bench::parse_args;
-use ftclip_models::lenet5;
-use ftclip_tensor::Tensor;
+//! Thin wrapper over the `fig2` preset — `ftclip run fig2` is
+//! the canonical entry point (same flags, same output).
 
 fn main() {
-    let _args = parse_args();
-    let net = lenet5(10, 0);
-    let x = Tensor::zeros(&[1, 1, 32, 32]);
-    let (_, records) = net.forward_recording(&x);
-
-    println!("Fig. 2 — LeNet-5 feature-map progression (input 1×32×32)\n");
-    println!("{:<6} {:<12} {:<16} {:>10}", "layer", "kind", "output", "params");
-    for (i, rec) in records.iter().enumerate() {
-        let dims = rec.output.shape().dims();
-        let shape = dims[1..].iter().map(|d| d.to_string()).collect::<Vec<_>>().join("×");
-        println!(
-            "{:<6} {:<12} {:<16} {:>10}",
-            i,
-            rec.kind.to_string(),
-            shape,
-            net.layers()[i].param_count()
-        );
-    }
-    println!("\ncomputational layers: {:?}", net.computational_names());
-    println!("total parameters: {}", net.param_count());
-
-    // the exact annotations of the paper's figure
-    let expect =
-        [(0usize, vec![6usize, 28, 28]), (2, vec![6, 14, 14]), (3, vec![16, 10, 10]), (5, vec![16, 5, 5])];
-    let ok = expect
-        .iter()
-        .all(|(idx, dims)| records[*idx].output.shape().dims()[1..] == dims[..]);
-    println!("shape check: feature maps match Fig. 2 annotations ({ok})");
+    ftclip_bench::cli::legacy_main("fig2")
 }

@@ -1,101 +1,8 @@
-//! Fig. 3 (b–d, f–h, j–l) — distributions of output activations under
-//! increasing fault rates.
+//! Fig. 3 (b–d, f–h, j–l) — distributions of output activations under increasing fault rates.
 //!
-//! For each analyzed layer (CONV-1, CONV-5, FC-1) and three fault rates, one
-//! injection is applied and the layer's output activations are recorded
-//! across an evaluation batch. The paper's observation to reproduce: at
-//! higher fault rates the distribution grows a tail of **huge-magnitude
-//! activations** (`ACT_max` jumps from O(1–100) to O(10³⁶–10³⁸)) because
-//! exponent-MSB bit flips inflate small weights.
-
-use ftclip_bench::{experiment_data, parse_args, trained_alexnet};
-use ftclip_core::ResultTable;
-use ftclip_fault::{FaultModel, Injection, InjectionTarget};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Thin wrapper over the `fig3-acts` preset — `ftclip run fig3-acts` is
+//! the canonical entry point (same flags, same output).
 
 fn main() {
-    let args = parse_args();
-    let data = experiment_data(args.seed);
-    let workload = trained_alexnet(&data, args.seed);
-    let mut net = workload.model.network.clone();
-    let batch = data
-        .test()
-        .subset(args.eval_size.min(256).min(data.test().len()), args.seed)
-        .images()
-        .clone();
-    let scale = workload.rate_scale();
-
-    // per-panel fault rates follow the paper's per-layer choices, mapped
-    // through the memory-size scale (DESIGN.md §3)
-    let panels: [(&str, [f64; 3]); 3] =
-        [("CONV-1", [1e-7, 1e-4, 5e-4]), ("CONV-5", [1e-7, 5e-6, 1e-5]), ("FC-1", [1e-7, 5e-7, 1e-6])];
-
-    let mut table = ResultTable::new(
-        "fig3_activation_distributions",
-        &["layer", "paper_rate", "actual_rate", "act_max", "frac_gt_10", "frac_gt_1e6", "frac_gt_1e30"],
-    );
-
-    println!("Fig. 3 (b–d, f–h, j–l) — activation distributions under faults");
-    println!("(paper rates mapped ×{scale:.1} for the width-scaled memory)\n");
-    let draws = args.reps.clamp(1, 5);
-    for (layer_name, rates) in panels {
-        let layer_index = net.layer_index_by_name(layer_name).expect("layer exists in AlexNet");
-        println!("{layer_name}:");
-        println!("{:<12} {:>12} {:>12} {:>12} {:>12}", "paper_rate", "ACT_max", ">10", ">1e6", ">1e30");
-        for paper_rate in rates {
-            let rate = (paper_rate * scale).min(1.0);
-            // worst (max-ACT_max) of several draws, as a representative
-            // faulted inference the way the paper's panels show one
-            let mut act_max = f32::NEG_INFINITY;
-            let mut fr10 = 0.0f64;
-            let mut fr1e6 = 0.0f64;
-            let mut fr1e30 = 0.0f64;
-            for draw in 0..draws {
-                let mut rng = StdRng::seed_from_u64(
-                    args.seed ^ (layer_index as u64) << 8 ^ rate.to_bits() ^ draw as u64,
-                );
-                let injection = Injection::sample(
-                    &net,
-                    InjectionTarget::Layer(layer_index),
-                    FaultModel::BitFlip,
-                    rate,
-                    &mut rng,
-                );
-                let handle = injection.apply(&mut net);
-                let (_, records) = net.forward_recording(&batch);
-                handle.undo(&mut net);
-                let output = &records[layer_index].output;
-                let total = output.len() as f64;
-                let dmax = output
-                    .iter()
-                    .copied()
-                    .filter(|v| v.is_finite())
-                    .fold(f32::NEG_INFINITY, f32::max);
-                if dmax > act_max {
-                    act_max = dmax;
-                    let frac = |thresh: f32| output.iter().filter(|&&v| v > thresh).count() as f64 / total;
-                    fr10 = frac(10.0);
-                    fr1e6 = frac(1e6);
-                    fr1e30 = frac(1e30);
-                }
-            }
-            println!(
-                "{:<12.1e} {:>12.3e} {:>12.2e} {:>12.2e} {:>12.2e}",
-                paper_rate, act_max, fr10, fr1e6, fr1e30
-            );
-            table.row([
-                layer_name.into(),
-                paper_rate.into(),
-                rate.into(),
-                act_max.into(),
-                fr10.into(),
-                fr1e6.into(),
-                fr1e30.into(),
-            ]);
-        }
-        println!();
-    }
-    args.writer().emit(&table);
-    println!("shape check: ACT_max at the highest rate should reach ~1e36–1e38 for at least one layer");
+    ftclip_bench::cli::legacy_main("fig3-acts")
 }

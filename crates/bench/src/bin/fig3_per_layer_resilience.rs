@@ -1,68 +1,8 @@
 //! Fig. 3 (a, e, i) — per-layer error-resilience of the AlexNet.
 //!
-//! Injects faults into one layer's weight memory at a time (CONV-1, CONV-5,
-//! FC-1, matching the panels of Fig. 3) and sweeps the fault rate.
-//!
-//! Reproduction targets: each layer's accuracy stays near baseline up to a
-//! layer-specific knee and then drops; the knee differs between layers
-//! because their parameter counts (and distances from the output) differ.
-
-use ftclip_bench::{experiment_data, parse_args, trained_alexnet};
-use ftclip_core::{EvalSet, ResultTable};
-use ftclip_fault::{cache_of, Campaign, CampaignConfig, FaultModel, InjectionTarget};
-
-/// The per-layer sweep uses a wider grid than the whole-network experiments
-/// because single layers hold far fewer bits (paper Fig. 3 sweeps CONV-1 up
-/// to 5e-4).
-fn per_layer_rates() -> Vec<f64> {
-    vec![1e-7, 5e-7, 1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4]
-}
+//! Thin wrapper over the `fig3-layers` preset — `ftclip run fig3-layers` is
+//! the canonical entry point (same flags, same output).
 
 fn main() {
-    let args = parse_args();
-    let data = experiment_data(args.seed);
-    let workload = trained_alexnet(&data, args.seed);
-    let net = workload.model.network.clone();
-    let eval = EvalSet::from_subset(data.test(), args.eval_size.min(data.test().len()), args.seed, 64);
-
-    let layers = ["CONV-1", "CONV-5", "FC-1"];
-    let scale = workload.rate_scale();
-    let mut table = ResultTable::new(
-        "fig3_per_layer_resilience",
-        &["layer", "paper_rate", "actual_rate", "mean_acc", "min_acc", "max_acc"],
-    );
-
-    println!("Fig. 3 (a, e, i) — per-layer resilience of the AlexNet");
-    println!("(paper rates mapped ×{scale:.1} for the width-scaled memory)");
-    println!("clean accuracy: {:.4}", eval.accuracy(&net));
-    let paper_rates = per_layer_rates();
-    for layer_name in layers {
-        let layer_index = net
-            .layer_index_by_name(layer_name)
-            .unwrap_or_else(|| panic!("{layer_name} not found in AlexNet"));
-        let cfg = CampaignConfig {
-            fault_rates: paper_rates.iter().map(|r| (r * scale).min(1.0)).collect(),
-            repetitions: args.reps,
-            seed: args.seed ^ layer_index as u64,
-            model: FaultModel::BitFlip,
-            target: InjectionTarget::Layer(layer_index),
-        };
-        eprintln!("[fig3] {layer_name}: {} rates × {} reps", cfg.fault_rates.len(), cfg.repetitions);
-        let session = args.campaign_session("fig3_per_layer", &net, &cfg);
-        let result = Campaign::new(cfg).run_parallel_cached(&net, cache_of(&session), |n| eval.accuracy(n));
-        println!("\n{layer_name} (network layer {layer_index}):");
-        println!("{:<12} {:>10} {:>10} {:>10}", "paper_rate", "mean_acc", "min_acc", "max_acc");
-        for (i, s) in result.summaries().iter().enumerate() {
-            println!("{:<12.1e} {:>10.4} {:>10.4} {:>10.4}", paper_rates[i], s.mean, s.min, s.max);
-            table.row([
-                layer_name.into(),
-                paper_rates[i].into(),
-                result.fault_rates[i].into(),
-                s.mean.into(),
-                s.min.into(),
-                s.max.into(),
-            ]);
-        }
-    }
-    args.writer().emit(&table);
+    ftclip_bench::cli::legacy_main("fig3-layers")
 }

@@ -1,69 +1,8 @@
 //! Fig. 4 — the three-step methodology flow (structural figure).
 //!
-//! The paper's Fig. 4 is the pipeline diagram: pre-trained DNN → Step 1
-//! statistical profiling → Step 2 clipped conversion with `ACT_max`
-//! initialization → Step 3 per-layer threshold fine-tuning → fault-tolerant
-//! DNN. This binary executes the flow on the AlexNet workload and prints
-//! the artifact produced at each stage, verifying the dataflow the figure
-//! draws (no training data touched, weights immutable, thresholds the only
-//! mutation).
-
-use ftclip_bench::{experiment_data, experiment_methodology, parse_args, trained_alexnet};
+//! Thin wrapper over the `fig4` preset — `ftclip run fig4` is
+//! the canonical entry point (same flags, same output).
 
 fn main() {
-    let args = parse_args();
-    let data = experiment_data(args.seed);
-    let workload = trained_alexnet(&data, args.seed);
-    let mut net = workload.model.network.clone();
-
-    let weights_before: Vec<u32> = {
-        let mut v = Vec::new();
-        net.visit_params(&mut |_, _, t, _| v.extend(t.data().iter().map(|x| x.to_bits())));
-        v
-    };
-
-    println!("Fig. 4 — methodology walkthrough on the AlexNet workload\n");
-    println!(
-        "input: pre-trained DNN ({} params), validation set ({} images)\n",
-        net.param_count(),
-        data.val().len()
-    );
-
-    let methodology = experiment_methodology(args.seed, 256.min(data.val().len()), workload.rate_scale());
-    let report = methodology.harden(&mut net, data.val());
-
-    println!("Step 1 — statistical profiling (subset of the validation set):");
-    for p in &report.profiles {
-        println!(
-            "  {:<8} ACT_max {:>9.4}  mean {:>8.4}  range [{:>8.4}, {:>8.4}]",
-            p.feeds_from, p.act_max, p.mean, p.act_min, p.act_max
-        );
-    }
-
-    println!("\nStep 2 — clipped conversion, thresholds initialized to ACT_max:");
-    println!("  initial thresholds: {:?}", report.initial_thresholds);
-
-    println!("\nStep 3 — per-layer fine-tuning (Algorithm 1):");
-    for l in &report.per_layer {
-        println!(
-            "  {:<8} T: {:>9.4} → {:>9.4}  ({} iterations, {} AUC evaluations)",
-            l.feeds_from,
-            l.act_max,
-            l.outcome.threshold,
-            l.outcome.trace.len(),
-            l.outcome.evaluations
-        );
-    }
-
-    let weights_after: Vec<u32> = {
-        let mut v = Vec::new();
-        net.visit_params(&mut |_, _, t, _| v.extend(t.data().iter().map(|x| x.to_bits())));
-        v
-    };
-    println!("\noutput: fault-tolerant DNN with tuned clipped activations");
-    println!(
-        "invariant checks: weights untouched ({}), all sites clipped ({})",
-        weights_before == weights_after,
-        net.clip_thresholds().iter().all(Option::is_some)
-    );
+    ftclip_bench::cli::legacy_main("fig4")
 }

@@ -1,81 +1,8 @@
-//! Fig. 5 — the AUC resilience metric vs the clipping threshold `T` of
-//! CONV-4 of the AlexNet.
+//! Fig. 5 — the AUC resilience metric vs the clipping threshold T of CONV-4 of the AlexNet.
 //!
-//! Reproduction targets (paper Fig. 5b): sweeping `T` from `ACT_max` down,
-//! the AUC rises to a bell-shaped peak strictly below `ACT_max` and then
-//! collapses as `T` starts clipping legitimate activations; the AUC of the
-//! network with *unbounded* activations (the red line) sits far below the
-//! whole usable range of the curve.
-
-use ftclip_bench::{experiment_data, parse_args, trained_alexnet, tuning_auc_config};
-use ftclip_core::{campaign_auc, profile_network, EvalSet, ResultTable};
-use ftclip_fault::InjectionTarget;
+//! Thin wrapper over the `fig5` preset — `ftclip run fig5` is
+//! the canonical entry point (same flags, same output).
 
 fn main() {
-    let args = parse_args();
-    let data = experiment_data(args.seed);
-    let workload = trained_alexnet(&data, args.seed);
-    let base = workload.model.network.clone();
-    let eval = EvalSet::from_subset(data.val(), args.eval_size.min(data.val().len()), args.seed, 64);
-
-    // Step 1: profile ACT_max on a validation subset
-    let subset = data.val().subset(256.min(data.val().len()), args.seed);
-    let profiles = profile_network(&base, subset.images(), 64, 32);
-    let sites = base.activation_sites();
-
-    let conv4_layer = base.layer_index_by_name("CONV-4").expect("AlexNet has CONV-4");
-    let (conv4_site_pos, conv4_profile) = profiles
-        .iter()
-        .enumerate()
-        .find(|(_, p)| p.feeds_from == "CONV-4")
-        .expect("CONV-4 feeds an activation site");
-    let act_max = conv4_profile.act_max;
-    let conv4_site = sites[conv4_site_pos];
-
-    // AUC measurement campaign: faults in CONV-4 only (as in Fig. 5a)
-    let mut auc_cfg = tuning_auc_config(args.seed, workload.rate_scale());
-    auc_cfg.repetitions = args.reps.min(10);
-    auc_cfg.target = InjectionTarget::Layer(conv4_layer);
-
-    // red line: unbounded activations
-    let unbounded_auc = {
-        let mut net = base.clone();
-        auc_cfg.measure(&mut net, &eval)
-    };
-
-    // blue curve: initialize all sites at ACT_max, sweep CONV-4's threshold
-    let mut net = base.clone();
-    let init: Vec<f32> = profiles.iter().map(|p| p.act_max.max(f32::MIN_POSITIVE)).collect();
-    net.convert_to_clipped(&init);
-
-    let sweep_points = 13usize;
-    let mut table = ResultTable::new("fig5_auc_vs_threshold", &["threshold", "auc"]);
-    println!("Fig. 5b — AUC vs clipping threshold T (CONV-4, ACT_max = {act_max:.4})\n");
-    println!("{:>12} {:>10}", "T", "AUC");
-    let mut best = (0.0f32, f64::NEG_INFINITY);
-    for k in 1..=sweep_points {
-        let t = act_max * k as f32 / sweep_points as f32;
-        net.set_clip_threshold(conv4_site, t).expect("site is clipped");
-        let result = auc_cfg.run_campaign(&mut net, &eval);
-        let auc = campaign_auc(&result);
-        println!("{t:>12.4} {auc:>10.4}");
-        table.row([t.into(), auc.into()]);
-        if auc > best.1 {
-            best = (t, auc);
-        }
-    }
-    args.writer().emit(&table);
-
-    println!("\nunbounded-activation AUC (red line): {unbounded_auc:.4}");
-    println!(
-        "peak: AUC {:.4} at T = {:.4} ({}% of ACT_max)",
-        best.1,
-        best.0,
-        (100.0 * best.0 / act_max) as i32
-    );
-    println!(
-        "shape check: peak below ACT_max ({}), clipped AUC ≥ unbounded AUC ({})",
-        best.0 < act_max,
-        best.1 >= unbounded_auc
-    );
+    ftclip_bench::cli::legacy_main("fig5")
 }

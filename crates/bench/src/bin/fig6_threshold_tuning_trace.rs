@@ -1,101 +1,8 @@
-//! Fig. 6 — the Algorithm 1 interval search applied to CONV-4 of the
-//! AlexNet, one panel per iteration.
+//! Fig. 6 — the Algorithm 1 interval search applied to CONV-4 of the AlexNet.
 //!
-//! Reproduction target: each iteration evaluates the AUC at the four
-//! boundaries of three equal sub-intervals, keeps the region around the best
-//! boundary, and the search interval shrinks monotonically toward the
-//! AUC-vs-T peak found by the exhaustive sweep of Fig. 5b.
-
-use ftclip_bench::{experiment_data, parse_args, trained_alexnet, tuning_auc_config};
-use ftclip_core::{profile_network, EvalSet, ResultTable, ThresholdTuner, TunerConfig};
-use ftclip_fault::InjectionTarget;
+//! Thin wrapper over the `fig6` preset — `ftclip run fig6` is
+//! the canonical entry point (same flags, same output).
 
 fn main() {
-    let args = parse_args();
-    let data = experiment_data(args.seed);
-    let workload = trained_alexnet(&data, args.seed);
-    let mut net = workload.model.network.clone();
-    let eval = EvalSet::from_subset(data.val(), args.eval_size.min(data.val().len()), args.seed, 64);
-
-    let subset = data.val().subset(256.min(data.val().len()), args.seed);
-    let profiles = profile_network(&net, subset.images(), 64, 32);
-    let sites = net.activation_sites();
-    let init: Vec<f32> = profiles.iter().map(|p| p.act_max.max(f32::MIN_POSITIVE)).collect();
-    net.convert_to_clipped(&init);
-
-    let conv4_layer = net.layer_index_by_name("CONV-4").expect("AlexNet has CONV-4");
-    let (conv4_site_pos, conv4_profile) = profiles
-        .iter()
-        .enumerate()
-        .find(|(_, p)| p.feeds_from == "CONV-4")
-        .expect("CONV-4 feeds an activation site");
-    let conv4_site = sites[conv4_site_pos];
-
-    let mut auc = tuning_auc_config(args.seed, workload.rate_scale());
-    auc.repetitions = args.reps.min(5);
-    auc.target = InjectionTarget::Layer(conv4_layer);
-    let tuner = ThresholdTuner::new(TunerConfig { max_iterations: 4, min_iterations: 2, delta: 0.005, auc });
-
-    eprintln!("[fig6] tuning CONV-4 (ACT_max = {:.4}) …", conv4_profile.act_max);
-    let outcome = tuner
-        .tune_site(&mut net, conv4_site, conv4_profile.act_max, &eval)
-        .expect("site is clipped");
-
-    let mut table = ResultTable::new(
-        "fig6_threshold_tuning_trace",
-        &[
-            "iteration",
-            "interval_lo",
-            "interval_hi",
-            "t1",
-            "t2",
-            "t3",
-            "t4",
-            "auc1",
-            "auc2",
-            "auc3",
-            "auc4",
-            "best",
-        ],
-    );
-
-    println!("Fig. 6 — Algorithm 1 trace on CONV-4 (ACT_max = {:.4})\n", conv4_profile.act_max);
-    for (i, iter) in outcome.trace.iter().enumerate() {
-        println!("iteration {}: S = [{:.4}, {:.4}]", i + 1, iter.interval.0, iter.interval.1);
-        for (b, (t, a)) in iter.boundaries.iter().zip(iter.aucs).enumerate() {
-            let marker = if b == iter.best_index { "  ← max AUC" } else { "" };
-            println!("    T{} = {:>9.4}  AUC = {:.4}{}", b + 1, t, a, marker);
-        }
-        table.row([
-            (i + 1).into(),
-            iter.interval.0.into(),
-            iter.interval.1.into(),
-            iter.boundaries[0].into(),
-            iter.boundaries[1].into(),
-            iter.boundaries[2].into(),
-            iter.boundaries[3].into(),
-            iter.aucs[0].into(),
-            iter.aucs[1].into(),
-            iter.aucs[2].into(),
-            iter.aucs[3].into(),
-            (iter.best_index + 1).into(),
-        ]);
-    }
-    args.writer().emit(&table);
-
-    println!(
-        "\nselected T = {:.4} (AUC {:.4}) after {} iterations, {} AUC evaluations",
-        outcome.threshold,
-        outcome.auc,
-        outcome.trace.len(),
-        outcome.evaluations
-    );
-    let shrank = outcome
-        .trace
-        .windows(2)
-        .all(|w| (w[1].interval.1 - w[1].interval.0) < (w[0].interval.1 - w[0].interval.0) + 1e-9);
-    println!(
-        "shape check: interval shrinks every iteration ({shrank}), T < ACT_max ({})",
-        outcome.threshold < conv4_profile.act_max
-    );
+    ftclip_bench::cli::legacy_main("fig6")
 }

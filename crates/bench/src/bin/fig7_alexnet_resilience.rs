@@ -1,38 +1,8 @@
-//! Fig. 7 — error-resilience evaluation of the AlexNet with and without
-//! clipped activation functions.
+//! Fig. 7 — error-resilience evaluation of the AlexNet with and without clipped activation functions.
 //!
-//! Runs the complete FT-ClipAct pipeline (profile → convert → Algorithm 1
-//! fine-tuning) on a trained AlexNet, then sweeps the paper's fault-rate
-//! grid with bit-flip campaigns on both the hardened and the unprotected
-//! network, evaluating on the held-out test split.
-//!
-//! Reproduction targets: the clipped network holds near-baseline accuracy
-//! 1–2 decades beyond the unprotected collapse; its worst-case (min)
-//! accuracy at 1e-8–5e-8 stays near baseline while the unprotected worst
-//! case craters; the AUC improvement is large and positive (paper:
-//! +173.32 % over 0…1e-5).
-
-use ftclip_bench::{
-    evaluate_resilience, experiment_data, parse_args, print_panels, shape_checks, trained_alexnet,
-};
+//! Thin wrapper over the `fig7` preset — `ftclip run fig7` is
+//! the canonical entry point (same flags, same output).
 
 fn main() {
-    let args = parse_args();
-    let data = experiment_data(args.seed);
-    let workload = trained_alexnet(&data, args.seed);
-
-    println!("Fig. 7 — AlexNet resilience with/without clipped activations\n");
-    let evaluation = evaluate_resilience(&workload, &args);
-    print_panels(&evaluation, "fig7_alexnet", &args);
-
-    let failures = shape_checks(&evaluation);
-    if failures.is_empty() {
-        println!("\nshape checks: all passed");
-    } else {
-        println!("\nshape checks FAILED:");
-        for f in failures {
-            println!("  - {f}");
-        }
-        std::process::exit(1);
-    }
+    ftclip_bench::cli::legacy_main("fig7")
 }

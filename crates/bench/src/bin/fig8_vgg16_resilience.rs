@@ -1,32 +1,8 @@
-//! Fig. 8 — error-resilience evaluation of the VGG-16 with and without
-//! clipped activation functions.
+//! Fig. 8 — error-resilience evaluation of the VGG-16 with and without clipped activation functions.
 //!
-//! Same protocol as Fig. 7 on the deeper VGG-16. Reproduction targets: the
-//! unprotected VGG-16 (more parameters, more depth) collapses *earlier*
-//! than the AlexNet, and the clipped variant gains *more* (paper: +654.91 %
-//! AUC at ≤5e-7, +68.92 % accuracy at 1e-5).
-
-use ftclip_bench::{
-    evaluate_resilience, experiment_data, parse_args, print_panels, shape_checks, trained_vgg16,
-};
+//! Thin wrapper over the `fig8` preset — `ftclip run fig8` is
+//! the canonical entry point (same flags, same output).
 
 fn main() {
-    let args = parse_args();
-    let data = experiment_data(args.seed);
-    let workload = trained_vgg16(&data, args.seed);
-
-    println!("Fig. 8 — VGG-16 resilience with/without clipped activations\n");
-    let evaluation = evaluate_resilience(&workload, &args);
-    print_panels(&evaluation, "fig8_vgg16", &args);
-
-    let failures = shape_checks(&evaluation);
-    if failures.is_empty() {
-        println!("\nshape checks: all passed");
-    } else {
-        println!("\nshape checks FAILED:");
-        for f in failures {
-            println!("  - {f}");
-        }
-        std::process::exit(1);
-    }
+    ftclip_bench::cli::legacy_main("fig8")
 }

@@ -1,0 +1,9 @@
+//! `ftclip` — the unified, spec-driven experiment driver.
+//!
+//! See `ftclip list` for the preset catalogue and the crate docs for the
+//! spec-file format; this binary is a thin shell over
+//! [`ftclip_bench::cli::ftclip_main`].
+
+fn main() {
+    std::process::exit(ftclip_bench::cli::ftclip_main(std::env::args().skip(1)))
+}

@@ -1,90 +1,8 @@
-//! §V-B headline numbers — the paper's quoted results as one table.
+//! SS V-B headline numbers — the paper's quoted results as one table.
 //!
-//! | paper claim | our measurement |
-//! |-------------|-----------------|
-//! | AlexNet @5e-7: 69.36 % clipped vs 51.16 % unprotected | printed below |
-//! | AlexNet AUC improvement (0…1e-5): +173.32 % | printed below |
-//! | VGG-16 accuracy improvement @1e-5: +68.92 % | printed below |
-//! | VGG-16 AUC improvement: +654.91 % (at ≤5e-7) | printed below |
-//!
-//! Absolute numbers differ (synthetic dataset, width-scaled models); the
-//! claims to reproduce are the *signs and magnitudes*: large positive
-//! improvements, VGG-16 gaining more than AlexNet.
-
-use ftclip_bench::{evaluate_resilience, experiment_data, parse_args, trained_alexnet, trained_vgg16};
-use ftclip_core::{auc_normalized, improvement_percent, ResultTable};
-
-struct HeadlineRow {
-    metric: String,
-    paper: String,
-    measured: String,
-}
-
-fn auc_up_to(result: &ftclip_fault::CampaignResult, max_rate: f64) -> f64 {
-    let pts: Vec<(f64, f64)> = result
-        .curve_with_clean_point()
-        .into_iter()
-        .filter(|&(r, _)| r <= max_rate * 1.0001)
-        .collect();
-    auc_normalized(&pts)
-}
+//! Thin wrapper over the `headline` preset — `ftclip run headline` is
+//! the canonical entry point (same flags, same output).
 
 fn main() {
-    let args = parse_args();
-    let data = experiment_data(args.seed);
-
-    println!("§V-B headline table (paper vs measured)\n");
-    let mut rows: Vec<HeadlineRow> = Vec::new();
-
-    // ---------------- AlexNet ----------------
-    // paper rates are mapped through the memory-size scale so the expected
-    // fault count matches the full-width network (see bench::resilience docs)
-    let alex = trained_alexnet(&data, args.seed);
-    let alex_eval = evaluate_resilience(&alex, &args);
-    let (p, u) = alex_eval.comparison.accuracies_at(alex.scaled_rate(5e-7));
-    rows.push(HeadlineRow {
-        metric: "AlexNet accuracy @5e-7 (clipped vs unprotected)".into(),
-        paper: "69.36% vs 51.16%".into(),
-        measured: format!("{:.2}% vs {:.2}%", p * 100.0, u * 100.0),
-    });
-    rows.push(HeadlineRow {
-        metric: "AlexNet AUC improvement (0…1e-5)".into(),
-        paper: "+173.32%".into(),
-        measured: format!("{:+.2}%", alex_eval.comparison.auc_improvement_percent()),
-    });
-
-    // ---------------- VGG-16 ----------------
-    let vgg = trained_vgg16(&data, args.seed);
-    let vgg_eval = evaluate_resilience(&vgg, &args);
-    let (pv, uv) = vgg_eval.comparison.accuracies_at(vgg.scaled_rate(1e-5));
-    rows.push(HeadlineRow {
-        metric: "VGG-16 accuracy improvement @1e-5".into(),
-        paper: "+68.92%".into(),
-        measured: format!("{:+.2}% ({:.2}% vs {:.2}%)", improvement_percent(uv, pv), pv * 100.0, uv * 100.0),
-    });
-    let vgg_auc_low_p = auc_up_to(&vgg_eval.protected, vgg.scaled_rate(5e-7));
-    let vgg_auc_low_u = auc_up_to(&vgg_eval.unprotected, vgg.scaled_rate(5e-7));
-    rows.push(HeadlineRow {
-        metric: "VGG-16 AUC improvement (0…5e-7)".into(),
-        paper: "+654.91%".into(),
-        measured: format!("{:+.2}%", improvement_percent(vgg_auc_low_u, vgg_auc_low_p)),
-    });
-    rows.push(HeadlineRow {
-        metric: "VGG-16 gains more than AlexNet (AUC improvement)".into(),
-        paper: "yes".into(),
-        measured: format!(
-            "{} ({:+.2}% vs {:+.2}%)",
-            vgg_eval.comparison.auc_improvement_percent() > alex_eval.comparison.auc_improvement_percent(),
-            vgg_eval.comparison.auc_improvement_percent(),
-            alex_eval.comparison.auc_improvement_percent()
-        ),
-    });
-
-    println!("{:<52} {:<22} measured", "metric", "paper");
-    let mut table = ResultTable::new("headline_table", &["metric", "paper", "measured"]);
-    for row in &rows {
-        println!("{:<52} {:<22} {}", row.metric, row.paper, row.measured);
-        table.row([row.metric.as_str().into(), row.paper.as_str().into(), row.measured.as_str().into()]);
-    }
-    args.writer().emit(&table);
+    ftclip_bench::cli::legacy_main("headline")
 }

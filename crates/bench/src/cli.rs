@@ -1,0 +1,234 @@
+//! The unified `ftclip` command-line driver and the legacy per-figure
+//! entry points.
+//!
+//! ```text
+//! ftclip list                          # catalogue of presets
+//! ftclip describe <preset>             # the preset's spec as JSON
+//! ftclip run <preset|spec.json>...     # run one spec or a batch
+//! ftclip run --all-figs --quick        # smoke-run every figure/ablation
+//! ```
+//!
+//! Every run accepts the shared flags (see [`RunSettings`]); a spec file
+//! may hold one spec object or an array of specs (a batch).
+
+use crate::presets::{figure_presets, preset, presets};
+use crate::runner::{RunOutcome, Runner};
+use crate::settings::RunSettings;
+use crate::spec::{ExperimentSpec, SpecError};
+
+/// Entry point of the `ftclip` binary. Returns the process exit code.
+pub fn ftclip_main(args: impl Iterator<Item = String>) -> i32 {
+    let mut args = args.peekable();
+    let command = match args.next() {
+        Some(c) => c,
+        None => return usage("missing command"),
+    };
+    match command.as_str() {
+        "list" => list(),
+        "describe" => match args.next() {
+            Some(name) => describe(&name),
+            None => usage("describe needs a preset name"),
+        },
+        "run" => run(args),
+        "--help" | "-h" | "help" => usage("ftclip — declarative FT-ClipAct experiment driver"),
+        other => usage(&format!("unknown command '{other}'")),
+    }
+}
+
+fn usage(reason: &str) -> i32 {
+    eprintln!("{reason}");
+    eprintln!(
+        "usage:\n  ftclip list\n  ftclip describe <preset>\n  \
+         ftclip run <preset|spec.json>... [--all-figs] {}",
+        RunSettings::usage_flags()
+    );
+    2
+}
+
+fn list() -> i32 {
+    println!("{:<24} {:<26} description", "preset", "procedure");
+    for p in presets() {
+        println!("{:<24} {:<26} {}", p.name, p.spec.procedure.to_string(), p.about);
+    }
+    println!("\nrun one with `ftclip run <preset>`; see its spec with `ftclip describe <preset>`");
+    0
+}
+
+fn describe(name: &str) -> i32 {
+    match preset(name) {
+        Ok(p) => {
+            println!("# {} — {}", p.name, p.about);
+            println!("{}", p.spec.to_json());
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            2
+        }
+    }
+}
+
+/// Resolves one `ftclip run` positional: a preset name, or a path to a
+/// JSON spec file holding one spec object or an array of specs.
+fn resolve_positional(arg: &str) -> Result<Vec<ExperimentSpec>, String> {
+    if std::path::Path::new(arg).extension().is_some_and(|e| e == "json") {
+        let text = std::fs::read_to_string(arg).map_err(|e| format!("{arg}: {e}"))?;
+        let value = serde_json::from_str(&text).map_err(|e| format!("{arg}: {e}"))?;
+        let specs = match value.as_array() {
+            Some(items) => items
+                .iter()
+                .map(ExperimentSpec::from_value)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| format!("{arg}: {e}"))?,
+            None => vec![ExperimentSpec::from_value(&value).map_err(|e| format!("{arg}: {e}"))?],
+        };
+        if specs.is_empty() {
+            return Err(format!("{arg}: spec file holds no specs"));
+        }
+        Ok(specs)
+    } else {
+        preset(arg).map(|p| vec![p.spec]).map_err(|e| e.to_string())
+    }
+}
+
+fn run(args: impl Iterator<Item = String>) -> i32 {
+    let mut all_figs = false;
+    let filtered: Vec<String> = args
+        .filter(|a| {
+            if a == "--all-figs" {
+                all_figs = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    let (settings, positionals) =
+        match RunSettings::from_arg_list(filtered.into_iter(), std::env::var("FTCLIP_CACHE").ok().as_deref())
+        {
+            Ok(parsed) => parsed,
+            Err(e) => return usage(&e),
+        };
+
+    let mut specs: Vec<ExperimentSpec> = Vec::new();
+    if all_figs {
+        specs.extend(figure_presets().into_iter().map(|p| p.spec));
+    }
+    for arg in &positionals {
+        match resolve_positional(arg) {
+            Ok(resolved) => specs.extend(resolved),
+            Err(e) => return usage(&e),
+        }
+    }
+    if specs.is_empty() {
+        return usage("run needs at least one preset name or spec file (or --all-figs)");
+    }
+    let specs: Vec<ExperimentSpec> = specs.iter().map(|s| settings.apply(s)).collect();
+
+    let runner = Runner::new(settings);
+    let outcomes = if specs.len() == 1 {
+        runner
+            .run(&specs[0])
+            .map(|o| vec![o])
+            .map_err(|e| SpecError::InSpec(specs[0].name.clone(), Box::new(e)))
+    } else {
+        eprintln!(
+            "[batch] {} experiment(s) under a {}-thread budget",
+            specs.len(),
+            ftclip_tensor::num_threads()
+        );
+        runner.run_batch(&specs)
+    };
+    match outcomes {
+        Ok(outcomes) => report_outcomes(&outcomes),
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+/// Prints each outcome's buffered report (in batch order) and summarizes
+/// failures. Returns the exit code.
+fn report_outcomes(outcomes: &[RunOutcome]) -> i32 {
+    let mut failed = 0usize;
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if outcomes.len() > 1 {
+            println!("════ [{}/{}] {} ════", i + 1, outcomes.len(), outcome.name);
+        }
+        print!("{}", outcome.report);
+        if outcomes.len() > 1 {
+            println!();
+        }
+        if !outcome.passed() {
+            failed += 1;
+        }
+    }
+    if outcomes.len() > 1 {
+        let passed = outcomes.len() - failed;
+        println!("batch done: {passed}/{} passed shape checks", outcomes.len());
+    }
+    if failed > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+/// Entry point of the legacy per-figure binaries: parses the shared flags
+/// (no positionals), runs the named preset, prints its report, and exits —
+/// nonzero when shape checks fail, exactly like the historical binaries.
+pub fn legacy_main(preset_name: &str) -> ! {
+    let settings = RunSettings::parse_args();
+    let p = preset(preset_name).unwrap_or_else(|e| panic!("legacy wrapper: {e}"));
+    let spec = settings.apply(&p.spec);
+    let runner = Runner::new(settings);
+    match runner.run(&spec) {
+        Ok(outcome) => {
+            print!("{}", outcome.report);
+            std::process::exit(i32::from(!outcome.passed()))
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_resolves_as_a_positional() {
+        for p in presets() {
+            let specs = resolve_positional(p.name).unwrap();
+            assert_eq!(specs.len(), 1);
+            assert_eq!(specs[0].name, p.spec.name);
+        }
+        assert!(resolve_positional("fig99").is_err());
+        assert!(resolve_positional("missing.json").is_err());
+    }
+
+    #[test]
+    fn spec_files_resolve_single_objects_and_arrays() {
+        let dir = std::env::temp_dir().join(format!("ftclip-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let single = dir.join("one.json");
+        std::fs::write(&single, r#"{"name": "one", "procedure": "model-sizes"}"#).unwrap();
+        assert_eq!(resolve_positional(single.to_str().unwrap()).unwrap().len(), 1);
+        let batch = dir.join("two.json");
+        std::fs::write(
+            &batch,
+            r#"[{"name": "a", "procedure": "model-sizes"}, {"name": "b", "procedure": "architecture"}]"#,
+        )
+        .unwrap();
+        let specs = resolve_positional(batch.to_str().unwrap()).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[1].name, "b");
+        let empty = dir.join("empty.json");
+        std::fs::write(&empty, "[]").unwrap();
+        assert!(resolve_positional(empty.to_str().unwrap()).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,264 @@
+//! Procedure implementations: the experiment bodies behind every figure
+//! and ablation, executed against a [`RunContext`].
+//!
+//! Each procedure reads its parameters from the [`ExperimentSpec`], writes
+//! its human-readable panels into the context's *report buffer* (so a batch
+//! of concurrently running experiments never interleaves its output), and
+//! emits result tables through the shared typed writer. The report, table
+//! paths and shape-check failures come back to the
+//! [`Runner`](crate::Runner) as a `RunOutcome`.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use ftclip_core::{EvalSet, EvalSettings, ResultTable};
+use ftclip_data::SynthCifar;
+use ftclip_fault::CampaignConfig;
+use ftclip_models::ZooArch;
+use ftclip_nn::Sequential;
+use ftclip_store::{campaign_fingerprint, ResultStore, StoreSession};
+
+use crate::settings::RunSettings;
+use crate::spec::{ExperimentSpec, Procedure, SpecError, WorkloadSpec};
+use crate::workload::{load_workload, spec_data, Workload};
+
+mod ablations;
+mod calibrate;
+mod figures;
+pub mod resilience;
+
+/// Appends one formatted line to the context's report buffer (the
+/// procedure-side replacement for `println!`).
+macro_rules! outln {
+    ($ctx:expr) => { $ctx.line(String::new()) };
+    ($ctx:expr, $($arg:tt)*) => { $ctx.line(format!($($arg)*)) };
+}
+pub(crate) use outln;
+
+/// In-memory memo of loaded workloads, shared across a batch so specs that
+/// agree on (model spec × dataset) train or load the network exactly once.
+///
+/// Hits hand out `Arc` clones (a workload owns the full dataset tensors —
+/// tens of megabytes — and nothing mutates it), and concurrent misses on
+/// one key serialize on a per-key slot lock: exactly one worker trains,
+/// so two batch members can never race unsynchronized `save_network`
+/// writes onto the same zoo cache file. Distinct keys stay concurrent.
+#[derive(Debug, Default)]
+pub struct WorkloadMemo {
+    #[allow(clippy::type_complexity)]
+    slots: Mutex<HashMap<String, std::sync::Arc<Mutex<Option<std::sync::Arc<Workload>>>>>>,
+}
+
+impl WorkloadMemo {
+    fn key(spec: &ExperimentSpec, workload: &WorkloadSpec) -> String {
+        format!(
+            "{}|{}x{}x{}|n{:08x}s{:08x}|seed{}",
+            workload.model_spec(spec.seed).cache_key(),
+            spec.data.train_size,
+            spec.data.val_size,
+            spec.data.test_size,
+            spec.data.noise_std.to_bits(),
+            spec.data.class_sep.to_bits(),
+            spec.seed,
+        )
+    }
+
+    /// Loads (or returns the memoized copy of) the workload `spec`
+    /// describes with `workload` in place of its own workload field.
+    pub fn load(
+        &self,
+        spec: &ExperimentSpec,
+        workload: &WorkloadSpec,
+        assets_dir: &std::path::Path,
+    ) -> std::sync::Arc<Workload> {
+        let slot = self
+            .slots
+            .lock()
+            .expect("workload memo lock")
+            .entry(WorkloadMemo::key(spec, workload))
+            .or_default()
+            .clone();
+        // per-key lock held across the load: the map lock is already
+        // released, so only callers of *this* workload wait
+        let mut guard = slot.lock().expect("workload slot lock");
+        if let Some(hit) = &*guard {
+            return hit.clone();
+        }
+        let mut resolved = spec.clone();
+        resolved.workload = workload.clone();
+        let data = spec_data(&resolved);
+        let loaded = std::sync::Arc::new(load_workload(&resolved, &data, assets_dir));
+        *guard = Some(loaded.clone());
+        loaded
+    }
+}
+
+/// Everything one running experiment sees: its spec, the run settings, the
+/// shared workload memo, and the output sinks (report buffer, table paths,
+/// shape-check failures).
+pub struct RunContext<'a> {
+    /// The validated spec being executed.
+    pub spec: &'a ExperimentSpec,
+    /// Output/cache locations and overrides.
+    pub settings: &'a RunSettings,
+    workloads: &'a WorkloadMemo,
+    report: String,
+    tables: Vec<PathBuf>,
+    failures: Vec<String>,
+}
+
+impl<'a> RunContext<'a> {
+    pub(crate) fn new(
+        spec: &'a ExperimentSpec,
+        settings: &'a RunSettings,
+        workloads: &'a WorkloadMemo,
+    ) -> Self {
+        RunContext {
+            spec,
+            settings,
+            workloads,
+            report: String::new(),
+            tables: Vec::new(),
+            failures: Vec::new(),
+        }
+    }
+
+    /// Appends one line to the report buffer.
+    pub fn line(&mut self, line: String) {
+        self.report.push_str(&line);
+        self.report.push('\n');
+    }
+
+    /// Writes a table through the shared writer and records its path.
+    pub fn emit(&mut self, table: &ResultTable) {
+        let path = self.settings.writer().emit(table);
+        self.tables.push(path);
+    }
+
+    /// Records a failed shape check (reported and reflected in the exit
+    /// code by the entry points).
+    pub fn fail(&mut self, failure: String) {
+        self.failures.push(failure);
+    }
+
+    /// The spec's trained workload (memoized across the batch).
+    pub fn workload(&self) -> std::sync::Arc<Workload> {
+        self.workloads.load(self.spec, &self.spec.workload, &self.settings.assets_dir)
+    }
+
+    /// A workload of a specific architecture over the same dataset and
+    /// seed (the headline table compares AlexNet and VGG-16 in one run).
+    /// When `arch` is the spec's own architecture the spec's workload
+    /// hyper-parameters apply; other architectures use their defaults.
+    pub fn workload_for_arch(&self, arch: ZooArch) -> std::sync::Arc<Workload> {
+        let workload = if self.spec.workload.arch == arch {
+            self.spec.workload.clone()
+        } else {
+            WorkloadSpec::default_for(arch)
+        };
+        self.workloads.load(self.spec, &workload, &self.settings.assets_dir)
+    }
+
+    /// The dataset the spec describes.
+    pub fn data(&self) -> SynthCifar {
+        spec_data(self.spec)
+    }
+
+    /// The spec's evaluation-subset settings.
+    pub fn eval_settings(&self) -> EvalSettings {
+        EvalSettings {
+            subset_size: self.spec.eval_size,
+            seed: self.spec.seed,
+            batch_size: self.spec.eval_batch,
+        }
+    }
+
+    /// The evaluation set over a dataset split (usually the test split; the
+    /// tuning procedures evaluate on validation data).
+    pub fn eval_set(&self, split: &ftclip_data::Dataset) -> EvalSet {
+        EvalSet::from_settings(split, &self.eval_settings())
+    }
+
+    /// Opens the persistent cell cache for one campaign, or `None` when
+    /// caching is disabled (or the cache directory is unwritable — a cache
+    /// failure degrades to an uncached run, never a crashed experiment).
+    ///
+    /// `experiment` scopes the session: the fingerprint cannot see the
+    /// evaluation closure, so campaigns only share cells when the label,
+    /// eval settings, model bits and campaign config all agree. Specs
+    /// evaluating the same model on the same split with the same settings
+    /// (e.g. the `fig7` and `headline` presets) deliberately share a label
+    /// and reuse each other's cells.
+    ///
+    /// Every spec field that can change an evaluated accuracy without
+    /// changing the model bits is chained here: the eval subset settings
+    /// and the dataset shape/difficulty knobs (test images are a pure
+    /// function of `(seed, split, index)`, so `test_size`, `noise_std` and
+    /// `class_sep` fully pin the evaluation data; the train/val sizes only
+    /// reach results through the trained weights, which the model digest
+    /// already covers).
+    pub fn campaign_session(
+        &self,
+        experiment: &str,
+        net: &Sequential,
+        config: &CampaignConfig,
+    ) -> Option<StoreSession> {
+        let store = ResultStore::new(self.settings.cache_root.clone()?);
+        let fingerprint = campaign_fingerprint(net, config)
+            .text("experiment", experiment)
+            .uint("eval_size", self.spec.eval_size as u64)
+            .uint("data_seed", self.spec.seed)
+            .uint("eval_batch", self.spec.eval_batch as u64)
+            .uint("test_size", self.spec.data.test_size as u64)
+            .float("noise_std", f64::from(self.spec.data.noise_std))
+            .float("class_sep", f64::from(self.spec.data.class_sep));
+        match store.session(&fingerprint) {
+            Ok(session) => {
+                eprintln!(
+                    "[cache] {experiment}: {} cell(s) already cached in {}",
+                    session.cached_cells(),
+                    session.dir().display()
+                );
+                Some(session)
+            }
+            Err(e) => {
+                eprintln!("[cache] {experiment}: cache unavailable, running uncached ({e})");
+                None
+            }
+        }
+    }
+
+    pub(crate) fn into_outcome(self) -> (String, Vec<PathBuf>, Vec<String>) {
+        (self.report, self.tables, self.failures)
+    }
+}
+
+/// Executes the spec's procedure against the context.
+///
+/// # Errors
+///
+/// [`SpecError::UnknownLayer`] when a named layer target/panel does not
+/// exist in the workload network (only resolvable once the network exists —
+/// everything else is caught by validation before any work starts).
+pub fn run_procedure(ctx: &mut RunContext) -> Result<(), SpecError> {
+    match ctx.spec.procedure {
+        Procedure::ModelSizes => figures::model_sizes(ctx),
+        Procedure::Architecture => figures::architecture(ctx),
+        Procedure::CampaignSummary => figures::campaign_summary(ctx),
+        Procedure::PerLayerResilience => figures::per_layer_resilience(ctx),
+        Procedure::ActivationDistributions => figures::activation_distributions(ctx),
+        Procedure::MethodologyWalkthrough => figures::methodology_walkthrough(ctx),
+        Procedure::AucSweep => figures::auc_sweep(ctx),
+        Procedure::TuningTrace => figures::tuning_trace(ctx),
+        Procedure::Resilience => figures::resilience_figure(ctx),
+        Procedure::HeadlineTable => figures::headline_table(ctx),
+        Procedure::AblationClipMode => ablations::clip_mode(ctx),
+        Procedure::AblationFaultModels => ablations::fault_models(ctx),
+        Procedure::AblationBiasFaults => ablations::bias_faults(ctx),
+        Procedure::AblationHwBaselines => ablations::hw_baselines(ctx),
+        Procedure::AblationLeakyClip => ablations::leaky_clip(ctx),
+        Procedure::AblationTunerVsGrid => ablations::tuner_vs_grid(ctx),
+        Procedure::CalibrateDataset => calibrate::dataset_sweep(ctx),
+    }
+}

@@ -1,4 +1,5 @@
-//! The shared protected-vs-unprotected evaluation behind Figs. 7 and 8.
+//! The shared protected-vs-unprotected evaluation behind Figs. 7 and 8 and
+//! the headline table.
 //!
 //! **Rate mapping.** The paper's fault rates are per-bit probabilities over
 //! full-size model memories. This reproduction evaluates width-scaled models
@@ -7,13 +8,12 @@
 //! of faults* — and therefore the corruption statistics — equivalent. Output
 //! tables label each row with the paper-equivalent rate.
 
-use ftclip_core::{Comparison, EvalSet};
-use ftclip_fault::{
-    cache_of, paper_fault_rates, Campaign, CampaignConfig, CampaignResult, FaultModel, InjectionTarget,
-};
+use ftclip_core::Comparison;
+use ftclip_fault::{cache_of, Campaign, CampaignResult};
 
-use crate::harness::RunArgs;
+use crate::experiments::{outln, RunContext};
 use crate::pipeline::harden_network;
+use crate::spec::SpecError;
 use crate::tables::{resilience_box_table, resilience_mean_table};
 use crate::workload::Workload;
 
@@ -28,104 +28,140 @@ pub struct ResilienceEvaluation {
     pub comparison: Comparison,
     /// The tuned clipping thresholds, in activation-site order.
     pub tuned_thresholds: Vec<f32>,
-    /// The paper's rate grid (for labeling; the actual grid is this × scale).
+    /// The paper-equivalent label rates (the actual grid is these × scale).
     pub paper_rates: Vec<f64>,
     /// Memory-size rate scale applied (see module docs).
     pub rate_scale: f64,
 }
 
 /// Hardens a copy of the workload's network with the full methodology, then
-/// runs the paper's whole-network campaign (memory-size-scaled rate grid) on
+/// runs the spec's whole-network campaign (memory-size-scaled rate grid) on
 /// both the hardened and the unprotected network using the **test split**
 /// (as §V-B requires).
-pub fn evaluate_resilience(workload: &Workload, args: &RunArgs) -> ResilienceEvaluation {
+///
+/// # Errors
+///
+/// [`SpecError::UnknownLayer`] if the spec targets a layer the workload
+/// network does not have.
+pub fn evaluate_resilience(
+    ctx: &mut RunContext,
+    workload: &Workload,
+) -> Result<ResilienceEvaluation, SpecError> {
+    let spec = ctx.spec;
     let data = &workload.data;
-    let eval = EvalSet::from_subset(data.test(), args.eval_size.min(data.test().len()), args.seed, 64);
+    let eval = ctx.eval_set(data.test());
 
     let mut protected_net = workload.model.network.clone();
-    let tuning_subset = args.eval_size.min(256).min(data.val().len());
+    let tuning_subset = spec.eval_size.min(256).min(data.val().len());
     let report =
-        harden_network(&mut protected_net, data.val(), args.seed, tuning_subset, workload.rate_scale());
+        harden_network(&mut protected_net, data.val(), spec.seed, tuning_subset, workload.rate_scale());
 
-    let campaign = Campaign::new(CampaignConfig {
-        fault_rates: workload.scaled_paper_rates(),
-        repetitions: args.reps,
-        seed: args.seed ^ 0xF16,
-        model: FaultModel::BitFlip,
-        target: InjectionTarget::AllWeights,
-    });
+    let mut config = spec
+        .campaign_config_with_scale(workload.rate_scale())
+        .map_err(SpecError::Campaign)?;
+    config.seed = spec.seed ^ 0xF16;
+    config.target = spec.target.resolve(&protected_net)?;
+    let campaign = Campaign::new(config);
     eprintln!(
         "[resilience] campaigns: {} reps/rate, rate scale ×{:.1}, {} worker thread(s)",
-        args.reps,
+        spec.repetitions,
         workload.rate_scale(),
         ftclip_tensor::num_threads()
     );
-    // both campaigns cache under the shared "resilience" label: any binary
-    // evaluating the same model/eval settings (fig7, fig8, headline_table)
-    // resumes the same cells; the hardened network's clipping thresholds are
-    // part of the model digest, so the two sessions can never alias
-    let protected_session = args.campaign_session("resilience", &protected_net, campaign.config());
+    // both campaigns cache under the shared "resilience" label: any spec
+    // evaluating the same model/eval settings (the fig7, fig8 and headline
+    // presets) resumes the same cells; the hardened network's clipping
+    // thresholds are part of the model digest, so the two sessions can
+    // never alias
+    let protected_session = ctx.campaign_session("resilience", &protected_net, campaign.config());
     let protected =
         campaign.run_parallel_cached(&protected_net, cache_of(&protected_session), |n| eval.accuracy(n));
     eprintln!("[resilience] protected done, running unprotected …");
     let unprotected_net = workload.model.network.clone();
-    let unprotected_session = args.campaign_session("resilience", &unprotected_net, campaign.config());
+    let unprotected_session = ctx.campaign_session("resilience", &unprotected_net, campaign.config());
     let unprotected =
         campaign.run_parallel_cached(&unprotected_net, cache_of(&unprotected_session), |n| eval.accuracy(n));
 
     let comparison = Comparison::new(&protected, &unprotected);
-    ResilienceEvaluation {
+    Ok(ResilienceEvaluation {
         protected,
         unprotected,
         comparison,
         tuned_thresholds: report.tuned_thresholds,
-        paper_rates: paper_fault_rates(),
+        paper_rates: spec.rates.label_rates(),
         rate_scale: workload.rate_scale(),
-    }
+    })
 }
 
-/// Prints the three panels of Fig. 7/Fig. 8 and writes their CSV files.
-///
-/// `stem` is the file prefix, e.g. `"fig7_alexnet"`.
-pub fn print_panels(eval: &ResilienceEvaluation, stem: &str, args: &RunArgs) {
-    let cmp = &eval.comparison;
-    println!("(a) mean accuracy vs fault rate — clipped vs unprotected");
-    println!(
+/// Writes the three panels of Fig. 7/Fig. 8 into the report and emits their
+/// tables. `stem` is the file prefix, e.g. `"fig7_alexnet"`.
+pub fn print_panels(ctx: &mut RunContext, eval: &ResilienceEvaluation, stem: &str) {
+    let cmp = eval.comparison.clone();
+    outln!(ctx, "(a) mean accuracy vs fault rate — clipped vs unprotected");
+    outln!(
+        ctx,
         "    (paper rates mapped ×{:.1} for the width-scaled memory, see DESIGN.md §3)\n",
         eval.rate_scale
     );
-    println!(
+    outln!(
+        ctx,
         "baseline (clean): clipped {:.4}, unprotected {:.4}\n",
-        cmp.protected_clean, cmp.unprotected_clean
+        cmp.protected_clean,
+        cmp.unprotected_clean
     );
-    println!(
+    outln!(
+        ctx,
         "{:<12} {:<12} {:>10} {:>12} {:>13}",
-        "paper_rate", "actual_rate", "clipped", "unprotected", "improvement%"
+        "paper_rate",
+        "actual_rate",
+        "clipped",
+        "unprotected",
+        "improvement%"
     );
-    let writer = args.writer();
     for (i, (&paper_rate, &rate)) in eval.paper_rates.iter().zip(&cmp.fault_rates).enumerate() {
         let improvement = ftclip_core::improvement_percent(cmp.unprotected_mean[i], cmp.protected_mean[i]);
-        println!(
+        outln!(
+            ctx,
             "{:<12.1e} {:<12.1e} {:>10.4} {:>12.4} {:>13.2}",
-            paper_rate, rate, cmp.protected_mean[i], cmp.unprotected_mean[i], improvement
+            paper_rate,
+            rate,
+            cmp.protected_mean[i],
+            cmp.unprotected_mean[i],
+            improvement
         );
     }
-    writer.emit(&resilience_mean_table(&format!("{stem}_a_mean"), cmp, &eval.paper_rates));
+    ctx.emit(&resilience_mean_table(&format!("{stem}_a_mean"), &cmp, &eval.paper_rates));
 
     for (panel, label, result) in [("b", "clipped", &eval.protected), ("c", "unprotected", &eval.unprotected)]
     {
-        println!("\n({panel}) accuracy distribution, {label} network (box-plot statistics)\n");
-        println!("{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}", "paper_rate", "min", "q1", "median", "q3", "max");
+        outln!(ctx, "\n({panel}) accuracy distribution, {label} network (box-plot statistics)\n");
+        outln!(
+            ctx,
+            "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "paper_rate",
+            "min",
+            "q1",
+            "median",
+            "q3",
+            "max"
+        );
         for (i, s) in result.summaries().iter().enumerate() {
-            println!(
+            outln!(
+                ctx,
                 "{:<12.1e} {:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>8.4}",
-                eval.paper_rates[i], s.min, s.q1, s.median, s.q3, s.max
+                eval.paper_rates[i],
+                s.min,
+                s.q1,
+                s.median,
+                s.q3,
+                s.max
             );
         }
-        writer.emit(&resilience_box_table(&format!("{stem}_{panel}_box"), result, &eval.paper_rates));
+        ctx.emit(&resilience_box_table(&format!("{stem}_{panel}_box"), result, &eval.paper_rates));
     }
 
-    println!(
+    outln!(
+        ctx,
         "\nAUC (paper range 0…1e-5): clipped {:.4}, unprotected {:.4} → {:+.2}% improvement",
         cmp.protected_auc,
         cmp.unprotected_auc,
@@ -133,14 +169,16 @@ pub fn print_panels(eval: &ResilienceEvaluation, stem: &str, args: &RunArgs) {
     );
     let rate_5e7 = eval.rate_scale * 5e-7;
     let (p, u) = cmp.accuracies_at(rate_5e7);
-    println!(
+    outln!(
+        ctx,
         "accuracy @paper-5e-7: clipped {:.4} vs unprotected {:.4} (paper: 69.36% vs 51.16% for AlexNet)",
-        p, u
+        p,
+        u
     );
 }
 
 /// The qualitative assertions both figures share; returns human-readable
-/// failures instead of panicking so binaries can report partial success.
+/// failures instead of panicking so entry points can report partial success.
 pub fn shape_checks(eval: &ResilienceEvaluation) -> Vec<String> {
     let cmp = &eval.comparison;
     let mut failures = Vec::new();

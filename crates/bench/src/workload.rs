@@ -1,12 +1,17 @@
-//! Shared experiment workloads: the dataset and the two trained models.
+//! Shared experiment workloads: the dataset and the trained network a spec
+//! describes.
 //!
-//! Every figure binary evaluates the same pair of networks the paper does:
-//! a trained CIFAR-input AlexNet and VGG-16. Training happens once per spec
-//! and is cached in `assets/` (see [`ftclip_models::Zoo`]); subsequent runs
-//! load in milliseconds.
+//! Training happens once per [`ModelSpec`](ftclip_models::ModelSpec) and is
+//! cached on disk (see [`ftclip_models::Zoo`]); subsequent runs load in
+//! milliseconds. The `Runner` additionally memoizes loaded workloads in
+//! memory so a batch of specs sharing one model trains (or loads) it once.
+
+use std::path::Path;
 
 use ftclip_data::SynthCifar;
-use ftclip_models::{ModelSpec, TrainedModel, Zoo, ZooArch};
+use ftclip_models::{TrainedModel, Zoo, ZooArch};
+
+use crate::spec::ExperimentSpec;
 
 /// A ready experiment workload: dataset plus a trained network.
 #[derive(Debug, Clone)]
@@ -49,73 +54,38 @@ impl Workload {
     }
 }
 
-/// The experiment dataset: 32×32×3, 10 classes, sized per DESIGN.md §3.
-///
-/// Difficulty knobs (`class_sep` 0.25, `noise_std` 0.40) come from the
-/// `calibrate_dataset` sweep: they put the trained AlexNet at ≈0.75 test
-/// accuracy — the paper's 72.8 % band. The deeper BN-VGG masters the task
-/// (≈0.99), preserving the paper's VGG > AlexNet ordering.
-///
-/// All binaries share one generator seed so models and campaigns see the
-/// same data; pass a different `seed` only to study dataset sensitivity.
-pub fn experiment_data(seed: u64) -> SynthCifar {
-    SynthCifar::builder()
-        .seed(seed)
-        .train_size(3000)
-        .val_size(768)
-        .test_size(1024)
-        .noise_std(0.40)
-        .class_sep(0.25)
-        .build()
+/// The dataset a spec describes. All figure presets share one generator
+/// seed (the spec seed, default 42) so models and campaigns see the same
+/// data; difficulty knobs default to the `calibrate-dataset` sweep's pick
+/// (see `DataSpec`).
+pub fn spec_data(spec: &ExperimentSpec) -> SynthCifar {
+    spec.data.build(spec.seed)
 }
 
-/// Trains (or loads from cache) the experiment-scale AlexNet.
+/// Display name and full-width parameter count for a zoo architecture.
+fn arch_profile(arch: ZooArch) -> (&'static str, usize) {
+    match arch {
+        ZooArch::AlexNet => ("AlexNet", ftclip_models::alexnet_cifar(1.0, 10, 0).param_count()),
+        // the BN variant is the trainable stand-in for VGG-16 (DESIGN.md §3);
+        // both map rates through the plain full-width VGG-16 memory
+        ZooArch::Vgg16 | ZooArch::Vgg16Bn => ("VGG-16", ftclip_models::vgg16_cifar(1.0, 10, 0).param_count()),
+        ZooArch::LeNet5 => ("LeNet-5", ftclip_models::lenet5(10, 0).param_count()),
+    }
+}
+
+/// Trains (or loads from the zoo cache under `assets_dir`) the workload a
+/// spec describes.
 ///
 /// # Panics
 ///
 /// Panics if the cache directory is unwritable or a cached file is corrupt —
 /// both unrecoverable for an experiment run.
-pub fn trained_alexnet(data: &SynthCifar, seed: u64) -> Workload {
-    let spec = ModelSpec {
-        arch: ZooArch::AlexNet,
-        width_mult: 0.125,
-        classes: 10,
-        seed,
-        epochs: 10,
-        batch_size: 64,
-        lr: 0.03,
-        augment: true,
-    };
-    let full = ftclip_models::alexnet_cifar(1.0, 10, 0).param_count();
-    load(spec, data, "AlexNet", full)
-}
-
-/// Trains (or loads from cache) the experiment-scale VGG-16 (BN variant —
-/// the width-scaled plain VGG-16 does not train on the calibrated task, see
-/// DESIGN.md §3).
-///
-/// # Panics
-///
-/// Panics if the cache directory is unwritable or a cached file is corrupt.
-pub fn trained_vgg16(data: &SynthCifar, seed: u64) -> Workload {
-    let spec = ModelSpec {
-        arch: ZooArch::Vgg16Bn,
-        width_mult: 0.125,
-        classes: 10,
-        seed,
-        epochs: 12,
-        batch_size: 64,
-        lr: 0.05,
-        augment: true,
-    };
-    let full = ftclip_models::vgg16_cifar(1.0, 10, 0).param_count();
-    load(spec, data, "VGG-16", full)
-}
-
-fn load(spec: ModelSpec, data: &SynthCifar, name: &str, full_width_params: usize) -> Workload {
-    let zoo = Zoo::new(cache_dir());
+pub fn load_workload(spec: &ExperimentSpec, data: &SynthCifar, assets_dir: &Path) -> Workload {
+    let model_spec = spec.workload.model_spec(spec.seed);
+    let (name, full_width_params) = arch_profile(spec.workload.arch);
+    let zoo = Zoo::new(assets_dir);
     let model = zoo
-        .train_or_load(&spec, data)
+        .train_or_load(&model_spec, data)
         .unwrap_or_else(|e| panic!("failed to train/load {name}: {e}"));
     eprintln!(
         "[workload] {name}: test accuracy {:.3} ({}; {} params; rate scale ×{:.1})",
@@ -132,28 +102,25 @@ fn load(spec: ModelSpec, data: &SynthCifar, name: &str, full_width_params: usize
     }
 }
 
-/// Model-cache directory: `$FTCLIP_ASSETS` or `assets/` relative to the
-/// working directory.
-pub fn cache_dir() -> std::path::PathBuf {
-    std::env::var_os("FTCLIP_ASSETS")
-        .map(Into::into)
-        .unwrap_or_else(|| "assets".into())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::Procedure;
 
     #[test]
-    fn experiment_data_is_deterministic() {
-        let a = experiment_data(1);
-        let b = experiment_data(1);
+    fn spec_data_is_deterministic() {
+        let spec = ExperimentSpec::builder(Procedure::CampaignSummary, "t").build().unwrap();
+        let a = spec_data(&spec);
+        let b = spec_data(&spec);
         assert_eq!(a.test().labels(), b.test().labels());
     }
 
     #[test]
-    fn cache_dir_env_override() {
-        // no set_var in tests (process-global); just check the default path
-        assert_eq!(cache_dir(), std::path::PathBuf::from("assets"));
+    fn arch_profiles_reproduce_the_paper_ordering() {
+        let (_, alex) = arch_profile(ZooArch::AlexNet);
+        let (_, vgg) = arch_profile(ZooArch::Vgg16Bn);
+        let (_, lenet) = arch_profile(ZooArch::LeNet5);
+        assert!(vgg > alex && alex > lenet, "VGG-16 ≫ AlexNet ≫ LeNet-5");
+        assert_eq!(arch_profile(ZooArch::Vgg16).1, vgg, "BN variant maps through the same memory");
     }
 }

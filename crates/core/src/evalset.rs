@@ -63,6 +63,19 @@ impl EvalSet {
         EvalSet::from_dataset(&sub, batch_size)
     }
 
+    /// Builds the set a declarative [`EvalSettings`] describes over
+    /// `dataset`, clamping the subset size to the split — the shared
+    /// construction every experiment harness used to hand-roll as
+    /// `from_subset(split, size.min(split.len()), …)`.
+    pub fn from_settings(dataset: &Dataset, settings: &EvalSettings) -> Self {
+        EvalSet::from_subset(
+            dataset,
+            settings.subset_size.min(dataset.len()),
+            settings.seed,
+            settings.batch_size,
+        )
+    }
+
     /// Number of images.
     pub fn len(&self) -> usize {
         self.labels.len()
@@ -102,6 +115,28 @@ impl EvalSet {
     }
 }
 
+/// Declarative description of an evaluation set: subset size, sampling seed
+/// and batch size — everything [`EvalSet::from_settings`] needs besides the
+/// dataset split itself. Callers that cache evaluation results must chain
+/// all of these fields (and whatever pins the split's contents) into their
+/// cache fingerprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalSettings {
+    /// Number of images drawn (without replacement); clamped to the split.
+    pub subset_size: usize,
+    /// Subset sampling seed.
+    pub seed: u64,
+    /// Evaluation mini-batch size.
+    pub batch_size: usize,
+}
+
+impl EvalSettings {
+    /// Settings with the shared experiment defaults (batch 64).
+    pub fn new(subset_size: usize, seed: u64) -> Self {
+        EvalSettings { subset_size, seed, batch_size: 64 }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +167,16 @@ mod tests {
     fn subset_deterministic() {
         let d = data();
         let a = EvalSet::from_subset(d.test(), 10, 7, 4);
+        let b = EvalSet::from_subset(d.test(), 10, 7, 4);
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn settings_clamp_to_split_and_match_from_subset() {
+        let d = data();
+        let oversized = EvalSet::from_settings(d.test(), &EvalSettings::new(10_000, 7));
+        assert_eq!(oversized.len(), d.test().len(), "subset size clamps to the split");
+        let a = EvalSet::from_settings(d.test(), &EvalSettings { subset_size: 10, seed: 7, batch_size: 4 });
         let b = EvalSet::from_subset(d.test(), 10, 7, 4);
         assert_eq!(a.labels(), b.labels());
     }

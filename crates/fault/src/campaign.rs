@@ -47,7 +47,56 @@ impl CampaignConfig {
             target: InjectionTarget::AllWeights,
         }
     }
+
+    /// Checks that this configuration describes a runnable campaign.
+    ///
+    /// The empty rate grid is the historically painful case: it used to
+    /// surface only as a `.expect("non-empty grid")` panic deep inside a
+    /// figure binary, long after the experiment had trained its model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`CampaignError`].
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        if self.fault_rates.is_empty() {
+            return Err(CampaignError::EmptyRateGrid);
+        }
+        if let Some(&bad) = self.fault_rates.iter().find(|r| !(0.0..=1.0).contains(*r)) {
+            return Err(CampaignError::RateOutOfRange(bad));
+        }
+        if self.repetitions == 0 {
+            return Err(CampaignError::ZeroRepetitions);
+        }
+        Ok(())
+    }
 }
+
+/// Why a [`CampaignConfig`] cannot be run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CampaignError {
+    /// The fault-rate grid is empty: there would be no cells to evaluate
+    /// and no curve to summarize.
+    EmptyRateGrid,
+    /// A fault rate is outside `[0, 1]` (or NaN) — rates are per-bit
+    /// probabilities.
+    RateOutOfRange(f64),
+    /// `repetitions == 0`: every rate needs at least one injection.
+    ZeroRepetitions,
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::EmptyRateGrid => write!(f, "campaign needs at least one fault rate"),
+            CampaignError::RateOutOfRange(r) => {
+                write!(f, "fault rates must be in [0, 1]; got {r}")
+            }
+            CampaignError::ZeroRepetitions => write!(f, "campaign needs at least one repetition"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
 
 /// The fault-rate grid the paper sweeps in its whole-network experiments:
 /// `{1, 5} × 10⁻⁸ … 10⁻⁵` (and `1e-5` endpoint).
@@ -195,15 +244,21 @@ impl Campaign {
     /// # Panics
     ///
     /// Panics if the rate list is empty, any rate is outside `[0, 1]`, or
-    /// `repetitions == 0`.
+    /// `repetitions == 0`. Use [`Campaign::try_new`] where a typed error is
+    /// preferable (e.g. validating a declarative experiment spec).
     pub fn new(config: CampaignConfig) -> Self {
-        assert!(!config.fault_rates.is_empty(), "campaign needs at least one fault rate");
-        assert!(config.repetitions > 0, "campaign needs at least one repetition");
-        assert!(
-            config.fault_rates.iter().all(|r| (0.0..=1.0).contains(r)),
-            "fault rates must be in [0, 1]"
-        );
-        Campaign { config }
+        Campaign::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a campaign runner, returning the violated constraint instead
+    /// of panicking on an unrunnable configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CampaignError`] of [`CampaignConfig::validate`].
+    pub fn try_new(config: CampaignConfig) -> Result<Self, CampaignError> {
+        config.validate()?;
+        Ok(Campaign { config })
     }
 
     /// The configuration.
@@ -757,5 +812,36 @@ mod tests {
             model: FaultModel::BitFlip,
             target: InjectionTarget::AllWeights,
         });
+    }
+
+    #[test]
+    fn validate_reports_typed_errors() {
+        let ok = CampaignConfig::paper_default(1, 3);
+        assert_eq!(ok.validate(), Ok(()));
+        assert!(Campaign::try_new(ok).is_ok());
+
+        let mut empty = CampaignConfig::paper_default(1, 3);
+        empty.fault_rates.clear();
+        assert_eq!(empty.validate(), Err(CampaignError::EmptyRateGrid));
+        assert_eq!(Campaign::try_new(empty).unwrap_err(), CampaignError::EmptyRateGrid);
+
+        let mut out_of_range = CampaignConfig::paper_default(1, 3);
+        out_of_range.fault_rates.push(1.5);
+        assert_eq!(out_of_range.validate(), Err(CampaignError::RateOutOfRange(1.5)));
+        let mut nan = CampaignConfig::paper_default(1, 3);
+        nan.fault_rates[0] = f64::NAN;
+        assert!(matches!(nan.validate(), Err(CampaignError::RateOutOfRange(_))), "NaN is not a rate");
+
+        let mut no_reps = CampaignConfig::paper_default(1, 0);
+        assert_eq!(no_reps.validate(), Err(CampaignError::ZeroRepetitions));
+        no_reps.repetitions = 1;
+        assert_eq!(no_reps.validate(), Ok(()));
+    }
+
+    #[test]
+    fn campaign_error_messages_are_actionable() {
+        assert!(CampaignError::EmptyRateGrid.to_string().contains("at least one fault rate"));
+        assert!(CampaignError::RateOutOfRange(2.0).to_string().contains('2'));
+        assert!(CampaignError::ZeroRepetitions.to_string().contains("repetition"));
     }
 }

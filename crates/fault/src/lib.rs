@@ -49,7 +49,8 @@ mod sampler;
 mod stats;
 
 pub use campaign::{
-    cache_of, paper_fault_rates, Campaign, CampaignCache, CampaignConfig, CampaignResult, NoCache, RunRecord,
+    cache_of, paper_fault_rates, Campaign, CampaignCache, CampaignConfig, CampaignError, CampaignResult,
+    NoCache, RunRecord,
 };
 pub use inject::{AppliedInjection, Injection};
 pub use memory::{InjectionTarget, MemoryMap, Region};

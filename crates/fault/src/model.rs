@@ -92,9 +92,32 @@ impl std::fmt::Display for FaultModel {
     }
 }
 
+impl std::str::FromStr for FaultModel {
+    type Err = String;
+
+    /// Parses the [`Display`](std::fmt::Display) names back — the encoding
+    /// experiment spec files and campaign manifests use.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "bit-flip" => Ok(FaultModel::BitFlip),
+            "stuck-at-0" => Ok(FaultModel::StuckAt0),
+            "stuck-at-1" => Ok(FaultModel::StuckAt1),
+            other => Err(format!("unknown fault model '{other}' (expected bit-flip|stuck-at-0|stuck-at-1)")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn display_names_round_trip() {
+        for model in [FaultModel::BitFlip, FaultModel::StuckAt0, FaultModel::StuckAt1] {
+            assert_eq!(model.to_string().parse::<FaultModel>(), Ok(model));
+        }
+        assert!("gamma-ray".parse::<FaultModel>().is_err());
+    }
 
     #[test]
     fn bit_flip_is_involutive() {

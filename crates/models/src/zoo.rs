@@ -35,6 +35,22 @@ impl std::fmt::Display for ZooArch {
     }
 }
 
+impl std::str::FromStr for ZooArch {
+    type Err = String;
+
+    /// Parses the [`Display`](std::fmt::Display) names back — the encoding
+    /// experiment spec files use.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "alexnet" => Ok(ZooArch::AlexNet),
+            "vgg16" => Ok(ZooArch::Vgg16),
+            "vgg16bn" => Ok(ZooArch::Vgg16Bn),
+            "lenet5" => Ok(ZooArch::LeNet5),
+            other => Err(format!("unknown architecture '{other}' (expected alexnet|vgg16|vgg16bn|lenet5)")),
+        }
+    }
+}
+
 /// Complete specification of a trained model: architecture, width, data
 /// seed and training hyper-parameters. The cache key is derived from all of
 /// it, so changing any field retrains rather than reusing a stale network.
@@ -149,7 +165,10 @@ impl Zoo {
     /// caches the result.
     ///
     /// Training uses SGD with momentum 0.9, weight decay 5e-4 and a cosine
-    /// schedule from `spec.lr` to `spec.lr / 100`.
+    /// schedule from `spec.lr` to `spec.lr / 100`. A spec with
+    /// `epochs == 0` skips training and returns the (deterministic, seeded)
+    /// untrained initialization — harness tests use this for fast,
+    /// model-shaped workloads.
     ///
     /// # Errors
     ///
@@ -163,6 +182,10 @@ impl Zoo {
             return Ok(TrainedModel { network, test_accuracy, from_cache: true });
         }
         let mut network = spec.build();
+        if spec.epochs == 0 {
+            let test_accuracy = evaluate(&network, data.test().images(), data.test().labels(), 64);
+            return Ok(TrainedModel { network, test_accuracy, from_cache: false });
+        }
         let trainer = Trainer::builder()
             .epochs(spec.epochs)
             .batch_size(spec.batch_size)
@@ -213,6 +236,34 @@ mod tests {
             lr: 0.02,
             augment: false,
         }
+    }
+
+    #[test]
+    fn zero_epoch_spec_returns_the_untrained_initialization() {
+        let dir = std::env::temp_dir().join(format!("ftclip-zoo-e0-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut spec = tiny_spec();
+        spec.epochs = 0;
+        let zoo = Zoo::new(&dir);
+        let a = zoo.train_or_load(&spec, &tiny_data()).unwrap();
+        let b = zoo.train_or_load(&spec, &tiny_data()).unwrap();
+        assert!(!a.from_cache && !b.from_cache, "nothing is persisted for an untrained net");
+        let bits = |n: &Sequential| {
+            let mut v = Vec::new();
+            n.visit_params(&mut |_, _, t, _| v.extend(t.data().iter().map(|x| x.to_bits())));
+            v
+        };
+        assert_eq!(bits(&a.network), bits(&spec.build()), "seeded init is deterministic");
+        assert_eq!(a.test_accuracy.to_bits(), b.test_accuracy.to_bits());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn arch_names_round_trip() {
+        for arch in [ZooArch::AlexNet, ZooArch::Vgg16, ZooArch::Vgg16Bn, ZooArch::LeNet5] {
+            assert_eq!(arch.to_string().parse::<ZooArch>(), Ok(arch));
+        }
+        assert!("resnet".parse::<ZooArch>().is_err());
     }
 
     #[test]

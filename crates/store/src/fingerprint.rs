@@ -106,6 +106,23 @@ impl Fingerprint {
         self.push(name, format!("{value:e}"), fnv1a(FNV_OFFSET, &value.to_bits().to_le_bytes()))
     }
 
+    /// Adds a boolean field.
+    pub fn flag(self, name: &str, value: bool) -> Self {
+        self.push(name, value.to_string(), fnv1a(FNV_OFFSET, &[u8::from(value)]))
+    }
+
+    /// Adds an *ordered* list of strings (e.g. the layer names an experiment
+    /// sweeps). Both list order and element boundaries are significant:
+    /// `["ab", "c"]` and `["a", "bc"]` hash differently.
+    pub fn text_list(self, name: &str, values: &[String]) -> Self {
+        let mut h = fnv1a(FNV_OFFSET, &values.len().to_le_bytes());
+        for v in values {
+            h = fnv1a(h, &v.len().to_le_bytes());
+            h = fnv1a(h, v.as_bytes());
+        }
+        self.push(name, values.join(" "), h)
+    }
+
     /// Adds an *ordered* list of floats (e.g. a fault-rate grid), hashed by
     /// bits. List order is significant: cells are addressed by rate index.
     pub fn float_list(self, name: &str, values: &[f64]) -> Self {
@@ -240,6 +257,20 @@ mod tests {
         let pos = Fingerprint::new("d").float("v", 0.0).key();
         let neg = Fingerprint::new("d").float("v", -0.0).key();
         assert_ne!(pos, neg);
+    }
+
+    #[test]
+    fn flag_and_text_list_fields() {
+        let on = Fingerprint::new("d").flag("x", true).key();
+        let off = Fingerprint::new("d").flag("x", false).key();
+        assert_ne!(on, off);
+
+        let ab_c = Fingerprint::new("d").text_list("l", &["ab".into(), "c".into()]).key();
+        let a_bc = Fingerprint::new("d").text_list("l", &["a".into(), "bc".into()]).key();
+        assert_ne!(ab_c, a_bc, "element boundaries are significant");
+        let c_ab = Fingerprint::new("d").text_list("l", &["c".into(), "ab".into()]).key();
+        assert_ne!(ab_c, c_ab, "list order is significant");
+        assert_eq!(ab_c, Fingerprint::new("d").text_list("l", &["ab".into(), "c".into()]).key());
     }
 
     #[test]

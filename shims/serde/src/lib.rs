@@ -28,6 +28,70 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Looks up `key` in an object; `None` for missing keys and non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a [`Value::String`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a [`Value::Number`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer: `None` unless this is
+    /// a number that is a whole value exactly representable in `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.trunc() == *n && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is a [`Value::Array`].
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The entry list, if this is a [`Value::Object`].
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
 /// Types that can be converted to a JSON [`Value`].
 pub trait Serialize {
     /// Converts `self` to a JSON value tree.
@@ -126,5 +190,27 @@ mod tests {
     #[test]
     fn vec_maps_to_array() {
         assert_eq!(vec![1u32, 2].to_value(), Value::Array(vec![Value::Number(1.0), Value::Number(2.0)]));
+    }
+
+    #[test]
+    fn value_accessors() {
+        let obj = Value::Object(vec![
+            ("n".into(), Value::Number(3.0)),
+            ("s".into(), Value::String("x".into())),
+            ("b".into(), Value::Bool(true)),
+            ("a".into(), Value::Array(vec![Value::Null])),
+        ]);
+        assert_eq!(obj.get("n").and_then(Value::as_u64), Some(3));
+        assert_eq!(obj.get("n").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(obj.get("s").and_then(Value::as_str), Some("x"));
+        assert_eq!(obj.get("b").and_then(Value::as_bool), Some(true));
+        assert_eq!(obj.get("a").and_then(Value::as_array).map(<[Value]>::len), Some(1));
+        assert!(obj.get("a").unwrap().as_array().unwrap()[0].is_null());
+        assert_eq!(obj.get("missing"), None);
+        assert_eq!(Value::Null.get("n"), None);
+        assert_eq!(obj.as_object().map(<[(String, Value)]>::len), Some(4));
+        // fractional and negative numbers are not u64s
+        assert_eq!(Value::Number(1.5).as_u64(), None);
+        assert_eq!(Value::Number(-1.0).as_u64(), None);
     }
 }

@@ -1,5 +1,6 @@
 //! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json):
-//! renders the `serde` shim's [`serde::Value`] tree as JSON text.
+//! renders the `serde` shim's [`serde::Value`] tree as JSON text, and parses
+//! JSON text back into a [`serde::Value`] tree ([`from_str`]).
 
 #![forbid(unsafe_code)]
 
@@ -7,14 +8,22 @@ use std::fmt;
 
 use serde::{Serialize, Value};
 
-/// Serialization error. The shim's rendering is infallible, so this type
-/// exists only to keep `serde_json`'s `Result`-returning signatures.
+/// Serialization/parse error. Rendering is infallible; parsing reports the
+/// byte offset and a short description of what went wrong.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn parse(offset: usize, msg: impl Into<String>) -> Self {
+        Error { msg: format!("at byte {offset}: {}", msg.into()) }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON serialization error")
+        write!(f, "JSON error {}", self.msg)
     }
 }
 
@@ -32,6 +41,264 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     render(&value.to_value(), Some(2), 0, &mut out);
     Ok(out)
+}
+
+/// Parses a JSON document into a [`Value`] tree.
+///
+/// Supports the full JSON grammar (objects, arrays, strings with `\uXXXX`
+/// escapes incl. surrogate pairs, numbers, booleans, `null`). Numbers are
+/// parsed as `f64`, matching the [`Value::Number`] representation. Trailing
+/// non-whitespace after the document is an error.
+///
+/// # Errors
+///
+/// Returns a descriptive [`Error`] with the byte offset of the first
+/// offending character.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0, depth: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse(p.pos, "trailing characters after JSON document"));
+    }
+    Ok(value)
+}
+
+/// Maximum container nesting depth (mirrors real serde_json's default
+/// recursion limit) — the recursive-descent parser must return a typed
+/// error on hostile deeply nested input, never overflow the stack.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(self.pos, format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::parse(self.pos, format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(Error::parse(self.pos, format!("unexpected character '{}'", other as char))),
+            None => Err(Error::parse(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error::parse(self.pos, format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        self.enter()?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse(self.pos, "expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        self.enter()?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::parse(self.pos, "expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // fast path: run of plain UTF-8 up to the next quote or escape
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::parse(start, "invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                Some(_) => return Err(Error::parse(self.pos, "unescaped control character in string")),
+                None => return Err(Error::parse(self.pos, "unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), Error> {
+        let c = self.peek().ok_or_else(|| Error::parse(self.pos, "unterminated escape"))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // surrogate pair: a \uXXXX low half must follow
+                    if self.bytes[self.pos..].starts_with(b"\\u") {
+                        self.pos += 2;
+                        let lo = self.hex4()?;
+                        if !(0xDC00..0xE000).contains(&lo) {
+                            return Err(Error::parse(self.pos, "invalid low surrogate"));
+                        }
+                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                    } else {
+                        return Err(Error::parse(self.pos, "unpaired surrogate"));
+                    }
+                } else {
+                    hi
+                };
+                out.push(
+                    char::from_u32(code).ok_or_else(|| Error::parse(self.pos, "invalid unicode escape"))?,
+                );
+            }
+            other => return Err(Error::parse(self.pos - 1, format!("unknown escape '\\{}'", other as char))),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|d| std::str::from_utf8(d).ok())
+            .ok_or_else(|| Error::parse(self.pos, "truncated \\u escape"))?;
+        let code =
+            u32::from_str_radix(digits, 16).map_err(|_| Error::parse(self.pos, "bad hex in \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::parse(start, "invalid number"))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error::parse(start, format!("invalid number '{text}'")))
+    }
 }
 
 fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
@@ -141,6 +408,82 @@ mod tests {
     fn numbers_render_integers_exactly() {
         assert_eq!(to_string(&Value::Number(42.0)).unwrap(), "42");
         assert_eq!(to_string(&Value::Number(0.5)).unwrap(), "0.5");
+    }
+
+    #[test]
+    fn parse_roundtrips_rendered_values() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("fig1b \"quoted\" \\ \n tab\t".into())),
+            (
+                "rates".into(),
+                Value::Array(vec![Value::Number(1e-7), Value::Number(0.5), Value::Number(-3.0)]),
+            ),
+            ("reps".into(), Value::Number(10.0)),
+            ("on".into(), Value::Bool(true)),
+            ("none".into(), Value::Null),
+            ("nested".into(), Value::Object(vec![("k".into(), Value::Array(vec![]))])),
+        ]);
+        for rendered in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(from_str(&rendered).unwrap(), v, "{rendered}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_standard_forms() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(
+            from_str(" [ 1 , 2.5e3 ] ").unwrap(),
+            Value::Array(vec![Value::Number(1.0), Value::Number(2500.0)])
+        );
+        assert_eq!(from_str(r#""a\u00e9b""#).unwrap(), Value::String("aéb".into()));
+        assert_eq!(from_str(r#""\ud83d\ude00""#).unwrap(), Value::String("😀".into()));
+        assert_eq!(from_str("{}").unwrap(), Value::Object(vec![]));
+        assert_eq!(from_str("-0.25").unwrap(), Value::Number(-0.25));
+    }
+
+    #[test]
+    fn parse_rejects_hostile_nesting_with_an_error_not_a_stack_overflow() {
+        let deep_ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(from_str(&deep_ok).is_ok());
+        for hostile in ["[".repeat(200_000), format!("{}1{}", "[".repeat(129), "]".repeat(129))] {
+            let err = from_str(&hostile).unwrap_err().to_string();
+            assert!(err.contains("nesting deeper"), "{err}");
+        }
+        // a wide (non-nested) document is unaffected
+        let wide = format!("[{}]", vec!["0"; 10_000].join(","));
+        assert!(from_str(&wide).is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{'a':1}",
+            "[1,]",
+            "\"\\q\"",
+            "\"\\ud800x\"",
+        ] {
+            assert!(from_str(bad).is_err(), "{bad:?} should fail to parse");
+        }
+        // error carries a position and description
+        let err = from_str("[1, oops]").unwrap_err().to_string();
+        assert!(err.contains("byte 4"), "{err}");
+    }
+
+    #[test]
+    fn parsed_floats_are_bit_exact_through_render() {
+        // shortest-roundtrip rendering must re-parse to the identical bits
+        for f in [0.1 + 0.2, 1.0 / 3.0, 1e-308, 6.02e23, f64::MIN_POSITIVE] {
+            let rendered = to_string(&Value::Number(f)).unwrap();
+            let Value::Number(back) = from_str(&rendered).unwrap() else { panic!("not a number") };
+            assert_eq!(back.to_bits(), f.to_bits(), "{rendered}");
+        }
     }
 
     #[test]

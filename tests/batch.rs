@@ -1,0 +1,158 @@
+//! Batch-scheduler determinism: a batch of specs run under one shared
+//! thread/cache budget must produce result files **byte-identical** to
+//! running the same specs serially — the acceptance contract of the
+//! `Runner`.
+//!
+//! The campaign-shaped specs here use an untrained (0-epoch) narrow AlexNet
+//! over a tiny synthetic dataset, so the whole matrix runs in seconds while
+//! still exercising the real path: zoo → eval set → campaign → tables.
+
+use std::path::{Path, PathBuf};
+
+use ftclip_bench::{DataSpec, ExperimentSpec, Procedure, RateGrid, RunSettings, Runner, WorkloadSpec};
+use ftclipact::models::ZooArch;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ftclip-batch-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tiny_data() -> DataSpec {
+    DataSpec {
+        train_size: 16,
+        val_size: 16,
+        test_size: 64,
+        ..DataSpec::default()
+    }
+}
+
+fn tiny_workload() -> WorkloadSpec {
+    let mut w = WorkloadSpec::default_for(ZooArch::AlexNet);
+    w.width_mult = 0.05;
+    w.epochs = 0; // evaluate the untrained initialization: fast + deterministic
+    w
+}
+
+fn campaign_spec(name: &str, seed: u64) -> ExperimentSpec {
+    ExperimentSpec::builder(Procedure::CampaignSummary, name)
+        .workload(tiny_workload())
+        .data(tiny_data())
+        .eval_size(32)
+        .repetitions(2)
+        .seed(seed)
+        .rates(RateGrid::Absolute(vec![1e-4, 1e-3]))
+        .build()
+        .unwrap()
+}
+
+fn batch_specs() -> Vec<ExperimentSpec> {
+    vec![
+        ExperimentSpec::builder(Procedure::ModelSizes, "sizes").build().unwrap(),
+        ExperimentSpec::builder(Procedure::Architecture, "arch").build().unwrap(),
+        campaign_spec("campaign_a", 7),
+        campaign_spec("campaign_b", 8),
+    ]
+}
+
+fn settings(out: &Path, assets: &Path) -> RunSettings {
+    RunSettings {
+        out_dir: out.to_path_buf(),
+        cache_root: None, // a shared cache would mask divergence by replaying
+        assets_dir: assets.to_path_buf(),
+        ..RunSettings::default()
+    }
+}
+
+/// Every emitted result file, as (file name → bytes).
+fn result_files(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let entry = entry.unwrap();
+            if !entry.path().is_file() {
+                return None; // skip e.g. the cache/ subdirectory
+            }
+            Some((entry.file_name().to_string_lossy().into_owned(), std::fs::read(entry.path()).unwrap()))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn batch_is_bit_identical_to_serial_at_several_thread_counts() {
+    let assets = tmp_dir("assets");
+    let specs = batch_specs();
+
+    // reference: strictly serial execution, one spec after the other
+    let serial_out = tmp_dir("serial");
+    let serial_runner = Runner::new(settings(&serial_out, &assets));
+    let mut serial_reports = Vec::new();
+    for spec in &specs {
+        let outcome = serial_runner.run(spec).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert!(outcome.passed(), "{}: {:?}", spec.name, outcome.failures);
+        serial_reports.push(outcome.report);
+    }
+    let serial_files = result_files(&serial_out);
+    assert!(
+        serial_files.iter().any(|(name, _)| name == "campaign_a.csv"),
+        "campaign spec must emit its table: {serial_files:?}"
+    );
+
+    // batch execution under explicit thread budgets, same zoo
+    for threads in [1usize, 2, 4] {
+        let batch_out = tmp_dir(&format!("batch{threads}"));
+        let batch_runner = Runner::new(settings(&batch_out, &assets));
+        let outcomes = batch_runner.run_batch_with_threads(&specs, threads).unwrap();
+        assert_eq!(outcomes.len(), specs.len());
+        for (outcome, (spec, serial_report)) in outcomes.iter().zip(specs.iter().zip(&serial_reports)) {
+            assert_eq!(outcome.name, spec.name, "{threads} threads: outcomes keep spec order");
+            assert!(outcome.passed(), "{}: {:?}", spec.name, outcome.failures);
+            assert_eq!(&outcome.report, serial_report, "{threads} threads: report of {}", spec.name);
+        }
+        assert_eq!(
+            result_files(&batch_out),
+            serial_files,
+            "{threads}-thread batch must write byte-identical result files"
+        );
+        std::fs::remove_dir_all(&batch_out).ok();
+    }
+
+    std::fs::remove_dir_all(&serial_out).ok();
+    std::fs::remove_dir_all(&assets).ok();
+}
+
+#[test]
+fn batch_shares_one_cache_budget_with_bit_identical_resume() {
+    let assets = tmp_dir("cache-assets");
+    let specs = vec![campaign_spec("cached_a", 3), campaign_spec("cached_b", 4)];
+
+    // populate a shared cache with a serial run
+    let serial_out = tmp_dir("cache-serial");
+    let cache = serial_out.join("cache");
+    let mut serial_settings = settings(&serial_out, &assets);
+    serial_settings.cache_root = Some(cache.clone());
+    let serial_runner = Runner::new(serial_settings);
+    for spec in &specs {
+        serial_runner.run(spec).unwrap();
+    }
+    let serial_files = result_files(&serial_out);
+
+    // a batch over the same shared cache replays the cells bit-identically
+    let batch_out = tmp_dir("cache-batch");
+    let mut batch_settings = settings(&batch_out, &assets);
+    batch_settings.cache_root = Some(cache);
+    let outcomes = Runner::new(batch_settings).run_batch_with_threads(&specs, 4).unwrap();
+    assert!(outcomes.iter().all(|o| o.passed()));
+    let batch_files = result_files(&batch_out);
+    // compare only the table files (the cache dir lives under serial_out)
+    for (name, bytes) in &batch_files {
+        let serial = serial_files.iter().find(|(n, _)| n == name);
+        assert_eq!(serial.map(|(_, b)| b), Some(bytes), "{name} must replay bit-identically");
+    }
+
+    std::fs::remove_dir_all(&serial_out).ok();
+    std::fs::remove_dir_all(&batch_out).ok();
+    std::fs::remove_dir_all(&assets).ok();
+}

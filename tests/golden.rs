@@ -11,7 +11,7 @@
 //! FTCLIP_BLESS=1 cargo test --test golden
 //! ```
 
-use ftclip_bench::{campaign_summary_table, resilience_box_table, resilience_mean_table};
+use ftclip_bench::{campaign_summary_table, preset, resilience_box_table, resilience_mean_table};
 use ftclip_core::Comparison;
 use ftclip_fault::{CampaignResult, RunRecord};
 
@@ -81,4 +81,44 @@ fn fig7_box_csv_matches_golden() {
     let table =
         resilience_box_table("fig7_alexnet_b_box", &synthetic_result(0.75, 0.02), &[1e-8, 1e-7, 1e-6]);
     check("fig7_b_box.csv", &table.to_csv());
+}
+
+// ---------------------------------------------------------------------------
+// Spec-layer equivalence: `ftclip run fig1b` / `ftclip run fig7` emit their
+// tables through exactly these builders with exactly these stems (derived
+// from the preset spec's output name), so pinning (stem + builder) against
+// the legacy fixtures proves the spec-driven path is byte-identical to the
+// historical binaries' output format.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ftclip_fig1b_table_is_byte_identical_to_the_legacy_snapshot() {
+    let spec = preset("fig1b").unwrap().spec;
+    // the campaign-summary procedure names its table after the spec
+    let table = campaign_summary_table(&spec.name, &synthetic_result(0.75, 0.1), &[1e-8, 1e-7, 1e-6]);
+    check("fig1b.csv", &table.to_csv());
+    check("fig1b.json", &table.to_json());
+}
+
+#[test]
+fn ftclip_fig7_tables_are_byte_identical_to_the_legacy_snapshots() {
+    let spec = preset("fig7").unwrap().spec;
+    let protected = synthetic_result(0.75, 0.02);
+    let unprotected = synthetic_result(0.75, 0.15);
+    let comparison = Comparison::new(&protected, &unprotected);
+    // the resilience procedure derives its panel stems from the spec name
+    let mean = resilience_mean_table(&format!("{}_a_mean", spec.name), &comparison, &[1e-8, 1e-7, 1e-6]);
+    check("fig7_a_mean.csv", &mean.to_csv());
+    let box_table = resilience_box_table(&format!("{}_b_box", spec.name), &protected, &[1e-8, 1e-7, 1e-6]);
+    check("fig7_b_box.csv", &box_table.to_csv());
+}
+
+#[test]
+fn preset_grids_label_with_the_paper_rates() {
+    // fig1b/fig7 sweep the paper's 7-rate whole-network grid; the fixtures
+    // above pin the *format* on a 3-rate synthetic, this pins the real grid
+    for name in ["fig1b", "fig7", "fig8"] {
+        let spec = preset(name).unwrap().spec;
+        assert_eq!(spec.rates.label_rates(), ftclip_fault::paper_fault_rates(), "{name}");
+    }
 }

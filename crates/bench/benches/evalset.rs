@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ftclip_core::EvalSet;
 use ftclip_fault::{Campaign, CampaignConfig, FaultModel, InjectionTarget};
+use ftclip_nn::Sequential;
 use std::hint::black_box;
 
 fn workload() -> (ftclip_nn::Sequential, EvalSet) {
@@ -49,11 +50,57 @@ fn bench_campaign_cell(c: &mut Criterion) {
     group.bench_function("cell/alexnet-w0.125/64imgs", |bench| {
         bench.iter(|| {
             let mut n = net.clone();
-            black_box(campaign.run(&mut n, |m| eval.accuracy(m)))
+            black_box(campaign.run(&mut n, |m: &Sequential| eval.accuracy(m)))
         });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_accuracy, bench_campaign_cell);
+/// Full-forward vs suffix-only re-execution of a per-layer campaign at an
+/// early, middle and late cut, 1 and 4 campaign threads. The suffix rows
+/// share one warm prefix cache across iterations — the steady state the
+/// figure campaigns run in.
+fn bench_suffix_cell(c: &mut Criterion) {
+    let (net, eval) = workload();
+    let cuts = [("early", "CONV-1"), ("middle", "FC-1"), ("late", "FC-3")];
+    let mut group = c.benchmark_group("suffix");
+    group.sample_size(10);
+    for (label, layer) in cuts {
+        let layer_index = net.layer_index_by_name(layer).expect("alexnet layer");
+        let campaign = Campaign::new(CampaignConfig {
+            fault_rates: vec![1e-3],
+            repetitions: 1,
+            seed: 17,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::Layer(layer_index),
+        });
+        for threads in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("full/{label}-{layer}"), threads),
+                &threads,
+                |bench, &threads| {
+                    bench.iter(|| {
+                        black_box(
+                            campaign
+                                .run_parallel_with_threads(&net, threads, |m: &Sequential| eval.accuracy(m)),
+                        )
+                    });
+                },
+            );
+            let suffix = eval.suffix_eval();
+            group.bench_with_input(
+                BenchmarkId::new(format!("suffix/{label}-{layer}"), threads),
+                &threads,
+                |bench, &threads| {
+                    bench.iter(|| {
+                        black_box(campaign.run_parallel_with_threads(&net, threads, suffix.clone()))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accuracy, bench_campaign_cell, bench_suffix_cell);
 criterion_main!(benches);

@@ -2,12 +2,16 @@
 //! handy for sizing `--reps`/`--eval-size` budgets on a new machine
 //! (Criterion benches measure the same paths with proper statistics).
 //!
-//! `timing_probe campaign` additionally measures the parallel campaign
-//! executor's speedup on the synthetic-LeNet workload: the paper-default
-//! grid runs through `Campaign::run_parallel_with_threads` at 1, 2 and 4
-//! workers and the wall-clock ratios are printed. Worker counts beyond the
-//! machine's core count cannot speed anything up, so interpret the ratios
-//! against the reported `available_parallelism`.
+//! `timing_probe campaign [--out FILE]` additionally measures the campaign
+//! executors on the synthetic-LeNet workload: the parallel executor's
+//! worker-count speedup (paper-default grid at 1, 2 and 4 workers — worker
+//! counts beyond the machine's core count cannot speed anything up, so
+//! interpret the ratios against the reported `available_parallelism`), and
+//! the **clean-prefix suffix-reuse** speedup — single-threaded per-layer
+//! campaigns at an early, middle and late cut, full-forward closure vs the
+//! suffix evaluator, with the prefix-cache hit rate and bytes held — written
+//! to a machine-readable JSON summary (default `BENCH_5.json`) that CI
+//! publishes as part of the bench-smoke artifact.
 //!
 //! `timing_probe eval [--out FILE]` measures the batch-parallel inference
 //! hot path itself — the blocked matmul kernel on the conv-shaped
@@ -20,7 +24,8 @@ use std::time::Instant;
 
 use ftclip_core::EvalSet;
 use ftclip_data::Dataset;
-use ftclip_fault::{Campaign, CampaignConfig};
+use ftclip_fault::{Campaign, CampaignConfig, FaultModel, InjectionTarget};
+use ftclip_nn::Sequential;
 use ftclip_tensor::{with_thread_limit, Tensor};
 
 fn probe_inference() {
@@ -73,7 +78,7 @@ fn lenet_eval_set(images: usize) -> EvalSet {
     EvalSet::from_dataset(&dataset, 64)
 }
 
-fn probe_campaign_speedup() {
+fn probe_campaign_speedup() -> Vec<(usize, f64)> {
     let net = ftclip_models::lenet5(10, 7);
     let eval = lenet_eval_set(256);
     let campaign = Campaign::new(CampaignConfig::paper_default(11, 8));
@@ -81,10 +86,11 @@ fn probe_campaign_speedup() {
         "\ncampaign executor, paper-default grid (7 rates × 8 reps), synthetic LeNet, {} images:",
         eval.len()
     );
+    let mut rows = Vec::new();
     let mut baseline = None;
     for threads in [1usize, 2, 4] {
         let t = Instant::now();
-        let result = campaign.run_parallel_with_threads(&net, threads, |m| eval.accuracy(m));
+        let result = campaign.run_parallel_with_threads(&net, threads, |m: &Sequential| eval.accuracy(m));
         let secs = t.elapsed().as_secs_f64();
         let baseline = *baseline.get_or_insert(secs);
         println!(
@@ -92,11 +98,152 @@ fn probe_campaign_speedup() {
             baseline / secs,
             result.clean_accuracy
         );
+        rows.push((threads, secs));
     }
     println!(
         "  (machine reports {} available core(s))",
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     );
+    rows
+}
+
+/// One row of the suffix-reuse probe: a per-layer campaign timed with the
+/// full-forward closure and with the suffix evaluator.
+struct SuffixRow {
+    label: &'static str,
+    layer: &'static str,
+    layer_index: usize,
+    threads: usize,
+    full_s: f64,
+    suffix_s: f64,
+    hit_rate: f64,
+    bytes_held: usize,
+    rejected: u64,
+}
+
+impl SuffixRow {
+    fn speedup(&self) -> f64 {
+        self.full_s / self.suffix_s
+    }
+}
+
+/// Times one per-layer campaign at `threads` workers: full-forward closure
+/// vs suffix evaluator (fresh prefix cache, steady state measured across
+/// the grid — exactly how the figure campaigns consume it).
+fn time_suffix_campaign(
+    net: &Sequential,
+    eval: &EvalSet,
+    label: &'static str,
+    layer: &'static str,
+    threads: usize,
+) -> SuffixRow {
+    let layer_index = net.layer_index_by_name(layer).expect("LeNet-5 layer");
+    // rates sized so essentially every cell faults: zero-fault cells take
+    // the clean shortcut on both paths and would dilute the comparison
+    let campaign = Campaign::new(CampaignConfig {
+        fault_rates: vec![1e-3, 5e-3],
+        repetitions: 3,
+        seed: 29,
+        model: FaultModel::BitFlip,
+        target: InjectionTarget::Layer(layer_index),
+    });
+    let full_s = time_median(3, || {
+        campaign.run_parallel_with_threads(net, threads, |m: &Sequential| eval.accuracy(m))
+    });
+    let suffix = eval.suffix_eval();
+    let suffix_s = time_median(3, || campaign.run_parallel_with_threads(net, threads, suffix.clone()));
+    let stats = suffix.cache().stats();
+    SuffixRow {
+        label,
+        layer,
+        layer_index,
+        threads,
+        full_s,
+        suffix_s,
+        hit_rate: stats.hit_rate(),
+        bytes_held: stats.bytes_held,
+        rejected: stats.rejected,
+    }
+}
+
+/// The clean-prefix suffix-reuse probe: per-cut campaign speedup, prefix-
+/// cache hit rate and bytes held, written to `out_path` (BENCH_5.json).
+fn probe_campaign(out_path: &str) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let worker_rows = probe_campaign_speedup();
+
+    let net = ftclip_models::lenet5(10, 7);
+    let eval = lenet_eval_set(256);
+    println!(
+        "\nsuffix-only re-execution, per-layer campaigns (2 rates × 3 reps), synthetic LeNet, {} images:",
+        eval.len()
+    );
+    let rows = vec![
+        time_suffix_campaign(&net, &eval, "early", "CONV-1", 1),
+        time_suffix_campaign(&net, &eval, "middle", "FC-1", 1),
+        time_suffix_campaign(&net, &eval, "late", "FC-3", 1),
+        time_suffix_campaign(&net, &eval, "late", "FC-3", 4),
+    ];
+    for r in &rows {
+        println!(
+            "  {:<6} cut {} (layer {:>2}), {} thread(s): full {:7.1} ms, suffix {:7.1} ms  → ×{:.2}  \
+             (hit rate {:.2}, {:.1} KiB held, {} rejected)",
+            r.label,
+            r.layer,
+            r.layer_index,
+            r.threads,
+            r.full_s * 1e3,
+            r.suffix_s * 1e3,
+            r.speedup(),
+            r.hit_rate,
+            r.bytes_held as f64 / 1024.0,
+            r.rejected
+        );
+    }
+    let late_1t = rows
+        .iter()
+        .find(|r| r.label == "late" && r.threads == 1)
+        .map(SuffixRow::speedup)
+        .unwrap_or(f64::NAN);
+    println!("  late-cut single-threaded cell speedup: ×{late_1t:.2} (acceptance floor ×1.5)");
+
+    let worker_json: Vec<String> = worker_rows
+        .iter()
+        .map(|(threads, secs)| format!("    {{\"threads\": {threads}, \"seconds\": {secs:.6}}}"))
+        .collect();
+    let cut_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"cut\": \"{}\", \"layer\": \"{}\", \"layer_index\": {}, \"threads\": {}, \
+                 \"full_seconds\": {:.6}, \"suffix_seconds\": {:.6}, \"speedup\": {:.3}, \
+                 \"prefix_cache_hit_rate\": {:.4}, \"prefix_cache_bytes_held\": {}, \
+                 \"prefix_cache_rejected\": {}}}",
+                r.label,
+                r.layer,
+                r.layer_index,
+                r.threads,
+                r.full_s,
+                r.suffix_s,
+                r.speedup(),
+                r.hit_rate,
+                r.bytes_held,
+                r.rejected
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"probe\": \"timing_probe campaign\",\n  \"available_parallelism\": {cores},\n  \
+         \"model\": \"lenet5\",\n  \"images\": {},\n  \"batch_size\": 64,\n  \
+         \"campaign_workers\": [\n{}\n  ],\n  \"suffix_reuse\": [\n{}\n  ],\n  \
+         \"late_cut_speedup_1thread\": {:.3}\n}}\n",
+        eval.len(),
+        worker_json.join(",\n"),
+        cut_json.join(",\n"),
+        late_1t,
+    );
+    std::fs::write(out_path, &json).expect("write timing summary");
+    println!("\nwrote {out_path}");
 }
 
 /// Median-of-`reps` wall-clock seconds for one call of `f`.
@@ -217,18 +364,22 @@ fn probe_eval(out_path: &str) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "eval") {
-        let out = args
-            .iter()
+    let out = |default: &'static str| {
+        args.iter()
             .position(|a| a == "--out")
             .and_then(|p| args.get(p + 1))
-            .map_or("BENCH_3.json", String::as_str);
-        probe_eval(out);
+            .map_or(default, String::as_str)
+            .to_string()
+    };
+    if args.iter().any(|a| a == "eval") {
+        probe_eval(&out("BENCH_3.json"));
         return;
     }
-    let campaign_only = args.iter().any(|a| a == "campaign");
-    if !campaign_only {
-        probe_inference();
+    if args.iter().any(|a| a == "campaign") {
+        probe_campaign(&out("BENCH_5.json"));
+        return;
     }
+    // no subcommand: the quick wall-clock numbers only, no files written
+    probe_inference();
     probe_campaign_speedup();
 }

@@ -2,8 +2,8 @@
 
 use ftclip_core::{auc_normalized, campaign_auc, EvalSet, ResultTable};
 use ftclip_fault::{
-    cache_of, derive_seed, inject_with_protection, Campaign, DoubleErrorPolicy, FaultModel, InjectionTarget,
-    MemoryMap, ProtectionScheme,
+    derive_seed, inject_with_protection, Campaign, DoubleErrorPolicy, FaultModel, InjectionTarget, MemoryMap,
+    ProtectionScheme,
 };
 use ftclip_models::alexnet_cifar_with_activation;
 use ftclip_nn::sched::LrSchedule;
@@ -66,7 +66,7 @@ pub fn clip_mode(ctx: &mut RunContext) -> Result<(), SpecError> {
     for (name, mut net) in variants {
         eprintln!("[ablation] campaign on {name} …");
         let session = ctx.campaign_session("ablation_clip_mode", &net, campaign.config());
-        let res = campaign.run_cached(&mut net, cache_of(&session), |n| eval.accuracy(n));
+        let res = campaign.run_cached(&mut net, &session, eval.suffix_eval());
         results.push((name, res));
     }
     let mut table =
@@ -119,7 +119,7 @@ pub fn fault_models(ctx: &mut RunContext) -> Result<(), SpecError> {
             let campaign = Campaign::new(cfg);
             eprintln!("[ablation] {model} on {net_name} …");
             let session = ctx.campaign_session("ablation_fault_models", &net, campaign.config());
-            let res = campaign.run_cached(&mut net, cache_of(&session), |n| eval.accuracy(n));
+            let res = campaign.run_cached(&mut net, &session, eval.suffix_eval());
             let means = res.mean_accuracies();
             for (i, &rate) in res.fault_rates.iter().enumerate() {
                 table.row([model.to_string().into(), net_name.into(), rate.into(), means[i].into()]);
@@ -178,7 +178,7 @@ pub fn bias_faults(ctx: &mut RunContext) -> Result<(), SpecError> {
             cfg.target = target;
             let campaign = Campaign::new(cfg);
             let session = ctx.campaign_session("ablation_bias_faults", &net, campaign.config());
-            let res = campaign.run_cached(&mut net, cache_of(&session), |n| eval.accuracy(n));
+            let res = campaign.run_cached(&mut net, &session, eval.suffix_eval());
             let means = res.mean_accuracies();
             outln!(
                 ctx,
@@ -359,9 +359,9 @@ pub fn leaky_clip(ctx: &mut RunContext) -> Result<(), SpecError> {
     let campaign = Campaign::new(cfg);
     eprintln!("[ablation] campaigns …");
     let unprot_session = ctx.campaign_session("ablation_leaky_clip", &net, campaign.config());
-    let unprotected = campaign.run_cached(&mut net, cache_of(&unprot_session), |n| eval.accuracy(n));
+    let unprotected = campaign.run_cached(&mut net, &unprot_session, eval.suffix_eval());
     let prot_session = ctx.campaign_session("ablation_leaky_clip", &clipped, campaign.config());
-    let protected = campaign.run_cached(&mut clipped, cache_of(&prot_session), |n| eval.accuracy(n));
+    let protected = campaign.run_cached(&mut clipped, &prot_session, eval.suffix_eval());
 
     outln!(ctx, "Ablation — clipped Leaky-ReLU (slope 0.01, thresholds = ACT_max)\n");
     outln!(ctx, "clean accuracy: {:.4}\n", unprotected.clean_accuracy);

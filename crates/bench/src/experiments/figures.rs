@@ -9,7 +9,7 @@ use ftclip_core::{
     auc_normalized, campaign_auc, improvement_percent, profile_network, ResultTable, ThresholdTuner,
     TunerConfig,
 };
-use ftclip_fault::{cache_of, Campaign, Injection, InjectionTarget};
+use ftclip_fault::{Campaign, Injection, InjectionTarget};
 use ftclip_models::{model_size_report, ZooArch};
 use ftclip_nn::{Activation, Layer, Sequential};
 use ftclip_tensor::Tensor;
@@ -143,7 +143,10 @@ pub fn campaign_summary(ctx: &mut RunContext) -> Result<(), SpecError> {
         ftclip_tensor::num_threads()
     );
     let session = ctx.campaign_session("campaign-summary", &net, &cfg);
-    let result = Campaign::new(cfg).run_parallel_cached(&net, cache_of(&session), |n| eval.accuracy(n));
+    // the suffix evaluator re-executes only the layers below each cell's
+    // earliest fault, reusing memoized clean prefix activations —
+    // bit-identical to the full-forward closure it replaces
+    let result = Campaign::new(cfg).run_parallel_cached(&net, &session, eval.suffix_eval());
 
     outln!(
         ctx,
@@ -211,6 +214,10 @@ pub fn per_layer_resilience(ctx: &mut RunContext) -> Result<(), SpecError> {
     outln!(ctx, "clean accuracy: {:.4}", eval.accuracy(&net));
     let paper_rates = ctx.spec.rates.label_rates();
     let layers = ctx.spec.layers.clone();
+    // one suffix evaluator spans every per-layer campaign: the clean
+    // network is the same throughout, so deep targets reuse the prefix
+    // activations shallow targets already memoized
+    let suffix = eval.suffix_eval();
     for layer_name in &layers {
         let layer_index = net
             .layer_index_by_name(layer_name)
@@ -220,7 +227,7 @@ pub fn per_layer_resilience(ctx: &mut RunContext) -> Result<(), SpecError> {
         cfg.target = InjectionTarget::Layer(layer_index);
         eprintln!("[fig3] {layer_name}: {} rates × {} reps", cfg.fault_rates.len(), cfg.repetitions);
         let session = ctx.campaign_session("fig3_per_layer", &net, &cfg);
-        let result = Campaign::new(cfg).run_parallel_cached(&net, cache_of(&session), |n| eval.accuracy(n));
+        let result = Campaign::new(cfg).run_parallel_cached(&net, &session, suffix.clone());
         outln!(ctx, "\n{layer_name} (network layer {layer_index}):");
         outln!(ctx, "{:<12} {:>10} {:>10} {:>10}", "paper_rate", "mean_acc", "min_acc", "max_acc");
         for (i, s) in result.summaries().iter().enumerate() {

@@ -14,10 +14,10 @@ use std::sync::Mutex;
 
 use ftclip_core::{EvalSet, EvalSettings, ResultTable};
 use ftclip_data::SynthCifar;
-use ftclip_fault::CampaignConfig;
+use ftclip_fault::{CampaignCache, CampaignConfig, RunRecord};
 use ftclip_models::ZooArch;
 use ftclip_nn::Sequential;
-use ftclip_store::{campaign_fingerprint, ResultStore, StoreSession};
+use ftclip_store::{campaign_fingerprint, model_digest, Fingerprint, ResultStore, StoreSession};
 
 use crate::settings::RunSettings;
 use crate::spec::{ExperimentSpec, Procedure, SpecError, WorkloadSpec};
@@ -94,6 +94,98 @@ impl WorkloadMemo {
     }
 }
 
+/// In-memory memo of clean (fault-free) accuracies keyed by
+/// (model digest, eval settings, dataset shape), shared across every
+/// campaign of a run.
+///
+/// Per-layer sweeps (Fig. 3) open one campaign session per target and each
+/// session's persistent cache keys include the campaign config — so the
+/// *same clean network* used to be re-evaluated once per campaign. The
+/// clean accuracy depends only on the model bits and the evaluation data,
+/// which is exactly this memo's key; replaying it is bit-identical to
+/// recomputing it (evaluation is deterministic), so sharing it across
+/// campaigns can never change a result.
+#[derive(Debug, Default)]
+pub struct CleanAccuracyMemo {
+    map: Mutex<HashMap<u128, f64>>,
+}
+
+impl CleanAccuracyMemo {
+    fn get(&self, key: u128) -> Option<f64> {
+        self.map.lock().expect("clean memo lock").get(&key).copied()
+    }
+
+    fn put(&self, key: u128, accuracy: f64) {
+        self.map.lock().expect("clean memo lock").insert(key, accuracy);
+    }
+
+    /// Number of memoized clean accuracies.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("clean memo lock").len()
+    }
+
+    /// `true` when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The campaign cache [`RunContext::campaign_session`] hands to the
+/// executors: the persistent on-disk cell store (when caching is enabled
+/// and writable) composed with the run-wide [`CleanAccuracyMemo`].
+///
+/// Cells go straight through to the store. Clean accuracy consults the
+/// memo first — so campaigns that share (model, eval settings) evaluate
+/// the clean network once per run even under distinct store keys — and
+/// populates it from whichever source produces the value first.
+pub struct SessionCache<'a> {
+    store: Option<StoreSession>,
+    memo: &'a CleanAccuracyMemo,
+    clean_key: u128,
+}
+
+impl SessionCache<'_> {
+    /// The persistent store session underneath, when caching is enabled.
+    pub fn store(&self) -> Option<&StoreSession> {
+        self.store.as_ref()
+    }
+}
+
+impl CampaignCache for SessionCache<'_> {
+    fn lookup(&self, rate_index: usize, repetition: usize) -> Option<RunRecord> {
+        self.store.as_ref().and_then(|s| s.lookup(rate_index, repetition))
+    }
+
+    fn record(&self, record: &RunRecord) {
+        if let Some(s) = &self.store {
+            s.record(record);
+        }
+    }
+
+    fn clean_accuracy(&self) -> Option<f64> {
+        if let Some(persisted) = self.store.as_ref().and_then(|s| s.clean_accuracy()) {
+            self.memo.put(self.clean_key, persisted);
+            return Some(persisted);
+        }
+        if let Some(memoized) = self.memo.get(self.clean_key) {
+            // write the memo hit through so the on-disk session stays
+            // complete for cross-process resume
+            if let Some(s) = &self.store {
+                s.record_clean(memoized);
+            }
+            return Some(memoized);
+        }
+        None
+    }
+
+    fn record_clean(&self, accuracy: f64) {
+        self.memo.put(self.clean_key, accuracy);
+        if let Some(s) = &self.store {
+            s.record_clean(accuracy);
+        }
+    }
+}
+
 /// Everything one running experiment sees: its spec, the run settings, the
 /// shared workload memo, and the output sinks (report buffer, table paths,
 /// shape-check failures).
@@ -103,6 +195,7 @@ pub struct RunContext<'a> {
     /// Output/cache locations and overrides.
     pub settings: &'a RunSettings,
     workloads: &'a WorkloadMemo,
+    clean_memo: &'a CleanAccuracyMemo,
     report: String,
     tables: Vec<PathBuf>,
     failures: Vec<String>,
@@ -113,11 +206,13 @@ impl<'a> RunContext<'a> {
         spec: &'a ExperimentSpec,
         settings: &'a RunSettings,
         workloads: &'a WorkloadMemo,
+        clean_memo: &'a CleanAccuracyMemo,
     ) -> Self {
         RunContext {
             spec,
             settings,
             workloads,
+            clean_memo,
             report: String::new(),
             tables: Vec::new(),
             failures: Vec::new(),
@@ -180,9 +275,13 @@ impl<'a> RunContext<'a> {
         EvalSet::from_settings(split, &self.eval_settings())
     }
 
-    /// Opens the persistent cell cache for one campaign, or `None` when
-    /// caching is disabled (or the cache directory is unwritable — a cache
-    /// failure degrades to an uncached run, never a crashed experiment).
+    /// Opens the campaign cache for one campaign: the persistent cell
+    /// store (when caching is enabled; an unwritable cache directory
+    /// degrades to an uncached run, never a crashed experiment) composed
+    /// with the run-wide clean-accuracy memo — so re-evaluating the same
+    /// clean network under a different campaign key (the Fig. 3 per-layer
+    /// sweeps run one campaign per target) costs one lookup, not one full
+    /// evaluation.
     ///
     /// `experiment` scopes the session: the fingerprint cannot see the
     /// evaluation closure, so campaigns only share cells when the label,
@@ -197,36 +296,53 @@ impl<'a> RunContext<'a> {
     /// function of `(seed, split, index)`, so `test_size`, `noise_std` and
     /// `class_sep` fully pin the evaluation data; the train/val sizes only
     /// reach results through the trained weights, which the model digest
-    /// already covers).
+    /// already covers). The clean-accuracy memo key chains the same eval
+    /// fields plus the model digest — and nothing campaign-specific, which
+    /// is what lets it span campaigns.
     pub fn campaign_session(
         &self,
         experiment: &str,
         net: &Sequential,
         config: &CampaignConfig,
-    ) -> Option<StoreSession> {
-        let store = ResultStore::new(self.settings.cache_root.clone()?);
-        let fingerprint = campaign_fingerprint(net, config)
-            .text("experiment", experiment)
-            .uint("eval_size", self.spec.eval_size as u64)
+    ) -> SessionCache<'a> {
+        let clean_key = self
+            .chain_eval_fields(Fingerprint::new("ftclip-clean-accuracy-v1").uint("model", model_digest(net)))
+            .key()
+            .0;
+        let store = self.settings.cache_root.clone().and_then(|root| {
+            let fingerprint =
+                self.chain_eval_fields(campaign_fingerprint(net, config).text("experiment", experiment));
+            match ResultStore::new(root).session(&fingerprint) {
+                Ok(session) => {
+                    eprintln!(
+                        "[cache] {experiment}: {} cell(s) already cached in {}",
+                        session.cached_cells(),
+                        session.dir().display()
+                    );
+                    Some(session)
+                }
+                Err(e) => {
+                    eprintln!("[cache] {experiment}: cache unavailable, running uncached ({e})");
+                    None
+                }
+            }
+        });
+        SessionCache { store, memo: self.clean_memo, clean_key }
+    }
+
+    /// Chains every spec field that can change an evaluated accuracy
+    /// without changing the model bits onto `fp` — the **one** list both
+    /// the store fingerprint and the clean-accuracy memo key build on, so
+    /// adding the next user-settable data knob here updates both keys at
+    /// once (they must never skew: a memo key missing a knob the store key
+    /// has would share clean accuracies across different datasets).
+    fn chain_eval_fields(&self, fp: Fingerprint) -> Fingerprint {
+        fp.uint("eval_size", self.spec.eval_size as u64)
             .uint("data_seed", self.spec.seed)
             .uint("eval_batch", self.spec.eval_batch as u64)
             .uint("test_size", self.spec.data.test_size as u64)
             .float("noise_std", f64::from(self.spec.data.noise_std))
-            .float("class_sep", f64::from(self.spec.data.class_sep));
-        match store.session(&fingerprint) {
-            Ok(session) => {
-                eprintln!(
-                    "[cache] {experiment}: {} cell(s) already cached in {}",
-                    session.cached_cells(),
-                    session.dir().display()
-                );
-                Some(session)
-            }
-            Err(e) => {
-                eprintln!("[cache] {experiment}: cache unavailable, running uncached ({e})");
-                None
-            }
-        }
+            .float("class_sep", f64::from(self.spec.data.class_sep))
     }
 
     pub(crate) fn into_outcome(self) -> (String, Vec<PathBuf>, Vec<String>) {
@@ -260,5 +376,54 @@ pub fn run_procedure(ctx: &mut RunContext) -> Result<(), SpecError> {
         Procedure::AblationLeakyClip => ablations::leaky_clip(ctx),
         Procedure::AblationTunerVsGrid => ablations::tuner_vs_grid(ctx),
         Procedure::CalibrateDataset => calibrate::dataset_sweep(ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftclip_fault::{Campaign, FaultModel, InjectionTarget};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn clean_accuracy_is_memoized_across_sessions() {
+        let memo = CleanAccuracyMemo::default();
+        assert!(memo.is_empty());
+        let first = SessionCache { store: None, memo: &memo, clean_key: 42 };
+        assert_eq!(first.clean_accuracy(), None);
+        first.record_clean(0.625);
+        // a *different* session over the same (model, eval) key replays it
+        let second = SessionCache { store: None, memo: &memo, clean_key: 42 };
+        assert_eq!(second.clean_accuracy(), Some(0.625));
+        // a different key stays independent
+        let other = SessionCache { store: None, memo: &memo, clean_key: 7 };
+        assert_eq!(other.clean_accuracy(), None);
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn primed_memo_skips_every_clean_evaluation() {
+        // the fig3 shape: a second campaign over the same clean network
+        // must not pay for the clean evaluation again — with a rate-0 grid
+        // (every cell takes the clean shortcut) it evaluates nothing at all
+        let memo = CleanAccuracyMemo::default();
+        SessionCache { store: None, memo: &memo, clean_key: 9 }.record_clean(0.5);
+        let cache = SessionCache { store: None, memo: &memo, clean_key: 9 };
+        let cfg = CampaignConfig {
+            fault_rates: vec![0.0],
+            repetitions: 3,
+            seed: 1,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::AllWeights,
+        };
+        let evals = AtomicUsize::new(0);
+        let mut net = ftclip_nn::Sequential::new(vec![ftclip_nn::Layer::linear(4, 2, 0)]);
+        let result = Campaign::new(cfg).run_cached(&mut net, &cache, |_: &Sequential| {
+            evals.fetch_add(1, Ordering::Relaxed);
+            0.25
+        });
+        assert_eq!(evals.load(Ordering::Relaxed), 0, "memoized clean must skip evaluation");
+        assert_eq!(result.clean_accuracy, 0.5);
+        assert!(result.accuracies[0].iter().all(|&a| a == 0.5));
     }
 }

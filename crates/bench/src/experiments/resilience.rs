@@ -9,7 +9,7 @@
 //! tables label each row with the paper-equivalent rate.
 
 use ftclip_core::Comparison;
-use ftclip_fault::{cache_of, Campaign, CampaignResult};
+use ftclip_fault::{Campaign, CampaignResult};
 
 use crate::experiments::{outln, RunContext};
 use crate::pipeline::harden_network;
@@ -73,14 +73,16 @@ pub fn evaluate_resilience(
     // presets) resumes the same cells; the hardened network's clipping
     // thresholds are part of the model digest, so the two sessions can
     // never alias
+    // one suffix evaluator (and thus one prefix-activation cache) per
+    // network: the clipped and unprotected twins have different clean
+    // activations, so their caches must never mix
     let protected_session = ctx.campaign_session("resilience", &protected_net, campaign.config());
-    let protected =
-        campaign.run_parallel_cached(&protected_net, cache_of(&protected_session), |n| eval.accuracy(n));
+    let protected = campaign.run_parallel_cached(&protected_net, &protected_session, eval.suffix_eval());
     eprintln!("[resilience] protected done, running unprotected …");
     let unprotected_net = workload.model.network.clone();
     let unprotected_session = ctx.campaign_session("resilience", &unprotected_net, campaign.config());
     let unprotected =
-        campaign.run_parallel_cached(&unprotected_net, cache_of(&unprotected_session), |n| eval.accuracy(n));
+        campaign.run_parallel_cached(&unprotected_net, &unprotected_session, eval.suffix_eval());
 
     let comparison = Comparison::new(&protected, &unprotected);
     Ok(ResilienceEvaluation {

@@ -59,7 +59,7 @@ pub mod tables;
 pub mod workload;
 
 pub use experiments::resilience::{evaluate_resilience, print_panels, shape_checks, ResilienceEvaluation};
-pub use experiments::{RunContext, WorkloadMemo};
+pub use experiments::{CleanAccuracyMemo, RunContext, SessionCache, WorkloadMemo};
 pub use pipeline::{experiment_methodology, harden_network, tuning_auc_config};
 pub use presets::{figure_presets, preset, presets, Preset};
 pub use runner::{RunOutcome, Runner};

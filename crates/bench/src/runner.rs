@@ -19,7 +19,7 @@
 //! experiment and returned in batch order, so even the human-readable
 //! output never interleaves.
 
-use crate::experiments::{run_procedure, RunContext, WorkloadMemo};
+use crate::experiments::{run_procedure, CleanAccuracyMemo, RunContext, WorkloadMemo};
 use crate::settings::RunSettings;
 use crate::spec::{ExperimentSpec, SpecError};
 
@@ -51,12 +51,17 @@ impl RunOutcome {
 pub struct Runner {
     settings: RunSettings,
     workloads: WorkloadMemo,
+    clean_memo: CleanAccuracyMemo,
 }
 
 impl Runner {
     /// A runner over the given settings.
     pub fn new(settings: RunSettings) -> Self {
-        Runner { settings, workloads: WorkloadMemo::default() }
+        Runner {
+            settings,
+            workloads: WorkloadMemo::default(),
+            clean_memo: CleanAccuracyMemo::default(),
+        }
     }
 
     /// The run settings.
@@ -73,7 +78,7 @@ impl Runner {
     /// workload network.
     pub fn run(&self, spec: &ExperimentSpec) -> Result<RunOutcome, SpecError> {
         spec.validate()?;
-        let mut ctx = RunContext::new(spec, &self.settings, &self.workloads);
+        let mut ctx = RunContext::new(spec, &self.settings, &self.workloads, &self.clean_memo);
         run_procedure(&mut ctx)?;
         let (report, tables, failures) = ctx.into_outcome();
         Ok(RunOutcome { name: spec.name.clone(), report, tables, failures })
@@ -125,7 +130,7 @@ impl Runner {
         // model would race on training (wasteful) and on the zoo cache file
         for spec in specs {
             if spec.procedure.uses_workload() {
-                let ctx = RunContext::new(spec, &self.settings, &self.workloads);
+                let ctx = RunContext::new(spec, &self.settings, &self.workloads, &self.clean_memo);
                 let _ = ctx.workload();
             }
         }

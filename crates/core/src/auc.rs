@@ -104,8 +104,13 @@ impl AucConfig {
     /// the curve itself is needed, e.g. Fig. 5a).
     ///
     /// Tuning measures AUC hundreds of times, so the campaign grid fans out
-    /// over worker threads ([`Campaign::run_parallel`]); results are
-    /// bit-identical to the serial executor at any `FTCLIP_THREADS`.
+    /// over worker threads ([`Campaign::run_parallel`]) and cells evaluate
+    /// through the suffix engine ([`EvalSet::suffix_eval`]): per-layer
+    /// tuning targets re-execute only the layers below the fault, reusing
+    /// memoized clean prefix activations. Results are bit-identical to the
+    /// serial, full-forward executor at any `FTCLIP_THREADS`. The prefix
+    /// cache lives for one campaign — the tuner mutates thresholds between
+    /// measurements, so activations never carry across network states.
     pub fn run_campaign(&self, net: &mut Sequential, eval: &EvalSet) -> CampaignResult {
         let cfg = CampaignConfig {
             fault_rates: self.fault_rates.clone(),
@@ -114,7 +119,7 @@ impl AucConfig {
             model: self.model,
             target: self.target,
         };
-        Campaign::new(cfg).run_parallel(net, |n| eval.accuracy(n))
+        Campaign::new(cfg).run_parallel(net, eval.suffix_eval())
     }
 }
 

@@ -1,9 +1,13 @@
-//! Fixed evaluation sets for campaigns and tuning.
+//! Fixed evaluation sets for campaigns and tuning, plus the clean-prefix
+//! activation cache that lets fault campaigns re-execute only the network
+//! suffix below the earliest faulted layer.
 
-use std::sync::Arc;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 use ftclip_data::Dataset;
-use ftclip_nn::{evaluate, evaluate_with_threads, Sequential};
+use ftclip_fault::{CellEval, SuffixHint};
+use ftclip_nn::{evaluate, evaluate_with_threads, Scratch, Sequential};
 use ftclip_tensor::Tensor;
 
 /// A fixed set of images + labels used to score a network's accuracy.
@@ -113,6 +117,345 @@ impl EvalSet {
     pub fn accuracy_with_threads(&self, net: &Sequential, threads: usize) -> f64 {
         evaluate_with_threads(net, &self.images, &self.labels, self.batch_size, threads)
     }
+
+    /// [`EvalSet::accuracy`] re-executing only the layers from `cut`
+    /// onwards: each batch's clean activation *entering* layer `cut` is
+    /// looked up in (or computed into) `cache`, and only the suffix
+    /// `[cut, len)` runs against `net`.
+    ///
+    /// Sound whenever every parameter of `net` **before** layer `cut` holds
+    /// its clean value — the invariant a fault campaign guarantees when
+    /// `cut` is the injection's earliest faulted layer. Because the split
+    /// pass runs the same kernels in the same order
+    /// ([`Sequential::forward_span_scratch`]), the result is **bit-identical**
+    /// to [`EvalSet::accuracy`] at any thread count and any cache state
+    /// (cold, warm, or budget-exhausted).
+    ///
+    /// The evaluation batches are sharded across
+    /// [`ftclip_tensor::num_threads`] workers exactly like
+    /// [`EvalSet::accuracy`]; workers share `cache`.
+    pub fn accuracy_suffix(&self, net: &Sequential, cut: usize, cache: &PrefixCache) -> f64 {
+        self.accuracy_suffix_with_threads(net, cut, cache, ftclip_tensor::num_threads())
+    }
+
+    /// [`EvalSet::accuracy_suffix`] with an explicit batch-shard worker
+    /// budget (the same testing convention as
+    /// [`EvalSet::accuracy_with_threads`]). Sharding goes through
+    /// [`ftclip_nn::sharded_batch_sum`] — the same engine as the full
+    /// forward path, so the two can never skew in how they split batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cut` exceeds the network's layer count.
+    pub fn accuracy_suffix_with_threads(
+        &self,
+        net: &Sequential,
+        cut: usize,
+        cache: &PrefixCache,
+        threads: usize,
+    ) -> f64 {
+        assert!(cut <= net.len(), "cut {cut} outside network of {} layers", net.len());
+        let n = self.labels.len();
+        let batches = n.div_ceil(self.batch_size);
+        let correct = ftclip_nn::sharded_batch_sum(batches, threads, |range| {
+            self.suffix_correct_in_batches(net, cut, cache, range, &mut Scratch::new())
+        });
+        correct as f64 / n as f64
+    }
+
+    /// Correct-classification count over a contiguous range of batch
+    /// indices, running only the layers from `cut` onwards per batch.
+    fn suffix_correct_in_batches(
+        &self,
+        net: &Sequential,
+        cut: usize,
+        cache: &PrefixCache,
+        batches: std::ops::Range<usize>,
+        scratch: &mut Scratch,
+    ) -> usize {
+        let n = self.labels.len();
+        let bs = self.batch_size;
+        let mut correct = 0usize;
+        for b in batches {
+            let start = b * bs;
+            let end = (start + bs).min(n);
+            let logits = if cut == 0 {
+                // no clean prefix to reuse — plain full forward on the batch
+                let bx = self.batch_tensor(start, end, scratch);
+                let y = net.forward_scratch(&bx, scratch);
+                scratch.recycle(bx.into_vec());
+                y
+            } else {
+                let act = self.prefix_activation(net, cut, b, start, end, cache, scratch);
+                net.forward_suffix_scratch(&act, cut, scratch)
+            };
+            correct += logits
+                .argmax_rows()
+                .iter()
+                .zip(&self.labels[start..end])
+                .filter(|(p, l)| p == l)
+                .count();
+            scratch.recycle(logits.into_vec());
+        }
+        correct
+    }
+
+    /// The clean activation entering layer `cut` for the batch covering
+    /// images `[start, end)`: served from `cache` when memoized, otherwise
+    /// computed (extending the deepest cached shallower cut when one
+    /// exists) and offered back to the cache within its byte budget.
+    fn prefix_activation(
+        &self,
+        net: &Sequential,
+        cut: usize,
+        batch: usize,
+        start: usize,
+        end: usize,
+        cache: &PrefixCache,
+        scratch: &mut Scratch,
+    ) -> Arc<Tensor> {
+        if let Some((depth, act)) = cache.deepest_at(batch, cut) {
+            if depth == cut {
+                return act;
+            }
+            // extend the cached shallower prefix: layers [depth, cut) are
+            // clean below the cut, so the composition stays bit-identical
+            let extended = Arc::new(net.forward_span_scratch(&act, depth, cut, scratch));
+            cache.insert(batch, cut, &extended);
+            return extended;
+        }
+        let bx = self.batch_tensor(start, end, scratch);
+        let act = Arc::new(net.forward_span_scratch(&bx, 0, cut, scratch));
+        scratch.recycle(bx.into_vec());
+        cache.insert(batch, cut, &act);
+        act
+    }
+
+    /// Copies images `[start, end)` into a batch tensor drawn from the
+    /// scratch arena (bitwise the slice `evaluate` feeds the full forward).
+    fn batch_tensor(&self, start: usize, end: usize, scratch: &mut Scratch) -> Tensor {
+        let stride: usize = self.images.shape().dims()[1..].iter().product();
+        let mut dims = self.images.shape().dims().to_vec();
+        dims[0] = end - start;
+        let mut buf = scratch.buffer((end - start) * stride);
+        buf.copy_from_slice(&self.images.data()[start * stride..end * stride]);
+        Tensor::from_vec(buf, &dims).expect("batch volume matches")
+    }
+
+    /// A hint-aware campaign evaluator over this set with a fresh
+    /// [`PrefixCache`] (budget from `FTCLIP_PREFIX_CACHE_MB`, defaulting to
+    /// a size derived from the eval-set shape). See [`SuffixAccuracy`] for
+    /// the binding contract.
+    pub fn suffix_eval(&self) -> SuffixAccuracy {
+        SuffixAccuracy::new(self.clone())
+    }
+
+    /// [`EvalSet::suffix_eval`] with an explicit prefix-cache byte budget
+    /// (tests exercise the budget-exhausted fallback with `0`).
+    pub fn suffix_eval_with_budget(&self, budget_bytes: usize) -> SuffixAccuracy {
+        SuffixAccuracy::with_cache(self.clone(), Arc::new(PrefixCache::new(budget_bytes)))
+    }
+
+    /// The default prefix-cache budget for this set when
+    /// `FTCLIP_PREFIX_CACHE_MB` is unset: eight× the image-tensor footprint
+    /// (room for several cuts across every batch), floored at 64 MB.
+    pub fn default_prefix_budget(&self) -> usize {
+        (self.images.len() * std::mem::size_of::<f32>()).saturating_mul(8).max(64 << 20)
+    }
+}
+
+/// Accounting state behind a [`PrefixCache`] lock: the memoized activations
+/// plus the counters the bench probes report.
+#[derive(Debug, Default)]
+struct PrefixCacheState {
+    /// `(batch_index, cut) →` clean activation entering layer `cut`.
+    entries: BTreeMap<(usize, usize), Arc<Tensor>>,
+    bytes_held: usize,
+    hits: u64,
+    misses: u64,
+    rejected: u64,
+}
+
+/// Observable counters of a [`PrefixCache`] (one consistent snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixCacheStats {
+    /// Lookups served at the exact requested cut.
+    pub hits: u64,
+    /// Lookups that had to compute (possibly extending a shallower entry).
+    pub misses: u64,
+    /// Insertions refused because the byte budget was exhausted (each one
+    /// is a transparent fall-back to recomputing that prefix next time).
+    pub rejected: u64,
+    /// Bytes currently held by memoized activations.
+    pub bytes_held: usize,
+    /// Number of memoized `(batch, cut)` activations.
+    pub entries: usize,
+}
+
+impl PrefixCacheStats {
+    /// Fraction of lookups served at the exact requested cut (0 when no
+    /// lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A byte-bounded memo of **clean prefix activations**, keyed by
+/// `(evaluation batch, cut)`.
+///
+/// Fault campaigns evaluate one fixed network thousands of times with
+/// faults at varying depths; every activation *before* the earliest faulted
+/// layer is bit-identical to the clean run, so recomputing it per cell is
+/// pure waste. [`EvalSet::accuracy_suffix`] memoizes those activations here
+/// — lazily, per batch and per cut — and shares the cache across campaign
+/// workers and across cells (wrap it in an [`Arc`], or share a
+/// [`SuffixAccuracy`], which does so for you).
+///
+/// **Binding contract:** entries are only valid for one clean network. The
+/// cache never inspects the model, so use one `PrefixCache` per
+/// (network, eval set) pair — exactly what [`EvalSet::suffix_eval`] hands
+/// out — and never share it between e.g. a protected and an unprotected
+/// twin.
+///
+/// When an insertion would exceed the byte budget it is simply refused and
+/// the caller keeps its freshly computed activation for the current cell —
+/// a budget of `0` degrades to recomputing every prefix (still
+/// bit-identical, just slower). Set `FTCLIP_PREFIX_CACHE_MB` to override
+/// the default budget.
+#[derive(Debug, Default)]
+pub struct PrefixCache {
+    budget_bytes: usize,
+    state: Mutex<PrefixCacheState>,
+}
+
+impl PrefixCache {
+    /// A cache bounded by `budget_bytes` of activation storage.
+    pub fn new(budget_bytes: usize) -> Self {
+        PrefixCache { budget_bytes, state: Mutex::default() }
+    }
+
+    /// A cache whose budget comes from the `FTCLIP_PREFIX_CACHE_MB`
+    /// environment variable, falling back to `default_bytes` when unset or
+    /// unparsable.
+    pub fn from_env(default_bytes: usize) -> Self {
+        let budget = std::env::var("FTCLIP_PREFIX_CACHE_MB")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map_or(default_bytes, |mb| mb << 20);
+        PrefixCache::new(budget)
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// One consistent snapshot of the cache counters.
+    pub fn stats(&self) -> PrefixCacheStats {
+        let s = self.state.lock().expect("prefix cache lock");
+        PrefixCacheStats {
+            hits: s.hits,
+            misses: s.misses,
+            rejected: s.rejected,
+            bytes_held: s.bytes_held,
+            entries: s.entries.len(),
+        }
+    }
+
+    /// The deepest memoized activation for `batch` at a cut `≤ cut`,
+    /// with its depth. Counts a hit only for an exact-depth match.
+    fn deepest_at(&self, batch: usize, cut: usize) -> Option<(usize, Arc<Tensor>)> {
+        let mut s = self.state.lock().expect("prefix cache lock");
+        let found = s
+            .entries
+            .range((batch, 0)..=(batch, cut))
+            .next_back()
+            .map(|(&(_, depth), act)| (depth, act.clone()));
+        match found {
+            Some((depth, _)) if depth == cut => s.hits += 1,
+            _ => s.misses += 1,
+        }
+        found
+    }
+
+    /// Offers an activation to the cache; refused (with the `rejected`
+    /// counter bumped) when it would exceed the byte budget. Concurrent
+    /// duplicate computations keep the first copy — the values are
+    /// bit-identical by construction, so which one survives is immaterial.
+    fn insert(&self, batch: usize, cut: usize, act: &Arc<Tensor>) {
+        let bytes = act.len() * std::mem::size_of::<f32>();
+        let mut s = self.state.lock().expect("prefix cache lock");
+        if s.entries.contains_key(&(batch, cut)) {
+            return;
+        }
+        if s.bytes_held + bytes > self.budget_bytes {
+            s.rejected += 1;
+            return;
+        }
+        s.bytes_held += bytes;
+        s.entries.insert((batch, cut), act.clone());
+    }
+}
+
+/// The hint-aware campaign evaluator: scores an [`EvalSet`] through
+/// [`ftclip_fault::CellEval`], re-executing only the network suffix below a
+/// cell's earliest faulted layer and reusing clean prefix activations from
+/// a shared [`PrefixCache`].
+///
+/// Cells without a usable hint (the clean-accuracy evaluation, or whole-
+/// network injections that hit layer 0) fall back to the full
+/// [`EvalSet::accuracy`] path. Either way the returned accuracy is
+/// **bit-identical** to the plain `|n| eval.accuracy(n)` closure — the hint
+/// only changes how much work is redone, never a result bit — so store
+/// cache keys, golden snapshots and resume fixtures are unaffected.
+///
+/// Cloning shares the prefix cache (cheap: the eval set is `Arc`-backed),
+/// which is how one cache serves every campaign over the same clean
+/// network — e.g. the per-layer sweeps of Fig. 3. **Do not** reuse one
+/// evaluator across different networks (see [`PrefixCache`]'s binding
+/// contract); make one per network instead.
+#[derive(Debug, Clone)]
+pub struct SuffixAccuracy {
+    eval: EvalSet,
+    cache: Arc<PrefixCache>,
+}
+
+impl SuffixAccuracy {
+    /// An evaluator over `eval` with a fresh environment-budgeted cache.
+    pub fn new(eval: EvalSet) -> Self {
+        let cache = Arc::new(PrefixCache::from_env(eval.default_prefix_budget()));
+        SuffixAccuracy { eval, cache }
+    }
+
+    /// An evaluator sharing an existing cache (the cache must be bound to
+    /// the same clean network this evaluator will score).
+    pub fn with_cache(eval: EvalSet, cache: Arc<PrefixCache>) -> Self {
+        SuffixAccuracy { eval, cache }
+    }
+
+    /// The underlying prefix cache (for stats reporting and sharing).
+    pub fn cache(&self) -> &Arc<PrefixCache> {
+        &self.cache
+    }
+
+    /// The evaluation set being scored.
+    pub fn eval_set(&self) -> &EvalSet {
+        &self.eval
+    }
+}
+
+impl CellEval for SuffixAccuracy {
+    fn eval_cell(&self, net: &Sequential, hint: SuffixHint) -> f64 {
+        match hint.cut {
+            Some(cut) if cut > 0 && cut <= net.len() => self.eval.accuracy_suffix(net, cut, &self.cache),
+            _ => self.eval.accuracy(net),
+        }
+    }
 }
 
 /// Declarative description of an evaluation set: subset size, sampling seed
@@ -169,6 +512,121 @@ mod tests {
         let a = EvalSet::from_subset(d.test(), 10, 7, 4);
         let b = EvalSet::from_subset(d.test(), 10, 7, 4);
         assert_eq!(a.labels(), b.labels());
+    }
+
+    fn conv_net() -> Sequential {
+        Sequential::new(vec![
+            Layer::conv2d(3, 4, 3, 1, 1, 21),
+            Layer::relu(),
+            Layer::flatten(),
+            Layer::linear(4 * 32 * 32, 16, 22),
+            Layer::relu(),
+            Layer::linear(16, 10, 23),
+        ])
+    }
+
+    #[test]
+    fn suffix_accuracy_matches_full_at_every_cut_and_thread_count() {
+        let d = data();
+        let eval = EvalSet::from_dataset(d.test(), 8); // 32 images → 4 batches
+        let net = conv_net();
+        let full = eval.accuracy(&net).to_bits();
+        for cut in 0..=net.len() {
+            let cache = PrefixCache::new(64 << 20);
+            for threads in [1usize, 2, 4] {
+                let suffix = eval.accuracy_suffix_with_threads(&net, cut, &cache, threads);
+                assert_eq!(suffix.to_bits(), full, "cut {cut}, {threads} threads");
+            }
+            // warm second pass replays the memoized prefixes bit-identically
+            assert_eq!(eval.accuracy_suffix(&net, cut, &cache).to_bits(), full, "warm cut {cut}");
+            if cut > 0 {
+                assert!(cache.stats().hits > 0, "warm pass at cut {cut} must hit");
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_falls_back_bit_identically() {
+        let d = data();
+        let eval = EvalSet::from_dataset(d.test(), 8);
+        let net = conv_net();
+        let cache = PrefixCache::new(0);
+        let full = eval.accuracy(&net).to_bits();
+        for _ in 0..2 {
+            assert_eq!(eval.accuracy_suffix(&net, 3, &cache).to_bits(), full);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0, "budget 0 must store nothing");
+        assert_eq!(stats.bytes_held, 0);
+        assert!(stats.rejected > 0, "every insert must be refused");
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn deeper_cuts_extend_shallower_entries() {
+        let d = data();
+        let eval = EvalSet::from_dataset(d.test(), 8);
+        let net = conv_net();
+        let cache = PrefixCache::new(64 << 20);
+        let full = eval.accuracy(&net).to_bits();
+        assert_eq!(eval.accuracy_suffix(&net, 2, &cache).to_bits(), full);
+        let shallow_entries = cache.stats().entries;
+        assert_eq!(eval.accuracy_suffix(&net, 5, &cache).to_bits(), full);
+        let stats = cache.stats();
+        assert!(stats.entries > shallow_entries, "cut 5 adds deeper entries");
+        assert!(stats.bytes_held > 0);
+        assert!(stats.bytes_held <= cache.budget_bytes());
+    }
+
+    #[test]
+    fn suffix_eval_honors_the_cell_hint() {
+        use ftclip_fault::{CellEval, SuffixHint};
+        let d = data();
+        let eval = EvalSet::from_dataset(d.test(), 8);
+        let net = conv_net();
+        let sx = eval.suffix_eval_with_budget(64 << 20);
+        let full = eval.accuracy(&net).to_bits();
+        assert_eq!(sx.eval_cell(&net, SuffixHint::full()).to_bits(), full);
+        assert_eq!(sx.eval_cell(&net, SuffixHint::at(0)).to_bits(), full);
+        assert_eq!(sx.eval_cell(&net, SuffixHint::at(3)).to_bits(), full);
+        assert_eq!(sx.eval_cell(&net, SuffixHint::at(net.len())).to_bits(), full);
+        // out-of-range hints degrade to the full path instead of panicking
+        assert_eq!(sx.eval_cell(&net, SuffixHint::at(net.len() + 7)).to_bits(), full);
+        assert!(sx.cache().stats().entries > 0);
+        // a clone shares the cache
+        assert_eq!(Arc::as_ptr(sx.clone().cache()), Arc::as_ptr(sx.cache()));
+    }
+
+    #[test]
+    fn suffix_eval_scores_faulted_networks_correctly() {
+        use ftclip_fault::{CellEval, SuffixHint};
+        // corrupt the last linear layer; cut 5 keeps the clean prefix valid
+        let d = data();
+        let eval = EvalSet::from_dataset(d.test(), 8);
+        let clean = conv_net();
+        let sx = eval.suffix_eval_with_budget(64 << 20);
+        // warm the cache from the clean network first (what the campaign's
+        // earlier cells do)
+        let _ = sx.eval_cell(&clean, SuffixHint::at(5));
+        let mut faulted = clean.clone();
+        faulted.visit_params_mut(&mut |i, kind, v, _| {
+            if i == 5 && kind == ftclip_nn::ParamKind::Weight {
+                for w in v.data_mut().iter_mut() {
+                    *w = -*w;
+                }
+            }
+        });
+        let reference = eval.accuracy(&faulted).to_bits();
+        assert_eq!(sx.eval_cell(&faulted, SuffixHint::at(5)).to_bits(), reference);
+    }
+
+    #[test]
+    fn prefix_budget_defaults_are_sane() {
+        let d = data();
+        let eval = EvalSet::from_dataset(d.test(), 8);
+        let budget = eval.default_prefix_budget();
+        assert!(budget >= 64 << 20, "floor at 64 MB");
+        assert!(budget >= eval.images().len() * 4);
     }
 
     #[test]

@@ -49,7 +49,7 @@ mod table;
 mod tuner;
 
 pub use auc::{auc_normalized, campaign_auc, AucConfig};
-pub use evalset::{EvalSet, EvalSettings};
+pub use evalset::{EvalSet, EvalSettings, PrefixCache, PrefixCacheStats, SuffixAccuracy};
 pub use methodology::{HardenReport, LayerTuneReport, Methodology, ProfileConfig};
 pub use profile::{profile_network, ActivationHistogram, SiteProfile};
 pub use report::{improvement_percent, Comparison};

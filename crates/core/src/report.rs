@@ -144,9 +144,9 @@ mod tests {
             model: FaultModel::BitFlip,
             target: InjectionTarget::AllWeights,
         };
-        let mut call = 0usize;
-        Campaign::new(cfg).run(&mut net, move |_| {
-            call += 1;
+        let call = std::sync::atomic::AtomicUsize::new(0);
+        Campaign::new(cfg).run(&mut net, move |_: &Sequential| {
+            let call = call.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
             (1.0 - degrade * call as f64 / 10.0).max(0.0)
         })
     }

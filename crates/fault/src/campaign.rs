@@ -104,6 +104,61 @@ pub fn paper_fault_rates() -> Vec<f64> {
     vec![1e-8, 5e-8, 1e-7, 5e-7, 1e-6, 5e-6, 1e-5]
 }
 
+/// Per-cell structure hint handed to the evaluation contract: which prefix
+/// of the network is **provably clean** for the cell being evaluated.
+///
+/// `cut` is the earliest faulted layer of the cell's injection
+/// ([`Injection::earliest_faulted_layer`]): every activation entering layer
+/// `cut` is bit-identical to the clean network's, so a hint-aware evaluator
+/// may reuse memoized clean-prefix activations and re-execute only the
+/// suffix `[cut, len)`. `None` means "no structural knowledge" (e.g. the
+/// clean-accuracy evaluation) — evaluate the full network.
+///
+/// The hint is purely an optimization channel: honoring it must never
+/// change a result bit, and ignoring it is always correct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SuffixHint {
+    /// Deepest layer index whose *input* activation is clean, or `None`.
+    pub cut: Option<usize>,
+}
+
+impl SuffixHint {
+    /// The hint carrying no structural knowledge: evaluate the full network.
+    pub fn full() -> Self {
+        SuffixHint { cut: None }
+    }
+
+    /// A hint naming `cut` as the earliest faulted layer.
+    pub fn at(cut: usize) -> Self {
+        SuffixHint { cut: Some(cut) }
+    }
+}
+
+/// The campaign evaluation contract: scores a (possibly faulted) network,
+/// optionally exploiting the [`SuffixHint`] describing its clean prefix.
+///
+/// Every plain `Fn(&Sequential) -> f64 + Sync` closure implements this
+/// trait (ignoring the hint), so the historical
+/// `campaign.run(&mut net, |n| eval.accuracy(n))` call shape keeps working
+/// unchanged. Hint-aware implementations (e.g. `ftclip_core`'s
+/// suffix-accuracy evaluator over a prefix-activation cache) must return
+/// **bit-identical** accuracies whether or not they use the hint — the
+/// campaign executors treat the two paths as interchangeable.
+///
+/// `Sync` is required because the parallel executors share one evaluator
+/// across worker threads.
+pub trait CellEval: Sync {
+    /// Evaluates `net`. `hint` describes the clean prefix of the current
+    /// cell (see [`SuffixHint`]).
+    fn eval_cell(&self, net: &Sequential, hint: SuffixHint) -> f64;
+}
+
+impl<F: Fn(&Sequential) -> f64 + Sync> CellEval for F {
+    fn eval_cell(&self, net: &Sequential, _hint: SuffixHint) -> f64 {
+        self(net)
+    }
+}
+
 /// A lookup/record interface for per-cell campaign results, implemented by
 /// persistent stores (see the `ftclip_store` crate) and by [`NoCache`].
 ///
@@ -226,7 +281,7 @@ impl CampaignResult {
 ///     target: InjectionTarget::AllWeights,
 /// };
 /// // toy evaluation: fraction of finite outputs
-/// let result = Campaign::new(cfg).run(&mut net, |n| {
+/// let result = Campaign::new(cfg).run(&mut net, |n: &Sequential| {
 ///     let y = n.forward(&ftclip_tensor::Tensor::ones(&[1, 4]));
 ///     y.iter().filter(|v| v.is_finite()).count() as f64 / y.len() as f64
 /// });
@@ -272,8 +327,10 @@ impl Campaign {
     /// Runs whose sampled fault set is empty (common at the low end of the
     /// paper's rate grid) reuse the clean accuracy instead of re-evaluating:
     /// evaluation is deterministic, so the result is identical and the
-    /// campaign cost drops substantially.
-    pub fn run(&self, net: &mut Sequential, eval: impl FnMut(&Sequential) -> f64) -> CampaignResult {
+    /// campaign cost drops substantially. Faulted cells hand the evaluator a
+    /// [`SuffixHint`] naming the injection's earliest faulted layer, letting
+    /// hint-aware evaluators skip the clean prefix of the forward pass.
+    pub fn run(&self, net: &mut Sequential, eval: impl CellEval) -> CampaignResult {
         self.run_cached(net, &NoCache, eval)
     }
 
@@ -286,10 +343,10 @@ impl Campaign {
         &self,
         net: &mut Sequential,
         cache: &dyn CampaignCache,
-        mut eval: impl FnMut(&Sequential) -> f64,
+        eval: impl CellEval,
     ) -> CampaignResult {
         let clean_accuracy = cache.clean_accuracy().unwrap_or_else(|| {
-            let clean = eval(net);
+            let clean = eval.eval_cell(net, SuffixHint::full());
             cache.record_clean(clean);
             clean
         });
@@ -298,7 +355,7 @@ impl Campaign {
         for (i, &rate) in self.config.fault_rates.iter().enumerate() {
             let mut per_rate = Vec::with_capacity(self.config.repetitions);
             for rep in 0..self.config.repetitions {
-                let record = self.cell(net, i, rate, rep, clean_accuracy, cache, &mut eval);
+                let record = self.cell(net, i, rate, rep, clean_accuracy, cache, &eval);
                 per_rate.push(record.accuracy);
                 runs.push(record);
             }
@@ -322,7 +379,7 @@ impl Campaign {
         rep: usize,
         clean_accuracy: f64,
         cache: &dyn CampaignCache,
-        eval: &mut dyn FnMut(&Sequential) -> f64,
+        eval: &dyn CellEval,
     ) -> RunRecord {
         if let Some(record) = cache.lookup(i, rep) {
             assert_eq!((record.rate_index, record.repetition), (i, rep), "cache returned a mislabeled cell");
@@ -334,8 +391,11 @@ impl Campaign {
         let accuracy = if fault_count == 0 {
             clean_accuracy
         } else {
+            // activations before the earliest faulted layer are bit-identical
+            // to the clean run — tell the evaluator how deep that prefix goes
+            let hint = SuffixHint { cut: injection.earliest_faulted_layer() };
             let handle = injection.apply(net);
-            let accuracy = eval(net);
+            let accuracy = eval.eval_cell(net, hint);
             handle.undo(net);
             accuracy
         };
@@ -353,9 +413,10 @@ impl Campaign {
     /// execution order, evaluation is deterministic, and the merged
     /// [`RunRecord`]s are emitted in the serial path's order. Unlike
     /// [`Campaign::run`] the network is borrowed immutably — each worker
-    /// injects faults into its own clone — and the evaluation closure must
-    /// be `Fn + Sync` because workers share it.
-    pub fn run_parallel(&self, net: &Sequential, eval: impl Fn(&Sequential) -> f64 + Sync) -> CampaignResult {
+    /// injects faults into its own clone. Workers share the evaluator
+    /// ([`CellEval`] is `Sync`), including any prefix-activation cache a
+    /// hint-aware evaluator carries.
+    pub fn run_parallel(&self, net: &Sequential, eval: impl CellEval) -> CampaignResult {
         self.run_parallel_with_threads(net, ftclip_tensor::num_threads(), eval)
     }
 
@@ -370,7 +431,7 @@ impl Campaign {
         &self,
         net: &Sequential,
         cache: &dyn CampaignCache,
-        eval: impl Fn(&Sequential) -> f64 + Sync,
+        eval: impl CellEval,
     ) -> CampaignResult {
         self.run_parallel_cached_with_threads(net, ftclip_tensor::num_threads(), cache, eval)
     }
@@ -398,7 +459,7 @@ impl Campaign {
         &self,
         net: &Sequential,
         threads: usize,
-        eval: impl Fn(&Sequential) -> f64 + Sync,
+        eval: impl CellEval,
     ) -> CampaignResult {
         self.run_parallel_cached_with_threads(net, threads, &NoCache, eval)
     }
@@ -416,7 +477,7 @@ impl Campaign {
         net: &Sequential,
         threads: usize,
         cache: &dyn CampaignCache,
-        eval: impl Fn(&Sequential) -> f64 + Sync,
+        eval: impl CellEval,
     ) -> CampaignResult {
         assert!(threads > 0, "campaign needs at least one worker thread");
         let reps = self.config.repetitions;
@@ -432,7 +493,7 @@ impl Campaign {
         }
 
         let clean_accuracy = cache.clean_accuracy().unwrap_or_else(|| {
-            let clean = ftclip_tensor::with_thread_limit(threads, || eval(net));
+            let clean = ftclip_tensor::with_thread_limit(threads, || eval.eval_cell(net, SuffixHint::full()));
             cache.record_clean(clean);
             clean
         });
@@ -454,7 +515,6 @@ impl Campaign {
                     // inner kernels share the leftover budget (method docs)
                     ftclip_tensor::with_thread_limit(budget, || {
                         let mut local = net.clone();
-                        let mut local_eval = |n: &Sequential| eval(n);
                         let mut out = Vec::new();
                         loop {
                             let cell = next_cell.fetch_add(1, Ordering::Relaxed);
@@ -463,15 +523,7 @@ impl Campaign {
                             }
                             let (i, rep) = (cell / reps, cell % reps);
                             let rate = self.config.fault_rates[i];
-                            out.push(self.cell(
-                                &mut local,
-                                i,
-                                rate,
-                                rep,
-                                clean_accuracy,
-                                cache,
-                                &mut local_eval,
-                            ));
+                            out.push(self.cell(&mut local, i, rate, rep, clean_accuracy, cache, eval));
                         }
                     })
                 }));

@@ -68,6 +68,19 @@ impl Injection {
         &self.faults
     }
 
+    /// The smallest network layer index any fault touches, or `None` for an
+    /// empty fault set.
+    ///
+    /// Layer indices follow [`Sequential::visit_params`] (positions within
+    /// the layer list — see `Sequential::param_layer_indices` for the
+    /// contract), so every activation *entering* that layer is bit-identical
+    /// to the clean network's: the returned index is the deepest valid
+    /// suffix cut for re-evaluating this injection without redoing the
+    /// clean prefix.
+    pub fn earliest_faulted_layer(&self) -> Option<usize> {
+        self.faults.iter().map(|&(layer, ..)| layer).min()
+    }
+
     /// Applies the faults to `net`, returning a handle that can restore the
     /// original bits exactly.
     ///
@@ -255,6 +268,27 @@ mod tests {
             v
         };
         assert_eq!(before_conv, after_conv, "conv layer must be untouched");
+    }
+
+    #[test]
+    fn earliest_faulted_layer_is_the_minimum() {
+        let empty = Injection::from_faults(FaultModel::BitFlip, vec![]);
+        assert_eq!(empty.earliest_faulted_layer(), None);
+        let inj = Injection::from_faults(
+            FaultModel::BitFlip,
+            vec![(3, ParamKind::Weight, 0, 1), (0, ParamKind::Weight, 2, 5), (3, ParamKind::Bias, 1, 7)],
+        );
+        assert_eq!(inj.earliest_faulted_layer(), Some(0));
+        let n = net();
+        let layer_only = Injection::sample(
+            &n,
+            InjectionTarget::Layer(3),
+            FaultModel::BitFlip,
+            0.5,
+            &mut StdRng::seed_from_u64(2),
+        );
+        assert!(layer_only.fault_count() > 0);
+        assert_eq!(layer_only.earliest_faulted_layer(), Some(3), "Layer target pins the cut");
     }
 
     #[test]

@@ -50,7 +50,7 @@ mod stats;
 
 pub use campaign::{
     cache_of, paper_fault_rates, Campaign, CampaignCache, CampaignConfig, CampaignError, CampaignResult,
-    NoCache, RunRecord,
+    CellEval, NoCache, RunRecord, SuffixHint,
 };
 pub use inject::{AppliedInjection, Injection};
 pub use memory::{InjectionTarget, MemoryMap, Region};

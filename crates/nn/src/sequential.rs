@@ -109,7 +109,28 @@ impl Sequential {
     ///
     /// Panics on input shape mismatches.
     pub fn forward_scratch(&self, x: &Tensor, scratch: &mut Scratch) -> Tensor {
-        let mut layers = self.layers.iter();
+        self.forward_span_scratch(x, 0, self.layers.len(), scratch)
+    }
+
+    /// Runs only the layers in `[from, to)` — the one engine behind
+    /// [`Sequential::forward_scratch`], [`Sequential::forward_prefix`] and
+    /// [`Sequential::forward_suffix_scratch`], so splitting a pass at any
+    /// cut is **bit-identical by construction**: the same layer kernels run
+    /// in the same order on the same values, only the buffer provenance
+    /// changes. `x` is the input to layer `from` (the network input when
+    /// `from == 0`); an empty span returns `x` unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > to`, `to` exceeds the layer count, or shapes
+    /// mismatch.
+    pub fn forward_span_scratch(&self, x: &Tensor, from: usize, to: usize, scratch: &mut Scratch) -> Tensor {
+        assert!(
+            from <= to && to <= self.layers.len(),
+            "span {from}..{to} outside network of {} layers",
+            self.layers.len()
+        );
+        let mut layers = self.layers[from..to].iter();
         let Some(first) = layers.next() else {
             return x.clone();
         };
@@ -120,6 +141,49 @@ impl Sequential {
             cur = next;
         }
         cur
+    }
+
+    /// The activation entering layer `cut`: runs layers `[0, cut)` and
+    /// returns the intermediate tensor (the whole-network output when
+    /// `cut == len`, the input itself when `cut == 0`).
+    ///
+    /// Together with [`Sequential::forward_suffix_scratch`] this splits an
+    /// inference pass at `cut` with bitwise-identical results — the clean
+    /// prefix a fault campaign memoizes when every fault lives at layer
+    /// `cut` or later (see [`Sequential::param_layer_indices`] for the cut
+    /// naming contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cut` exceeds the layer count or shapes mismatch.
+    pub fn forward_prefix(&self, x: &Tensor, cut: usize) -> Tensor {
+        self.forward_span_scratch(x, 0, cut, &mut Scratch::new())
+    }
+
+    /// [`Sequential::forward_prefix`] drawing buffers from a reusable
+    /// [`Scratch`] arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cut` exceeds the layer count or shapes mismatch.
+    pub fn forward_prefix_scratch(&self, x: &Tensor, cut: usize, scratch: &mut Scratch) -> Tensor {
+        self.forward_span_scratch(x, 0, cut, scratch)
+    }
+
+    /// Resumes an inference pass from the activation entering layer `cut`:
+    /// runs layers `[cut, len)` on `act` (a tensor produced by
+    /// [`Sequential::forward_prefix`] at the same cut) and returns the
+    /// network output. For every cut and input,
+    /// `forward_suffix_scratch(&forward_prefix(x, cut), cut, s)` is
+    /// bit-identical to `forward_scratch(x, s)` — both are
+    /// [`Sequential::forward_span_scratch`] compositions over the same
+    /// kernels in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cut` exceeds the layer count or shapes mismatch.
+    pub fn forward_suffix_scratch(&self, act: &Tensor, cut: usize, scratch: &mut Scratch) -> Tensor {
+        self.forward_span_scratch(act, cut, self.layers.len(), scratch)
     }
 
     /// Inference forward pass that additionally captures every layer's
@@ -265,6 +329,25 @@ impl Sequential {
             .iter()
             .enumerate()
             .filter(|(_, l)| l.is_computational())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of the layers holding trainable parameters (conv, linear,
+    /// batch-norm), in network order — the **stable layer-index ↔
+    /// parameter-memory mapping** the fault side uses to name suffix cuts.
+    ///
+    /// The contract: the `layer` index reported by
+    /// [`Sequential::visit_params`] (and therefore by every sampled fault)
+    /// is the layer's position in [`Sequential::layers`], so a fault set
+    /// whose earliest faulted layer is `ℓ` leaves the activation returned
+    /// by [`Sequential::forward_prefix`]`(x, ℓ)` bit-identical to the clean
+    /// network's.
+    pub fn param_layer_indices(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.param_count() > 0)
             .map(|(i, _)| i)
             .collect()
     }
@@ -571,6 +654,52 @@ mod tests {
             crate::loss::SoftmaxCrossEntropy::new().loss(&logits, &labels)
         };
         assert!(loss1 < loss0 * 0.7, "loss should drop: {loss0} → {loss1}");
+    }
+
+    #[test]
+    fn prefix_plus_suffix_is_bitwise_forward_at_every_cut() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let net = tiny_net();
+        let mut rng = StdRng::seed_from_u64(41);
+        let x = ftclip_tensor::uniform_init(&[2, 1, 8, 8], -1.0, 1.0, &mut rng);
+        let full = net.forward_scratch(&x, &mut Scratch::new());
+        let full_bits: Vec<u32> = full.data().iter().map(|v| v.to_bits()).collect();
+        for cut in 0..=net.len() {
+            let act = net.forward_prefix(&x, cut);
+            let mut scratch = Scratch::new();
+            let resumed = net.forward_suffix_scratch(&act, cut, &mut scratch);
+            let bits: Vec<u32> = resumed.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, full_bits, "cut {cut}");
+            assert_eq!(resumed.shape().dims(), full.shape().dims(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn prefix_at_zero_is_input_and_at_len_is_output() {
+        let net = tiny_net();
+        let x = Tensor::ones(&[1, 1, 8, 8]);
+        assert!(net.forward_prefix(&x, 0).approx_eq(&x, 0.0));
+        assert!(net.forward_prefix(&x, net.len()).approx_eq(&net.forward(&x), 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside network")]
+    fn span_rejects_out_of_range_cut() {
+        let net = tiny_net();
+        net.forward_prefix(&Tensor::ones(&[1, 1, 8, 8]), net.len() + 1);
+    }
+
+    #[test]
+    fn param_layer_indices_name_every_fault_site() {
+        let net = tiny_net();
+        // conv at 0, linear at 4 and 6 — exactly the layers visit_params visits
+        assert_eq!(net.param_layer_indices(), vec![0, 4, 6]);
+        let mut visited = std::collections::BTreeSet::new();
+        net.visit_params(&mut |i, _, _, _| {
+            visited.insert(i);
+        });
+        assert_eq!(net.param_layer_indices(), visited.into_iter().collect::<Vec<_>>());
     }
 
     #[test]

@@ -279,37 +279,54 @@ pub fn evaluate_with_threads(
     assert_eq!(labels.len(), n, "label count must match image count");
     let bs = batch_size.max(1);
     let batches = n.div_ceil(bs);
+    let correct = sharded_batch_sum(batches, threads, |range| {
+        correct_in_batches(net, images, labels, bs, range, &mut crate::Scratch::new())
+    });
+    correct as f64 / n as f64
+}
+
+/// The one batch-shard engine behind [`evaluate_with_threads`] (and the
+/// suffix-evaluation path in `ftclip_core`): splits `batches` contiguous
+/// batch indices across `threads` scoped workers and sums each worker's
+/// count. Keeping every sharded scorer on this single implementation is
+/// what makes their results comparable bit for bit — the split convention
+/// can never diverge between callers.
+///
+/// The convention: `min(threads, batches)` workers, contiguous ranges with
+/// the first `batches % workers` workers taking one extra batch, each
+/// worker running under [`ftclip_tensor::with_thread_limit`] with its share
+/// of the remaining budget (the first `threads % workers` workers absorb
+/// the remainder). With one worker the scorer runs inline — still under
+/// the explicit budget, so a `threads: 1` baseline never silently
+/// parallelizes the kernels underneath. Bit-identical at any thread count
+/// whenever `count` is pure per range: each batch is scored by exactly one
+/// worker and the summed counts are order-independent.
+pub fn sharded_batch_sum(
+    batches: usize,
+    threads: usize,
+    count: impl Fn(std::ops::Range<usize>) -> usize + Sync,
+) -> usize {
     let workers = threads.max(1).min(batches);
     if workers <= 1 {
-        // honor the budget even without sharding: an explicit `threads: 1`
-        // must pin the kernels underneath to one thread, or the "1-thread"
-        // baseline of every speedup measurement silently parallelizes
-        let correct = ftclip_tensor::with_thread_limit(threads.max(1), || {
-            correct_in_batches(net, images, labels, bs, 0..batches, &mut crate::Scratch::new())
-        });
-        return correct as f64 / n as f64;
+        return ftclip_tensor::with_thread_limit(threads.max(1), || count(0..batches));
     }
     let inner = threads / workers;
     let spare_threads = threads % workers; // first workers absorb the remainder
     let base = batches / workers;
     let extra = batches % workers;
-    let correct: usize = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         let mut b0 = 0usize;
         for w in 0..workers {
-            let count = base + usize::from(w < extra);
-            let range = b0..b0 + count;
-            b0 += count;
+            let n = base + usize::from(w < extra);
+            let range = b0..b0 + n;
+            b0 += n;
             let budget = inner + usize::from(w < spare_threads);
-            handles.push(scope.spawn(move || {
-                ftclip_tensor::with_thread_limit(budget, || {
-                    correct_in_batches(net, images, labels, bs, range, &mut crate::Scratch::new())
-                })
-            }));
+            let count = &count;
+            handles.push(scope.spawn(move || ftclip_tensor::with_thread_limit(budget, || count(range))));
         }
         handles.into_iter().map(|h| h.join().expect("evaluation worker panicked")).sum()
-    });
-    correct as f64 / n as f64
+    })
 }
 
 /// Correct-classification count over a contiguous range of batch indices.

@@ -140,6 +140,51 @@ proptest! {
     }
 
     #[test]
+    fn prefix_suffix_split_is_bitwise_forward_at_every_cut(
+        seed in 0u64..1000,
+        c1 in 1usize..4,
+        c2 in 1usize..4,
+        hidden in 1usize..12,
+        batch in 1usize..4,
+        act in activation_strategy(),
+    ) {
+        use ftclip_nn::Scratch;
+        use rand::SeedableRng;
+        let net = Sequential::new(vec![
+            Layer::conv2d(1, c1, 3, 1, 1, seed),
+            Layer::activation(act),
+            Layer::MaxPool2d(MaxPool2d::new(2, 2)),
+            Layer::conv2d(c1, c2, 3, 1, 1, seed ^ 1),
+            Layer::relu(),
+            Layer::flatten(),
+            Layer::linear(c2 * 4 * 4, hidden, seed ^ 2),
+            Layer::relu(),
+            Layer::linear(hidden, 3, seed ^ 3),
+        ]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
+        let x = ftclip_tensor::uniform_init(&[batch, 1, 8, 8], -2.0, 2.0, &mut rng);
+        let mut scratch = Scratch::new();
+        let full = net.forward_scratch(&x, &mut scratch);
+        let full_bits: Vec<u32> = full.data().iter().map(|v| v.to_bits()).collect();
+        for cut in 0..=net.len() {
+            let prefix = net.forward_prefix(&x, cut);
+            let resumed = net.forward_suffix_scratch(&prefix, cut, &mut scratch);
+            let bits: Vec<u32> = resumed.data().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(bits, full_bits.clone(), "cut {}", cut);
+            prop_assert_eq!(resumed.shape().dims(), full.shape().dims());
+        }
+        // a three-way span composition (prefix → middle span → suffix)
+        // at two derived cuts is bitwise identical too
+        let a = (seed as usize) % (net.len() + 1);
+        let b = a + (seed as usize / 7) % (net.len() + 1 - a);
+        let first = net.forward_prefix(&x, a);
+        let middle = net.forward_span_scratch(&first, a, b, &mut scratch);
+        let tail = net.forward_suffix_scratch(&middle, b, &mut scratch);
+        let bits: Vec<u32> = tail.data().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(bits, full_bits, "spans {}..{}..{}", a, b, net.len());
+    }
+
+    #[test]
     fn convert_to_clipped_preserves_behaviour_below_thresholds(
         threshold in 1.0f32..10.0,
         seed in 0u64..100,

@@ -66,7 +66,7 @@ fn main() {
         model: FaultModel::BitFlip,
         target: InjectionTarget::AllWeights,
     });
-    let unprotected = campaign.run(&mut net, |n| eval.accuracy(n));
+    let unprotected = campaign.run(&mut net, |n: &Sequential| eval.accuracy(n));
 
     // ------------------------------------------------------------------
     // 3. FT-ClipAct Step 1+2: profile ACT_max, clip every activation.
@@ -76,7 +76,7 @@ fn main() {
     println!("\nprofiled ACT_max per activation site: {thresholds:?}");
     let mut clipped = net.clone();
     clipped.convert_to_clipped(&thresholds);
-    let protected = campaign.run(&mut clipped, |n| eval.accuracy(n));
+    let protected = campaign.run(&mut clipped, |n: &Sequential| eval.accuracy(n));
 
     // ------------------------------------------------------------------
     // 4. Compare.

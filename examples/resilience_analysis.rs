@@ -59,7 +59,7 @@ fn main() {
             model: FaultModel::BitFlip,
             target: InjectionTarget::Layer(layer),
         });
-        let result = campaign.run(&mut net, |n| eval.accuracy(n));
+        let result = campaign.run(&mut net, |n: &Sequential| eval.accuracy(n));
         print!("{:<10} {:>10}", name, map.total_bits());
         for m in result.mean_accuracies() {
             print!(" {:>9.3}", m);

@@ -38,10 +38,13 @@ pub use ftclip_tensor as tensor;
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use ftclip_core::{
-        auc_normalized, AucConfig, HardenReport, Methodology, ProfileConfig, ThresholdTuner, TunerConfig,
+        auc_normalized, AucConfig, HardenReport, Methodology, PrefixCache, ProfileConfig, SuffixAccuracy,
+        ThresholdTuner, TunerConfig,
     };
     pub use ftclip_data::{Dataset, SynthCifar};
-    pub use ftclip_fault::{Campaign, CampaignConfig, FaultModel, InjectionTarget, Summary};
+    pub use ftclip_fault::{
+        Campaign, CampaignConfig, CellEval, FaultModel, InjectionTarget, SuffixHint, Summary,
+    };
     pub use ftclip_nn::{Activation, Layer, Sequential, Trainer};
     pub use ftclip_store::{campaign_fingerprint, Fingerprint, ResultStore};
     pub use ftclip_tensor::Tensor;

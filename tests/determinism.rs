@@ -78,7 +78,9 @@ fn campaigns_are_reproducible_end_to_end() {
     };
     let run = || {
         let mut net = tiny_net();
-        Campaign::new(cfg.clone()).run(&mut net, |n| eval.accuracy(n)).accuracies
+        Campaign::new(cfg.clone())
+            .run(&mut net, |n: &Sequential| eval.accuracy(n))
+            .accuracies
     };
     assert_eq!(run(), run());
 }
@@ -100,8 +102,8 @@ fn parallel_campaign_is_bit_identical_to_single_threaded() {
     };
     let campaign = Campaign::new(cfg);
     let net = tiny_net();
-    let one = campaign.run_parallel_with_threads(&net, 1, |n| eval.accuracy(n));
-    let four = campaign.run_parallel_with_threads(&net, 4, |n| eval.accuracy(n));
+    let one = campaign.run_parallel_with_threads(&net, 1, |n: &Sequential| eval.accuracy(n));
+    let four = campaign.run_parallel_with_threads(&net, 4, |n: &Sequential| eval.accuracy(n));
     assert_eq!(one.runs, four.runs, "RunRecords must be bit-identical across thread counts");
     assert_eq!(one.clean_accuracy.to_bits(), four.clean_accuracy.to_bits());
     let bits = |r: &ftclipact::fault::CampaignResult| -> Vec<Vec<u64>> {
@@ -111,8 +113,38 @@ fn parallel_campaign_is_bit_identical_to_single_threaded() {
 
     // and the parallel path agrees with the historical serial executor
     let mut serial_net = tiny_net();
-    let serial = campaign.run(&mut serial_net, |n| eval.accuracy(n));
+    let serial = campaign.run(&mut serial_net, |n: &Sequential| eval.accuracy(n));
     assert_eq!(serial.runs, four.runs);
+}
+
+#[test]
+fn per_layer_suffix_campaign_is_bit_identical_to_full_forward() {
+    // the Fig. 3 shape: one campaign per layer target, all sharing one
+    // suffix evaluator (and therefore one prefix cache) over the same
+    // clean network — every campaign must replay the full-forward bits
+    let data = tiny_data(9);
+    let eval = EvalSet::from_dataset(data.test(), 32);
+    let net = tiny_net();
+    let suffix = eval.suffix_eval();
+    for layer_index in net.param_layer_indices() {
+        let cfg = CampaignConfig {
+            fault_rates: vec![1e-4, 1e-3],
+            repetitions: 3,
+            seed: 51 ^ layer_index as u64,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::Layer(layer_index),
+        };
+        let campaign = Campaign::new(cfg);
+        let mut serial_net = net.clone();
+        let full = campaign.run(&mut serial_net, |n: &Sequential| eval.accuracy(n));
+        for threads in [1usize, 2, 4] {
+            let sx = campaign.run_parallel_with_threads(&net, threads, suffix.clone());
+            assert_eq!(sx.runs, full.runs, "layer {layer_index}, {threads} threads");
+            assert_eq!(sx.clean_accuracy.to_bits(), full.clean_accuracy.to_bits());
+        }
+    }
+    let stats = suffix.cache().stats();
+    assert!(stats.hits > 0, "later campaigns must reuse earlier campaigns' prefixes");
 }
 
 #[test]
@@ -151,8 +183,8 @@ fn campaign_with_fewer_cells_than_threads_is_bit_identical() {
     };
     let campaign = Campaign::new(cfg);
     let mut serial_net = tiny_net();
-    let serial = campaign.run(&mut serial_net, |n| eval.accuracy(n));
-    let wide = campaign.run_parallel_with_threads(&tiny_net(), 8, |n| eval.accuracy(n));
+    let serial = campaign.run(&mut serial_net, |n: &Sequential| eval.accuracy(n));
+    let wide = campaign.run_parallel_with_threads(&tiny_net(), 8, |n: &Sequential| eval.accuracy(n));
     assert_eq!(serial.runs, wide.runs);
     assert_eq!(serial.clean_accuracy.to_bits(), wide.clean_accuracy.to_bits());
 }

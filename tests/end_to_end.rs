@@ -66,7 +66,7 @@ fn high_fault_rates_destroy_unprotected_accuracy() {
         model: FaultModel::BitFlip,
         target: InjectionTarget::AllWeights,
     });
-    let result = campaign.run(&mut net, |n| eval.accuracy(n));
+    let result = campaign.run(&mut net, |n: &Sequential| eval.accuracy(n));
     let faulted = result.mean_accuracies()[0];
     assert!(
         faulted < clean - 0.15,
@@ -94,8 +94,8 @@ fn profiled_clipping_recovers_resilience() {
         model: FaultModel::BitFlip,
         target: InjectionTarget::AllWeights,
     });
-    let res_unprotected = campaign.run(&mut unprotected, |n| eval.accuracy(n));
-    let res_clipped = campaign.run(&mut clipped, |n| eval.accuracy(n));
+    let res_unprotected = campaign.run(&mut unprotected, |n: &Sequential| eval.accuracy(n));
+    let res_clipped = campaign.run(&mut clipped, |n: &Sequential| eval.accuracy(n));
 
     let auc_u = campaign_auc(&res_unprotected);
     let auc_c = campaign_auc(&res_clipped);

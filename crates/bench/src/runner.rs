@@ -98,6 +98,43 @@ impl Runner {
     /// # Panics
     ///
     /// Panics if a batch worker thread panics.
+    ///
+    /// # Examples
+    ///
+    /// A two-spec batch over an untrained sliver-width workload, with all
+    /// outputs routed to a temp directory:
+    ///
+    /// ```
+    /// use ftclip_bench::{ExperimentSpec, Procedure, RateGrid, RunSettings, Runner};
+    ///
+    /// let spec = |name: &str| -> ExperimentSpec {
+    ///     let mut spec = ExperimentSpec::builder(Procedure::CampaignSummary, name)
+    ///         .rates(RateGrid::Absolute(vec![1e-4]))
+    ///         .repetitions(1)
+    ///         .eval_size(16)
+    ///         .build()
+    ///         .unwrap();
+    ///     spec.workload.epochs = 0;
+    ///     spec.workload.width_mult = 0.05;
+    ///     spec.data.train_size = 8;
+    ///     spec.data.val_size = 8;
+    ///     spec.data.test_size = 16;
+    ///     spec
+    /// };
+    ///
+    /// let tmp = std::env::temp_dir().join(format!("ftclip-doc-batch-{}", std::process::id()));
+    /// let runner = Runner::new(RunSettings {
+    ///     out_dir: tmp.join("results"),
+    ///     cache_root: None,
+    ///     assets_dir: tmp.join("assets"),
+    ///     ..RunSettings::default()
+    /// });
+    /// let outcomes = runner.run_batch(&[spec("doc_a"), spec("doc_b")])?;
+    /// assert_eq!(outcomes.len(), 2); // spec order, regardless of fan-out
+    /// assert!(outcomes.iter().all(|o| o.passed() && !o.tables.is_empty()));
+    /// std::fs::remove_dir_all(tmp).ok();
+    /// # Ok::<(), ftclip_bench::SpecError>(())
+    /// ```
     pub fn run_batch(&self, specs: &[ExperimentSpec]) -> Result<Vec<RunOutcome>, SpecError> {
         self.run_batch_with_threads(specs, ftclip_tensor::num_threads())
     }

@@ -246,6 +246,27 @@ impl EvalSet {
     /// [`PrefixCache`] (budget from `FTCLIP_PREFIX_CACHE_MB`, defaulting to
     /// a size derived from the eval-set shape). See [`SuffixAccuracy`] for
     /// the binding contract.
+    ///
+    /// # Examples
+    ///
+    /// Scoring through the hint is bit-identical to the full forward pass
+    /// — the hint only changes how much work is redone, and the clean
+    /// prefix activation lands in the shared cache:
+    ///
+    /// ```
+    /// use ftclip_core::EvalSet;
+    /// use ftclip_data::SynthCifar;
+    /// use ftclip_fault::{CellEval, SuffixHint};
+    /// use ftclip_nn::{Layer, Sequential};
+    ///
+    /// let data = SynthCifar::builder().seed(5).train_size(8).val_size(8).test_size(16).build();
+    /// let eval = EvalSet::from_dataset(data.test(), 8);
+    /// let net = Sequential::new(vec![Layer::flatten(), Layer::linear(3 * 32 * 32, 10, 1)]);
+    ///
+    /// let sx = eval.suffix_eval();
+    /// assert_eq!(sx.eval_cell(&net, SuffixHint::at(1)), eval.accuracy(&net));
+    /// assert!(sx.cache().stats().entries > 0);
+    /// ```
     pub fn suffix_eval(&self) -> SuffixAccuracy {
         SuffixAccuracy::new(self.clone())
     }

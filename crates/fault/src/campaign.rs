@@ -8,11 +8,13 @@
 //! [`Campaign::run`] at any thread count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use ftclip_nn::Sequential;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::progress::{current_observer, CampaignObserver, CancelledCampaign};
 use crate::{derive_seed, FaultModel, Injection, InjectionTarget, Summary};
 
 /// Configuration of a fault-injection campaign.
@@ -339,23 +341,32 @@ impl Campaign {
     /// are recorded as they complete, and the merged result is bit-identical
     /// to an uncached run regardless of how the cells split between cache
     /// hits and fresh computation.
+    ///
+    /// Progress (and cancellation) flows through the calling thread's
+    /// [`CampaignObserver`], if one is installed — see
+    /// [`crate::with_observer`].
     pub fn run_cached(
         &self,
         net: &mut Sequential,
         cache: &dyn CampaignCache,
         eval: impl CellEval,
     ) -> CampaignResult {
+        let observer = current_observer();
+        let observer = observer.as_deref();
         let clean_accuracy = cache.clean_accuracy().unwrap_or_else(|| {
             let clean = eval.eval_cell(net, SuffixHint::full());
             cache.record_clean(clean);
             clean
         });
+        if let Some(obs) = observer {
+            obs.on_clean(clean_accuracy);
+        }
         let mut accuracies = Vec::with_capacity(self.config.fault_rates.len());
         let mut runs = Vec::new();
         for (i, &rate) in self.config.fault_rates.iter().enumerate() {
             let mut per_rate = Vec::with_capacity(self.config.repetitions);
             for rep in 0..self.config.repetitions {
-                let record = self.cell(net, i, rate, rep, clean_accuracy, cache, &eval);
+                let record = self.cell(net, i, rate, rep, clean_accuracy, cache, &eval, observer);
                 per_rate.push(record.accuracy);
                 runs.push(record);
             }
@@ -371,6 +382,10 @@ impl Campaign {
 
     /// Computes (or replays from `cache`) one `(rate, repetition)` cell.
     /// The network is returned to its pre-call state.
+    ///
+    /// Cancellation is polled here — at the cell boundary, where the
+    /// network is clean and no locks are held — so an unwinding cancel
+    /// never leaves shared state poisoned.
     fn cell(
         &self,
         net: &mut Sequential,
@@ -380,9 +395,18 @@ impl Campaign {
         clean_accuracy: f64,
         cache: &dyn CampaignCache,
         eval: &dyn CellEval,
+        observer: Option<&dyn CampaignObserver>,
     ) -> RunRecord {
+        if let Some(obs) = observer {
+            if obs.cancel_requested() {
+                std::panic::panic_any(CancelledCampaign);
+            }
+        }
         if let Some(record) = cache.lookup(i, rep) {
             assert_eq!((record.rate_index, record.repetition), (i, rep), "cache returned a mislabeled cell");
+            if let Some(obs) = observer {
+                obs.on_cell(&record, true);
+            }
             return record;
         }
         let mut rng = StdRng::seed_from_u64(derive_seed(self.config.seed, i, rep));
@@ -401,6 +425,9 @@ impl Campaign {
         };
         let record = RunRecord { rate_index: i, repetition: rep, fault_count, accuracy };
         cache.record(&record);
+        if let Some(obs) = observer {
+            obs.on_cell(&record, false);
+        }
         record
     }
 
@@ -492,11 +519,17 @@ impl Campaign {
             return ftclip_tensor::with_thread_limit(threads, || self.run_cached(&mut net, cache, eval));
         }
 
+        // capture the calling thread's observer before fanning out: worker
+        // threads have fresh thread-locals, so the handle travels by Arc
+        let observer: Option<Arc<dyn CampaignObserver>> = current_observer();
         let clean_accuracy = cache.clean_accuracy().unwrap_or_else(|| {
             let clean = ftclip_tensor::with_thread_limit(threads, || eval.eval_cell(net, SuffixHint::full()));
             cache.record_clean(clean);
             clean
         });
+        if let Some(obs) = &observer {
+            obs.on_clean(clean_accuracy);
+        }
         // leftover parallelism per worker when cells < threads; 1 otherwise
         // (the first `threads % workers` workers absorb the remainder so the
         // whole budget is used)
@@ -509,6 +542,7 @@ impl Campaign {
             for w in 0..workers {
                 let next_cell = &next_cell;
                 let eval = &eval;
+                let observer = observer.clone();
                 let budget = (inner + usize::from(w < spare)).max(1);
                 handles.push(scope.spawn(move || {
                     // one network clone per worker serves all its cells;
@@ -523,13 +557,28 @@ impl Campaign {
                             }
                             let (i, rep) = (cell / reps, cell % reps);
                             let rate = self.config.fault_rates[i];
-                            out.push(self.cell(&mut local, i, rate, rep, clean_accuracy, cache, eval));
+                            out.push(self.cell(
+                                &mut local,
+                                i,
+                                rate,
+                                rep,
+                                clean_accuracy,
+                                cache,
+                                eval,
+                                observer.as_deref(),
+                            ));
                         }
                     })
                 }));
             }
             for handle in handles {
-                runs.extend(handle.join().expect("campaign worker panicked"));
+                match handle.join() {
+                    Ok(worker_runs) => runs.extend(worker_runs),
+                    // re-raise with the original payload so a cancellation
+                    // unwind ([`CancelledCampaign`]) stays downcastable at
+                    // the driver's catch_unwind
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
         });
 
@@ -888,6 +937,92 @@ mod tests {
         assert_eq!(no_reps.validate(), Err(CampaignError::ZeroRepetitions));
         no_reps.repetitions = 1;
         assert_eq!(no_reps.validate(), Ok(()));
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        cells: std::sync::Mutex<Vec<(usize, usize, bool)>>,
+        clean: AtomicUsize,
+        cancel_after: Option<usize>,
+    }
+
+    impl crate::CampaignObserver for Recorder {
+        fn on_cell(&self, record: &RunRecord, cached: bool) {
+            self.cells.lock().unwrap().push((record.rate_index, record.repetition, cached));
+        }
+        fn on_clean(&self, _accuracy: f64) {
+            self.clean.fetch_add(1, Ordering::Relaxed);
+        }
+        fn cancel_requested(&self) -> bool {
+            match self.cancel_after {
+                Some(n) => self.cells.lock().unwrap().len() >= n,
+                None => false,
+            }
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_cell_with_cache_flags() {
+        let cfg = CampaignConfig {
+            fault_rates: vec![1e-2, 1e-1],
+            repetitions: 3,
+            seed: 11,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::AllWeights,
+        };
+        let campaign = Campaign::new(cfg);
+        let cache = MemCache::default();
+
+        let fresh = std::sync::Arc::new(Recorder::default());
+        let result = crate::with_observer(fresh.clone(), || {
+            campaign.run_parallel_cached_with_threads(&net(), 3, &cache, finite_fraction)
+        });
+        let mut seen = fresh.cells.lock().unwrap().clone();
+        seen.sort();
+        let expected: Vec<(usize, usize, bool)> =
+            result.runs.iter().map(|r| (r.rate_index, r.repetition, false)).collect();
+        assert_eq!(seen, expected, "every fresh cell reported exactly once, uncached");
+        assert_eq!(fresh.clean.load(Ordering::Relaxed), 1, "clean accuracy reported once");
+
+        // a replay over the populated cache reports the same cells as cached
+        let replay = std::sync::Arc::new(Recorder::default());
+        crate::with_observer(replay.clone(), || {
+            campaign.run_parallel_cached_with_threads(&net(), 3, &cache, finite_fraction)
+        });
+        let mut seen = replay.cells.lock().unwrap().clone();
+        seen.sort();
+        assert!(seen.iter().all(|&(_, _, cached)| cached), "replayed cells carry cached = true");
+        assert_eq!(seen.len(), result.runs.len());
+    }
+
+    #[test]
+    fn cancellation_unwinds_with_typed_payload_and_restores_thread_limit() {
+        let cfg = CampaignConfig {
+            fault_rates: vec![1e-2, 1e-1],
+            repetitions: 4,
+            seed: 13,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::AllWeights,
+        };
+        let campaign = Campaign::new(cfg);
+        let observer = std::sync::Arc::new(Recorder { cancel_after: Some(2), ..Recorder::default() });
+        let budget_before = ftclip_tensor::num_threads();
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::with_observer(observer.clone(), || {
+                campaign.run_parallel_cached_with_threads(&net(), 2, &NoCache, finite_fraction)
+            })
+        }))
+        .expect_err("cancellation must unwind");
+        assert!(
+            payload.downcast_ref::<crate::CancelledCampaign>().is_some(),
+            "payload identifies the unwind as a cancellation"
+        );
+        assert!(observer.cells.lock().unwrap().len() >= 2, "cells before the cancel were reported");
+        assert_eq!(
+            ftclip_tensor::num_threads(),
+            budget_before,
+            "with_thread_limit guards must restore the budget through the unwind"
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ mod campaign;
 mod inject;
 mod memory;
 mod model;
+mod progress;
 mod protection;
 mod sampler;
 mod stats;
@@ -55,6 +56,7 @@ pub use campaign::{
 pub use inject::{AppliedInjection, Injection};
 pub use memory::{InjectionTarget, MemoryMap, Region};
 pub use model::{BitLocation, FaultModel};
+pub use progress::{current_observer, with_observer, CampaignObserver, CancelledCampaign};
 pub use protection::{
     apply_tmr, inject_with_protection, DecodeStatus, DoubleErrorPolicy, ProtectedInjection, ProtectionScheme,
     SecDed,

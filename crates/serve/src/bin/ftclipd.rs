@@ -1,0 +1,89 @@
+//! `ftclipd` — the FT-ClipAct campaign service.
+//!
+//! ```text
+//! ftclipd [--addr HOST:PORT] [--state DIR] [--workers N] [--threads N]
+//!         [--cache DIR] [--no-cache] [--assets DIR] [--fresh]
+//! ```
+//!
+//! Boots the HTTP service over a persistent state directory, resuming any
+//! unfinished jobs found there (unless `--fresh`), and runs until
+//! `POST /v1/admin/shutdown`. See `docs/API.md` for the endpoints.
+
+use std::path::PathBuf;
+
+use ftclip_serve::{ServeConfig, Server};
+
+fn usage(reason: &str) -> ! {
+    eprintln!("{reason}");
+    eprintln!(
+        "usage: ftclipd [--addr HOST:PORT] [--state DIR] [--workers N] [--threads N] \
+         [--cache DIR] [--no-cache] [--assets DIR] [--fresh]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_config() -> ServeConfig {
+    let mut config = ServeConfig::new("results/ftclipd");
+    config.addr = "127.0.0.1:7878".to_string();
+    let mut explicit_cache: Option<Option<PathBuf>> = None;
+    let mut explicit_assets: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().unwrap_or_else(|| usage(&format!("flag {flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--state" => {
+                let state: PathBuf = value("--state").into();
+                // the default cache/assets follow the state dir unless
+                // overridden explicitly below
+                config.settings.cache_root = Some(state.join("cache"));
+                config.settings.assets_dir = state.join("assets");
+                config.state_dir = state;
+            }
+            "--workers" => {
+                config.workers = value("--workers").parse().unwrap_or_else(|_| usage("bad --workers"))
+            }
+            "--threads" => {
+                config.threads = value("--threads").parse().unwrap_or_else(|_| usage("bad --threads"))
+            }
+            "--cache" => explicit_cache = Some(Some(value("--cache").into())),
+            "--no-cache" => explicit_cache = Some(None),
+            "--assets" => explicit_assets = Some(value("--assets").into()),
+            "--fresh" => config.resume = false,
+            "--help" | "-h" => usage("ftclipd: serve FT-ClipAct campaigns over HTTP"),
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    if let Some(cache) = explicit_cache {
+        config.settings.cache_root = cache;
+    }
+    if let Some(assets) = explicit_assets {
+        config.settings.assets_dir = assets;
+    }
+    config
+}
+
+fn main() {
+    let config = parse_config();
+    let state = config.state_dir.clone();
+    let workers = config.workers;
+    let threads = config.threads;
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("[ftclipd] failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "[ftclipd] listening on http://{} (state {}, {} worker(s) / {} thread(s))",
+        server.addr(),
+        state.display(),
+        workers,
+        threads
+    );
+    server.join();
+    eprintln!("[ftclipd] shut down");
+}

@@ -1,0 +1,220 @@
+//! A small *blocking* HTTP/1.1 client — the test- and probe-side
+//! counterpart of [`crate::http`].
+//!
+//! One request per connection (`Connection: close`), so reading to EOF is
+//! always correct; chunked bodies (the NDJSON event stream) are decoded
+//! transparently. Blocking is a feature here: the probe and the
+//! integration tests *want* "wait until the job finishes" semantics, which
+//! is exactly what reading a chunked stream to EOF gives.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use serde::Value;
+
+/// A decoded HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// Status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body, de-chunked when the response was chunked.
+    pub body: Vec<u8>,
+}
+
+impl HttpReply {
+    /// The first header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// The body parsed as JSON, if it is valid JSON.
+    pub fn json(&self) -> Option<Value> {
+        serde_json::from_str(&self.text()).ok()
+    }
+
+    /// The body as NDJSON: one parsed value per non-empty line.
+    pub fn ndjson(&self) -> Vec<Value> {
+        self.text()
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .filter_map(|l| serde_json::from_str(l).ok())
+            .collect()
+    }
+}
+
+/// A blocking client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct HttpClient {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl HttpClient {
+    /// A client for `addr` with a 120 s per-read timeout (long enough for
+    /// a `--quick` campaign's training phase between event lines).
+    pub fn new(addr: SocketAddr) -> Self {
+        HttpClient { addr, timeout: Duration::from_secs(120) }
+    }
+
+    /// Overrides the per-read timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error, a read timeout, or a malformed response.
+    pub fn get(&self, path: &str) -> std::io::Result<HttpReply> {
+        self.request("GET", path, &[], b"")
+    }
+
+    /// `DELETE path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`HttpClient::get`].
+    pub fn delete(&self, path: &str) -> std::io::Result<HttpReply> {
+        self.request("DELETE", path, &[], b"")
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// See [`HttpClient::get`].
+    pub fn post_json(&self, path: &str, body: &str) -> std::io::Result<HttpReply> {
+        self.request("POST", path, &[("Content-Type", "application/json")], body.as_bytes())
+    }
+
+    /// Sends one request and reads the full response (to EOF — every
+    /// request carries `Connection: close`). A chunked response body, such
+    /// as the NDJSON event stream, blocks until the server finishes it;
+    /// that is the intended way to wait for a job.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error, a read timeout, or a malformed response head.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<HttpReply> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+
+        let mut req = format!("{method} {path} HTTP/1.1\r\nHost: ftclipd\r\nConnection: close\r\n");
+        for (name, value) in headers {
+            req.push_str(&format!("{name}: {value}\r\n"));
+        }
+        if !body.is_empty() {
+            req.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        req.push_str("\r\n");
+        stream.write_all(req.as_bytes())?;
+        stream.write_all(body)?;
+
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
+        parse_reply(&raw)
+    }
+}
+
+/// Parses a full raw response (head + body as read to EOF).
+fn parse_reply(raw: &[u8]) -> std::io::Result<HttpReply> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("response head never terminated"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("response head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+
+    let rest = &raw[head_end + 4..];
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        decode_chunked(rest).ok_or_else(|| bad("malformed chunked body"))?
+    } else {
+        let len = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .unwrap_or(rest.len());
+        rest.get(..len.min(rest.len())).unwrap_or_default().to_vec()
+    };
+    Ok(HttpReply { status, headers, body })
+}
+
+/// Decodes a complete chunked body; `None` on framing errors.
+fn decode_chunked(mut rest: &[u8]) -> Option<Vec<u8>> {
+    let mut body = Vec::new();
+    loop {
+        let line_end = rest.windows(2).position(|w| w == b"\r\n")?;
+        let size_line = std::str::from_utf8(&rest[..line_end]).ok()?;
+        let size = usize::from_str_radix(size_line.trim(), 16).ok()?;
+        rest = &rest[line_end + 2..];
+        if size == 0 {
+            return Some(body);
+        }
+        body.extend_from_slice(rest.get(..size)?);
+        rest = rest.get(size + 2..)?; // skip the chunk's trailing CRLF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_response_parses() {
+        let raw = b"HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: 4\r\n\r\ngone";
+        let reply = parse_reply(raw).unwrap();
+        assert_eq!(reply.status, 404);
+        assert_eq!(reply.header("Content-Type"), Some("text/plain"));
+        assert_eq!(reply.text(), "gone");
+    }
+
+    #[test]
+    fn chunked_response_dechunks_and_ndjson_splits() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    10\r\n{\"event\":\"a\"}\n{\"\r\n9\r\nx\":true}\n\r\n0\r\n\r\n";
+        let reply = parse_reply(raw).unwrap();
+        assert_eq!(reply.text(), "{\"event\":\"a\"}\n{\"x\":true}\n");
+        let values = reply.ndjson();
+        assert_eq!(values.len(), 2);
+        assert_eq!(values[0].get("event").and_then(Value::as_str), Some("a"));
+        assert_eq!(values[1].get("x").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn truncated_chunked_body_is_an_error() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n10\r\n{\"ev";
+        assert!(parse_reply(raw).is_err());
+    }
+}

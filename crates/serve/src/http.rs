@@ -1,0 +1,445 @@
+//! An HTTP/1.1 layer over non-blocking TCP, written against the
+//! [`crate::rt`] contract: every I/O future returns `Pending` on
+//! `WouldBlock` and relies on the executor's next tick to retry.
+//!
+//! Scope: exactly what `ftclipd` needs. Request parsing (request line,
+//! headers, `Content-Length` bodies), response rendering with keep-alive,
+//! and chunked transfer encoding for the NDJSON event stream. No TLS, no
+//! compression, no `Transfer-Encoding: chunked` *requests* (`411` would be
+//! the correct refusal; the API only uses small JSON bodies).
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use serde::Value;
+
+/// Upper bound on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body (specs are a few KB of JSON).
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+/// How long a connection may sit idle between requests before the handler
+/// closes it.
+pub const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(30);
+/// How long a single request (head + body) may take to arrive.
+pub const REQUEST_DEADLINE: Duration = Duration::from_secs(10);
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// The decoded path component, e.g. `/v1/jobs/job-3`.
+    pub path: String,
+    /// Decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names are lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The first query parameter with the given name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open (HTTP/1.1
+    /// default unless `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        !self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// A response under construction. Rendered by [`write_response`].
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the defaults (`Content-Length`, `Connection`).
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with the given status.
+    pub fn new(status: u16) -> Self {
+        Response { status, headers: Vec::new(), body: Vec::new() }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response::new(status)
+            .header("Content-Type", "text/plain; charset=utf-8")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// An `application/json` response rendering `value`.
+    pub fn json(status: u16, value: &Value) -> Self {
+        let body = serde_json::to_string(value).expect("JSON rendering is infallible");
+        Response::new(status)
+            .header("Content-Type", "application/json")
+            .with_body(body.into_bytes())
+    }
+
+    /// The standard error shape: `{"error": {"code": …, "message": …}}`.
+    pub fn error(status: u16, code: &str, message: &str) -> Self {
+        Response::json(
+            status,
+            &Value::Object(vec![(
+                "error".to_string(),
+                Value::Object(vec![
+                    ("code".to_string(), Value::String(code.to_string())),
+                    ("message".to_string(), Value::String(message.to_string())),
+                ]),
+            )]),
+        )
+    }
+
+    /// Adds a header.
+    pub fn header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Replaces the body.
+    pub fn with_body(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Serializes status line, headers and body.
+    fn render(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 256);
+        let reason = reason_phrase(self.status);
+        out.extend_from_slice(format!("HTTP/1.1 {} {reason}\r\n", self.status).as_bytes());
+        let chunked = self
+            .headers
+            .iter()
+            .any(|(n, v)| n.eq_ignore_ascii_case("transfer-encoding") && v.eq_ignore_ascii_case("chunked"));
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        if !chunked {
+            out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(if keep_alive {
+            b"Connection: keep-alive\r\n"
+        } else {
+            b"Connection: close\r\n"
+        });
+        out.extend_from_slice(b"\r\n");
+        if !chunked {
+            out.extend_from_slice(&self.body);
+        }
+        out
+    }
+}
+
+/// Reason phrases for the status codes the API uses.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        204 => "No Content",
+        304 => "Not Modified",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Reads bytes into `buf`, awaiting across `WouldBlock`. `Ok(0)` is EOF.
+/// Fails with [`ErrorKind::TimedOut`] past `deadline`.
+pub async fn read_some(stream: &TcpStream, buf: &mut [u8], deadline: Instant) -> std::io::Result<usize> {
+    std::future::poll_fn(|cx| {
+        match (&mut (&*stream)).read(buf) {
+            Ok(n) => std::task::Poll::Ready(Ok(n)),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return std::task::Poll::Ready(Err(ErrorKind::TimedOut.into()));
+                }
+                // no reactor: the executor re-polls next tick
+                cx.waker().wake_by_ref();
+                std::task::Poll::Pending
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {
+                cx.waker().wake_by_ref();
+                std::task::Poll::Pending
+            }
+            Err(e) => std::task::Poll::Ready(Err(e)),
+        }
+    })
+    .await
+}
+
+/// Writes all of `bytes`, awaiting across `WouldBlock`.
+pub async fn write_all(stream: &TcpStream, bytes: &[u8], deadline: Instant) -> std::io::Result<()> {
+    let mut written = 0usize;
+    while written < bytes.len() {
+        let n = std::future::poll_fn(|cx| match (&mut (&*stream)).write(&bytes[written..]) {
+            Ok(n) => std::task::Poll::Ready(Ok(n)),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return std::task::Poll::Ready(Err(ErrorKind::TimedOut.into()));
+                }
+                cx.waker().wake_by_ref();
+                std::task::Poll::Pending
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {
+                cx.waker().wake_by_ref();
+                std::task::Poll::Pending
+            }
+            Err(e) => std::task::Poll::Ready(Err(e)),
+        })
+        .await?;
+        if n == 0 {
+            return Err(ErrorKind::WriteZero.into());
+        }
+        written += n;
+    }
+    Ok(())
+}
+
+/// Reads one request. `Ok(None)` means the client closed the connection
+/// cleanly before sending anything (the normal end of a keep-alive
+/// session); `idle` bounds how long to wait for the first byte.
+pub async fn read_request(stream: &TcpStream, idle: Duration) -> std::io::Result<Option<Request>> {
+    let mut head = Vec::with_capacity(1024);
+    let mut buf = [0u8; 4096];
+    // first byte: idle timeout; rest of the request: the request deadline
+    let idle_deadline = Instant::now() + idle;
+    let mut deadline = idle_deadline;
+    let header_end;
+    loop {
+        let n = read_some(stream, &mut buf, deadline).await?;
+        if n == 0 {
+            if head.is_empty() {
+                return Ok(None);
+            }
+            return Err(ErrorKind::UnexpectedEof.into());
+        }
+        if head.is_empty() {
+            deadline = Instant::now() + REQUEST_DEADLINE;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if let Some(pos) = find_header_end(&head) {
+            header_end = pos;
+            break;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(std::io::Error::new(ErrorKind::InvalidData, "request head too large"));
+        }
+    }
+
+    let head_text = std::str::from_utf8(&head[..header_end])
+        .map_err(|_| std::io::Error::new(ErrorKind::InvalidData, "request head is not UTF-8"))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "missing method"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "missing request target"))?;
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "malformed header line"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| std::io::Error::new(ErrorKind::InvalidData, "bad Content-Length"))?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(std::io::Error::new(ErrorKind::InvalidData, "request body too large"));
+    }
+
+    let mut body = head[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = read_some(stream, &mut buf, deadline).await?;
+        if n == 0 {
+            return Err(ErrorKind::UnexpectedEof.into());
+        }
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(content_length);
+
+    let (path, query) = split_target(target);
+    Ok(Some(Request { method, path, query, headers, body }))
+}
+
+/// Writes `response`, honoring `keep_alive` in the `Connection` header.
+pub async fn write_response(
+    stream: &TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let deadline = Instant::now() + REQUEST_DEADLINE;
+    write_all(stream, &response.render(keep_alive), deadline).await
+}
+
+/// Writes one chunk of a `Transfer-Encoding: chunked` body.
+pub async fn write_chunk(stream: &TcpStream, data: &[u8]) -> std::io::Result<()> {
+    if data.is_empty() {
+        return Ok(()); // an empty chunk would terminate the stream
+    }
+    let deadline = Instant::now() + REQUEST_DEADLINE;
+    let mut frame = format!("{:x}\r\n", data.len()).into_bytes();
+    frame.extend_from_slice(data);
+    frame.extend_from_slice(b"\r\n");
+    write_all(stream, &frame, deadline).await
+}
+
+/// Terminates a chunked body.
+pub async fn finish_chunks(stream: &TcpStream) -> std::io::Result<()> {
+    let deadline = Instant::now() + REQUEST_DEADLINE;
+    write_all(stream, b"0\r\n\r\n", deadline).await
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator.
+fn find_header_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Splits a request target into its decoded path and query parameters.
+fn split_target(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        None => (percent_decode(target), Vec::new()),
+        Some((path, query)) => {
+            let params = query
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|pair| match pair.split_once('=') {
+                    Some((k, v)) => (percent_decode(k), percent_decode(v)),
+                    None => (percent_decode(pair), String::new()),
+                })
+                .collect();
+            (percent_decode(path), params)
+        }
+    }
+}
+
+/// Decodes `%XX` escapes and `+`-as-space; malformed escapes pass through
+/// verbatim (this API's identifiers are ASCII names and hex keys).
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 => {
+                match (hex_val(bytes.get(i + 1)), hex_val(bytes.get(i + 2))) {
+                    (Some(hi), Some(lo)) => {
+                        out.push(hi * 16 + lo);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex_val(b: Option<&u8>) -> Option<u8> {
+    b.copied().and_then(|b| (b as char).to_digit(16).map(|d| d as u8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_splitting_and_decoding() {
+        let (path, query) = split_target("/v1/jobs/job-1/events");
+        assert_eq!(path, "/v1/jobs/job-1/events");
+        assert!(query.is_empty());
+
+        let (path, query) = split_target("/v1/results/abc?format=csv&table=fig1b%5Fx&flag");
+        assert_eq!(path, "/v1/results/abc");
+        assert_eq!(
+            query,
+            vec![
+                ("format".to_string(), "csv".to_string()),
+                ("table".to_string(), "fig1b_x".to_string()),
+                ("flag".to_string(), String::new()),
+            ]
+        );
+        assert_eq!(percent_decode("a+b%20c"), "a b c");
+        assert_eq!(percent_decode("100%"), "100%", "malformed escapes pass through");
+    }
+
+    #[test]
+    fn response_rendering_includes_length_and_connection() {
+        let rendered = Response::text(200, "hi").render(true);
+        let text = String::from_utf8(rendered).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nhi"), "{text}");
+
+        let closed = String::from_utf8(Response::new(204).render(false)).unwrap();
+        assert!(closed.contains("Connection: close\r\n"), "{closed}");
+    }
+
+    #[test]
+    fn error_shape_is_stable() {
+        let resp = Response::error(400, "bad-spec", "name must not be empty");
+        let body = String::from_utf8(resp.body).unwrap();
+        assert_eq!(body, r#"{"error":{"code":"bad-spec","message":"name must not be empty"}}"#);
+    }
+
+    #[test]
+    fn request_accessors() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/x".into(),
+            query: vec![("priority".into(), "7".into())],
+            headers: vec![("connection".into(), "close".into()), ("x-a".into(), "1".into())],
+            body: Vec::new(),
+        };
+        assert_eq!(req.header("Connection"), Some("close"));
+        assert_eq!(req.header("X-A"), Some("1"));
+        assert_eq!(req.header("missing"), None);
+        assert_eq!(req.query_param("priority"), Some("7"));
+        assert!(!req.keep_alive());
+    }
+}

@@ -1,0 +1,768 @@
+//! The campaign job scheduler behind `ftclipd`.
+//!
+//! A [`Scheduler`] owns a FIFO-within-priority queue of validated
+//! [`ExperimentSpec`]s, deduplicated by spec fingerprint:
+//!
+//! * a spec whose result is already on disk is a **cache hit** — no job is
+//!   created, the stored result is the answer;
+//! * a spec equal to a live (queued or running) job **coalesces** onto that
+//!   job instead of queueing a duplicate;
+//! * anything else becomes a new [`Job`], persisted under
+//!   `<state>/jobs/<fingerprint>/` *before* it is queued, so a crash at any
+//!   point leaves a resumable record.
+//!
+//! Worker threads (the server decides how many) pop the highest-priority,
+//! oldest job and execute it under their share of the process thread
+//! budget (`ftclip_tensor::with_thread_limit`). Progress and cancellation
+//! ride the [`CampaignObserver`] side channel: every completed campaign
+//! cell appends an NDJSON event to the job, and cancellation unwinds the
+//! campaign with [`CancelledCampaign`] at a cell boundary — the
+//! content-addressed store keeps every cell already paid for, so a
+//! cancelled or crashed campaign resumes bit-identically.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use ftclip_bench::{ExperimentSpec, RunOutcome, RunSettings, Runner, SpecError};
+use ftclip_fault::{with_observer, CampaignObserver, CancelledCampaign};
+use serde::Value;
+
+/// Spec file inside a job directory (written before the job is queued).
+pub const SPEC_FILE: &str = "spec.json";
+/// Submission metadata (priority) next to the spec.
+pub const META_FILE: &str = "meta.json";
+/// Completion marker: its presence makes the fingerprint a cache hit.
+pub const DONE_FILE: &str = "done.json";
+/// Failure marker with the spec error.
+pub const ERROR_FILE: &str = "error.json";
+/// Cancellation marker (explicit `DELETE`, not a crash).
+pub const CANCELLED_FILE: &str = "cancelled.json";
+/// Buffered human-readable report of a completed job.
+pub const REPORT_FILE: &str = "report.txt";
+/// Result tables subdirectory of a job directory.
+pub const RESULT_DIR: &str = "result";
+
+/// Lifecycle state of a [`Job`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the queue.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Finished; result persisted under the job directory.
+    Completed,
+    /// Rejected or failed with a [`SpecError`].
+    Failed,
+    /// Cancelled by request.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// The wire name used in JSON responses and events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Completed => "completed",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One submitted experiment: the spec, its identity, and its event log.
+#[derive(Debug)]
+pub struct Job {
+    id: u64,
+    /// The validated spec this job runs.
+    pub spec: ExperimentSpec,
+    /// The spec fingerprint as 32 hex digits — the job's storage address
+    /// and result ETag.
+    pub fingerprint: String,
+    /// Scheduling priority, 0–9; higher runs first.
+    pub priority: u8,
+    seq: u64,
+    status: Mutex<JobStatus>,
+    terminal: AtomicBool,
+    cancel: AtomicBool,
+    events: Mutex<Vec<String>>,
+    cells_done: AtomicUsize,
+}
+
+impl Job {
+    /// The job's public identifier (`job-<n>`).
+    pub fn id_str(&self) -> String {
+        format!("job-{}", self.id)
+    }
+
+    /// Current lifecycle state.
+    pub fn status(&self) -> JobStatus {
+        *self.status.lock().expect("job status lock")
+    }
+
+    /// `true` once the job reached a terminal state (completed, failed or
+    /// cancelled). Event streams finish when this flips.
+    pub fn is_terminal(&self) -> bool {
+        self.terminal.load(Ordering::Acquire)
+    }
+
+    /// Number of campaign cells reported so far.
+    pub fn cells_done(&self) -> usize {
+        self.cells_done.load(Ordering::Relaxed)
+    }
+
+    /// Marks the job for cooperative cancellation; the campaign unwinds at
+    /// the next cell boundary.
+    pub fn request_cancel(&self) {
+        self.cancel.store(true, Ordering::Release);
+    }
+
+    /// The NDJSON event lines from index `from` on (each line includes its
+    /// trailing newline).
+    pub fn events_from(&self, from: usize) -> Vec<String> {
+        let events = self.events.lock().expect("job events lock");
+        events.get(from..).map(<[String]>::to_vec).unwrap_or_default()
+    }
+
+    /// The job as a JSON summary (the `/v1/jobs` representation).
+    pub fn describe(&self) -> Value {
+        Value::Object(vec![
+            ("id".to_string(), Value::String(self.id_str())),
+            ("name".to_string(), Value::String(self.spec.name.clone())),
+            ("procedure".to_string(), Value::String(self.spec.procedure.to_string())),
+            ("fingerprint".to_string(), Value::String(self.fingerprint.clone())),
+            ("status".to_string(), Value::String(self.status().as_str().to_string())),
+            ("priority".to_string(), Value::Number(f64::from(self.priority))),
+            ("cells_done".to_string(), Value::Number(self.cells_done() as f64)),
+        ])
+    }
+
+    fn push_event(&self, fields: Vec<(String, Value)>) {
+        let mut line = serde_json::to_string(&Value::Object(fields)).expect("event rendering");
+        line.push('\n');
+        self.events.lock().expect("job events lock").push(line);
+    }
+
+    fn set_status(&self, status: JobStatus) {
+        *self.status.lock().expect("job status lock") = status;
+        if !matches!(status, JobStatus::Queued | JobStatus::Running) {
+            self.terminal.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// Scheduler counters, all monotonic except `queue_depth`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Specs accepted as new jobs.
+    pub jobs_submitted: AtomicUsize,
+    /// Jobs a worker actually started executing (the probe's
+    /// no-recomputation assertion watches this one).
+    pub jobs_executed: AtomicUsize,
+    /// Jobs that completed successfully.
+    pub jobs_completed: AtomicUsize,
+    /// Jobs that failed with a spec error.
+    pub jobs_failed: AtomicUsize,
+    /// Jobs cancelled by request.
+    pub jobs_cancelled: AtomicUsize,
+    /// Submissions answered from a stored result, no job created.
+    pub cache_hits: AtomicUsize,
+    /// Submissions coalesced onto an already-live identical job.
+    pub coalesced: AtomicUsize,
+    /// Current queue length.
+    pub queue_depth: AtomicUsize,
+}
+
+/// A point-in-time copy of the [`Metrics`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // field names mirror Metrics, documented there
+pub struct MetricsSnapshot {
+    pub jobs_submitted: usize,
+    pub jobs_executed: usize,
+    pub jobs_completed: usize,
+    pub jobs_failed: usize,
+    pub jobs_cancelled: usize,
+    pub cache_hits: usize,
+    pub coalesced: usize,
+    pub queue_depth: usize,
+}
+
+impl Metrics {
+    /// Copies every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// How [`Scheduler::submit`] resolved a spec.
+#[derive(Debug)]
+pub enum Submission {
+    /// The result is already stored — no job was created.
+    CachedResult {
+        /// The spec fingerprint addressing the stored result.
+        fingerprint: String,
+    },
+    /// An identical job is already queued or running; this is it.
+    Existing(Arc<Job>),
+    /// A new job was created and queued.
+    Queued(Arc<Job>),
+}
+
+#[derive(Default)]
+struct SchedState {
+    queue: Vec<Arc<Job>>,
+    jobs: Vec<Arc<Job>>,
+    live_by_fp: HashMap<String, Arc<Job>>,
+}
+
+/// The job table, queue and worker entry points. Shared via `Arc` between
+/// the HTTP layer and the worker threads.
+pub struct Scheduler {
+    state_dir: PathBuf,
+    base_settings: RunSettings,
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    next_seq: AtomicU64,
+    shutdown: AtomicBool,
+    abandon: Arc<AtomicBool>,
+    /// The service counters.
+    pub metrics: Metrics,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("state_dir", &self.state_dir)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Scheduler {
+    /// A scheduler persisting under `state_dir`, running jobs with
+    /// `base_settings` (each job overrides `out_dir` to its own result
+    /// directory; the cache root and assets directory are shared, so jobs
+    /// reuse each other's campaign cells and trained models).
+    pub fn new(state_dir: PathBuf, base_settings: RunSettings) -> Arc<Self> {
+        std::fs::create_dir_all(state_dir.join("jobs")).ok();
+        Arc::new(Scheduler {
+            state_dir,
+            base_settings,
+            state: Mutex::new(SchedState::default()),
+            cv: Condvar::new(),
+            next_seq: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            abandon: Arc::new(AtomicBool::new(false)),
+            metrics: Metrics::default(),
+        })
+    }
+
+    /// The persistent directory of the given fingerprint's job.
+    pub fn job_dir(&self, fingerprint: &str) -> PathBuf {
+        self.state_dir.join("jobs").join(fingerprint)
+    }
+
+    /// Where the given fingerprint's result tables live.
+    pub fn result_dir(&self, fingerprint: &str) -> PathBuf {
+        self.job_dir(fingerprint).join(RESULT_DIR)
+    }
+
+    /// The stored completion record, if the fingerprint has one.
+    pub fn stored_result(&self, fingerprint: &str) -> Option<Value> {
+        let text = std::fs::read_to_string(self.job_dir(fingerprint).join(DONE_FILE)).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Submits a validated spec (see [`Submission`] for the outcomes).
+    /// Persists new jobs before queueing them.
+    pub fn submit(&self, spec: ExperimentSpec, priority: u8) -> Submission {
+        let fingerprint = spec.fingerprint().key().to_hex();
+        let mut st = self.state.lock().expect("scheduler lock");
+        // the disk check lives under the lock: workers remove a finished
+        // job from `live_by_fp` only after writing its DONE_FILE (also
+        // under the lock), so exactly one of the two branches ever matches
+        if self.job_dir(&fingerprint).join(DONE_FILE).is_file() {
+            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Submission::CachedResult { fingerprint };
+        }
+        if let Some(job) = st.live_by_fp.get(&fingerprint) {
+            self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+            return Submission::Existing(job.clone());
+        }
+
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let job = Arc::new(Job {
+            id: seq,
+            spec,
+            fingerprint: fingerprint.clone(),
+            priority: priority.min(9),
+            seq,
+            status: Mutex::new(JobStatus::Queued),
+            terminal: AtomicBool::new(false),
+            cancel: AtomicBool::new(false),
+            events: Mutex::new(Vec::new()),
+            cells_done: AtomicUsize::new(0),
+        });
+        self.persist_submission(&job);
+        job.push_event(vec![
+            ("event".to_string(), Value::String("queued".to_string())),
+            ("job".to_string(), Value::String(job.id_str())),
+            ("name".to_string(), Value::String(job.spec.name.clone())),
+            ("fingerprint".to_string(), Value::String(fingerprint.clone())),
+        ]);
+        st.queue.push(job.clone());
+        st.jobs.push(job.clone());
+        st.live_by_fp.insert(fingerprint, job.clone());
+        self.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        self.metrics.queue_depth.store(st.queue.len(), Ordering::Relaxed);
+        drop(st);
+        self.cv.notify_one();
+        Submission::Queued(job)
+    }
+
+    /// Looks a job up by its `job-<n>` identifier.
+    pub fn find_job(&self, id: &str) -> Option<Arc<Job>> {
+        let st = self.state.lock().expect("scheduler lock");
+        st.jobs.iter().find(|j| j.id_str() == id).cloned()
+    }
+
+    /// Every job this server life knows, in submission order.
+    pub fn jobs(&self) -> Vec<Arc<Job>> {
+        self.state.lock().expect("scheduler lock").jobs.clone()
+    }
+
+    /// Cancels a job. A queued job is removed and marked cancelled
+    /// immediately; a running job unwinds at its next cell boundary.
+    /// Returns `false` when the job already reached a terminal state.
+    pub fn cancel(&self, job: &Arc<Job>) -> bool {
+        let mut st = self.state.lock().expect("scheduler lock");
+        match job.status() {
+            JobStatus::Queued => {
+                st.queue.retain(|j| j.seq != job.seq);
+                self.metrics.queue_depth.store(st.queue.len(), Ordering::Relaxed);
+                self.finish(&mut st, job, JobStatus::Cancelled);
+                std::fs::write(self.job_dir(&job.fingerprint).join(CANCELLED_FILE), "{}\n").ok();
+                job.push_event(vec![("event".to_string(), Value::String("cancelled".to_string()))]);
+                self.metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            JobStatus::Running => {
+                job.request_cancel();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Re-queues every persisted job that never finished: a directory with
+    /// a spec but no completion, failure or cancellation marker. Returns
+    /// how many jobs were resumed. Call before starting workers.
+    pub fn resume_from_disk(&self) -> usize {
+        let jobs_root = self.state_dir.join("jobs");
+        let Ok(entries) = std::fs::read_dir(&jobs_root) else { return 0 };
+        let mut specs: Vec<(ExperimentSpec, u8)> = Vec::new();
+        for entry in entries.flatten() {
+            let dir = entry.path();
+            if !dir.join(SPEC_FILE).is_file()
+                || dir.join(DONE_FILE).is_file()
+                || dir.join(ERROR_FILE).is_file()
+                || dir.join(CANCELLED_FILE).is_file()
+            {
+                continue;
+            }
+            let Ok(text) = std::fs::read_to_string(dir.join(SPEC_FILE)) else { continue };
+            let Ok(spec) = ExperimentSpec::from_json(&text) else { continue };
+            let priority = std::fs::read_to_string(dir.join(META_FILE))
+                .ok()
+                .and_then(|t| serde_json::from_str(&t).ok())
+                .and_then(|v: Value| v.get("priority").and_then(Value::as_u64))
+                .map_or(5, |p| p.min(9) as u8);
+            specs.push((spec, priority));
+        }
+        // deterministic resume order regardless of directory iteration
+        specs.sort_by(|a, b| a.0.name.cmp(&b.0.name));
+        let mut resumed = 0;
+        for (spec, priority) in specs {
+            if matches!(self.submit(spec, priority), Submission::Queued(_)) {
+                resumed += 1;
+            }
+        }
+        resumed
+    }
+
+    /// Graceful-shutdown signal: each worker finishes the job it has in
+    /// hand and then exits. Jobs still queued stay persisted on disk and
+    /// are re-enqueued by [`Scheduler::resume_from_disk`] on the next
+    /// boot.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    /// Crash-simulation signal: running campaigns unwind at their next
+    /// cell boundary and workers exit **without persisting any job state**
+    /// — exactly what `kill -9` would leave behind, minus the risk of
+    /// tearing a file mid-write.
+    pub fn request_abandon(&self) {
+        self.abandon.store(true, Ordering::Release);
+        self.shutdown.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    /// `true` once shutdown (graceful or abandon) was requested.
+    pub fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// `true` once crash-simulation abandon was requested.
+    pub fn abandoning(&self) -> bool {
+        self.abandon.load(Ordering::Acquire)
+    }
+
+    /// A worker thread's main loop: pop the best job, run it under
+    /// `budget` threads, repeat until shutdown. Graceful shutdown stops
+    /// **before** picking up another job — whatever is still queued stays
+    /// persisted and resumable — while abandon additionally unwinds the
+    /// job in flight at its next cell boundary.
+    pub fn worker_loop(self: &Arc<Self>, budget: usize) {
+        loop {
+            let job = {
+                let mut st = self.state.lock().expect("scheduler lock");
+                loop {
+                    if self.stopping() {
+                        return;
+                    }
+                    if let Some(i) = best_index(&st.queue) {
+                        let job = st.queue.remove(i);
+                        self.metrics.queue_depth.store(st.queue.len(), Ordering::Relaxed);
+                        break job;
+                    }
+                    // timed wait so flag flips are noticed even if a
+                    // notification raced past before we started waiting
+                    let (guard, _) =
+                        self.cv.wait_timeout(st, Duration::from_millis(50)).expect("scheduler lock");
+                    st = guard;
+                }
+            };
+            self.run_job(&job, budget);
+        }
+    }
+
+    fn run_job(&self, job: &Arc<Job>, budget: usize) {
+        job.set_status(JobStatus::Running);
+        job.push_event(vec![("event".to_string(), Value::String("started".to_string()))]);
+        self.metrics.jobs_executed.fetch_add(1, Ordering::Relaxed);
+
+        let settings = RunSettings {
+            out_dir: self.result_dir(&job.fingerprint),
+            ..self.base_settings.clone()
+        };
+        let runner = Runner::new(settings);
+        let observer: Arc<dyn CampaignObserver> =
+            Arc::new(JobProgress { job: job.clone(), abandon: self.abandon.clone() });
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            with_observer(observer, || {
+                ftclip_tensor::with_thread_limit(budget.max(1), || runner.run(&job.spec))
+            })
+        }));
+        match result {
+            Ok(Ok(outcome)) => self.complete_job(job, &outcome),
+            Ok(Err(error)) => self.fail_job(job, &error),
+            Err(payload) => {
+                if payload.downcast_ref::<CancelledCampaign>().is_none() {
+                    std::panic::resume_unwind(payload);
+                }
+                if self.abandoning() {
+                    // crash simulation: leave the job exactly as a killed
+                    // process would — spec persisted, no terminal marker,
+                    // every completed cell already in the store
+                    return;
+                }
+                let mut st = self.state.lock().expect("scheduler lock");
+                std::fs::write(self.job_dir(&job.fingerprint).join(CANCELLED_FILE), "{}\n").ok();
+                self.finish(&mut st, job, JobStatus::Cancelled);
+                job.push_event(vec![("event".to_string(), Value::String("cancelled".to_string()))]);
+                self.metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn complete_job(&self, job: &Arc<Job>, outcome: &RunOutcome) {
+        let dir = self.job_dir(&job.fingerprint);
+        std::fs::write(dir.join(REPORT_FILE), &outcome.report).ok();
+        let tables: Vec<Value> = outcome
+            .tables
+            .iter()
+            .filter_map(|p| p.file_stem())
+            .map(|s| Value::String(s.to_string_lossy().into_owned()))
+            .collect();
+        let table_count = tables.len();
+        let done = Value::Object(vec![
+            ("name".to_string(), Value::String(outcome.name.clone())),
+            ("fingerprint".to_string(), Value::String(job.fingerprint.clone())),
+            ("tables".to_string(), Value::Array(tables)),
+            (
+                "failures".to_string(),
+                Value::Array(outcome.failures.iter().map(|f| Value::String(f.clone())).collect()),
+            ),
+        ]);
+        let mut st = self.state.lock().expect("scheduler lock");
+        // DONE_FILE is written under the lock, making "stored result
+        // exists" and "job is live" mutually exclusive for submitters
+        let rendered = serde_json::to_string_pretty(&done).expect("render completion record");
+        std::fs::write(dir.join(DONE_FILE), rendered).expect("persist job completion");
+        self.finish(&mut st, job, JobStatus::Completed);
+        job.push_event(vec![
+            ("event".to_string(), Value::String("completed".to_string())),
+            ("etag".to_string(), Value::String(format!("\"{}\"", job.fingerprint))),
+            ("tables".to_string(), Value::Number(table_count as f64)),
+            ("failures".to_string(), Value::Number(outcome.failures.len() as f64)),
+        ]);
+        self.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn fail_job(&self, job: &Arc<Job>, error: &SpecError) {
+        let body = Value::Object(vec![("error".to_string(), Value::String(error.to_string()))]);
+        if let Ok(rendered) = serde_json::to_string_pretty(&body) {
+            std::fs::write(self.job_dir(&job.fingerprint).join(ERROR_FILE), rendered).ok();
+        }
+        let mut st = self.state.lock().expect("scheduler lock");
+        self.finish(&mut st, job, JobStatus::Failed);
+        job.push_event(vec![
+            ("event".to_string(), Value::String("failed".to_string())),
+            ("error".to_string(), Value::String(error.to_string())),
+        ]);
+        self.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn finish(&self, st: &mut SchedState, job: &Arc<Job>, status: JobStatus) {
+        job.set_status(status);
+        st.live_by_fp.remove(&job.fingerprint);
+    }
+
+    fn persist_submission(&self, job: &Arc<Job>) {
+        let dir = self.job_dir(&job.fingerprint);
+        std::fs::create_dir_all(&dir).ok();
+        std::fs::write(dir.join(SPEC_FILE), job.spec.to_json()).expect("persist job spec");
+        let meta = Value::Object(vec![
+            ("priority".to_string(), Value::Number(f64::from(job.priority))),
+            ("name".to_string(), Value::String(job.spec.name.clone())),
+        ]);
+        if let Ok(rendered) = serde_json::to_string_pretty(&meta) {
+            std::fs::write(dir.join(META_FILE), rendered).ok();
+        }
+    }
+}
+
+/// Highest priority first, FIFO (lowest sequence number) within a
+/// priority.
+fn best_index(queue: &[Arc<Job>]) -> Option<usize> {
+    queue
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, j)| (std::cmp::Reverse(j.priority), j.seq))
+        .map(|(i, _)| i)
+}
+
+/// The per-job [`CampaignObserver`]: appends cell events and answers the
+/// executors' cancellation polls.
+struct JobProgress {
+    job: Arc<Job>,
+    abandon: Arc<AtomicBool>,
+}
+
+impl CampaignObserver for JobProgress {
+    fn on_cell(&self, record: &ftclip_fault::RunRecord, cached: bool) {
+        let done = self.job.cells_done.fetch_add(1, Ordering::Relaxed) + 1;
+        self.job.push_event(vec![
+            ("event".to_string(), Value::String("cell".to_string())),
+            ("rate_index".to_string(), Value::Number(record.rate_index as f64)),
+            ("repetition".to_string(), Value::Number(record.repetition as f64)),
+            ("fault_count".to_string(), Value::Number(record.fault_count as f64)),
+            ("accuracy".to_string(), Value::Number(record.accuracy)),
+            ("cached".to_string(), Value::Bool(cached)),
+            ("cells_done".to_string(), Value::Number(done as f64)),
+        ]);
+    }
+
+    fn on_clean(&self, accuracy: f64) {
+        self.job.push_event(vec![
+            ("event".to_string(), Value::String("clean".to_string())),
+            ("accuracy".to_string(), Value::Number(accuracy)),
+        ]);
+    }
+
+    fn cancel_requested(&self) -> bool {
+        self.job.cancel.load(Ordering::Acquire) || self.abandon.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftclip_bench::{Procedure, RateGrid};
+
+    fn tiny_spec(name: &str) -> ExperimentSpec {
+        let mut spec = ExperimentSpec::builder(Procedure::CampaignSummary, name)
+            .rates(RateGrid::Absolute(vec![1e-4, 1e-3]))
+            .repetitions(2)
+            .eval_size(32)
+            .build()
+            .unwrap();
+        spec.workload.epochs = 0;
+        spec.workload.width_mult = 0.05;
+        spec.data.train_size = 16;
+        spec.data.val_size = 16;
+        spec.data.test_size = 64;
+        spec
+    }
+
+    fn temp_scheduler(tag: &str) -> (Arc<Scheduler>, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("ftclipd-jobs-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let settings = RunSettings {
+            cache_root: Some(dir.join("cache")),
+            assets_dir: dir.join("assets"),
+            ..RunSettings::default()
+        };
+        (Scheduler::new(dir.clone(), settings), dir)
+    }
+
+    #[test]
+    fn priority_queue_is_fifo_within_priority() {
+        let (sched, dir) = temp_scheduler("prio");
+        let ids: Vec<String> = [("a", 5), ("b", 9), ("c", 5), ("d", 9)]
+            .iter()
+            .map(|(name, prio)| match sched.submit(tiny_spec(name), *prio) {
+                Submission::Queued(job) => job.id_str(),
+                other => panic!("expected fresh queue, got {other:?}"),
+            })
+            .collect();
+        let mut popped = Vec::new();
+        {
+            let mut st = sched.state.lock().unwrap();
+            while let Some(i) = best_index(&st.queue) {
+                popped.push(st.queue.remove(i).id_str());
+            }
+        }
+        // priority 9 first in submit order, then priority 5 in submit order
+        assert_eq!(popped, vec![ids[1].clone(), ids[3].clone(), ids[0].clone(), ids[2].clone()]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn identical_specs_coalesce_and_different_ones_do_not() {
+        let (sched, dir) = temp_scheduler("dedup");
+        let first = match sched.submit(tiny_spec("same"), 5) {
+            Submission::Queued(job) => job,
+            other => panic!("{other:?}"),
+        };
+        match sched.submit(tiny_spec("same"), 5) {
+            Submission::Existing(job) => assert_eq!(job.id_str(), first.id_str()),
+            other => panic!("expected coalescing, got {other:?}"),
+        }
+        assert!(matches!(sched.submit(tiny_spec("other"), 5), Submission::Queued(_)));
+        let m = sched.metrics.snapshot();
+        assert_eq!((m.jobs_submitted, m.coalesced, m.queue_depth), (2, 1, 2));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn queued_jobs_cancel_without_running_and_terminal_jobs_do_not() {
+        let (sched, dir) = temp_scheduler("cancel");
+        let job = match sched.submit(tiny_spec("x"), 5) {
+            Submission::Queued(job) => job,
+            other => panic!("{other:?}"),
+        };
+        assert!(sched.cancel(&job));
+        assert_eq!(job.status(), JobStatus::Cancelled);
+        assert!(job.is_terminal());
+        assert!(!sched.cancel(&job), "terminal jobs cannot be re-cancelled");
+        assert!(sched.job_dir(&job.fingerprint).join(CANCELLED_FILE).is_file());
+        assert_eq!(sched.metrics.snapshot().queue_depth, 0);
+        // the fingerprint is free again: resubmitting queues a fresh job
+        assert!(matches!(sched.submit(tiny_spec("x"), 5), Submission::Queued(_)));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn submitted_jobs_are_persisted_and_resume_skips_terminal_dirs() {
+        let (sched, dir) = temp_scheduler("resume");
+        let job = match sched.submit(tiny_spec("r"), 7) {
+            Submission::Queued(job) => job,
+            other => panic!("{other:?}"),
+        };
+        assert!(sched.job_dir(&job.fingerprint).join(SPEC_FILE).is_file());
+        let done = match sched.submit(tiny_spec("done"), 5) {
+            Submission::Queued(job) => job,
+            other => panic!("{other:?}"),
+        };
+        std::fs::write(sched.job_dir(&done.fingerprint).join(DONE_FILE), "{}\n").unwrap();
+
+        // a second scheduler over the same state dir: only the unfinished
+        // job comes back, with its persisted priority
+        let settings = sched.base_settings.clone();
+        let fresh = Scheduler::new(dir.clone(), settings);
+        assert_eq!(fresh.resume_from_disk(), 1);
+        let resumed = fresh.jobs();
+        assert_eq!(resumed.len(), 1);
+        assert_eq!(resumed[0].spec.name, "r");
+        assert_eq!(resumed[0].priority, 7);
+        // the finished fingerprint now answers as a cache hit
+        assert!(matches!(fresh.submit(tiny_spec("done"), 5), Submission::CachedResult { .. }));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn worker_executes_jobs_and_emits_the_event_protocol() {
+        let (sched, dir) = temp_scheduler("run");
+        let job = match sched.submit(tiny_spec("w"), 5) {
+            Submission::Queued(job) => job,
+            other => panic!("{other:?}"),
+        };
+        let worker = {
+            let sched = sched.clone();
+            std::thread::spawn(move || sched.worker_loop(2))
+        };
+        while !job.is_terminal() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sched.request_shutdown(); // worker is now idle; the signal ends it
+        worker.join().unwrap();
+        assert_eq!(job.status(), JobStatus::Completed);
+        let events = job.events_from(0);
+        let kinds: Vec<String> = events
+            .iter()
+            .map(|l| {
+                let v: Value = serde_json::from_str(l.trim()).unwrap();
+                v.get("event").and_then(Value::as_str).unwrap().to_string()
+            })
+            .collect();
+        assert_eq!(kinds.first().map(String::as_str), Some("queued"));
+        assert_eq!(kinds.get(1).map(String::as_str), Some("started"));
+        assert_eq!(kinds.last().map(String::as_str), Some("completed"));
+        assert!(kinds.iter().any(|k| k == "clean"), "{kinds:?}");
+        // 2 rates × 2 repetitions
+        assert_eq!(kinds.iter().filter(|k| *k == "cell").count(), 4);
+        assert_eq!(job.cells_done(), 4);
+        let stored = sched.stored_result(&job.fingerprint).expect("done.json");
+        assert_eq!(stored.get("name").and_then(Value::as_str), Some("w"));
+        // an identical submission is now a cache hit, executing nothing
+        assert!(matches!(sched.submit(tiny_spec("w"), 5), Submission::CachedResult { .. }));
+        let m = sched.metrics.snapshot();
+        assert_eq!((m.jobs_executed, m.jobs_completed, m.cache_hits), (1, 1, 1));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,37 @@
+//! `ftclipd`: the FT-ClipAct campaign service.
+//!
+//! An HTTP/1.1 server that accepts declarative
+//! [`ExperimentSpec`](ftclip_bench::ExperimentSpec) JSON, deduplicates
+//! submissions by content fingerprint, schedules cache-miss campaigns on a
+//! bounded worker pool, streams per-cell progress as NDJSON, and serves
+//! completed result tables — all on top of the same content-addressed
+//! store the CLI uses, so the service, the CLI and a crash-resumed server
+//! produce bit-identical results for the same spec.
+//!
+//! The stack, bottom up:
+//!
+//! * [`rt`] — a poll-based async executor over non-blocking sockets (no
+//!   epoll, no `unsafe`, no dependencies; the offline-shim philosophy).
+//! * [`http`] — request parsing, response rendering, chunked NDJSON
+//!   streaming.
+//! * [`jobs`] — the fingerprint-deduplicated, FIFO-within-priority job
+//!   scheduler with crash-resume.
+//! * [`service`] — routing and the [`Server`] lifecycle.
+//! * [`client`] — a small blocking client for tests and the
+//!   `ftclipd_probe` load/smoke tool.
+//!
+//! See `docs/API.md` for the endpoint reference and `docs/ARCHITECTURE.md`
+//! for how the fingerprint chain ties the service to the store.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod rt;
+pub mod service;
+
+pub use client::{HttpClient, HttpReply};
+pub use jobs::{Job, JobStatus, Metrics, MetricsSnapshot, Scheduler, Submission};
+pub use service::{ServeConfig, Server};

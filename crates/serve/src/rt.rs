@@ -1,0 +1,193 @@
+//! A minimal poll-based async runtime, in the same offline-shim spirit as
+//! `shims/`: no epoll, no `unsafe`, no dependencies — just non-blocking I/O
+//! plus a single-threaded executor that re-polls pending tasks every tick.
+//!
+//! The design trades syscall-level readiness wake-ups for simplicity:
+//!
+//! * Futures that would block return [`Poll::Pending`] (after arranging
+//!   nothing — there is no reactor to register with).
+//! * The [`Executor`] polls **every** live task once per [`Executor::tick`].
+//!   A tick in which no task made progress tells the caller to sleep
+//!   briefly (the accept loop uses ~0.5 ms), bounding idle CPU while
+//!   keeping worst-case latency far below human-visible.
+//! * Wakers are real (built on the stable [`std::task::Wake`]) and cut the
+//!   idle sleep short when fired from another thread, but correctness never
+//!   depends on them: a lost wake-up costs one sleep interval, not a hang.
+//!
+//! This is exactly enough runtime for `ftclipd`'s connection handlers —
+//! tens of concurrent keep-alive sockets around a CPU-bound job pool — and
+//! deliberately nothing more.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+/// The shared wake flag behind every task's [`Waker`]: waking marks the
+/// executor "hot" so the next idle sleep is skipped.
+#[derive(Debug, Default)]
+struct WakeFlag {
+    woken: AtomicBool,
+}
+
+impl Wake for WakeFlag {
+    fn wake(self: Arc<Self>) {
+        self.woken.store(true, Ordering::Release);
+    }
+}
+
+/// A single-threaded, poll-everything executor for `'static` futures.
+///
+/// Tasks are spawned with [`Executor::spawn`] and driven by repeated
+/// [`Executor::tick`] calls from the owning thread (the server's
+/// accept/event loop). Completed tasks are dropped; panics in a task
+/// propagate to the caller of `tick` (a connection handler that panics is
+/// a bug, not a recoverable condition).
+pub struct Executor {
+    tasks: Vec<Pin<Box<dyn Future<Output = ()>>>>,
+    flag: Arc<WakeFlag>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor").field("tasks", &self.tasks.len()).finish()
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new()
+    }
+}
+
+impl Executor {
+    /// An executor with no tasks.
+    pub fn new() -> Self {
+        Executor { tasks: Vec::new(), flag: Arc::new(WakeFlag::default()) }
+    }
+
+    /// Adds a task. It is first polled on the next [`Executor::tick`].
+    pub fn spawn(&mut self, future: impl Future<Output = ()> + 'static) {
+        self.tasks.push(Box::pin(future));
+    }
+
+    /// Number of live (not yet completed) tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Polls every live task once. Returns `true` when the tick made
+    /// progress — a task completed, or a waker fired since the last tick —
+    /// meaning the caller should tick again immediately instead of
+    /// sleeping.
+    pub fn tick(&mut self) -> bool {
+        let woken = self.flag.woken.swap(false, Ordering::AcqRel);
+        let before = self.tasks.len();
+        let waker = Waker::from(self.flag.clone());
+        let mut cx = Context::from_waker(&waker);
+        self.tasks.retain_mut(|task| task.as_mut().poll(&mut cx).is_pending());
+        let completed = before - self.tasks.len();
+        woken || completed > 0
+    }
+
+    /// Runs tasks until none remain, sleeping `idle` between unproductive
+    /// ticks. Intended for tests and tools; the server composes `tick` with
+    /// its accept loop instead.
+    pub fn run_to_completion(&mut self, idle: std::time::Duration) {
+        while !self.tasks.is_empty() {
+            if !self.tick() {
+                std::thread::sleep(idle);
+            }
+        }
+    }
+}
+
+/// A future that yields to the executor exactly once, then completes.
+///
+/// Inside handler loops this is the "try again next tick" primitive: await
+/// it whenever the resource you poll (a socket, a job's event log) has
+/// nothing new.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+#[derive(Debug)]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            // make the next tick count as progress so back-to-back yields
+            // in a busy handler do not trigger the idle sleep
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[test]
+    fn tasks_run_to_completion_across_ticks() {
+        let mut ex = Executor::new();
+        let hits = Rc::new(Cell::new(0));
+        for _ in 0..3 {
+            let hits = hits.clone();
+            ex.spawn(async move {
+                yield_now().await;
+                yield_now().await;
+                hits.set(hits.get() + 1);
+            });
+        }
+        assert_eq!(ex.task_count(), 3);
+        ex.run_to_completion(std::time::Duration::from_micros(10));
+        assert_eq!(hits.get(), 3);
+        assert_eq!(ex.task_count(), 0);
+    }
+
+    #[test]
+    fn completion_counts_as_progress() {
+        let mut ex = Executor::new();
+        ex.spawn(async {});
+        assert!(ex.tick(), "a completing task is progress");
+        assert!(!ex.tick(), "an empty executor makes no progress");
+    }
+
+    #[test]
+    fn cross_thread_wake_marks_the_next_tick_hot() {
+        let mut ex = Executor::new();
+        // stash the waker a pending task receives, then fire it from a thread
+        let waker_slot: Rc<Cell<Option<Waker>>> = Rc::new(Cell::new(None));
+        struct Stash(Rc<Cell<Option<Waker>>>, bool);
+        impl Future for Stash {
+            type Output = ();
+            fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                if self.1 {
+                    return Poll::Ready(());
+                }
+                self.1 = true;
+                self.0.set(Some(cx.waker().clone()));
+                Poll::Pending
+            }
+        }
+        ex.spawn(Stash(waker_slot.clone(), false));
+        assert!(!ex.tick(), "first poll pends without progress");
+        let waker = waker_slot.take().unwrap();
+        std::thread::spawn(move || waker.wake()).join().unwrap();
+        assert!(ex.tick(), "the wake must mark the tick as progress");
+        assert_eq!(ex.task_count(), 0);
+    }
+}

@@ -62,7 +62,9 @@ mod fingerprint;
 mod store;
 
 pub use fingerprint::{model_digest, CellKey, Fingerprint};
-pub use store::{resolve_cache_root, ResultStore, StoreSession, CELLS_FILE, CLEAN_FILE, MANIFEST_FILE};
+pub use store::{
+    resolve_cache_root, ResultStore, SessionSummary, StoreSession, CELLS_FILE, CLEAN_FILE, MANIFEST_FILE,
+};
 
 use ftclip_fault::CampaignConfig;
 use ftclip_nn::Sequential;

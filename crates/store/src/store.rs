@@ -70,6 +70,65 @@ impl ResultStore {
     pub fn session(&self, fingerprint: &Fingerprint) -> std::io::Result<StoreSession> {
         StoreSession::open(self.root.join(fingerprint.key().to_hex()), fingerprint)
     }
+
+    /// Lists every session key under the root, sorted — the store's
+    /// content-address catalogue (directory names that are not 32-hex keys
+    /// are ignored). A missing root is an empty store, not an error.
+    pub fn sessions(&self) -> Vec<crate::CellKey> {
+        let mut keys: Vec<crate::CellKey> = match std::fs::read_dir(&self.root) {
+            Ok(entries) => entries
+                .filter_map(Result::ok)
+                .filter(|e| e.path().is_dir())
+                .filter_map(|e| crate::CellKey::from_hex(&e.file_name().to_string_lossy()))
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        keys.sort();
+        keys
+    }
+
+    /// `true` when a session directory for `key` exists (its manifest is on
+    /// disk) — the ETag-style existence probe: no session is opened and no
+    /// files are created.
+    pub fn contains(&self, key: crate::CellKey) -> bool {
+        self.root.join(key.to_hex()).join(MANIFEST_FILE).is_file()
+    }
+
+    /// The human-readable fingerprint manifest of the session addressed by
+    /// `key`, or `None` when no such session exists.
+    pub fn manifest(&self, key: crate::CellKey) -> Option<String> {
+        std::fs::read_to_string(self.root.join(key.to_hex()).join(MANIFEST_FILE)).ok()
+    }
+
+    /// A read-only summary of the session addressed by `key` (cell count
+    /// and clean-accuracy presence), or `None` when no such session exists.
+    /// Unlike [`ResultStore::session`] this never creates directories or
+    /// opens an append writer, so it is safe to call while another process
+    /// owns the session.
+    pub fn summary(&self, key: crate::CellKey) -> Option<SessionSummary> {
+        let dir = self.root.join(key.to_hex());
+        if !dir.join(MANIFEST_FILE).is_file() {
+            return None;
+        }
+        let cells = std::fs::read_to_string(dir.join(CELLS_FILE))
+            .map(|text| text.lines().filter(|l| parse_cell_line(l).is_some()).count())
+            .unwrap_or(0);
+        let has_clean = std::fs::read_to_string(dir.join(CLEAN_FILE))
+            .ok()
+            .is_some_and(|s| u64::from_str_radix(s.trim(), 16).is_ok());
+        Some(SessionSummary { key, cells, has_clean })
+    }
+}
+
+/// What [`ResultStore::summary`] reports about one session directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionSummary {
+    /// The session's content-address (its directory name).
+    pub key: crate::CellKey,
+    /// Number of well-formed cells in `cells.csv`.
+    pub cells: usize,
+    /// Whether a parseable clean-accuracy record exists.
+    pub has_clean: bool,
 }
 
 /// `FTCLIP_CACHE` interpretation, separated from the process environment so
@@ -371,6 +430,42 @@ mod tests {
             assert_eq!(resolve_cache_root(Some(off), default.clone()), None, "{off:?}");
         }
         assert_eq!(resolve_cache_root(Some("/tmp/x"), default), Some(PathBuf::from("/tmp/x")));
+    }
+
+    #[test]
+    fn listing_and_summaries_are_read_only() {
+        let root = tmp_root("listing");
+        let store = ResultStore::new(&root);
+        assert!(store.sessions().is_empty(), "missing root lists as empty");
+
+        let key1 = fp(1).key();
+        let key2 = fp(2).key();
+        {
+            let s = store.session(&fp(1)).unwrap();
+            s.record(&rec(0, 0, 0.5));
+            s.record(&rec(0, 1, 0.25));
+            s.record_clean(0.75);
+        }
+        store.session(&fp(2)).unwrap(); // opened but empty
+        std::fs::create_dir_all(root.join("not-a-key")).unwrap();
+
+        let mut expected = vec![key1, key2];
+        expected.sort();
+        assert_eq!(store.sessions(), expected, "non-key directories are ignored");
+
+        assert!(store.contains(key1));
+        assert!(!store.contains(crate::CellKey(0xdead_beef)));
+        assert!(store.manifest(key1).unwrap().contains("seed = 1"));
+
+        let s1 = store.summary(key1).unwrap();
+        assert_eq!((s1.cells, s1.has_clean), (2, true));
+        let s2 = store.summary(key2).unwrap();
+        assert_eq!((s2.cells, s2.has_clean), (0, false));
+        assert!(store.summary(crate::CellKey(7)).is_none());
+
+        // summaries must not have created files in the probed-but-missing key
+        assert!(!root.join(crate::CellKey(7).to_hex()).exists());
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

@@ -44,6 +44,7 @@ fn bench_campaign_cell(c: &mut Criterion) {
         seed: 17,
         model: FaultModel::BitFlip,
         target: InjectionTarget::AllWeights,
+        stopping: None,
     });
     let mut group = c.benchmark_group("campaign");
     group.sample_size(10);
@@ -73,6 +74,7 @@ fn bench_suffix_cell(c: &mut Criterion) {
             seed: 17,
             model: FaultModel::BitFlip,
             target: InjectionTarget::Layer(layer_index),
+            stopping: None,
         });
         for threads in [1usize, 4] {
             group.bench_with_input(

@@ -13,6 +13,14 @@
 //! to a machine-readable JSON summary (default `BENCH_5.json`) that CI
 //! publishes as part of the bench-smoke artifact.
 //!
+//! `timing_probe campaign --adaptive [--out FILE]` measures sequential
+//! sampling: the paper-default grid run exhaustively vs under a
+//! [`StoppingRule`] (95% bootstrap CI half-width ≤ 0.02), reporting
+//! injections-to-convergence, the per-rate repetition counts and interval
+//! widths, and the per-rate mean-accuracy agreement between the two runs —
+//! written to a JSON summary (default `BENCH_7.json`) that CI publishes
+//! alongside the other bench artifacts.
+//!
 //! `timing_probe eval [--out FILE]` measures the batch-parallel inference
 //! hot path itself — the blocked matmul kernel on the conv-shaped
 //! `[96, 363] × [363, 4096]` product against a naive triple-loop baseline
@@ -24,7 +32,7 @@ use std::time::Instant;
 
 use ftclip_core::EvalSet;
 use ftclip_data::Dataset;
-use ftclip_fault::{Campaign, CampaignConfig, FaultModel, InjectionTarget};
+use ftclip_fault::{Campaign, CampaignConfig, FaultModel, InjectionTarget, StoppingRule};
 use ftclip_nn::Sequential;
 use ftclip_tensor::{with_thread_limit, Tensor};
 
@@ -146,6 +154,7 @@ fn time_suffix_campaign(
         seed: 29,
         model: FaultModel::BitFlip,
         target: InjectionTarget::Layer(layer_index),
+        stopping: None,
     });
     let full_s = time_median(3, || {
         campaign.run_parallel_with_threads(net, threads, |m: &Sequential| eval.accuracy(m))
@@ -241,6 +250,95 @@ fn probe_campaign(out_path: &str) {
         worker_json.join(",\n"),
         cut_json.join(",\n"),
         late_1t,
+    );
+    std::fs::write(out_path, &json).expect("write timing summary");
+    println!("\nwrote {out_path}");
+}
+
+/// The adaptive-stopping probe: the paper-default grid exhaustively vs
+/// under a CI-driven stopping rule, injections and agreement compared,
+/// written to `out_path` (BENCH_7.json).
+fn probe_adaptive(out_path: &str) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = cores.min(4);
+    let net = ftclip_models::lenet5(10, 7);
+    let eval = lenet_eval_set(256);
+    let max_reps = 40usize;
+    let rule = StoppingRule { target_half_width: 0.02, min_reps: 2, max_reps };
+
+    let fixed_cfg = CampaignConfig::paper_default(11, max_reps);
+    let adaptive_cfg = CampaignConfig { stopping: Some(rule), ..fixed_cfg.clone() };
+    let n_rates = fixed_cfg.fault_rates.len();
+    println!(
+        "\nadaptive stopping, paper-default grid ({n_rates} rates, cap {max_reps} reps), \
+         synthetic LeNet, {} images, {threads} worker(s):",
+        eval.len()
+    );
+
+    let t = Instant::now();
+    let fixed =
+        Campaign::new(fixed_cfg).run_parallel_with_threads(&net, threads, |m: &Sequential| eval.accuracy(m));
+    let fixed_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let adaptive = Campaign::new(adaptive_cfg)
+        .run_parallel_with_threads(&net, threads, |m: &Sequential| eval.accuracy(m));
+    let adaptive_s = t.elapsed().as_secs_f64();
+
+    let fixed_injections = fixed.total_repetitions();
+    let adaptive_injections = adaptive.total_repetitions();
+    let savings = fixed_injections as f64 / adaptive_injections.max(1) as f64;
+    let reports = adaptive.convergence.as_deref().expect("adaptive run reports convergence");
+
+    // the adaptive samples are a bit-identical prefix of the exhaustive
+    // run, so any mean disagreement is pure sampling noise bounded by the
+    // rule's interval target
+    let fixed_means = fixed.mean_accuracies();
+    let adaptive_means = adaptive.mean_accuracies();
+    let max_delta = fixed_means
+        .iter()
+        .zip(&adaptive_means)
+        .map(|(f, a)| (f - a).abs())
+        .fold(0.0f64, f64::max);
+
+    let mut rate_json = Vec::new();
+    for r in reports {
+        let i = r.rate_index;
+        println!(
+            "  rate {:<8.0e} reps {:>3}/{max_reps}  half_width {:.4}  mean {:.4} (exhaustive {:.4}){}",
+            fixed.fault_rates[i],
+            r.reps_used,
+            r.half_width,
+            adaptive_means[i],
+            fixed_means[i],
+            if r.converged { "" } else { "  (max_reps hit)" }
+        );
+        rate_json.push(format!(
+            "    {{\"rate\": {:e}, \"reps_used\": {}, \"half_width\": {:.6}, \"converged\": {}, \
+             \"mean_adaptive\": {:.6}, \"mean_exhaustive\": {:.6}}}",
+            fixed.fault_rates[i], r.reps_used, r.half_width, r.converged, adaptive_means[i], fixed_means[i]
+        ));
+    }
+    println!(
+        "  injections: {adaptive_injections} adaptive vs {fixed_injections} exhaustive  → ×{savings:.1} \
+         fewer (acceptance floor ×5)"
+    );
+    println!(
+        "  wall clock: {adaptive_s:.2} s vs {fixed_s:.2} s  (×{:.2});  max per-rate mean delta {max_delta:.4} \
+         (CI target 0.02)",
+        fixed_s / adaptive_s
+    );
+
+    let json = format!(
+        "{{\n  \"probe\": \"timing_probe campaign --adaptive\",\n  \"available_parallelism\": {cores},\n  \
+         \"threads\": {threads},\n  \"model\": \"lenet5\",\n  \"images\": {},\n  \
+         \"target_half_width\": 0.02,\n  \"min_reps\": 2,\n  \"max_reps\": {max_reps},\n  \
+         \"fixed\": {{\"injections\": {fixed_injections}, \"seconds\": {fixed_s:.6}}},\n  \
+         \"adaptive\": {{\"injections\": {adaptive_injections}, \"seconds\": {adaptive_s:.6}}},\n  \
+         \"injection_savings\": {savings:.3},\n  \"wall_clock_speedup\": {:.3},\n  \
+         \"max_abs_mean_delta\": {max_delta:.6},\n  \"rates\": [\n{}\n  ]\n}}\n",
+        eval.len(),
+        fixed_s / adaptive_s,
+        rate_json.join(",\n"),
     );
     std::fs::write(out_path, &json).expect("write timing summary");
     println!("\nwrote {out_path}");
@@ -376,7 +474,11 @@ fn main() {
         return;
     }
     if args.iter().any(|a| a == "campaign") {
-        probe_campaign(&out("BENCH_5.json"));
+        if args.iter().any(|a| a == "--adaptive") {
+            probe_adaptive(&out("BENCH_7.json"));
+        } else {
+            probe_campaign(&out("BENCH_5.json"));
+        }
         return;
     }
     // no subcommand: the quick wall-clock numbers only, no files written

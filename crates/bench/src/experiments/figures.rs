@@ -143,6 +143,7 @@ pub fn campaign_summary(ctx: &mut RunContext) -> Result<(), SpecError> {
         ftclip_tensor::num_threads()
     );
     let session = ctx.campaign_session("campaign-summary", &net, &cfg);
+    let max_reps = cfg.stopping.map_or(cfg.repetitions, |rule| rule.max_reps);
     // the suffix evaluator re-executes only the layers below each cell's
     // earliest fault, reusing memoized clean prefix activations —
     // bit-identical to the full-forward closure it replaces
@@ -171,7 +172,7 @@ pub fn campaign_summary(ctx: &mut RunContext) -> Result<(), SpecError> {
         "max_acc"
     );
     let paper_rates = ctx.spec.rates.label_rates();
-    for (i, summary) in result.summaries().iter().enumerate() {
+    for (i, summary) in result.summaries().map_err(SpecError::Campaign)?.iter().enumerate() {
         outln!(
             ctx,
             "{:<12.1e} {:<12.1e} {:>10.4} {:>10.4} {:>10.4}",
@@ -182,7 +183,26 @@ pub fn campaign_summary(ctx: &mut RunContext) -> Result<(), SpecError> {
             summary.max
         );
     }
-    ctx.emit(&campaign_summary_table(&ctx.spec.name, &result, &paper_rates));
+    if let Some(reports) = &result.convergence {
+        let exhaustive = max_reps * result.fault_rates.len();
+        let used = result.total_repetitions();
+        outln!(
+            ctx,
+            "\nadaptive stopping: {used} / {exhaustive} injections run ({:.1}× saved)",
+            exhaustive as f64 / used.max(1) as f64
+        );
+        for r in reports {
+            outln!(
+                ctx,
+                "  rate {:<12.1e} reps_used {:>4}  half_width {:.4}{}",
+                result.fault_rates[r.rate_index],
+                r.reps_used,
+                r.half_width,
+                if r.converged { "" } else { "  (max_reps hit)" }
+            );
+        }
+    }
+    ctx.emit(&campaign_summary_table(&ctx.spec.name, &result, &paper_rates).map_err(SpecError::Campaign)?);
 
     // the headline qualitative check of Fig. 1b — validation guarantees a
     // non-empty grid, and the check degrades gracefully regardless
@@ -230,7 +250,7 @@ pub fn per_layer_resilience(ctx: &mut RunContext) -> Result<(), SpecError> {
         let result = Campaign::new(cfg).run_parallel_cached(&net, &session, suffix.clone());
         outln!(ctx, "\n{layer_name} (network layer {layer_index}):");
         outln!(ctx, "{:<12} {:>10} {:>10} {:>10}", "paper_rate", "mean_acc", "min_acc", "max_acc");
-        for (i, s) in result.summaries().iter().enumerate() {
+        for (i, s) in result.summaries().map_err(SpecError::Campaign)?.iter().enumerate() {
             outln!(ctx, "{:<12.1e} {:>10.4} {:>10.4} {:>10.4}", paper_rates[i], s.mean, s.min, s.max);
             table.row([
                 layer_name.as_str().into(),
@@ -601,7 +621,7 @@ pub fn resilience_figure(ctx: &mut RunContext) -> Result<(), SpecError> {
     outln!(ctx, "{} — {} resilience with/without clipped activations\n", ctx.spec.name, workload.name);
     let evaluation = evaluate_resilience(ctx, &workload)?;
     let stem = ctx.spec.name.clone();
-    print_panels(ctx, &evaluation, &stem);
+    print_panels(ctx, &evaluation, &stem)?;
 
     let failures = shape_checks(&evaluation);
     if failures.is_empty() {

@@ -415,6 +415,7 @@ mod tests {
             seed: 1,
             model: FaultModel::BitFlip,
             target: InjectionTarget::AllWeights,
+            stopping: None,
         };
         let evals = AtomicUsize::new(0);
         let mut net = ftclip_nn::Sequential::new(vec![ftclip_nn::Layer::linear(4, 2, 0)]);

@@ -97,7 +97,12 @@ pub fn evaluate_resilience(
 
 /// Writes the three panels of Fig. 7/Fig. 8 into the report and emits their
 /// tables. `stem` is the file prefix, e.g. `"fig7_alexnet"`.
-pub fn print_panels(ctx: &mut RunContext, eval: &ResilienceEvaluation, stem: &str) {
+///
+/// # Errors
+///
+/// [`SpecError::Campaign`] with [`ftclip_fault::CampaignError::DegenerateSamples`]
+/// if either campaign produced a rate with no summarizable accuracy samples.
+pub fn print_panels(ctx: &mut RunContext, eval: &ResilienceEvaluation, stem: &str) -> Result<(), SpecError> {
     let cmp = eval.comparison.clone();
     outln!(ctx, "(a) mean accuracy vs fault rate — clipped vs unprotected");
     outln!(
@@ -147,7 +152,7 @@ pub fn print_panels(ctx: &mut RunContext, eval: &ResilienceEvaluation, stem: &st
             "q3",
             "max"
         );
-        for (i, s) in result.summaries().iter().enumerate() {
+        for (i, s) in result.summaries().map_err(SpecError::Campaign)?.iter().enumerate() {
             outln!(
                 ctx,
                 "{:<12.1e} {:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>8.4}",
@@ -159,7 +164,10 @@ pub fn print_panels(ctx: &mut RunContext, eval: &ResilienceEvaluation, stem: &st
                 s.max
             );
         }
-        ctx.emit(&resilience_box_table(&format!("{stem}_{panel}_box"), result, &eval.paper_rates));
+        ctx.emit(
+            &resilience_box_table(&format!("{stem}_{panel}_box"), result, &eval.paper_rates)
+                .map_err(SpecError::Campaign)?,
+        );
     }
 
     outln!(
@@ -177,6 +185,7 @@ pub fn print_panels(ctx: &mut RunContext, eval: &ResilienceEvaluation, stem: &st
         p,
         u
     );
+    Ok(())
 }
 
 /// The qualitative assertions both figures share; returns human-readable

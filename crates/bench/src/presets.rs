@@ -58,6 +58,13 @@ pub fn presets() -> Vec<Preset> {
             spec: build(Procedure::CampaignSummary, "fig1b_unprotected_alexnet", |b| b),
         },
         Preset {
+            name: "fig1b-adaptive",
+            about: "Fig. 1b under sequential sampling — CI-driven early stopping per rate",
+            spec: build(Procedure::CampaignSummary, "fig1b_adaptive", |b| {
+                b.stopping(ftclip_fault::StoppingRule { target_half_width: 0.02, min_reps: 2, max_reps: 50 })
+            }),
+        },
+        Preset {
             name: "fig2",
             about: "Fig. 2 — LeNet-5 architecture walkthrough",
             spec: build(Procedure::Architecture, "fig2_lenet_architecture", |b| b),
@@ -175,7 +182,7 @@ mod tests {
     #[test]
     fn every_preset_validates_and_names_are_unique() {
         let all = presets();
-        assert_eq!(all.len(), 18);
+        assert_eq!(all.len(), 19);
         let mut names: Vec<&str> = all.iter().map(|p| p.name).collect();
         names.sort_unstable();
         names.dedup();

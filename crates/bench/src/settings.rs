@@ -60,6 +60,13 @@ pub struct RunSettings {
     pub eval_size: Option<usize>,
     /// `--seed N`.
     pub seed: Option<u64>,
+    /// `--adaptive`: sequential sampling — stop each rate once its 95%
+    /// bootstrap confidence interval is tighter than `--ci-eps`, with the
+    /// spec's repetitions as the cap.
+    pub adaptive: bool,
+    /// `--ci-eps W`: target confidence-interval half-width for
+    /// `--adaptive` (default 0.02).
+    pub ci_eps: Option<f64>,
     /// `--out DIR`: output directory for CSV/JSON result files.
     pub out_dir: PathBuf,
     /// Campaign-cell cache root, or `None` when caching is disabled
@@ -82,6 +89,8 @@ impl Default for RunSettings {
             reps: None,
             eval_size: None,
             seed: None,
+            adaptive: false,
+            ci_eps: None,
             cache_root: resolve_cache_root(
                 std::env::var("FTCLIP_CACHE").ok().as_deref(),
                 out_dir.join("cache"),
@@ -157,6 +166,10 @@ impl RunSettings {
                         Some(value("--eval-size")?.parse().map_err(|_| "bad --eval-size".to_string())?)
                 }
                 "--seed" => out.seed = Some(value("--seed")?.parse().map_err(|_| "bad --seed".to_string())?),
+                "--adaptive" => out.adaptive = true,
+                "--ci-eps" => {
+                    out.ci_eps = Some(value("--ci-eps")?.parse().map_err(|_| "bad --ci-eps".to_string())?)
+                }
                 "--out" => out.out_dir = PathBuf::from(value("--out")?),
                 "--cache" => explicit_cache = Some(Some(PathBuf::from(value("--cache")?))),
                 "--no-cache" => explicit_cache = Some(None),
@@ -199,6 +212,15 @@ impl RunSettings {
         if let Some(seed) = self.seed {
             spec.seed = seed;
         }
+        // layered last so the cap tracks whatever repetition count the
+        // scale/quick/--reps resolution above settled on
+        if self.adaptive || self.ci_eps.is_some() {
+            spec.stopping = Some(ftclip_fault::StoppingRule {
+                target_half_width: self.ci_eps.unwrap_or(0.02),
+                min_reps: 2,
+                max_reps: spec.repetitions,
+            });
+        }
         spec
     }
 
@@ -210,7 +232,7 @@ impl RunSettings {
     /// The usage line shared by every entry point's flag errors.
     pub fn usage_flags() -> &'static str {
         "[--scale small|paper] [--quick] [--reps N] [--eval-size N] [--seed N] \
-         [--out DIR] [--cache DIR] [--no-cache] [--assets DIR]"
+         [--adaptive] [--ci-eps W] [--out DIR] [--cache DIR] [--no-cache] [--assets DIR]"
     }
 }
 
@@ -313,6 +335,21 @@ mod tests {
         let applied = parse(&["--quick"], None).apply(&spec());
         assert_eq!(applied.repetitions, 3);
         assert_eq!(applied.eval_size, 64);
+    }
+
+    #[test]
+    fn adaptive_installs_a_stopping_rule_capped_by_resolved_reps() {
+        let applied = parse(&["--adaptive", "--reps", "12"], None).apply(&spec());
+        let rule = applied.stopping.expect("--adaptive installs a rule");
+        assert_eq!(rule.target_half_width, 0.02);
+        assert_eq!(rule.min_reps, 2);
+        assert_eq!(rule.max_reps, 12, "cap tracks the resolved repetition count");
+
+        // --ci-eps alone implies adaptive and overrides the default target
+        let applied = parse(&["--ci-eps", "0.005"], None).apply(&spec());
+        assert_eq!(applied.stopping.unwrap().target_half_width, 0.005);
+
+        assert_eq!(parse(&[], None).apply(&spec()).stopping, None, "fixed grid without the flags");
     }
 
     #[test]

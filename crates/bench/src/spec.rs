@@ -14,7 +14,7 @@
 
 use std::str::FromStr;
 
-use ftclip_fault::{CampaignConfig, CampaignError, FaultModel, InjectionTarget};
+use ftclip_fault::{CampaignConfig, CampaignError, FaultModel, InjectionTarget, StoppingRule};
 use ftclip_models::{ModelSpec, ZooArch};
 use ftclip_nn::Sequential;
 use ftclip_store::Fingerprint;
@@ -464,6 +464,12 @@ pub struct ExperimentSpec {
     pub eval_batch: usize,
     /// Campaign repetitions per fault rate.
     pub repetitions: usize,
+    /// Adaptive sequential sampling: when set, campaign-grid procedures
+    /// stop each rate once its accuracy confidence interval is tighter
+    /// than the rule's target (see [`StoppingRule`]). Part of the *spec*
+    /// fingerprint, but — like `repetitions` — never of the store's cell
+    /// fingerprint, so adaptive and fixed runs share cached cells.
+    pub stopping: Option<StoppingRule>,
     /// Master seed (dataset, training, subset draws, campaign seeds).
     pub seed: u64,
     /// Fault model applied to every sampled bit.
@@ -493,6 +499,7 @@ impl ExperimentSpec {
                 eval_size: 256,
                 eval_batch: 64,
                 repetitions: 10,
+                stopping: None,
                 seed: 42,
                 fault_model: FaultModel::BitFlip,
                 target: TargetSpec::AllWeights,
@@ -571,6 +578,7 @@ impl ExperimentSpec {
             seed: self.seed,
             model: self.fault_model,
             target: InjectionTarget::AllWeights, // resolved per network later
+            stopping: self.stopping,
         };
         // an empty label grid resolves to an empty rate list; out-of-range
         // label rates survive Absolute grids — both are caught here
@@ -591,6 +599,7 @@ impl ExperimentSpec {
         let mut spec = ExperimentSpec::builder(Procedure::CampaignSummary, name).build_unchecked();
         spec.rates = RateGrid::Absolute(config.fault_rates.clone());
         spec.repetitions = config.repetitions;
+        spec.stopping = config.stopping;
         spec.seed = config.seed;
         spec.fault_model = config.model;
         spec.target = config.target.into();
@@ -602,7 +611,17 @@ impl ExperimentSpec {
     /// equal exactly when they describe the same experiment, and a spec
     /// that round-trips through JSON keeps its fingerprint bit-for-bit.
     pub fn fingerprint(&self) -> Fingerprint {
-        Fingerprint::new("ftclip-spec-v1")
+        // the stopping rule changes which cells *run* (the result shape),
+        // so it belongs in the spec fingerprint — unlike the store's cell
+        // fingerprint, which deliberately omits it (see `ftclip_store`)
+        let stopping = |fp: Fingerprint| match &self.stopping {
+            None => fp.text("stopping", "none"),
+            Some(rule) => fp
+                .float("stopping_eps", rule.target_half_width)
+                .uint("stopping_min_reps", rule.min_reps as u64)
+                .uint("stopping_max_reps", rule.max_reps as u64),
+        };
+        stopping(Fingerprint::new("ftclip-spec-v1"))
             .text("name", &self.name)
             .text("procedure", &self.procedure.to_string())
             .text("arch", &self.workload.arch.to_string())
@@ -649,7 +668,7 @@ impl ExperimentSpec {
                 Value::Array(self.rates.explicit_rates().iter().map(|&r| num(r)).collect()),
             ));
         }
-        Value::Object(vec![
+        let mut fields = vec![
             ("name".to_string(), text(self.name.clone())),
             ("procedure".to_string(), text(self.procedure.to_string())),
             (
@@ -691,7 +710,18 @@ impl ExperimentSpec {
             ("rates".to_string(), Value::Object(rates)),
             ("protection".to_string(), text(self.protection.to_string())),
             ("layers".to_string(), Value::Array(self.layers.iter().map(|l| text(l.clone())).collect())),
-        ])
+        ];
+        if let Some(rule) = &self.stopping {
+            fields.push((
+                "stopping".to_string(),
+                Value::Object(vec![
+                    ("target_half_width".to_string(), num(rule.target_half_width)),
+                    ("min_reps".to_string(), uint(rule.min_reps)),
+                    ("max_reps".to_string(), uint(rule.max_reps)),
+                ]),
+            ));
+        }
+        Value::Object(fields)
     }
 
     /// Parses a spec from its JSON form and validates it.
@@ -738,6 +768,7 @@ impl ExperimentSpec {
                 "rates",
                 "protection",
                 "layers",
+                "stopping",
             ],
         )?;
         let name = require_str(value, "name")?;
@@ -778,6 +809,20 @@ impl ExperimentSpec {
         spec.eval_size = opt_usize(value, "eval_size")?.unwrap_or(spec.eval_size);
         spec.eval_batch = opt_usize(value, "eval_batch")?.unwrap_or(spec.eval_batch);
         spec.repetitions = opt_usize(value, "repetitions")?.unwrap_or(spec.repetitions);
+        if let Some(stopping) = value.get("stopping") {
+            let obj = stopping
+                .as_object()
+                .ok_or_else(|| SpecError::Parse("stopping must be an object".to_string()))?;
+            check_known_keys(obj, &["target_half_width", "min_reps", "max_reps"])?;
+            let target_half_width = opt_f64(stopping, "target_half_width")?.ok_or_else(|| {
+                SpecError::Parse("stopping.target_half_width (number) is required".to_string())
+            })?;
+            spec.stopping = Some(StoppingRule {
+                target_half_width,
+                min_reps: opt_usize(stopping, "min_reps")?.unwrap_or(2),
+                max_reps: opt_usize(stopping, "max_reps")?.unwrap_or(spec.repetitions),
+            });
+        }
         spec.seed = opt_u64(value, "seed")?.unwrap_or(spec.seed);
         if let Some(s) = opt_str(value, "fault_model")? {
             spec.fault_model = s.parse().map_err(SpecError::UnknownFaultModel)?;
@@ -936,6 +981,14 @@ impl SpecBuilder {
     /// Sets campaign repetitions per rate.
     pub fn repetitions(mut self, repetitions: usize) -> Self {
         self.spec.repetitions = repetitions;
+        self
+    }
+
+    /// Installs an adaptive sequential-sampling stopping rule: campaign
+    /// procedures stop each rate once its bootstrap confidence interval is
+    /// tighter than the rule's target (see [`StoppingRule`]).
+    pub fn stopping(mut self, rule: StoppingRule) -> Self {
+        self.spec.stopping = Some(rule);
         self
     }
 
@@ -1211,6 +1264,42 @@ mod tests {
     }
 
     #[test]
+    fn stopping_rule_round_trips_through_json() {
+        let spec = ExperimentSpec::builder(Procedure::CampaignSummary, "adaptive")
+            .repetitions(40)
+            .stopping(StoppingRule { target_half_width: 0.015, min_reps: 4, max_reps: 40 })
+            .build()
+            .unwrap();
+        let json = spec.to_json();
+        assert!(json.contains("\"stopping\""), "{json}");
+        let back = ExperimentSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.fingerprint().key(), spec.fingerprint().key());
+
+        // partial rule: min/max default to 2 / the spec's repetitions
+        let spec = ExperimentSpec::from_json(
+            r#"{"name": "x", "procedure": "campaign-summary", "repetitions": 25,
+                "stopping": {"target_half_width": 0.05}}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.stopping, Some(StoppingRule { target_half_width: 0.05, min_reps: 2, max_reps: 25 }));
+
+        // typos inside the rule are rejected like everywhere else
+        let err = ExperimentSpec::from_json(
+            r#"{"name": "x", "procedure": "campaign-summary", "stopping": {"half_width": 0.05}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, SpecError::UnknownField("half_width".into()));
+        // and an invalid rule fails spec validation, not a deep panic later
+        let err = ExperimentSpec::from_json(
+            r#"{"name": "x", "procedure": "campaign-summary", "repetitions": 3,
+                "stopping": {"target_half_width": 0.05, "min_reps": 9, "max_reps": 3}}"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpecError::Campaign(CampaignError::BadRepBounds { .. })), "{err}");
+    }
+
+    #[test]
     fn minimal_spec_file_uses_defaults() {
         let spec = ExperimentSpec::from_json(r#"{"name": "mini", "procedure": "campaign-summary"}"#).unwrap();
         assert_eq!(spec.workload.arch, ZooArch::AlexNet);
@@ -1339,7 +1428,22 @@ mod tests {
                 s.layers = vec!["CONV-1".into()];
                 s
             },
+            {
+                // adaptive vs fixed is a different experiment shape even
+                // though the store's cell fingerprint ignores the rule
+                let mut s = base.clone();
+                s.stopping = Some(StoppingRule { target_half_width: 0.02, min_reps: 2, max_reps: 50 });
+                s
+            },
         ];
+        let adaptive = &mutations[mutations.len() - 1];
+        let mut tighter = adaptive.clone();
+        tighter.stopping = Some(StoppingRule { target_half_width: 0.01, min_reps: 2, max_reps: 50 });
+        assert_ne!(
+            tighter.fingerprint().key(),
+            adaptive.fingerprint().key(),
+            "rule parameters must enter the spec fingerprint"
+        );
         for (i, m) in mutations.iter().enumerate() {
             assert_ne!(m.fingerprint().key(), key, "mutation {i} must change the fingerprint");
         }

@@ -118,6 +118,7 @@ impl AucConfig {
             seed: self.seed,
             model: self.model,
             target: self.target,
+            stopping: None,
         };
         Campaign::new(cfg).run_parallel(net, eval.suffix_eval())
     }

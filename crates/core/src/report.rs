@@ -143,6 +143,7 @@ mod tests {
             seed,
             model: FaultModel::BitFlip,
             target: InjectionTarget::AllWeights,
+            stopping: None,
         };
         let call = std::sync::atomic::AtomicUsize::new(0);
         Campaign::new(cfg).run(&mut net, move |_: &Sequential| {

@@ -34,6 +34,16 @@ pub struct CampaignConfig {
     pub model: FaultModel,
     /// Which parameter memories are corrupted.
     pub target: InjectionTarget,
+    /// Sequential-sampling mode: when set, the executors schedule
+    /// repetitions in deterministic waves and stop each rate as soon as its
+    /// accuracy confidence interval is tighter than the rule's target (see
+    /// [`StoppingRule`]). `None` runs the classic fixed grid of
+    /// `repetitions` cells per rate.
+    ///
+    /// The rule never enters the store's cell fingerprint (just like
+    /// `repetitions`): cells are addressed by `(rate_index, repetition)`,
+    /// so adaptive and exhaustive runs share cached cells bit for bit.
+    pub stopping: Option<StoppingRule>,
 }
 
 impl CampaignConfig {
@@ -47,6 +57,7 @@ impl CampaignConfig {
             seed,
             model: FaultModel::BitFlip,
             target: InjectionTarget::AllWeights,
+            stopping: None,
         }
     }
 
@@ -69,8 +80,107 @@ impl CampaignConfig {
         if self.repetitions == 0 {
             return Err(CampaignError::ZeroRepetitions);
         }
+        if let Some(rule) = &self.stopping {
+            rule.validate()?;
+        }
         Ok(())
     }
+}
+
+/// Number of bootstrap resamples behind [`StoppingRule::half_width`].
+const STOPPING_RESAMPLES: usize = 200;
+/// Confidence level of the stopping interval (95%).
+const STOPPING_CONFIDENCE: f64 = 0.95;
+/// Fixed resampler seed: the interval must be a pure function of the
+/// samples so serial and parallel executors reach identical decisions.
+const STOPPING_BOOT_SEED: u64 = 0x5eed_c1a0_b007_57a9;
+
+/// Sequential-sampling stopping rule for adaptive campaigns.
+///
+/// With a rule installed on [`CampaignConfig::stopping`], the executors
+/// schedule repetitions in deterministic waves: every still-active rate
+/// first runs `min_reps` repetitions, then the wave size doubles
+/// (`min_reps`, `2·min_reps`, `4·min_reps`, …) until the rate's 95%
+/// bootstrap confidence interval over its accuracy samples has a
+/// half-width ≤ `target_half_width`, or `max_reps` repetitions have run.
+///
+/// Because cell seeds stay keyed by `(rate_index, repetition)` and the
+/// interval is a deterministic function of the samples, an adaptive run is
+/// a **bit-identical prefix** of the exhaustive run with
+/// `repetitions = max_reps` — at any thread count, against any cache state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoppingRule {
+    /// Stop a rate once its confidence-interval half-width is ≤ this.
+    pub target_half_width: f64,
+    /// Repetitions every rate runs before the first convergence check.
+    pub min_reps: usize,
+    /// Hard per-rate budget: a rate that never converges stops here.
+    pub max_reps: usize,
+}
+
+impl StoppingRule {
+    /// Checks that the rule is satisfiable.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`CampaignError`].
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        if !(self.target_half_width.is_finite() && self.target_half_width > 0.0) {
+            return Err(CampaignError::BadHalfWidth(self.target_half_width));
+        }
+        if self.min_reps == 0 || self.min_reps > self.max_reps {
+            return Err(CampaignError::BadRepBounds { min_reps: self.min_reps, max_reps: self.max_reps });
+        }
+        Ok(())
+    }
+
+    /// The half-width of the 95% bootstrap interval over `samples` — the
+    /// quantity compared against `target_half_width`. Deterministic in the
+    /// samples (see [`crate::bootstrap_interval`]); non-computable samples
+    /// (empty, NaN) report `+∞`, which keeps the rate running to `max_reps`.
+    pub fn half_width(&self, samples: &[f64]) -> f64 {
+        crate::bootstrap_interval(samples, STOPPING_RESAMPLES, STOPPING_CONFIDENCE, STOPPING_BOOT_SEED)
+            .map_or(f64::INFINITY, |ci| ci.half_width())
+    }
+
+    /// Whether a rate with these accuracy samples stops sampling: converged
+    /// (`half_width ≤ target`, with at least `min_reps` samples) or out of
+    /// budget (`max_reps` samples).
+    pub fn satisfied(&self, samples: &[f64]) -> bool {
+        samples.len() >= self.max_reps
+            || (samples.len() >= self.min_reps && self.half_width(samples) <= self.target_half_width)
+    }
+
+    /// The deterministic wave boundaries: `min_reps`, then doubling, capped
+    /// at `max_reps`.
+    fn wave_boundaries(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut next = self.min_reps;
+        let mut done = false;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            let b = next.min(self.max_reps);
+            done = b == self.max_reps;
+            next = next.saturating_mul(2);
+            Some(b)
+        })
+    }
+}
+
+/// How one rate of an adaptive campaign finished (see
+/// [`CampaignResult::convergence`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateConvergence {
+    /// Index into [`CampaignConfig::fault_rates`].
+    pub rate_index: usize,
+    /// Repetitions actually sampled for this rate.
+    pub reps_used: usize,
+    /// Final confidence-interval half-width over the sampled accuracies.
+    pub half_width: f64,
+    /// `true` when the rate met the target; `false` when it exhausted
+    /// `max_reps` first.
+    pub converged: bool,
 }
 
 /// Why a [`CampaignConfig`] cannot be run.
@@ -84,6 +194,24 @@ pub enum CampaignError {
     RateOutOfRange(f64),
     /// `repetitions == 0`: every rate needs at least one injection.
     ZeroRepetitions,
+    /// The stopping rule's target half-width is not a positive finite
+    /// number — no interval could ever satisfy it meaningfully.
+    BadHalfWidth(f64),
+    /// The stopping rule's repetition bounds are unsatisfiable
+    /// (`min_reps == 0` or `min_reps > max_reps`).
+    BadRepBounds {
+        /// The rule's `min_reps`.
+        min_reps: usize,
+        /// The rule's `max_reps`.
+        max_reps: usize,
+    },
+    /// A rate's accuracy samples cannot be summarized: the list is empty or
+    /// contains NaN (reachable through a poisoned store row or a
+    /// hand-built [`CampaignResult`]).
+    DegenerateSamples {
+        /// Index of the offending rate.
+        rate_index: usize,
+    },
 }
 
 impl std::fmt::Display for CampaignError {
@@ -94,6 +222,17 @@ impl std::fmt::Display for CampaignError {
                 write!(f, "fault rates must be in [0, 1]; got {r}")
             }
             CampaignError::ZeroRepetitions => write!(f, "campaign needs at least one repetition"),
+            CampaignError::BadHalfWidth(w) => {
+                write!(f, "stopping rule needs a positive finite target half-width; got {w}")
+            }
+            CampaignError::BadRepBounds { min_reps, max_reps } => write!(
+                f,
+                "stopping rule needs 1 ≤ min_reps ≤ max_reps; got min_reps = {min_reps}, max_reps = {max_reps}"
+            ),
+            CampaignError::DegenerateSamples { rate_index } => write!(
+                f,
+                "rate {rate_index} has no summarizable accuracy samples (empty or NaN)"
+            ),
         }
     }
 }
@@ -237,20 +376,40 @@ pub struct CampaignResult {
     /// Clean (fault-free) accuracy of the network on the same evaluation
     /// set — the paper's "baseline accuracy" reference line.
     pub clean_accuracy: f64,
+    /// Per-rate convergence report of an adaptive run (`None` for fixed
+    /// `repetitions` grids): how many repetitions each rate actually
+    /// sampled and the final interval half-width.
+    pub convergence: Option<Vec<RateConvergence>>,
 }
 
 impl CampaignResult {
     /// Per-rate distribution summaries (the box plots of Figs. 7–8).
-    pub fn summaries(&self) -> Vec<Summary> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::DegenerateSamples`] naming the first rate
+    /// whose sample list is empty or contains NaN — reachable through a
+    /// poisoned store row or a hand-assembled result, so figure writers
+    /// must route the error instead of panicking mid-report.
+    pub fn summaries(&self) -> Result<Vec<Summary>, CampaignError> {
         self.accuracies
             .iter()
-            .map(|a| Summary::from_samples(a).expect("campaign repetitions are non-empty"))
+            .enumerate()
+            .map(|(rate_index, a)| {
+                Summary::from_samples(a).ok_or(CampaignError::DegenerateSamples { rate_index })
+            })
             .collect()
     }
 
     /// Mean accuracy per rate (the line plots of Figs. 1b, 7a, 8a).
     pub fn mean_accuracies(&self) -> Vec<f64> {
         self.accuracies.iter().map(|a| a.iter().sum::<f64>() / a.len() as f64).collect()
+    }
+
+    /// Total repetitions actually sampled across all rates — the
+    /// "injections paid" an adaptive run economizes on.
+    pub fn total_repetitions(&self) -> usize {
+        self.accuracies.iter().map(Vec::len).sum()
     }
 
     /// `(rate, mean accuracy)` pairs, with the clean point at rate 0
@@ -281,6 +440,7 @@ impl CampaignResult {
 ///     seed: 7,
 ///     model: FaultModel::BitFlip,
 ///     target: InjectionTarget::AllWeights,
+///     stopping: None,
 /// };
 /// // toy evaluation: fraction of finite outputs
 /// let result = Campaign::new(cfg).run(&mut net, |n: &Sequential| {
@@ -361,6 +521,25 @@ impl Campaign {
         if let Some(obs) = observer {
             obs.on_clean(clean_accuracy);
         }
+        if let Some(rule) = self.config.stopping {
+            return self.run_adaptive(rule, clean_accuracy, observer, |cells: &[(usize, usize)]| {
+                cells
+                    .iter()
+                    .map(|&(i, rep)| {
+                        self.cell(
+                            net,
+                            i,
+                            self.config.fault_rates[i],
+                            rep,
+                            clean_accuracy,
+                            cache,
+                            &eval,
+                            observer,
+                        )
+                    })
+                    .collect()
+            });
+        }
         let mut accuracies = Vec::with_capacity(self.config.fault_rates.len());
         let mut runs = Vec::new();
         for (i, &rate) in self.config.fault_rates.iter().enumerate() {
@@ -377,6 +556,77 @@ impl Campaign {
             accuracies,
             runs,
             clean_accuracy,
+            convergence: None,
+        }
+    }
+
+    /// The shared adaptive scheduler: runs deterministic waves through
+    /// `run_wave` (a serial loop or a parallel fan-out — the stopping
+    /// decisions cannot tell, because they depend only on the per-rate
+    /// accuracy prefixes, which are bit-identical either way).
+    ///
+    /// Wave `k` extends every still-active rate to the rule's `k`-th
+    /// boundary (`min_reps`, `2·min_reps`, …, `max_reps`); after the wave,
+    /// rates whose interval is tight enough — or that hit `max_reps` — are
+    /// retired and reported through
+    /// [`CampaignObserver::on_rate_converged`].
+    fn run_adaptive(
+        &self,
+        rule: StoppingRule,
+        clean_accuracy: f64,
+        observer: Option<&dyn CampaignObserver>,
+        mut run_wave: impl FnMut(&[(usize, usize)]) -> Vec<RunRecord>,
+    ) -> CampaignResult {
+        let n_rates = self.config.fault_rates.len();
+        let mut accuracies: Vec<Vec<f64>> = vec![Vec::new(); n_rates];
+        let mut runs: Vec<RunRecord> = Vec::new();
+        let mut convergence: Vec<RateConvergence> = Vec::new();
+        let mut active: Vec<bool> = vec![true; n_rates];
+        for boundary in rule.wave_boundaries() {
+            // the wave's cell list is rate-major and derived only from the
+            // active set — identical in serial and parallel runs
+            let cells: Vec<(usize, usize)> = (0..n_rates)
+                .filter(|&i| active[i])
+                .flat_map(|i| (accuracies[i].len()..boundary).map(move |rep| (i, rep)))
+                .collect();
+            let mut wave = run_wave(&cells);
+            wave.sort_by_key(|r| (r.rate_index, r.repetition));
+            for record in wave {
+                accuracies[record.rate_index].push(record.accuracy);
+                runs.push(record);
+            }
+            for i in 0..n_rates {
+                if !active[i] {
+                    continue;
+                }
+                let half_width = rule.half_width(&accuracies[i]);
+                let converged = half_width <= rule.target_half_width;
+                if converged || accuracies[i].len() >= rule.max_reps {
+                    active[i] = false;
+                    let report = RateConvergence {
+                        rate_index: i,
+                        reps_used: accuracies[i].len(),
+                        half_width,
+                        converged,
+                    };
+                    convergence.push(report);
+                    if let Some(obs) = observer {
+                        obs.on_rate_converged(&report);
+                    }
+                }
+            }
+            if active.iter().all(|a| !a) {
+                break;
+            }
+        }
+        runs.sort_by_key(|r| (r.rate_index, r.repetition));
+        convergence.sort_by_key(|c| c.rate_index);
+        CampaignResult {
+            fault_rates: self.config.fault_rates.clone(),
+            accuracies,
+            runs,
+            clean_accuracy,
+            convergence: Some(convergence),
         }
     }
 
@@ -507,6 +757,23 @@ impl Campaign {
         eval: impl CellEval,
     ) -> CampaignResult {
         assert!(threads > 0, "campaign needs at least one worker thread");
+        if let Some(rule) = self.config.stopping {
+            // adaptive mode: the wave scheduler decides which cells exist;
+            // each wave fans out over the same worker machinery
+            let observer = current_observer();
+            let clean_accuracy = cache.clean_accuracy().unwrap_or_else(|| {
+                let clean =
+                    ftclip_tensor::with_thread_limit(threads, || eval.eval_cell(net, SuffixHint::full()));
+                cache.record_clean(clean);
+                clean
+            });
+            if let Some(obs) = &observer {
+                obs.on_clean(clean_accuracy);
+            }
+            return self.run_adaptive(rule, clean_accuracy, observer.as_deref(), |cells| {
+                self.run_cell_batch(net, threads, cells, clean_accuracy, cache, &eval, observer.as_deref())
+            });
+        }
         let reps = self.config.repetitions;
         let total = self.config.fault_rates.len() * reps;
         let workers = threads.min(total);
@@ -593,7 +860,87 @@ impl Campaign {
             accuracies,
             runs,
             clean_accuracy,
+            convergence: None,
         }
+    }
+
+    /// Fans one adaptive wave's explicit cell list out over up to `threads`
+    /// workers (the same queue/budget scheme as the fixed-grid executor);
+    /// single-worker waves run serially under the thread limit. Records are
+    /// returned in scheduling order — the wave scheduler sorts them.
+    #[allow(clippy::too_many_arguments)]
+    fn run_cell_batch(
+        &self,
+        net: &Sequential,
+        threads: usize,
+        cells: &[(usize, usize)],
+        clean_accuracy: f64,
+        cache: &dyn CampaignCache,
+        eval: &dyn CellEval,
+        observer: Option<&dyn CampaignObserver>,
+    ) -> Vec<RunRecord> {
+        let workers = threads.min(cells.len());
+        if workers <= 1 {
+            let mut local = net.clone();
+            return ftclip_tensor::with_thread_limit(threads, || {
+                cells
+                    .iter()
+                    .map(|&(i, rep)| {
+                        self.cell(
+                            &mut local,
+                            i,
+                            self.config.fault_rates[i],
+                            rep,
+                            clean_accuracy,
+                            cache,
+                            eval,
+                            observer,
+                        )
+                    })
+                    .collect()
+            });
+        }
+        let inner = threads / workers;
+        let spare = threads % workers;
+        let next_cell = AtomicUsize::new(0);
+        let mut out: Vec<RunRecord> = Vec::with_capacity(cells.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let next_cell = &next_cell;
+                let budget = (inner + usize::from(w < spare)).max(1);
+                handles.push(scope.spawn(move || {
+                    ftclip_tensor::with_thread_limit(budget, || {
+                        let mut local = net.clone();
+                        let mut got = Vec::new();
+                        loop {
+                            let k = next_cell.fetch_add(1, Ordering::Relaxed);
+                            if k >= cells.len() {
+                                return got;
+                            }
+                            let (i, rep) = cells[k];
+                            got.push(self.cell(
+                                &mut local,
+                                i,
+                                self.config.fault_rates[i],
+                                rep,
+                                clean_accuracy,
+                                cache,
+                                eval,
+                                observer,
+                            ));
+                        }
+                    })
+                }));
+            }
+            for handle in handles {
+                match handle.join() {
+                    Ok(worker_runs) => out.extend(worker_runs),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        out
     }
 }
 
@@ -626,6 +973,7 @@ mod tests {
             seed: 3,
             model: FaultModel::BitFlip,
             target: InjectionTarget::AllWeights,
+            stopping: None,
         };
         Campaign::new(cfg).run(&mut n, finite_fraction);
         let after: Vec<u32> = {
@@ -645,12 +993,13 @@ mod tests {
             seed: 1,
             model: FaultModel::BitFlip,
             target: InjectionTarget::AllWeights,
+            stopping: None,
         };
         let res = Campaign::new(cfg).run(&mut n, finite_fraction);
         assert_eq!(res.accuracies.len(), 3);
         assert!(res.accuracies.iter().all(|a| a.len() == 5));
         assert_eq!(res.runs.len(), 15);
-        assert_eq!(res.summaries().len(), 3);
+        assert_eq!(res.summaries().unwrap().len(), 3);
         assert_eq!(res.curve_with_clean_point().len(), 4);
         assert_eq!(res.curve_with_clean_point()[0].0, 0.0);
     }
@@ -663,6 +1012,7 @@ mod tests {
             seed: 9,
             model: FaultModel::BitFlip,
             target: InjectionTarget::AllWeights,
+            stopping: None,
         };
         let mut n1 = net();
         let r1 = Campaign::new(cfg.clone()).run(&mut n1, finite_fraction);
@@ -681,6 +1031,7 @@ mod tests {
             seed: 5,
             model: FaultModel::BitFlip,
             target: InjectionTarget::AllWeights,
+            stopping: None,
         };
         let res = Campaign::new(cfg).run(&mut n, finite_fraction);
         let count_at = |rate_idx: usize| -> usize {
@@ -710,6 +1061,7 @@ mod tests {
             seed: 17,
             model: FaultModel::BitFlip,
             target: InjectionTarget::AllWeights,
+            stopping: None,
         };
         let campaign = Campaign::new(cfg);
         let mut serial_net = net();
@@ -739,6 +1091,7 @@ mod tests {
             seed: 2,
             model: FaultModel::BitFlip,
             target: InjectionTarget::AllWeights,
+            stopping: None,
         };
         Campaign::new(cfg).run_parallel_with_threads(&n, 3, finite_fraction);
         let after: Vec<u32> = {
@@ -758,6 +1111,7 @@ mod tests {
             seed: 0,
             model: FaultModel::BitFlip,
             target: InjectionTarget::AllWeights,
+            stopping: None,
         };
         Campaign::new(cfg).run_parallel_with_threads(&net(), 0, finite_fraction);
     }
@@ -799,6 +1153,7 @@ mod tests {
             seed: 23,
             model: FaultModel::BitFlip,
             target: InjectionTarget::AllWeights,
+            stopping: None,
         };
         let campaign = Campaign::new(cfg);
         let mut fresh_net = net();
@@ -840,6 +1195,7 @@ mod tests {
             seed: 5,
             model: FaultModel::BitFlip,
             target: InjectionTarget::AllWeights,
+            stopping: None,
         };
         let campaign = Campaign::new(cfg);
         let cache = MemCache::default();
@@ -863,6 +1219,7 @@ mod tests {
             seed: 77,
             model: FaultModel::BitFlip,
             target: InjectionTarget::AllWeights,
+            stopping: None,
         };
         let campaign = Campaign::new(cfg);
         let serial_cache = MemCache::default();
@@ -898,6 +1255,7 @@ mod tests {
             seed: 0,
             model: FaultModel::BitFlip,
             target: InjectionTarget::AllWeights,
+            stopping: None,
         };
         let mut n = net();
         Campaign::new(cfg).run_cached(&mut n, &LyingCache, finite_fraction);
@@ -912,6 +1270,7 @@ mod tests {
             seed: 0,
             model: FaultModel::BitFlip,
             target: InjectionTarget::AllWeights,
+            stopping: None,
         });
     }
 
@@ -969,6 +1328,7 @@ mod tests {
             seed: 11,
             model: FaultModel::BitFlip,
             target: InjectionTarget::AllWeights,
+            stopping: None,
         };
         let campaign = Campaign::new(cfg);
         let cache = MemCache::default();
@@ -1003,6 +1363,7 @@ mod tests {
             seed: 13,
             model: FaultModel::BitFlip,
             target: InjectionTarget::AllWeights,
+            stopping: None,
         };
         let campaign = Campaign::new(cfg);
         let observer = std::sync::Arc::new(Recorder { cancel_after: Some(2), ..Recorder::default() });
@@ -1030,5 +1391,202 @@ mod tests {
         assert!(CampaignError::EmptyRateGrid.to_string().contains("at least one fault rate"));
         assert!(CampaignError::RateOutOfRange(2.0).to_string().contains('2'));
         assert!(CampaignError::ZeroRepetitions.to_string().contains("repetition"));
+        assert!(CampaignError::BadHalfWidth(-1.0).to_string().contains("half-width"));
+        assert!(CampaignError::BadRepBounds { min_reps: 3, max_reps: 2 }
+            .to_string()
+            .contains("min_reps"));
+        assert!(CampaignError::DegenerateSamples { rate_index: 4 }.to_string().contains('4'));
+    }
+
+    fn rule(eps: f64, min: usize, max: usize) -> StoppingRule {
+        StoppingRule { target_half_width: eps, min_reps: min, max_reps: max }
+    }
+
+    #[test]
+    fn stopping_rule_validation() {
+        assert_eq!(rule(0.05, 2, 8).validate(), Ok(()));
+        assert_eq!(rule(0.0, 2, 8).validate(), Err(CampaignError::BadHalfWidth(0.0)));
+        assert!(matches!(rule(f64::NAN, 2, 8).validate(), Err(CampaignError::BadHalfWidth(_))));
+        assert_eq!(
+            rule(0.05, 0, 8).validate(),
+            Err(CampaignError::BadRepBounds { min_reps: 0, max_reps: 8 })
+        );
+        assert_eq!(
+            rule(0.05, 9, 8).validate(),
+            Err(CampaignError::BadRepBounds { min_reps: 9, max_reps: 8 })
+        );
+        // the rule is validated through the campaign config too
+        let mut cfg = CampaignConfig::paper_default(1, 3);
+        cfg.stopping = Some(rule(0.05, 0, 8));
+        assert!(matches!(cfg.validate(), Err(CampaignError::BadRepBounds { .. })));
+    }
+
+    #[test]
+    fn wave_boundaries_double_and_cap() {
+        let bs: Vec<usize> = rule(0.1, 2, 24).wave_boundaries().collect();
+        assert_eq!(bs, vec![2, 4, 8, 16, 24]);
+        let bs: Vec<usize> = rule(0.1, 3, 3).wave_boundaries().collect();
+        assert_eq!(bs, vec![3]);
+    }
+
+    /// The tentpole invariant: an adaptive run is a bit-identical prefix of
+    /// the exhaustive run with `repetitions = max_reps`, at 1/2/4 threads,
+    /// and serial adaptive matches parallel adaptive exactly.
+    #[test]
+    fn adaptive_is_bit_identical_prefix_of_exhaustive_at_any_thread_count() {
+        // rate 0 samples ~zero faults on this tiny net → zero-variance
+        // accuracies → converges at min_reps; rate 2 is noisy
+        let mut cfg = CampaignConfig {
+            fault_rates: vec![1e-9, 1e-2, 1e-1],
+            repetitions: 8,
+            seed: 31,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::AllWeights,
+            stopping: None,
+        };
+        let mut exhaustive_net = net();
+        let exhaustive = Campaign::new(cfg.clone()).run(&mut exhaustive_net, finite_fraction);
+
+        cfg.stopping = Some(rule(0.08, 2, 8));
+        let campaign = Campaign::new(cfg);
+        let mut serial_net = net();
+        let serial = campaign.run_cached(&mut serial_net, &NoCache, finite_fraction);
+        let conv = serial.convergence.as_ref().expect("adaptive runs report convergence");
+        assert_eq!(conv.len(), 3);
+        assert_eq!(conv[0].reps_used, 2, "zero-variance rate stops at min_reps");
+        assert!(conv[0].converged && conv[0].half_width == 0.0);
+        for (i, c) in conv.iter().enumerate() {
+            assert_eq!(c.rate_index, i);
+            assert!((2..=8).contains(&c.reps_used));
+            // prefix bit-identity against the exhaustive grid
+            let prefix: Vec<u64> =
+                exhaustive.accuracies[i][..c.reps_used].iter().map(|x| x.to_bits()).collect();
+            let got: Vec<u64> = serial.accuracies[i].iter().map(|x| x.to_bits()).collect();
+            assert_eq!(got, prefix, "rate {i}");
+            assert_eq!(
+                serial.runs.iter().filter(|r| r.rate_index == i).count(),
+                c.reps_used,
+                "runs carry exactly the sampled cells"
+            );
+        }
+        assert!(
+            serial.total_repetitions() < exhaustive.total_repetitions(),
+            "adaptive must save injections on this grid"
+        );
+
+        for threads in [1, 2, 4] {
+            let parallel = campaign.run_parallel_with_threads(&net(), threads, finite_fraction);
+            assert_eq!(bits(&parallel.accuracies), bits(&serial.accuracies), "{threads} threads");
+            assert_eq!(parallel.runs, serial.runs, "{threads} threads");
+            assert_eq!(parallel.convergence, serial.convergence, "{threads} threads");
+            assert_eq!(parallel.clean_accuracy.to_bits(), serial.clean_accuracy.to_bits());
+        }
+    }
+
+    #[test]
+    fn adaptive_runs_to_max_when_the_target_is_unreachable() {
+        let cfg = CampaignConfig {
+            fault_rates: vec![1e-1],
+            repetitions: 6,
+            seed: 41,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::AllWeights,
+            stopping: Some(rule(1e-12, 2, 6)),
+        };
+        // continuous-valued eval: distinct injections give distinct scores,
+        // so the sample variance never collapses to zero
+        let continuous = |n: &Sequential| {
+            let y = n.forward(&Tensor::ones(&[2, 1, 4, 4]));
+            y.iter()
+                .map(|v| if v.is_finite() { (*v as f64).abs().min(1.0) } else { 0.0 })
+                .sum::<f64>()
+                / y.len() as f64
+        };
+        let mut n = net();
+        let res = Campaign::new(cfg).run(&mut n, continuous);
+        let conv = &res.convergence.as_ref().unwrap()[0];
+        assert_eq!(conv.reps_used, 6, "unreachable target exhausts max_reps");
+        assert!(!conv.converged);
+        assert!(conv.half_width > 1e-12);
+    }
+
+    /// The store-extension contract: a fixed-reps cache is *extended* by an
+    /// adaptive run — cached prefix cells replay without evaluation, only
+    /// the deficit is sampled.
+    #[test]
+    fn adaptive_run_extends_a_fixed_reps_cache_without_recomputing() {
+        let fixed = CampaignConfig {
+            fault_rates: vec![1e-2, 1e-1],
+            repetitions: 3,
+            seed: 47,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::AllWeights,
+            stopping: None,
+        };
+        let cache = MemCache::default();
+        Campaign::new(fixed.clone()).run_parallel_cached_with_threads(&net(), 2, &cache, finite_fraction);
+        assert_eq!(cache.cells.lock().unwrap().len(), 6);
+
+        // unreachable target forces the adaptive run to max_reps = 5: the
+        // 3 cached reps per rate replay, exactly 2 × 2 fresh cells evaluate
+        let adaptive = CampaignConfig { stopping: Some(rule(1e-12, 2, 5)), ..fixed.clone() };
+        let evals = AtomicUsize::new(0);
+        let counting = |n: &Sequential| {
+            evals.fetch_add(1, Ordering::Relaxed);
+            finite_fraction(n)
+        };
+        let extended = Campaign::new(adaptive).run_parallel_cached_with_threads(&net(), 2, &cache, counting);
+        assert_eq!(evals.load(Ordering::Relaxed), 4, "only the deficit beyond the cache evaluates");
+        assert_eq!(cache.cells.lock().unwrap().len(), 10, "fresh cells were recorded");
+
+        // and the merged result is the bit-identical prefix of exhaustive
+        let exhaustive_cfg = CampaignConfig { repetitions: 5, ..fixed };
+        let mut n = net();
+        let exhaustive = Campaign::new(exhaustive_cfg).run(&mut n, finite_fraction);
+        assert_eq!(bits(&extended.accuracies), bits(&exhaustive.accuracies));
+    }
+
+    #[test]
+    fn adaptive_observer_reports_rate_convergence() {
+        #[derive(Default)]
+        struct ConvRecorder(std::sync::Mutex<Vec<RateConvergence>>);
+        impl crate::CampaignObserver for ConvRecorder {
+            fn on_rate_converged(&self, report: &RateConvergence) {
+                self.0.lock().unwrap().push(*report);
+            }
+        }
+        let cfg = CampaignConfig {
+            fault_rates: vec![1e-9, 1e-1],
+            repetitions: 4,
+            seed: 53,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::AllWeights,
+            stopping: Some(rule(0.5, 2, 4)),
+        };
+        let recorder = std::sync::Arc::new(ConvRecorder::default());
+        let res = crate::with_observer(recorder.clone(), || {
+            Campaign::new(cfg).run_parallel_cached_with_threads(&net(), 2, &NoCache, finite_fraction)
+        });
+        let mut seen = recorder.0.lock().unwrap().clone();
+        seen.sort_by_key(|c| c.rate_index);
+        assert_eq!(seen, res.convergence.unwrap(), "observer saw every rate exactly once");
+    }
+
+    #[test]
+    fn summaries_reject_empty_and_nan_samples() {
+        let good = CampaignResult {
+            fault_rates: vec![1e-3, 1e-2],
+            accuracies: vec![vec![0.5, 0.6], vec![0.7]],
+            runs: Vec::new(),
+            clean_accuracy: 0.9,
+            convergence: None,
+        };
+        assert_eq!(good.summaries().unwrap().len(), 2);
+
+        let empty = CampaignResult { accuracies: vec![vec![0.5], vec![]], ..good.clone() };
+        assert_eq!(empty.summaries(), Err(CampaignError::DegenerateSamples { rate_index: 1 }));
+
+        let poisoned = CampaignResult { accuracies: vec![vec![f64::NAN], vec![0.5]], ..good };
+        assert_eq!(poisoned.summaries(), Err(CampaignError::DegenerateSamples { rate_index: 0 }));
     }
 }

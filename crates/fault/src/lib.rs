@@ -51,7 +51,7 @@ mod stats;
 
 pub use campaign::{
     cache_of, paper_fault_rates, Campaign, CampaignCache, CampaignConfig, CampaignError, CampaignResult,
-    CellEval, NoCache, RunRecord, SuffixHint,
+    CellEval, NoCache, RateConvergence, RunRecord, StoppingRule, SuffixHint,
 };
 pub use inject::{AppliedInjection, Injection};
 pub use memory::{InjectionTarget, MemoryMap, Region};
@@ -62,4 +62,4 @@ pub use protection::{
     SecDed,
 };
 pub use sampler::{derive_seed, expected_fault_count, sample_bit_positions};
-pub use stats::Summary;
+pub use stats::{bootstrap_interval, wilson_interval, ConfidenceInterval, Summary};

@@ -24,7 +24,7 @@
 use std::cell::RefCell;
 use std::sync::Arc;
 
-use crate::RunRecord;
+use crate::{RateConvergence, RunRecord};
 
 /// Receives campaign progress and answers cancellation polls.
 ///
@@ -42,6 +42,14 @@ pub trait CampaignObserver: Send + Sync {
     /// replayed from a cache. Reported once per campaign, before any cell.
     fn on_clean(&self, accuracy: f64) {
         let _ = accuracy;
+    }
+
+    /// An adaptive campaign retired a rate: its confidence interval met the
+    /// stopping rule's target (or the rate exhausted `max_reps`). Reported
+    /// once per rate, only when a [`StoppingRule`](crate::StoppingRule) is
+    /// installed; fixed-grid campaigns never call this.
+    fn on_rate_converged(&self, report: &RateConvergence) {
+        let _ = report;
     }
 
     /// Polled at every cell boundary. Returning `true` makes the executor

@@ -3,6 +3,7 @@
 //! ```text
 //! ftclipd [--addr HOST:PORT] [--state DIR] [--workers N] [--threads N]
 //!         [--cache DIR] [--no-cache] [--assets DIR] [--fresh]
+//!         [--keep-jobs N]
 //! ```
 //!
 //! Boots the HTTP service over a persistent state directory, resuming any
@@ -17,7 +18,7 @@ fn usage(reason: &str) -> ! {
     eprintln!("{reason}");
     eprintln!(
         "usage: ftclipd [--addr HOST:PORT] [--state DIR] [--workers N] [--threads N] \
-         [--cache DIR] [--no-cache] [--assets DIR] [--fresh]"
+         [--cache DIR] [--no-cache] [--assets DIR] [--fresh] [--keep-jobs N]"
     );
     std::process::exit(2)
 }
@@ -52,6 +53,10 @@ fn parse_config() -> ServeConfig {
             "--no-cache" => explicit_cache = Some(None),
             "--assets" => explicit_assets = Some(value("--assets").into()),
             "--fresh" => config.resume = false,
+            "--keep-jobs" => {
+                config.keep_jobs =
+                    Some(value("--keep-jobs").parse().unwrap_or_else(|_| usage("bad --keep-jobs")))
+            }
             "--help" | "-h" => usage("ftclipd: serve FT-ClipAct campaigns over HTTP"),
             other => usage(&format!("unknown argument '{other}'")),
         }

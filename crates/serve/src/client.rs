@@ -1,14 +1,19 @@
 //! A small *blocking* HTTP/1.1 client — the test- and probe-side
 //! counterpart of [`crate::http`].
 //!
-//! One request per connection (`Connection: close`), so reading to EOF is
-//! always correct; chunked bodies (the NDJSON event stream) are decoded
-//! transparently. Blocking is a feature here: the probe and the
-//! integration tests *want* "wait until the job finishes" semantics, which
-//! is exactly what reading a chunked stream to EOF gives.
+//! Connections are **reused** across requests (HTTP/1.1 keep-alive):
+//! responses are read by their framing (`Content-Length` or chunked
+//! transfer encoding), never to EOF, so one TCP connection serves a whole
+//! probe session instead of paying a connect per request. A reused
+//! connection the server has since closed (its idle timeout is 30 s) is
+//! detected on the next request and transparently replaced by a fresh one.
+//! Blocking is a feature here: the probe and the integration tests *want*
+//! "wait until the job finishes" semantics, which is exactly what reading
+//! a chunked NDJSON stream to its terminal chunk gives.
 
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use serde::Value;
@@ -49,20 +54,46 @@ impl HttpReply {
             .filter_map(|l| serde_json::from_str(l).ok())
             .collect()
     }
+
+    /// Whether the server will keep the connection open for another
+    /// request (explicit `Connection: keep-alive`; [`crate::http`] always
+    /// sets the header, so absence is treated as close).
+    fn keeps_connection(&self) -> bool {
+        self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+    }
 }
 
-/// A blocking client bound to one server address.
-#[derive(Debug, Clone)]
+/// A blocking client bound to one server address, holding at most one
+/// reusable keep-alive connection.
+#[derive(Debug)]
 pub struct HttpClient {
     addr: SocketAddr,
     timeout: Duration,
+    conn: Mutex<Option<TcpStream>>,
+}
+
+impl Clone for HttpClient {
+    /// Clones the address and timeout; the clone starts without a pooled
+    /// connection (sockets cannot be shared, and each clone is typically a
+    /// separate worker wanting its own connection anyway).
+    fn clone(&self) -> Self {
+        HttpClient {
+            addr: self.addr,
+            timeout: self.timeout,
+            conn: Mutex::new(None),
+        }
+    }
 }
 
 impl HttpClient {
     /// A client for `addr` with a 120 s per-read timeout (long enough for
     /// a `--quick` campaign's training phase between event lines).
     pub fn new(addr: SocketAddr) -> Self {
-        HttpClient { addr, timeout: Duration::from_secs(120) }
+        HttpClient {
+            addr,
+            timeout: Duration::from_secs(120),
+            conn: Mutex::new(None),
+        }
     }
 
     /// Overrides the per-read timeout.
@@ -98,10 +129,14 @@ impl HttpClient {
         self.request("POST", path, &[("Content-Type", "application/json")], body.as_bytes())
     }
 
-    /// Sends one request and reads the full response (to EOF — every
-    /// request carries `Connection: close`). A chunked response body, such
-    /// as the NDJSON event stream, blocks until the server finishes it;
-    /// that is the intended way to wait for a job.
+    /// Sends one request and reads the framed response, reusing the pooled
+    /// keep-alive connection when one is open. A pooled connection the
+    /// server closed in the meantime (idle timeout, restart) fails the
+    /// first attempt; the request is then retried exactly once on a fresh
+    /// connection — safe because the server never processed a byte of the
+    /// failed attempt's response. A chunked response body, such as the
+    /// NDJSON event stream, blocks until the server finishes it; that is
+    /// the intended way to wait for a job.
     ///
     /// # Errors
     ///
@@ -113,35 +148,136 @@ impl HttpClient {
         headers: &[(&str, &str)],
         body: &[u8],
     ) -> std::io::Result<HttpReply> {
-        let mut stream = TcpStream::connect(self.addr)?;
+        let pooled = self.conn.lock().map_or(None, |mut guard| guard.take());
+        if let Some(stream) = pooled {
+            match self.attempt(stream, method, path, headers, body) {
+                Ok(reply) => return Ok(reply),
+                // only a connection found dead *before any response byte*
+                // is retried — a mid-stream failure must surface, because
+                // the server may already be processing the request
+                Err(e) if connection_was_stale(&e) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let stream = TcpStream::connect(self.addr)?;
+        self.attempt(stream, method, path, headers, body)
+    }
+
+    /// One request/response exchange on `stream`; pools the stream back
+    /// for reuse when the server kept the connection open.
+    fn attempt(
+        &self,
+        mut stream: TcpStream,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<HttpReply> {
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
 
-        let mut req = format!("{method} {path} HTTP/1.1\r\nHost: ftclipd\r\nConnection: close\r\n");
+        let mut req = format!("{method} {path} HTTP/1.1\r\nHost: ftclipd\r\nConnection: keep-alive\r\n");
         for (name, value) in headers {
             req.push_str(&format!("{name}: {value}\r\n"));
         }
-        if !body.is_empty() {
-            req.push_str(&format!("Content-Length: {}\r\n", body.len()));
-        }
+        req.push_str(&format!("Content-Length: {}\r\n", body.len()));
         req.push_str("\r\n");
         stream.write_all(req.as_bytes())?;
         stream.write_all(body)?;
 
-        let mut raw = Vec::new();
-        stream.read_to_end(&mut raw)?;
-        parse_reply(&raw)
+        let reply = read_framed_reply(&mut stream)?;
+        if reply.keeps_connection() {
+            if let Ok(mut guard) = self.conn.lock() {
+                *guard = Some(stream);
+            }
+        }
+        Ok(reply)
     }
 }
 
-/// Parses a full raw response (head + body as read to EOF).
-fn parse_reply(raw: &[u8]) -> std::io::Result<HttpReply> {
-    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
-    let head_end = raw
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .ok_or_else(|| bad("response head never terminated"))?;
-    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("response head is not UTF-8"))?;
+/// Errors that mean the pooled connection was already dead when the
+/// request started: the server closed it (idle timeout, restart) without
+/// sending a byte of this exchange. Safe to retry on a fresh connection.
+fn connection_was_stale(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        ErrorKind::NotConnected
+            | ErrorKind::BrokenPipe
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+    )
+}
+
+/// Reads one complete response from the stream by its framing: head to the
+/// `\r\n\r\n` terminator, then a `Content-Length` body, a chunked body to
+/// its terminal chunk, or (absent both) the legacy read-to-EOF close.
+fn read_framed_reply(stream: &mut TcpStream) -> std::io::Result<HttpReply> {
+    let bad = |msg: &str| std::io::Error::new(ErrorKind::InvalidData, msg.to_string());
+    let mut raw = Vec::with_capacity(1024);
+    let mut buf = [0u8; 8192];
+    let head_end = loop {
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            // clean close before any byte → the keep-alive went stale
+            // (retryable); a torn-off partial head is real corruption
+            return if raw.is_empty() {
+                Err(ErrorKind::NotConnected.into())
+            } else {
+                Err(bad("connection closed mid response head"))
+            };
+        }
+        raw.extend_from_slice(&buf[..n]);
+    };
+    let (status, headers) = parse_head(&raw[..head_end])?;
+
+    let mut rest = raw[head_end + 4..].to_vec();
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+    let body = if chunked {
+        loop {
+            match decode_chunked(&rest) {
+                ChunkState::Complete(body) => break body,
+                ChunkState::Malformed => return Err(bad("malformed chunked body")),
+                ChunkState::NeedMore => {
+                    let n = stream.read(&mut buf)?;
+                    if n == 0 {
+                        return Err(bad("chunked body truncated"));
+                    }
+                    rest.extend_from_slice(&buf[..n]);
+                }
+            }
+        }
+    } else if let Some(len) = content_length {
+        while rest.len() < len {
+            let n = stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(ErrorKind::UnexpectedEof.into());
+            }
+            rest.extend_from_slice(&buf[..n]);
+        }
+        rest.truncate(len);
+        rest
+    } else {
+        // no framing: the server signals the end by closing (HTTP/1.0
+        // style); such a connection is never pooled
+        stream.read_to_end(&mut rest)?;
+        rest
+    };
+    Ok(HttpReply { status, headers, body })
+}
+
+/// Parses the status line and headers of a response head.
+fn parse_head(head: &[u8]) -> std::io::Result<(u16, Vec<(String, String)>)> {
+    let bad = |msg: &str| std::io::Error::new(ErrorKind::InvalidData, msg.to_string());
+    let head = std::str::from_utf8(head).map_err(|_| bad("response head is not UTF-8"))?;
     let mut lines = head.split("\r\n");
     let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
     let status: u16 = status_line
@@ -149,17 +285,33 @@ fn parse_reply(raw: &[u8]) -> std::io::Result<HttpReply> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad("malformed status line"))?;
-    let headers: Vec<(String, String)> = lines
+    let headers = lines
         .filter_map(|line| line.split_once(':'))
         .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
         .collect();
+    Ok((status, headers))
+}
+
+/// Parses a full raw response (head + body already in memory) — the
+/// non-incremental view the unit tests use to pin the framing rules.
+#[cfg(test)]
+fn parse_reply(raw: &[u8]) -> std::io::Result<HttpReply> {
+    let bad = |msg: &str| std::io::Error::new(ErrorKind::InvalidData, msg.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("response head never terminated"))?;
+    let (status, headers) = parse_head(&raw[..head_end])?;
 
     let rest = &raw[head_end + 4..];
     let chunked = headers
         .iter()
         .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
     let body = if chunked {
-        decode_chunked(rest).ok_or_else(|| bad("malformed chunked body"))?
+        match decode_chunked(rest) {
+            ChunkState::Complete(body) => body,
+            _ => return Err(bad("malformed chunked body")),
+        }
     } else {
         let len = headers
             .iter()
@@ -171,19 +323,44 @@ fn parse_reply(raw: &[u8]) -> std::io::Result<HttpReply> {
     Ok(HttpReply { status, headers, body })
 }
 
-/// Decodes a complete chunked body; `None` on framing errors.
-fn decode_chunked(mut rest: &[u8]) -> Option<Vec<u8>> {
+/// Outcome of decoding a (possibly still-arriving) chunked body.
+enum ChunkState {
+    /// The terminal chunk arrived; the de-chunked body.
+    Complete(Vec<u8>),
+    /// The prefix is valid but the body is not finished yet.
+    NeedMore,
+    /// The framing is invalid (non-hex size line, missing CRLF).
+    Malformed,
+}
+
+/// Decodes as much of a chunked body as `rest` holds.
+fn decode_chunked(mut rest: &[u8]) -> ChunkState {
     let mut body = Vec::new();
     loop {
-        let line_end = rest.windows(2).position(|w| w == b"\r\n")?;
-        let size_line = std::str::from_utf8(&rest[..line_end]).ok()?;
-        let size = usize::from_str_radix(size_line.trim(), 16).ok()?;
+        let Some(line_end) = rest.windows(2).position(|w| w == b"\r\n") else {
+            // an impossible size line (too long to still lack its CRLF)
+            // is framing corruption, not a short read
+            return if rest.len() > 18 { ChunkState::Malformed } else { ChunkState::NeedMore };
+        };
+        let Ok(size_line) = std::str::from_utf8(&rest[..line_end]) else {
+            return ChunkState::Malformed;
+        };
+        let Ok(size) = usize::from_str_radix(size_line.trim(), 16) else {
+            return ChunkState::Malformed;
+        };
         rest = &rest[line_end + 2..];
         if size == 0 {
-            return Some(body);
+            return ChunkState::Complete(body);
         }
-        body.extend_from_slice(rest.get(..size)?);
-        rest = rest.get(size + 2..)?; // skip the chunk's trailing CRLF
+        let Some(data) = rest.get(..size) else {
+            return ChunkState::NeedMore;
+        };
+        body.extend_from_slice(data);
+        match rest.get(size..size + 2) {
+            Some(b"\r\n") => rest = &rest[size + 2..],
+            Some(_) => return ChunkState::Malformed,
+            None => return ChunkState::NeedMore,
+        }
     }
 }
 
@@ -216,5 +393,29 @@ mod tests {
     fn truncated_chunked_body_is_an_error() {
         let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n10\r\n{\"ev";
         assert!(parse_reply(raw).is_err());
+    }
+
+    #[test]
+    fn incremental_chunk_decoding_distinguishes_short_from_malformed() {
+        assert!(matches!(decode_chunked(b"4\r\nab"), ChunkState::NeedMore), "data still arriving");
+        assert!(matches!(decode_chunked(b"4"), ChunkState::NeedMore), "size line still arriving");
+        assert!(matches!(decode_chunked(b"xyz\r\nab"), ChunkState::Malformed), "non-hex size");
+        assert!(matches!(decode_chunked(b"4\r\nabcdXX"), ChunkState::Malformed), "missing chunk CRLF");
+        match decode_chunked(b"4\r\nabcd\r\n0\r\n\r\n") {
+            ChunkState::Complete(body) => assert_eq!(body, b"abcd"),
+            _ => panic!("complete body must decode"),
+        }
+    }
+
+    #[test]
+    fn keep_alive_header_gates_connection_reuse() {
+        let keep =
+            parse_reply(b"HTTP/1.1 200 OK\r\nConnection: keep-alive\r\nContent-Length: 0\r\n\r\n").unwrap();
+        assert!(keep.keeps_connection());
+        let close =
+            parse_reply(b"HTTP/1.1 200 OK\r\nConnection: close\r\nContent-Length: 0\r\n\r\n").unwrap();
+        assert!(!close.keeps_connection());
+        let silent = parse_reply(b"HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n").unwrap();
+        assert!(!silent.keeps_connection(), "absent header must not pool the connection");
     }
 }

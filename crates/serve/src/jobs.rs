@@ -15,10 +15,19 @@
 //! oldest job and execute it under their share of the process thread
 //! budget (`ftclip_tensor::with_thread_limit`). Progress and cancellation
 //! ride the [`CampaignObserver`] side channel: every completed campaign
-//! cell appends an NDJSON event to the job, and cancellation unwinds the
+//! cell appends an NDJSON event to the job (adaptive campaigns also emit a
+//! `rate_converged` event per retired rate), and cancellation unwinds the
 //! campaign with [`CancelledCampaign`] at a cell boundary — the
 //! content-addressed store keeps every cell already paid for, so a
 //! cancelled or crashed campaign resumes bit-identically.
+//!
+//! Job records are the only state that grows without bound: every distinct
+//! spec leaves a `<state>/jobs/<fingerprint>/` directory behind forever.
+//! [`Scheduler::set_keep_jobs`] caps that — after each job reaches a
+//! terminal state (and once at boot) the scheduler deletes the oldest
+//! **terminal** job directories beyond the cap. The campaign-cell store is
+//! never touched: evicting a job record only costs re-assembling tables
+//! from cells that stay cached.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -238,6 +247,8 @@ pub struct Scheduler {
     next_seq: AtomicU64,
     shutdown: AtomicBool,
     abandon: Arc<AtomicBool>,
+    /// Terminal job directories to retain (`usize::MAX` = keep everything).
+    keep_jobs: AtomicUsize,
     /// The service counters.
     pub metrics: Metrics,
 }
@@ -265,8 +276,76 @@ impl Scheduler {
             next_seq: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             abandon: Arc::new(AtomicBool::new(false)),
+            keep_jobs: AtomicUsize::new(usize::MAX),
             metrics: Metrics::default(),
         })
+    }
+
+    /// Caps the number of **terminal** job directories kept on disk.
+    /// `None` (the default) keeps everything. The cap is enforced once per
+    /// terminal transition and whenever [`Scheduler::gc_terminal_jobs`]
+    /// runs; live (queued or running) jobs and the campaign-cell store are
+    /// never evicted.
+    pub fn set_keep_jobs(&self, keep: Option<usize>) {
+        self.keep_jobs.store(keep.unwrap_or(usize::MAX), Ordering::Relaxed);
+    }
+
+    /// Deletes the oldest terminal job directories beyond the
+    /// [`Scheduler::set_keep_jobs`] cap. Returns how many were removed.
+    ///
+    /// Only directories under `<state>/jobs/` carrying a completion,
+    /// failure or cancellation marker are candidates: unfinished jobs (the
+    /// crash-resume inventory) and any fingerprint that is live again
+    /// (resubmitted after a cancellation) are always kept, and the
+    /// campaign-cell store lives elsewhere entirely. "Oldest" is by the
+    /// terminal marker's modification time, so the records that survive
+    /// are the ones most recently finished — the ones `GET /v1/results`
+    /// clients are most likely to still want.
+    pub fn gc_terminal_jobs(&self) -> usize {
+        let st = self.state.lock().expect("scheduler lock");
+        self.gc_locked(&st)
+    }
+
+    fn gc_locked(&self, st: &SchedState) -> usize {
+        let keep = self.keep_jobs.load(Ordering::Relaxed);
+        if keep == usize::MAX {
+            return 0;
+        }
+        let Ok(entries) = std::fs::read_dir(self.state_dir.join("jobs")) else { return 0 };
+        let mut terminal: Vec<(std::time::SystemTime, String, PathBuf)> = Vec::new();
+        for entry in entries.flatten() {
+            let dir = entry.path();
+            let Some(name) = dir.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+                continue;
+            };
+            // a cancelled fingerprint may have been resubmitted: its dir
+            // still carries the old marker, but the job is live again
+            if st.live_by_fp.contains_key(&name) {
+                continue;
+            }
+            let marker = [DONE_FILE, ERROR_FILE, CANCELLED_FILE]
+                .iter()
+                .map(|m| dir.join(m))
+                .find(|p| p.is_file());
+            let Some(marker) = marker else { continue };
+            let finished = marker
+                .metadata()
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            terminal.push((finished, name, dir));
+        }
+        if terminal.len() <= keep {
+            return 0;
+        }
+        // newest first; fingerprint breaks mtime ties deterministically
+        terminal.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        let mut removed = 0;
+        for (_, _, dir) in terminal.drain(keep..) {
+            if std::fs::remove_dir_all(&dir).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
     }
 
     /// The persistent directory of the given fingerprint's job.
@@ -356,6 +435,7 @@ impl Scheduler {
                 std::fs::write(self.job_dir(&job.fingerprint).join(CANCELLED_FILE), "{}\n").ok();
                 job.push_event(vec![("event".to_string(), Value::String("cancelled".to_string()))]);
                 self.metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+                self.gc_locked(&st);
                 true
             }
             JobStatus::Running => {
@@ -495,6 +575,7 @@ impl Scheduler {
                 self.finish(&mut st, job, JobStatus::Cancelled);
                 job.push_event(vec![("event".to_string(), Value::String("cancelled".to_string()))]);
                 self.metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+                self.gc_locked(&st);
             }
         }
     }
@@ -531,6 +612,7 @@ impl Scheduler {
             ("failures".to_string(), Value::Number(outcome.failures.len() as f64)),
         ]);
         self.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        self.gc_locked(&st);
     }
 
     fn fail_job(&self, job: &Arc<Job>, error: &SpecError) {
@@ -545,6 +627,7 @@ impl Scheduler {
             ("error".to_string(), Value::String(error.to_string())),
         ]);
         self.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        self.gc_locked(&st);
     }
 
     fn finish(&self, st: &mut SchedState, job: &Arc<Job>, status: JobStatus) {
@@ -601,6 +684,19 @@ impl CampaignObserver for JobProgress {
         self.job.push_event(vec![
             ("event".to_string(), Value::String("clean".to_string())),
             ("accuracy".to_string(), Value::Number(accuracy)),
+        ]);
+    }
+
+    fn on_rate_converged(&self, report: &ftclip_fault::RateConvergence) {
+        // half_width can be +inf for degenerate samples; the shim renders
+        // non-finite numbers as JSON null, which stream consumers treat as
+        // "no interval"
+        self.job.push_event(vec![
+            ("event".to_string(), Value::String("rate_converged".to_string())),
+            ("rate_index".to_string(), Value::Number(report.rate_index as f64)),
+            ("reps_used".to_string(), Value::Number(report.reps_used as f64)),
+            ("half_width".to_string(), Value::Number(report.half_width)),
+            ("converged".to_string(), Value::Bool(report.converged)),
         ]);
     }
 
@@ -722,6 +818,116 @@ mod tests {
         assert_eq!(resumed[0].priority, 7);
         // the finished fingerprint now answers as a cache hit
         assert!(matches!(fresh.submit(tiny_spec("done"), 5), Submission::CachedResult { .. }));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn adaptive_jobs_emit_rate_converged_events() {
+        let (sched, dir) = temp_scheduler("adaptive");
+        let mut spec = tiny_spec("adaptive");
+        // a loose target so both rates retire at min_reps
+        spec.stopping = Some(ftclip_fault::StoppingRule { target_half_width: 0.9, min_reps: 2, max_reps: 2 });
+        let job = match sched.submit(spec, 5) {
+            Submission::Queued(job) => job,
+            other => panic!("{other:?}"),
+        };
+        let worker = {
+            let sched = sched.clone();
+            std::thread::spawn(move || sched.worker_loop(2))
+        };
+        while !job.is_terminal() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sched.request_shutdown();
+        worker.join().unwrap();
+        assert_eq!(job.status(), JobStatus::Completed);
+        let converged: Vec<Value> = job
+            .events_from(0)
+            .iter()
+            .map(|l| serde_json::from_str(l.trim()).unwrap())
+            .filter(|v| v.get("event").and_then(Value::as_str) == Some("rate_converged"))
+            .collect();
+        assert_eq!(converged.len(), 2, "one retirement per fault rate");
+        for event in &converged {
+            assert_eq!(event.get("reps_used").and_then(Value::as_u64), Some(2));
+            assert!(event.get("half_width").is_some());
+            assert_eq!(event.get("converged"), Some(&Value::Bool(true)));
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn retention_gc_evicts_only_old_terminal_records() {
+        let (sched, dir) = temp_scheduler("gc");
+        let mut cancelled = Vec::new();
+        for name in ["a", "b", "c"] {
+            let job = match sched.submit(tiny_spec(name), 5) {
+                Submission::Queued(job) => job,
+                other => panic!("{other:?}"),
+            };
+            assert!(sched.cancel(&job));
+            cancelled.push(job);
+            // stagger the marker mtimes so "oldest" is well defined
+            std::thread::sleep(Duration::from_millis(15));
+        }
+        // a live job's dir has no terminal marker and must survive any cap
+        let live = match sched.submit(tiny_spec("live"), 5) {
+            Submission::Queued(job) => job,
+            other => panic!("{other:?}"),
+        };
+        // resubmitting "a" makes its fingerprint live again even though the
+        // old cancellation marker is still in the dir — it must survive too
+        let resubmitted = match sched.submit(tiny_spec("a"), 5) {
+            Submission::Queued(job) => job,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(resubmitted.fingerprint, cancelled[0].fingerprint);
+
+        // default cap keeps everything
+        assert_eq!(sched.gc_terminal_jobs(), 0);
+        sched.set_keep_jobs(Some(1));
+        // terminal candidates are b and c (a is live again); keep newest
+        assert_eq!(sched.gc_terminal_jobs(), 1);
+        assert!(!sched.job_dir(&cancelled[1].fingerprint).exists(), "b is the oldest candidate");
+        assert!(sched.job_dir(&cancelled[2].fingerprint).exists());
+        assert!(sched.job_dir(&cancelled[0].fingerprint).exists());
+        assert!(sched.job_dir(&live.fingerprint).join(SPEC_FILE).is_file());
+        // idempotent once under the cap
+        assert_eq!(sched.gc_terminal_jobs(), 0);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn finishing_a_job_enforces_the_retention_cap() {
+        let (sched, dir) = temp_scheduler("gc-run");
+        sched.set_keep_jobs(Some(1));
+        let old = match sched.submit(tiny_spec("old"), 5) {
+            Submission::Queued(job) => job,
+            other => panic!("{other:?}"),
+        };
+        assert!(sched.cancel(&old));
+        assert!(sched.job_dir(&old.fingerprint).exists(), "one terminal record fits the cap");
+        std::thread::sleep(Duration::from_millis(15));
+
+        let job = match sched.submit(tiny_spec("fresh"), 5) {
+            Submission::Queued(job) => job,
+            other => panic!("{other:?}"),
+        };
+        let worker = {
+            let sched = sched.clone();
+            std::thread::spawn(move || sched.worker_loop(2))
+        };
+        while !job.is_terminal() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sched.request_shutdown();
+        worker.join().unwrap();
+        assert_eq!(job.status(), JobStatus::Completed);
+        // completing the fresh job pushed the cancelled record over the cap
+        assert!(!sched.job_dir(&old.fingerprint).exists());
+        assert!(sched.job_dir(&job.fingerprint).join(DONE_FILE).is_file());
+        // the campaign-cell store is never part of retention
+        assert!(dir.join("cache").exists());
         std::fs::remove_dir_all(dir).ok();
     }
 

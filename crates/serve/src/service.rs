@@ -51,6 +51,13 @@ pub struct ServeConfig {
     pub settings: RunSettings,
     /// Re-queue persisted unfinished jobs on boot.
     pub resume: bool,
+    /// Retain at most this many **terminal** job records on disk: the
+    /// oldest completed/failed/cancelled `jobs/<fingerprint>/` directories
+    /// beyond the cap are deleted at boot and after each job finishes.
+    /// `None` (the default) keeps everything. Unfinished jobs and the
+    /// campaign-cell store are never evicted — dropping a job record only
+    /// costs re-deriving its tables from still-cached cells.
+    pub keep_jobs: Option<usize>,
 }
 
 impl ServeConfig {
@@ -70,6 +77,7 @@ impl ServeConfig {
             settings,
             state_dir,
             resume: true,
+            keep_jobs: None,
         }
     }
 }
@@ -109,11 +117,18 @@ impl Server {
         let addr = listener.local_addr()?;
 
         let scheduler = Scheduler::new(config.state_dir.clone(), config.settings.clone());
+        scheduler.set_keep_jobs(config.keep_jobs);
         if config.resume {
             let resumed = scheduler.resume_from_disk();
             if resumed > 0 {
                 eprintln!("[ftclipd] resumed {resumed} unfinished job(s)");
             }
+        }
+        // boot-time retention pass: a prior server life (or a lower cap)
+        // may have left more terminal records than we now want to keep
+        let evicted = scheduler.gc_terminal_jobs();
+        if evicted > 0 {
+            eprintln!("[ftclipd] evicted {evicted} old job record(s)");
         }
 
         let workers = config.workers.max(1);

@@ -40,6 +40,7 @@
 //!     seed: 7,
 //!     model: FaultModel::BitFlip,
 //!     target: InjectionTarget::AllWeights,
+//!     stopping: None,
 //! };
 //! let store = ResultStore::new(std::env::temp_dir().join("ftclip-doc-cache"));
 //! let session = store.session(&campaign_fingerprint(&net, &cfg)).unwrap();
@@ -72,11 +73,15 @@ use ftclip_nn::Sequential;
 /// The canonical fingerprint of a campaign: the model digest plus every
 /// [`CampaignConfig`] field that determines cell results.
 ///
-/// Two deliberate omissions, both safe by construction:
+/// Three deliberate omissions, all safe by construction:
 ///
 /// * `repetitions` — cells are addressed by `(rate_index, repetition)`
 ///   inside the session, so a 50-repetition run resumes the cells a
 ///   10-repetition run already paid for.
+/// * `stopping` — the adaptive stopping rule only decides *which* cells
+///   run, never what any cell computes, so adaptive and exhaustive runs
+///   share cached cells: an adaptive campaign extends a fixed-reps
+///   session and vice versa.
 /// * the evaluation function — it is a closure the store cannot see.
 ///   Callers whose evaluation varies (subset size, eval seed, dataset)
 ///   **must** chain the distinguishing settings onto the returned
@@ -103,6 +108,7 @@ mod tests {
             seed,
             model: FaultModel::BitFlip,
             target: InjectionTarget::AllWeights,
+            stopping: None,
         }
     }
 
@@ -112,6 +118,17 @@ mod tests {
         let mut more_reps = cfg(1);
         more_reps.repetitions = 50;
         assert_eq!(campaign_fingerprint(&net, &cfg(1)).key(), campaign_fingerprint(&net, &more_reps).key());
+    }
+
+    #[test]
+    fn stopping_rule_does_not_change_the_key() {
+        // the rule decides which cells run, not what they compute — an
+        // adaptive campaign must resume the exhaustive run's session
+        let net = Sequential::new(vec![Layer::linear(4, 2, 0)]);
+        let mut adaptive = cfg(1);
+        adaptive.stopping =
+            Some(ftclip_fault::StoppingRule { target_half_width: 0.02, min_reps: 2, max_reps: 50 });
+        assert_eq!(campaign_fingerprint(&net, &cfg(1)).key(), campaign_fingerprint(&net, &adaptive).key());
     }
 
     #[test]

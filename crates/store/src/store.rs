@@ -468,6 +468,70 @@ mod tests {
         std::fs::remove_dir_all(&root).ok();
     }
 
+    /// The adaptive-resume contract end to end on disk: a fixed-reps run
+    /// populates a session; an adaptive run over the *same fingerprint*
+    /// replays the stored prefix and only samples the deficit.
+    #[test]
+    fn adaptive_run_extends_a_fixed_reps_session_on_disk() {
+        use ftclip_fault::{Campaign, CampaignConfig, FaultModel, InjectionTarget, StoppingRule};
+        use ftclip_nn::{Layer, Sequential};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let root = tmp_root("adaptive-extend");
+        let store = ResultStore::new(&root);
+        let net = Sequential::new(vec![Layer::linear(6, 3, 9)]);
+        let eval = |n: &Sequential| {
+            let y = n.forward(&ftclip_tensor::Tensor::ones(&[1, 6]));
+            y.iter()
+                .map(|v| if v.is_finite() { (*v as f64).abs().min(1.0) } else { 0.0 })
+                .sum::<f64>()
+                / y.len() as f64
+        };
+        let fixed = CampaignConfig {
+            fault_rates: vec![1e-2, 1e-1],
+            repetitions: 3,
+            seed: 19,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::AllWeights,
+            stopping: None,
+        };
+        // the stopping rule is NOT part of the fingerprint: both configs
+        // address the same session directory
+        let adaptive = CampaignConfig {
+            stopping: Some(StoppingRule { target_half_width: 1e-12, min_reps: 2, max_reps: 5 }),
+            ..fixed.clone()
+        };
+        let fp = crate::campaign_fingerprint(&net, &fixed);
+        assert_eq!(fp.key(), crate::campaign_fingerprint(&net, &adaptive).key());
+
+        {
+            let session = store.session(&fp).unwrap();
+            Campaign::new(fixed.clone()).run_parallel_cached(&net, &session, eval);
+            assert_eq!(session.cached_cells(), 6);
+        }
+
+        // reopen from disk; the unreachable target drives every rate to
+        // max_reps = 5, so exactly (5 − 3) × 2 fresh cells evaluate
+        let session = store.session(&fp).unwrap();
+        let evals = AtomicUsize::new(0);
+        let counting = |n: &Sequential| {
+            evals.fetch_add(1, Ordering::Relaxed);
+            eval(n)
+        };
+        let extended = Campaign::new(adaptive).run_parallel_cached(&net, &session, counting);
+        assert_eq!(evals.load(Ordering::Relaxed), 4, "stored reps replay; only the deficit runs");
+        assert_eq!(session.cached_cells(), 10);
+
+        // and the extension is bit-identical to the exhaustive run
+        let mut n = net.clone();
+        let exhaustive = Campaign::new(CampaignConfig { repetitions: 5, ..fixed }).run(&mut n, eval);
+        let bits = |a: &[Vec<f64>]| -> Vec<Vec<u64>> {
+            a.iter().map(|v| v.iter().map(|x| x.to_bits()).collect()).collect()
+        };
+        assert_eq!(bits(&extended.accuracies), bits(&exhaustive.accuracies));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
     #[test]
     fn manifest_is_written_once() {
         let root = tmp_root("manifest");

@@ -65,6 +65,7 @@ fn main() {
         seed: 77,
         model: FaultModel::BitFlip,
         target: InjectionTarget::AllWeights,
+        stopping: None,
     });
     println!("\nevaluating resilience (clipped vs unprotected) …");
     let protected_result = campaign.run(&mut net, |n: &Sequential| eval.accuracy(n));

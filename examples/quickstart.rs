@@ -65,6 +65,7 @@ fn main() {
         seed: 99,
         model: FaultModel::BitFlip,
         target: InjectionTarget::AllWeights,
+        stopping: None,
     });
     let unprotected = campaign.run(&mut net, |n: &Sequential| eval.accuracy(n));
 

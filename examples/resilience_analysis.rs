@@ -58,6 +58,7 @@ fn main() {
             seed: 1000 + layer as u64,
             model: FaultModel::BitFlip,
             target: InjectionTarget::Layer(layer),
+            stopping: None,
         });
         let result = campaign.run(&mut net, |n: &Sequential| eval.accuracy(n));
         print!("{:<10} {:>10}", name, map.total_bits());

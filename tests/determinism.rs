@@ -75,6 +75,7 @@ fn campaigns_are_reproducible_end_to_end() {
         seed: 21,
         model: FaultModel::BitFlip,
         target: InjectionTarget::AllWeights,
+        stopping: None,
     };
     let run = || {
         let mut net = tiny_net();
@@ -99,6 +100,7 @@ fn parallel_campaign_is_bit_identical_to_single_threaded() {
         seed: 33,
         model: FaultModel::BitFlip,
         target: InjectionTarget::AllWeights,
+        stopping: None,
     };
     let campaign = Campaign::new(cfg);
     let net = tiny_net();
@@ -133,6 +135,7 @@ fn per_layer_suffix_campaign_is_bit_identical_to_full_forward() {
             seed: 51 ^ layer_index as u64,
             model: FaultModel::BitFlip,
             target: InjectionTarget::Layer(layer_index),
+            stopping: None,
         };
         let campaign = Campaign::new(cfg);
         let mut serial_net = net.clone();
@@ -180,6 +183,7 @@ fn campaign_with_fewer_cells_than_threads_is_bit_identical() {
         seed: 41,
         model: FaultModel::BitFlip,
         target: InjectionTarget::AllWeights,
+        stopping: None,
     };
     let campaign = Campaign::new(cfg);
     let mut serial_net = tiny_net();

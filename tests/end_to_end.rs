@@ -65,6 +65,7 @@ fn high_fault_rates_destroy_unprotected_accuracy() {
         seed: 55,
         model: FaultModel::BitFlip,
         target: InjectionTarget::AllWeights,
+        stopping: None,
     });
     let result = campaign.run(&mut net, |n: &Sequential| eval.accuracy(n));
     let faulted = result.mean_accuracies()[0];
@@ -93,6 +94,7 @@ fn profiled_clipping_recovers_resilience() {
         seed: 99,
         model: FaultModel::BitFlip,
         target: InjectionTarget::AllWeights,
+        stopping: None,
     });
     let res_unprotected = campaign.run(&mut unprotected, |n: &Sequential| eval.accuracy(n));
     let res_clipped = campaign.run(&mut clipped, |n: &Sequential| eval.accuracy(n));

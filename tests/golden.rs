@@ -36,7 +36,13 @@ fn synthetic_result(clean: f64, decay: f64) -> CampaignResult {
         }
         accuracies.push(per_rate);
     }
-    CampaignResult { fault_rates, accuracies, runs, clean_accuracy: clean }
+    CampaignResult {
+        fault_rates,
+        accuracies,
+        runs,
+        clean_accuracy: clean,
+        convergence: None,
+    }
 }
 
 fn check(name: &str, rendered: &str) {
@@ -62,7 +68,8 @@ fn fig1b_csv_and_json_match_golden() {
         "fig1b_unprotected_alexnet",
         &synthetic_result(0.75, 0.1),
         &[1e-8, 1e-7, 1e-6],
-    );
+    )
+    .unwrap();
     check("fig1b.csv", &table.to_csv());
     check("fig1b.json", &table.to_json());
 }
@@ -79,7 +86,8 @@ fn fig7_mean_csv_matches_golden() {
 #[test]
 fn fig7_box_csv_matches_golden() {
     let table =
-        resilience_box_table("fig7_alexnet_b_box", &synthetic_result(0.75, 0.02), &[1e-8, 1e-7, 1e-6]);
+        resilience_box_table("fig7_alexnet_b_box", &synthetic_result(0.75, 0.02), &[1e-8, 1e-7, 1e-6])
+            .unwrap();
     check("fig7_b_box.csv", &table.to_csv());
 }
 
@@ -95,7 +103,8 @@ fn fig7_box_csv_matches_golden() {
 fn ftclip_fig1b_table_is_byte_identical_to_the_legacy_snapshot() {
     let spec = preset("fig1b").unwrap().spec;
     // the campaign-summary procedure names its table after the spec
-    let table = campaign_summary_table(&spec.name, &synthetic_result(0.75, 0.1), &[1e-8, 1e-7, 1e-6]);
+    let table =
+        campaign_summary_table(&spec.name, &synthetic_result(0.75, 0.1), &[1e-8, 1e-7, 1e-6]).unwrap();
     check("fig1b.csv", &table.to_csv());
     check("fig1b.json", &table.to_json());
 }
@@ -109,7 +118,8 @@ fn ftclip_fig7_tables_are_byte_identical_to_the_legacy_snapshots() {
     // the resilience procedure derives its panel stems from the spec name
     let mean = resilience_mean_table(&format!("{}_a_mean", spec.name), &comparison, &[1e-8, 1e-7, 1e-6]);
     check("fig7_a_mean.csv", &mean.to_csv());
-    let box_table = resilience_box_table(&format!("{}_b_box", spec.name), &protected, &[1e-8, 1e-7, 1e-6]);
+    let box_table =
+        resilience_box_table(&format!("{}_b_box", spec.name), &protected, &[1e-8, 1e-7, 1e-6]).unwrap();
     check("fig7_b_box.csv", &box_table.to_csv());
 }
 

@@ -38,6 +38,7 @@ fn campaign() -> Campaign {
         seed: 33,
         model: FaultModel::BitFlip,
         target: InjectionTarget::AllWeights,
+        stopping: None,
     })
 }
 
@@ -144,7 +145,7 @@ fn resumed_output_files_are_byte_identical() {
     let mut fresh_net = net.clone();
     let fresh = campaign.run(&mut fresh_net, |n: &Sequential| eval.accuracy(n));
     let rates = fresh.fault_rates.clone();
-    let fresh_table = ftclip_bench::campaign_summary_table("resume_check", &fresh, &rates);
+    let fresh_table = ftclip_bench::campaign_summary_table("resume_check", &fresh, &rates).unwrap();
 
     let (store, root) = fresh_store("files");
     campaign
@@ -155,7 +156,7 @@ fn resumed_output_files_are_byte_identical() {
         campaign.run_parallel_cached_with_threads(&net, 4, &session(&store, &net), |n: &Sequential| {
             eval.accuracy(n)
         });
-    let resumed_table = ftclip_bench::campaign_summary_table("resume_check", &resumed, &rates);
+    let resumed_table = ftclip_bench::campaign_summary_table("resume_check", &resumed, &rates).unwrap();
 
     assert_eq!(resumed_table.to_csv(), fresh_table.to_csv(), "CSV must be byte-identical");
     assert_eq!(resumed_table.to_json(), fresh_table.to_json(), "JSON must be byte-identical");
@@ -266,6 +267,7 @@ fn raising_repetitions_resumes_instead_of_restarting() {
         seed: 5,
         model: FaultModel::BitFlip,
         target: InjectionTarget::AllWeights,
+        stopping: None,
     });
     let mut big_cfg = small.config().clone();
     big_cfg.repetitions = 4;

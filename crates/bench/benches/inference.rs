@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ftclip_models::{alexnet_cifar, vgg16_cifar};
+use ftclip_nn::{Scratch, Span};
 use ftclip_tensor::Tensor;
 use std::hint::black_box;
 
@@ -14,17 +15,18 @@ fn bench_inference(c: &mut Criterion) {
     let n_sites = alexnet_clipped.activation_sites().len();
     alexnet_clipped.convert_to_clipped(&vec![4.0; n_sites]);
     let vgg = vgg16_cifar(0.0625, 10, 7);
+    let mut scratch = Scratch::new();
 
     let mut group = c.benchmark_group("inference");
     group.sample_size(10);
     group.bench_function("alexnet w=0.125 b8", |b| {
-        b.iter(|| black_box(alexnet.forward(black_box(&x))));
+        b.iter(|| black_box(alexnet.execute(black_box(&x), Span::full(), &mut scratch)));
     });
     group.bench_function("alexnet clipped w=0.125 b8", |b| {
-        b.iter(|| black_box(alexnet_clipped.forward(black_box(&x))));
+        b.iter(|| black_box(alexnet_clipped.execute(black_box(&x), Span::full(), &mut scratch)));
     });
     group.bench_function("vgg16 w=0.0625 b8", |b| {
-        b.iter(|| black_box(vgg.forward(black_box(&x))));
+        b.iter(|| black_box(vgg.execute(black_box(&x), Span::full(), &mut scratch)));
     });
     group.finish();
 }

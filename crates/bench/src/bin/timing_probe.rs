@@ -27,22 +27,30 @@
 //! (single-threaded), and end-to-end `EvalSet::accuracy` throughput at 1, 2
 //! and 4 batch-shard workers — and writes a machine-readable JSON summary
 //! (default `BENCH_3.json`) that CI publishes as the bench-smoke artifact.
+//!
+//! `timing_probe eval --plan [--out FILE]` measures the **graph-IR compiled
+//! plan** against the pre-plan per-layer engine (batched im2col + blocked
+//! matmul, the path `timing_probe eval` benchmarked before plans existed) on
+//! the AlexNet experiment workloads, single-threaded, asserting the two
+//! paths agree bit for bit — written to a JSON summary (default
+//! `BENCH_8.json`) that CI publishes alongside the other bench artifacts.
 
 use std::time::Instant;
 
 use ftclip_core::EvalSet;
 use ftclip_data::Dataset;
 use ftclip_fault::{Campaign, CampaignConfig, FaultModel, InjectionTarget, StoppingRule};
-use ftclip_nn::Sequential;
+use ftclip_nn::{Scratch, Sequential, Span};
 use ftclip_tensor::{with_thread_limit, Tensor};
 
 fn probe_inference() {
     let net = ftclip_models::alexnet_cifar(0.125, 10, 1);
     let x = ftclip_tensor::Tensor::ones(&[64, 3, 32, 32]);
-    let _ = net.forward(&x); // warm
+    let mut scratch = Scratch::new();
+    let _ = net.execute(&x, Span::full(), &mut scratch); // warm
     let t = Instant::now();
     for _ in 0..10 {
-        let _ = net.forward(&x);
+        let _ = net.execute(&x, Span::full(), &mut scratch);
     }
     println!(
         "alexnet w=0.125 batch64: {:.1} ms/batch ({:.2} ms/img)",
@@ -50,10 +58,10 @@ fn probe_inference() {
         t.elapsed().as_secs_f64() * 100.0 / 64.0
     );
     let vgg = ftclip_models::vgg16_bn_cifar(0.125, 10, 1);
-    let _ = vgg.forward(&x);
+    let _ = vgg.execute(&x, Span::full(), &mut scratch);
     let t = Instant::now();
     for _ in 0..10 {
-        let _ = vgg.forward(&x);
+        let _ = vgg.execute(&x, Span::full(), &mut scratch);
     }
     println!(
         "vgg16bn w=0.125 batch64: {:.1} ms/batch ({:.2} ms/img)",
@@ -460,6 +468,191 @@ fn probe_eval(out_path: &str) {
     println!("\nwrote {out_path}");
 }
 
+/// PR 3's single-row blocked matmul (`j`-strip 512 → `k`-panel 64 → one row
+/// at a time, four-coefficient fast path, per-coefficient zero-skip
+/// fallback) — frozen here so the plan probe always compares against the
+/// engine as PR 3 shipped it rather than whatever faster kernel the library
+/// currently ships. Per-element accumulation chains are identical to the
+/// library's, so the two engines must still agree bit for bit.
+fn pr3_matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    const J_TILE: usize = 512;
+    const K_BLOCK: usize = 64;
+    let axpy = |a_v: f32, b_row: &[f32], c_strip: &mut [f32]| {
+        if a_v == 0.0 {
+            return;
+        }
+        for (c_v, &b_v) in c_strip.iter_mut().zip(b_row) {
+            *c_v += a_v * b_v;
+        }
+    };
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + J_TILE).min(n);
+        let width = j1 - j0;
+        let mut k0 = 0;
+        while k0 < k {
+            let k1 = (k0 + K_BLOCK).min(k);
+            for r in 0..m {
+                let a_block = &a[r * k + k0..r * k + k1];
+                let c_strip = &mut c[r * n + j0..r * n + j1];
+                let mut dk = 0;
+                while dk + 4 <= a_block.len() {
+                    let (a0, a1, a2, a3) = (a_block[dk], a_block[dk + 1], a_block[dk + 2], a_block[dk + 3]);
+                    let base = (k0 + dk) * n + j0;
+                    if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+                        let b0 = &b[base..base + width];
+                        let b1 = &b[base + n..base + n + width];
+                        let b2 = &b[base + 2 * n..base + 2 * n + width];
+                        let b3 = &b[base + 3 * n..base + 3 * n + width];
+                        for ((((c_v, &v0), &v1), &v2), &v3) in
+                            c_strip.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                        {
+                            let mut acc = *c_v;
+                            acc += a0 * v0;
+                            acc += a1 * v1;
+                            acc += a2 * v2;
+                            acc += a3 * v3;
+                            *c_v = acc;
+                        }
+                    } else {
+                        for t in 0..4 {
+                            axpy(a_block[dk + t], &b[base + t * n..base + t * n + width], c_strip);
+                        }
+                    }
+                    dk += 4;
+                }
+                while dk < a_block.len() {
+                    let base = (k0 + dk) * n + j0;
+                    axpy(a_block[dk], &b[base..base + width], c_strip);
+                    dk += 1;
+                }
+            }
+            k0 = k1;
+        }
+        j0 = j1;
+    }
+}
+
+/// PR 3's convolution: batch-wide zeroed im2col, one blocked product, then
+/// a scatter pass adding the bias — exactly the library's pre-plan
+/// `Conv2d::forward_scratch`, with the frozen single-row matmul above.
+fn pr3_conv(c: &ftclip_nn::Conv2d, x: &Tensor, scratch: &mut Scratch) -> Tensor {
+    let dims = x.shape().dims();
+    let (n, h, w) = (dims[0], dims[2], dims[3]);
+    let geom = c.geometry();
+    let (oh, ow) = geom.output_size(h, w);
+    let rows = c.in_channels() * geom.kernel * geom.kernel;
+    let (oc, l) = (c.out_channels(), oh * ow);
+    let total = n * l;
+    let mut cols = scratch.zeroed(rows * total);
+    ftclip_tensor::im2col_batch_into(x, geom, &mut cols);
+    let mut out_mat = scratch.zeroed(oc * total);
+    pr3_matmul_into(c.weight().data(), &cols, &mut out_mat, oc, rows, total);
+    scratch.recycle(cols);
+    let mut out = scratch.buffer(n * oc * l);
+    let b_data = c.bias().data();
+    for i in 0..n {
+        for o in 0..oc {
+            let b = b_data[o];
+            let src = &out_mat[o * total + i * l..o * total + (i + 1) * l];
+            let dst = &mut out[(i * oc + o) * l..(i * oc + o + 1) * l];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = s + b;
+            }
+        }
+    }
+    scratch.recycle(out_mat);
+    Tensor::from_vec(out, &[n, oc, oh, ow]).expect("conv output volume matches")
+}
+
+/// The PR 3 per-layer inference engine: batched-im2col convolutions through
+/// the frozen kernels above, every other layer via its (unchanged since
+/// PR 3) standalone kernel — no fusion, no im2col elision, a separate
+/// activation pass after every computational layer.
+fn pr3_forward(net: &Sequential, x: &Tensor, scratch: &mut Scratch) -> Tensor {
+    let mut cur = x.clone();
+    for layer in net.layers() {
+        let next = match layer {
+            ftclip_nn::Layer::Conv2d(c) => pr3_conv(c, &cur, scratch),
+            other => other.forward_scratch(&cur, scratch),
+        };
+        scratch.recycle(cur.into_vec());
+        cur = next;
+    }
+    cur
+}
+
+/// The graph-IR plan probe: compiled fused plan vs the frozen PR 3
+/// per-layer engine on the AlexNet experiment workloads, single-threaded,
+/// bit-identity asserted, written to `out_path` (BENCH_8.json).
+fn probe_plan(out_path: &str) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let x = Tensor::ones(&[64, 3, 32, 32]);
+
+    let relu = ftclip_models::alexnet_cifar(0.125, 10, 1);
+    let mut clipped = relu.clone();
+    let n_sites = clipped.activation_sites().len();
+    clipped.convert_to_clipped(&vec![4.0; n_sites]);
+    let workloads: Vec<(&str, &Sequential)> =
+        vec![("alexnet w=0.125", &relu), ("alexnet clipped w=0.125", &clipped)];
+
+    println!("graph-IR plan vs PR 3 per-layer engine, batch 64, single-threaded:");
+    let mut rows = Vec::new();
+    for (label, net) in &workloads {
+        let mut scratch = Scratch::new();
+        let plan = net.plan(x.shape().dims());
+        let (y_legacy, y_plan) = with_thread_limit(1, || {
+            (pr3_forward(net, &x, &mut scratch), plan.execute(net, &x, Span::full(), &mut scratch))
+        });
+        let identical = y_legacy.data() == y_plan.data();
+        assert!(identical, "{label}: plan output must be bit-identical to the PR 3 engine");
+        // paired sampling: alternate the two paths so clock drift or thermal
+        // throttling mid-probe cannot bias one side of the ratio; report the
+        // per-path minimum — on a shared core the minimum is the sample with
+        // the least external interference, and both paths get the same
+        // estimator so the ratio stays fair
+        let (mut legacy_t, mut plan_t) = (Vec::new(), Vec::new());
+        with_thread_limit(1, || {
+            for _ in 0..9 {
+                legacy_t.push(time_median(1, || pr3_forward(net, &x, &mut scratch)));
+                plan_t.push(time_median(1, || plan.execute(net, &x, Span::full(), &mut scratch)));
+            }
+        });
+        let fold_min = |t: &[f64]| t.iter().copied().fold(f64::INFINITY, f64::min);
+        let (legacy_s, plan_s) = (fold_min(&legacy_t), fold_min(&plan_t));
+        println!(
+            "  {label:<24} PR 3 {:6.1} ms, plan {:6.1} ms  → ×{:.2}  (bit-identical: {identical})",
+            legacy_s * 1e3,
+            plan_s * 1e3,
+            legacy_s / plan_s
+        );
+        rows.push((*label, legacy_s, plan_s, identical));
+    }
+    let min_speedup = rows.iter().map(|(_, l, p, _)| l / p).fold(f64::INFINITY, f64::min);
+    println!("  minimum workload speedup: ×{min_speedup:.2} (acceptance floor ×1.5)");
+
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|(label, legacy_s, plan_s, identical)| {
+            format!(
+                "    {{\"model\": \"{label}\", \"pr3_ms\": {:.3}, \"plan_ms\": {:.3}, \
+                 \"speedup\": {:.3}, \"bitwise_identical\": {identical}}}",
+                legacy_s * 1e3,
+                plan_s * 1e3,
+                legacy_s / plan_s
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"probe\": \"timing_probe eval --plan\",\n  \"available_parallelism\": {cores},\n  \
+         \"batch_size\": 64,\n  \"threads\": 1,\n  \"workloads\": [\n{}\n  ],\n  \
+         \"min_speedup\": {min_speedup:.3}\n}}\n",
+        row_json.join(",\n"),
+    );
+    std::fs::write(out_path, &json).expect("write timing summary");
+    println!("\nwrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let out = |default: &'static str| {
@@ -470,7 +663,11 @@ fn main() {
             .to_string()
     };
     if args.iter().any(|a| a == "eval") {
-        probe_eval(&out("BENCH_3.json"));
+        if args.iter().any(|a| a == "--plan") {
+            probe_plan(&out("BENCH_8.json"));
+        } else {
+            probe_eval(&out("BENCH_3.json"));
+        }
         return;
     }
     if args.iter().any(|a| a == "campaign") {

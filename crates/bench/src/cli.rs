@@ -57,8 +57,7 @@ fn list() -> i32 {
 fn describe(name: &str) -> i32 {
     match preset(name) {
         Ok(p) => {
-            println!("# {} — {}", p.name, p.about);
-            println!("{}", p.spec.to_json());
+            println!("{}", describe_text(&p));
             0
         }
         Err(e) => {
@@ -66,6 +65,47 @@ fn describe(name: &str) -> i32 {
             2
         }
     }
+}
+
+/// The `ftclip describe` report: the preset header, the *resolved*
+/// stopping rule and fault-rate grid (what the campaign will actually do,
+/// not just the raw spec fields), then the full spec JSON.
+fn describe_text(p: &crate::presets::Preset) -> String {
+    use std::fmt::Write as _;
+    let spec = &p.spec;
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} — {}", p.name, p.about);
+    match &spec.stopping {
+        Some(rule) => {
+            let _ = writeln!(
+                out,
+                "stopping: adaptive — stop a rate once its CI half-width ≤ {}, \
+                 after {}..={} repetitions",
+                rule.target_half_width, rule.min_reps, rule.max_reps
+            );
+        }
+        None => {
+            let _ = writeln!(out, "stopping: fixed — {} repetitions per rate", spec.repetitions);
+        }
+    }
+    // the injected per-bit rates depend on the width-scaled network's
+    // parameter count; building the untrained net is cheap and exact
+    let (_, full_width_params) = crate::workload::arch_profile(spec.workload.arch);
+    let params = spec.workload.model_spec(spec.seed).build().param_count();
+    let scale = full_width_params as f64 / params as f64;
+    let _ = writeln!(
+        out,
+        "rates: {} grid, memory-size scale ×{:.1} ({} of {} full-width params)",
+        spec.rates.kind(),
+        scale,
+        params,
+        full_width_params
+    );
+    for (label, injected) in spec.rates.label_rates().iter().zip(spec.rates.resolve(scale)) {
+        let _ = writeln!(out, "  paper {label:.1e} → injected {injected:.3e}");
+    }
+    let _ = write!(out, "{}", spec.to_json());
+    out
 }
 
 /// Resolves one `ftclip run` positional: a preset name, or a path to a
@@ -198,6 +238,19 @@ pub fn legacy_main(preset_name: &str) -> ! {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn describe_reports_the_resolved_stopping_rule_and_rate_grid() {
+        let fixed = describe_text(&preset("fig1b").unwrap());
+        assert!(fixed.contains("stopping: fixed"), "{fixed}");
+        assert!(fixed.contains("rates: "), "{fixed}");
+        assert!(fixed.contains("→ injected"), "{fixed}");
+
+        let adaptive = describe_text(&preset("fig1b-adaptive").unwrap());
+        assert!(adaptive.contains("stopping: adaptive"), "{adaptive}");
+        assert!(adaptive.contains("half-width ≤ 0.02"), "{adaptive}");
+        assert!(adaptive.contains("2..=50 repetitions"), "{adaptive}");
+    }
 
     #[test]
     fn every_preset_resolves_as_a_positional() {

@@ -158,8 +158,12 @@ impl Runner {
     ) -> Result<Vec<RunOutcome>, SpecError> {
         for (i, spec) in specs.iter().enumerate() {
             spec.validate().map_err(|e| SpecError::InSpec(spec.name.clone(), Box::new(e)))?;
-            if specs[..i].iter().any(|prior| prior.name == spec.name) {
-                return Err(SpecError::DuplicateName(spec.name.clone()));
+            if let Some(first) = specs[..i].iter().position(|prior| prior.name == spec.name) {
+                return Err(SpecError::DuplicateName {
+                    name: spec.name.clone(),
+                    first: first + 1,
+                    second: i + 1,
+                });
             }
         }
 
@@ -238,10 +242,10 @@ mod tests {
     fn batch_rejects_duplicate_output_names() {
         let spec = ExperimentSpec::builder(Procedure::ModelSizes, "same").build().unwrap();
         let runner = Runner::new(RunSettings::default());
-        assert_eq!(
-            runner.run_batch(&[spec.clone(), spec]).unwrap_err(),
-            SpecError::DuplicateName("same".into())
-        );
+        let err = runner.run_batch(&[spec.clone(), spec]).unwrap_err();
+        assert_eq!(err, SpecError::DuplicateName { name: "same".into(), first: 1, second: 2 });
+        let msg = err.to_string();
+        assert!(msg.contains("#1") && msg.contains("#2") && msg.contains("'same'"), "{msg}");
     }
 
     #[test]

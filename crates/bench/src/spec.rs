@@ -1085,8 +1085,16 @@ pub enum SpecError {
     UnknownPreset(String),
     /// Malformed JSON or a field of the wrong type.
     Parse(String),
-    /// Two specs in one batch share an output name.
-    DuplicateName(String),
+    /// Two specs in one batch share an output name; carries the shared
+    /// name and both colliding (1-based) batch positions.
+    DuplicateName {
+        /// The shared output name.
+        name: String,
+        /// 1-based batch position of the first spec with this name.
+        first: usize,
+        /// 1-based batch position of the colliding later spec.
+        second: usize,
+    },
     /// A batch-member spec failed; carries the member's name.
     InSpec(String, Box<SpecError>),
 }
@@ -1127,8 +1135,12 @@ impl std::fmt::Display for SpecError {
             SpecError::UnknownField(s) => write!(f, "unknown spec field '{s}'"),
             SpecError::UnknownPreset(s) => write!(f, "unknown preset '{s}' (see `ftclip list`)"),
             SpecError::Parse(msg) => write!(f, "spec parse error: {msg}"),
-            SpecError::DuplicateName(name) => {
-                write!(f, "two specs in the batch share the output name '{name}'")
+            SpecError::DuplicateName { name, first, second } => {
+                write!(
+                    f,
+                    "batch specs #{first} and #{second} share the output name '{name}' — \
+                     every spec in a batch needs a distinct name"
+                )
             }
             SpecError::InSpec(name, e) => write!(f, "spec '{name}': {e}"),
         }

@@ -63,7 +63,7 @@ pub fn spec_data(spec: &ExperimentSpec) -> SynthCifar {
 }
 
 /// Display name and full-width parameter count for a zoo architecture.
-fn arch_profile(arch: ZooArch) -> (&'static str, usize) {
+pub(crate) fn arch_profile(arch: ZooArch) -> (&'static str, usize) {
     match arch {
         ZooArch::AlexNet => ("AlexNet", ftclip_models::alexnet_cifar(1.0, 10, 0).param_count()),
         // the BN variant is the trainable stand-in for VGG-16 (DESIGN.md §3);

@@ -7,7 +7,7 @@ use std::sync::{Arc, Mutex};
 
 use ftclip_data::Dataset;
 use ftclip_fault::{CellEval, SuffixHint};
-use ftclip_nn::{evaluate, evaluate_with_threads, Scratch, Sequential};
+use ftclip_nn::{evaluate, evaluate_with_threads, ForwardPlan, Scratch, Sequential, Span};
 use ftclip_tensor::Tensor;
 
 /// A fixed set of images + labels used to score a network's accuracy.
@@ -125,11 +125,11 @@ impl EvalSet {
     ///
     /// Sound whenever every parameter of `net` **before** layer `cut` holds
     /// its clean value — the invariant a fault campaign guarantees when
-    /// `cut` is the injection's earliest faulted layer. Because the split
-    /// pass runs the same kernels in the same order
-    /// ([`Sequential::forward_span_scratch`]), the result is **bit-identical**
-    /// to [`EvalSet::accuracy`] at any thread count and any cache state
-    /// (cold, warm, or budget-exhausted).
+    /// `cut` is the injection's earliest faulted layer. Because every split
+    /// is a [`Span`] execution against the *same* compiled
+    /// [`ftclip_nn::ForwardPlan`] the full pass uses, the result is
+    /// **bit-identical** to [`EvalSet::accuracy`] at any thread count and
+    /// any cache state (cold, warm, or budget-exhausted).
     ///
     /// The evaluation batches are sharded across
     /// [`ftclip_tensor::num_threads`] workers exactly like
@@ -179,15 +179,20 @@ impl EvalSet {
         for b in batches {
             let start = b * bs;
             let end = (start + bs).min(n);
+            let mut dims = self.images.shape().dims().to_vec();
+            dims[0] = end - start;
+            // One compiled plan serves the full pass AND every span cut —
+            // the SuffixHint path can never skew from the forward path.
+            let plan = net.plan(&dims);
             let logits = if cut == 0 {
                 // no clean prefix to reuse — plain full forward on the batch
                 let bx = self.batch_tensor(start, end, scratch);
-                let y = net.forward_scratch(&bx, scratch);
+                let y = plan.execute(net, &bx, Span::full(), scratch);
                 scratch.recycle(bx.into_vec());
                 y
             } else {
-                let act = self.prefix_activation(net, cut, b, start, end, cache, scratch);
-                net.forward_suffix_scratch(&act, cut, scratch)
+                let act = self.prefix_activation(net, &plan, cut, b, start, end, cache, scratch);
+                plan.execute(net, &act, Span::suffix(cut), scratch)
             };
             correct += logits
                 .argmax_rows()
@@ -204,9 +209,11 @@ impl EvalSet {
     /// images `[start, end)`: served from `cache` when memoized, otherwise
     /// computed (extending the deepest cached shallower cut when one
     /// exists) and offered back to the cache within its byte budget.
+    #[allow(clippy::too_many_arguments)]
     fn prefix_activation(
         &self,
         net: &Sequential,
+        plan: &ForwardPlan,
         cut: usize,
         batch: usize,
         start: usize,
@@ -220,12 +227,12 @@ impl EvalSet {
             }
             // extend the cached shallower prefix: layers [depth, cut) are
             // clean below the cut, so the composition stays bit-identical
-            let extended = Arc::new(net.forward_span_scratch(&act, depth, cut, scratch));
+            let extended = Arc::new(plan.execute(net, &act, Span::range(depth, cut), scratch));
             cache.insert(batch, cut, &extended);
             return extended;
         }
         let bx = self.batch_tensor(start, end, scratch);
-        let act = Arc::new(net.forward_span_scratch(&bx, 0, cut, scratch));
+        let act = Arc::new(plan.execute(net, &bx, Span::prefix(cut), scratch));
         scratch.recycle(bx.into_vec());
         cache.insert(batch, cut, &act);
         act

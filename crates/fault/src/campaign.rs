@@ -431,7 +431,7 @@ impl CampaignResult {
 ///
 /// ```
 /// use ftclip_fault::{Campaign, CampaignConfig, FaultModel, InjectionTarget};
-/// use ftclip_nn::{Layer, Sequential};
+/// use ftclip_nn::{Layer, Scratch, Sequential, Span};
 ///
 /// let mut net = Sequential::new(vec![Layer::linear(4, 2, 0)]);
 /// let cfg = CampaignConfig {
@@ -444,7 +444,7 @@ impl CampaignResult {
 /// };
 /// // toy evaluation: fraction of finite outputs
 /// let result = Campaign::new(cfg).run(&mut net, |n: &Sequential| {
-///     let y = n.forward(&ftclip_tensor::Tensor::ones(&[1, 4]));
+///     let y = n.execute(&ftclip_tensor::Tensor::ones(&[1, 4]), Span::full(), &mut Scratch::new());
 ///     y.iter().filter(|v| v.is_finite()).count() as f64 / y.len() as f64
 /// });
 /// assert_eq!(result.accuracies.len(), 2);
@@ -947,7 +947,7 @@ impl Campaign {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftclip_nn::Layer;
+    use ftclip_nn::{Layer, Scratch, Span};
     use ftclip_tensor::Tensor;
 
     fn net() -> Sequential {
@@ -955,7 +955,7 @@ mod tests {
     }
 
     fn finite_fraction(n: &Sequential) -> f64 {
-        let y = n.forward(&Tensor::ones(&[2, 1, 4, 4]));
+        let y = n.execute(&Tensor::ones(&[2, 1, 4, 4]), Span::full(), &mut Scratch::new());
         y.iter().filter(|v| v.is_finite() && v.abs() < 1e6).count() as f64 / y.len() as f64
     }
 
@@ -1496,7 +1496,7 @@ mod tests {
         // continuous-valued eval: distinct injections give distinct scores,
         // so the sample variance never collapses to zero
         let continuous = |n: &Sequential| {
-            let y = n.forward(&Tensor::ones(&[2, 1, 4, 4]));
+            let y = n.execute(&Tensor::ones(&[2, 1, 4, 4]), Span::full(), &mut Scratch::new());
             y.iter()
                 .map(|v| if v.is_finite() { (*v as f64).abs().min(1.0) } else { 0.0 })
                 .sum::<f64>()

@@ -187,7 +187,12 @@ pub fn model_size_report() -> Vec<ModelSizeRow> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ftclip_nn::{Scratch, Sequential, Span};
     use ftclip_tensor::Tensor;
+
+    fn fwd(net: &Sequential, x: &Tensor) -> Tensor {
+        net.execute(x, Span::full(), &mut Scratch::new())
+    }
 
     #[test]
     fn alexnet_layer_structure_matches_paper() {
@@ -200,7 +205,7 @@ mod tests {
     #[test]
     fn alexnet_forward_shape() {
         let net = alexnet_cifar(0.125, 10, 2);
-        let y = net.forward(&Tensor::zeros(&[2, 3, 32, 32]));
+        let y = fwd(&net, &Tensor::zeros(&[2, 3, 32, 32]));
         assert_eq!(y.shape().dims(), &[2, 10]);
     }
 
@@ -217,7 +222,7 @@ mod tests {
     #[test]
     fn vgg16_forward_shape() {
         let net = vgg16_cifar(0.0625, 10, 4);
-        let y = net.forward(&Tensor::zeros(&[1, 3, 32, 32]));
+        let y = fwd(&net, &Tensor::zeros(&[1, 3, 32, 32]));
         assert_eq!(y.shape().dims(), &[1, 10]);
     }
 
@@ -228,7 +233,7 @@ mod tests {
         // Fig. 2: 6×28×28 after CONV-1, 16×10×10 after CONV-2
         assert_eq!(recs[0].output.shape().dims(), &[1, 6, 28, 28]);
         assert_eq!(recs[3].output.shape().dims(), &[1, 16, 10, 10]);
-        let y = net.forward(&Tensor::zeros(&[1, 1, 32, 32]));
+        let y = fwd(&net, &Tensor::zeros(&[1, 1, 32, 32]));
         assert_eq!(y.shape().dims(), &[1, 10]);
     }
 
@@ -264,9 +269,9 @@ mod tests {
         let a = alexnet_cifar(0.25, 10, 7);
         let b = alexnet_cifar(0.25, 10, 7);
         let x = Tensor::ones(&[1, 3, 32, 32]);
-        assert!(a.forward(&x).approx_eq(&b.forward(&x), 0.0));
+        assert!(fwd(&a, &x).approx_eq(&fwd(&b, &x), 0.0));
         let c = alexnet_cifar(0.25, 10, 8);
-        assert!(!a.forward(&x).approx_eq(&c.forward(&x), 1e-6));
+        assert!(!fwd(&a, &x).approx_eq(&fwd(&c, &x), 1e-6));
     }
 
     #[test]
@@ -286,7 +291,7 @@ mod tests {
         assert_eq!(bn_count, 13);
         // computational naming unchanged: 13 conv + 1 fc
         assert_eq!(net.computational_names().len(), 14);
-        let y = net.forward(&Tensor::zeros(&[1, 3, 32, 32]));
+        let y = fwd(&net, &Tensor::zeros(&[1, 3, 32, 32]));
         assert_eq!(y.shape().dims(), &[1, 10]);
     }
 
@@ -298,8 +303,8 @@ mod tests {
         assert_eq!(relu.computational_names(), leaky.computational_names());
         // same seed → identical weights; only the activations differ
         let x = Tensor::ones(&[1, 3, 32, 32]);
-        let a = relu.forward(&x);
-        let b = leaky.forward(&x);
+        let a = fwd(&relu, &x);
+        let b = fwd(&leaky, &x);
         assert_eq!(a.shape().dims(), b.shape().dims());
     }
 

@@ -291,7 +291,10 @@ mod tests {
         assert!(second.from_cache);
         assert!((first.test_accuracy - second.test_accuracy).abs() < 1e-12);
         let x = data.test().images().slice_batch(0..2);
-        assert!(first.network.forward(&x).approx_eq(&second.network.forward(&x), 0.0));
+        let mut sc = ftclip_nn::Scratch::new();
+        let ya = first.network.execute(&x, ftclip_nn::Span::full(), &mut sc);
+        let yb = second.network.execute(&x, ftclip_nn::Span::full(), &mut sc);
+        assert!(ya.approx_eq(&yb, 0.0));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -9,8 +9,10 @@
 //!   ([`Activation::ClippedRelu`]), which maps values outside `[0, T]` to
 //!   zero.
 //! * [`Sequential`] — a feed-forward network with immutable inference
-//!   ([`Sequential::forward`]), per-layer activation recording for Step 1
-//!   profiling ([`Sequential::forward_recording`]), training-mode forward and
+//!   through compiled fused plans ([`Sequential::execute`] /
+//!   [`ForwardPlan::execute`], see the [`graph`] module), per-layer
+//!   activation recording for Step 1 profiling
+//!   ([`Sequential::forward_recording`]), training-mode forward and
 //!   backprop, and raw parameter access for the fault injector
 //!   ([`Sequential::visit_params_mut`]).
 //! * [`loss::SoftmaxCrossEntropy`], optimizers ([`opt::Sgd`], [`opt::Adam`]),
@@ -22,7 +24,7 @@
 //! # Example
 //!
 //! ```
-//! use ftclip_nn::{Activation, Layer, Sequential};
+//! use ftclip_nn::{Activation, Layer, Scratch, Sequential, Span};
 //! use ftclip_tensor::Tensor;
 //!
 //! let mut net = Sequential::new(vec![
@@ -31,7 +33,7 @@
 //!     Layer::linear(8, 2, 1),
 //! ]);
 //! let x = Tensor::ones(&[1, 4]);
-//! let logits = net.forward(&x);
+//! let logits = net.execute(&x, Span::full(), &mut Scratch::new());
 //! assert_eq!(logits.shape().dims(), &[1, 2]);
 //! // Convert the ReLU to the paper's clipped variant with threshold 6.0:
 //! net.convert_to_clipped(&[6.0]);
@@ -46,6 +48,7 @@ mod batchnorm;
 mod conv;
 mod dropout;
 mod error;
+pub mod graph;
 mod layer;
 mod linear;
 pub mod loss;
@@ -63,6 +66,7 @@ pub use batchnorm::BatchNorm2d;
 pub use conv::Conv2d;
 pub use dropout::Dropout;
 pub use error::NnError;
+pub use graph::{ForwardPlan, Span};
 pub use layer::{ActivationLayer, Layer, LayerKind};
 pub use linear::Linear;
 pub use param::{ParamKind, ParamRef};

@@ -1,8 +1,11 @@
 //! Feed-forward network container.
 
+use std::sync::Arc;
+
 use ftclip_tensor::Tensor;
 use rand::Rng;
 
+use crate::graph::{plan_for, ForwardPlan, Span};
 use crate::{Activation, Layer, LayerKind, NnError, ParamKind, ParamRef, Scratch};
 
 /// A feed-forward stack of [`Layer`]s.
@@ -31,7 +34,8 @@ use crate::{Activation, Layer, LayerKind, NnError, ParamKind, ParamRef, Scratch}
 ///     Layer::flatten(),
 ///     Layer::linear(4 * 8 * 8, 10, 1),
 /// ]);
-/// let logits = net.forward(&Tensor::zeros(&[2, 1, 8, 8]));
+/// use ftclip_nn::{Scratch, Span};
+/// let logits = net.execute(&Tensor::zeros(&[2, 1, 8, 8]), Span::full(), &mut Scratch::new());
 /// assert_eq!(logits.shape().dims(), &[2, 10]);
 /// assert_eq!(net.computational_names(), vec!["CONV-1", "FC-1"]);
 /// ```
@@ -87,14 +91,48 @@ impl Sequential {
     // Inference and training
     // ------------------------------------------------------------------
 
+    /// **The** inference entry point: executes the layers selected by `span`
+    /// through the compiled, fused, run-wide-cached [`ForwardPlan`] for this
+    /// architecture (see [`crate::graph`]). The full pass is
+    /// `Span::full()`, the clean-prefix / faulted-suffix split of the reuse
+    /// path is `Span::prefix(cut)` / `Span::suffix(cut)`, and cache
+    /// extensions are `Span::range(a, b)` — all bit-identical to the legacy
+    /// per-layer loop at any thread count.
+    ///
+    /// Immutable, so fault campaigns share a network across evaluation
+    /// batches without cloning; plans are pure structure, so parameter
+    /// mutations (fault injection, threshold tuning) are always visible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is outside the network or shapes mismatch.
+    pub fn execute(&self, x: &Tensor, span: Span, scratch: &mut Scratch) -> Tensor {
+        plan_for(self, span.start(), x.shape().dims()).execute(self, x, span, scratch)
+    }
+
+    /// The memoized [`ForwardPlan`] for this architecture and input shape —
+    /// compile once per (arch, batch-shape), reuse run-wide. Callers that
+    /// execute many spans against one batch shape (the eval and suffix-reuse
+    /// paths) fetch the plan once and call [`ForwardPlan::execute`] with
+    /// different [`Span`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dims` is inconsistent with the layer stack.
+    pub fn plan(&self, input_dims: &[usize]) -> Arc<ForwardPlan> {
+        plan_for(self, 0, input_dims)
+    }
+
     /// Inference forward pass. Immutable, so fault campaigns can share a
     /// network across evaluation batches without cloning.
     ///
     /// # Panics
     ///
     /// Panics on input shape mismatches.
+    #[deprecated(note = "superseded by the graph-IR plan API: use `Sequential::execute(x, Span::full(), \
+                         &mut Scratch::new())` or `ForwardPlan::execute`")]
     pub fn forward(&self, x: &Tensor) -> Tensor {
-        self.forward_scratch(x, &mut Scratch::new())
+        self.execute(x, Span::full(), &mut Scratch::new())
     }
 
     /// [`Sequential::forward`] drawing the intermediate activations and
@@ -108,39 +146,26 @@ impl Sequential {
     /// # Panics
     ///
     /// Panics on input shape mismatches.
+    #[deprecated(note = "superseded by the graph-IR plan API: use `Sequential::execute(x, Span::full(), \
+                         scratch)` or `ForwardPlan::execute`")]
     pub fn forward_scratch(&self, x: &Tensor, scratch: &mut Scratch) -> Tensor {
-        self.forward_span_scratch(x, 0, self.layers.len(), scratch)
+        self.execute(x, Span::full(), scratch)
     }
 
-    /// Runs only the layers in `[from, to)` — the one engine behind
-    /// [`Sequential::forward_scratch`], [`Sequential::forward_prefix`] and
-    /// [`Sequential::forward_suffix_scratch`], so splitting a pass at any
-    /// cut is **bit-identical by construction**: the same layer kernels run
-    /// in the same order on the same values, only the buffer provenance
-    /// changes. `x` is the input to layer `from` (the network input when
-    /// `from == 0`); an empty span returns `x` unchanged.
+    /// Runs only the layers in `[from, to)`. Splitting a pass at any cut is
+    /// **bit-identical by construction**: the same kernels run in the same
+    /// order on the same values, only the buffer provenance changes. `x` is
+    /// the input to layer `from` (the network input when `from == 0`); an
+    /// empty span returns `x` unchanged.
     ///
     /// # Panics
     ///
     /// Panics if `from > to`, `to` exceeds the layer count, or shapes
     /// mismatch.
+    #[deprecated(note = "superseded by the graph-IR plan API: use `Sequential::execute(x, \
+                         Span::range(from, to), scratch)` or `ForwardPlan::execute`")]
     pub fn forward_span_scratch(&self, x: &Tensor, from: usize, to: usize, scratch: &mut Scratch) -> Tensor {
-        assert!(
-            from <= to && to <= self.layers.len(),
-            "span {from}..{to} outside network of {} layers",
-            self.layers.len()
-        );
-        let mut layers = self.layers[from..to].iter();
-        let Some(first) = layers.next() else {
-            return x.clone();
-        };
-        let mut cur = first.forward_scratch(x, scratch);
-        for layer in layers {
-            let next = layer.forward_scratch(&cur, scratch);
-            scratch.recycle(cur.into_vec());
-            cur = next;
-        }
-        cur
+        self.execute(x, Span::range(from, to), scratch)
     }
 
     /// The activation entering layer `cut`: runs layers `[0, cut)` and
@@ -156,8 +181,10 @@ impl Sequential {
     /// # Panics
     ///
     /// Panics if `cut` exceeds the layer count or shapes mismatch.
+    #[deprecated(note = "superseded by the graph-IR plan API: use `Sequential::execute(x, \
+                         Span::prefix(cut), &mut Scratch::new())` or `ForwardPlan::execute`")]
     pub fn forward_prefix(&self, x: &Tensor, cut: usize) -> Tensor {
-        self.forward_span_scratch(x, 0, cut, &mut Scratch::new())
+        self.execute(x, Span::prefix(cut), &mut Scratch::new())
     }
 
     /// [`Sequential::forward_prefix`] drawing buffers from a reusable
@@ -166,8 +193,10 @@ impl Sequential {
     /// # Panics
     ///
     /// Panics if `cut` exceeds the layer count or shapes mismatch.
+    #[deprecated(note = "superseded by the graph-IR plan API: use `Sequential::execute(x, \
+                         Span::prefix(cut), scratch)` or `ForwardPlan::execute`")]
     pub fn forward_prefix_scratch(&self, x: &Tensor, cut: usize, scratch: &mut Scratch) -> Tensor {
-        self.forward_span_scratch(x, 0, cut, scratch)
+        self.execute(x, Span::prefix(cut), scratch)
     }
 
     /// Resumes an inference pass from the activation entering layer `cut`:
@@ -182,8 +211,10 @@ impl Sequential {
     /// # Panics
     ///
     /// Panics if `cut` exceeds the layer count or shapes mismatch.
+    #[deprecated(note = "superseded by the graph-IR plan API: use `Sequential::execute(act, \
+                         Span::suffix(cut), scratch)` or `ForwardPlan::execute`")]
     pub fn forward_suffix_scratch(&self, act: &Tensor, cut: usize, scratch: &mut Scratch) -> Tensor {
-        self.forward_span_scratch(act, cut, self.layers.len(), scratch)
+        self.execute(act, Span::suffix(cut), scratch)
     }
 
     /// Inference forward pass that additionally captures every layer's
@@ -513,6 +544,7 @@ impl Extend<Layer> for Sequential {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shim surface stays pinned until removal
 mod tests {
     use super::*;
 

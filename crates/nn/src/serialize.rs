@@ -316,6 +316,7 @@ fn write_f32s<W: Write>(w: &mut W, vs: &[f32]) -> std::io::Result<()> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // round-trip checks ride the legacy shims until removal
 mod tests {
     use super::*;
 

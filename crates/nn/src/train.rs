@@ -10,7 +10,7 @@ use rand::{Rng, SeedableRng};
 use crate::loss::SoftmaxCrossEntropy;
 use crate::opt::{Adam, Optimizer, Sgd};
 use crate::sched::LrSchedule;
-use crate::Sequential;
+use crate::{Sequential, Span};
 
 /// Which optimizer the [`Trainer`] instantiates.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -351,7 +351,7 @@ fn correct_in_batches(
         buf.copy_from_slice(&images.data()[start * stride..end * stride]);
         dims[0] = end - start;
         let bx = Tensor::from_vec(buf, &dims).expect("batch volume matches");
-        let logits = net.forward_scratch(&bx, scratch);
+        let logits = net.execute(&bx, Span::full(), scratch);
         correct += logits
             .argmax_rows()
             .iter()
@@ -467,7 +467,7 @@ mod tests {
             let mut net = Sequential::new(vec![Layer::flatten(), Layer::linear(16, 2, 3)]);
             let trainer = Trainer::builder().epochs(3).batch_size(8).seed(seed).build();
             trainer.fit(&mut net, &x, &y, None);
-            net.forward(&x).data().to_vec()
+            net.execute(&x, Span::full(), &mut crate::Scratch::new()).data().to_vec()
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));

@@ -139,7 +139,10 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
+    // The deprecated `Sequential` forward shims must keep delegating to the
+    // plan engine bit-for-bit until they are removed — this test pins them.
     #[test]
+    #[allow(deprecated)]
     fn prefix_suffix_split_is_bitwise_forward_at_every_cut(
         seed in 0u64..1000,
         c1 in 1usize..4,
@@ -185,6 +188,66 @@ proptest! {
     }
 
     #[test]
+    fn plan_execute_is_bitwise_identical_to_the_per_layer_engine(
+        seed in 0u64..1000,
+        c1 in 1usize..4,
+        c2 in 1usize..4,
+        hidden in 1usize..12,
+        batch in 1usize..4,
+        act in activation_strategy(),
+        with_pool in any::<bool>(),
+        threads in prop_oneof![Just(1usize), Just(2usize), Just(4usize)],
+    ) {
+        use ftclip_nn::{Scratch, Span};
+        use ftclip_tensor::with_thread_limit;
+        use rand::SeedableRng;
+        // random-but-shape-valid stack: fused conv→act(→pool) chains plus
+        // the straight-line tail, so the plan exercises fusion, im2col
+        // elision and buffer reuse on every case
+        let mut layers = vec![Layer::conv2d(1, c1, 3, 1, 1, seed), Layer::activation(act)];
+        if with_pool {
+            layers.push(Layer::MaxPool2d(MaxPool2d::new(2, 2)));
+        }
+        layers.extend([
+            Layer::conv2d(c1, c2, 3, 1, 1, seed ^ 1),
+            Layer::relu(),
+            Layer::flatten(),
+            Layer::linear(c2 * if with_pool { 16 } else { 64 }, hidden, seed ^ 2),
+            Layer::relu(),
+            Layer::linear(hidden, 3, seed ^ 3),
+        ]);
+        let net = Sequential::new(layers);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
+        let x = ftclip_tensor::uniform_init(&[batch, 1, 8, 8], -2.0, 2.0, &mut rng);
+
+        // the pre-plan reference: every layer standalone, no fusion
+        let mut scratch = Scratch::new();
+        let mut cur = x.clone();
+        for layer in net.layers() {
+            let next = layer.forward_scratch(&cur, &mut scratch);
+            scratch.recycle(cur.into_vec());
+            cur = next;
+        }
+        let full_bits: Vec<u32> = cur.data().iter().map(|v| v.to_bits()).collect();
+
+        let plan = net.plan(x.shape().dims());
+        with_thread_limit(threads, || -> Result<(), TestCaseError> {
+            let y = plan.execute(&net, &x, Span::full(), &mut scratch);
+            let bits: Vec<u32> = y.data().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(&bits, &full_bits, "full pass, {} threads", threads);
+            prop_assert_eq!(y.shape().dims(), cur.shape().dims());
+            // every cut: prefix span then suffix span against the SAME plan
+            for cut in 0..=net.len() {
+                let mid = plan.execute(&net, &x, Span::prefix(cut), &mut scratch);
+                let out = plan.execute(&net, &mid, Span::suffix(cut), &mut scratch);
+                let bits: Vec<u32> = out.data().iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(&bits, &full_bits, "cut {}, {} threads", cut, threads);
+            }
+            Ok(())
+        })?;
+    }
+
+    #[test]
     fn convert_to_clipped_preserves_behaviour_below_thresholds(
         threshold in 1.0f32..10.0,
         seed in 0u64..100,
@@ -200,11 +263,13 @@ proptest! {
             (0..8).map(|i| ((i as f32) * 0.01) - 0.04).collect(),
             &[2, 4],
         ).unwrap();
-        let before = net.forward(&x);
+        use ftclip_nn::{Scratch, Span};
+        let mut scratch = Scratch::new();
+        let before = net.execute(&x, Span::full(), &mut scratch);
         // weights are He-initialized (|w| < 1.5 with overwhelming margin),
         // inputs tiny, so pre-activations stay well below threshold ≥ 1.0
         net.convert_to_clipped(&[threshold]);
-        let after = net.forward(&x);
+        let after = net.execute(&x, Span::full(), &mut scratch);
         prop_assert!(before.approx_eq(&after, 1e-6));
     }
 }

@@ -3,12 +3,15 @@
 //! ```text
 //! ftclipd [--addr HOST:PORT] [--state DIR] [--workers N] [--threads N]
 //!         [--cache DIR] [--no-cache] [--assets DIR] [--fresh]
-//!         [--keep-jobs N]
+//!         [--keep-jobs N] [--admin-token TOKEN]
 //! ```
 //!
 //! Boots the HTTP service over a persistent state directory, resuming any
 //! unfinished jobs found there (unless `--fresh`), and runs until
-//! `POST /v1/admin/shutdown`. See `docs/API.md` for the endpoints.
+//! `POST /v1/admin/shutdown`. When `--admin-token` (or the
+//! `FTCLIP_ADMIN_TOKEN` environment variable) is set, every `/v1/admin/*`
+//! request must carry `Authorization: Bearer <token>` or it is rejected
+//! with 401. See `docs/API.md` for the endpoints.
 
 use std::path::PathBuf;
 
@@ -18,7 +21,8 @@ fn usage(reason: &str) -> ! {
     eprintln!("{reason}");
     eprintln!(
         "usage: ftclipd [--addr HOST:PORT] [--state DIR] [--workers N] [--threads N] \
-         [--cache DIR] [--no-cache] [--assets DIR] [--fresh] [--keep-jobs N]"
+         [--cache DIR] [--no-cache] [--assets DIR] [--fresh] [--keep-jobs N] \
+         [--admin-token TOKEN]"
     );
     std::process::exit(2)
 }
@@ -57,6 +61,7 @@ fn parse_config() -> ServeConfig {
                 config.keep_jobs =
                     Some(value("--keep-jobs").parse().unwrap_or_else(|_| usage("bad --keep-jobs")))
             }
+            "--admin-token" => config.admin_token = Some(value("--admin-token")),
             "--help" | "-h" => usage("ftclipd: serve FT-ClipAct campaigns over HTTP"),
             other => usage(&format!("unknown argument '{other}'")),
         }

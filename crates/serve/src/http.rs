@@ -152,6 +152,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         204 => "No Content",
         304 => "Not Modified",
         400 => "Bad Request",
+        401 => "Unauthorized",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",

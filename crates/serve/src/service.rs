@@ -58,11 +58,16 @@ pub struct ServeConfig {
     /// campaign-cell store are never evicted — dropping a job record only
     /// costs re-deriving its tables from still-cached cells.
     pub keep_jobs: Option<usize>,
+    /// Bearer token required on every `/v1/admin/*` request. `None` (the
+    /// default when `FTCLIP_ADMIN_TOKEN` is unset) leaves the admin
+    /// endpoints open — fine on loopback, set a token anywhere else.
+    pub admin_token: Option<String>,
 }
 
 impl ServeConfig {
     /// Defaults: loopback on a free port, 2 workers over the process
-    /// thread budget, store and assets under `state_dir`, resume on.
+    /// thread budget, store and assets under `state_dir`, resume on, and
+    /// the admin token taken from `FTCLIP_ADMIN_TOKEN` when set.
     pub fn new(state_dir: impl Into<PathBuf>) -> Self {
         let state_dir = state_dir.into();
         let settings = RunSettings {
@@ -78,6 +83,7 @@ impl ServeConfig {
             state_dir,
             resume: true,
             keep_jobs: None,
+            admin_token: std::env::var("FTCLIP_ADMIN_TOKEN").ok().filter(|t| !t.is_empty()),
         }
     }
 }
@@ -87,6 +93,7 @@ struct Shared {
     workers: usize,
     threads: usize,
     cache_root: Option<PathBuf>,
+    admin_token: Option<String>,
 }
 
 /// A running `ftclipd` instance. Dropping the handle shuts it down
@@ -138,6 +145,7 @@ impl Server {
             workers,
             threads,
             cache_root: config.settings.cache_root.clone(),
+            admin_token: config.admin_token.clone(),
         });
 
         let inner = threads / workers;
@@ -319,6 +327,11 @@ fn dispatch(shared: &Arc<Shared>, req: &Request) -> Handled {
     let path = req.path.clone();
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     let reply = |r: Response| Handled::Reply(r);
+    if let ["v1", "admin", ..] = segments.as_slice() {
+        if let Some(denied) = admin_auth_error(shared, req) {
+            return reply(denied);
+        }
+    }
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => reply(Response::text(200, "ok\n")),
         ("GET", ["v1", "metrics"]) => reply(metrics_response(shared)),
@@ -369,6 +382,24 @@ fn dispatch(shared: &Arc<Shared>, req: &Request) -> Handled {
         }
         _ => reply(Response::error(404, "not-found", "unknown path")),
     }
+}
+
+/// `Some(401)` when the server has an admin token configured and the
+/// request's `Authorization: Bearer <token>` does not match it exactly.
+/// `None` (request allowed) when no token is configured.
+fn admin_auth_error(shared: &Arc<Shared>, req: &Request) -> Option<Response> {
+    let expected = shared.admin_token.as_deref()?;
+    let presented = req
+        .header("authorization")
+        .and_then(|v| v.strip_prefix("Bearer "))
+        .map(str::trim);
+    if presented == Some(expected) {
+        return None;
+    }
+    Some(
+        Response::error(401, "unauthorized", "admin endpoints require a valid bearer token")
+            .header("WWW-Authenticate", "Bearer"),
+    )
 }
 
 fn metrics_response(shared: &Arc<Shared>) -> Response {
@@ -552,6 +583,7 @@ mod tests {
                 workers: 2,
                 threads: 4,
                 cache_root: Some(dir.join("cache")),
+                admin_token: None,
             }),
             dir,
         )

@@ -302,3 +302,59 @@ fn abandoned_server_resumes_bit_identically_from_the_store() {
     std::fs::remove_dir_all(dir).ok();
     std::fs::remove_dir_all(reference_dir).ok();
 }
+
+#[test]
+fn admin_endpoints_require_bearer_token_when_configured() {
+    let dir = state_dir("admin-auth");
+    let mut config = ServeConfig::new(dir.clone());
+    config.workers = 1;
+    config.threads = 1;
+    config.admin_token = Some("sesame".to_string());
+    let server = Server::start(config).expect("server starts");
+    let client = HttpClient::new(server.addr()).with_timeout(Duration::from_secs(30));
+
+    // no credentials → 401 with a challenge, and the server keeps running
+    let denied = client.request("POST", "/v1/admin/shutdown", &[], b"").expect("bare request");
+    assert_eq!(denied.status, 401, "{}", denied.text());
+    assert_eq!(denied.header("www-authenticate"), Some("Bearer"));
+    let code = denied.json().and_then(|v| {
+        v.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_str)
+            .map(String::from)
+    });
+    assert_eq!(code.as_deref(), Some("unauthorized"));
+
+    // a wrong token is rejected the same way
+    let wrong = client
+        .request("POST", "/v1/admin/shutdown", &[("Authorization", "Bearer open")], b"")
+        .expect("wrong-token request");
+    assert_eq!(wrong.status, 401);
+
+    // non-admin endpoints stay open without credentials
+    assert_eq!(client.get("/healthz").expect("healthz").status, 200);
+    assert_eq!(client.get("/v1/metrics").expect("metrics").status, 200);
+
+    // the exact token is accepted and the shutdown goes through
+    let ok = client
+        .request("POST", "/v1/admin/shutdown", &[("Authorization", "Bearer sesame")], b"")
+        .expect("authorized request");
+    assert_eq!(ok.status, 202, "{}", ok.text());
+    server.join();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn admin_endpoints_stay_open_without_a_configured_token() {
+    let dir = state_dir("admin-open");
+    let mut config = ServeConfig::new(dir.clone());
+    config.workers = 1;
+    config.threads = 1;
+    config.admin_token = None;
+    let server = Server::start(config).expect("server starts");
+    let client = HttpClient::new(server.addr()).with_timeout(Duration::from_secs(30));
+    let ok = client.request("POST", "/v1/admin/shutdown", &[], b"").expect("request");
+    assert_eq!(ok.status, 202, "{}", ok.text());
+    server.join();
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -30,7 +30,7 @@
 //!
 //! ```
 //! use ftclip_fault::{Campaign, CampaignConfig, FaultModel, InjectionTarget};
-//! use ftclip_nn::{Layer, Sequential};
+//! use ftclip_nn::{Layer, Scratch, Sequential, Span};
 //! use ftclip_store::{campaign_fingerprint, ResultStore};
 //!
 //! let net = Sequential::new(vec![Layer::linear(4, 2, 0)]);
@@ -46,7 +46,7 @@
 //! let session = store.session(&campaign_fingerprint(&net, &cfg)).unwrap();
 //! let campaign = Campaign::new(cfg);
 //! let eval = |n: &Sequential| {
-//!     let y = n.forward(&ftclip_tensor::Tensor::ones(&[1, 4]));
+//!     let y = n.execute(&ftclip_tensor::Tensor::ones(&[1, 4]), Span::full(), &mut Scratch::new());
 //!     y.iter().filter(|v| v.is_finite()).count() as f64 / y.len() as f64
 //! };
 //! let fresh = campaign.run_parallel_cached(&net, &session, eval);

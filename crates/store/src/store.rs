@@ -481,7 +481,11 @@ mod tests {
         let store = ResultStore::new(&root);
         let net = Sequential::new(vec![Layer::linear(6, 3, 9)]);
         let eval = |n: &Sequential| {
-            let y = n.forward(&ftclip_tensor::Tensor::ones(&[1, 6]));
+            let y = n.execute(
+                &ftclip_tensor::Tensor::ones(&[1, 6]),
+                ftclip_nn::Span::full(),
+                &mut ftclip_nn::Scratch::new(),
+            );
             y.iter()
                 .map(|v| if v.is_finite() { (*v as f64).abs().min(1.0) } else { 0.0 })
                 .sum::<f64>()

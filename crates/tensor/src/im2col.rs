@@ -184,6 +184,73 @@ pub fn im2col_batch_into(images: &Tensor, geom: Conv2dGeometry, dst: &mut [f32])
     }
 }
 
+/// Unrolls **one** image (a `[c, h, w]` slice of a batch) into a column
+/// matrix `[c·k·k, oh·ow]`, **overwriting every element of `dst`** — padding
+/// positions are written as explicit `0.0`, so recycled storage needs no
+/// zero-fill pass.
+///
+/// This is the gather step of the im2col-elided convolution plan: instead of
+/// materializing one batch-wide column matrix (`n·oh·ow` columns, often tens
+/// of megabytes), the executor unrolls one image at a time into a small
+/// cache-resident buffer that is reused across the whole batch. The values
+/// written are exactly those of [`im2col_batch_into`] for the corresponding
+/// image, so any kernel consuming them is bit-identical to the batched path.
+///
+/// For stride-1 geometries each `(channel, tap, output-row)` maps to one
+/// contiguous input run, which is copied with `copy_from_slice` instead of a
+/// per-element loop.
+///
+/// # Panics
+///
+/// Panics if `image` is not `c·h·w` elements or `dst` is not
+/// `c·k·k × oh·ow` elements.
+pub fn im2col_image_overwrite(
+    image: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: Conv2dGeometry,
+    dst: &mut [f32],
+) {
+    let (oh, ow) = geom.output_size(h, w);
+    let k = geom.kernel;
+    let l = oh * ow;
+    assert_eq!(image.len(), c * h * w, "im2col_image_overwrite image size mismatch");
+    assert_eq!(dst.len(), c * k * k * l, "im2col_image_overwrite destination size mismatch");
+    let (stride, pad) = (geom.stride, geom.pad);
+    for ci in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ci * k + ky) * k + kx;
+                let row_base = row * l;
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    let dst_row = &mut dst[row_base + oy * ow..row_base + oy * ow + ow];
+                    if iy < 0 || iy >= h as isize {
+                        dst_row.fill(0.0);
+                        continue;
+                    }
+                    let src_row = &image[(ci * h + iy as usize) * w..(ci * h + iy as usize + 1) * w];
+                    if stride == 1 {
+                        // ix = ox + kx - pad: one contiguous run, zero edges
+                        let lo = pad.saturating_sub(kx).min(ow);
+                        let hi = (w + pad).saturating_sub(kx).min(ow).max(lo);
+                        dst_row[..lo].fill(0.0);
+                        let src_lo = lo + kx - pad;
+                        dst_row[lo..hi].copy_from_slice(&src_row[src_lo..src_lo + (hi - lo)]);
+                        dst_row[hi..].fill(0.0);
+                    } else {
+                        for (ox, slot) in dst_row.iter_mut().enumerate() {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            *slot = if ix < 0 || ix >= w as isize { 0.0 } else { src_row[ix as usize] };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Scatters a column matrix `[c·k·k, oh·ow]` back into an image `[c, h, w]`,
 /// **accumulating** overlapping contributions (the adjoint of [`im2col`]).
 ///
@@ -299,6 +366,45 @@ mod tests {
     fn geometry_output_size_helper() {
         let g = Conv2dGeometry::new(2, 2, 0);
         assert_eq!(g.output_size(8, 8), (4, 4));
+    }
+
+    #[test]
+    fn im2col_image_overwrite_matches_batched_unroll_bitwise() {
+        // dirty destination + every geometry class: stride-1 padded (the run
+        // fast path incl. edges), strided unpadded, strided padded fallback
+        for geom in [Conv2dGeometry::new(3, 1, 1), Conv2dGeometry::new(2, 2, 0), Conv2dGeometry::new(3, 2, 2)]
+        {
+            let (n, c, h, w) = (2, 3, 5, 4);
+            let batch = Tensor::from_vec(
+                (0..n * c * h * w).map(|i| ((i * 29) % 17) as f32 - 8.0).collect(),
+                &[n, c, h, w],
+            )
+            .unwrap();
+            let big = im2col_batch(&batch, geom);
+            let (oh, ow) = geom.output_size(h, w);
+            let l = oh * ow;
+            let rows = c * geom.kernel * geom.kernel;
+            let mut dst = vec![f32::NAN; rows * l]; // garbage must be fully overwritten
+            for i in 0..n {
+                im2col_image_overwrite(
+                    &batch.data()[i * c * h * w..(i + 1) * c * h * w],
+                    c,
+                    h,
+                    w,
+                    geom,
+                    &mut dst,
+                );
+                for r in 0..rows {
+                    for j in 0..l {
+                        assert_eq!(
+                            dst[r * l + j].to_bits(),
+                            big.at2(r, i * l + j).to_bits(),
+                            "geom {geom:?} image {i} row {r} col {j}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

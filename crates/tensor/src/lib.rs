@@ -43,9 +43,11 @@ mod shape;
 mod tensor;
 
 pub use error::TensorError;
-pub use im2col::{col2im, conv_output_size, im2col, im2col_batch, im2col_batch_into, Conv2dGeometry};
+pub use im2col::{
+    col2im, conv_output_size, im2col, im2col_batch, im2col_batch_into, im2col_image_overwrite, Conv2dGeometry,
+};
 pub use init::{he_normal, uniform_init, xavier_uniform};
-pub use matmul::{matmul, matmul_into, matmul_nt, matmul_nt_into, matmul_tn};
+pub use matmul::{gemm_accumulate, matmul, matmul_into, matmul_nt, matmul_nt_into, matmul_tn};
 pub use par::{num_threads, par_row_bands, with_thread_limit};
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -106,18 +106,45 @@ fn accumulate_band(
     row_len: usize,
     b_col0: usize,
 ) {
-    let rows = band.len() / row_len;
     let mut j0 = 0;
     while j0 < row_len {
         let j1 = (j0 + J_TILE).min(row_len);
         let mut k0 = 0;
         while k0 < k {
             let k1 = (k0 + K_BLOCK).min(k);
-            for r in 0..rows {
-                let i = first_row + r;
-                let a_block = &a[i * k + k0..i * k + k1];
-                let c_strip = &mut band[r * row_len + j0..r * row_len + j1];
-                micro_kernel(a_block, b, b_stride, b_col0 + j0, k0, c_strip);
+            // Rows go four at a time so each loaded `B` vector feeds four
+            // accumulator rows (the kernel is FMA-bound instead of
+            // load-bound); stragglers take the single-row kernel. Either
+            // way every output element sees its own ascending-`k` chain.
+            let mut rows_iter = band.chunks_mut(row_len);
+            let mut i = first_row;
+            let a_block = |i: usize| &a[i * k + k0..i * k + k1];
+            while let Some(row0) = rows_iter.next() {
+                let c0 = &mut row0[j0..j1];
+                match (rows_iter.next(), rows_iter.next(), rows_iter.next()) {
+                    (Some(row1), Some(row2), Some(row3)) => {
+                        micro_kernel_x4(
+                            [a_block(i), a_block(i + 1), a_block(i + 2), a_block(i + 3)],
+                            b,
+                            b_stride,
+                            b_col0 + j0,
+                            k0,
+                            c0,
+                            &mut row1[j0..j1],
+                            &mut row2[j0..j1],
+                            &mut row3[j0..j1],
+                        );
+                        i += 4;
+                    }
+                    (r1, r2, r3) => {
+                        micro_kernel(a_block(i), b, b_stride, b_col0 + j0, k0, c0);
+                        i += 1;
+                        for row in [r1, r2, r3].into_iter().flatten() {
+                            micro_kernel(a_block(i), b, b_stride, b_col0 + j0, k0, &mut row[j0..j1]);
+                            i += 1;
+                        }
+                    }
+                }
             }
             k0 = k1;
         }
@@ -134,36 +161,123 @@ fn accumulate_band(
 /// so vectorization happens across `j` lanes only and per-element bits are
 /// unchanged.
 fn micro_kernel(a_block: &[f32], b: &[f32], b_stride: usize, b_col0: usize, k0: usize, c_strip: &mut [f32]) {
-    let width = c_strip.len();
     let mut dk = 0;
     while dk + 4 <= a_block.len() {
-        let (a0, a1, a2, a3) = (a_block[dk], a_block[dk + 1], a_block[dk + 2], a_block[dk + 3]);
-        if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
-            let base = (k0 + dk) * b_stride + b_col0;
-            let b0 = &b[base..base + width];
-            let b1 = &b[base + b_stride..base + b_stride + width];
-            let b2 = &b[base + 2 * b_stride..base + 2 * b_stride + width];
-            let b3 = &b[base + 3 * b_stride..base + 3 * b_stride + width];
-            for ((((c_v, &v0), &v1), &v2), &v3) in c_strip.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
-                let mut acc = *c_v;
-                acc += a0 * v0;
-                acc += a1 * v1;
-                acc += a2 * v2;
-                acc += a3 * v3;
-                *c_v = acc;
-            }
-        } else {
-            // a zero coefficient must be skipped, not multiplied through:
-            // `x + 0·b` is not always bit-identical to `x` (signed zeros,
-            // non-finite b under injected faults)
-            for t in 0..4 {
-                axpy_strip(a_block[dk + t], b, (k0 + dk + t) * b_stride + b_col0, c_strip);
-            }
-        }
+        let aq = [a_block[dk], a_block[dk + 1], a_block[dk + 2], a_block[dk + 3]];
+        quad_strip(aq, b, b_stride, (k0 + dk) * b_stride + b_col0, c_strip);
         dk += 4;
     }
     while dk < a_block.len() {
         axpy_strip(a_block[dk], b, (k0 + dk) * b_stride + b_col0, c_strip);
+        dk += 1;
+    }
+}
+
+/// One four-coefficient pass of the single-row kernel: the strip element is
+/// loaded and stored once per four multiply-adds when all four coefficients
+/// are non-zero, with per-coefficient axpy (zeros skipped) otherwise.
+#[inline]
+fn quad_strip(aq: [f32; 4], b: &[f32], b_stride: usize, base: usize, c_strip: &mut [f32]) {
+    let width = c_strip.len();
+    let [a0, a1, a2, a3] = aq;
+    if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+        let b0 = &b[base..base + width];
+        let b1 = &b[base + b_stride..base + b_stride + width];
+        let b2 = &b[base + 2 * b_stride..base + 2 * b_stride + width];
+        let b3 = &b[base + 3 * b_stride..base + 3 * b_stride + width];
+        for ((((c_v, &v0), &v1), &v2), &v3) in c_strip.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+            let mut acc = *c_v;
+            acc += a0 * v0;
+            acc += a1 * v1;
+            acc += a2 * v2;
+            acc += a3 * v3;
+            *c_v = acc;
+        }
+    } else {
+        // a zero coefficient must be skipped, not multiplied through:
+        // `x + 0·b` is not always bit-identical to `x` (signed zeros,
+        // non-finite b under injected faults)
+        for (t, a_v) in aq.into_iter().enumerate() {
+            axpy_strip(a_v, b, base + t * b_stride, c_strip);
+        }
+    }
+}
+
+/// Four-row variant of [`micro_kernel`]: one pass over the `B` panel strip
+/// feeds four accumulator rows, so each loaded `B` vector is reused four
+/// times and the inner loop is FMA-bound instead of load-bound.
+///
+/// The joint fast path requires all sixteen coefficients of the quad to be
+/// non-zero; any zero drops the quad to four single-row [`quad_strip`]
+/// passes. Either way each output element only ever sees its own row's
+/// coefficients, ascending in `k` with zeros skipped — per-element bits are
+/// identical to the single-row kernel.
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel_x4(
+    a: [&[f32]; 4],
+    b: &[f32],
+    b_stride: usize,
+    b_col0: usize,
+    k0: usize,
+    c0: &mut [f32],
+    c1: &mut [f32],
+    c2: &mut [f32],
+    c3: &mut [f32],
+) {
+    let width = c0.len();
+    let len = a[0].len();
+    let mut dk = 0;
+    while dk + 4 <= len {
+        let q: [[f32; 4]; 4] = [0, 1, 2, 3].map(|r| [a[r][dk], a[r][dk + 1], a[r][dk + 2], a[r][dk + 3]]);
+        let base = (k0 + dk) * b_stride + b_col0;
+        if q.iter().flatten().all(|v| *v != 0.0) {
+            let b0 = &b[base..base + width];
+            let b1 = &b[base + b_stride..base + b_stride + width];
+            let b2 = &b[base + 2 * b_stride..base + 2 * b_stride + width];
+            let b3 = &b[base + 3 * b_stride..base + 3 * b_stride + width];
+            let (c0, c1) = (&mut c0[..width], &mut c1[..width]);
+            let (c2, c3) = (&mut c2[..width], &mut c3[..width]);
+            for j in 0..width {
+                let (v0, v1, v2, v3) = (b0[j], b1[j], b2[j], b3[j]);
+                let mut x = c0[j];
+                x += q[0][0] * v0;
+                x += q[0][1] * v1;
+                x += q[0][2] * v2;
+                x += q[0][3] * v3;
+                c0[j] = x;
+                let mut x = c1[j];
+                x += q[1][0] * v0;
+                x += q[1][1] * v1;
+                x += q[1][2] * v2;
+                x += q[1][3] * v3;
+                c1[j] = x;
+                let mut x = c2[j];
+                x += q[2][0] * v0;
+                x += q[2][1] * v1;
+                x += q[2][2] * v2;
+                x += q[2][3] * v3;
+                c2[j] = x;
+                let mut x = c3[j];
+                x += q[3][0] * v0;
+                x += q[3][1] * v1;
+                x += q[3][2] * v2;
+                x += q[3][3] * v3;
+                c3[j] = x;
+            }
+        } else {
+            quad_strip(q[0], b, b_stride, base, c0);
+            quad_strip(q[1], b, b_stride, base, c1);
+            quad_strip(q[2], b, b_stride, base, c2);
+            quad_strip(q[3], b, b_stride, base, c3);
+        }
+        dk += 4;
+    }
+    while dk < len {
+        let base = (k0 + dk) * b_stride + b_col0;
+        axpy_strip(a[0][dk], b, base, c0);
+        axpy_strip(a[1][dk], b, base, c1);
+        axpy_strip(a[2][dk], b, base, c2);
+        axpy_strip(a[3][dk], b, base, c3);
         dk += 1;
     }
 }
@@ -220,6 +334,27 @@ fn matmul_into_col_parallel(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: us
             c[i * n + j0..i * n + j0 + width].copy_from_slice(&local[i * width..(i + 1) * width]);
         }
     }
+}
+
+/// `out += A · B` on raw slices: `A: [m, k]`, `B: [k, n]`,
+/// `out: [m, n]` with `m` inferred from `out.len() / n`.
+///
+/// This is the blocked accumulation core of [`matmul_into`] exposed for plan
+/// executors that accumulate directly into a strided view of a larger buffer
+/// (e.g. one image's `[out_channels, oh·ow]` rows of a batched NCHW output,
+/// which are contiguous). The bit-exactness contract of the module holds
+/// unchanged: every output element is accumulated in ascending-`k` order with
+/// one rounding per non-zero `a_ik`, zero coefficients skipped.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `(k, n)`.
+pub fn gemm_accumulate(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    assert!(n > 0 && out.len().is_multiple_of(n), "gemm_accumulate output not a whole number of rows");
+    let m = out.len() / n;
+    assert_eq!(a.len(), m * k, "gemm_accumulate A size mismatch");
+    assert_eq!(b.len(), k * n, "gemm_accumulate B size mismatch");
+    accumulate_band(a, b, out, 0, k, n, n, 0);
 }
 
 /// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` → `C: [m, n]`.
@@ -464,6 +599,21 @@ mod tests {
         let mut c = Tensor::filled(&[3, 5], 123.0); // recycled-scratch garbage
         matmul_nt_into(&a, &b, &mut c);
         assert_eq!(bits(&c), bits(&matmul_nt(&a, &b)));
+    }
+
+    #[test]
+    fn gemm_accumulate_bitwise_matches_matmul_into() {
+        // straddle K_BLOCK and J_TILE, seed the output nonzero: the exposed
+        // slice core must replay matmul_into's exact rounding chain
+        let (m, k, n) = (5, K_BLOCK + 7, J_TILE + 9);
+        let a = arange(&[m, k]);
+        let b = arange(&[k, n]);
+        let mut via_tensor = Tensor::filled(&[m, n], 0.5);
+        matmul_into(&a, &b, &mut via_tensor);
+        let mut via_slices = vec![0.5f32; m * n];
+        gemm_accumulate(a.data(), b.data(), &mut via_slices, k, n);
+        let got: Vec<u32> = via_slices.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(got, bits(&via_tensor));
     }
 
     #[test]

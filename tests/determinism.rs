@@ -3,7 +3,7 @@
 
 use ftclipact::core::EvalSet;
 use ftclipact::fault::{Campaign, CampaignConfig, FaultModel, Injection, InjectionTarget};
-use ftclipact::nn::{Layer, Sequential, Trainer};
+use ftclipact::nn::{Layer, Scratch, Sequential, Span, Trainer};
 use ftclipact::prelude::*;
 
 fn tiny_data(seed: u64) -> SynthCifar {
@@ -44,7 +44,9 @@ fn training_is_deterministic_per_seed() {
             data.train().labels(),
             None,
         );
-        net.forward(data.test().images()).data().to_vec()
+        net.execute(data.test().images(), Span::full(), &mut Scratch::new())
+            .data()
+            .to_vec()
     };
     assert_eq!(run(3), run(3));
     assert_ne!(run(3), run(4));
@@ -199,7 +201,8 @@ fn single_thread_env_does_not_change_results() {
     // each output row is accumulated by exactly one thread
     let data = tiny_data(8);
     let net = tiny_net();
-    let y1 = net.forward(data.test().images());
-    let y2 = net.forward(data.test().images());
+    let mut scratch = Scratch::new();
+    let y1 = net.execute(data.test().images(), Span::full(), &mut scratch);
+    let y2 = net.execute(data.test().images(), Span::full(), &mut scratch);
     assert_eq!(y1.data(), y2.data());
 }

@@ -2,7 +2,7 @@
 //! roundtrip with behaviour intact — including the tuned clip thresholds.
 
 use ftclipact::core::profile_network;
-use ftclipact::nn::{load_network, save_network, Layer, Sequential, Trainer};
+use ftclipact::nn::{load_network, save_network, Layer, Scratch, Sequential, Span, Trainer};
 use ftclipact::prelude::*;
 
 fn temp_path(name: &str) -> std::path::PathBuf {
@@ -43,7 +43,10 @@ fn hardened_network_roundtrips_with_thresholds() {
 
     assert_eq!(loaded.clip_thresholds(), net.clip_thresholds());
     let x = data.test().images().slice_batch(0..8);
-    assert!(loaded.forward(&x).approx_eq(&net.forward(&x), 0.0), "outputs must be bit-identical");
+    let mut scratch = Scratch::new();
+    let ya = loaded.execute(&x, Span::full(), &mut scratch);
+    let yb = net.execute(&x, Span::full(), &mut scratch);
+    assert!(ya.approx_eq(&yb, 0.0), "outputs must be bit-identical");
     std::fs::remove_dir_all(std::env::temp_dir().join("ftclip-integration")).ok();
 }
 

@@ -34,6 +34,14 @@
 //! the AlexNet experiment workloads, single-threaded, asserting the two
 //! paths agree bit for bit — written to a JSON summary (default
 //! `BENCH_8.json`) that CI publishes alongside the other bench artifacts.
+//!
+//! `timing_probe eval --int8 [--out FILE]` measures the **post-training
+//! quantized int8 engine** against the f32 plan path on the AlexNet
+//! experiment workload, single-threaded — i32-accumulating kernels over a
+//! 4× denser weight memory — reporting the forward-pass speedup and the
+//! argmax agreement between the two engines' logits, written to a JSON
+//! summary (default `BENCH_9.json`) that CI publishes alongside the other
+//! bench artifacts.
 
 use std::time::Instant;
 
@@ -653,6 +661,82 @@ fn probe_plan(out_path: &str) {
     println!("\nwrote {out_path}");
 }
 
+/// Per-image argmax over a `[n, classes]` logit matrix.
+fn argmaxes(logits: &Tensor) -> Vec<usize> {
+    let dims = logits.shape().dims();
+    let (n, classes) = (dims[0], dims[1]);
+    let data = logits.data();
+    (0..n)
+        .map(|i| {
+            let row = &data[i * classes..(i + 1) * classes];
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(j, _)| j)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// The int8 quantized-engine probe: post-training quantized plan vs the f32
+/// compiled plan on the AlexNet experiment workload, single-threaded, argmax
+/// agreement reported, written to `out_path` (BENCH_9.json).
+fn probe_int8(out_path: &str) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let net = ftclip_models::alexnet_cifar(0.125, 10, 1);
+    let data = ftclip_data::SynthCifar::builder()
+        .seed(1)
+        .train_size(8)
+        .val_size(64)
+        .test_size(64)
+        .build();
+    let calib = data.val().images();
+    let qplan = ftclip_quant::QuantizedPlan::quantize(&net, calib).expect("alexnet quantizes");
+    let x = data.test().images().clone();
+    let batch = x.shape()[0];
+
+    let mut scratch = Scratch::new();
+    let (y_f32, y_int8) =
+        with_thread_limit(1, || (net.execute(&x, Span::full(), &mut scratch), qplan.execute(&x)));
+    let (am_f32, am_int8) = (argmaxes(&y_f32), argmaxes(&y_int8));
+    let agree = am_f32.iter().zip(&am_int8).filter(|(a, b)| a == b).count();
+    let agreement = agree as f64 / batch as f64;
+
+    // paired alternating sampling with a per-path minimum, exactly like the
+    // plan probe: both engines see the same clock drift, and the minimum is
+    // the least-interfered sample on a shared core
+    let (mut f32_t, mut int8_t) = (Vec::new(), Vec::new());
+    with_thread_limit(1, || {
+        for _ in 0..9 {
+            f32_t.push(time_median(1, || net.execute(&x, Span::full(), &mut scratch)));
+            int8_t.push(time_median(1, || qplan.execute(&x)));
+        }
+    });
+    let fold_min = |t: &[f64]| t.iter().copied().fold(f64::INFINITY, f64::min);
+    let (f32_s, int8_s) = (fold_min(&f32_t), fold_min(&int8_t));
+    let speedup = f32_s / int8_s;
+
+    println!("int8 quantized engine vs f32 plan, alexnet w=0.125, batch {batch}, single-threaded:");
+    println!(
+        "  f32 {:6.1} ms, int8 {:6.1} ms  → ×{speedup:.2}  (acceptance floor ×2)",
+        f32_s * 1e3,
+        int8_s * 1e3
+    );
+    println!("  argmax agreement on {batch} images: {agree}/{batch} ({agreement:.3})");
+
+    let json = format!(
+        "{{\n  \"probe\": \"timing_probe eval --int8\",\n  \"available_parallelism\": {cores},\n  \
+         \"model\": \"alexnet_cifar(0.125)\",\n  \"batch_size\": {batch},\n  \"threads\": 1,\n  \
+         \"calibration_images\": {},\n  \"f32_ms\": {:.3},\n  \"int8_ms\": {:.3},\n  \
+         \"speedup\": {speedup:.3},\n  \"argmax_agreement\": {agreement:.4}\n}}\n",
+        calib.shape()[0],
+        f32_s * 1e3,
+        int8_s * 1e3,
+    );
+    std::fs::write(out_path, &json).expect("write timing summary");
+    println!("\nwrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let out = |default: &'static str| {
@@ -663,7 +747,9 @@ fn main() {
             .to_string()
     };
     if args.iter().any(|a| a == "eval") {
-        if args.iter().any(|a| a == "--plan") {
+        if args.iter().any(|a| a == "--int8") {
+            probe_int8(&out("BENCH_9.json"));
+        } else if args.iter().any(|a| a == "--plan") {
             probe_plan(&out("BENCH_8.json"));
         } else {
             probe_eval(&out("BENCH_3.json"));

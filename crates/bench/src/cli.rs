@@ -104,6 +104,19 @@ fn describe_text(p: &crate::presets::Preset) -> String {
     for (label, injected) in spec.rates.label_rates().iter().zip(spec.rates.resolve(scale)) {
         let _ = writeln!(out, "  paper {label:.1e} → injected {injected:.3e}");
     }
+    match spec.fault_model.bit_position() {
+        Some(pos) => {
+            let _ = writeln!(
+                out,
+                "fault model: {} — stratified to the '{pos}' bits of each word",
+                spec.fault_model
+            );
+        }
+        None => {
+            let _ = writeln!(out, "fault model: {} — uniform over every bit", spec.fault_model);
+        }
+    }
+    let _ = writeln!(out, "precision: {} ({}-bit weight words)", spec.precision, spec.precision.word_bits());
     let _ = write!(out, "{}", spec.to_json());
     out
 }
@@ -250,6 +263,22 @@ mod tests {
         assert!(adaptive.contains("stopping: adaptive"), "{adaptive}");
         assert!(adaptive.contains("half-width ≤ 0.02"), "{adaptive}");
         assert!(adaptive.contains("2..=50 repetitions"), "{adaptive}");
+    }
+
+    #[test]
+    fn describe_reports_the_bit_stratum_and_precision() {
+        // a uniform f32 preset states both axes explicitly
+        let fixed = describe_text(&preset("fig1b").unwrap());
+        assert!(fixed.contains("uniform over every bit"), "{fixed}");
+        assert!(fixed.contains("precision: f32 (32-bit weight words)"), "{fixed}");
+
+        // a stratified int8 spec names the stratum and the byte encoding
+        let mut p = preset("fig_bitpos").unwrap();
+        p.spec.fault_model = "bit-flip@exponent".parse().unwrap();
+        p.spec.precision = ftclip_quant::Precision::Int8;
+        let stratified = describe_text(&p);
+        assert!(stratified.contains("stratified to the 'exponent' bits"), "{stratified}");
+        assert!(stratified.contains("precision: int8 (8-bit weight words)"), "{stratified}");
     }
 
     #[test]

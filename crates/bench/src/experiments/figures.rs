@@ -9,9 +9,10 @@ use ftclip_core::{
     auc_normalized, campaign_auc, improvement_percent, profile_network, ResultTable, ThresholdTuner,
     TunerConfig,
 };
-use ftclip_fault::{Campaign, Injection, InjectionTarget};
+use ftclip_fault::{BitPosition, Campaign, CampaignResult, FaultModel, Injection, InjectionTarget};
 use ftclip_models::{model_size_report, ZooArch};
 use ftclip_nn::{Activation, Layer, Sequential};
+use ftclip_quant::{Precision, QuantCampaign, QuantizedPlan};
 use ftclip_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -122,8 +123,21 @@ pub(crate) fn with_saturated(net: &Sequential, thresholds: &[f32]) -> Sequential
     out
 }
 
+/// The int8 twin of a hardened workload network: post-training quantized
+/// with a validation calibration batch (always the same subset for a given
+/// spec seed, so the plan — and every cached cell keyed on it — is
+/// deterministic).
+pub(crate) fn quantized_twin(ctx: &RunContext, workload: &Workload, net: &Sequential) -> QuantizedPlan {
+    let data = &workload.data;
+    let calib = data.val().subset(64.min(data.val().len()), ctx.spec.seed);
+    QuantizedPlan::quantize(net, calib.images())
+        .unwrap_or_else(|e| panic!("int8 quantization of the {} workload failed: {e}", workload.name))
+}
+
 /// Fig. 1b shape — one campaign over the spec's grid, summarized per rate.
-/// Honors the spec's [`Protection`] (the fig1b preset runs unprotected).
+/// Honors the spec's [`Protection`] (the fig1b preset runs unprotected) and
+/// its [`Precision`]: under `int8` the campaign corrupts the quantized
+/// twin's weight bytes instead of the f32 bit lanes.
 pub fn campaign_summary(ctx: &mut RunContext) -> Result<(), SpecError> {
     let workload = ctx.workload();
     let net = apply_protection(ctx, &workload, ctx.spec.protection);
@@ -135,26 +149,44 @@ pub fn campaign_summary(ctx: &mut RunContext) -> Result<(), SpecError> {
         .map_err(SpecError::Campaign)?;
     cfg.target = ctx.spec.target.resolve(&net)?;
     eprintln!(
-        "[{}] campaign: {} rates × {} reps on {} images, {} worker thread(s)",
+        "[{}] campaign: {} rates × {} reps on {} images ({}), {} worker thread(s)",
         ctx.spec.name,
         cfg.fault_rates.len(),
         cfg.repetitions,
         eval.len(),
+        ctx.spec.precision,
         ftclip_tensor::num_threads()
     );
-    let session = ctx.campaign_session("campaign-summary", &net, &cfg);
     let max_reps = cfg.stopping.map_or(cfg.repetitions, |rule| rule.max_reps);
-    // the suffix evaluator re-executes only the layers below each cell's
-    // earliest fault, reusing memoized clean prefix activations —
-    // bit-identical to the full-forward closure it replaces
-    let result = Campaign::new(cfg).run_parallel_cached(&net, &session, eval.suffix_eval());
+    let result = match ctx.spec.precision {
+        Precision::F32 => {
+            let session = ctx.campaign_session("campaign-summary", &net, &cfg);
+            // the suffix evaluator re-executes only the layers below each
+            // cell's earliest fault, reusing memoized clean prefix
+            // activations — bit-identical to the full-forward closure it
+            // replaces
+            Campaign::new(cfg).run_parallel_cached(&net, &session, eval.suffix_eval())
+        }
+        Precision::Int8 => {
+            let mut plan = quantized_twin(ctx, &workload, &net);
+            let session =
+                ctx.campaign_session_with_precision("campaign-summary", &net, &cfg, Precision::Int8);
+            let batch = ctx.spec.eval_batch;
+            QuantCampaign::new(&mut plan, &cfg)
+                .map_err(SpecError::Campaign)?
+                .run_cached(&session, &mut |p: &QuantizedPlan| {
+                    p.accuracy(eval.images(), eval.labels(), batch)
+                })
+        }
+    };
 
     outln!(
         ctx,
-        "{} — {} {} accuracy vs fault rate",
+        "{} — {} {} ({}) accuracy vs fault rate",
         ctx.spec.name,
         ctx.spec.protection,
-        workload.name
+        workload.name,
+        ctx.spec.precision
     );
     outln!(
         ctx,
@@ -213,6 +245,169 @@ pub fn campaign_summary(ctx: &mut RunContext) -> Result<(), SpecError> {
             "\nshape check: accuracy decreases with fault rate ({first:.4} → {collapse:.4}), clean {:.4}",
             result.clean_accuracy
         );
+    }
+    Ok(())
+}
+
+/// The strata `fig_bitpos` sweeps, in display order.
+fn bitpos_strata() -> [BitPosition; 3] {
+    [BitPosition::Sign, BitPosition::Exponent, BitPosition::Mantissa]
+}
+
+/// Prints one stratum's summary rows and appends them to `table`; returns
+/// the per-rate mean accuracies.
+fn bitpos_rows(
+    ctx: &mut RunContext,
+    table: &mut ResultTable,
+    precision: Precision,
+    pos: BitPosition,
+    rates: &[f64],
+    result: &CampaignResult,
+) -> Result<Vec<f64>, SpecError> {
+    let mut means = Vec::with_capacity(rates.len());
+    for (i, s) in result.summaries().map_err(SpecError::Campaign)?.iter().enumerate() {
+        outln!(
+            ctx,
+            "{:<10} {:<10} {:<12.1e} {:>10.4} {:>10.4} {:>10.4}",
+            precision.to_string(),
+            pos.to_string(),
+            rates[i],
+            s.mean,
+            s.min,
+            s.max
+        );
+        table.row([
+            precision.to_string().as_str().into(),
+            pos.to_string().as_str().into(),
+            rates[i].into(),
+            s.mean.into(),
+            s.min.into(),
+            s.max.into(),
+        ]);
+        means.push(s.mean);
+    }
+    Ok(means)
+}
+
+/// `fig_bitpos` — accuracy vs fault rate, stratified by bit position, on
+/// the f32 network and its int8 quantized twin.
+///
+/// For every stratum (sign / exponent / mantissa) the same rate grid runs
+/// twice: once as an f32 campaign with [`FaultModel::BitFlipAt`] resolved
+/// against the IEEE-754 encoding, once as a byte-level campaign over the
+/// int8 weight memory. The expected vulnerability split: f32 exponent
+/// flips collapse accuracy while mantissa flips barely move it; int8 has
+/// *no* exponent field, so its exponent stratum injects zero faults and
+/// stays at clean accuracy — the structural reason quantized inference
+/// removes the paper's dominant fault mode.
+pub fn bit_position_sweep(ctx: &mut RunContext) -> Result<(), SpecError> {
+    let workload = ctx.workload();
+    let net = apply_protection(ctx, &workload, ctx.spec.protection);
+    let eval = ctx.eval_set(workload.data.test());
+    let mut plan = quantized_twin(ctx, &workload, &net);
+
+    let mut cfg = ctx
+        .spec
+        .campaign_config_with_scale(workload.rate_scale())
+        .map_err(SpecError::Campaign)?;
+    cfg.target = ctx.spec.target.resolve(&net)?;
+    let rates = cfg.fault_rates.clone();
+    let batch = ctx.spec.eval_batch;
+
+    outln!(ctx, "{} — bit-position-resolved vulnerability, {} workload", ctx.spec.name, workload.name);
+    outln!(
+        ctx,
+        "({} rates × {} reps on {} images; strata resolved against each precision's encoding)\n",
+        rates.len(),
+        cfg.repetitions,
+        eval.len()
+    );
+    outln!(
+        ctx,
+        "{:<10} {:<10} {:<12} {:>10} {:>10} {:>10}",
+        "precision",
+        "stratum",
+        "rate",
+        "mean_acc",
+        "min_acc",
+        "max_acc"
+    );
+    let mut table =
+        ResultTable::new(&ctx.spec.name, &["precision", "stratum", "rate", "mean_acc", "min_acc", "max_acc"]);
+
+    // (precision, stratum) → (per-rate means, clean accuracy)
+    let mut curves: Vec<(Precision, BitPosition, Vec<f64>, f64)> = Vec::new();
+    let suffix = eval.suffix_eval();
+    for pos in bitpos_strata() {
+        let mut scfg = cfg.clone();
+        scfg.model = FaultModel::BitFlipAt(pos);
+        eprintln!("[{}] f32 {pos} stratum: {} rates × {} reps", ctx.spec.name, rates.len(), scfg.repetitions);
+        let session = ctx.campaign_session(&format!("bitpos-f32-{pos}"), &net, &scfg);
+        let result = Campaign::new(scfg).run_parallel_cached(&net, &session, suffix.clone());
+        let means = bitpos_rows(ctx, &mut table, Precision::F32, pos, &rates, &result)?;
+        curves.push((Precision::F32, pos, means, result.clean_accuracy));
+    }
+    for pos in bitpos_strata() {
+        let mut scfg = cfg.clone();
+        scfg.model = FaultModel::BitFlipAt(pos);
+        eprintln!(
+            "[{}] int8 {pos} stratum: {} rates × {} reps",
+            ctx.spec.name,
+            rates.len(),
+            scfg.repetitions
+        );
+        let session =
+            ctx.campaign_session_with_precision(&format!("bitpos-int8-{pos}"), &net, &scfg, Precision::Int8);
+        let result = QuantCampaign::new(&mut plan, &scfg)
+            .map_err(SpecError::Campaign)?
+            .run_cached(&session, &mut |p: &QuantizedPlan| p.accuracy(eval.images(), eval.labels(), batch));
+        let means = bitpos_rows(ctx, &mut table, Precision::Int8, pos, &rates, &result)?;
+        curves.push((Precision::Int8, pos, means, result.clean_accuracy));
+    }
+    ctx.emit(&table);
+
+    let curve = |precision: Precision, pos: BitPosition| {
+        curves
+            .iter()
+            .find(|(p, s, _, _)| (*p, *s) == (precision, pos))
+            .map(|(_, _, means, clean)| (means.clone(), *clean))
+            .expect("every stratum ran")
+    };
+    let (f32_exp, f32_clean) = curve(Precision::F32, BitPosition::Exponent);
+    let (f32_man, _) = curve(Precision::F32, BitPosition::Mantissa);
+    let (int8_exp, int8_clean) = curve(Precision::Int8, BitPosition::Exponent);
+    let top = rates.len() - 1;
+
+    outln!(ctx, "\nclean accuracy: f32 {f32_clean:.4}, int8 {int8_clean:.4}");
+    let exp_collapses = f32_exp[top] + 0.05 < f32_man[top];
+    outln!(
+        ctx,
+        "shape check: f32 exponent flips dominate mantissa flips at the top rate \
+         ({:.4} ≪ {:.4}: {exp_collapses})",
+        f32_exp[top],
+        f32_man[top]
+    );
+    if !exp_collapses {
+        ctx.fail("f32 exponent stratum did not collapse below the mantissa stratum".to_string());
+    }
+    let int8_immune = int8_exp.iter().all(|&a| a == int8_clean);
+    outln!(
+        ctx,
+        "shape check: int8 has no exponent field — its exponent stratum stays clean at every rate \
+         ({int8_immune})"
+    );
+    if !int8_immune {
+        ctx.fail("int8 exponent stratum moved away from clean accuracy".to_string());
+    }
+    let curves_differ = int8_exp[top] > f32_exp[top] + 0.05;
+    outln!(
+        ctx,
+        "shape check: the int8 curve differs where f32 collapses ({:.4} vs {:.4}: {curves_differ})",
+        int8_exp[top],
+        f32_exp[top]
+    );
+    if !curves_differ {
+        ctx.fail("int8 exponent-stratum curve does not separate from the f32 one".to_string());
     }
     Ok(())
 }

@@ -305,13 +305,35 @@ impl<'a> RunContext<'a> {
         net: &Sequential,
         config: &CampaignConfig,
     ) -> SessionCache<'a> {
-        let clean_key = self
-            .chain_eval_fields(Fingerprint::new("ftclip-clean-accuracy-v1").uint("model", model_digest(net)))
-            .key()
-            .0;
+        self.campaign_session_with_precision(experiment, net, config, ftclip_quant::Precision::F32)
+    }
+
+    /// [`RunContext::campaign_session`] with an explicit inference
+    /// precision. An int8 campaign evaluates the *quantized twin* of `net`,
+    /// so both the store fingerprint and the clean-accuracy memo key chain
+    /// the precision — the quantized plan's clean accuracy must never be
+    /// replayed as the f32 network's (or vice versa). `F32` chains nothing,
+    /// keeping every historical session key byte-stable.
+    pub fn campaign_session_with_precision(
+        &self,
+        experiment: &str,
+        net: &Sequential,
+        config: &CampaignConfig,
+        precision: ftclip_quant::Precision,
+    ) -> SessionCache<'a> {
+        let chain_precision = |fp: Fingerprint| match precision {
+            ftclip_quant::Precision::F32 => fp,
+            other => fp.text("precision", &other.to_string()),
+        };
+        let clean_key = chain_precision(self.chain_eval_fields(
+            Fingerprint::new("ftclip-clean-accuracy-v1").uint("model", model_digest(net)),
+        ))
+        .key()
+        .0;
         let store = self.settings.cache_root.clone().and_then(|root| {
-            let fingerprint =
-                self.chain_eval_fields(campaign_fingerprint(net, config).text("experiment", experiment));
+            let fingerprint = chain_precision(
+                self.chain_eval_fields(campaign_fingerprint(net, config).text("experiment", experiment)),
+            );
             match ResultStore::new(root).session(&fingerprint) {
                 Ok(session) => {
                     eprintln!(
@@ -375,6 +397,7 @@ pub fn run_procedure(ctx: &mut RunContext) -> Result<(), SpecError> {
         Procedure::AblationHwBaselines => ablations::hw_baselines(ctx),
         Procedure::AblationLeakyClip => ablations::leaky_clip(ctx),
         Procedure::AblationTunerVsGrid => ablations::tuner_vs_grid(ctx),
+        Procedure::BitPositionSweep => figures::bit_position_sweep(ctx),
         Procedure::CalibrateDataset => calibrate::dataset_sweep(ctx),
     }
 }

@@ -150,6 +150,16 @@ pub fn presets() -> Vec<Preset> {
             spec: build(Procedure::AblationTunerVsGrid, "ablation_tuner_vs_grid", |b| b),
         },
         Preset {
+            name: "fig_bitpos",
+            about: "bit-position-resolved vulnerability, f32 vs int8 (beyond paper)",
+            spec: build(Procedure::BitPositionSweep, "fig_bitpos", |b| {
+                // absolute per-site rates: stratified sampling draws over
+                // words × |stratum| sites, so the same grid is comparable
+                // across strata and precisions
+                b.rates(RateGrid::Absolute(vec![1e-6, 1e-5, 1e-4]))
+            }),
+        },
+        Preset {
             name: "calibrate",
             about: "dataset difficulty sweep (reproducibility tool, trains per point)",
             spec: build(Procedure::CalibrateDataset, "calibrate_dataset", |b| b),
@@ -182,7 +192,7 @@ mod tests {
     #[test]
     fn every_preset_validates_and_names_are_unique() {
         let all = presets();
-        assert_eq!(all.len(), 19);
+        assert_eq!(all.len(), 20);
         let mut names: Vec<&str> = all.iter().map(|p| p.name).collect();
         names.sort_unstable();
         names.dedup();

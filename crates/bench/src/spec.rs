@@ -17,6 +17,7 @@ use std::str::FromStr;
 use ftclip_fault::{CampaignConfig, CampaignError, FaultModel, InjectionTarget, StoppingRule};
 use ftclip_models::{ModelSpec, ZooArch};
 use ftclip_nn::Sequential;
+use ftclip_quant::Precision;
 use ftclip_store::Fingerprint;
 use serde::Value;
 
@@ -61,12 +62,16 @@ pub enum Procedure {
     AblationLeakyClip,
     /// Ablation: Algorithm 1 vs exhaustive grid search.
     AblationTunerVsGrid,
+    /// `fig_bitpos` — accuracy vs fault rate, stratified by bit position
+    /// (sign / exponent / mantissa), on the f32 network *and* its int8
+    /// quantized twin.
+    BitPositionSweep,
     /// Calibration utility: dataset difficulty sweep (not a paper figure).
     CalibrateDataset,
 }
 
 /// Every procedure, in presentation order.
-pub const ALL_PROCEDURES: [Procedure; 17] = [
+pub const ALL_PROCEDURES: [Procedure; 18] = [
     Procedure::ModelSizes,
     Procedure::Architecture,
     Procedure::CampaignSummary,
@@ -83,6 +88,7 @@ pub const ALL_PROCEDURES: [Procedure; 17] = [
     Procedure::AblationHwBaselines,
     Procedure::AblationLeakyClip,
     Procedure::AblationTunerVsGrid,
+    Procedure::BitPositionSweep,
     Procedure::CalibrateDataset,
 ];
 
@@ -101,6 +107,7 @@ impl Procedure {
                 | Procedure::AblationBiasFaults
                 | Procedure::AblationHwBaselines
                 | Procedure::AblationLeakyClip
+                | Procedure::BitPositionSweep
         )
     }
 
@@ -146,6 +153,7 @@ impl std::fmt::Display for Procedure {
             Procedure::AblationHwBaselines => "ablation-hw-baselines",
             Procedure::AblationLeakyClip => "ablation-leaky-clip",
             Procedure::AblationTunerVsGrid => "ablation-tuner-vs-grid",
+            Procedure::BitPositionSweep => "bit-position-sweep",
             Procedure::CalibrateDataset => "calibrate-dataset",
         };
         write!(f, "{name}")
@@ -481,6 +489,12 @@ pub struct ExperimentSpec {
     /// Hardening applied before the campaign (where the procedure honors
     /// it; the comparison procedures evaluate several protections at once).
     pub protection: Protection,
+    /// Inference precision of the evaluated network: [`Precision::F32`]
+    /// runs the trained network as-is; [`Precision::Int8`] post-training
+    /// quantizes it (calibrated on a validation batch) and injects faults
+    /// into the int8 weight bytes instead. [`Procedure::BitPositionSweep`]
+    /// always runs both and ignores this field.
+    pub precision: Precision,
     /// Layer panels for the per-layer procedures.
     pub layers: Vec<String>,
 }
@@ -505,6 +519,7 @@ impl ExperimentSpec {
                 target: TargetSpec::AllWeights,
                 rates: RateGrid::PaperScaled,
                 protection: Protection::Unprotected,
+                precision: Precision::F32,
                 layers: Vec::new(),
             },
         }
@@ -621,7 +636,13 @@ impl ExperimentSpec {
                 .uint("stopping_min_reps", rule.min_reps as u64)
                 .uint("stopping_max_reps", rule.max_reps as u64),
         };
-        stopping(Fingerprint::new("ftclip-spec-v1"))
+        // precision chains only when non-default so every pre-existing f32
+        // spec keeps its historical fingerprint bit for bit
+        let precision = |fp: Fingerprint| match self.precision {
+            Precision::F32 => fp,
+            other => fp.text("precision", &other.to_string()),
+        };
+        precision(stopping(Fingerprint::new("ftclip-spec-v1")))
             .text("name", &self.name)
             .text("procedure", &self.procedure.to_string())
             .text("arch", &self.workload.arch.to_string())
@@ -711,6 +732,11 @@ impl ExperimentSpec {
             ("protection".to_string(), text(self.protection.to_string())),
             ("layers".to_string(), Value::Array(self.layers.iter().map(|l| text(l.clone())).collect())),
         ];
+        if self.precision != Precision::F32 {
+            // emitted only when non-default so historical spec files (and
+            // their golden copies) stay byte-stable
+            fields.push(("precision".to_string(), text(self.precision.to_string())));
+        }
         if let Some(rule) = &self.stopping {
             fields.push((
                 "stopping".to_string(),
@@ -767,6 +793,7 @@ impl ExperimentSpec {
                 "target",
                 "rates",
                 "protection",
+                "precision",
                 "layers",
                 "stopping",
             ],
@@ -861,6 +888,9 @@ impl ExperimentSpec {
         }
         if let Some(s) = opt_str(value, "protection")? {
             spec.protection = s.parse()?;
+        }
+        if let Some(s) = opt_str(value, "precision")? {
+            spec.precision = s.parse().map_err(SpecError::UnknownPrecision)?;
         }
         if let Some(layers) = value.get("layers") {
             spec.layers = layers
@@ -1022,6 +1052,13 @@ impl SpecBuilder {
         self
     }
 
+    /// Sets the inference precision (f32 as trained, or int8 post-training
+    /// quantized).
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.spec.precision = precision;
+        self
+    }
+
     /// Sets the layer panels.
     pub fn layers<S: Into<String>>(mut self, layers: impl IntoIterator<Item = S>) -> Self {
         self.spec.layers = layers.into_iter().map(Into::into).collect();
@@ -1074,6 +1111,8 @@ pub enum SpecError {
     UnknownTarget(String),
     /// `protection` names no known protection.
     UnknownProtection(String),
+    /// `precision` names no known precision.
+    UnknownPrecision(String),
     /// `rates.grid` names no known grid kind.
     UnknownGrid(String),
     /// A named layer does not exist in the workload network.
@@ -1128,6 +1167,7 @@ impl std::fmt::Display for SpecError {
                 f,
                 "unknown protection '{s}' (expected unprotected|clipped-tuned|clipped-actmax|saturated)"
             ),
+            SpecError::UnknownPrecision(s) => write!(f, "{s}"),
             SpecError::UnknownGrid(s) => {
                 write!(f, "unknown rate grid '{s}' (expected paper-scaled|scaled|absolute)")
             }
@@ -1309,6 +1349,36 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, SpecError::Campaign(CampaignError::BadRepBounds { .. })), "{err}");
+    }
+
+    #[test]
+    fn precision_round_trips_and_defaults_to_f32() {
+        let spec = ExperimentSpec::from_json(
+            r#"{"name": "q", "procedure": "campaign-summary", "precision": "int8"}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.precision, Precision::Int8);
+        let json = spec.to_json();
+        assert!(json.contains("\"precision\": \"int8\""), "{json}");
+        let back = ExperimentSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.fingerprint().key(), spec.fingerprint().key());
+        let mut as_f32 = spec.clone();
+        as_f32.precision = Precision::F32;
+        assert_ne!(
+            as_f32.fingerprint().key(),
+            spec.fingerprint().key(),
+            "precision must enter the fingerprint"
+        );
+        // the default emits no field, keeping historical spec files (and
+        // their fingerprints) byte-stable
+        assert!(!as_f32.to_json().contains("precision"));
+        assert!(matches!(
+            ExperimentSpec::from_json(
+                r#"{"name": "q", "procedure": "campaign-summary", "precision": "fp16"}"#
+            ),
+            Err(SpecError::UnknownPrecision(_))
+        ));
     }
 
     #[test]

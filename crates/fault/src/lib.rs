@@ -6,7 +6,9 @@
 //! `ftclip-nn` networks:
 //!
 //! * [`FaultModel`] — transient bit flips and permanent stuck-at-0/1 faults
-//!   on IEEE-754 `f32` weight words.
+//!   on IEEE-754 `f32` weight words, optionally stratified by
+//!   [`BitPosition`] (exact bit, quadrant, exponent, mantissa, sign) over
+//!   both f32 and int8 encodings.
 //! * [`MemoryMap`]/[`InjectionTarget`] — a linear address space over the
 //!   parameters selected for injection (whole network, single layer — the
 //!   per-layer analysis of Fig. 3 — weights only, or biases).
@@ -55,7 +57,7 @@ pub use campaign::{
 };
 pub use inject::{AppliedInjection, Injection};
 pub use memory::{InjectionTarget, MemoryMap, Region};
-pub use model::{BitLocation, FaultModel};
+pub use model::{BitLocation, BitPosition, FaultModel, Quadrant};
 pub use progress::{current_observer, with_observer, CampaignObserver, CancelledCampaign};
 pub use protection::{
     apply_tmr, inject_with_protection, DecodeStatus, DoubleErrorPolicy, ProtectedInjection, ProtectionScheme,

@@ -1,4 +1,14 @@
-//! Fault models on IEEE-754 single-precision words.
+//! Fault models on IEEE-754 single-precision words and int8 bytes.
+//!
+//! The paper's primary model is a uniform [`FaultModel::BitFlip`] over every
+//! bit of the mapped parameter memory. [`FaultModel::BitFlipAt`] refines it
+//! into **bit-position-stratified** flips: sampling is restricted to one
+//! [`BitPosition`] stratum of the encoding (the sign bit, the exponent
+//! field, the mantissa field, one 8-bit quadrant, or one exact bit index),
+//! which is how Terminal-Brain-Damage-style analyses expose the
+//! exponent-dominated vulnerability structure of f32 networks. Strata are
+//! resolved against the *encoding width* — 32 for IEEE-754 f32 words, 8 for
+//! int8 words — so the same stratified model sweeps both precisions.
 
 /// The position of one faulty bit inside a parameter memory.
 ///
@@ -28,6 +38,148 @@ impl BitLocation {
     }
 }
 
+/// One quarter of an encoding, LSB-first: `Q1` is the least-significant
+/// quarter, `Q4` the most-significant. For f32 these are the 8-bit quadrants
+/// of the related repos' bit-quadrant sweeps (`Q1` = bits 0–7 … `Q4` = bits
+/// 24–31, the quadrant holding the high exponent and sign bits); for int8
+/// they are 2-bit quarters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quadrant {
+    /// Least-significant quarter (f32: bits 0–7, int8: bits 0–1).
+    Q1,
+    /// Second quarter (f32: bits 8–15, int8: bits 2–3).
+    Q2,
+    /// Third quarter (f32: bits 16–23, int8: bits 4–5).
+    Q3,
+    /// Most-significant quarter (f32: bits 24–31, int8: bits 6–7).
+    Q4,
+}
+
+impl Quadrant {
+    /// All four quadrants, LSB-first.
+    pub const ALL: [Quadrant; 4] = [Quadrant::Q1, Quadrant::Q2, Quadrant::Q3, Quadrant::Q4];
+
+    fn index(self) -> usize {
+        match self {
+            Quadrant::Q1 => 0,
+            Quadrant::Q2 => 1,
+            Quadrant::Q3 => 2,
+            Quadrant::Q4 => 3,
+        }
+    }
+}
+
+/// A bit-position stratum of an encoding: which bits of each word a
+/// stratified fault model may corrupt.
+///
+/// Strata are resolved against an encoding width via [`BitPosition::bits`]:
+/// 32-bit words split into IEEE-754 fields (sign 31, exponent 30–23,
+/// mantissa 22–0), 8-bit words into two's-complement fields (sign 7, value
+/// bits 6–0 — and **no exponent field at all**, which is exactly why int8
+/// inference changes the shape of the vulnerability curve).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BitPosition {
+    /// One exact bit index (0 = LSB). Out of range for the encoding ⇒ an
+    /// empty stratum (no bits to corrupt).
+    Exact(u8),
+    /// One quarter of the encoding (see [`Quadrant`]).
+    Quadrant(Quadrant),
+    /// The exponent field: f32 bits 23–30. Empty on int8 — two's-complement
+    /// integers have no exponent, so exponent-stratified campaigns on int8
+    /// inject nothing and hold clean accuracy by construction.
+    Exponent,
+    /// The mantissa/value field: f32 bits 0–22, int8 bits 0–6.
+    Mantissa,
+    /// The sign bit: f32 bit 31, int8 bit 7.
+    Sign,
+}
+
+impl BitPosition {
+    /// The stratum's bit indices within a `word_bits`-wide encoding,
+    /// ascending. `word_bits` is 32 for IEEE-754 f32 and 8 for int8; both
+    /// must be a multiple of 4 (for quadrants). May be empty — e.g.
+    /// [`BitPosition::Exponent`] on int8, or an [`BitPosition::Exact`] index
+    /// outside the encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_bits` is 0 or not a multiple of 4.
+    pub fn bits(self, word_bits: u8) -> Vec<u8> {
+        assert!(word_bits > 0 && word_bits.is_multiple_of(4), "unsupported encoding width {word_bits}");
+        let sign = word_bits - 1;
+        match self {
+            BitPosition::Exact(b) => {
+                if b < word_bits {
+                    vec![b]
+                } else {
+                    Vec::new()
+                }
+            }
+            BitPosition::Quadrant(q) => {
+                let quarter = word_bits / 4;
+                let lo = quarter * q.index() as u8;
+                (lo..lo + quarter).collect()
+            }
+            // f32: exponent = bits 23..=30, mantissa = 0..=22;
+            // int8: no exponent, value bits = 0..=6
+            BitPosition::Exponent => {
+                if word_bits == 32 {
+                    (23..31).collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            BitPosition::Mantissa => {
+                if word_bits == 32 {
+                    (0..23).collect()
+                } else {
+                    (0..sign).collect()
+                }
+            }
+            BitPosition::Sign => vec![sign],
+        }
+    }
+}
+
+impl std::fmt::Display for BitPosition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BitPosition::Exact(b) => write!(f, "exact:{b}"),
+            BitPosition::Quadrant(q) => write!(f, "q{}", q.index() + 1),
+            BitPosition::Exponent => write!(f, "exponent"),
+            BitPosition::Mantissa => write!(f, "mantissa"),
+            BitPosition::Sign => write!(f, "sign"),
+        }
+    }
+}
+
+impl std::str::FromStr for BitPosition {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(b) = s.strip_prefix("exact:") {
+            // reject indices no supported encoding has — a silent empty
+            // stratum from a typo would fake a perfectly resilient network
+            return match b.parse::<u8>() {
+                Ok(b) if b < 32 => Ok(BitPosition::Exact(b)),
+                _ => Err(format!("bit stratum 'exact:{b}' out of range (bit must be 0..=31)")),
+            };
+        }
+        match s {
+            "q1" => Ok(BitPosition::Quadrant(Quadrant::Q1)),
+            "q2" => Ok(BitPosition::Quadrant(Quadrant::Q2)),
+            "q3" => Ok(BitPosition::Quadrant(Quadrant::Q3)),
+            "q4" => Ok(BitPosition::Quadrant(Quadrant::Q4)),
+            "exponent" => Ok(BitPosition::Exponent),
+            "mantissa" => Ok(BitPosition::Mantissa),
+            "sign" => Ok(BitPosition::Sign),
+            other => Err(format!(
+                "unknown bit stratum '{other}' (expected exact:<N>|q1..q4|exponent|mantissa|sign)"
+            )),
+        }
+    }
+}
+
 /// How a faulty memory cell corrupts the bit it holds.
 ///
 /// # Example
@@ -48,6 +200,13 @@ pub enum FaultModel {
     StuckAt0,
     /// Permanent fault: the cell always reads 1.
     StuckAt1,
+    /// Transient upset restricted to one [`BitPosition`] stratum of the
+    /// encoding: sampling draws only from the stratum's bits, the flip
+    /// itself is an ordinary inversion. `BitFlipAt` models enter campaign
+    /// fingerprints through their distinct [`Display`](std::fmt::Display)
+    /// form (`bit-flip@exponent`, …), so the result store keeps every
+    /// stratum's cells separate from the uniform model's.
+    BitFlipAt(BitPosition),
 }
 
 impl FaultModel {
@@ -60,9 +219,35 @@ impl FaultModel {
         assert!(bit < 32, "bit index {bit} out of range");
         let mask = 1u32 << bit;
         match self {
-            FaultModel::BitFlip => word ^ mask,
+            FaultModel::BitFlip | FaultModel::BitFlipAt(_) => word ^ mask,
             FaultModel::StuckAt0 => word & !mask,
             FaultModel::StuckAt1 => word | mask,
+        }
+    }
+
+    /// Applies the fault to bit `bit` of an int8 byte pattern — the int8
+    /// counterpart of [`FaultModel::apply_to_word`], used by the quantized
+    /// inference path's weight injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit > 7`.
+    pub fn apply_to_byte(self, byte: u8, bit: u8) -> u8 {
+        assert!(bit < 8, "bit index {bit} out of range for an int8 word");
+        let mask = 1u8 << bit;
+        match self {
+            FaultModel::BitFlip | FaultModel::BitFlipAt(_) => byte ^ mask,
+            FaultModel::StuckAt0 => byte & !mask,
+            FaultModel::StuckAt1 => byte | mask,
+        }
+    }
+
+    /// The bit-position stratum sampling is restricted to, `None` for the
+    /// uniform (whole-word) models.
+    pub fn bit_position(self) -> Option<BitPosition> {
+        match self {
+            FaultModel::BitFlipAt(pos) => Some(pos),
+            _ => None,
         }
     }
 
@@ -88,6 +273,9 @@ impl std::fmt::Display for FaultModel {
             FaultModel::BitFlip => write!(f, "bit-flip"),
             FaultModel::StuckAt0 => write!(f, "stuck-at-0"),
             FaultModel::StuckAt1 => write!(f, "stuck-at-1"),
+            // the uniform models' strings are pinned by existing store cache
+            // keys; stratified models extend the grammar with an `@` suffix
+            FaultModel::BitFlipAt(pos) => write!(f, "bit-flip@{pos}"),
         }
     }
 }
@@ -98,11 +286,17 @@ impl std::str::FromStr for FaultModel {
     /// Parses the [`Display`](std::fmt::Display) names back — the encoding
     /// experiment spec files and campaign manifests use.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(stratum) = s.strip_prefix("bit-flip@") {
+            return stratum.parse().map(FaultModel::BitFlipAt);
+        }
         match s {
             "bit-flip" => Ok(FaultModel::BitFlip),
             "stuck-at-0" => Ok(FaultModel::StuckAt0),
             "stuck-at-1" => Ok(FaultModel::StuckAt1),
-            other => Err(format!("unknown fault model '{other}' (expected bit-flip|stuck-at-0|stuck-at-1)")),
+            other => Err(format!(
+                "unknown fault model '{other}' \
+                 (expected bit-flip|stuck-at-0|stuck-at-1|bit-flip@<stratum>)"
+            )),
         }
     }
 }
@@ -180,5 +374,89 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_bit_32() {
         FaultModel::BitFlip.apply_to_word(0, 32);
+    }
+
+    #[test]
+    fn stratified_display_names_round_trip() {
+        let strata = [
+            BitPosition::Exact(0),
+            BitPosition::Exact(30),
+            BitPosition::Quadrant(Quadrant::Q1),
+            BitPosition::Quadrant(Quadrant::Q4),
+            BitPosition::Exponent,
+            BitPosition::Mantissa,
+            BitPosition::Sign,
+        ];
+        for pos in strata {
+            let model = FaultModel::BitFlipAt(pos);
+            assert_eq!(model.to_string().parse::<FaultModel>(), Ok(model));
+        }
+        assert_eq!(FaultModel::BitFlipAt(BitPosition::Exponent).to_string(), "bit-flip@exponent");
+        assert_eq!(FaultModel::BitFlipAt(BitPosition::Exact(7)).to_string(), "bit-flip@exact:7");
+        assert_eq!(FaultModel::BitFlipAt(BitPosition::Quadrant(Quadrant::Q2)).to_string(), "bit-flip@q2");
+        assert!("bit-flip@exact:32".parse::<FaultModel>().is_err());
+        assert!("bit-flip@nibble".parse::<FaultModel>().is_err());
+    }
+
+    #[test]
+    fn uniform_display_strings_are_pinned() {
+        // these strings enter store cell fingerprints; moving them orphans
+        // every existing cache directory
+        assert_eq!(FaultModel::BitFlip.to_string(), "bit-flip");
+        assert_eq!(FaultModel::StuckAt0.to_string(), "stuck-at-0");
+        assert_eq!(FaultModel::StuckAt1.to_string(), "stuck-at-1");
+    }
+
+    #[test]
+    fn f32_strata_cover_the_ieee_fields() {
+        assert_eq!(BitPosition::Sign.bits(32), vec![31]);
+        assert_eq!(BitPosition::Exponent.bits(32), (23..31).collect::<Vec<u8>>());
+        assert_eq!(BitPosition::Mantissa.bits(32), (0..23).collect::<Vec<u8>>());
+        // sign + exponent + mantissa partition the word
+        let mut all: Vec<u8> = BitPosition::Sign.bits(32);
+        all.extend(BitPosition::Exponent.bits(32));
+        all.extend(BitPosition::Mantissa.bits(32));
+        all.sort_unstable();
+        assert_eq!(all, (0..32).collect::<Vec<u8>>());
+        // quadrants partition it too
+        let mut quads: Vec<u8> =
+            Quadrant::ALL.iter().flat_map(|&q| BitPosition::Quadrant(q).bits(32)).collect();
+        quads.sort_unstable();
+        assert_eq!(quads, (0..32).collect::<Vec<u8>>());
+        assert_eq!(BitPosition::Quadrant(Quadrant::Q4).bits(32), (24..32).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn int8_strata_have_no_exponent_field() {
+        assert_eq!(BitPosition::Sign.bits(8), vec![7]);
+        assert!(BitPosition::Exponent.bits(8).is_empty());
+        assert_eq!(BitPosition::Mantissa.bits(8), (0..7).collect::<Vec<u8>>());
+        assert_eq!(BitPosition::Quadrant(Quadrant::Q1).bits(8), vec![0, 1]);
+        assert_eq!(BitPosition::Quadrant(Quadrant::Q4).bits(8), vec![6, 7]);
+        assert_eq!(BitPosition::Exact(7).bits(8), vec![7]);
+        assert!(BitPosition::Exact(8).bits(8).is_empty());
+        assert_eq!(BitPosition::Exact(8).bits(32), vec![8]);
+    }
+
+    #[test]
+    fn byte_flips_are_involutive_and_stuck_at_idempotent() {
+        let b = 0b0101_1010u8;
+        for bit in 0..8 {
+            let once = FaultModel::BitFlip.apply_to_byte(b, bit);
+            assert_ne!(once, b);
+            assert_eq!(FaultModel::BitFlip.apply_to_byte(once, bit), b);
+            let strat = FaultModel::BitFlipAt(BitPosition::Sign);
+            assert_eq!(strat.apply_to_byte(strat.apply_to_byte(b, bit), bit), b);
+            for model in [FaultModel::StuckAt0, FaultModel::StuckAt1] {
+                let once = model.apply_to_byte(b, bit);
+                assert_eq!(model.apply_to_byte(once, bit), once);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for an int8 word")]
+    fn byte_rejects_bit_8() {
+        FaultModel::BitFlip.apply_to_byte(0, 8);
     }
 }

@@ -311,7 +311,7 @@ pub fn inject_with_protection<R: Rng + ?Sized>(
                     let b = *bit as u8;
                     let mask = 1u64 << b;
                     code = match model {
-                        FaultModel::BitFlip => code ^ mask,
+                        FaultModel::BitFlip | FaultModel::BitFlipAt(_) => code ^ mask,
                         FaultModel::StuckAt0 => code & !mask,
                         FaultModel::StuckAt1 => code | mask,
                     };

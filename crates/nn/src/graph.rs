@@ -147,6 +147,62 @@ impl Node {
     }
 }
 
+/// Public description of one compiled plan node — the fusion decisions of
+/// [`ForwardPlan::compile`], exposed for passes that lower the plan into
+/// another representation (the int8 quantizer consumes these instead of
+/// re-deriving the fusion rules from the raw layer list).
+///
+/// Like the internal nodes, descriptions hold layer *indices* only; all
+/// parameters are read live from the [`Sequential`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanNode {
+    /// Fused convolution (+ bias), optional trailing activation, optional
+    /// trailing max-pool.
+    ConvAct {
+        /// Layer index of the convolution.
+        conv: usize,
+        /// Layer index of the fused activation, if any.
+        act: Option<usize>,
+        /// Layer index of the fused max-pool, if any.
+        pool: Option<usize>,
+    },
+    /// Fused linear (+ bias) with an optional trailing activation.
+    LinearAct {
+        /// Layer index of the linear layer.
+        lin: usize,
+        /// Layer index of the fused activation, if any.
+        act: Option<usize>,
+    },
+    /// `Flatten`: a pure reshape.
+    Reshape {
+        /// Layer index of the flatten.
+        layer: usize,
+    },
+    /// An inference no-op (`Dropout`), elided entirely.
+    Elided {
+        /// Layer index of the elided layer.
+        layer: usize,
+    },
+    /// Any other layer, executed through its legacy kernel.
+    Opaque {
+        /// Layer index of the opaque layer.
+        layer: usize,
+    },
+}
+
+impl PlanNode {
+    /// The half-open range of legacy layer indices this node covers.
+    pub fn layers(&self) -> Range<usize> {
+        match *self {
+            PlanNode::ConvAct { conv, act, pool } => conv..pool.or(act).map_or(conv + 1, |l| l + 1),
+            PlanNode::LinearAct { lin, act } => lin..act.map_or(lin + 1, |a| a + 1),
+            PlanNode::Reshape { layer } | PlanNode::Elided { layer } | PlanNode::Opaque { layer } => {
+                layer..layer + 1
+            }
+        }
+    }
+}
+
 /// A compiled, shape-checked, fused forward plan over a [`Sequential`].
 ///
 /// Compile once per (architecture, span-entry, input-shape) — or let
@@ -251,6 +307,23 @@ impl ForwardPlan {
     /// compile entry hid the shapes of some node.
     pub fn peak_scratch_floats(&self) -> Option<usize> {
         self.peak_scratch
+    }
+
+    /// The fusion decisions of this plan, as public [`PlanNode`]
+    /// descriptions in execution order. Together the nodes cover layers
+    /// `[0, len)` exactly once; [`PlanNode::layers`] gives each node's span
+    /// for use with [`Sequential::execute`] + [`Span::range`].
+    pub fn node_descs(&self) -> Vec<PlanNode> {
+        self.nodes
+            .iter()
+            .map(|n| match *n {
+                Node::ConvAct { conv, act, pool } => PlanNode::ConvAct { conv, act, pool },
+                Node::LinearAct { lin, act } => PlanNode::LinearAct { lin, act },
+                Node::Reshape { layer } => PlanNode::Reshape { layer },
+                Node::Elided { layer } => PlanNode::Elided { layer },
+                Node::Opaque { layer } => PlanNode::Opaque { layer },
+            })
+            .collect()
     }
 
     /// Executes the layers selected by `span` on `x`, drawing buffers from

@@ -123,8 +123,11 @@ impl Sequential {
         plan_for(self, 0, input_dims)
     }
 
-    /// Inference forward pass. Immutable, so fault campaigns can share a
-    /// network across evaluation batches without cloning.
+    /// Deprecated shim for a full inference pass: call
+    /// [`Sequential::execute`] with [`Span::full`] instead —
+    /// `net.execute(x, Span::full(), &mut Scratch::new())` is this method's
+    /// exact body, and supplying a reused [`Scratch`] arena there avoids the
+    /// per-call allocation this shim pays.
     ///
     /// # Panics
     ///
@@ -135,13 +138,11 @@ impl Sequential {
         self.execute(x, Span::full(), &mut Scratch::new())
     }
 
-    /// [`Sequential::forward`] drawing the intermediate activations and
-    /// im2col matrices from a reusable [`Scratch`] arena: each layer's input
-    /// buffer is recycled the moment the next layer has produced its output,
-    /// so a steady-state evaluation loop that reuses one arena across
-    /// batches allocates almost nothing (see the [`Scratch`] module docs for
-    /// the exact coverage). Bit-identical to [`Sequential::forward`] — the
-    /// arena changes where buffers live, never what they hold.
+    /// Deprecated shim for a full pass with a caller-owned arena: call
+    /// [`Sequential::execute`] with [`Span::full`] instead —
+    /// `net.execute(x, Span::full(), scratch)` is this method's exact body.
+    /// The arena-recycling behaviour described in the [`Scratch`] module
+    /// docs belongs to `execute` itself, not to this shim.
     ///
     /// # Panics
     ///
@@ -152,11 +153,11 @@ impl Sequential {
         self.execute(x, Span::full(), scratch)
     }
 
-    /// Runs only the layers in `[from, to)`. Splitting a pass at any cut is
-    /// **bit-identical by construction**: the same kernels run in the same
-    /// order on the same values, only the buffer provenance changes. `x` is
-    /// the input to layer `from` (the network input when `from == 0`); an
-    /// empty span returns `x` unchanged.
+    /// Deprecated shim for an explicit `[from, to)` slice of the network:
+    /// call [`Sequential::execute`] with [`Span::range`] instead —
+    /// `net.execute(x, Span::range(from, to), scratch)` is this method's
+    /// exact body. Splitting a pass at any cut stays bit-identical by the
+    /// plan's fusion contract; an empty span returns `x` unchanged.
     ///
     /// # Panics
     ///
@@ -168,15 +169,13 @@ impl Sequential {
         self.execute(x, Span::range(from, to), scratch)
     }
 
-    /// The activation entering layer `cut`: runs layers `[0, cut)` and
-    /// returns the intermediate tensor (the whole-network output when
-    /// `cut == len`, the input itself when `cut == 0`).
-    ///
-    /// Together with [`Sequential::forward_suffix_scratch`] this splits an
-    /// inference pass at `cut` with bitwise-identical results — the clean
-    /// prefix a fault campaign memoizes when every fault lives at layer
-    /// `cut` or later (see [`Sequential::param_layer_indices`] for the cut
-    /// naming contract).
+    /// Deprecated shim for the clean prefix entering layer `cut`: call
+    /// [`Sequential::execute`] with [`Span::prefix`] instead —
+    /// `net.execute(x, Span::prefix(cut), &mut Scratch::new())` is this
+    /// method's exact body (the whole-network output when `cut == len`, the
+    /// input itself when `cut == 0`). Prefix + suffix spans compose
+    /// bit-identically at every cut; see
+    /// [`Sequential::param_layer_indices`] for the cut naming contract.
     ///
     /// # Panics
     ///
@@ -187,8 +186,10 @@ impl Sequential {
         self.execute(x, Span::prefix(cut), &mut Scratch::new())
     }
 
-    /// [`Sequential::forward_prefix`] drawing buffers from a reusable
-    /// [`Scratch`] arena.
+    /// Deprecated shim for the clean prefix with a caller-owned arena: call
+    /// [`Sequential::execute`] with [`Span::prefix`] instead —
+    /// `net.execute(x, Span::prefix(cut), scratch)` is this method's exact
+    /// body.
     ///
     /// # Panics
     ///
@@ -199,14 +200,12 @@ impl Sequential {
         self.execute(x, Span::prefix(cut), scratch)
     }
 
-    /// Resumes an inference pass from the activation entering layer `cut`:
-    /// runs layers `[cut, len)` on `act` (a tensor produced by
-    /// [`Sequential::forward_prefix`] at the same cut) and returns the
-    /// network output. For every cut and input,
-    /// `forward_suffix_scratch(&forward_prefix(x, cut), cut, s)` is
-    /// bit-identical to `forward_scratch(x, s)` — both are
-    /// [`Sequential::forward_span_scratch`] compositions over the same
-    /// kernels in the same order.
+    /// Deprecated shim for resuming from the activation entering layer
+    /// `cut`: call [`Sequential::execute`] with [`Span::suffix`] instead —
+    /// `net.execute(act, Span::suffix(cut), scratch)` is this method's exact
+    /// body. For every cut and input, executing `Span::prefix(cut)` then
+    /// `Span::suffix(cut)` is bit-identical to one `Span::full()` pass —
+    /// the same kernels run in the same order on the same values.
     ///
     /// # Panics
     ///
@@ -563,7 +562,7 @@ mod tests {
     #[test]
     fn forward_shapes() {
         let net = tiny_net();
-        let y = net.forward(&Tensor::zeros(&[3, 1, 8, 8]));
+        let y = net.execute(&Tensor::zeros(&[3, 1, 8, 8]), Span::full(), &mut Scratch::new());
         assert_eq!(y.shape().dims(), &[3, 4]);
     }
 
@@ -628,10 +627,11 @@ mod tests {
             }
         });
         let x = Tensor::ones(&[1, 1, 8, 8]);
-        let unprotected_max = net.forward(&x).max().abs();
+        let mut scratch = Scratch::new();
+        let unprotected_max = net.execute(&x, Span::full(), &mut scratch).max().abs();
         assert!(unprotected_max > 1e10, "fault should dominate, got {unprotected_max}");
         net.convert_to_clipped(&[2.0, 2.0]);
-        let protected = net.forward(&x);
+        let protected = net.execute(&x, Span::full(), &mut scratch);
         assert!(protected.max().abs() < 1e10, "clipping must squash the faulty activation");
     }
 
@@ -668,7 +668,7 @@ mod tests {
             Layer::linear(4 * 8 * 8, 2, 2),
         ]);
         let loss0 = {
-            let logits = net.forward(&x);
+            let logits = net.execute(&x, Span::full(), &mut Scratch::new());
             crate::loss::SoftmaxCrossEntropy::new().loss(&logits, &labels)
         };
         for _ in 0..30 {
@@ -682,7 +682,7 @@ mod tests {
             }
         }
         let loss1 = {
-            let logits = net.forward(&x);
+            let logits = net.execute(&x, Span::full(), &mut Scratch::new());
             crate::loss::SoftmaxCrossEntropy::new().loss(&logits, &labels)
         };
         assert!(loss1 < loss0 * 0.7, "loss should drop: {loss0} → {loss1}");

@@ -1,0 +1,265 @@
+//! Rate × repetition fault campaigns over a quantized plan.
+
+use ftclip_fault::{
+    derive_seed, CampaignCache, CampaignConfig, CampaignError, CampaignResult, FaultModel, RateConvergence,
+    RunRecord,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::inject::QuantInjection;
+use crate::plan::QuantizedPlan;
+
+/// The int8 twin of [`ftclip_fault::Campaign`]: sweeps
+/// [`CampaignConfig::fault_rates`] × repetitions over a [`QuantizedPlan`],
+/// injecting byte-level faults and measuring accuracy through a
+/// caller-supplied evaluator.
+///
+/// Cell semantics are shared with the f32 executor bit for bit where they
+/// can be: run `(i, rep)` seeds its RNG with
+/// [`derive_seed`]`(config.seed, i, rep)`, a zero-fault sample reports the
+/// clean accuracy without evaluating, cells round-trip through the
+/// [`CampaignCache`] protocol, and an adaptive [`CampaignConfig::stopping`]
+/// rule stops each rate on the same doubling boundaries (`min_reps`,
+/// `2·min_reps`, … capped at `max_reps`) with the same bootstrap half-width
+/// test. [`CampaignConfig::target`] is ignored: the quantized weight memory
+/// is one address space of weight bytes (biases stay `f32` and are not
+/// injectable).
+#[derive(Debug)]
+pub struct QuantCampaign<'a> {
+    plan: &'a mut QuantizedPlan,
+    config: &'a CampaignConfig,
+}
+
+impl<'a> QuantCampaign<'a> {
+    /// Creates a campaign over `plan`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CampaignConfig::validate`] failures.
+    pub fn new(plan: &'a mut QuantizedPlan, config: &'a CampaignConfig) -> Result<Self, CampaignError> {
+        config.validate()?;
+        Ok(QuantCampaign { plan, config })
+    }
+
+    /// The fault model the campaign injects.
+    pub fn model(&self) -> FaultModel {
+        self.config.model
+    }
+
+    /// Runs the campaign serially, reading and recording cells through
+    /// `cache`. `eval` measures the plan's accuracy (the fault state is
+    /// whatever the campaign has applied when it calls).
+    ///
+    /// With `config.stopping` set, each rate samples on the doubling
+    /// boundaries and stops as soon as the bootstrap interval over its
+    /// accuracies is tighter than the target (reported in
+    /// [`CampaignResult::convergence`]); otherwise the fixed
+    /// `config.repetitions` grid runs exhaustively.
+    pub fn run_cached(
+        &mut self,
+        cache: &dyn CampaignCache,
+        eval: &mut dyn FnMut(&QuantizedPlan) -> f64,
+    ) -> CampaignResult {
+        let clean_accuracy = match cache.clean_accuracy() {
+            Some(a) => a,
+            None => {
+                let a = eval(self.plan);
+                cache.record_clean(a);
+                a
+            }
+        };
+        let rates = self.config.fault_rates.clone();
+        let mut accuracies: Vec<Vec<f64>> = vec![Vec::new(); rates.len()];
+        let mut runs = Vec::new();
+        let mut convergence = None;
+        match self.config.stopping {
+            None => {
+                for (i, &rate) in rates.iter().enumerate() {
+                    for rep in 0..self.config.repetitions {
+                        let record = self.cell(i, rate, rep, clean_accuracy, cache, eval);
+                        accuracies[i].push(record.accuracy);
+                        runs.push(record);
+                    }
+                }
+            }
+            Some(rule) => {
+                let mut report = Vec::with_capacity(rates.len());
+                for (i, &rate) in rates.iter().enumerate() {
+                    // the wave scheduler's doubling boundaries: min_reps,
+                    // 2·min_reps, … capped at max_reps — stopping decisions
+                    // depend only on this rate's accuracy prefix, so the
+                    // serial schedule samples exactly the same cells
+                    let mut boundary = rule.min_reps.min(rule.max_reps);
+                    loop {
+                        while accuracies[i].len() < boundary {
+                            let rep = accuracies[i].len();
+                            let record = self.cell(i, rate, rep, clean_accuracy, cache, eval);
+                            accuracies[i].push(record.accuracy);
+                            runs.push(record);
+                        }
+                        if rule.satisfied(&accuracies[i]) || boundary >= rule.max_reps {
+                            break;
+                        }
+                        boundary = (boundary * 2).min(rule.max_reps);
+                    }
+                    let half_width = rule.half_width(&accuracies[i]);
+                    report.push(RateConvergence {
+                        rate_index: i,
+                        reps_used: accuracies[i].len(),
+                        half_width,
+                        converged: half_width <= rule.target_half_width,
+                    });
+                }
+                convergence = Some(report);
+            }
+        }
+        CampaignResult {
+            fault_rates: rates,
+            accuracies,
+            runs,
+            clean_accuracy,
+            convergence,
+        }
+    }
+
+    /// One campaign cell: cache lookup, else sample → apply → eval → undo.
+    fn cell(
+        &mut self,
+        i: usize,
+        rate: f64,
+        rep: usize,
+        clean_accuracy: f64,
+        cache: &dyn CampaignCache,
+        eval: &mut dyn FnMut(&QuantizedPlan) -> f64,
+    ) -> RunRecord {
+        if let Some(record) = cache.lookup(i, rep) {
+            assert_eq!((record.rate_index, record.repetition), (i, rep), "cache returned a mislabeled cell");
+            return record;
+        }
+        let mut rng = StdRng::seed_from_u64(derive_seed(self.config.seed, i, rep));
+        let injection = QuantInjection::sample(self.plan, self.config.model, rate, &mut rng);
+        let fault_count = injection.fault_count();
+        let accuracy = if fault_count == 0 {
+            clean_accuracy
+        } else {
+            let handle = injection.apply(self.plan);
+            let accuracy = eval(self.plan);
+            handle.undo(self.plan);
+            accuracy
+        };
+        let record = RunRecord { rate_index: i, repetition: rep, fault_count, accuracy };
+        cache.record(&record);
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftclip_fault::{InjectionTarget, NoCache, StoppingRule};
+    use ftclip_nn::{Layer, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn plan() -> QuantizedPlan {
+        let net = Sequential::new(vec![Layer::flatten(), Layer::linear(16, 4, 3), Layer::relu()]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let calib = ftclip_tensor::uniform_init(&[4, 1, 4, 4], -1.0, 1.0, &mut rng);
+        QuantizedPlan::quantize(&net, &calib).unwrap()
+    }
+
+    fn config(rates: Vec<f64>, reps: usize, stopping: Option<StoppingRule>) -> CampaignConfig {
+        CampaignConfig {
+            fault_rates: rates,
+            repetitions: reps,
+            seed: 42,
+            model: FaultModel::BitFlip,
+            target: InjectionTarget::AllWeights,
+            stopping,
+        }
+    }
+
+    #[test]
+    fn fixed_grid_runs_every_cell_and_restores_the_plan() {
+        let mut p = plan();
+        let before: Vec<i8> = (0..p.node_weight_lens().len())
+            .flat_map(|n| p.weights_mut(n).to_vec())
+            .collect();
+        let cfg = config(vec![0.0, 0.01], 3, None);
+        let mut evals = 0usize;
+        let result =
+            QuantCampaign::new(&mut p, &cfg)
+                .unwrap()
+                .run_cached(&NoCache, &mut |qp: &QuantizedPlan| {
+                    evals += 1;
+                    qp.weight_words() as f64 * 0.0 + 0.5
+                });
+        assert_eq!(result.runs.len(), 6);
+        assert_eq!(result.accuracies.len(), 2);
+        // rate 0.0 samples zero faults → clean accuracy without evaluating
+        assert!(result.accuracies[0].iter().all(|&a| a == result.clean_accuracy));
+        assert!(result.convergence.is_none());
+        let after: Vec<i8> = (0..p.node_weight_lens().len())
+            .flat_map(|n| p.weights_mut(n).to_vec())
+            .collect();
+        assert_eq!(after, before, "campaign must leave the plan clean");
+    }
+
+    #[test]
+    fn cells_are_seed_deterministic_across_runs() {
+        let cfg = config(vec![0.02], 4, None);
+        let run = || {
+            let mut p = plan();
+            QuantCampaign::new(&mut p, &cfg)
+                .unwrap()
+                .run_cached(&NoCache, &mut |qp| {
+                    qp.execute(&ftclip_tensor::Tensor::ones(&[1, 1, 4, 4])).data()[0] as f64
+                })
+                .accuracies
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn adaptive_run_reports_convergence_per_rate() {
+        let mut p = plan();
+        let cfg =
+            config(vec![0.01], 8, Some(StoppingRule { target_half_width: 0.5, min_reps: 2, max_reps: 8 }));
+        let result = QuantCampaign::new(&mut p, &cfg).unwrap().run_cached(&NoCache, &mut |_| 0.75);
+        let conv = result.convergence.expect("adaptive run must report convergence");
+        assert_eq!(conv.len(), 1);
+        // constant accuracies: the interval collapses at min_reps
+        assert_eq!(conv[0].reps_used, 2);
+        assert!(conv[0].converged);
+        assert_eq!(result.accuracies[0].len(), 2);
+    }
+
+    struct FixedCache(Vec<RunRecord>);
+
+    impl CampaignCache for FixedCache {
+        fn lookup(&self, rate_index: usize, repetition: usize) -> Option<RunRecord> {
+            self.0
+                .iter()
+                .copied()
+                .find(|r| (r.rate_index, r.repetition) == (rate_index, repetition))
+        }
+    }
+
+    #[test]
+    fn cache_hits_skip_evaluation() {
+        let cfg = config(vec![0.02], 2, None);
+        let cache = FixedCache(vec![
+            RunRecord { rate_index: 0, repetition: 0, fault_count: 5, accuracy: 0.25 },
+            RunRecord { rate_index: 0, repetition: 1, fault_count: 3, accuracy: 0.75 },
+        ]);
+        let mut p = plan();
+        let mut evals = 0usize;
+        let result = QuantCampaign::new(&mut p, &cfg).unwrap().run_cached(&cache, &mut |_| {
+            evals += 1;
+            0.0
+        });
+        assert_eq!(result.accuracies[0], vec![0.25, 0.75]);
+        assert_eq!(evals, 1, "only the clean-accuracy evaluation runs on a full cache");
+    }
+}

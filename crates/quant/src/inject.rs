@@ -1,0 +1,200 @@
+//! Byte-level fault injection over the quantized weight memory.
+
+use ftclip_fault::{sample_bit_positions, BitPosition, FaultModel};
+use rand::Rng;
+
+use crate::plan::QuantizedPlan;
+
+/// A sampled fault set over a [`QuantizedPlan`]'s int8 weight bytes — the
+/// quantized twin of [`ftclip_fault::Injection`].
+///
+/// Sampling is exact independent `Bernoulli(rate)` per (word, bit) site via
+/// the fault crate's geometric-skip sampler. A uniform model draws over all
+/// `8 · weight_words` bits; a [`BitPosition`]-stratified model draws over
+/// `|stratum| · weight_words` sites, with the stratum resolved against the
+/// **8-bit** encoding — so `Exponent` is empty (int8 has no exponent field)
+/// and a stratified campaign at any rate injects zero faults there, which is
+/// precisely the structural split `fig_bitpos` measures.
+#[derive(Debug, Clone)]
+pub struct QuantInjection {
+    /// `(node, word_in_node, bit)` per fault, in sampling order.
+    faults: Vec<(usize, usize, u8)>,
+    model: FaultModel,
+}
+
+impl QuantInjection {
+    /// Samples a fault set for `plan` under `model` at per-bit (per-site)
+    /// probability `rate`.
+    pub fn sample<R: Rng + ?Sized>(plan: &QuantizedPlan, model: FaultModel, rate: f64, rng: &mut R) -> Self {
+        let lens = plan.node_weight_lens();
+        let total_words: usize = lens.iter().sum();
+        let locate = |word: usize| -> (usize, usize) {
+            let mut remaining = word;
+            for (node, &len) in lens.iter().enumerate() {
+                if remaining < len {
+                    return (node, remaining);
+                }
+                remaining -= len;
+            }
+            unreachable!("word index {word} outside {total_words} weight words")
+        };
+        let faults = match model.bit_position() {
+            None => sample_bit_positions(total_words * 8, rate, rng)
+                .into_iter()
+                .map(|p| {
+                    let (node, word) = locate(p / 8);
+                    (node, word, (p % 8) as u8)
+                })
+                .collect(),
+            Some(pos) => {
+                let stratum = pos.bits(8);
+                if stratum.is_empty() {
+                    Vec::new()
+                } else {
+                    sample_bit_positions(total_words * stratum.len(), rate, rng)
+                        .into_iter()
+                        .map(|p| {
+                            let (node, word) = locate(p / stratum.len());
+                            (node, word, stratum[p % stratum.len()])
+                        })
+                        .collect()
+                }
+            }
+        };
+        QuantInjection { faults, model }
+    }
+
+    /// Number of sampled faults.
+    pub fn fault_count(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The sampled `(node, word_in_node, bit)` sites.
+    pub fn faults(&self) -> &[(usize, usize, u8)] {
+        &self.faults
+    }
+
+    /// The stratum the faults were drawn from, when the model is
+    /// stratified.
+    pub fn bit_position(&self) -> Option<BitPosition> {
+        self.model.bit_position()
+    }
+
+    /// Applies every fault to `plan`'s weight bytes, returning a handle that
+    /// restores the exact original bytes.
+    pub fn apply(&self, plan: &mut QuantizedPlan) -> AppliedQuantInjection {
+        let mut originals = Vec::with_capacity(self.faults.len());
+        for &(node, word, bit) in &self.faults {
+            let bytes = plan.weights_mut(node);
+            originals.push(bytes[word]);
+            bytes[word] = self.model.apply_to_byte(bytes[word] as u8, bit) as i8;
+        }
+        AppliedQuantInjection { faults: self.faults.clone(), originals }
+    }
+}
+
+/// Proof that a [`QuantInjection`] was applied; restores the weight memory
+/// byte-exactly on [`AppliedQuantInjection::undo`].
+#[derive(Debug)]
+pub struct AppliedQuantInjection {
+    faults: Vec<(usize, usize, u8)>,
+    originals: Vec<i8>,
+}
+
+impl AppliedQuantInjection {
+    /// Restores every faulted byte to its pre-injection value. Reverse
+    /// order, so overlapping faults on one byte unwind correctly.
+    pub fn undo(self, plan: &mut QuantizedPlan) {
+        for (&(node, word, _), &orig) in self.faults.iter().zip(&self.originals).rev() {
+            plan.weights_mut(node)[word] = orig;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftclip_fault::Quadrant;
+    use ftclip_nn::{Layer, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn plan() -> QuantizedPlan {
+        let net = Sequential::new(vec![Layer::flatten(), Layer::linear(16, 8, 3), Layer::relu()]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let calib = ftclip_tensor::uniform_init(&[4, 1, 4, 4], -1.0, 1.0, &mut rng);
+        QuantizedPlan::quantize(&net, &calib).unwrap()
+    }
+
+    fn snapshot(p: &mut QuantizedPlan) -> Vec<i8> {
+        (0..p.node_weight_lens().len())
+            .flat_map(|n| p.weights_mut(n).to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn apply_then_undo_restores_every_byte() {
+        let mut p = plan();
+        let before = snapshot(&mut p);
+        let inj = QuantInjection::sample(&p, FaultModel::BitFlip, 0.05, &mut StdRng::seed_from_u64(7));
+        assert!(inj.fault_count() > 0);
+        let handle = inj.apply(&mut p);
+        assert_ne!(snapshot(&mut p), before);
+        handle.undo(&mut p);
+        assert_eq!(snapshot(&mut p), before);
+    }
+
+    #[test]
+    fn strata_resolve_against_the_int8_encoding() {
+        let p = plan();
+        let cases = [
+            (BitPosition::Sign, vec![7u8]),
+            (BitPosition::Mantissa, (0..7).collect::<Vec<u8>>()),
+            (BitPosition::Quadrant(Quadrant::Q4), vec![6, 7]),
+            (BitPosition::Exact(3), vec![3]),
+        ];
+        for (pos, allowed) in cases {
+            let inj =
+                QuantInjection::sample(&p, FaultModel::BitFlipAt(pos), 0.5, &mut StdRng::seed_from_u64(11));
+            assert!(inj.fault_count() > 0, "{pos:?} must hit at rate 0.5");
+            for &(_, _, bit) in inj.faults() {
+                assert!(allowed.contains(&bit), "{pos:?} drew bit {bit} outside {allowed:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exponent_stratum_is_empty_on_int8() {
+        let p = plan();
+        let inj = QuantInjection::sample(
+            &p,
+            FaultModel::BitFlipAt(BitPosition::Exponent),
+            1.0,
+            &mut StdRng::seed_from_u64(1),
+        );
+        assert_eq!(inj.fault_count(), 0, "int8 has no exponent bits to flip");
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let p = plan();
+        let sample = |seed| {
+            QuantInjection::sample(&p, FaultModel::BitFlip, 0.1, &mut StdRng::seed_from_u64(seed))
+                .faults()
+                .to_vec()
+        };
+        assert_eq!(sample(9), sample(9));
+        assert_ne!(sample(9), sample(10));
+    }
+
+    #[test]
+    fn stuck_at_models_apply_to_bytes() {
+        let mut p = plan();
+        let inj = QuantInjection::sample(&p, FaultModel::StuckAt1, 0.2, &mut StdRng::seed_from_u64(5));
+        let handle = inj.apply(&mut p);
+        for &(node, word, bit) in inj.faults() {
+            assert_ne!(p.weights_mut(node)[word] as u8 & (1 << bit), 0, "stuck-at-1 must set the bit");
+        }
+        handle.undo(&mut p);
+    }
+}

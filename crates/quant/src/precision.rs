@@ -1,0 +1,71 @@
+//! The precision axis experiments select on.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Numeric precision of an inference engine: the trained `f32` network, or
+/// its post-training int8 quantization ([`crate::QuantizedPlan`]).
+///
+/// `Precision` enters the experiment-spec fingerprint (and, through distinct
+/// session labels, the store's cell addressing), so campaigns over the two
+/// precisions never share cached cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// IEEE-754 single precision — the paper's native path.
+    #[default]
+    F32,
+    /// Post-training symmetric int8 quantization.
+    Int8,
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        })
+    }
+}
+
+impl FromStr for Precision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "f32" => Ok(Precision::F32),
+            "int8" => Ok(Precision::Int8),
+            other => Err(format!("unknown precision '{other}' (expected f32|int8)")),
+        }
+    }
+}
+
+impl Precision {
+    /// Width in bits of one weight word under this precision — the encoding
+    /// a [`ftclip_fault::BitPosition`] stratum is resolved against.
+    pub fn word_bits(self) -> u8 {
+        match self {
+            Precision::F32 => 32,
+            Precision::Int8 => 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips() {
+        for p in [Precision::F32, Precision::Int8] {
+            assert_eq!(p.to_string().parse::<Precision>().unwrap(), p);
+        }
+        assert!("fp16".parse::<Precision>().is_err());
+    }
+
+    #[test]
+    fn default_is_f32() {
+        assert_eq!(Precision::default(), Precision::F32);
+        assert_eq!(Precision::default().word_bits(), 32);
+        assert_eq!(Precision::Int8.word_bits(), 8);
+    }
+}

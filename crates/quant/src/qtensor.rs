@@ -1,0 +1,103 @@
+//! Symmetric per-tensor quantization primitives.
+//!
+//! The scheme is the standard post-training symmetric one: a tensor with
+//! absolute maximum `m` gets scale `s = m / 127` and zero-point 0, so a real
+//! value `x` maps to `clamp(round(x / s), -127, 127)` and back to `q · s`.
+//! `-128` is never produced: the symmetric range keeps negation exact and
+//! makes a literal `0` byte the representation of real zero (which is what
+//! the int8 im2col writes for padding).
+
+/// The symmetric scale for a tensor with absolute maximum `absmax`:
+/// `absmax / 127`, or `1.0` for an all-zero tensor (any scale represents
+/// zeros exactly; `1.0` avoids a 0-divide downstream).
+pub fn scale_for(absmax: f32) -> f32 {
+    if absmax > 0.0 {
+        absmax / 127.0
+    } else {
+        1.0
+    }
+}
+
+/// Quantizes one value: `clamp(round(x / scale), -127, 127)`.
+///
+/// Implemented branchlessly as `trunc(r + copysign(0.5, r))` instead of
+/// [`f32::round`]: bit-identical for every representable `r` in the clamped
+/// range (both round half away from zero; the sum `r ± 0.5` is exact or
+/// tie-rounds without crossing an integer for `|r| < 2^22`, and everything
+/// beyond saturates at ±127 anyway), but free of the libm `roundf` call the
+/// baseline x86-64 target lowers `round` to — this runs inside the int8
+/// engine's requantization loops, where it must autovectorize.
+pub fn quantize_value(x: f32, scale: f32) -> i8 {
+    let r = x / scale;
+    (r + 0.5f32.copysign(r)).clamp(-127.0, 127.0) as i8
+}
+
+/// Dequantizes one value: `q · scale`.
+pub fn dequantize_value(q: i8, scale: f32) -> f32 {
+    q as f32 * scale
+}
+
+/// Quantizes a slice with one shared scale.
+pub fn quantize_slice(xs: &[f32], scale: f32) -> Vec<i8> {
+    xs.iter().map(|&x| quantize_value(x, scale)).collect()
+}
+
+/// The absolute maximum of a slice, ignoring non-finite values (a calibration
+/// batch never contains them, but a poisoned activation must not produce a
+/// NaN scale).
+pub fn absmax(xs: &[f32]) -> f32 {
+    xs.iter().filter(|x| x.is_finite()).fold(0.0f32, |m, &x| m.max(x.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_error_is_bounded_by_half_a_step() {
+        let vals: Vec<f32> = (0..1000).map(|i| (i as f32 - 500.0) * 0.013).collect();
+        let m = absmax(&vals);
+        let s = scale_for(m);
+        for &x in &vals {
+            let back = dequantize_value(quantize_value(x, s), s);
+            assert!((back - x).abs() <= s / 2.0 + 1e-6, "x={x} back={back} scale={s}");
+        }
+    }
+
+    #[test]
+    fn zero_tensor_gets_unit_scale_and_exact_zeros() {
+        let s = scale_for(absmax(&[0.0, -0.0, 0.0]));
+        assert_eq!(s, 1.0);
+        assert_eq!(quantize_value(0.0, s), 0);
+    }
+
+    #[test]
+    fn branchless_rounding_matches_f32_round_everywhere() {
+        // sweep the f32 bit space coarsely plus every half-step and
+        // near-half-step in the clamp range: the branchless body must agree
+        // with the textbook round-then-clamp definition bit for bit
+        let reference = |x: f32, s: f32| (x / s).round().clamp(-127.0, 127.0) as i8;
+        for scale in [1.0f32, 0.013, 127.0 / 3.0] {
+            for i in 0..=(255 * 4) {
+                for delta in [-f32::EPSILON * 256.0, 0.0, f32::EPSILON * 256.0] {
+                    let r = (i as f32 - 510.0) * 0.25 + delta;
+                    let x = r * scale;
+                    assert_eq!(quantize_value(x, scale), reference(x, scale), "r={r} scale={scale}");
+                }
+            }
+        }
+        for bits in (0..=u32::MAX).step_by(65_537) {
+            let x = f32::from_bits(bits);
+            assert_eq!(quantize_value(x, 1.0), reference(x, 1.0), "bits={bits:#x} x={x}");
+        }
+    }
+
+    #[test]
+    fn extremes_saturate_at_plus_minus_127() {
+        let s = scale_for(1.0);
+        assert_eq!(quantize_value(1.0, s), 127);
+        assert_eq!(quantize_value(-1.0, s), -127);
+        assert_eq!(quantize_value(1e9, s), 127);
+        assert_eq!(quantize_value(-1e9, s), -127);
+    }
+}

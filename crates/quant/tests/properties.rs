@@ -1,0 +1,71 @@
+//! Property-based tests for the quantization scheme and the bit-flip
+//! injectors (satellites of the int8 subsystem):
+//!
+//! * quantize → dequantize round-trip error is bounded by half a
+//!   quantization step for in-range values;
+//! * bit-flip injection is self-inverse (flipping the same bit twice
+//!   restores the original word) on both IEEE-754 `f32` and int8 encodings,
+//!   uniform and stratified.
+
+use ftclip_fault::{BitPosition, FaultModel, Quadrant};
+use ftclip_quant::{dequantize_value, quantize_value, scale_for};
+use proptest::prelude::*;
+
+fn stratified_models() -> impl Strategy<Value = FaultModel> {
+    prop_oneof![
+        Just(FaultModel::BitFlip),
+        Just(FaultModel::BitFlipAt(BitPosition::Sign)),
+        Just(FaultModel::BitFlipAt(BitPosition::Exponent)),
+        Just(FaultModel::BitFlipAt(BitPosition::Mantissa)),
+        Just(FaultModel::BitFlipAt(BitPosition::Quadrant(Quadrant::Q1))),
+        Just(FaultModel::BitFlipAt(BitPosition::Quadrant(Quadrant::Q3))),
+        (0u8..32).prop_map(|b| FaultModel::BitFlipAt(BitPosition::Exact(b))),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn quantize_dequantize_round_trip_is_within_half_a_step(
+        absmax in 1e-3f32..1e3,
+        frac in -1.0f32..1.0,
+    ) {
+        let scale = scale_for(absmax);
+        let x = absmax * frac; // always within the representable range
+        let back = dequantize_value(quantize_value(x, scale), scale);
+        prop_assert!(
+            (back - x).abs() <= scale / 2.0 + scale * 1e-5,
+            "x={x} back={back} scale={scale}"
+        );
+    }
+
+    #[test]
+    fn quantized_values_never_leave_the_symmetric_range(
+        absmax in 1e-3f32..1e3,
+        x in -1e6f32..1e6,
+    ) {
+        let q = quantize_value(x, scale_for(absmax));
+        prop_assert!((-127..=127).contains(&(q as i32)), "quantize produced {q}");
+    }
+
+    #[test]
+    fn f32_bit_flips_are_self_inverse(word in any::<u32>(), bit in 0u8..32, model in stratified_models()) {
+        let flipped = model.apply_to_word(word, bit);
+        prop_assert_ne!(flipped, word, "a flip must change the word");
+        prop_assert_eq!(model.apply_to_word(flipped, bit), word, "double flip must restore");
+    }
+
+    #[test]
+    fn int8_bit_flips_are_self_inverse(byte in any::<u8>(), bit in 0u8..8, model in stratified_models()) {
+        let flipped = model.apply_to_byte(byte, bit);
+        prop_assert_ne!(flipped, byte, "a flip must change the byte");
+        prop_assert_eq!(model.apply_to_byte(flipped, bit), byte, "double flip must restore");
+    }
+
+    #[test]
+    fn stuck_at_faults_are_idempotent_not_involutive(word in any::<u32>(), bit in 0u8..32) {
+        for model in [FaultModel::StuckAt0, FaultModel::StuckAt1] {
+            let once = model.apply_to_word(word, bit);
+            prop_assert_eq!(model.apply_to_word(once, bit), once, "stuck-at must be idempotent");
+        }
+    }
+}

@@ -1,0 +1,1064 @@
+//! Int8 micro-kernels for the quantized inference path.
+//!
+//! The quantized engine (`ftclip_quant`) stores weights and activations as
+//! `i8` and accumulates matrix products in `i32`. Unlike the `f32` kernels
+//! in [`crate::matmul`], whose accumulation order is pinned element-by-element
+//! to preserve bit-identity of the float path, integer addition is exact and
+//! associative — these kernels are free to unroll and re-associate, which is
+//! exactly what lets the int8 path autovectorize past the float path's
+//! single-rounding-chain constraint. Every kernel below is still
+//! deterministic: the same inputs always produce the same `i32` sums, in any
+//! association order.
+//!
+//! Products are sign-extended before multiplying, so no intermediate can
+//! overflow: `|i8·i8| ≤ 16384` and the reduction runs in `i32` (a dot product
+//! would need `k > 2^17` same-sign maximal products to wrap, far beyond any
+//! layer in the paper's models).
+
+use crate::im2col::Conv2dGeometry;
+
+/// `out[m,n] += a[m,k] · b[k,n]` over `i8` operands with `i32` accumulation.
+///
+/// Row-major, like [`crate::gemm_accumulate`]; `m` is implied by
+/// `out.len() / n`. The inner loop processes four `k` taps per pass over the
+/// output row, re-associating freely (exact in integer arithmetic).
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `(k, n)`.
+pub fn gemm_i8_accumulate(a: &[i8], b: &[i8], out: &mut [i32], k: usize, n: usize) {
+    assert!(n > 0, "gemm_i8_accumulate needs n > 0");
+    assert_eq!(out.len() % n, 0, "output length {} not a multiple of n {}", out.len(), n);
+    let m = out.len() / n;
+    assert_eq!(a.len(), m * k, "lhs length mismatch");
+    assert_eq!(b.len(), k * n, "rhs length mismatch");
+    for (a_row, out_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let (a0, a1, a2, a3) =
+                (a_row[kk] as i32, a_row[kk + 1] as i32, a_row[kk + 2] as i32, a_row[kk + 3] as i32);
+            let b0 = &b[kk * n..kk * n + n];
+            let b1 = &b[(kk + 1) * n..(kk + 1) * n + n];
+            let b2 = &b[(kk + 2) * n..(kk + 2) * n + n];
+            let b3 = &b[(kk + 3) * n..(kk + 3) * n + n];
+            for (j, slot) in out_row.iter_mut().enumerate() {
+                *slot += a0 * b0[j] as i32 + a1 * b1[j] as i32 + a2 * b2[j] as i32 + a3 * b3[j] as i32;
+            }
+            kk += 4;
+        }
+        while kk < k {
+            let a_ik = a_row[kk] as i32;
+            let b_row = &b[kk * n..kk * n + n];
+            for (slot, &b_kj) in out_row.iter_mut().zip(b_row) {
+                *slot += a_ik * b_kj as i32;
+            }
+            kk += 1;
+        }
+    }
+}
+
+/// `out[m,n] = a[m,k] · b[n,k]ᵀ` over `i8` operands with `i32` accumulation
+/// (dot-product form — both operands are walked contiguously).
+///
+/// The fully-connected kernel of the quantized engine: `a` holds the batch
+/// activations, `b` the weight matrix in its natural
+/// `[out_features, in_features]` layout — no transpose copy. (Convolutions
+/// use [`matmul_i16_pairs_into`] instead, whose layout avoids the per-output
+/// lane reduction this dot-product form pays.)
+///
+/// On x86-64 the kernel dispatches at runtime to an AVX-512 or AVX2 body
+/// built on `vpmaddwd` (sign-extend both operands to `i16`, multiply, and
+/// pair-sum into `i32` lanes — exact, since `|i8·i8| ≤ 16384` and a pair sum
+/// fits `i16`-product headroom in `i32` trivially); integer re-association
+/// keeps every path bit-identical to the scalar fallback.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `(k, n)`.
+pub fn matmul_i8_nt_into(a: &[i8], b: &[i8], out: &mut [i32], k: usize, n: usize) {
+    assert!(n > 0, "matmul_i8_nt_into needs n > 0");
+    assert_eq!(out.len() % n, 0, "output length {} not a multiple of n {}", out.len(), n);
+    let m = out.len() / n;
+    assert_eq!(a.len(), m * k, "lhs length mismatch");
+    assert_eq!(b.len(), n * k, "rhs length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if k > 0 && simd::nt_dispatch(a, b, out, k, n) {
+        return;
+    }
+    nt_scalar(a, b, out, k, n);
+}
+
+/// Portable body of [`matmul_i8_nt_into`]: four independent accumulators per
+/// dot product for instruction-level parallelism (exact re-association).
+fn nt_scalar(a: &[i8], b: &[i8], out: &mut [i32], k: usize, n: usize) {
+    for (a_row, out_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+        for (slot, b_row) in out_row.iter_mut().zip(b.chunks_exact(k)) {
+            let mut acc = [0i32; 4];
+            let mut kk = 0;
+            while kk + 4 <= k {
+                acc[0] += a_row[kk] as i32 * b_row[kk] as i32;
+                acc[1] += a_row[kk + 1] as i32 * b_row[kk + 1] as i32;
+                acc[2] += a_row[kk + 2] as i32 * b_row[kk + 2] as i32;
+                acc[3] += a_row[kk + 3] as i32 * b_row[kk + 3] as i32;
+                kk += 4;
+            }
+            let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+            while kk < k {
+                sum += a_row[kk] as i32 * b_row[kk] as i32;
+                kk += 1;
+            }
+            *slot = sum;
+        }
+    }
+}
+
+/// `out[m,n] = a[m,k] · B` where `a` holds **pre-widened** `i16` rows of an
+/// even-padded width `k` and `b` holds the right-hand matrix in the
+/// **pair-interleaved** layout produced by [`im2col_i16_pairs_image_overwrite`]:
+/// element `(kk, j)` lives at `b[(kk / 2) · 2n + 2j + (kk % 2)]`.
+///
+/// This is the convolution hot path, shaped around `vpmaddwd` with *no
+/// horizontal reductions*: one 32-bit broadcast of an `a` tap pair against a
+/// vector of interleaved `b` pairs yields 16 (AVX-512) or 8 (AVX2) finished
+/// `i32` column partials per instruction, accumulated vertically and stored
+/// straight into `out` — the dot-product-form kernels above pay a multi-µop
+/// lane reduction per output element, which dominates at the small
+/// `n = oh·ow` of the later conv stages. Both operands are pre-widened to
+/// `i16` (the executor pads odd `c·k·k` with a zero tap), so the inner loop
+/// has no `vpmovsxbw` port pressure either.
+///
+/// Exact for operands in the `i8` value range: each `vpmaddwd` pair-sum is
+/// `≤ 2·16129` and the `i32` accumulation cannot wrap for any realistic `k`.
+///
+/// # Panics
+///
+/// Panics if `k` is odd or the slice lengths are inconsistent with `(k, n)`.
+pub fn matmul_i16_pairs_into(a: &[i16], b: &[i16], out: &mut [i32], k: usize, n: usize) {
+    assert!(n > 0, "matmul_i16_pairs_into needs n > 0");
+    assert_eq!(k % 2, 0, "matmul_i16_pairs_into needs an even (padded) k, got {k}");
+    assert_eq!(out.len() % n, 0, "output length {} not a multiple of n {}", out.len(), n);
+    let m = out.len() / n;
+    assert_eq!(a.len(), m * k, "lhs length mismatch");
+    assert_eq!(b.len(), k * n, "rhs length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if k > 0 && simd::pairs_dispatch(a, b, out, k, n) {
+        return;
+    }
+    pairs_scalar(a, b, out, k, n);
+}
+
+/// Portable body of [`matmul_i16_pairs_into`].
+fn pairs_scalar(a: &[i16], b: &[i16], out: &mut [i32], k: usize, n: usize) {
+    for (a_row, out_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+        for (j, slot) in out_row.iter_mut().enumerate() {
+            let mut sum = 0i32;
+            for p in 0..k / 2 {
+                let pair = &b[p * 2 * n + 2 * j..p * 2 * n + 2 * j + 2];
+                sum += a_row[2 * p] as i32 * pair[0] as i32 + a_row[2 * p + 1] as i32 * pair[1] as i32;
+            }
+            *slot = sum;
+        }
+    }
+}
+
+/// Runtime-dispatched x86-64 SIMD bodies of [`matmul_i8_nt_into`].
+///
+/// The one sanctioned `unsafe` island in the workspace: `core::arch`
+/// intrinsics are unsafe to call by construction, and the features they
+/// need are only known at runtime. The exposure is kept minimal — the
+/// public API stays fully safe, every kernel is bounds-pinned by
+/// [`matmul_i8_nt_into`]'s asserts before dispatch, and
+/// `simd_dispatch_matches_scalar_kernel` pins each body to the portable
+/// scalar kernel bit for bit (integer accumulation is exact, so
+/// re-association cannot diverge).
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    #![allow(unsafe_code)]
+
+    /// Picks the widest available body and runs it; `false` means no SIMD
+    /// feature is available and the caller must use the scalar kernel.
+    pub(super) fn nt_dispatch(a: &[i8], b: &[i8], out: &mut [i32], k: usize, n: usize) -> bool {
+        if is_x86_feature_detected!("avx512f")
+            && is_x86_feature_detected!("avx512bw")
+            && is_x86_feature_detected!("avx512vl")
+        {
+            // SAFETY: the required target features were just detected, and
+            // the caller's asserts pin every slice length the kernel reads.
+            unsafe { nt_avx512(a, b, out, k, n) };
+            return true;
+        }
+        if is_x86_feature_detected!("avx2") {
+            // SAFETY: as above, for the AVX2 body.
+            unsafe { nt_avx2(a, b, out, k, n) };
+            return true;
+        }
+        false
+    }
+
+    /// Picks the widest available body of the pair-interleaved kernel;
+    /// `false` means no SIMD feature is available and the caller must use
+    /// the scalar one.
+    pub(super) fn pairs_dispatch(a: &[i16], b: &[i16], out: &mut [i32], k: usize, n: usize) -> bool {
+        if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512bw") {
+            // SAFETY: the required target features were just detected, and
+            // the caller's asserts pin every slice length the kernel reads.
+            unsafe { pairs_avx512(a, b, out, k, n) };
+            return true;
+        }
+        if is_x86_feature_detected!("avx2") {
+            // SAFETY: as above, for the AVX2 body.
+            unsafe { pairs_avx2(a, b, out, k, n) };
+            return true;
+        }
+        false
+    }
+
+    /// AVX-512 body of the pair-interleaved kernel: one `vpbroadcastd` of an
+    /// `a` tap pair against a full-width load of 16 interleaved `b` column
+    /// pairs per `vpmaddwd` — 32 MACs finishing 16 `i32` column partials,
+    /// accumulated vertically across `k` and stored without any lane
+    /// reduction. The main block tiles four output rows over 64 columns
+    /// (sixteen accumulators) so every `b` load is shared four ways — the
+    /// kernel re-streams `b` from L2 per row tile, so this quarters its
+    /// bandwidth demand. Leftover columns run 16-wide, then one masked tail.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure `avx512f` and `avx512bw` are available and that
+    /// the slice lengths satisfy `matmul_i16_pairs_into`'s contract.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    unsafe fn pairs_avx512(a: &[i16], b: &[i16], out: &mut [i32], k: usize, n: usize) {
+        use std::arch::x86_64::{
+            __m512i, _mm512_add_epi32, _mm512_loadu_si512, _mm512_madd_epi16, _mm512_mask_storeu_epi32,
+            _mm512_maskz_loadu_epi16, _mm512_set1_epi32, _mm512_setzero_si512, _mm512_storeu_si512,
+        };
+        let m = out.len() / n;
+        let pairs = k / 2;
+        let (a_ptr, b_ptr, out_ptr) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+        let mut r0 = 0usize;
+        while r0 < m {
+            let rows = (m - r0).min(4);
+            let mut j = 0usize;
+            while j + 64 <= n {
+                let mut acc = [[_mm512_setzero_si512(); 4]; 4];
+                for p in 0..pairs {
+                    let base = b_ptr.add(p * 2 * n + 2 * j);
+                    let vb = [
+                        _mm512_loadu_si512(base.cast::<__m512i>()),
+                        _mm512_loadu_si512(base.add(32).cast::<__m512i>()),
+                        _mm512_loadu_si512(base.add(64).cast::<__m512i>()),
+                        _mm512_loadu_si512(base.add(96).cast::<__m512i>()),
+                    ];
+                    for (t, row_acc) in acc[..rows].iter_mut().enumerate() {
+                        // both taps of the pair in one 32-bit broadcast —
+                        // the row is even-length, so the read is in bounds
+                        let va =
+                            _mm512_set1_epi32(a_ptr.add((r0 + t) * k + 2 * p).cast::<i32>().read_unaligned());
+                        for (slot, &vbu) in row_acc.iter_mut().zip(&vb) {
+                            *slot = _mm512_add_epi32(*slot, _mm512_madd_epi16(va, vbu));
+                        }
+                    }
+                }
+                for (t, row_acc) in acc[..rows].iter().enumerate() {
+                    let o_row = out_ptr.add((r0 + t) * n);
+                    for (u, &slot) in row_acc.iter().enumerate() {
+                        _mm512_storeu_si512(o_row.add(j + 16 * u).cast::<__m512i>(), slot);
+                    }
+                }
+                j += 64;
+            }
+            for t in 0..rows {
+                let a_row = a_ptr.add((r0 + t) * k);
+                let o_row = out_ptr.add((r0 + t) * n);
+                let mut jj = j;
+                while jj + 16 <= n {
+                    let mut acc = _mm512_setzero_si512();
+                    for p in 0..pairs {
+                        let va = _mm512_set1_epi32(a_row.add(2 * p).cast::<i32>().read_unaligned());
+                        let vb = _mm512_loadu_si512(b_ptr.add(p * 2 * n + 2 * jj).cast::<__m512i>());
+                        acc = _mm512_add_epi32(acc, _mm512_madd_epi16(va, vb));
+                    }
+                    _mm512_storeu_si512(o_row.add(jj).cast::<__m512i>(), acc);
+                    jj += 16;
+                }
+                if jj < n {
+                    let tail = n - jj;
+                    let load_mask: u32 = (1u32 << (2 * tail)) - 1;
+                    let store_mask: u16 = (1u16 << tail) - 1;
+                    let mut acc = _mm512_setzero_si512();
+                    for p in 0..pairs {
+                        let va = _mm512_set1_epi32(a_row.add(2 * p).cast::<i32>().read_unaligned());
+                        let vb = _mm512_maskz_loadu_epi16(load_mask, b_ptr.add(p * 2 * n + 2 * jj));
+                        acc = _mm512_add_epi32(acc, _mm512_madd_epi16(va, vb));
+                    }
+                    _mm512_mask_storeu_epi32(o_row.add(jj), store_mask, acc);
+                }
+            }
+            r0 += rows;
+        }
+    }
+
+    /// AVX2 body of the pair-interleaved kernel: the same reduction-free
+    /// broadcast/`vpmaddwd` shape at 8 `i32` columns per vector, tiling two
+    /// output rows over 32 columns (eight accumulators — the 16-register
+    /// file caps the tile) so every `b` load is shared, with a scalar
+    /// column tail.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure `avx2` is available and that the slice lengths
+    /// satisfy `matmul_i16_pairs_into`'s contract.
+    #[target_feature(enable = "avx2")]
+    unsafe fn pairs_avx2(a: &[i16], b: &[i16], out: &mut [i32], k: usize, n: usize) {
+        use std::arch::x86_64::{
+            __m256i, _mm256_add_epi32, _mm256_loadu_si256, _mm256_madd_epi16, _mm256_set1_epi32,
+            _mm256_setzero_si256, _mm256_storeu_si256,
+        };
+        let m = out.len() / n;
+        let pairs = k / 2;
+        let (a_ptr, b_ptr, out_ptr) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+        let mut r0 = 0usize;
+        while r0 < m {
+            let rows = (m - r0).min(2);
+            let mut j = 0usize;
+            while j + 32 <= n {
+                let mut acc = [[_mm256_setzero_si256(); 4]; 2];
+                for p in 0..pairs {
+                    let base = b_ptr.add(p * 2 * n + 2 * j);
+                    let vb = [
+                        _mm256_loadu_si256(base.cast::<__m256i>()),
+                        _mm256_loadu_si256(base.add(16).cast::<__m256i>()),
+                        _mm256_loadu_si256(base.add(32).cast::<__m256i>()),
+                        _mm256_loadu_si256(base.add(48).cast::<__m256i>()),
+                    ];
+                    for (t, row_acc) in acc[..rows].iter_mut().enumerate() {
+                        let va =
+                            _mm256_set1_epi32(a_ptr.add((r0 + t) * k + 2 * p).cast::<i32>().read_unaligned());
+                        for (slot, &vbu) in row_acc.iter_mut().zip(&vb) {
+                            *slot = _mm256_add_epi32(*slot, _mm256_madd_epi16(va, vbu));
+                        }
+                    }
+                }
+                for (t, row_acc) in acc[..rows].iter().enumerate() {
+                    let o_row = out_ptr.add((r0 + t) * n);
+                    for (u, &slot) in row_acc.iter().enumerate() {
+                        _mm256_storeu_si256(o_row.add(j + 8 * u).cast::<__m256i>(), slot);
+                    }
+                }
+                j += 32;
+            }
+            for t in 0..rows {
+                let a_row = a_ptr.add((r0 + t) * k);
+                let o_row = out_ptr.add((r0 + t) * n);
+                let mut jj = j;
+                while jj + 8 <= n {
+                    let mut acc = _mm256_setzero_si256();
+                    for p in 0..pairs {
+                        let va = _mm256_set1_epi32(a_row.add(2 * p).cast::<i32>().read_unaligned());
+                        let vb = _mm256_loadu_si256(b_ptr.add(p * 2 * n + 2 * jj).cast::<__m256i>());
+                        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+                    }
+                    _mm256_storeu_si256(o_row.add(jj).cast::<__m256i>(), acc);
+                    jj += 8;
+                }
+                while jj < n {
+                    let a_slice = std::slice::from_raw_parts(a_row, k);
+                    let mut sum = 0i32;
+                    for (p, pair) in a_slice.chunks_exact(2).enumerate() {
+                        let bb = b_ptr.add(p * 2 * n + 2 * jj);
+                        sum += pair[0] as i32 * bb.read() as i32 + pair[1] as i32 * bb.add(1).read() as i32;
+                    }
+                    *o_row.add(jj) = sum;
+                    jj += 1;
+                }
+            }
+            r0 += rows;
+        }
+    }
+
+    /// Picks the widest available body of the widen-interleave pass;
+    /// `false` means the caller must use its scalar loop.
+    pub(super) fn interleave_dispatch(r0: &[i8], r1: &[i8], dst: &mut [i16]) -> bool {
+        if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512bw") {
+            // SAFETY: the required target features were just detected, and
+            // the caller slices `r0`/`r1`/`dst` to consistent lengths.
+            unsafe { interleave_avx512(r0, r1, dst) };
+            return true;
+        }
+        if is_x86_feature_detected!("avx2") {
+            // SAFETY: as above, for the AVX2 body.
+            unsafe { interleave_avx2(r0, r1, dst) };
+            return true;
+        }
+        false
+    }
+
+    /// AVX-512 body of the widen-interleave pass: two 32-byte row segments
+    /// sign-extend to `i16` and one pair of `vpermt2w` shuffles interleaves
+    /// them into two full-width stores; scalar tail under 32 columns.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure `avx512f` and `avx512bw` are available and that
+    /// `r0.len() == r1.len()` and `dst.len() == 2 · r0.len()`.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    unsafe fn interleave_avx512(r0: &[i8], r1: &[i8], dst: &mut [i16]) {
+        use std::arch::x86_64::{
+            __m256i, __m512i, _mm256_loadu_si256, _mm512_cvtepi8_epi16, _mm512_loadu_si512,
+            _mm512_permutex2var_epi16, _mm512_storeu_si512,
+        };
+        let l = r0.len();
+        // `vpermt2w` index vectors: lane t of the low (high) result selects
+        // element t/2 of the first (second) 16-column half from `a` when t is
+        // even, from `b` (offset 32) when t is odd
+        let mut idx = [[0i16; 32]; 2];
+        for t in 0..16 {
+            idx[0][2 * t] = t as i16;
+            idx[0][2 * t + 1] = t as i16 + 32;
+            idx[1][2 * t] = t as i16 + 16;
+            idx[1][2 * t + 1] = t as i16 + 48;
+        }
+        let vi0 = _mm512_loadu_si512(idx[0].as_ptr().cast::<__m512i>());
+        let vi1 = _mm512_loadu_si512(idx[1].as_ptr().cast::<__m512i>());
+        let mut j = 0usize;
+        while j + 32 <= l {
+            let va = _mm512_cvtepi8_epi16(_mm256_loadu_si256(r0.as_ptr().add(j).cast::<__m256i>()));
+            let vb = _mm512_cvtepi8_epi16(_mm256_loadu_si256(r1.as_ptr().add(j).cast::<__m256i>()));
+            let lo = _mm512_permutex2var_epi16(va, vi0, vb);
+            let hi = _mm512_permutex2var_epi16(va, vi1, vb);
+            _mm512_storeu_si512(dst.as_mut_ptr().add(2 * j).cast::<__m512i>(), lo);
+            _mm512_storeu_si512(dst.as_mut_ptr().add(2 * j + 32).cast::<__m512i>(), hi);
+            j += 32;
+        }
+        for jj in j..l {
+            dst[2 * jj] = r0[jj] as i16;
+            dst[2 * jj + 1] = r1[jj] as i16;
+        }
+    }
+
+    /// AVX2 body of the widen-interleave pass: in-lane `vpunpck` interleaves
+    /// with a cross-lane fixup permute; scalar tail under 16 columns.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure `avx2` is available and that `r0.len() == r1.len()`
+    /// and `dst.len() == 2 · r0.len()`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn interleave_avx2(r0: &[i8], r1: &[i8], dst: &mut [i16]) {
+        use std::arch::x86_64::{
+            __m128i, __m256i, _mm256_cvtepi8_epi16, _mm256_permute2x128_si256, _mm256_storeu_si256,
+            _mm256_unpackhi_epi16, _mm256_unpacklo_epi16, _mm_loadu_si128,
+        };
+        let l = r0.len();
+        let mut j = 0usize;
+        while j + 16 <= l {
+            let va = _mm256_cvtepi8_epi16(_mm_loadu_si128(r0.as_ptr().add(j).cast::<__m128i>()));
+            let vb = _mm256_cvtepi8_epi16(_mm_loadu_si128(r1.as_ptr().add(j).cast::<__m128i>()));
+            let lo = _mm256_unpacklo_epi16(va, vb);
+            let hi = _mm256_unpackhi_epi16(va, vb);
+            let out0 = _mm256_permute2x128_si256(lo, hi, 0x20);
+            let out1 = _mm256_permute2x128_si256(lo, hi, 0x31);
+            _mm256_storeu_si256(dst.as_mut_ptr().add(2 * j).cast::<__m256i>(), out0);
+            _mm256_storeu_si256(dst.as_mut_ptr().add(2 * j + 16).cast::<__m256i>(), out1);
+            j += 16;
+        }
+        for jj in j..l {
+            dst[2 * jj] = r0[jj] as i16;
+            dst[2 * jj + 1] = r1[jj] as i16;
+        }
+    }
+
+    /// AVX-512 body: 32 `i8` taps per `vpmaddwd`, four `a` rows sharing
+    /// every `b`-row load, masked loads for the `k % 32` tail so short conv
+    /// patches (e.g. `ic·k·k = 27`) stay fully vectorized.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure `avx512f`, `avx512bw` and `avx512vl` are available
+    /// and that the slice lengths satisfy [`matmul_i8_nt_into`]'s contract.
+    ///
+    /// [`matmul_i8_nt_into`]: super::matmul_i8_nt_into
+    #[target_feature(enable = "avx512f,avx512bw,avx512vl")]
+    unsafe fn nt_avx512(a: &[i8], b: &[i8], out: &mut [i32], k: usize, n: usize) {
+        use std::arch::x86_64::{
+            __m256i, _mm256_loadu_si256, _mm256_maskz_loadu_epi8, _mm512_add_epi32, _mm512_cvtepi8_epi16,
+            _mm512_madd_epi16, _mm512_reduce_add_epi32, _mm512_setzero_si512,
+        };
+        let m = out.len() / n;
+        let tail = k % 32;
+        let body = k - tail;
+        let tail_mask: u32 = if tail == 0 { 0 } else { (1u32 << tail) - 1 };
+        let (a_ptr, b_ptr) = (a.as_ptr(), b.as_ptr());
+        let mut i0 = 0usize;
+        while i0 < m {
+            let rows = (m - i0).min(4);
+            for j in 0..n {
+                let bj = b_ptr.add(j * k);
+                let mut acc = [_mm512_setzero_si512(); 4];
+                let mut kk = 0usize;
+                while kk < body {
+                    let vb = _mm512_cvtepi8_epi16(_mm256_loadu_si256(bj.add(kk).cast::<__m256i>()));
+                    for (t, slot) in acc[..rows].iter_mut().enumerate() {
+                        let va = _mm512_cvtepi8_epi16(_mm256_loadu_si256(
+                            a_ptr.add((i0 + t) * k + kk).cast::<__m256i>(),
+                        ));
+                        *slot = _mm512_add_epi32(*slot, _mm512_madd_epi16(va, vb));
+                    }
+                    kk += 32;
+                }
+                if tail != 0 {
+                    let vb = _mm512_cvtepi8_epi16(_mm256_maskz_loadu_epi8(tail_mask, bj.add(kk)));
+                    for (t, slot) in acc[..rows].iter_mut().enumerate() {
+                        let va = _mm512_cvtepi8_epi16(_mm256_maskz_loadu_epi8(
+                            tail_mask,
+                            a_ptr.add((i0 + t) * k + kk),
+                        ));
+                        *slot = _mm512_add_epi32(*slot, _mm512_madd_epi16(va, vb));
+                    }
+                }
+                for (t, &slot) in acc[..rows].iter().enumerate() {
+                    out[(i0 + t) * n + j] = _mm512_reduce_add_epi32(slot);
+                }
+            }
+            i0 += rows;
+        }
+    }
+
+    /// AVX2 body: 16 `i8` taps per `vpmaddwd`, four `a` rows sharing every
+    /// `b`-row load, scalar `k % 16` tail.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure `avx2` is available and that the slice lengths
+    /// satisfy [`matmul_i8_nt_into`]'s contract.
+    ///
+    /// [`matmul_i8_nt_into`]: super::matmul_i8_nt_into
+    #[target_feature(enable = "avx2")]
+    unsafe fn nt_avx2(a: &[i8], b: &[i8], out: &mut [i32], k: usize, n: usize) {
+        use std::arch::x86_64::{
+            __m128i, __m256i, _mm256_add_epi32, _mm256_castsi256_si128, _mm256_cvtepi8_epi16,
+            _mm256_extracti128_si256, _mm256_madd_epi16, _mm256_setzero_si256, _mm_add_epi32,
+            _mm_cvtsi128_si32, _mm_loadu_si128, _mm_shuffle_epi32,
+        };
+        /// Horizontal sum of the eight `i32` lanes.
+        ///
+        /// # Safety
+        ///
+        /// Caller must ensure `avx2` is available.
+        #[target_feature(enable = "avx2")]
+        unsafe fn hsum(v: __m256i) -> i32 {
+            let s = _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
+            let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01_00_11_10));
+            let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_00_01));
+            _mm_cvtsi128_si32(s)
+        }
+        let m = out.len() / n;
+        let tail = k % 16;
+        let body = k - tail;
+        let (a_ptr, b_ptr) = (a.as_ptr(), b.as_ptr());
+        let mut i0 = 0usize;
+        while i0 < m {
+            let rows = (m - i0).min(4);
+            for j in 0..n {
+                let bj = b_ptr.add(j * k);
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = [_mm256_setzero_si256(); 4];
+                let mut kk = 0usize;
+                while kk < body {
+                    let vb = _mm256_cvtepi8_epi16(_mm_loadu_si128(bj.add(kk).cast::<__m128i>()));
+                    for (t, slot) in acc[..rows].iter_mut().enumerate() {
+                        let va = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                            a_ptr.add((i0 + t) * k + kk).cast::<__m128i>(),
+                        ));
+                        *slot = _mm256_add_epi32(*slot, _mm256_madd_epi16(va, vb));
+                    }
+                    kk += 16;
+                }
+                for (t, &slot) in acc[..rows].iter().enumerate() {
+                    let mut sum = hsum(slot);
+                    let a_row = &a[(i0 + t) * k..(i0 + t) * k + k];
+                    for kx in body..k {
+                        sum += a_row[kx] as i32 * b_row[kx] as i32;
+                    }
+                    out[(i0 + t) * n + j] = sum;
+                }
+            }
+            i0 += rows;
+        }
+    }
+}
+
+/// Unrolls one `i8` image (a `[c, h, w]` slice of a batch) into a column
+/// matrix `[c·k·k, oh·ow]`, **overwriting every element of `dst`** — padding
+/// positions are written as explicit `0`, so recycled storage needs no
+/// zero-fill pass.
+///
+/// The `i8` twin of [`crate::im2col_image_overwrite`], with the same stride-1
+/// `copy_from_slice` fast path; zero-point-0 symmetric quantization makes a
+/// literal `0` byte the correct padding value.
+///
+/// # Panics
+///
+/// Panics if `image` is not `c·h·w` elements or `dst` is not
+/// `c·k·k × oh·ow` elements.
+pub fn im2col_i8_image_overwrite(
+    image: &[i8],
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: Conv2dGeometry,
+    dst: &mut [i8],
+) {
+    let (oh, ow) = geom.output_size(h, w);
+    let k = geom.kernel;
+    let l = oh * ow;
+    assert_eq!(image.len(), c * h * w, "im2col_i8_image_overwrite image size mismatch");
+    assert_eq!(dst.len(), c * k * k * l, "im2col_i8_image_overwrite destination size mismatch");
+    let (stride, pad) = (geom.stride, geom.pad);
+    for ci in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ci * k + ky) * k + kx;
+                let tap = &mut dst[row * l..(row + 1) * l];
+                if stride == 1 && ow == w {
+                    // "same"-style geometry (every conv in the paper's
+                    // models): source and destination share the row stride,
+                    // so the tap's whole in-bounds block is ONE contiguous
+                    // copy at a constant offset — the few wrapped-in
+                    // elements at the row seams are zeroed afterwards.
+                    // This replaces `oh` short per-row copies (whose memcpy
+                    // dispatch overhead dominates at conv-sized rows) with
+                    // a single bulk move.
+                    let lo = pad.saturating_sub(kx).min(ow);
+                    let hi = (w + pad).saturating_sub(kx).min(ow).max(lo);
+                    let y0 = pad.saturating_sub(ky).min(oh);
+                    let y1 = (h + pad).saturating_sub(ky).min(oh).max(y0);
+                    tap[..y0 * ow].fill(0);
+                    tap[y1 * ow..].fill(0);
+                    if y0 < y1 && lo < hi {
+                        let dst_first = y0 * ow + lo;
+                        let dst_last = (y1 - 1) * ow + hi;
+                        let src_first = (ci * h + (y0 + ky) - pad) * w + (lo + kx) - pad;
+                        tap[dst_first..dst_last]
+                            .copy_from_slice(&image[src_first..src_first + (dst_last - dst_first)]);
+                        for oy in y0..y1 {
+                            // zero the row-seam edges the bulk copy filled
+                            // with wrapped neighbours (≤ `pad` each side)
+                            for slot in &mut tap[oy * ow..oy * ow + lo] {
+                                *slot = 0;
+                            }
+                            for slot in &mut tap[oy * ow + hi..(oy + 1) * ow] {
+                                *slot = 0;
+                            }
+                        }
+                    } else {
+                        tap[y0 * ow..y1 * ow].fill(0);
+                    }
+                    continue;
+                }
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    let dst_row = &mut tap[oy * ow..oy * ow + ow];
+                    if iy < 0 || iy >= h as isize {
+                        dst_row.fill(0);
+                        continue;
+                    }
+                    let src_row = &image[(ci * h + iy as usize) * w..(ci * h + iy as usize + 1) * w];
+                    if stride == 1 {
+                        // ix = ox + kx - pad: one contiguous run, zero edges
+                        let lo = pad.saturating_sub(kx).min(ow);
+                        let hi = (w + pad).saturating_sub(kx).min(ow).max(lo);
+                        dst_row[..lo].fill(0);
+                        let src_lo = lo + kx - pad;
+                        dst_row[lo..hi].copy_from_slice(&src_row[src_lo..src_lo + (hi - lo)]);
+                        dst_row[hi..].fill(0);
+                    } else {
+                        for (ox, slot) in dst_row.iter_mut().enumerate() {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            *slot = if ix < 0 || ix >= w as isize { 0 } else { src_row[ix as usize] };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Unrolls one `i8` image (a `[c, h, w]` slice of a batch) into the
+/// **pair-interleaved** sign-extended `i16` matrix consumed by
+/// [`matmul_i16_pairs_into`], overwriting every element of `dst` (padding
+/// positions — and the phantom tap added when `c·k·k` is odd — are written
+/// as explicit `0`).
+///
+/// Logical element `(kk, j)` of the plain `[c·k·k, oh·ow]` im2col matrix
+/// lands at `dst[(kk / 2) · 2l + 2j + (kk % 2)]` with `l = oh·ow`: each pair
+/// of adjacent taps is interleaved column-by-column, which is exactly the
+/// operand shape `vpmaddwd` wants opposite a broadcast tap pair. `dst` must
+/// be `(c·k·k rounded up to even) · oh·ow` elements.
+///
+/// Like the f32 gather, each `(tap, oy)` row is one contiguous source run
+/// with zeroed edges — but written at stride 2, so the store stream stays
+/// sequential in cache lines while producing the interleaved layout in a
+/// single pass. Widening to `i16` happens here, during the gather, so the
+/// matmul's inner loops need no element conversions at all.
+///
+/// # Panics
+///
+/// Panics if `image` is not `c·h·w` elements or `dst` is not
+/// `(c·k·k + (c·k·k & 1)) × oh·ow` elements.
+pub fn im2col_i16_pairs_image_overwrite(
+    image: &[i8],
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: Conv2dGeometry,
+    dst: &mut [i16],
+) {
+    let (oh, ow) = geom.output_size(h, w);
+    let k = geom.kernel;
+    let kk = c * k * k;
+    let kk_pad = kk + (kk & 1);
+    let l = oh * ow;
+    assert_eq!(image.len(), c * h * w, "im2col_i16_pairs_image_overwrite image size mismatch");
+    assert_eq!(dst.len(), kk_pad * l, "im2col_i16_pairs_image_overwrite destination size mismatch");
+    let (stride, pad) = (geom.stride, geom.pad);
+    for tap in 0..kk {
+        let ci = tap / (k * k);
+        let ky = (tap / k) % k;
+        let kx = tap % k;
+        let (p, s) = (tap / 2, tap % 2);
+        for oy in 0..oh {
+            let iy = (oy * stride + ky) as isize - pad as isize;
+            // both interleave slots of this pair-row's `oy` stripe; writes
+            // below touch only slot `s` at indices 2·ox + s
+            let drow = &mut dst[p * 2 * l + 2 * oy * ow..p * 2 * l + 2 * (oy * ow + ow)];
+            if iy < 0 || iy >= h as isize {
+                for ox in 0..ow {
+                    drow[2 * ox + s] = 0;
+                }
+                continue;
+            }
+            let src_row = &image[(ci * h + iy as usize) * w..(ci * h + iy as usize + 1) * w];
+            if stride == 1 {
+                // ix = ox + kx - pad: one contiguous source run, zero edges
+                let lo = pad.saturating_sub(kx).min(ow);
+                let hi = (w + pad).saturating_sub(kx).min(ow).max(lo);
+                for ox in 0..lo {
+                    drow[2 * ox + s] = 0;
+                }
+                let src = &src_row[lo + kx - pad..hi + kx - pad];
+                for (ox, &v) in (lo..hi).zip(src) {
+                    drow[2 * ox + s] = v as i16;
+                }
+                for ox in hi..ow {
+                    drow[2 * ox + s] = 0;
+                }
+            } else {
+                for ox in 0..ow {
+                    let ix = (ox * stride + kx) as isize - pad as isize;
+                    drow[2 * ox + s] =
+                        if ix < 0 || ix >= w as isize { 0 } else { src_row[ix as usize] as i16 };
+                }
+            }
+        }
+    }
+    if kk_pad != kk {
+        // phantom tap paired with the last real one: always zero, so the
+        // even-width kernel contract holds without affecting any sum
+        let base = (kk_pad / 2 - 1) * 2 * l + 1;
+        for j in 0..l {
+            dst[base + 2 * j] = 0;
+        }
+    }
+}
+
+/// Widens a row-major `[rows, l]` `i8` matrix into the pair-interleaved
+/// `i16` layout of [`matmul_i16_pairs_into`]: rows `2p` and `2p + 1` become
+/// pair-row `p` with their columns interleaved (`dst[p·2l + 2j + s] =
+/// src[(2p + s)·l + j]`), and an odd row count gains a phantom all-zero
+/// partner row.
+///
+/// This is the production path to the interleaved operand: build the plain
+/// im2col matrix with [`im2col_i8_image_overwrite`] (long contiguous `memcpy`
+/// runs), then transpose-widen pairs of rows here — the SIMD bodies turn a
+/// pair of 32-byte row segments into two full-width interleaved stores, where
+/// a direct strided gather pays a scalar store per element.
+/// [`im2col_i16_pairs_image_overwrite`] produces the identical layout in one
+/// (slower) pass and serves as its reference.
+///
+/// # Panics
+///
+/// Panics if `src` is not `rows · l` elements or `dst` is not
+/// `(rows + (rows & 1)) · l` elements.
+pub fn interleave_widen_pairs(src: &[i8], rows: usize, l: usize, dst: &mut [i16]) {
+    let rows_pad = rows + (rows & 1);
+    assert_eq!(src.len(), rows * l, "interleave_widen_pairs source size mismatch");
+    assert_eq!(dst.len(), rows_pad * l, "interleave_widen_pairs destination size mismatch");
+    for p in 0..rows / 2 {
+        let r0 = &src[2 * p * l..2 * p * l + l];
+        let r1 = &src[(2 * p + 1) * l..(2 * p + 1) * l + l];
+        let d = &mut dst[p * 2 * l..(p + 1) * 2 * l];
+        #[cfg(target_arch = "x86_64")]
+        if simd::interleave_dispatch(r0, r1, d) {
+            continue;
+        }
+        for j in 0..l {
+            d[2 * j] = r0[j] as i16;
+            d[2 * j + 1] = r1[j] as i16;
+        }
+    }
+    if rows_pad != rows {
+        let r0 = &src[(rows - 1) * l..];
+        let d = &mut dst[(rows_pad / 2 - 1) * 2 * l..];
+        for j in 0..l {
+            d[2 * j] = r0[j] as i16;
+            d[2 * j + 1] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::im2col::im2col_image_overwrite;
+
+    fn pattern(len: usize, mul: usize, md: usize) -> Vec<i8> {
+        (0..len).map(|i| (((i * mul) % md) as i32 - md as i32 / 2) as i8).collect()
+    }
+
+    fn naive_gemm(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
+        let mut out = vec![0i32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                for j in 0..n {
+                    out[i * n + j] += a[i * k + kk] as i32 * b[kk * n + j] as i32;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn gemm_i8_matches_naive_across_remainder_shapes() {
+        // exercise k % 4 == 0..=3 to cover both the unrolled body and tail
+        for (m, k, n) in [(3, 8, 5), (2, 7, 4), (4, 6, 3), (1, 5, 9), (5, 1, 2)] {
+            let a = pattern(m * k, 37, 255);
+            let b = pattern(k * n, 29, 251);
+            let mut out = vec![7i32; m * n]; // accumulate on top of garbage
+            gemm_i8_accumulate(&a, &b, &mut out, k, n);
+            let expect: Vec<i32> = naive_gemm(&a, &b, m, k, n).iter().map(|x| x + 7).collect();
+            assert_eq!(out, expect, "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn nt_form_matches_gemm_of_transpose() {
+        for (m, k, n) in [(3, 9, 4), (2, 8, 6), (1, 3, 1)] {
+            let a = pattern(m * k, 41, 253);
+            let b_nt = pattern(n * k, 23, 249); // [n, k]
+                                                // transpose to [k, n] and run the accumulating kernel
+            let mut b_t = vec![0i8; k * n];
+            for j in 0..n {
+                for kk in 0..k {
+                    b_t[kk * n + j] = b_nt[j * k + kk];
+                }
+            }
+            let mut want = vec![0i32; m * n];
+            gemm_i8_accumulate(&a, &b_t, &mut want, k, n);
+            let mut got = vec![-1i32; m * n]; // overwrite semantics
+            matmul_i8_nt_into(&a, &b_nt, &mut got, k, n);
+            assert_eq!(got, want, "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        // all -128 × all -128 over a long k: products are +16384 each
+        let (m, k, n) = (1, 1024, 1);
+        let a = vec![-128i8; m * k];
+        let b = vec![-128i8; n * k];
+        let mut out = vec![0i32; m * n];
+        matmul_i8_nt_into(&a, &b, &mut out, k, n);
+        assert_eq!(out[0], 16384 * k as i32);
+    }
+
+    #[test]
+    fn simd_dispatch_matches_scalar_kernel() {
+        // whatever body the runtime dispatch picks must agree with the
+        // portable one on every tail class (k % 32 spanning 0, short, long)
+        for (m, k, n) in [(5, 27, 7), (3, 16, 4), (2, 32, 3), (6, 33, 5), (4, 72, 2), (1, 3, 9)] {
+            let a = pattern(m * k, 37, 255);
+            let b = pattern(n * k, 29, 251);
+            let mut want = vec![0i32; m * n];
+            nt_scalar(&a, &b, &mut want, k, n);
+            let mut got = vec![-7i32; m * n];
+            matmul_i8_nt_into(&a, &b, &mut got, k, n);
+            assert_eq!(got, want, "shape ({m},{k},{n})");
+        }
+    }
+
+    /// Converts a `[n, k]` NT-form matrix into the pair-interleaved layout
+    /// (`k` padded up to even with zero taps).
+    fn to_pairs(b_nt: &[i8], k: usize, n: usize) -> (Vec<i16>, usize) {
+        let k_pad = k + (k & 1);
+        let mut out = vec![0i16; k_pad * n];
+        for j in 0..n {
+            for kk in 0..k {
+                out[(kk / 2) * 2 * n + 2 * j + (kk % 2)] = b_nt[j * k + kk] as i16;
+            }
+        }
+        (out, k_pad)
+    }
+
+    /// Widens `[m, k]` rows to `i16`, padding each to an even length.
+    fn widen_pad(a: &[i8], m: usize, k: usize) -> Vec<i16> {
+        let k_pad = k + (k & 1);
+        let mut out = vec![0i16; m * k_pad];
+        for (dst, src) in out.chunks_exact_mut(k_pad).zip(a.chunks_exact(k)) {
+            for (d, &v) in dst.iter_mut().zip(src) {
+                *d = v as i16;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn pairs_dispatch_matches_scalar_kernel() {
+        // column counts straddle every tile boundary of the SIMD bodies
+        // (64/16/masked-tail on AVX-512, 32/8/scalar-tail on AVX2)
+        for (m, k, n) in
+            [(5, 28, 7), (3, 16, 64), (2, 32, 70), (6, 34, 33), (4, 72, 2), (1, 4, 9), (7, 28, 65)]
+        {
+            let a: Vec<i16> = pattern(m * k, 37, 255).iter().map(|&x| x as i16).collect();
+            let (b, _) = to_pairs(&pattern(n * k, 29, 251), k, n);
+            let mut want = vec![0i32; m * n];
+            pairs_scalar(&a, &b, &mut want, k, n);
+            let mut got = vec![-7i32; m * n];
+            matmul_i16_pairs_into(&a, &b, &mut got, k, n);
+            assert_eq!(got, want, "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn pairs_kernel_agrees_with_the_i8_kernel() {
+        // the interleaved layout plus zero-tap padding must reproduce the
+        // dot-product kernel exactly, including for odd k
+        for (m, k, n) in [(4, 27, 6), (2, 33, 3), (3, 72, 17), (1, 1, 5)] {
+            let a8 = pattern(m * k, 37, 255);
+            let b8 = pattern(n * k, 29, 251);
+            let mut want = vec![0i32; m * n];
+            matmul_i8_nt_into(&a8, &b8, &mut want, k, n);
+            let a16 = widen_pad(&a8, m, k);
+            let (b16, k_pad) = to_pairs(&b8, k, n);
+            let mut got = vec![0i32; m * n];
+            matmul_i16_pairs_into(&a16, &b16, &mut got, k_pad, n);
+            assert_eq!(got, want, "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn pairs_gather_is_the_interleaved_im2col() {
+        for geom in [
+            Conv2dGeometry::new(3, 1, 1),
+            Conv2dGeometry::new(2, 2, 0),
+            Conv2dGeometry::new(3, 2, 2),
+            Conv2dGeometry::new(3, 1, 0),
+        ] {
+            let (c, h, w) = (3, 5, 4);
+            let img = pattern(c * h * w, 31, 247);
+            let (oh, ow) = geom.output_size(h, w);
+            let kk = c * geom.kernel * geom.kernel;
+            let kk_pad = kk + (kk & 1);
+            let l = oh * ow;
+            let mut cols = vec![99i8; kk * l];
+            let mut pairs = vec![99i16; kk_pad * l];
+            im2col_i8_image_overwrite(&img, c, h, w, geom, &mut cols);
+            im2col_i16_pairs_image_overwrite(&img, c, h, w, geom, &mut pairs);
+            for tap in 0..kk {
+                for j in 0..l {
+                    assert_eq!(
+                        pairs[(tap / 2) * 2 * l + 2 * j + (tap % 2)],
+                        cols[tap * l + j] as i16,
+                        "geom {geom:?} tap {tap} col {j}"
+                    );
+                }
+            }
+            if kk_pad != kk {
+                // the phantom tap row must come out zero even on a dirty buffer
+                for j in 0..l {
+                    assert_eq!(pairs[(kk_pad / 2 - 1) * 2 * l + 2 * j + 1], 0, "geom {geom:?} col {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleave_matches_the_reference_gather() {
+        // the production two-pass path (i8 im2col, then widen-interleave)
+        // must reproduce the single-pass reference layout exactly
+        for geom in [
+            Conv2dGeometry::new(3, 1, 1),
+            Conv2dGeometry::new(2, 2, 0),
+            Conv2dGeometry::new(3, 2, 2),
+            Conv2dGeometry::new(3, 1, 0),
+        ] {
+            let (c, h, w) = (3, 5, 4);
+            let img = pattern(c * h * w, 31, 247);
+            let (oh, ow) = geom.output_size(h, w);
+            let kk = c * geom.kernel * geom.kernel;
+            let kk_pad = kk + (kk & 1);
+            let l = oh * ow;
+            let mut want = vec![99i16; kk_pad * l];
+            im2col_i16_pairs_image_overwrite(&img, c, h, w, geom, &mut want);
+            let mut cols = vec![99i8; kk * l];
+            im2col_i8_image_overwrite(&img, c, h, w, geom, &mut cols);
+            let mut got = vec![-5i16; kk_pad * l];
+            interleave_widen_pairs(&cols, kk, l, &mut got);
+            assert_eq!(got, want, "geom {geom:?}");
+        }
+    }
+
+    #[test]
+    fn interleave_handles_every_tail_class() {
+        // row lengths straddle the 32- and 16-column SIMD blocks and their
+        // scalar tails, for both even and odd row counts
+        for (rows, l) in [(2, 37), (4, 16), (3, 5), (2, 70), (5, 64), (1, 3)] {
+            let src = pattern(rows * l, 37, 255);
+            let rows_pad = rows + (rows & 1);
+            let mut got = vec![-5i16; rows_pad * l];
+            interleave_widen_pairs(&src, rows, l, &mut got);
+            for r in 0..rows_pad {
+                for j in 0..l {
+                    let want = if r < rows { src[r * l + j] as i16 } else { 0 };
+                    assert_eq!(got[(r / 2) * 2 * l + 2 * j + (r % 2)], want, "rows {rows} l {l} ({r},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i8_unroll_matches_f32_unroll_elementwise() {
+        // the i8 gather must place bytes exactly where the f32 gather places
+        // floats, for every geometry class the executor uses
+        for geom in [
+            Conv2dGeometry::new(3, 1, 1),
+            Conv2dGeometry::new(2, 2, 0),
+            Conv2dGeometry::new(3, 2, 2),
+            Conv2dGeometry::new(3, 1, 0),
+        ] {
+            let (c, h, w) = (3, 5, 4);
+            let img = pattern(c * h * w, 31, 247);
+            let img_f: Vec<f32> = img.iter().map(|&x| x as f32).collect();
+            let (oh, ow) = geom.output_size(h, w);
+            let rows = c * geom.kernel * geom.kernel;
+            let l = oh * ow;
+            let mut dst = vec![99i8; rows * l];
+            let mut dst_f = vec![f32::NAN; rows * l];
+            im2col_i8_image_overwrite(&img, c, h, w, geom, &mut dst);
+            im2col_image_overwrite(&img_f, c, h, w, geom, &mut dst_f);
+            for (i, (&b, &f)) in dst.iter().zip(&dst_f).enumerate() {
+                assert_eq!(b as f32, f, "geom {geom:?} slot {i}");
+            }
+        }
+    }
+}

@@ -28,15 +28,19 @@
 //! * Everything is `f32`: the paper injects bit flips into IEEE-754
 //!   single-precision weight words, so the memory representation of
 //!   parameters must be exactly `f32`.
-//! * No `unsafe` is used anywhere in the workspace.
+//! * `unsafe` is denied workspace-wide with one sanctioned exception: the
+//!   runtime-dispatched x86-64 SIMD bodies of the int8 kernels (see
+//!   `int8::simd`), which `core::arch` makes unavoidably unsafe. Every
+//!   other crate still forbids it outright.
 //! * Threading uses `std::thread::scope`; no runtime dependency is needed.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
 mod im2col;
 mod init;
+mod int8;
 mod matmul;
 mod par;
 mod shape;
@@ -47,6 +51,10 @@ pub use im2col::{
     col2im, conv_output_size, im2col, im2col_batch, im2col_batch_into, im2col_image_overwrite, Conv2dGeometry,
 };
 pub use init::{he_normal, uniform_init, xavier_uniform};
+pub use int8::{
+    gemm_i8_accumulate, im2col_i16_pairs_image_overwrite, im2col_i8_image_overwrite, interleave_widen_pairs,
+    matmul_i16_pairs_into, matmul_i8_nt_into,
+};
 pub use matmul::{gemm_accumulate, matmul, matmul_into, matmul_nt, matmul_nt_into, matmul_tn};
 pub use par::{num_threads, par_row_bands, with_thread_limit};
 pub use shape::Shape;

@@ -399,6 +399,19 @@ impl PrefixCache {
     /// with its depth. Counts a hit only for an exact-depth match.
     fn deepest_at(&self, batch: usize, cut: usize) -> Option<(usize, Arc<Tensor>)> {
         let mut s = self.state.lock().expect("prefix cache lock");
+        // chaos drill: evict the entry we were about to serve, as if the
+        // budget reclaimed it between cells — the caller recomputes the
+        // prefix from scratch, bit-identically
+        if ftclip_tensor::failpoint::fires("core.prefix_evict") {
+            let found = s.entries.range((batch, 0)..=(batch, cut)).next_back().map(|(&k, _)| k);
+            if let Some(key) = found {
+                if let Some(act) = s.entries.remove(&key) {
+                    s.bytes_held = s.bytes_held.saturating_sub(act.len() * std::mem::size_of::<f32>());
+                }
+            }
+            s.misses += 1;
+            return None;
+        }
         let found = s
             .entries
             .range((batch, 0)..=(batch, cut))
@@ -421,7 +434,9 @@ impl PrefixCache {
         if s.entries.contains_key(&(batch, cut)) {
             return;
         }
-        if s.bytes_held + bytes > self.budget_bytes {
+        // chaos drill: an injected insert failure behaves exactly like a
+        // budget refusal — the caller keeps its freshly computed activation
+        if s.bytes_held + bytes > self.budget_bytes || ftclip_tensor::failpoint::fires("core.prefix_insert") {
             s.rejected += 1;
             return;
         }

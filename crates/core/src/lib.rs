@@ -50,6 +50,12 @@ mod tuner;
 
 pub use auc::{auc_normalized, campaign_auc, AucConfig};
 pub use evalset::{EvalSet, EvalSettings, PrefixCache, PrefixCacheStats, SuffixAccuracy};
+/// Deterministic failpoint harness (`FTCLIP_FAILPOINTS`) for chaos testing.
+///
+/// Implemented in `ftclip_tensor` so every layer of the stack (store, nn
+/// caches, the service) can host sites; re-exported here as the canonical
+/// path.
+pub use ftclip_tensor::failpoint;
 pub use methodology::{HardenReport, LayerTuneReport, Methodology, ProfileConfig};
 pub use profile::{profile_network, ActivationHistogram, SiteProfile};
 pub use report::{improvement_percent, Comparison};

@@ -1,0 +1,95 @@
+//! Failpoint-driven cache chaos tests: the prefix cache and the plan cache
+//! are pure accelerators, so any injected eviction, refused insert or cache
+//! bypass must leave every accuracy bit-identical to the undisturbed run.
+//!
+//! Failpoint schedules are process-global, so these live in their own
+//! integration binary and serialize on [`LOCK`].
+
+use std::sync::{Mutex, PoisonError};
+
+use ftclip_core::failpoint;
+use ftclip_core::{EvalSet, PrefixCache};
+use ftclip_data::SynthCifar;
+use ftclip_nn::{Layer, Sequential};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn data() -> SynthCifar {
+    SynthCifar::builder().seed(5).train_size(16).val_size(16).test_size(32).build()
+}
+
+fn conv_net() -> Sequential {
+    Sequential::new(vec![
+        Layer::conv2d(3, 4, 3, 1, 1, 21),
+        Layer::relu(),
+        Layer::flatten(),
+        Layer::linear(4 * 32 * 32, 16, 22),
+        Layer::relu(),
+        Layer::linear(16, 10, 23),
+    ])
+}
+
+/// Random mid-campaign evictions force prefix recomputation; every score
+/// stays bit-identical to the full forward pass.
+#[test]
+fn prefix_evictions_fall_back_bit_identically() {
+    let _g = guard();
+    let d = data();
+    let eval = EvalSet::from_dataset(d.test(), 8);
+    let net = conv_net();
+    let full = eval.accuracy(&net).to_bits();
+    let cache = PrefixCache::new(64 << 20);
+    failpoint::configure("core.prefix_evict=delay(0):0.5;seed=41").unwrap();
+    for _ in 0..3 {
+        for cut in 1..=net.len() {
+            assert_eq!(eval.accuracy_suffix(&net, cut, &cache).to_bits(), full, "cut {cut}");
+        }
+    }
+    failpoint::clear();
+    // and an undisturbed pass over the surviving cache still agrees
+    for cut in 1..=net.len() {
+        assert_eq!(eval.accuracy_suffix(&net, cut, &cache).to_bits(), full, "post-chaos cut {cut}");
+    }
+}
+
+/// Refused inserts degrade the cache to recomputation — bit-identical, with
+/// the refusals visible in the stats.
+#[test]
+fn refused_prefix_inserts_fall_back_bit_identically() {
+    let _g = guard();
+    let d = data();
+    let eval = EvalSet::from_dataset(d.test(), 8);
+    let net = conv_net();
+    let full = eval.accuracy(&net).to_bits();
+    let cache = PrefixCache::new(64 << 20);
+    failpoint::configure("core.prefix_insert=delay(0)").unwrap();
+    for cut in 1..=net.len() {
+        assert_eq!(eval.accuracy_suffix(&net, cut, &cache).to_bits(), full, "cut {cut}");
+    }
+    failpoint::clear();
+    let stats = cache.stats();
+    assert_eq!(stats.entries, 0, "every insert was injected away");
+    assert!(stats.rejected > 0);
+    assert_eq!(stats.bytes_held, 0);
+}
+
+/// A plan-cache bypass recompiles the forward plan from scratch; the
+/// recompiled plan executes bit-identically to the memoized one.
+#[test]
+fn plan_cache_bypass_is_bit_identical() {
+    let _g = guard();
+    let d = data();
+    let eval = EvalSet::from_dataset(d.test(), 8);
+    let net = conv_net();
+    let warm = eval.accuracy(&net).to_bits(); // populates the plan cache
+    failpoint::configure("nn.plan_cache=delay(0):0.7;seed=17").unwrap();
+    for _ in 0..3 {
+        assert_eq!(eval.accuracy(&net).to_bits(), warm);
+    }
+    failpoint::clear();
+    assert_eq!(eval.accuracy(&net).to_bits(), warm);
+}

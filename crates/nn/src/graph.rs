@@ -762,7 +762,10 @@ pub fn plan_cache_len() -> usize {
 /// for this (structure, entry, shape) or compiles and inserts one. With
 /// `FTCLIP_PLAN_CACHE=off` every call compiles fresh.
 pub fn plan_for(net: &Sequential, entry: usize, entry_dims: &[usize]) -> Arc<ForwardPlan> {
-    if !plan_cache_enabled() {
+    // chaos drill: an injected bypass recompiles this plan from scratch —
+    // plans are pure functions of (structure, entry, shape), so execution
+    // stays bit-identical, just slower
+    if !plan_cache_enabled() || ftclip_tensor::failpoint::fires("nn.plan_cache") {
         return Arc::new(ForwardPlan::compile_from(net, entry, entry_dims));
     }
     let key = (structural_fingerprint(net), entry, entry_dims.to_vec());

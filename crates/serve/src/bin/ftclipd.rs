@@ -3,7 +3,8 @@
 //! ```text
 //! ftclipd [--addr HOST:PORT] [--state DIR] [--workers N] [--threads N]
 //!         [--cache DIR] [--no-cache] [--assets DIR] [--fresh]
-//!         [--keep-jobs N] [--admin-token TOKEN]
+//!         [--keep-jobs N] [--admin-token TOKEN] [--max-queue N]
+//!         [--deadline-secs N] [--retries N]
 //! ```
 //!
 //! Boots the HTTP service over a persistent state directory, resuming any
@@ -12,6 +13,17 @@
 //! `FTCLIP_ADMIN_TOKEN` environment variable) is set, every `/v1/admin/*`
 //! request must carry `Authorization: Bearer <token>` or it is rejected
 //! with 401. See `docs/API.md` for the endpoints.
+//!
+//! Robustness knobs (flag overrides the matching environment variable):
+//!
+//! * `--max-queue` / `FTCLIP_MAX_QUEUE` — queued-job cap; beyond it,
+//!   submissions are shed with `503 + Retry-After`.
+//! * `--deadline-secs` / `FTCLIP_DEADLINE_SECS` — default wall-clock job
+//!   deadline (`?deadline_s=` on a submission overrides it).
+//! * `--retries` / `FTCLIP_RETRIES` — supervised retries before a
+//!   panicking job is marked failed.
+//! * `FTCLIP_FAILPOINTS` — arms the deterministic fault-injection
+//!   harness (chaos testing only; see `docs/ARCHITECTURE.md`).
 
 use std::path::PathBuf;
 
@@ -22,7 +34,7 @@ fn usage(reason: &str) -> ! {
     eprintln!(
         "usage: ftclipd [--addr HOST:PORT] [--state DIR] [--workers N] [--threads N] \
          [--cache DIR] [--no-cache] [--assets DIR] [--fresh] [--keep-jobs N] \
-         [--admin-token TOKEN]"
+         [--admin-token TOKEN] [--max-queue N] [--deadline-secs N] [--retries N]"
     );
     std::process::exit(2)
 }
@@ -62,6 +74,20 @@ fn parse_config() -> ServeConfig {
                     Some(value("--keep-jobs").parse().unwrap_or_else(|_| usage("bad --keep-jobs")))
             }
             "--admin-token" => config.admin_token = Some(value("--admin-token")),
+            "--max-queue" => {
+                config.max_queue =
+                    Some(value("--max-queue").parse().unwrap_or_else(|_| usage("bad --max-queue")))
+            }
+            "--deadline-secs" => {
+                let secs: u64 = value("--deadline-secs")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --deadline-secs"));
+                config.default_deadline = (secs > 0).then(|| std::time::Duration::from_secs(secs));
+            }
+            "--retries" => {
+                config.max_retries =
+                    Some(value("--retries").parse().unwrap_or_else(|_| usage("bad --retries")))
+            }
             "--help" | "-h" => usage("ftclipd: serve FT-ClipAct campaigns over HTTP"),
             other => usage(&format!("unknown argument '{other}'")),
         }
@@ -76,6 +102,17 @@ fn parse_config() -> ServeConfig {
 }
 
 fn main() {
+    if let Ok(spec) = std::env::var("FTCLIP_FAILPOINTS") {
+        if !spec.is_empty() {
+            match ftclip_core::failpoint::configure(&spec) {
+                Ok(()) => eprintln!("[ftclipd] FAULT INJECTION ARMED: {spec}"),
+                Err(e) => {
+                    eprintln!("[ftclipd] bad FTCLIP_FAILPOINTS: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
     let config = parse_config();
     let state = config.state_dir.clone();
     let workers = config.workers;

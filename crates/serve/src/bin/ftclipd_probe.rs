@@ -4,6 +4,7 @@
 //! ftclipd_probe smoke --addr HOST:PORT [--out DIR] [--shutdown]
 //! ftclipd_probe load  --addr HOST:PORT [--requests N] [--clients T] \
 //!                     [--out BENCH_6.json] [--shutdown]
+//! ftclipd_probe chaos --addr HOST:PORT [--out STATS.json] [--shutdown]
 //! ```
 //!
 //! `smoke` drives the full service contract on the `fig1b --quick` spec:
@@ -16,6 +17,12 @@
 //! `load` saturates the cache-hit path with `--clients` concurrent
 //! connections and reports specs/sec and latency percentiles as
 //! `BENCH_6.json`.
+//!
+//! `chaos` drives the same spec against a daemon launched with
+//! `FTCLIP_FAILPOINTS` armed: every request tolerates injected accept /
+//! stream faults and 503 sheds, completion is confirmed by polling the job
+//! resource, and the recovery counters (`jobs_retried`, `jobs_panicked`,
+//! `failpoints_fired`, …) are published as a JSON stats report for CI.
 
 use std::io::Write as _;
 use std::net::SocketAddr;
@@ -30,7 +37,8 @@ fn usage(reason: &str) -> ! {
     eprintln!(
         "usage: ftclipd_probe smoke --addr HOST:PORT [--out DIR] [--shutdown]\n\
          \x20      ftclipd_probe load  --addr HOST:PORT [--requests N] [--clients T] \
-         [--out FILE] [--shutdown]"
+         [--out FILE] [--shutdown]\n\
+         \x20      ftclipd_probe chaos --addr HOST:PORT [--out FILE] [--shutdown]"
     );
     std::process::exit(2)
 }
@@ -81,6 +89,7 @@ fn main() {
     match mode.as_str() {
         "smoke" => smoke(&client, out.as_deref()),
         "load" => load(&client, requests.max(1), clients.max(1), out.as_deref()),
+        "chaos" => chaos(&client, out.as_deref()),
         other => usage(&format!("unknown mode '{other}'")),
     }
 
@@ -210,6 +219,123 @@ fn smoke(client: &HttpClient, out: Option<&str>) {
             let path = std::path::Path::new(dir).join(format!("{table}.csv"));
             std::fs::write(&path, &csv.body).expect("write fetched table");
             eprintln!("[probe] wrote {}", path.display());
+        }
+    }
+}
+
+/// GETs a path, retrying on transport errors — under an armed `serve.accept`
+/// or `serve.stream` failpoint individual connections are expected to die.
+fn get_chaos(client: &HttpClient, path: &str, attempts: usize) -> HttpReply {
+    let mut last_err = String::new();
+    for attempt in 1..=attempts {
+        match client.get(path) {
+            Ok(reply) => return reply,
+            Err(e) => {
+                last_err = e.to_string();
+                eprintln!("[probe] transient: GET {path} attempt {attempt}/{attempts}: {e}");
+                std::thread::sleep(Duration::from_millis(100 * attempt as u64));
+            }
+        }
+    }
+    eprintln!("[probe] FAIL: GET {path} after {attempts} attempts: {last_err}");
+    std::process::exit(1);
+}
+
+fn chaos(client: &HttpClient, out: Option<&str>) {
+    let health = get_chaos(client, "/healthz", 10);
+    check(health.status == 200, "healthz -> 200 despite injected accept faults");
+
+    // submit through the shed-aware client path: 503 + Retry-After answers
+    // are absorbed by jittered retries, transport faults by the outer loop
+    let spec_json = quick_fig1b_spec().to_json();
+    let mut submitted = None;
+    for attempt in 1..=10u64 {
+        match client.post_json_retrying("/v1/specs", &spec_json, 8) {
+            Ok(reply) => {
+                submitted = Some(reply);
+                break;
+            }
+            Err(e) => {
+                eprintln!("[probe] transient: POST /v1/specs attempt {attempt}/10: {e}");
+                std::thread::sleep(Duration::from_millis(100 * attempt));
+            }
+        }
+    }
+    let reply = submitted.unwrap_or_else(|| {
+        eprintln!("[probe] FAIL: POST /v1/specs never got through the chaos");
+        std::process::exit(1);
+    });
+    check(
+        reply.status == 200 || reply.status == 202,
+        &format!("POST /v1/specs -> 200|202 (got {})", reply.status),
+    );
+
+    // the event stream may be cut mid-flight by `serve.stream`; completion
+    // is confirmed by polling the job resource instead
+    if reply.status == 202 {
+        let body = reply.json().expect("submission body is JSON");
+        let id = body
+            .get("id")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .expect("submission has a job id");
+        let deadline = Instant::now() + Duration::from_secs(600);
+        let status = loop {
+            let job = get_chaos(client, &format!("/v1/jobs/{id}"), 10);
+            let status = job
+                .json()
+                .and_then(|v| v.get("status").and_then(Value::as_str).map(str::to_string))
+                .unwrap_or_default();
+            match status.as_str() {
+                "completed" | "failed" | "cancelled" => break status,
+                _ if Instant::now() >= deadline => break format!("timed out while {status}"),
+                _ => std::thread::sleep(Duration::from_millis(250)),
+            }
+        };
+        check(status == "completed", &format!("job settles as 'completed' (got '{status}')"));
+    }
+
+    // recovery must converge on the store: the re-submit is a cache hit
+    let second = client.post_json_retrying("/v1/specs", &spec_json, 8).unwrap_or_else(|e| {
+        eprintln!("[probe] FAIL: cache-hit resubmit: {e}");
+        std::process::exit(1);
+    });
+    check(second.status == 200, &format!("re-submit -> 200 cache hit (got {})", second.status));
+
+    // publish the server's recovery counters as the chaos stats report
+    let metrics = get_chaos(client, "/v1/metrics", 10).json().unwrap_or_else(|| {
+        eprintln!("[probe] FAIL: /v1/metrics body is not JSON");
+        std::process::exit(1);
+    });
+    check(metric(&metrics, "jobs_completed") >= 1, "at least one job completed under chaos");
+    let counter = |name: &str| Value::Number(metric(&metrics, name) as f64);
+    let report = Value::Object(vec![
+        ("probe".to_string(), Value::String("ftclipd_chaos".to_string())),
+        (
+            "failpoints".to_string(),
+            Value::String(std::env::var("FTCLIP_FAILPOINTS").unwrap_or_default()),
+        ),
+        ("jobs_executed".to_string(), counter("jobs_executed")),
+        ("jobs_completed".to_string(), counter("jobs_completed")),
+        ("jobs_failed".to_string(), counter("jobs_failed")),
+        ("jobs_retried".to_string(), counter("jobs_retried")),
+        ("jobs_panicked".to_string(), counter("jobs_panicked")),
+        ("jobs_shed".to_string(), counter("jobs_shed")),
+        ("jobs_deadline_expired".to_string(), counter("jobs_deadline_expired")),
+        (
+            "failpoints_fired".to_string(),
+            metrics.get("failpoints_fired").cloned().unwrap_or(Value::Object(Vec::new())),
+        ),
+    ]);
+    let rendered = serde_json::to_string_pretty(&report).expect("render chaos report");
+    match out {
+        Some(path) => {
+            std::fs::write(path, format!("{rendered}\n")).expect("write chaos report");
+            eprintln!("[probe] wrote {path}");
+        }
+        None => {
+            std::io::stdout().write_all(rendered.as_bytes()).ok();
+            println!();
         }
     }
 }

@@ -129,6 +129,36 @@ impl HttpClient {
         self.request("POST", path, &[("Content-Type", "application/json")], body.as_bytes())
     }
 
+    /// [`HttpClient::post_json`] that honors load shedding: a `503` with a
+    /// `Retry-After` header is retried up to `max_retries` times, sleeping
+    /// the server's hint scaled by a deterministic jitter factor in
+    /// `[0.5, 1.0)` (keyed off the path and attempt, so a fleet of probes
+    /// hitting the same shed does not retry in lockstep). Any other reply —
+    /// including a final `503` — is returned as-is.
+    ///
+    /// # Errors
+    ///
+    /// See [`HttpClient::get`].
+    pub fn post_json_retrying(
+        &self,
+        path: &str,
+        body: &str,
+        max_retries: usize,
+    ) -> std::io::Result<HttpReply> {
+        let mut attempt = 0;
+        loop {
+            let reply = self.post_json(path, body)?;
+            attempt += 1;
+            let retry_after = reply.header("retry-after").and_then(|v| v.parse::<u64>().ok());
+            let sheds = reply.status == 503 && retry_after.is_some();
+            if !sheds || attempt > max_retries {
+                return Ok(reply);
+            }
+            let hint = Duration::from_secs(retry_after.unwrap_or(1).clamp(1, 60));
+            std::thread::sleep(hint.mul_f64(retry_jitter(path, attempt)));
+        }
+    }
+
     /// Sends one request and reads the framed response, reusing the pooled
     /// keep-alive connection when one is open. A pooled connection the
     /// server closed in the meantime (idle timeout, restart) fails the
@@ -193,6 +223,19 @@ impl HttpClient {
         }
         Ok(reply)
     }
+}
+
+/// Deterministic retry jitter in `[0.5, 1.0)` from the request path and
+/// attempt number — replayable under test, decorrelated across callers.
+fn retry_jitter(path: &str, attempt: usize) -> f64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in path.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= attempt as u64;
+    h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 29;
+    0.5 + 0.5 * ((h >> 11) as f64 / (1u64 << 53) as f64)
 }
 
 /// Errors that mean the pooled connection was already dead when the
@@ -405,6 +448,20 @@ mod tests {
             ChunkState::Complete(body) => assert_eq!(body, b"abcd"),
             _ => panic!("complete body must decode"),
         }
+    }
+
+    #[test]
+    fn retry_jitter_is_deterministic_and_bounded() {
+        for attempt in 1..=5 {
+            let j = retry_jitter("/v1/specs", attempt);
+            assert_eq!(j.to_bits(), retry_jitter("/v1/specs", attempt).to_bits());
+            assert!((0.5..1.0).contains(&j), "attempt {attempt}: {j}");
+        }
+        assert_ne!(
+            retry_jitter("/v1/specs", 1).to_bits(),
+            retry_jitter("/v1/jobs", 1).to_bits(),
+            "different paths must decorrelate"
+        );
     }
 
     #[test]

@@ -82,12 +82,17 @@ impl Response {
             .with_body(body.into().into_bytes())
     }
 
-    /// An `application/json` response rendering `value`.
+    /// An `application/json` response rendering `value`. A value the shim
+    /// cannot render (it never happens for the plain scalars the service
+    /// builds, but a connection handler must not panic over it) degrades to
+    /// a 500 with a plain-text body.
     pub fn json(status: u16, value: &Value) -> Self {
-        let body = serde_json::to_string(value).expect("JSON rendering is infallible");
-        Response::new(status)
-            .header("Content-Type", "application/json")
-            .with_body(body.into_bytes())
+        match serde_json::to_string(value) {
+            Ok(body) => Response::new(status)
+                .header("Content-Type", "application/json")
+                .with_body(body.into_bytes()),
+            Err(_) => Response::text(500, "internal error: unrenderable response body\n"),
+        }
     }
 
     /// The standard error shape: `{"error": {"code": …, "message": …}}`.

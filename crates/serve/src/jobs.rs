@@ -33,12 +33,22 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
-use ftclip_bench::{ExperimentSpec, RunOutcome, RunSettings, Runner, SpecError};
+use ftclip_bench::{ExperimentSpec, RunOutcome, RunSettings, Runner};
 use ftclip_fault::{with_observer, CampaignObserver, CancelledCampaign};
+use ftclip_store::write_atomic;
+use ftclip_tensor::failpoint;
 use serde::Value;
+
+/// Poison-tolerant lock: a supervised worker panic (a failpoint, a bug in a
+/// campaign cell) may poison any scheduler mutex; every guarded structure
+/// here is consistent between operations, so recovery just takes the guard
+/// instead of cascading the panic into whoever observes the job next.
+fn plock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Spec file inside a job directory (written before the job is queued).
 pub const SPEC_FILE: &str = "spec.json";
@@ -64,7 +74,7 @@ pub enum JobStatus {
     Running,
     /// Finished; result persisted under the job directory.
     Completed,
-    /// Rejected or failed with a [`SpecError`].
+    /// Failed: spec error, exhausted retries, or an expired deadline.
     Failed,
     /// Cancelled by request.
     Cancelled,
@@ -100,6 +110,13 @@ pub struct Job {
     cancel: AtomicBool,
     events: Mutex<Vec<String>>,
     cells_done: AtomicUsize,
+    /// Completed execution attempts (a supervised panic ends an attempt).
+    attempts: AtomicUsize,
+    /// Backoff gate: a retried job is not eligible to run before this.
+    not_before: Mutex<Option<Instant>>,
+    /// Optional wall-clock deadline; the campaign unwinds at the first cell
+    /// boundary past it and the job fails with a `deadline` error.
+    deadline: Option<Instant>,
 }
 
 impl Job {
@@ -110,7 +127,21 @@ impl Job {
 
     /// Current lifecycle state.
     pub fn status(&self) -> JobStatus {
-        *self.status.lock().expect("job status lock")
+        *plock(&self.status)
+    }
+
+    /// Completed execution attempts (0 until the first supervised retry).
+    pub fn attempts(&self) -> usize {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// `true` once the job's wall-clock deadline has passed.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    fn ready(&self, now: Instant) -> bool {
+        plock(&self.not_before).is_none_or(|t| t <= now)
     }
 
     /// `true` once the job reached a terminal state (completed, failed or
@@ -133,7 +164,7 @@ impl Job {
     /// The NDJSON event lines from index `from` on (each line includes its
     /// trailing newline).
     pub fn events_from(&self, from: usize) -> Vec<String> {
-        let events = self.events.lock().expect("job events lock");
+        let events = plock(&self.events);
         events.get(from..).map(<[String]>::to_vec).unwrap_or_default()
     }
 
@@ -151,16 +182,65 @@ impl Job {
     }
 
     fn push_event(&self, fields: Vec<(String, Value)>) {
-        let mut line = serde_json::to_string(&Value::Object(fields)).expect("event rendering");
+        // event rendering cannot realistically fail (all values are plain
+        // scalars), but a worker thread must never panic over telemetry:
+        // drop the event instead
+        let Ok(mut line) = serde_json::to_string(&Value::Object(fields)) else { return };
         line.push('\n');
-        self.events.lock().expect("job events lock").push(line);
+        plock(&self.events).push(line);
     }
 
     fn set_status(&self, status: JobStatus) {
-        *self.status.lock().expect("job status lock") = status;
+        *plock(&self.status) = status;
         if !matches!(status, JobStatus::Queued | JobStatus::Running) {
             self.terminal.store(true, Ordering::Release);
         }
+    }
+}
+
+/// Bounded jittered exponential backoff for supervised retries.
+///
+/// Attempt `n` (1-based) waits `base_delay × 2^(n−1)`, capped at
+/// `max_delay`, scaled by a deterministic jitter factor in `[0.5, 1.0)`
+/// derived from the job fingerprint and the attempt number — no wall clock,
+/// no OS randomness, so chaos runs replay identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Supervised retries before a panicking job is marked failed
+    /// (0 = fail on the first panic).
+    pub max_retries: usize,
+    /// Backoff for the first retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_delay: Duration::from_millis(250),
+            max_delay: Duration::from_secs(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff delay before retry `attempt` (1-based) of `fingerprint`.
+    pub fn delay(&self, fingerprint: &str, attempt: usize) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt.saturating_sub(1).min(16) as u32).unwrap_or(u32::MAX))
+            .min(self.max_delay);
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &b in fingerprint.as_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= attempt as u64;
+        h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+        let jitter = 0.5 + 0.5 * ((h >> 11) as f64 / (1u64 << 53) as f64);
+        exp.mul_f64(jitter)
     }
 }
 
@@ -184,6 +264,14 @@ pub struct Metrics {
     pub coalesced: AtomicUsize,
     /// Current queue length.
     pub queue_depth: AtomicUsize,
+    /// Submissions rejected because the queue was at capacity (503).
+    pub jobs_shed: AtomicUsize,
+    /// Supervised re-queues after a worker panic.
+    pub jobs_retried: AtomicUsize,
+    /// Worker panics caught by supervision (each either retried or failed).
+    pub jobs_panicked: AtomicUsize,
+    /// Jobs failed because their wall-clock deadline expired.
+    pub jobs_deadline_expired: AtomicUsize,
 }
 
 /// A point-in-time copy of the [`Metrics`] counters.
@@ -198,6 +286,10 @@ pub struct MetricsSnapshot {
     pub cache_hits: usize,
     pub coalesced: usize,
     pub queue_depth: usize,
+    pub jobs_shed: usize,
+    pub jobs_retried: usize,
+    pub jobs_panicked: usize,
+    pub jobs_deadline_expired: usize,
 }
 
 impl Metrics {
@@ -212,6 +304,10 @@ impl Metrics {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            jobs_shed: self.jobs_shed.load(Ordering::Relaxed),
+            jobs_retried: self.jobs_retried.load(Ordering::Relaxed),
+            jobs_panicked: self.jobs_panicked.load(Ordering::Relaxed),
+            jobs_deadline_expired: self.jobs_deadline_expired.load(Ordering::Relaxed),
         }
     }
 }
@@ -228,6 +324,14 @@ pub enum Submission {
     Existing(Arc<Job>),
     /// A new job was created and queued.
     Queued(Arc<Job>),
+    /// The queue is at capacity; the caller should retry after the hint
+    /// (served as `503` + `Retry-After` by the HTTP layer).
+    Shed {
+        /// Queue length at rejection time.
+        queue_depth: usize,
+        /// Suggested client back-off.
+        retry_after: Duration,
+    },
 }
 
 #[derive(Default)]
@@ -249,6 +353,13 @@ pub struct Scheduler {
     abandon: Arc<AtomicBool>,
     /// Terminal job directories to retain (`usize::MAX` = keep everything).
     keep_jobs: AtomicUsize,
+    /// Queued jobs accepted before submissions shed (`usize::MAX` = unbounded).
+    max_queue: AtomicUsize,
+    /// Default wall-clock deadline applied to jobs submitted without one,
+    /// in milliseconds (0 = none).
+    default_deadline_ms: AtomicU64,
+    /// Supervised-retry policy for panicking jobs.
+    retry: Mutex<RetryPolicy>,
     /// The service counters.
     pub metrics: Metrics,
 }
@@ -277,8 +388,34 @@ impl Scheduler {
             shutdown: AtomicBool::new(false),
             abandon: Arc::new(AtomicBool::new(false)),
             keep_jobs: AtomicUsize::new(usize::MAX),
+            max_queue: AtomicUsize::new(usize::MAX),
+            default_deadline_ms: AtomicU64::new(0),
+            retry: Mutex::new(RetryPolicy::default()),
             metrics: Metrics::default(),
         })
+    }
+
+    /// Caps the submission queue; submissions beyond the cap are
+    /// [`Submission::Shed`]. `None` (the default) accepts everything.
+    pub fn set_max_queue(&self, max: Option<usize>) {
+        self.max_queue.store(max.unwrap_or(usize::MAX), Ordering::Relaxed);
+    }
+
+    /// Default wall-clock deadline for jobs submitted without an explicit
+    /// one. `None` (the default) lets jobs run indefinitely.
+    pub fn set_default_deadline(&self, deadline: Option<Duration>) {
+        self.default_deadline_ms
+            .store(deadline.map_or(0, |d| d.as_millis().min(u128::from(u64::MAX)) as u64), Ordering::Relaxed);
+    }
+
+    /// Replaces the supervised-retry policy for panicking jobs.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *plock(&self.retry) = policy;
+    }
+
+    /// The current supervised-retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *plock(&self.retry)
     }
 
     /// Caps the number of **terminal** job directories kept on disk.
@@ -302,7 +439,7 @@ impl Scheduler {
     /// are the ones most recently finished — the ones `GET /v1/results`
     /// clients are most likely to still want.
     pub fn gc_terminal_jobs(&self) -> usize {
-        let st = self.state.lock().expect("scheduler lock");
+        let st = plock(&self.state);
         self.gc_locked(&st)
     }
 
@@ -365,14 +502,29 @@ impl Scheduler {
     }
 
     /// Submits a validated spec (see [`Submission`] for the outcomes).
-    /// Persists new jobs before queueing them.
+    /// Persists new jobs before queueing them. The scheduler's default
+    /// deadline (if any) applies; [`Scheduler::submit_with_deadline`] takes
+    /// an explicit one.
     pub fn submit(&self, spec: ExperimentSpec, priority: u8) -> Submission {
+        self.submit_with_deadline(spec, priority, None)
+    }
+
+    /// [`Scheduler::submit`] with an explicit wall-clock deadline
+    /// (overriding the scheduler default; `None` falls back to it).
+    pub fn submit_with_deadline(
+        &self,
+        spec: ExperimentSpec,
+        priority: u8,
+        deadline: Option<Duration>,
+    ) -> Submission {
         let fingerprint = spec.fingerprint().key().to_hex();
-        let mut st = self.state.lock().expect("scheduler lock");
+        let mut st = plock(&self.state);
         // the disk check lives under the lock: workers remove a finished
         // job from `live_by_fp` only after writing its DONE_FILE (also
-        // under the lock), so exactly one of the two branches ever matches
-        if self.job_dir(&fingerprint).join(DONE_FILE).is_file() {
+        // under the lock), so exactly one of the two branches ever matches.
+        // The record must *parse*: a torn marker from a crashed process is
+        // not a result and falls through to queueing a fresh job.
+        if self.stored_result(&fingerprint).is_some() {
             self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Submission::CachedResult { fingerprint };
         }
@@ -380,7 +532,17 @@ impl Scheduler {
             self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
             return Submission::Existing(job.clone());
         }
+        let max_queue = self.max_queue.load(Ordering::Relaxed);
+        if st.queue.len() >= max_queue {
+            self.metrics.jobs_shed.fetch_add(1, Ordering::Relaxed);
+            return Submission::Shed {
+                queue_depth: st.queue.len(),
+                retry_after: Duration::from_secs(1),
+            };
+        }
 
+        let default_ms = self.default_deadline_ms.load(Ordering::Relaxed);
+        let effective = deadline.or((default_ms > 0).then(|| Duration::from_millis(default_ms)));
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let job = Arc::new(Job {
             id: seq,
@@ -393,6 +555,9 @@ impl Scheduler {
             cancel: AtomicBool::new(false),
             events: Mutex::new(Vec::new()),
             cells_done: AtomicUsize::new(0),
+            attempts: AtomicUsize::new(0),
+            not_before: Mutex::new(None),
+            deadline: effective.map(|d| Instant::now() + d),
         });
         self.persist_submission(&job);
         job.push_event(vec![
@@ -413,26 +578,26 @@ impl Scheduler {
 
     /// Looks a job up by its `job-<n>` identifier.
     pub fn find_job(&self, id: &str) -> Option<Arc<Job>> {
-        let st = self.state.lock().expect("scheduler lock");
+        let st = plock(&self.state);
         st.jobs.iter().find(|j| j.id_str() == id).cloned()
     }
 
     /// Every job this server life knows, in submission order.
     pub fn jobs(&self) -> Vec<Arc<Job>> {
-        self.state.lock().expect("scheduler lock").jobs.clone()
+        plock(&self.state).jobs.clone()
     }
 
     /// Cancels a job. A queued job is removed and marked cancelled
     /// immediately; a running job unwinds at its next cell boundary.
     /// Returns `false` when the job already reached a terminal state.
     pub fn cancel(&self, job: &Arc<Job>) -> bool {
-        let mut st = self.state.lock().expect("scheduler lock");
+        let mut st = plock(&self.state);
         match job.status() {
             JobStatus::Queued => {
                 st.queue.retain(|j| j.seq != job.seq);
                 self.metrics.queue_depth.store(st.queue.len(), Ordering::Relaxed);
                 self.finish(&mut st, job, JobStatus::Cancelled);
-                std::fs::write(self.job_dir(&job.fingerprint).join(CANCELLED_FILE), "{}\n").ok();
+                write_atomic(&self.job_dir(&job.fingerprint).join(CANCELLED_FILE), b"{}\n").ok();
                 job.push_event(vec![("event".to_string(), Value::String("cancelled".to_string()))]);
                 self.metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
                 self.gc_locked(&st);
@@ -447,23 +612,65 @@ impl Scheduler {
     }
 
     /// Re-queues every persisted job that never finished: a directory with
-    /// a spec but no completion, failure or cancellation marker. Returns
-    /// how many jobs were resumed. Call before starting workers.
+    /// a spec but no (valid) completion, failure or cancellation marker.
+    /// Returns how many jobs were resumed. Call before starting workers.
+    ///
+    /// Partially written records from an abandoned process are repaired,
+    /// never trusted and never fatal:
+    ///
+    /// * a terminal marker that does not parse as JSON (torn write) is set
+    ///   aside as `<marker>.corrupt` and the job re-enqueues cleanly;
+    /// * a job directory whose `spec.json` is missing or unreadable is
+    ///   moved to `<state>/jobs-quarantine/` — boot continues without it.
     pub fn resume_from_disk(&self) -> usize {
         let jobs_root = self.state_dir.join("jobs");
         let Ok(entries) = std::fs::read_dir(&jobs_root) else { return 0 };
         let mut specs: Vec<(ExperimentSpec, u8)> = Vec::new();
         for entry in entries.flatten() {
             let dir = entry.path();
-            if !dir.join(SPEC_FILE).is_file()
-                || dir.join(DONE_FILE).is_file()
-                || dir.join(ERROR_FILE).is_file()
-                || dir.join(CANCELLED_FILE).is_file()
-            {
+            if !dir.is_dir() {
+                continue; // stray files (e.g. orphaned *.tmp) are not jobs
+            }
+            let mut terminal = false;
+            for marker in [DONE_FILE, ERROR_FILE, CANCELLED_FILE] {
+                let path = dir.join(marker);
+                if !path.is_file() {
+                    continue;
+                }
+                let parses = std::fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|t| serde_json::from_str(&t).ok())
+                    .map(|_: Value| ())
+                    .is_some();
+                if parses {
+                    terminal = true;
+                } else {
+                    eprintln!(
+                        "[jobs] torn terminal marker {}; setting it aside and re-enqueueing the job",
+                        path.display()
+                    );
+                    std::fs::rename(&path, dir.join(format!("{marker}.corrupt"))).ok();
+                }
+            }
+            if terminal {
                 continue;
             }
-            let Ok(text) = std::fs::read_to_string(dir.join(SPEC_FILE)) else { continue };
-            let Ok(spec) = ExperimentSpec::from_json(&text) else { continue };
+            let spec = std::fs::read_to_string(dir.join(SPEC_FILE))
+                .ok()
+                .and_then(|text| ExperimentSpec::from_json(&text).ok());
+            let Some(spec) = spec else {
+                // no readable spec: not resumable, but not fatal either —
+                // quarantine the directory so the damage stays inspectable
+                // and the jobs dir stays clean
+                let name = dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+                let qroot = self.state_dir.join("jobs-quarantine");
+                std::fs::create_dir_all(&qroot).ok();
+                if std::fs::rename(&dir, qroot.join(&name)).is_err() {
+                    std::fs::remove_dir_all(&dir).ok();
+                }
+                eprintln!("[jobs] quarantined unreadable job record {name} (missing or torn spec.json)");
+                continue;
+            };
             let priority = std::fs::read_to_string(dir.join(META_FILE))
                 .ok()
                 .and_then(|t| serde_json::from_str(&t).ok())
@@ -519,20 +726,23 @@ impl Scheduler {
     pub fn worker_loop(self: &Arc<Self>, budget: usize) {
         loop {
             let job = {
-                let mut st = self.state.lock().expect("scheduler lock");
+                let mut st = plock(&self.state);
                 loop {
                     if self.stopping() {
                         return;
                     }
-                    if let Some(i) = best_index(&st.queue) {
+                    if let Some(i) = best_index(&st.queue, Instant::now()) {
                         let job = st.queue.remove(i);
                         self.metrics.queue_depth.store(st.queue.len(), Ordering::Relaxed);
                         break job;
                     }
-                    // timed wait so flag flips are noticed even if a
-                    // notification raced past before we started waiting
-                    let (guard, _) =
-                        self.cv.wait_timeout(st, Duration::from_millis(50)).expect("scheduler lock");
+                    // timed wait so flag flips (and jobs whose backoff gate
+                    // opens) are noticed even if a notification raced past
+                    // before we started waiting
+                    let (guard, _) = self
+                        .cv
+                        .wait_timeout(st, Duration::from_millis(50))
+                        .unwrap_or_else(PoisonError::into_inner);
                     st = guard;
                 }
             };
@@ -541,6 +751,12 @@ impl Scheduler {
     }
 
     fn run_job(&self, job: &Arc<Job>, budget: usize) {
+        if job.deadline_exceeded() {
+            // expired while queued: fail without burning a worker on it
+            self.metrics.jobs_deadline_expired.fetch_add(1, Ordering::Relaxed);
+            self.fail_job(job, "deadline exceeded before the job started");
+            return;
+        }
         job.set_status(JobStatus::Running);
         job.push_event(vec![("event".to_string(), Value::String("started".to_string()))]);
         self.metrics.jobs_executed.fetch_add(1, Ordering::Relaxed);
@@ -553,30 +769,80 @@ impl Scheduler {
         let observer: Arc<dyn CampaignObserver> =
             Arc::new(JobProgress { job: job.clone(), abandon: self.abandon.clone() });
         let result = catch_unwind(AssertUnwindSafe(|| {
+            // inside the closure so an injected panic exercises the same
+            // supervision path a real campaign bug would
+            failpoint::fires("serve.job");
             with_observer(observer, || {
                 ftclip_tensor::with_thread_limit(budget.max(1), || runner.run(&job.spec))
             })
         }));
         match result {
             Ok(Ok(outcome)) => self.complete_job(job, &outcome),
-            Ok(Err(error)) => self.fail_job(job, &error),
+            Ok(Err(error)) => self.fail_job(job, &error.to_string()),
             Err(payload) => {
-                if payload.downcast_ref::<CancelledCampaign>().is_none() {
-                    std::panic::resume_unwind(payload);
+                if payload.downcast_ref::<CancelledCampaign>().is_some() {
+                    self.handle_unwound(job);
+                } else {
+                    // &*: coerce to the payload itself, not &Box-as-Any
+                    // (the Box would fail every downcast)
+                    self.handle_panic(job, &*payload);
                 }
-                if self.abandoning() {
-                    // crash simulation: leave the job exactly as a killed
-                    // process would — spec persisted, no terminal marker,
-                    // every completed cell already in the store
-                    return;
-                }
-                let mut st = self.state.lock().expect("scheduler lock");
-                std::fs::write(self.job_dir(&job.fingerprint).join(CANCELLED_FILE), "{}\n").ok();
-                self.finish(&mut st, job, JobStatus::Cancelled);
-                job.push_event(vec![("event".to_string(), Value::String("cancelled".to_string()))]);
-                self.metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
-                self.gc_locked(&st);
             }
+        }
+    }
+
+    /// A campaign unwound cooperatively ([`CancelledCampaign`]): abandon
+    /// simulation, an explicit cancel, or an expired deadline.
+    fn handle_unwound(&self, job: &Arc<Job>) {
+        if self.abandoning() {
+            // crash simulation: leave the job exactly as a killed
+            // process would — spec persisted, no terminal marker,
+            // every completed cell already in the store
+            return;
+        }
+        if !job.cancel.load(Ordering::Acquire) && job.deadline_exceeded() {
+            self.metrics.jobs_deadline_expired.fetch_add(1, Ordering::Relaxed);
+            self.fail_job(job, "deadline exceeded");
+            return;
+        }
+        let mut st = plock(&self.state);
+        write_atomic(&self.job_dir(&job.fingerprint).join(CANCELLED_FILE), b"{}\n").ok();
+        self.finish(&mut st, job, JobStatus::Cancelled);
+        job.push_event(vec![("event".to_string(), Value::String("cancelled".to_string()))]);
+        self.metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+        self.gc_locked(&st);
+    }
+
+    /// Supervision for a real panic out of the campaign: the worker slot
+    /// survives, the job either re-queues with backoff or fails with the
+    /// panic message in its event log — it never wedges.
+    fn handle_panic(&self, job: &Arc<Job>, payload: &(dyn std::any::Any + Send)) {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "panic with non-string payload".to_string());
+        self.metrics.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+        let attempt = job.attempts.fetch_add(1, Ordering::Relaxed) + 1;
+        let policy = self.retry_policy();
+        if attempt <= policy.max_retries && !self.stopping() {
+            let delay = policy.delay(&job.fingerprint, attempt);
+            job.push_event(vec![
+                ("event".to_string(), Value::String("retrying".to_string())),
+                ("attempt".to_string(), Value::Number(attempt as f64)),
+                ("delay_ms".to_string(), Value::Number(delay.as_millis() as f64)),
+                ("error".to_string(), Value::String(message)),
+            ]);
+            *plock(&job.not_before) = Some(Instant::now() + delay);
+            job.set_status(JobStatus::Queued);
+            self.metrics.jobs_retried.fetch_add(1, Ordering::Relaxed);
+            let mut st = plock(&self.state);
+            st.queue.push(job.clone());
+            self.metrics.queue_depth.store(st.queue.len(), Ordering::Relaxed);
+            drop(st);
+            self.cv.notify_one();
+        } else {
+            self.fail_job(job, &format!("panicked after {attempt} attempt(s): {message}"));
         }
     }
 
@@ -599,11 +865,20 @@ impl Scheduler {
                 Value::Array(outcome.failures.iter().map(|f| Value::String(f.clone())).collect()),
             ),
         ]);
-        let mut st = self.state.lock().expect("scheduler lock");
+        let mut st = plock(&self.state);
         // DONE_FILE is written under the lock, making "stored result
-        // exists" and "job is live" mutually exclusive for submitters
-        let rendered = serde_json::to_string_pretty(&done).expect("render completion record");
-        std::fs::write(dir.join(DONE_FILE), rendered).expect("persist job completion");
+        // exists" and "job is live" mutually exclusive for submitters.
+        // If the marker cannot be persisted (disk fault, injected or real)
+        // the work is NOT a stored result: finish the job as failed so no
+        // future submission is answered from a record that does not exist.
+        let persisted = serde_json::to_string_pretty(&done)
+            .map_err(std::io::Error::other)
+            .and_then(|rendered| write_atomic(&dir.join(DONE_FILE), rendered.as_bytes()));
+        if let Err(error) = persisted {
+            drop(st);
+            self.fail_job(job, &format!("completed but the result record could not be persisted: {error}"));
+            return;
+        }
         self.finish(&mut st, job, JobStatus::Completed);
         job.push_event(vec![
             ("event".to_string(), Value::String("completed".to_string())),
@@ -615,12 +890,12 @@ impl Scheduler {
         self.gc_locked(&st);
     }
 
-    fn fail_job(&self, job: &Arc<Job>, error: &SpecError) {
+    fn fail_job(&self, job: &Arc<Job>, error: &str) {
         let body = Value::Object(vec![("error".to_string(), Value::String(error.to_string()))]);
         if let Ok(rendered) = serde_json::to_string_pretty(&body) {
-            std::fs::write(self.job_dir(&job.fingerprint).join(ERROR_FILE), rendered).ok();
+            write_atomic(&self.job_dir(&job.fingerprint).join(ERROR_FILE), rendered.as_bytes()).ok();
         }
-        let mut st = self.state.lock().expect("scheduler lock");
+        let mut st = plock(&self.state);
         self.finish(&mut st, job, JobStatus::Failed);
         job.push_event(vec![
             ("event".to_string(), Value::String("failed".to_string())),
@@ -638,23 +913,33 @@ impl Scheduler {
     fn persist_submission(&self, job: &Arc<Job>) {
         let dir = self.job_dir(&job.fingerprint);
         std::fs::create_dir_all(&dir).ok();
-        std::fs::write(dir.join(SPEC_FILE), job.spec.to_json()).expect("persist job spec");
+        // a resubmitted fingerprint (after a cancellation or failure) must
+        // not look terminal to the next boot's resume scan
+        for stale in [ERROR_FILE, CANCELLED_FILE] {
+            std::fs::remove_file(dir.join(stale)).ok();
+        }
+        if let Err(error) = write_atomic(&dir.join(SPEC_FILE), job.spec.to_json().as_bytes()) {
+            // the job still runs this server life; it just won't survive a
+            // crash. Degrade (and say so) rather than take the service down.
+            eprintln!("[jobs] could not persist spec for {}: {error}", job.fingerprint);
+        }
         let meta = Value::Object(vec![
             ("priority".to_string(), Value::Number(f64::from(job.priority))),
             ("name".to_string(), Value::String(job.spec.name.clone())),
         ]);
         if let Ok(rendered) = serde_json::to_string_pretty(&meta) {
-            std::fs::write(dir.join(META_FILE), rendered).ok();
+            write_atomic(&dir.join(META_FILE), rendered.as_bytes()).ok();
         }
     }
 }
 
 /// Highest priority first, FIFO (lowest sequence number) within a
-/// priority.
-fn best_index(queue: &[Arc<Job>]) -> Option<usize> {
+/// priority; jobs inside their retry-backoff window are not eligible.
+fn best_index(queue: &[Arc<Job>], now: Instant) -> Option<usize> {
     queue
         .iter()
         .enumerate()
+        .filter(|(_, j)| j.ready(now))
         .min_by_key(|(_, j)| (std::cmp::Reverse(j.priority), j.seq))
         .map(|(i, _)| i)
 }
@@ -668,6 +953,9 @@ struct JobProgress {
 
 impl CampaignObserver for JobProgress {
     fn on_cell(&self, record: &ftclip_fault::RunRecord, cached: bool) {
+        // a chaos schedule can make any cell boundary panic; supervision
+        // above catches it, so the site doubles as the worker-panic drill
+        failpoint::fires("serve.cell");
         let done = self.job.cells_done.fetch_add(1, Ordering::Relaxed) + 1;
         self.job.push_event(vec![
             ("event".to_string(), Value::String("cell".to_string())),
@@ -701,7 +989,9 @@ impl CampaignObserver for JobProgress {
     }
 
     fn cancel_requested(&self) -> bool {
-        self.job.cancel.load(Ordering::Acquire) || self.abandon.load(Ordering::Acquire)
+        self.job.cancel.load(Ordering::Acquire)
+            || self.abandon.load(Ordering::Acquire)
+            || self.job.deadline_exceeded()
     }
 }
 
@@ -749,7 +1039,7 @@ mod tests {
         let mut popped = Vec::new();
         {
             let mut st = sched.state.lock().unwrap();
-            while let Some(i) = best_index(&st.queue) {
+            while let Some(i) = best_index(&st.queue, Instant::now()) {
                 popped.push(st.queue.remove(i).id_str());
             }
         }
@@ -969,6 +1259,145 @@ mod tests {
         assert!(matches!(sched.submit(tiny_spec("w"), 5), Submission::CachedResult { .. }));
         let m = sched.metrics.snapshot();
         assert_eq!((m.jobs_executed, m.jobs_completed, m.cache_hits), (1, 1, 1));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn bounded_queue_sheds_beyond_capacity() {
+        let (sched, dir) = temp_scheduler("shed");
+        sched.set_max_queue(Some(2));
+        assert!(matches!(sched.submit(tiny_spec("a"), 5), Submission::Queued(_)));
+        assert!(matches!(sched.submit(tiny_spec("b"), 5), Submission::Queued(_)));
+        match sched.submit(tiny_spec("c"), 5) {
+            Submission::Shed { queue_depth, retry_after } => {
+                assert_eq!(queue_depth, 2);
+                assert!(retry_after >= Duration::from_millis(1));
+            }
+            other => panic!("expected shed, got {other:?}"),
+        }
+        // shed submissions leave no job record behind
+        assert_eq!(sched.jobs().len(), 2);
+        let m = sched.metrics.snapshot();
+        assert_eq!((m.jobs_submitted, m.jobs_shed), (2, 1));
+        // coalescing onto a live job still works at capacity
+        assert!(matches!(sched.submit(tiny_spec("a"), 5), Submission::Existing(_)));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn expired_deadline_fails_a_queued_job_without_executing_it() {
+        let (sched, dir) = temp_scheduler("deadline");
+        let job = match sched.submit_with_deadline(tiny_spec("late"), 5, Some(Duration::ZERO)) {
+            Submission::Queued(job) => job,
+            other => panic!("{other:?}"),
+        };
+        let worker = {
+            let sched = sched.clone();
+            std::thread::spawn(move || sched.worker_loop(2))
+        };
+        while !job.is_terminal() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sched.request_shutdown();
+        worker.join().unwrap();
+        assert_eq!(job.status(), JobStatus::Failed);
+        let m = sched.metrics.snapshot();
+        assert_eq!((m.jobs_executed, m.jobs_deadline_expired), (0, 1));
+        let events = job.events_from(0).join("");
+        assert!(events.contains("deadline"), "{events}");
+        assert!(sched.job_dir(&job.fingerprint).join(ERROR_FILE).is_file());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn default_deadline_applies_when_submission_has_none() {
+        let (sched, dir) = temp_scheduler("deadline-default");
+        // sub-millisecond defaults round to "no deadline"; 1ms is the floor
+        sched.set_default_deadline(Some(Duration::from_millis(1)));
+        let job = match sched.submit(tiny_spec("late"), 5) {
+            Submission::Queued(job) => job,
+            other => panic!("{other:?}"),
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(job.deadline_exceeded());
+        // an explicit deadline overrides the default
+        let job = match sched.submit_with_deadline(tiny_spec("ok"), 5, Some(Duration::from_secs(3600))) {
+            Submission::Queued(job) => job,
+            other => panic!("{other:?}"),
+        };
+        assert!(!job.deadline_exceeded());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_bounded_and_jittered() {
+        let policy = RetryPolicy::default();
+        let d1 = policy.delay("abcd", 1);
+        assert_eq!(d1, policy.delay("abcd", 1), "same inputs, same delay");
+        assert_ne!(d1, policy.delay("efgh", 1), "jitter keys off the fingerprint");
+        // jitter keeps each delay within [0.5, 1.0) of the exponential step
+        for attempt in 1..=8 {
+            let exp = policy
+                .base_delay
+                .saturating_mul(1u32 << (attempt - 1).min(16))
+                .min(policy.max_delay);
+            let d = policy.delay("abcd", attempt as usize);
+            assert!(d >= exp.mul_f64(0.5) && d < exp, "attempt {attempt}: {d:?} vs {exp:?}");
+        }
+        // the cap holds no matter how deep the retries go
+        assert!(policy.delay("abcd", 64) <= policy.max_delay);
+    }
+
+    #[test]
+    fn backoff_gate_hides_a_job_until_its_time_arrives() {
+        let (sched, dir) = temp_scheduler("gate");
+        let job = match sched.submit(tiny_spec("g"), 5) {
+            Submission::Queued(job) => job,
+            other => panic!("{other:?}"),
+        };
+        let now = Instant::now();
+        *plock(&job.not_before) = Some(now + Duration::from_secs(60));
+        {
+            let st = sched.state.lock().unwrap();
+            assert_eq!(best_index(&st.queue, now), None, "gated job must not be eligible");
+            assert_eq!(best_index(&st.queue, now + Duration::from_secs(61)), Some(0));
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn resume_requeues_jobs_with_torn_terminal_markers() {
+        let (sched, dir) = temp_scheduler("resume-torn");
+        let job = match sched.submit(tiny_spec("torn"), 5) {
+            Submission::Queued(job) => job,
+            other => panic!("{other:?}"),
+        };
+        // a crash mid-write leaves a truncated, unparseable marker
+        std::fs::write(sched.job_dir(&job.fingerprint).join(DONE_FILE), "{\"name\": \"to").unwrap();
+        let fresh = Scheduler::new(dir.clone(), sched.base_settings.clone());
+        assert_eq!(fresh.resume_from_disk(), 1, "a torn marker is not a completion");
+        assert!(sched.job_dir(&job.fingerprint).join(format!("{DONE_FILE}.corrupt")).is_file());
+        assert!(!sched.job_dir(&job.fingerprint).join(DONE_FILE).exists());
+        // and the torn record is no longer served as a cached result
+        assert!(matches!(fresh.submit(tiny_spec("torn"), 5), Submission::Existing(_)));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn resume_quarantines_job_dirs_with_torn_specs() {
+        let (sched, dir) = temp_scheduler("resume-spec");
+        let job = match sched.submit(tiny_spec("ok"), 5) {
+            Submission::Queued(job) => job,
+            other => panic!("{other:?}"),
+        };
+        let broken = dir.join("jobs").join("deadbeefdeadbeefdeadbeefdeadbeef");
+        std::fs::create_dir_all(&broken).unwrap();
+        std::fs::write(broken.join(SPEC_FILE), "{\"procedure\": \"camp").unwrap();
+        let fresh = Scheduler::new(dir.clone(), sched.base_settings.clone());
+        assert_eq!(fresh.resume_from_disk(), 1, "only the intact job resumes");
+        assert_eq!(fresh.jobs()[0].spec.name, job.spec.name);
+        assert!(!broken.exists(), "the broken record leaves the jobs dir");
+        assert!(dir.join("jobs-quarantine").join("deadbeefdeadbeefdeadbeefdeadbeef").is_dir());
         std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -33,5 +33,5 @@ pub mod rt;
 pub mod service;
 
 pub use client::{HttpClient, HttpReply};
-pub use jobs::{Job, JobStatus, Metrics, MetricsSnapshot, Scheduler, Submission};
+pub use jobs::{Job, JobStatus, Metrics, MetricsSnapshot, RetryPolicy, Scheduler, Submission};
 pub use service::{ServeConfig, Server};

@@ -23,6 +23,7 @@ use std::time::Duration;
 
 use ftclip_bench::{ExperimentSpec, RunSettings};
 use ftclip_store::ResultStore;
+use ftclip_tensor::failpoint;
 use serde::Value;
 
 use crate::http::{
@@ -62,6 +63,18 @@ pub struct ServeConfig {
     /// default when `FTCLIP_ADMIN_TOKEN` is unset) leaves the admin
     /// endpoints open — fine on loopback, set a token anywhere else.
     pub admin_token: Option<String>,
+    /// Submission-queue capacity; submissions beyond it are shed with
+    /// `503 + Retry-After`. `None` (the default when `FTCLIP_MAX_QUEUE` is
+    /// unset) accepts everything.
+    pub max_queue: Option<usize>,
+    /// Default wall-clock deadline for jobs submitted without an explicit
+    /// `?deadline_s=`. `None` (the default when `FTCLIP_DEADLINE_SECS` is
+    /// unset) lets jobs run indefinitely.
+    pub default_deadline: Option<Duration>,
+    /// Supervised retries before a panicking job is marked failed. `None`
+    /// (the default when `FTCLIP_RETRIES` is unset) keeps
+    /// [`crate::RetryPolicy::default`]'s count.
+    pub max_retries: Option<usize>,
 }
 
 impl ServeConfig {
@@ -75,6 +88,7 @@ impl ServeConfig {
             assets_dir: state_dir.join("assets"),
             ..RunSettings::default()
         };
+        let env_usize = |name: &str| std::env::var(name).ok().and_then(|v| v.parse::<usize>().ok());
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
@@ -84,6 +98,13 @@ impl ServeConfig {
             resume: true,
             keep_jobs: None,
             admin_token: std::env::var("FTCLIP_ADMIN_TOKEN").ok().filter(|t| !t.is_empty()),
+            max_queue: env_usize("FTCLIP_MAX_QUEUE"),
+            default_deadline: std::env::var("FTCLIP_DEADLINE_SECS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&s| s > 0)
+                .map(Duration::from_secs),
+            max_retries: env_usize("FTCLIP_RETRIES"),
         }
     }
 }
@@ -125,6 +146,12 @@ impl Server {
 
         let scheduler = Scheduler::new(config.state_dir.clone(), config.settings.clone());
         scheduler.set_keep_jobs(config.keep_jobs);
+        scheduler.set_max_queue(config.max_queue);
+        scheduler.set_default_deadline(config.default_deadline);
+        if let Some(max_retries) = config.max_retries {
+            let policy = crate::jobs::RetryPolicy { max_retries, ..scheduler.retry_policy() };
+            scheduler.set_retry_policy(policy);
+        }
         if config.resume {
             let resumed = scheduler.resume_from_disk();
             if resumed > 0 {
@@ -207,11 +234,17 @@ impl Server {
     }
 
     fn join_threads(&mut self) {
+        // a panicking service thread is already a bug report; escalating it
+        // into a panic inside Drop would abort the whole process
         if let Some(handle) = self.accept.take() {
-            handle.join().expect("accept thread panicked");
+            if handle.join().is_err() {
+                eprintln!("[ftclipd] accept thread panicked");
+            }
         }
         for handle in self.workers.drain(..) {
-            handle.join().expect("worker thread panicked");
+            if handle.join().is_err() {
+                eprintln!("[ftclipd] worker thread panicked");
+            }
         }
     }
 }
@@ -231,7 +264,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
         let mut progress = false;
         if !shared.scheduler.stopping() {
             loop {
-                match listener.accept() {
+                match failpoint::check_io("serve.accept").and_then(|()| listener.accept()) {
                     Ok((stream, _peer)) => {
                         if stream.set_nonblocking(true).is_ok() {
                             let shared = shared.clone();
@@ -240,6 +273,8 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
                         }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    // transient accept failures (injected or real, e.g.
+                    // EMFILE) drop one connection attempt, never the loop
                     Err(_) => break,
                 }
             }
@@ -309,7 +344,12 @@ async fn stream_events(shared: &Arc<Shared>, stream: &TcpStream, job: &Arc<Job>)
             continue;
         }
         sent += lines.len();
-        if write_chunk(stream, lines.concat().as_bytes()).await.is_err() {
+        // an injected stream fault behaves exactly like the client hanging
+        // up mid-stream: the connection dies, the job is unaffected and a
+        // reconnect replays the full event log from index 0
+        if failpoint::check_io("serve.stream").is_err()
+            || write_chunk(stream, lines.concat().as_bytes()).await.is_err()
+        {
             return;
         }
     }
@@ -405,21 +445,30 @@ fn admin_auth_error(shared: &Arc<Shared>, req: &Request) -> Option<Response> {
 fn metrics_response(shared: &Arc<Shared>) -> Response {
     let m = shared.scheduler.metrics.snapshot();
     let uint = |n: usize| Value::Number(n as f64);
-    Response::json(
-        200,
-        &Value::Object(vec![
-            ("jobs_submitted".to_string(), uint(m.jobs_submitted)),
-            ("jobs_executed".to_string(), uint(m.jobs_executed)),
-            ("jobs_completed".to_string(), uint(m.jobs_completed)),
-            ("jobs_failed".to_string(), uint(m.jobs_failed)),
-            ("jobs_cancelled".to_string(), uint(m.jobs_cancelled)),
-            ("cache_hits".to_string(), uint(m.cache_hits)),
-            ("coalesced".to_string(), uint(m.coalesced)),
-            ("queue_depth".to_string(), uint(m.queue_depth)),
-            ("workers".to_string(), uint(shared.workers)),
-            ("threads".to_string(), uint(shared.threads)),
-        ]),
-    )
+    let mut rows = vec![
+        ("jobs_submitted".to_string(), uint(m.jobs_submitted)),
+        ("jobs_executed".to_string(), uint(m.jobs_executed)),
+        ("jobs_completed".to_string(), uint(m.jobs_completed)),
+        ("jobs_failed".to_string(), uint(m.jobs_failed)),
+        ("jobs_cancelled".to_string(), uint(m.jobs_cancelled)),
+        ("cache_hits".to_string(), uint(m.cache_hits)),
+        ("coalesced".to_string(), uint(m.coalesced)),
+        ("queue_depth".to_string(), uint(m.queue_depth)),
+        ("jobs_shed".to_string(), uint(m.jobs_shed)),
+        ("jobs_retried".to_string(), uint(m.jobs_retried)),
+        ("jobs_panicked".to_string(), uint(m.jobs_panicked)),
+        ("jobs_deadline_expired".to_string(), uint(m.jobs_deadline_expired)),
+        ("workers".to_string(), uint(shared.workers)),
+        ("threads".to_string(), uint(shared.threads)),
+    ];
+    if failpoint::enabled() {
+        let fired = failpoint::stats()
+            .into_iter()
+            .map(|(site, count)| (site, Value::Number(count as f64)))
+            .collect();
+        rows.push(("failpoints_fired".to_string(), Value::Object(fired)));
+    }
+    Response::json(200, &Value::Object(rows))
 }
 
 /// `POST /v1/specs`: validate, dedup, queue — or answer from the store.
@@ -441,11 +490,30 @@ fn submit_spec(shared: &Arc<Shared>, req: &Request) -> Response {
             _ => return Response::error(400, "bad-priority", "priority must be an integer 0-9"),
         },
     };
+    let deadline = match req.query_param("deadline_s") {
+        None => None,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(s) if s > 0 => Some(Duration::from_secs(s)),
+            _ => {
+                return Response::error(
+                    400,
+                    "bad-deadline",
+                    "deadline_s must be a positive integer number of seconds",
+                )
+            }
+        },
+    };
 
-    match shared.scheduler.submit(spec, priority) {
+    match shared.scheduler.submit_with_deadline(spec, priority, deadline) {
         Submission::CachedResult { fingerprint } => cached_result_response(shared, req, &fingerprint),
         Submission::Existing(job) => accepted_response(&job, true),
         Submission::Queued(job) => accepted_response(&job, false),
+        Submission::Shed { queue_depth, retry_after } => Response::error(
+            503,
+            "queue-full",
+            &format!("submission queue is at capacity ({queue_depth} queued); retry later"),
+        )
+        .header("Retry-After", &retry_after.as_secs().max(1).to_string()),
     }
 }
 

@@ -1,0 +1,63 @@
+//! CRC-32 (IEEE 802.3, the zlib/PNG polynomial) over byte slices.
+//!
+//! Cell records in `cells.csv` carry a per-record checksum so that silent
+//! corruption (a flipped byte from a bad disk, a torn write that happens to
+//! keep the field count intact) is *detected* and the record quarantined,
+//! instead of feeding a wrong accuracy back into a resumed campaign. A
+//! hand-rolled table implementation: the build environment has no registry
+//! access, and the store only checksums short CSV lines, so throughput is
+//! irrelevant next to the evaluation cost of a cell.
+
+/// Reflected table for polynomial `0xEDB88320` (bit-reversed `0x04C11DB7`).
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// The CRC-32 checksum of `bytes` (IEEE polynomial, standard init/final xor).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // the classic check value for "123456789" plus a couple of anchors
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let line = b"3,1,42,3fe0000000000000";
+        let base = crc32(line);
+        for i in 0..line.len() {
+            for bit in 0..8 {
+                let mut corrupted = line.to_vec();
+                corrupted[i] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), base, "flip at byte {i} bit {bit} went undetected");
+            }
+        }
+    }
+}

@@ -59,12 +59,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod crc;
 mod fingerprint;
 mod store;
 
+pub use crc::crc32;
 pub use fingerprint::{model_digest, CellKey, Fingerprint};
 pub use store::{
-    resolve_cache_root, ResultStore, SessionSummary, StoreSession, CELLS_FILE, CLEAN_FILE, MANIFEST_FILE,
+    resolve_cache_root, write_atomic, ResultStore, SessionSummary, StoreSession, CELLS_FILE, CLEAN_FILE,
+    MANIFEST_FILE, QUARANTINE_FILE,
 };
 
 use ftclip_fault::CampaignConfig;

@@ -10,18 +10,29 @@
 //!     clean.txt                 IEEE-754 bits of the clean accuracy
 //! ```
 //!
-//! `cells.csv` is append-only and crash-tolerant: a session opened on an
-//! interrupted file ignores a truncated final line and any malformed line,
-//! and duplicate cells (two workers racing across processes) are harmless
-//! because cells are deterministic — the first parsed copy wins. Accuracies
-//! are stored as hex-encoded `f64` bits, never as decimal text, so a resumed
-//! campaign replays exactly the bits a fresh run would compute.
+//! `cells.csv` is append-only, crash-tolerant and corruption-tolerant: every
+//! record carries a CRC-32 of its payload, and a session opened on a damaged
+//! file *quarantines* unreadable lines (truncated tails, merged torn writes,
+//! bit rot that still parses) into `cells.quarantine`, rewrites `cells.csv`
+//! atomically with only the verified records, and lets the campaign
+//! recompute the quarantined cells — results are deterministic per key, so
+//! recovery is bit-identical to a run that never saw the damage. Duplicate
+//! cells (two workers racing across processes) are harmless for the same
+//! reason — the first parsed copy wins. Accuracies are stored as hex-encoded
+//! `f64` bits, never as decimal text, so a resumed campaign replays exactly
+//! the bits a fresh run would compute.
+//!
+//! Failpoint sites (`store.open`, `store.cell_write`, `store.marker_write`)
+//! let the chaos suite inject I/O errors and short writes on every one of
+//! these paths; see `ftclip_tensor::failpoint`.
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use ftclip_tensor::failpoint;
 
 use ftclip_fault::{CampaignCache, RunRecord};
 
@@ -33,8 +44,37 @@ pub const CELLS_FILE: &str = "cells.csv";
 pub const CLEAN_FILE: &str = "clean.txt";
 /// Name of the human-readable fingerprint manifest.
 pub const MANIFEST_FILE: &str = "manifest.txt";
+/// Where a session banishes unreadable `cells.csv` lines on open.
+pub const QUARANTINE_FILE: &str = "cells.quarantine";
 
-const CELLS_HEADER: &str = "rate_index,repetition,fault_count,accuracy_bits";
+const CELLS_HEADER: &str = "rate_index,repetition,fault_count,accuracy_bits,crc32";
+/// Pre-checksum header; files written before the CRC column still resume.
+const CELLS_HEADER_V1: &str = "rate_index,repetition,fault_count,accuracy_bits";
+
+/// Writes `contents` to `path` via a sibling temp file and an atomic rename,
+/// so readers (including a future boot of this process) see either the old
+/// contents or the new — never a half-written file. Terminal job markers and
+/// the clean-accuracy record go through here.
+///
+/// Hosts the `store.marker_write` failpoint: an injected short write renames
+/// *truncated* contents into place and then reports the error, simulating
+/// the torn-marker crash the boot-time validators must survive.
+///
+/// # Errors
+///
+/// Returns any filesystem error (the temp file is not cleaned up on rename
+/// failure; orphaned `*.tmp` files are ignored by every reader).
+pub fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    let n = failpoint::write_len("store.marker_write", contents.len())?;
+    let file_name = path.file_name().map(|f| f.to_string_lossy().into_owned()).unwrap_or_default();
+    let tmp = path.with_file_name(format!("{file_name}.tmp"));
+    std::fs::write(&tmp, &contents[..n])?;
+    std::fs::rename(&tmp, path)?;
+    if n != contents.len() {
+        return Err(std::io::Error::other("failpoint store.marker_write: injected short write"));
+    }
+    Ok(())
+}
 
 /// A root directory holding one session directory per campaign fingerprint.
 #[derive(Debug, Clone)]
@@ -115,7 +155,7 @@ impl ResultStore {
             .unwrap_or(0);
         let has_clean = std::fs::read_to_string(dir.join(CLEAN_FILE))
             .ok()
-            .is_some_and(|s| u64::from_str_radix(s.trim(), 16).is_ok());
+            .is_some_and(|s| parse_clean_bits(&s).is_some());
         Some(SessionSummary { key, cells, has_clean })
     }
 }
@@ -187,8 +227,16 @@ impl std::fmt::Debug for StoreSession {
     }
 }
 
+fn lock_state<'a>(state: &'a Mutex<SessionState>) -> MutexGuard<'a, SessionState> {
+    // a panicking campaign worker (supervised by the service) may poison the
+    // lock; the map/writer state is consistent at every await-free step, so
+    // recovery just takes the guard
+    state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl StoreSession {
     fn open(dir: PathBuf, fingerprint: &Fingerprint) -> std::io::Result<StoreSession> {
+        failpoint::check_io("store.open")?;
         std::fs::create_dir_all(&dir)?;
         let manifest = dir.join(MANIFEST_FILE);
         if !manifest.exists() {
@@ -197,28 +245,64 @@ impl StoreSession {
 
         let cells_path = dir.join(CELLS_FILE);
         let mut cells = HashMap::new();
+        let mut valid_lines: Vec<&str> = Vec::new();
+        let mut corrupt_lines: Vec<&str> = Vec::new();
         let existing =
             if cells_path.exists() { std::fs::read_to_string(&cells_path)? } else { String::new() };
         for line in existing.lines() {
-            if let Some(rec) = parse_cell_line(line) {
-                cells.entry((rec.rate_index, rec.repetition)).or_insert(rec);
+            if line.is_empty() || line == CELLS_HEADER || line == CELLS_HEADER_V1 {
+                continue;
             }
+            match parse_cell_line(line) {
+                Some(rec) => {
+                    cells.entry((rec.rate_index, rec.repetition)).or_insert(rec);
+                    valid_lines.push(line);
+                }
+                None => corrupt_lines.push(line),
+            }
+        }
+        if !corrupt_lines.is_empty() {
+            // quarantine-and-recompute: move the unreadable lines aside for
+            // post-mortems, rewrite cells.csv atomically with only verified
+            // records, and let the campaign recompute the missing cells —
+            // deterministically, so recovery is bit-identical
+            let mut quarantined = String::new();
+            for line in &corrupt_lines {
+                quarantined.push_str(line);
+                quarantined.push('\n');
+            }
+            let mut q = OpenOptions::new().create(true).append(true).open(dir.join(QUARANTINE_FILE))?;
+            q.write_all(quarantined.as_bytes())?;
+            let mut rewritten = format!("{CELLS_HEADER}\n");
+            for line in &valid_lines {
+                rewritten.push_str(line);
+                rewritten.push('\n');
+            }
+            let tmp = dir.join(format!("{CELLS_FILE}.tmp"));
+            std::fs::write(&tmp, rewritten)?;
+            std::fs::rename(&tmp, &cells_path)?;
+            eprintln!(
+                "[store] quarantined {} unreadable cell line(s) in {} (kept {}); they will be recomputed",
+                corrupt_lines.len(),
+                cells_path.display(),
+                valid_lines.len()
+            );
         }
         let mut writer = BufWriter::new(OpenOptions::new().create(true).append(true).open(&cells_path)?);
         if existing.is_empty() {
             writeln!(writer, "{CELLS_HEADER}")?;
             writer.flush()?;
-        } else if !existing.ends_with('\n') {
-            // an interrupted append left a truncated tail line: terminate it
-            // so the next record starts on its own line instead of merging
-            // into the garbage
+        } else if corrupt_lines.is_empty() && !existing.ends_with('\n') {
+            // a complete tail record missing only its newline: terminate it
+            // so the next record starts on its own line (a truncated or
+            // garbled tail takes the quarantine path above instead)
             writeln!(writer)?;
             writer.flush()?;
         }
 
         let clean_bits = std::fs::read_to_string(dir.join(CLEAN_FILE))
             .ok()
-            .and_then(|s| u64::from_str_radix(s.trim(), 16).ok());
+            .and_then(|s| parse_clean_bits(&s));
 
         Ok(StoreSession {
             dir,
@@ -233,33 +317,35 @@ impl StoreSession {
 
     /// Number of cells currently cached (on disk + recorded this session).
     pub fn cached_cells(&self) -> usize {
-        self.state.lock().expect("store lock").cells.len()
+        lock_state(&self.state).cells.len()
     }
 }
 
 impl CampaignCache for StoreSession {
     fn lookup(&self, rate_index: usize, repetition: usize) -> Option<RunRecord> {
-        self.state
-            .lock()
-            .expect("store lock")
-            .cells
-            .get(&(rate_index, repetition))
-            .copied()
+        lock_state(&self.state).cells.get(&(rate_index, repetition)).copied()
     }
 
     fn record(&self, record: &RunRecord) {
-        let mut state = self.state.lock().expect("store lock");
+        let mut state = lock_state(&self.state);
         if !state.write_failed {
-            let line = format!(
+            let payload = format!(
                 "{},{},{},{:016x}",
                 record.rate_index,
                 record.repetition,
                 record.fault_count,
                 record.accuracy.to_bits()
             );
+            let line = format!("{payload},{:08x}\n", crate::crc::crc32(payload.as_bytes()));
             // flush per cell: cells are expensive (a full evaluation each),
-            // so a crash must lose at most the line being written
-            if let Err(e) = writeln!(state.writer, "{line}").and_then(|()| state.writer.flush()) {
+            // so a crash must lose at most the line being written. The
+            // failpoint models exactly that loss: a short write leaves a
+            // torn tail on disk for the next open to quarantine.
+            let write = failpoint::write_len("store.cell_write", line.len()).and_then(|n| {
+                state.writer.write_all(&line.as_bytes()[..n])?;
+                state.writer.flush()
+            });
+            if let Err(e) = write {
                 // a cache failure degrades the run to uncached — it must
                 // never take down a campaign that is mid-grid
                 state.write_failed = true;
@@ -274,15 +360,14 @@ impl CampaignCache for StoreSession {
     }
 
     fn clean_accuracy(&self) -> Option<f64> {
-        self.state.lock().expect("store lock").clean_bits.map(f64::from_bits)
+        lock_state(&self.state).clean_bits.map(f64::from_bits)
     }
 
     fn record_clean(&self, accuracy: f64) {
-        let mut state = self.state.lock().expect("store lock");
+        let mut state = lock_state(&self.state);
         if !state.write_failed {
-            if let Err(e) =
-                std::fs::write(self.dir.join(CLEAN_FILE), format!("{:016x}\n", accuracy.to_bits()))
-            {
+            let contents = format!("{:016x}\n", accuracy.to_bits());
+            if let Err(e) = write_atomic(&self.dir.join(CLEAN_FILE), contents.as_bytes()) {
                 state.write_failed = true;
                 eprintln!(
                     "[store] clean-accuracy write to {} failed ({e}); continuing without persistence",
@@ -294,15 +379,43 @@ impl CampaignCache for StoreSession {
     }
 }
 
-/// Parses one `cells.csv` line; `None` for the header, malformed lines and
-/// truncated (interrupted-write) tails.
+/// Parses a `clean.txt` record: exactly 16 hex digits (plus surrounding
+/// whitespace). The length requirement is what makes a torn marker
+/// *detectable* — a truncated hex prefix would otherwise parse as a smaller,
+/// wrong bit pattern.
+fn parse_clean_bits(contents: &str) -> Option<u64> {
+    let t = contents.trim();
+    if t.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(t, 16).ok()
+}
+
+/// Parses one `cells.csv` line; `None` for malformed lines, truncated
+/// (interrupted-write) tails and records whose CRC-32 does not match.
+/// Four-field lines from pre-checksum stores are still accepted.
 fn parse_cell_line(line: &str) -> Option<RunRecord> {
-    let mut parts = line.split(',');
-    let rate_index = parts.next()?.parse().ok()?;
-    let repetition = parts.next()?.parse().ok()?;
-    let fault_count = parts.next()?.parse().ok()?;
-    let bits_field = parts.next()?;
-    if parts.next().is_some() || bits_field.len() != 16 {
+    let fields: Vec<&str> = line.split(',').collect();
+    let (payload_fields, crc_field) = match fields.len() {
+        4 => (&fields[..4], None),
+        5 => (&fields[..4], Some(fields[4])),
+        _ => return None,
+    };
+    if let Some(crc_hex) = crc_field {
+        if crc_hex.len() != 8 {
+            return None;
+        }
+        let stored = u32::from_str_radix(crc_hex, 16).ok()?;
+        let payload_len = line.len() - crc_hex.len() - 1;
+        if crate::crc::crc32(&line.as_bytes()[..payload_len]) != stored {
+            return None;
+        }
+    }
+    let rate_index = payload_fields[0].parse().ok()?;
+    let repetition = payload_fields[1].parse().ok()?;
+    let fault_count = payload_fields[2].parse().ok()?;
+    let bits_field = payload_fields[3];
+    if bits_field.len() != 16 {
         return None;
     }
     let accuracy = f64::from_bits(u64::from_str_radix(bits_field, 16).ok()?);
@@ -403,6 +516,76 @@ mod tests {
         s.record(&rec(0, 2, 0.7));
         drop(s);
         assert_eq!(store.session(&fp(4)).unwrap().cached_cells(), 3);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupt_crc_lines_are_quarantined_and_recomputable() {
+        let root = tmp_root("crc-quarantine");
+        let store = ResultStore::new(&root);
+        let dir = {
+            let s = store.session(&fp(7)).unwrap();
+            s.record(&rec(0, 0, 0.5));
+            s.record(&rec(0, 1, 0.6));
+            s.dir().to_path_buf()
+        };
+        // flip one payload hex digit in the second record; the field count
+        // and shape stay valid, so only the CRC can catch it
+        let path = dir.join(CELLS_FILE);
+        let content = std::fs::read_to_string(&path).unwrap();
+        let victim = content.lines().nth(2).unwrap().to_string();
+        let corrupted = victim.replacen(",1,", ",9,", 1);
+        assert_ne!(victim, corrupted);
+        std::fs::write(&path, content.replace(&victim, &corrupted)).unwrap();
+
+        let s = store.session(&fp(7)).unwrap();
+        assert_eq!(s.cached_cells(), 1, "the corrupted record must not be served");
+        assert_eq!(s.lookup(0, 0), Some(rec(0, 0, 0.5)));
+        assert_eq!(s.lookup(0, 1), None, "corrupt cell is recomputed, not trusted");
+        let quarantine = std::fs::read_to_string(dir.join(QUARANTINE_FILE)).unwrap();
+        assert_eq!(quarantine, format!("{corrupted}\n"));
+        let rewritten = std::fs::read_to_string(&path).unwrap();
+        assert!(!rewritten.contains(&corrupted), "cells.csv must be scrubbed");
+        assert!(rewritten.starts_with(CELLS_HEADER));
+        // "recompute" the cell and confirm the file round-trips cleanly
+        s.record(&rec(0, 1, 0.6));
+        drop(s);
+        let s = store.session(&fp(7)).unwrap();
+        assert_eq!(s.cached_cells(), 2);
+        assert!(!dir.join(format!("{CELLS_FILE}.tmp")).exists());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn legacy_four_field_lines_still_resume() {
+        let root = tmp_root("legacy");
+        let store = ResultStore::new(&root);
+        let dir = store.session(&fp(8)).unwrap().dir().to_path_buf();
+        let legacy = format!("{CELLS_HEADER_V1}\n0,0,3,{:016x}\n", 0.5f64.to_bits());
+        std::fs::write(dir.join(CELLS_FILE), legacy).unwrap();
+
+        let s = store.session(&fp(8)).unwrap();
+        assert_eq!(
+            s.lookup(0, 0),
+            Some(RunRecord { rate_index: 0, repetition: 0, fault_count: 3, accuracy: 0.5 })
+        );
+        assert!(!dir.join(QUARANTINE_FILE).exists(), "a legacy file is not corruption");
+        // new records append in the checksummed format alongside legacy ones
+        s.record(&rec(0, 1, 0.25));
+        drop(s);
+        assert_eq!(store.session(&fp(8)).unwrap().cached_cells(), 2);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn atomic_writes_replace_rather_than_append() {
+        let root = tmp_root("atomic");
+        std::fs::create_dir_all(&root).unwrap();
+        let path = root.join("marker.json");
+        write_atomic(&path, b"{\"v\":1}").unwrap();
+        write_atomic(&path, b"{\"v\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        assert!(!root.join("marker.json.tmp").exists());
         std::fs::remove_dir_all(&root).ok();
     }
 

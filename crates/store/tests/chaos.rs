@@ -1,0 +1,154 @@
+//! Failpoint-driven store chaos tests.
+//!
+//! Failpoint schedules are process-global, so these live in their own
+//! integration binary (cargo gives each test file its own process) and
+//! serialize on [`LOCK`]; the store's ordinary unit tests never see an armed
+//! harness.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, PoisonError};
+
+use ftclip_fault::{CampaignCache, RunRecord};
+use ftclip_store::{Fingerprint, ResultStore, CELLS_FILE, CLEAN_FILE, QUARANTINE_FILE};
+use ftclip_tensor::failpoint;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ftclip-store-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fp(seed: u64) -> Fingerprint {
+    Fingerprint::new("chaos-test").uint("seed", seed)
+}
+
+fn rec(i: usize, r: usize, acc: f64) -> RunRecord {
+    RunRecord {
+        rate_index: i,
+        repetition: r,
+        fault_count: i + r,
+        accuracy: acc,
+    }
+}
+
+/// A torn cell write (short write, no trailing newline) merges with the next
+/// appended record into garbage; the next open quarantines the merged line
+/// and the campaign recomputes both cells — nothing is served corrupt.
+#[test]
+fn torn_cell_write_is_quarantined_on_reopen() {
+    let _g = guard();
+    let root = tmp_root("torn-cell");
+    let store = ResultStore::new(&root);
+    let dir = {
+        failpoint::configure("store.cell_write=short_write*1").unwrap();
+        let s = store.session(&fp(1)).unwrap();
+        s.record(&rec(0, 0, 0.5)); // torn on disk, intact in memory
+        s.record(&rec(0, 1, 0.6)); // merges into the torn tail on disk
+        failpoint::clear();
+        // the running session still serves both cells from memory
+        assert_eq!(s.lookup(0, 0), Some(rec(0, 0, 0.5)));
+        assert_eq!(s.lookup(0, 1), Some(rec(0, 1, 0.6)));
+        s.dir().to_path_buf()
+    };
+
+    let s = store.session(&fp(1)).unwrap();
+    assert_eq!(s.cached_cells(), 0, "the merged torn line must not resurrect either cell");
+    assert!(dir.join(QUARANTINE_FILE).is_file(), "torn tail must be quarantined");
+    // recompute and confirm the store is fully healthy again
+    s.record(&rec(0, 0, 0.5));
+    s.record(&rec(0, 1, 0.6));
+    drop(s);
+    let s = store.session(&fp(1)).unwrap();
+    assert_eq!(s.cached_cells(), 2);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// An injected I/O error on the cell-write path degrades the session to
+/// memory-only (exactly like a real disk failure) without panicking.
+#[test]
+fn injected_cell_write_error_degrades_to_memory() {
+    let _g = guard();
+    let root = tmp_root("cell-io");
+    let store = ResultStore::new(&root);
+    let s = store.session(&fp(2)).unwrap();
+    failpoint::configure("store.cell_write=io_error*1").unwrap();
+    s.record(&rec(0, 0, 0.5));
+    s.record(&rec(0, 1, 0.6)); // after degradation: memory only, no panic
+    failpoint::clear();
+    assert_eq!(s.lookup(0, 0), Some(rec(0, 0, 0.5)));
+    assert_eq!(s.lookup(0, 1), Some(rec(0, 1, 0.6)));
+    drop(s);
+    assert_eq!(store.session(&fp(2)).unwrap().cached_cells(), 0, "persistence stopped at the fault");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// A torn terminal-marker write (clean.txt) leaves unparseable contents that
+/// the next open simply ignores — the campaign recomputes the clean pass.
+#[test]
+fn torn_clean_marker_is_ignored_on_reopen() {
+    let _g = guard();
+    let root = tmp_root("torn-clean");
+    let store = ResultStore::new(&root);
+    let dir = {
+        let s = store.session(&fp(3)).unwrap();
+        failpoint::configure("store.marker_write=short_write*1").unwrap();
+        s.record_clean(0.75);
+        failpoint::clear();
+        assert_eq!(s.clean_accuracy().map(f64::to_bits), Some(0.75f64.to_bits()), "memory still serves");
+        s.dir().to_path_buf()
+    };
+    // the torn prefix is still valid hex — only the strict 16-digit length
+    // requirement makes the damage detectable
+    let on_disk = std::fs::read_to_string(dir.join(CLEAN_FILE)).unwrap();
+    assert_ne!(on_disk.trim().len(), 16, "marker must be visibly torn: {on_disk:?}");
+    let s = store.session(&fp(3)).unwrap();
+    assert_eq!(s.clean_accuracy(), None, "a torn marker is recomputed, never trusted");
+    s.record_clean(0.75);
+    drop(s);
+    let s = store.session(&fp(3)).unwrap();
+    assert_eq!(s.clean_accuracy().map(f64::to_bits), Some(0.75f64.to_bits()));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// An injected open error surfaces as `Err` (for the service to retry)
+/// rather than corrupting anything; the next open succeeds untouched.
+#[test]
+fn injected_open_error_is_clean() {
+    let _g = guard();
+    let root = tmp_root("open-io");
+    let store = ResultStore::new(&root);
+    store.session(&fp(4)).unwrap().record(&rec(0, 0, 0.5));
+    failpoint::configure("store.open=io_error*1").unwrap();
+    assert!(store.session(&fp(4)).is_err());
+    failpoint::clear();
+    let s = store.session(&fp(4)).unwrap();
+    assert_eq!(s.cached_cells(), 1);
+    assert!(!s.dir().join(QUARANTINE_FILE).exists());
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Delay actions only add latency: every record lands intact.
+#[test]
+fn delay_action_preserves_all_records() {
+    let _g = guard();
+    let root = tmp_root("delay");
+    let store = ResultStore::new(&root);
+    {
+        failpoint::configure("store.cell_write=delay(1):0.5;seed=9").unwrap();
+        let s = store.session(&fp(5)).unwrap();
+        for i in 0..8 {
+            s.record(&rec(i, 0, 0.1 * i as f64));
+        }
+        failpoint::clear();
+    }
+    let s = store.session(&fp(5)).unwrap();
+    assert_eq!(s.cached_cells(), 8);
+    assert!(!s.dir().join(CELLS_FILE).with_file_name(QUARANTINE_FILE).exists());
+    std::fs::remove_dir_all(&root).ok();
+}

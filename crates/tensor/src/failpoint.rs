@@ -1,0 +1,368 @@
+//! Deterministic failpoint harness for chaos-testing the execution layers.
+//!
+//! A *failpoint* is a named site in the codebase where a fault can be
+//! injected on demand: an I/O error, a short (torn) write, a latency spike
+//! or an outright panic. Sites are compiled in unconditionally but cost a
+//! single relaxed atomic load when no schedule is installed, so production
+//! binaries pay nothing for carrying them.
+//!
+//! Schedules are installed either programmatically ([`configure`], used by
+//! the chaos test suites) or from the `FTCLIP_FAILPOINTS` environment
+//! variable, read once on first use. The grammar is a `;`-separated list of
+//! entries:
+//!
+//! ```text
+//! FTCLIP_FAILPOINTS="seed=42;store.cell_write=short_write:0.25;serve.cell=panic:0.05*3"
+//! ```
+//!
+//! * `seed=N` — seeds the deterministic activation schedule (default 0).
+//! * `site=action[:prob][*limit]` — arm `site` with `action`, firing on a
+//!   given evaluation with probability `prob` (default 1.0), at most
+//!   `limit` times (default unlimited).
+//! * actions: `io_error`, `short_write`, `delay(MS)`, `panic`, `off`.
+//!
+//! Activation is a pure function of `(seed, site name, per-site evaluation
+//! index)` — no wall clock, no OS randomness — so a schedule replays
+//! identically run-to-run, which is what lets the chaos suite assert
+//! byte-identical recovery against a pinned seed.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once, PoisonError};
+use std::time::Duration;
+
+/// What an armed failpoint does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Return an injected `std::io::Error` from the site.
+    IoError,
+    /// Truncate the write issued at the site (torn-write simulation).
+    ShortWrite,
+    /// Sleep for the given number of milliseconds, then proceed normally.
+    Delay(u64),
+    /// Panic with a message naming the site.
+    Panic,
+}
+
+struct Site {
+    action: FailAction,
+    prob: f64,
+    limit: u64,
+    evals: AtomicU64,
+    fired: AtomicU64,
+}
+
+struct Registry {
+    seed: u64,
+    sites: HashMap<String, Site>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+static REGISTRY: Mutex<Option<std::sync::Arc<Registry>>> = Mutex::new(None);
+
+fn lock_registry() -> std::sync::MutexGuard<'static, Option<std::sync::Arc<Registry>>> {
+    REGISTRY.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn init_from_env() {
+    ENV_INIT.call_once(|| {
+        if let Ok(spec) = std::env::var("FTCLIP_FAILPOINTS") {
+            if !spec.trim().is_empty() {
+                if let Err(e) = configure(&spec) {
+                    eprintln!("warning: ignoring invalid FTCLIP_FAILPOINTS: {e}");
+                }
+            }
+        }
+    });
+}
+
+/// Whether any failpoint schedule is currently installed.
+///
+/// This is the zero-cost fast path: after the one-time environment check it
+/// is a single relaxed atomic load, so sites can call it unconditionally.
+#[inline]
+pub fn enabled() -> bool {
+    init_from_env();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs a failpoint schedule, replacing any previous one.
+///
+/// See the module docs for the grammar. Configuration is process-global:
+/// test suites that install schedules must serialize on a shared lock.
+pub fn configure(spec: &str) -> Result<(), String> {
+    let registry = parse_spec(spec)?;
+    let has_sites = !registry.sites.is_empty();
+    *lock_registry() = has_sites.then(|| std::sync::Arc::new(registry));
+    ENABLED.store(has_sites, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Removes the installed schedule; every site reverts to a no-op.
+pub fn clear() {
+    *lock_registry() = None;
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Per-site activation counts for the installed schedule: `(site, fired)`.
+///
+/// Sorted by site name so chaos probes can publish stable recovery stats.
+pub fn stats() -> Vec<(String, u64)> {
+    let guard = lock_registry();
+    let Some(registry) = guard.as_ref() else {
+        return Vec::new();
+    };
+    let mut out: Vec<(String, u64)> = registry
+        .sites
+        .iter()
+        .map(|(name, s)| (name.clone(), s.fired.load(Ordering::Relaxed)))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Evaluates `site` against the installed schedule.
+///
+/// Returns the action to perform if the site fires on this evaluation. The
+/// decision is deterministic in `(seed, site, evaluation index)`; callers
+/// that just need the decision (no I/O semantics) can match on the result
+/// directly, but most sites go through [`check_io`], [`write_len`] or
+/// [`fires`] instead.
+pub fn evaluate(site: &str) -> Option<FailAction> {
+    if !enabled() {
+        return None;
+    }
+    let registry = lock_registry().as_ref().cloned()?;
+    let s = registry.sites.get(site)?;
+    let n = s.evals.fetch_add(1, Ordering::SeqCst);
+    let x = splitmix64(registry.seed ^ fnv1a(site.as_bytes()) ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+    if u >= s.prob {
+        return None;
+    }
+    let won = s
+        .fired
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |f| (f < s.limit).then_some(f + 1))
+        .is_ok();
+    won.then_some(s.action)
+}
+
+/// Evaluates `site` and reports whether it fired, performing any side
+/// effect: `delay` sleeps, `panic` panics, `io_error`/`short_write` simply
+/// report `true` (for sites with no I/O to fail, e.g. cache bypasses).
+pub fn fires(site: &str) -> bool {
+    match evaluate(site) {
+        None => false,
+        Some(FailAction::Delay(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            true
+        }
+        Some(FailAction::Panic) => panic!("failpoint {site}: injected panic"),
+        Some(FailAction::IoError) | Some(FailAction::ShortWrite) => true,
+    }
+}
+
+/// Evaluates `site` on an I/O path with nothing to truncate: injected I/O
+/// errors surface as `Err`, delays sleep, panics panic, short writes are
+/// treated as a no-op (use [`write_len`] on write paths instead).
+pub fn check_io(site: &str) -> io::Result<()> {
+    match evaluate(site) {
+        None | Some(FailAction::ShortWrite) => Ok(()),
+        Some(FailAction::Delay(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(())
+        }
+        Some(FailAction::Panic) => panic!("failpoint {site}: injected panic"),
+        Some(FailAction::IoError) => Err(io::Error::other(format!("failpoint {site}: injected I/O error"))),
+    }
+}
+
+/// Evaluates `site` for a write of `len` bytes.
+///
+/// Returns the number of bytes the caller should actually write: `len`
+/// normally, a truncated count when a short write fires, or `Err` for an
+/// injected I/O error. Delays sleep, panics panic.
+pub fn write_len(site: &str, len: usize) -> io::Result<usize> {
+    match evaluate(site) {
+        None => Ok(len),
+        Some(FailAction::ShortWrite) => Ok(len / 2),
+        Some(FailAction::Delay(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(len)
+        }
+        Some(FailAction::Panic) => panic!("failpoint {site}: injected panic"),
+        Some(FailAction::IoError) => Err(io::Error::other(format!("failpoint {site}: injected I/O error"))),
+    }
+}
+
+fn parse_spec(spec: &str) -> Result<Registry, String> {
+    let mut seed = 0u64;
+    let mut sites = HashMap::new();
+    for entry in spec.split(';') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (name, value) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("entry `{entry}` is not `name=value`"))?;
+        let (name, value) = (name.trim(), value.trim());
+        if name == "seed" {
+            seed = value.parse::<u64>().map_err(|_| format!("seed `{value}` is not a u64"))?;
+            continue;
+        }
+        let (value, limit) = match value.split_once('*') {
+            Some((v, l)) => {
+                (v.trim(), l.trim().parse::<u64>().map_err(|_| format!("limit `{l}` is not a u64"))?)
+            }
+            None => (value, u64::MAX),
+        };
+        let (action, prob) = match value.split_once(':') {
+            Some((a, p)) => {
+                let p = p
+                    .trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("probability `{p}` is not a number"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("probability {p} is outside [0, 1]"));
+                }
+                (a.trim(), p)
+            }
+            None => (value, 1.0),
+        };
+        let action = match action {
+            "io_error" => FailAction::IoError,
+            "short_write" => FailAction::ShortWrite,
+            "panic" => FailAction::Panic,
+            "off" => continue,
+            a if a.starts_with("delay(") && a.ends_with(')') => {
+                let ms = &a["delay(".len()..a.len() - 1];
+                FailAction::Delay(ms.parse::<u64>().map_err(|_| format!("delay `{ms}` is not a u64"))?)
+            }
+            a => return Err(format!("unknown action `{a}`")),
+        };
+        sites.insert(
+            name.to_string(),
+            Site {
+                action,
+                prob,
+                limit,
+                evals: AtomicU64::new(0),
+                fired: AtomicU64::new(0),
+            },
+        );
+    }
+    Ok(Registry { seed, sites })
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Schedules are process-global; every test that installs one holds this.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn unarmed_sites_are_noops() {
+        let _g = guard();
+        clear();
+        assert!(!enabled());
+        assert_eq!(evaluate("store.cell_write"), None);
+        assert!(check_io("store.cell_write").is_ok());
+        assert_eq!(write_len("store.cell_write", 40).unwrap(), 40);
+        assert!(!fires("store.cell_write"));
+    }
+
+    #[test]
+    fn io_error_fires_deterministically() {
+        let _g = guard();
+        configure("seed=7;a=io_error").unwrap();
+        assert!(check_io("a").is_err());
+        assert!(check_io("other").is_ok());
+        clear();
+        assert!(check_io("a").is_ok());
+    }
+
+    #[test]
+    fn short_write_halves_the_length() {
+        let _g = guard();
+        configure("a=short_write").unwrap();
+        assert_eq!(write_len("a", 40).unwrap(), 20);
+        assert_eq!(write_len("a", 1).unwrap(), 0);
+        clear();
+    }
+
+    #[test]
+    fn limits_cap_activations() {
+        let _g = guard();
+        configure("a=io_error*2").unwrap();
+        assert!(check_io("a").is_err());
+        assert!(check_io("a").is_err());
+        assert!(check_io("a").is_ok());
+        assert!(check_io("a").is_ok());
+        assert_eq!(stats(), vec![("a".to_string(), 2)]);
+        clear();
+    }
+
+    #[test]
+    fn probability_schedule_is_deterministic_in_the_seed() {
+        let _g = guard();
+        let run = |seed: u64| -> Vec<bool> {
+            configure(&format!("seed={seed};a=io_error:0.5")).unwrap();
+            (0..64).map(|_| check_io("a").is_err()).collect()
+        };
+        let a1 = run(42);
+        let a2 = run(42);
+        let b = run(43);
+        clear();
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        let hits = a1.iter().filter(|&&x| x).count();
+        assert!((8..=56).contains(&hits), "p=0.5 schedule fired {hits}/64 times");
+    }
+
+    #[test]
+    #[should_panic(expected = "failpoint boom: injected panic")]
+    fn panic_action_panics_with_the_site_name() {
+        let _g = guard();
+        configure("boom=panic").unwrap();
+        let _ = fires("boom");
+    }
+
+    #[test]
+    fn spec_errors_are_reported() {
+        let _g = guard();
+        assert!(configure("a").is_err());
+        assert!(configure("seed=x").is_err());
+        assert!(configure("a=explode").is_err());
+        assert!(configure("a=io_error:1.5").is_err());
+        assert!(configure("a=io_error*x").is_err());
+        assert!(configure("a=delay(ms)").is_err());
+        // `off` disarms a site; an all-off spec leaves the harness disabled
+        configure("a=off").unwrap();
+        assert!(!enabled());
+        clear();
+    }
+}

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod failpoint;
 mod im2col;
 mod init;
 mod int8;
